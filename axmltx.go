@@ -1,0 +1,213 @@
+// Package axmltx is a transactional framework for ActiveXML (AXML)
+// repositories — XML documents with embedded Web-service calls hosted on
+// peer-to-peer nodes — implementing the protocols of Biswas & Kim,
+// "Atomicity for P2P based XML Repositories" (ICDE 2007):
+//
+//   - dynamic compensation: compensating operations for AXML queries and
+//     updates are constructed at run time from the operation log;
+//   - nested recovery: faults propagate through the invocation tree, with
+//     per-call fault handlers (catch / catchAll / retry on replicas)
+//     enabling forward recovery at intermediate peers;
+//   - peer-independent recovery: participants return compensating-service
+//     definitions with their results, so any peer can drive compensation;
+//   - peer disconnection handling by chaining: the active-peer list travels
+//     with every invocation, enabling early detection, result redirection
+//     past dead parents, and reuse of already-performed work.
+//
+// # Quick start
+//
+//	net := axmltx.NewNetwork(0)
+//	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{Super: true})
+//	ap2 := axmltx.NewPeer(net.Join("AP2"), axmltx.Options{})
+//
+//	ap2.HostDocument("Points.xml", `<Points><row player="Federer"><points>475</points></row></Points>`)
+//	ap2.HostQueryService(axmltx.Descriptor{Name: "getPoints", ResultName: "points", TargetDocument: "Points.xml"},
+//	    `Select r/points from r in Points//row`)
+//
+//	ap1.HostDocument("ATPList.xml", `<ATPList><player>
+//	    <name><lastname>Federer</lastname></name>
+//	    <axml:sc mode="replace" methodName="getPoints" serviceURL="AP2"/>
+//	  </player></ATPList>`)
+//
+//	tx := ap1.Begin()
+//	q := axmltx.MustQuery(`Select p/points from p in ATPList//player`)
+//	res, err := ap1.Exec(tx, axmltx.NewQueryAction(q))
+//	// ... err handling; res.Query.Strings() == ["475"]
+//	ap1.Commit(tx) // or ap1.Abort(tx) to compensate everywhere
+//
+// The names below alias the implementation packages so applications only
+// import axmltx.
+package axmltx
+
+import (
+	"time"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/core"
+	"axmltx/internal/p2p"
+	"axmltx/internal/query"
+	"axmltx/internal/replication"
+	"axmltx/internal/services"
+	"axmltx/internal/wal"
+)
+
+// Core engine types.
+type (
+	// Peer is an AXML peer: document store, service registry and
+	// transactional engine on a transport.
+	Peer = core.Peer
+	// Options configure a peer (super-peer status, recovery mode,
+	// chaining, evaluation mode).
+	Options = core.Options
+	// Txn is a transaction context at a peer.
+	Txn = core.Context
+	// Chain is the active-peer list of a transaction.
+	Chain = core.Chain
+	// Metrics exposes a peer's protocol counters.
+	Metrics = core.Metrics
+	// MetricsSnapshot is a plain copy of Metrics.
+	MetricsSnapshot = core.MetricsSnapshot
+	// CompensationDef is a shippable compensating-service definition.
+	CompensationDef = core.CompensationDef
+	// InvokeResponse is the result of a (possibly redirected) invocation.
+	InvokeResponse = core.InvokeResponse
+	// StreamBatch is one batch of a continuous service's stream.
+	StreamBatch = core.StreamBatch
+	// Env is the engine environment available to service implementations.
+	Env = core.Env
+	// FaultHook is application fault-handler code.
+	FaultHook = core.FaultHook
+	// Scheduler drives periodic (frequency-attribute) materialization.
+	Scheduler = core.Scheduler
+)
+
+// Networking types.
+type (
+	// PeerID identifies a peer.
+	PeerID = p2p.PeerID
+	// Network is the in-memory simulated network.
+	Network = p2p.Network
+	// Transport moves messages between peers.
+	Transport = p2p.Transport
+	// Message is the transport unit.
+	Message = p2p.Message
+	// Pinger is the keep-alive failure detector.
+	Pinger = p2p.Pinger
+	// TCPTransport runs the protocols over real TCP.
+	TCPTransport = p2p.TCPTransport
+	// NetStats aggregates simulated-network message counts.
+	NetStats = p2p.Stats
+)
+
+// Document and service types.
+type (
+	// Action is an AXML operation (query/insert/delete/replace).
+	Action = axml.Action
+	// Query is a parsed select-from-where query.
+	Query = query.Query
+	// Store is a peer's document repository.
+	Store = axml.Store
+	// Result is the outcome of applying an action.
+	Result = axml.Result
+	// ServiceCall is a view over an <axml:sc> element.
+	ServiceCall = axml.ServiceCall
+	// Descriptor describes a service (WSDL-lite).
+	Descriptor = services.Descriptor
+	// ParamDef declares a service parameter.
+	ParamDef = services.ParamDef
+	// Service is anything invokable on a peer.
+	Service = services.Service
+	// Request is a service invocation.
+	Request = services.Request
+	// Fault is a named service failure.
+	Fault = services.Fault
+	// Continuous is a subscription-based streaming service.
+	Continuous = services.Continuous
+	// StreamWatcher detects silence on a stream subscription.
+	StreamWatcher = services.StreamWatcher
+	// ReplicaTable tracks document and service replica placement.
+	ReplicaTable = replication.Table
+	// Log is the operation log interface.
+	Log = wal.Log
+)
+
+// Evaluation modes for embedded service calls.
+const (
+	// Lazy materializes only the calls a query needs (the AXML default).
+	Lazy = axml.Lazy
+	// Eager materializes every embedded call.
+	Eager = axml.Eager
+)
+
+// NewNetwork creates an in-memory network with the given per-message
+// latency (0 for fastest simulation).
+func NewNetwork(latency time.Duration) *Network { return p2p.NewNetwork(latency) }
+
+// NewPeer assembles a peer with an in-memory operation log.
+func NewPeer(t Transport, opts Options) *Peer {
+	return core.NewPeer(t, wal.NewMemory(), opts)
+}
+
+// NewPeerWithLog assembles a peer over an explicit log (e.g. a durable
+// wal.FileLog from OpenFileLog).
+func NewPeerWithLog(t Transport, log Log, opts Options) *Peer {
+	return core.NewPeer(t, log, opts)
+}
+
+// OpenFileLog opens a durable file-backed operation log; with sync true,
+// every record is fsynced.
+func OpenFileLog(path string, sync bool) (Log, error) { return wal.OpenFile(path, sync) }
+
+// ListenTCP starts a TCP transport for a peer.
+func ListenTCP(self PeerID, addr string) (*TCPTransport, error) { return p2p.ListenTCP(self, addr) }
+
+// NewPinger creates a keep-alive failure detector over a transport.
+func NewPinger(t Transport, interval time.Duration, failures int, onDown func(PeerID)) *Pinger {
+	return p2p.NewPinger(t, interval, failures, onDown)
+}
+
+// ParseQuery parses a select-from-where query (trailing ';' tolerated).
+func ParseQuery(src string) (*Query, error) { return axml.ParseQuery(src) }
+
+// MustQuery is ParseQuery that panics on error, for literals.
+func MustQuery(src string) *Query {
+	q, err := ParseQuery(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// NewQueryAction returns a query action.
+func NewQueryAction(q *Query) *Action { return axml.NewQuery(q) }
+
+// NewInsertAction returns an insert of data under each located node.
+func NewInsertAction(loc *Query, data string) *Action { return axml.NewInsert(loc, data) }
+
+// NewDeleteAction returns a delete of the located nodes.
+func NewDeleteAction(loc *Query) *Action { return axml.NewDelete(loc) }
+
+// NewReplaceAction returns a replace of each located node by data.
+func NewReplaceAction(loc *Query, data string) *Action { return axml.NewReplace(loc, data) }
+
+// ParseAction parses the <action> wire form.
+func ParseAction(src string) (*Action, error) { return axml.ParseAction(src) }
+
+// NewFuncService adapts a function as a service; the engine environment is
+// available via EnvFrom on the passed context.
+var NewFuncService = services.NewFuncService
+
+// NewContinuous builds a continuous (streaming) service.
+var NewContinuous = services.NewContinuous
+
+// NewStreamWatcher builds a stream-silence detector.
+var NewStreamWatcher = services.NewStreamWatcher
+
+// StaticService builds a service returning fixed fragments.
+var StaticService = services.StaticService
+
+// EnvFrom extracts the engine environment inside a service body.
+var EnvFrom = core.EnvFrom
+
+// FaultNameOf extracts a fault name from an error chain ("" if anonymous).
+var FaultNameOf = services.FaultName

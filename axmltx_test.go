@@ -1,0 +1,164 @@
+package axmltx_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"axmltx"
+)
+
+// TestPublicAPIQuickstart exercises the README quick-start flow through the
+// public package only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	net := axmltx.NewNetwork(0)
+	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{Super: true})
+	ap2 := axmltx.NewPeer(net.Join("AP2"), axmltx.Options{})
+
+	if err := ap2.HostDocument("Points.xml",
+		`<Points><row player="Roger Federer"><points>475</points></row></Points>`); err != nil {
+		t.Fatal(err)
+	}
+	ap2.HostQueryService(axmltx.Descriptor{
+		Name: "getPoints", ResultName: "points", TargetDocument: "Points.xml",
+		Params: []axmltx.ParamDef{{Name: "name", Required: true}},
+	}, `Select r/points from r in Points//row where r/@player = $name`)
+
+	if err := ap1.HostDocument("ATPList.xml", `<ATPList><player rank="1">
+	  <name><lastname>Federer</lastname></name>
+	  <axml:sc mode="replace" methodName="getPoints" serviceURL="AP2">
+	    <axml:params><axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param></axml:params>
+	  </axml:sc></player></ATPList>`); err != nil {
+		t.Fatal(err)
+	}
+
+	tx := ap1.Begin()
+	res, err := ap1.Exec(tx, axmltx.NewQueryAction(
+		axmltx.MustQuery(`Select p/points from p in ATPList//player`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Query.Strings(); len(got) != 1 || got[0] != "475" {
+		t.Fatalf("result = %v", got)
+	}
+	if err := ap1.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIActionsAndAbort(t *testing.T) {
+	net := axmltx.NewNetwork(0)
+	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{})
+	if err := ap1.HostDocument("D.xml", `<D><item k="1"><v>old</v></item></D>`); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := ap1.Store().Snapshot("D.xml")
+
+	tx := ap1.Begin()
+	if _, err := ap1.Exec(tx, axmltx.NewInsertAction(
+		axmltx.MustQuery(`Select d from d in D`), `<item k="2"/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap1.Exec(tx, axmltx.NewReplaceAction(
+		axmltx.MustQuery(`Select i/v from i in D//item where i/@k = 1`), `<v>new</v>`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ap1.Exec(tx, axmltx.NewDeleteAction(
+		axmltx.MustQuery(`Select i from i in D//item where i/@k = 2`))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ap1.Abort(tx); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := ap1.Store().Snapshot("D.xml")
+	if !after.Equal(before) {
+		t.Fatal("public-API abort did not restore the document")
+	}
+}
+
+func TestPublicAPIActionWireForm(t *testing.T) {
+	a := axmltx.NewDeleteAction(axmltx.MustQuery(`Select p/citizenship from p in ATPList//player`))
+	back, err := axmltx.ParseAction(a.XML())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != a.Type {
+		t.Fatal("wire round trip")
+	}
+}
+
+func TestPublicAPIFaultsAndHooks(t *testing.T) {
+	net := axmltx.NewNetwork(0)
+	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{})
+	ap2 := axmltx.NewPeer(net.Join("AP2"), axmltx.Options{})
+	ap2.HostService(axmltx.NewFuncService(axmltx.Descriptor{Name: "f", ResultName: "x"},
+		func(ctx context.Context, params map[string]string) ([]string, error) {
+			return nil, &axmltx.Fault{Name: "boom"}
+		}))
+	tx := ap1.Begin()
+	_, err := ap1.Call(tx, "AP2", "f", nil)
+	if err == nil || axmltx.FaultNameOf(err) != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	if err := ap1.Abort(tx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAPIDurableLog(t *testing.T) {
+	dir := t.TempDir()
+	log, err := axmltx.OpenFileLog(dir+"/peer.wal", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := axmltx.NewNetwork(0)
+	ap1 := axmltx.NewPeerWithLog(net.Join("AP1"), log, axmltx.Options{})
+	if err := ap1.HostDocument("D.xml", `<D/>`); err != nil {
+		t.Fatal(err)
+	}
+	tx := ap1.Begin()
+	if _, err := ap1.Exec(tx, axmltx.NewInsertAction(
+		axmltx.MustQuery(`Select d from d in D`), `<x/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ap1.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery sees the records.
+	re, err := axmltx.OpenFileLog(dir+"/peer.wal", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if recs := re.TxnRecords(tx.ID); len(recs) < 3 { // begin, insert, commit
+		t.Fatalf("recovered %d records", len(recs))
+	}
+}
+
+func TestPublicAPIScheduler(t *testing.T) {
+	net := axmltx.NewNetwork(0)
+	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{})
+	ap1.HostService(axmltx.StaticService(axmltx.Descriptor{Name: "tick", ResultName: "t"}, `<t/>`))
+	if err := ap1.HostDocument("Feed.xml",
+		`<Feed><axml:sc mode="merge" methodName="tick" frequency="1ms"/></Feed>`); err != nil {
+		t.Fatal(err)
+	}
+	s := ap1.StartScheduler(time.Hour)
+	defer s.Stop()
+	s.RunDue(time.Now())
+	if s.Runs() != 1 {
+		t.Fatalf("runs = %d", s.Runs())
+	}
+	doc, _ := ap1.Store().Snapshot("Feed.xml")
+	var b strings.Builder
+	for _, n := range doc.Root().Children() {
+		b.WriteString(n.Name())
+	}
+	if !strings.Contains(b.String(), "axml:sc") {
+		t.Fatal("document shape broken")
+	}
+}

@@ -1,0 +1,230 @@
+// Benchmarks regenerating the experiment suite of EXPERIMENTS.md: the two
+// figures of the paper (executed as protocol scenarios) and the designed
+// experiments E1–E7. Each benchmark reports the domain metrics (messages,
+// nodes undone, …) alongside time, via b.ReportMetric, so `go test
+// -bench=. -benchmem` prints the series the experiment tables are built
+// from. cmd/axmlbench prints the same data as tables.
+package axmltx
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"axmltx/internal/sim"
+)
+
+// BenchmarkF1NestedRecovery regenerates Figure 1: the nested recovery
+// protocol on the 6-peer topology, comparing full backward abort with
+// forward recovery via a replica.
+func BenchmarkF1NestedRecovery(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		forward bool
+	}{{"backward-abort", false}, {"forward-replica", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			var last sim.F1Row
+			for i := 0; i < b.N; i++ {
+				last = sim.RunF1(mode.forward)
+			}
+			b.ReportMetric(float64(last.TotalMessages), "msgs")
+			b.ReportMetric(float64(last.AbortMessages), "abort-msgs")
+			b.ReportMetric(float64(last.NodesUndone), "nodes-undone")
+		})
+	}
+}
+
+// BenchmarkF2Disconnection regenerates Figure 2: the four disconnection
+// scenarios, with chaining (the paper's proposal) and without (the
+// traditional baseline).
+func BenchmarkF2Disconnection(b *testing.B) {
+	for _, sc := range []string{"a", "b", "c", "d"} {
+		for _, chaining := range []bool{true, false} {
+			name := fmt.Sprintf("scenario-%s/chaining=%t", sc, chaining)
+			b.Run(name, func(b *testing.B) {
+				var last sim.F2Row
+				for i := 0; i < b.N; i++ {
+					last = sim.RunF2(sc, chaining)
+				}
+				b.ReportMetric(float64(last.Messages), "msgs")
+				b.ReportMetric(float64(last.NodesLost), "nodes-lost")
+				b.ReportMetric(float64(last.WorkReused), "reused")
+				b.ReportMetric(boolMetric(last.Committed), "committed")
+			})
+		}
+	}
+}
+
+// BenchmarkE1DynamicCompensation measures dynamic compensation: log
+// overhead, compensating-operation construction and execution over an
+// operation mix, with the fraction of statically compensable operations as
+// the (impossible) baseline.
+func BenchmarkE1DynamicCompensation(b *testing.B) {
+	for _, ops := range []int{10, 50, 200} {
+		b.Run(fmt.Sprintf("ops=%d", ops), func(b *testing.B) {
+			var last sim.E1Result
+			for i := 0; i < b.N; i++ {
+				last = sim.RunE1(sim.OpsSpec{
+					Players: 50, Ops: ops,
+					Insert: 0.3, Delete: 0.2, Replace: 0.3, Query: 0.2,
+					Seed: int64(i),
+				})
+			}
+			b.ReportMetric(float64(last.LogRecords)/float64(last.Ops), "log-recs/op")
+			b.ReportMetric(float64(last.LogBytes)/float64(last.Ops), "log-B/op")
+			b.ReportMetric(float64(last.StaticCompensable)/float64(last.Ops), "static-frac")
+			b.ReportMetric(boolMetric(last.Restored), "restored")
+		})
+	}
+}
+
+// BenchmarkE2LazyVsEager measures materializations performed by lazy vs
+// eager query evaluation as the query touches a varying share of the
+// document's embedded calls.
+func BenchmarkE2LazyVsEager(b *testing.B) {
+	const k = 16
+	for _, j := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("needs=%d-of-%d", j, k), func(b *testing.B) {
+			var last sim.E2Result
+			for i := 0; i < b.N; i++ {
+				last = sim.RunE2(k, j)
+			}
+			b.ReportMetric(float64(last.LazyInvoked), "lazy-calls")
+			b.ReportMetric(float64(last.EagerInvoked), "eager-calls")
+		})
+	}
+}
+
+// BenchmarkE3RecoveryScaling measures nested recovery as the invocation
+// tree grows: forward recovery (handlers + replicas) vs full backward
+// abort.
+func BenchmarkE3RecoveryScaling(b *testing.B) {
+	for _, depth := range []int{1, 2, 3, 4} {
+		for _, mode := range []struct {
+			name    string
+			forward bool
+		}{{"backward", false}, {"forward", true}} {
+			b.Run(fmt.Sprintf("depth=%d/%s", depth, mode.name), func(b *testing.B) {
+				var last sim.E3Row
+				for i := 0; i < b.N; i++ {
+					last = sim.RunE3(depth, 2, mode.forward, int64(i))
+				}
+				b.ReportMetric(float64(last.Messages), "msgs")
+				b.ReportMetric(float64(last.NodesUndone), "nodes-undone")
+				b.ReportMetric(boolMetric(last.Committed), "committed")
+			})
+		}
+	}
+}
+
+// BenchmarkE4PeerIndependent measures compensation success under
+// disconnection of intermediate peers, peer-dependent vs peer-independent.
+func BenchmarkE4PeerIndependent(b *testing.B) {
+	for _, p := range []float64{0.0, 0.25, 0.5, 1.0} {
+		for _, indep := range []bool{false, true} {
+			b.Run(fmt.Sprintf("p=%.2f/independent=%t", p, indep), func(b *testing.B) {
+				var last sim.E4Row
+				for i := 0; i < b.N; i++ {
+					last = sim.RunE4(3, p, indep, 4, int64(i))
+				}
+				b.ReportMetric(last.SurvivorRestoredFrac, "restored-frac")
+			})
+		}
+	}
+}
+
+// BenchmarkE5Chaining measures disconnection recovery with and without the
+// active-peer-list chaining as the tree deepens.
+func BenchmarkE5Chaining(b *testing.B) {
+	for _, depth := range []int{2, 3, 4} {
+		for _, chaining := range []bool{true, false} {
+			b.Run(fmt.Sprintf("depth=%d/chaining=%t", depth, chaining), func(b *testing.B) {
+				var last sim.E5Row
+				for i := 0; i < b.N; i++ {
+					last = sim.RunE5(depth, 2, chaining, int64(i))
+				}
+				b.ReportMetric(float64(last.OrphanedEntries), "orphaned")
+				b.ReportMetric(float64(last.NodesUndone), "nodes-undone")
+				b.ReportMetric(float64(last.Messages), "msgs")
+				b.ReportMetric(boolMetric(last.Committed), "committed")
+			})
+		}
+	}
+}
+
+// BenchmarkE6CostModel measures forward vs backward recovery cost in
+// affected XML nodes as per-peer work grows.
+func BenchmarkE6CostModel(b *testing.B) {
+	for _, payload := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("payload=%d", payload), func(b *testing.B) {
+			var last sim.E6Row
+			for i := 0; i < b.N; i++ {
+				last = sim.RunE6(payload, 2, int64(i))
+			}
+			b.ReportMetric(float64(last.BackwardUndone), "backward-undone")
+			b.ReportMetric(float64(last.ForwardUndone), "forward-undone")
+		})
+	}
+}
+
+// BenchmarkE7Spheres measures guaranteed and observed atomicity as the
+// super-peer ratio varies.
+func BenchmarkE7Spheres(b *testing.B) {
+	for _, s := range []float64{0.0, 0.5, 0.9, 1.0} {
+		b.Run(fmt.Sprintf("super=%.1f", s), func(b *testing.B) {
+			var last sim.E7Row
+			for i := 0; i < b.N; i++ {
+				last = sim.RunE7(s, 4, int64(i))
+			}
+			b.ReportMetric(last.GuaranteedFrac, "guaranteed-frac")
+			b.ReportMetric(last.AtomicFrac, "atomic-frac")
+		})
+	}
+}
+
+// BenchmarkE8DetectionLatency measures how fast each §3.3 detector notices
+// a disconnected peer on a latency-bearing network.
+func BenchmarkE8DetectionLatency(b *testing.B) {
+	for _, det := range []string{"active-send", "ping", "stream-silence"} {
+		b.Run(det, func(b *testing.B) {
+			var last sim.E8Row
+			for i := 0; i < b.N; i++ {
+				last = sim.RunE8(det, time.Millisecond, 10*time.Millisecond)
+			}
+			b.ReportMetric(boolMetric(last.Detected), "detected")
+			b.ReportMetric(float64(last.Elapsed.Microseconds()), "detect-us")
+		})
+	}
+}
+
+// BenchmarkA1ProtocolOverhead is the ablation of DESIGN.md: the
+// failure-free message cost of chaining and of peer-independent definition
+// shipping, against the plain protocol.
+func BenchmarkA1ProtocolOverhead(b *testing.B) {
+	for _, cfg := range []struct {
+		name            string
+		chaining, indep bool
+	}{
+		{"plain", false, false},
+		{"chaining", true, false},
+		{"peer-independent", false, true},
+		{"both", true, true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var last sim.OverheadRow
+			for i := 0; i < b.N; i++ {
+				last = sim.RunOverhead(3, 2, cfg.chaining, cfg.indep, int64(i))
+			}
+			b.ReportMetric(float64(last.Messages), "msgs")
+			b.ReportMetric(float64(last.ChainMsgs), "chain-msgs")
+			b.ReportMetric(float64(last.CompDefMsgs), "compdef-msgs")
+		})
+	}
+}
+
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,225 @@
+// Command axmlbench runs the experiment suite of EXPERIMENTS.md and prints
+// one table per experiment. Without arguments it runs everything; pass
+// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7) to select a subset.
+//
+//	go run ./cmd/axmlbench          # full suite
+//	go run ./cmd/axmlbench e3 e5    # selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"axmltx/internal/sim"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "base random seed")
+	trials := flag.Int("trials", 20, "trials per randomized data point")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, a := range flag.Args() {
+		selected[strings.ToLower(a)] = true
+	}
+	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+
+	if want("f1") {
+		runF1()
+	}
+	if want("f2") {
+		runF2()
+	}
+	if want("e1") {
+		runE1(*seed)
+	}
+	if want("e2") {
+		runE2()
+	}
+	if want("e3") {
+		runE3(*seed)
+	}
+	if want("e4") {
+		runE4(*seed, *trials)
+	}
+	if want("e5") {
+		runE5(*seed)
+	}
+	if want("e6") {
+		runE6(*seed)
+	}
+	if want("e7") {
+		runE7(*seed, *trials)
+	}
+	if want("a1") {
+		runA1(*seed)
+	}
+	if want("e8") {
+		runE8()
+	}
+}
+
+func runE8() {
+	table("E8 — disconnection detection latency (1ms link latency, 10ms probe/stream interval)",
+		"detector\tdetected\telapsed",
+		func(w *tabwriter.Writer) {
+			for _, det := range []string{"active-send", "ping", "stream-silence"} {
+				r := sim.RunE8(det, time.Millisecond, 10*time.Millisecond)
+				fmt.Fprintf(w, "%s\t%t\t%s\n", r.Detector, r.Detected, r.Elapsed.Round(100*time.Microsecond))
+			}
+		})
+}
+
+func runA1(seed int64) {
+	table("A1 — ablation: failure-free message overhead of the recovery machinery",
+		"depth\tchaining\tpeer-independent\tinvoke msgs\tchain msgs\tcompdef msgs\ttotal msgs",
+		func(w *tabwriter.Writer) {
+			for _, depth := range []int{2, 3, 4} {
+				for _, cfg := range [][2]bool{{false, false}, {true, false}, {false, true}, {true, true}} {
+					r := sim.RunOverhead(depth, 2, cfg[0], cfg[1], seed)
+					fmt.Fprintf(w, "%d\t%t\t%t\t%d\t%d\t%d\t%d\n",
+						r.Depth, r.Chaining, r.PeerIndependent, r.InvokeMsgs, r.ChainMsgs, r.CompDefMsgs, r.Messages)
+				}
+			}
+		})
+}
+
+func table(title string, header string, rows func(w *tabwriter.Writer)) {
+	fmt.Printf("\n== %s ==\n", title)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, header)
+	rows(w)
+	w.Flush()
+}
+
+func runF1() {
+	table("F1 — Figure 1: nested recovery (AP5 fails during S5)",
+		"mode\tcommitted\trestored\tabort msgs\ttotal msgs\tnodes undone\tforward recoveries",
+		func(w *tabwriter.Writer) {
+			for _, forward := range []bool{false, true} {
+				r := sim.RunF1(forward)
+				fmt.Fprintf(w, "%s\t%t\t%t\t%d\t%d\t%d\t%d\n",
+					r.Mode, r.Committed, r.AllRestored, r.AbortMessages, r.TotalMessages, r.NodesUndone, r.ForwardRecoveries)
+			}
+		})
+}
+
+func runF2() {
+	table("F2 — Figure 2: peer disconnection scenarios (a–d), chaining vs traditional",
+		"scenario\tchaining\trecovered\tcommitted\tredirects\treused\tnodes lost\tnodes undone\tmsgs",
+		func(w *tabwriter.Writer) {
+			for _, sc := range []string{"a", "b", "c", "d"} {
+				for _, chaining := range []bool{true, false} {
+					r := sim.RunF2(sc, chaining)
+					fmt.Fprintf(w, "%s\t%t\t%t\t%t\t%d\t%d\t%d\t%d\t%d\n",
+						r.Scenario, r.Chaining, r.Recovered, r.Committed, r.Redirects, r.WorkReused, r.NodesLost, r.NodesUndone, r.Messages)
+				}
+			}
+		})
+}
+
+func runE1(seed int64) {
+	table("E1 — dynamic compensation over an operation mix (30/20/30/20 ins/del/rep/query)",
+		"ops\tlog recs/op\tlog B/op\tmaterializations\tcomp actions\tstatically compensable\trestored",
+		func(w *tabwriter.Writer) {
+			for _, ops := range []int{10, 50, 200, 1000} {
+				r := sim.RunE1(sim.OpsSpec{
+					Players: 50, Ops: ops,
+					Insert: 0.3, Delete: 0.2, Replace: 0.3, Query: 0.2, Seed: seed,
+				})
+				fmt.Fprintf(w, "%d\t%.2f\t%.0f\t%d\t%d\t%d/%d\t%t\n",
+					r.Ops, float64(r.LogRecords)/float64(r.Ops), float64(r.LogBytes)/float64(r.Ops),
+					r.Materializations, r.CompActions, r.StaticCompensable, r.Ops, r.Restored)
+			}
+		})
+}
+
+func runE2() {
+	table("E2 — lazy vs eager query evaluation (k embedded calls, query needs j)",
+		"k\tj\tlazy calls\teager calls\tlazy affected\teager affected",
+		func(w *tabwriter.Writer) {
+			const k = 16
+			for _, j := range []int{1, 2, 4, 8, 16} {
+				r := sim.RunE2(k, j)
+				fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\n",
+					r.EmbeddedCalls, r.QueryNeeds, r.LazyInvoked, r.EagerInvoked, r.LazyAffected, r.EagerAffected)
+			}
+		})
+}
+
+func runE3(seed int64) {
+	table("E3 — nested recovery scaling (leaf failure; forward via replica vs backward abort)",
+		"depth\tfanout\tpeers\tmode\tcommitted\tmsgs\tabort msgs\tnodes undone\tentries kept",
+		func(w *tabwriter.Writer) {
+			for _, depth := range []int{1, 2, 3, 4, 5} {
+				for _, forward := range []bool{false, true} {
+					r := sim.RunE3(depth, 2, forward, seed)
+					fmt.Fprintf(w, "%d\t%d\t%d\t%s\t%t\t%d\t%d\t%d\t%d\n",
+						r.Depth, r.Fanout, r.Peers, r.Mode, r.Committed, r.Messages, r.AbortMessages, r.NodesUndone, r.EntriesCommitted)
+				}
+			}
+		})
+}
+
+func runE4(seed int64, trials int) {
+	table("E4 — peer-independent vs peer-dependent compensation under churn (intermediates die before abort)",
+		"disconnect p\tmode\tsurvivors restored\tfully compensated",
+		func(w *tabwriter.Writer) {
+			for _, p := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+				for _, indep := range []bool{false, true} {
+					mode := "dependent"
+					if indep {
+						mode = "independent"
+					}
+					r := sim.RunE4(3, p, indep, trials, seed)
+					fmt.Fprintf(w, "%.2f\t%s\t%.2f\t%d/%d\n",
+						p, mode, r.SurvivorRestoredFrac, r.FullyCompensated, r.Trials)
+				}
+			}
+		})
+}
+
+func runE5(seed int64) {
+	table("E5 — disconnection recovery: chaining vs traditional (internal peer dies mid-txn)",
+		"depth\tmode\tcommitted\torphaned entries\tnodes undone\treused\tmsgs",
+		func(w *tabwriter.Writer) {
+			for _, depth := range []int{2, 3, 4} {
+				for _, chaining := range []bool{true, false} {
+					mode := "traditional"
+					if chaining {
+						mode = "chaining"
+					}
+					r := sim.RunE5(depth, 2, chaining, seed)
+					fmt.Fprintf(w, "%d\t%s\t%t\t%d\t%d\t%d\t%d\n",
+						r.Depth, mode, r.Committed, r.OrphanedEntries, r.NodesUndone, r.WorkReused, r.Messages)
+				}
+			}
+		})
+}
+
+func runE6(seed int64) {
+	table("E6 — recovery cost by affected nodes (forward = undo failing leaf only)",
+		"payload nodes\twork entries\tbackward undone\tforward undone\tforward redone",
+		func(w *tabwriter.Writer) {
+			for _, payload := range []int{1, 4, 16, 64} {
+				r := sim.RunE6(payload, 2, seed)
+				fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\n",
+					r.PayloadNodes, r.WorkEntries, r.BackwardUndone, r.ForwardUndone, r.ForwardRedone)
+			}
+		})
+}
+
+func runE7(seed int64, trials int) {
+	table("E7 — spheres of atomicity (all non-super peers disconnect before abort)",
+		"super ratio\tguaranteed frac\tobserved atomic frac",
+		func(w *tabwriter.Writer) {
+			for _, s := range []float64{0, 0.25, 0.5, 0.75, 0.9, 1.0} {
+				r := sim.RunE7(s, trials, seed)
+				fmt.Fprintf(w, "%.2f\t%.2f\t%.2f\n", r.SuperRatio, r.GuaranteedFrac, r.AtomicFrac)
+			}
+		})
+}

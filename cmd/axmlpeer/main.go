@@ -1,0 +1,199 @@
+// Command axmlpeer runs one AXML peer as a standalone process over TCP.
+// The peer is described by an XML configuration file:
+//
+//	<peer id="AP2" listen="127.0.0.1:7002" super="false">
+//	  <neighbor id="AP1" addr="127.0.0.1:7001"/>
+//	  <document name="Points.xml" file="points.xml"/>
+//	  <document name="Inline.xml"><Inline><x/></Inline></document>
+//	  <queryService name="getPoints" resultName="points" doc="Points.xml">
+//	    Select r/points from r in Points//row where r/@player = $name
+//	  </queryService>
+//	  <updateService name="setPoints" doc="Points.xml">
+//	    &lt;action type="replace"&gt;...&lt;/action&gt;
+//	  </updateService>
+//	  <replica service="getPoints" peer="AP5"/>
+//	</peer>
+//
+// Run several peers, then drive them with cmd/axmlquery:
+//
+//	axmlpeer -config ap2.xml &
+//	axmlquery -addr 127.0.0.1:7002 -invoke getPoints name="Roger Federer"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"axmltx/internal/core"
+	"axmltx/internal/p2p"
+	"axmltx/internal/services"
+	"axmltx/internal/wal"
+	"axmltx/internal/xmldom"
+)
+
+func main() {
+	configPath := flag.String("config", "", "peer configuration XML file (required)")
+	walPath := flag.String("wal", "", "durable operation-log file (default: in-memory)")
+	docsDir := flag.String("docs", "", "document checkpoint directory (loaded at startup, saved at shutdown)")
+	flag.Parse()
+	if *configPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*configPath, *walPath, *docsDir); err != nil {
+		log.Fatalf("axmlpeer: %v", err)
+	}
+}
+
+func run(configPath, walPath, docsDir string) error {
+	raw, err := os.ReadFile(configPath)
+	if err != nil {
+		return err
+	}
+	cfg, err := xmldom.ParseString(configPath, string(raw))
+	if err != nil {
+		return err
+	}
+	root := cfg.Root()
+	if root.Name() != "peer" {
+		return fmt.Errorf("config root must be <peer>, got <%s>", root.Name())
+	}
+	id := p2p.PeerID(root.AttrDefault("id", ""))
+	listen := root.AttrDefault("listen", "127.0.0.1:0")
+	if id == "" {
+		return fmt.Errorf("config: peer id is required")
+	}
+
+	transport, err := p2p.ListenTCP(id, listen)
+	if err != nil {
+		return err
+	}
+	defer transport.Close()
+
+	var opLog wal.Log = wal.NewMemory()
+	if walPath != "" {
+		fileLog, err := wal.OpenFile(walPath, true)
+		if err != nil {
+			return err
+		}
+		defer fileLog.Close()
+		opLog = fileLog
+	}
+	peer := core.NewPeer(transport, opLog, core.Options{
+		Super: root.AttrDefault("super", "false") == "true",
+	})
+
+	for _, el := range root.Elements() {
+		switch el.Name() {
+		case "neighbor":
+			transport.AddPeer(p2p.PeerID(el.AttrDefault("id", "")), el.AttrDefault("addr", ""))
+		case "document":
+			name := el.AttrDefault("name", "")
+			var content string
+			if file, ok := el.Attr("file"); ok {
+				b, err := os.ReadFile(file)
+				if err != nil {
+					return fmt.Errorf("document %s: %w", name, err)
+				}
+				content = string(b)
+			} else if first := el.Elements(); len(first) == 1 {
+				content = xmldom.MarshalString(first[0])
+			} else {
+				content = strings.TrimSpace(el.TextContent())
+			}
+			if err := peer.HostDocument(name, content); err != nil {
+				return fmt.Errorf("document %s: %w", name, err)
+			}
+			log.Printf("hosting document %s", name)
+		case "queryService":
+			desc := descriptorOf(el)
+			peer.HostQueryService(desc, strings.TrimSpace(el.TextContent()))
+			log.Printf("hosting query service %s over %s", desc.Name, desc.TargetDocument)
+		case "updateService":
+			desc := descriptorOf(el)
+			peer.HostUpdateService(desc, strings.TrimSpace(el.TextContent()))
+			log.Printf("hosting update service %s over %s", desc.Name, desc.TargetDocument)
+		case "replica":
+			peer.Replicas().AddService(el.AttrDefault("service", ""), p2p.PeerID(el.AttrDefault("peer", "")))
+		}
+	}
+
+	// Documents checkpointed by a previous run override the config's
+	// initial content (they carry the committed state, with node IDs).
+	if docsDir != "" {
+		if _, err := os.Stat(docsDir); err == nil {
+			loaded, err := peer.Store().LoadAll(docsDir)
+			if err != nil {
+				return fmt.Errorf("load checkpoint: %w", err)
+			}
+			for _, name := range loaded {
+				log.Printf("restored document %s from checkpoint", name)
+			}
+		}
+	}
+
+	// Restart-time recovery: compensate transactions the log shows as in
+	// flight at crash time.
+	if walPath != "" {
+		recovered, err := peer.RecoverPending()
+		if err != nil {
+			return fmt.Errorf("restart recovery: %w", err)
+		}
+		for _, txn := range recovered {
+			log.Printf("restart recovery: compensated in-flight transaction %s", txn)
+		}
+	}
+
+	log.Printf("peer %s listening on %s (super=%t)", id, transport.Addr(), peer.Super())
+
+	// Keep-alive probing of neighbors: disconnections feed the recovery
+	// protocol.
+	pinger := p2p.NewPinger(transport, 2*time.Second, 3, func(dead p2p.PeerID) {
+		log.Printf("peer %s detected down", dead)
+		peer.OnPeerDown(dead)
+	})
+	for _, el := range root.Elements() {
+		if el.Name() == "neighbor" {
+			pinger.Watch(p2p.PeerID(el.AttrDefault("id", "")))
+		}
+	}
+	pinger.Start()
+	defer pinger.Stop()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	if docsDir != "" {
+		if err := peer.Store().SaveAll(docsDir); err != nil {
+			log.Printf("checkpoint failed: %v", err)
+		} else {
+			log.Printf("documents checkpointed to %s", docsDir)
+		}
+	}
+	log.Printf("peer %s shutting down", id)
+	return nil
+}
+
+func descriptorOf(el *xmldom.Node) services.Descriptor {
+	desc := services.Descriptor{
+		Name:           el.AttrDefault("name", ""),
+		ResultName:     el.AttrDefault("resultName", ""),
+		TargetDocument: el.AttrDefault("doc", ""),
+		Doc:            el.AttrDefault("documentation", ""),
+	}
+	for _, p := range strings.Split(el.AttrDefault("params", ""), ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			required := strings.HasSuffix(p, "!")
+			desc.Params = append(desc.Params, services.ParamDef{
+				Name: strings.TrimSuffix(p, "!"), Required: required,
+			})
+		}
+	}
+	return desc
+}

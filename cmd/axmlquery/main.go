@@ -1,0 +1,102 @@
+// Command axmlquery drives a running axmlpeer over TCP: it joins the
+// network as an ephemeral client peer, opens a transaction, invokes a
+// service (or lists descriptors/documents), and commits or aborts.
+//
+//	axmlquery -addr 127.0.0.1:7002 -id AP2 -descriptors
+//	axmlquery -addr 127.0.0.1:7002 -id AP2 -invoke getPoints name="Roger Federer"
+//	axmlquery -addr 127.0.0.1:7002 -id AP2 -invoke setPoints -abort value=99
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"axmltx/internal/core"
+	"axmltx/internal/p2p"
+	"axmltx/internal/wal"
+)
+
+func main() {
+	addr := flag.String("addr", "", "target peer address (required)")
+	id := flag.String("id", "", "target peer ID (required)")
+	invoke := flag.String("invoke", "", "service to invoke")
+	descriptors := flag.Bool("descriptors", false, "list the peer's service descriptors")
+	documents := flag.Bool("documents", false, "list the peer's documents")
+	abort := flag.Bool("abort", false, "abort (compensate) instead of committing")
+	flag.Parse()
+
+	if *addr == "" || *id == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*addr, p2p.PeerID(*id), *invoke, *descriptors, *documents, *abort, flag.Args()); err != nil {
+		log.Fatalf("axmlquery: %v", err)
+	}
+}
+
+func run(addr string, target p2p.PeerID, invoke string, descriptors, documents, abort bool, args []string) error {
+	self := p2p.PeerID(fmt.Sprintf("client-%d", os.Getpid()))
+	transport, err := p2p.ListenTCP(self, "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer transport.Close()
+	transport.AddPeer(target, addr)
+
+	peer := core.NewPeer(transport, wal.NewMemory(), core.Options{})
+
+	if descriptors || documents {
+		subject := "descriptors"
+		if documents {
+			subject = "documents"
+		}
+		resp, err := transport.Request(context.Background(), target,
+			&p2p.Message{Kind: p2p.KindAdmin, Subject: subject})
+		if err != nil {
+			return err
+		}
+		if resp.Err != "" {
+			return fmt.Errorf("%s", resp.Err)
+		}
+		fmt.Println(string(resp.Payload))
+		return nil
+	}
+
+	if invoke == "" {
+		return fmt.Errorf("nothing to do: pass -invoke, -descriptors or -documents")
+	}
+	params := make(map[string]string)
+	for _, a := range args {
+		k, v, ok := strings.Cut(a, "=")
+		if !ok {
+			return fmt.Errorf("parameter %q is not key=value", a)
+		}
+		params[k] = v
+	}
+
+	txc := peer.Begin()
+	out, err := peer.Call(txc, target, invoke, params)
+	if err != nil {
+		_ = peer.Abort(txc)
+		return fmt.Errorf("invoke %s: %w (transaction aborted)", invoke, err)
+	}
+	for _, frag := range out {
+		fmt.Println(frag)
+	}
+	if abort {
+		if err := peer.Abort(txc); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "transaction aborted (effects compensated)")
+		return nil
+	}
+	if err := peer.Commit(txc); err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "transaction committed")
+	return nil
+}

@@ -1,0 +1,74 @@
+package axmltx_test
+
+import (
+	"fmt"
+
+	"axmltx"
+)
+
+// Example shows the minimal AXML transaction: a document with an embedded
+// remote call, lazily materialized inside a transaction, then committed.
+func Example() {
+	net := axmltx.NewNetwork(0)
+	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{Super: true})
+	ap2 := axmltx.NewPeer(net.Join("AP2"), axmltx.Options{})
+
+	ap2.HostService(axmltx.StaticService(
+		axmltx.Descriptor{Name: "getPoints", ResultName: "points"},
+		`<points>475</points>`))
+	if err := ap1.HostDocument("ATPList.xml", `<ATPList><player>
+	    <name><lastname>Federer</lastname></name>
+	    <axml:sc mode="replace" methodName="getPoints" serviceURL="AP2"/>
+	  </player></ATPList>`); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	tx := ap1.Begin()
+	res, err := ap1.Exec(tx, axmltx.NewQueryAction(
+		axmltx.MustQuery(`Select p/points from p in ATPList//player`)))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(res.Query.Strings())
+	fmt.Println(tx.Chain())
+	_ = ap1.Commit(tx)
+	// Output:
+	// [475]
+	// [AP1* → AP2]
+}
+
+// ExamplePeer_Abort shows dynamic compensation: aborting the transaction
+// undoes the materialization on the origin document.
+func ExamplePeer_Abort() {
+	net := axmltx.NewNetwork(0)
+	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{})
+	ap1.HostService(axmltx.StaticService(
+		axmltx.Descriptor{Name: "feed", ResultName: "v"}, `<v>42</v>`))
+	if err := ap1.HostDocument("D.xml",
+		`<D><axml:sc mode="replace" methodName="feed"/></D>`); err != nil {
+		fmt.Println(err)
+		return
+	}
+	before, _ := ap1.Store().Snapshot("D.xml")
+
+	tx := ap1.Begin()
+	if _, err := ap1.Exec(tx, axmltx.NewQueryAction(axmltx.MustQuery(`Select d/v from d in D`))); err != nil {
+		fmt.Println(err)
+		return
+	}
+	_ = ap1.Abort(tx)
+	after, _ := ap1.Store().Snapshot("D.xml")
+	fmt.Println("restored:", after.Equal(before))
+	// Output:
+	// restored: true
+}
+
+// ExampleMustQuery shows the paper's query surface syntax.
+func ExampleMustQuery() {
+	q := axmltx.MustQuery(`Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;`)
+	fmt.Println(q.String())
+	// Output:
+	// Select p/citizenship from p in ATPList//player where p/name/lastname = "Federer"
+}

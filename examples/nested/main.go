@@ -1,0 +1,132 @@
+// Nested reproduces the paper's Figure 1 through the public API: the
+// transaction TA spans six peers via AXML composition (each intermediate
+// document embeds calls to its children), AP5 fails while processing S5,
+// and the nested recovery protocol runs — once aborting the whole
+// transaction, once recovering forward on a replica so that "only as much
+// as required" is undone.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+
+	"axmltx"
+)
+
+type cluster struct {
+	net   *axmltx.Network
+	peers map[axmltx.PeerID]*axmltx.Peer
+}
+
+func (c *cluster) peer(id axmltx.PeerID, opts axmltx.Options) *axmltx.Peer {
+	p := axmltx.NewPeer(c.net.Join(id), opts)
+	c.peers[id] = p
+	return p
+}
+
+// leaf hosts a work document and an update service writing into it.
+func (c *cluster) leaf(id axmltx.PeerID, svc, doc, root string) {
+	p := c.peer(id, axmltx.Options{})
+	must(p.HostDocument(doc, fmt.Sprintf("<%s><log/></%s>", root, root)))
+	p.HostUpdateService(axmltx.Descriptor{Name: svc, ResultName: "updateResult", TargetDocument: doc},
+		fmt.Sprintf(`<action type="insert"><data><entry svc=%q/></data><location>Select l from l in %s/log;</location></action>`, svc, root))
+}
+
+// composite hosts a composition document embedding calls and a query
+// service that drives them by lazy materialization.
+func (c *cluster) composite(id axmltx.PeerID, svc, root string, scXML string, opts axmltx.Options) *axmltx.Peer {
+	p, ok := c.peers[id]
+	if !ok {
+		p = c.peer(id, opts)
+	}
+	must(p.HostDocument(root+".xml", fmt.Sprintf("<%s>%s</%s>", root, scXML, root)))
+	p.HostQueryService(axmltx.Descriptor{Name: svc, ResultName: "updateResult", TargetDocument: root + ".xml"},
+		fmt.Sprintf("Select d/updateResult from d in %s", root))
+	return p
+}
+
+func build(forward bool) (*cluster, *axmltx.Peer, *atomic.Bool) {
+	c := &cluster{net: axmltx.NewNetwork(0), peers: map[axmltx.PeerID]*axmltx.Peer{}}
+	c.leaf("AP2", "S2", "D2.xml", "D2")
+	c.leaf("AP4", "S4", "D4.xml", "D4")
+	c.leaf("AP6", "S6", "D6.xml", "D6")
+
+	// AP5's S5 invokes S6 and then faults.
+	ap5 := c.composite("AP5", "S5", "D5", `<axml:sc mode="replace" methodName="S6" serviceURL="AP6"/>`, axmltx.Options{})
+	fail := &atomic.Bool{}
+	fail.Store(true)
+	inner, _ := ap5.Registry().Get("S5")
+	ap5.Registry().Register(axmltx.NewFuncService(inner.Descriptor(),
+		func(ctx context.Context, params map[string]string) ([]string, error) {
+			env, _ := axmltx.EnvFrom(ctx)
+			out, err := inner.Invoke(ctx, &axmltx.Request{Txn: env.Txn.ID, Params: params})
+			if err != nil {
+				return nil, err
+			}
+			if fail.Load() {
+				return nil, &axmltx.Fault{Name: "F5", Msg: "AP5 fails while processing S5"}
+			}
+			return out, nil
+		}))
+
+	handler := ""
+	if forward {
+		handler = `<axml:catch faultName="F5"><axml:retry times="1"><axml:sc methodName="S5" serviceURL="AP5b"/></axml:retry></axml:catch>`
+		c.composite("AP5b", "S5", "D5", `<axml:sc mode="replace" methodName="S6" serviceURL="AP6"/>`, axmltx.Options{})
+	}
+	c.composite("AP3", "S3", "D3", fmt.Sprintf(
+		`<axml:sc mode="replace" methodName="S4" serviceURL="AP4"/><axml:sc mode="replace" methodName="S5" serviceURL="AP5">%s</axml:sc>`, handler),
+		axmltx.Options{})
+	origin := c.composite("AP1", "S1", "D1",
+		`<axml:sc mode="replace" methodName="S2" serviceURL="AP2"/><axml:sc mode="replace" methodName="S3" serviceURL="AP3"/>`,
+		axmltx.Options{Super: true})
+	return c, origin, fail
+}
+
+func entries(c *cluster, id axmltx.PeerID, doc string) int {
+	d, ok := c.peers[id].Store().Snapshot(doc)
+	if !ok {
+		return 0
+	}
+	n := 0
+	q := axmltx.MustQuery(fmt.Sprintf("Select l/entry from l in %s//log", d.Root().Name()))
+	res, err := c.peers[id].Store().Evaluator().Eval(d, q)
+	if err == nil {
+		n = len(res.Items)
+	}
+	return n
+}
+
+func run(forward bool) {
+	c, origin, _ := build(forward)
+	tx := origin.Begin()
+	_, err := origin.Exec(tx, axmltx.NewQueryAction(axmltx.MustQuery(`Select d/updateResult from d in D1`)))
+	if err != nil {
+		fmt.Printf("  TA failed: %v\n", err)
+		must(origin.Abort(tx))
+		fmt.Println("  backward recovery: whole transaction aborted")
+	} else {
+		fmt.Printf("  chain: %s\n", tx.Chain())
+		must(origin.Commit(tx))
+		fmt.Println("  forward recovery at AP3 absorbed the fault; TA committed")
+	}
+	for _, id := range []axmltx.PeerID{"AP2", "AP4", "AP6"} {
+		doc := fmt.Sprintf("D%c.xml", id[2])
+		fmt.Printf("  %s entries: %d\n", id, entries(c, id, doc))
+	}
+}
+
+func main() {
+	fmt.Println("### Figure 1 — no fault handlers: backward recovery")
+	run(false)
+	fmt.Println("\n### Figure 1 — catch F5 + retry on replica AP5b: forward recovery")
+	run(true)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+// Periodic demonstrates the frequency attribute of embedded service calls:
+// an ATP live-score document embeds a call to a scores feed with
+// frequency="30ms", and the peer's scheduler refreshes it in short
+// transactions of its own. When the feed faults, that refresh alone is
+// compensated — the document never exposes a half-applied refresh.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"axmltx"
+)
+
+func main() {
+	net := axmltx.NewNetwork(0)
+	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{})
+	feed := axmltx.NewPeer(net.Join("FeedCo"), axmltx.Options{})
+
+	var seq atomic.Int32
+	var failing atomic.Bool
+	feed.HostService(axmltx.NewFuncService(
+		axmltx.Descriptor{Name: "liveScores", ResultName: "score"},
+		func(ctx context.Context, params map[string]string) ([]string, error) {
+			if failing.Load() {
+				return nil, &axmltx.Fault{Name: "feed-down"}
+			}
+			n := seq.Add(1)
+			return []string{fmt.Sprintf(`<score set="%d">Federer %d - %d Nadal</score>`, n, 6, n)}, nil
+		}))
+
+	must(ap1.HostDocument("Live.xml", `<Live>
+	  <match court="Centre">
+	    <axml:sc mode="replace" methodName="liveScores" serviceURL="FeedCo" frequency="30ms"/>
+	  </match>
+	</Live>`))
+
+	s := ap1.StartScheduler(10 * time.Millisecond)
+	defer s.Stop()
+
+	show := func(label string) {
+		doc, _ := ap1.Store().Snapshot("Live.xml")
+		q := axmltx.MustQuery(`Select m/score from m in Live//match`)
+		ev := ap1.Store().Evaluator()
+		res, err := ev.Eval(doc, q)
+		must(err)
+		fmt.Printf("%-28s %v (refreshes=%d, failed=%d)\n", label, res.Strings(), s.Runs(), s.Errors())
+	}
+
+	time.Sleep(80 * time.Millisecond)
+	show("after ~2 refreshes:")
+
+	failing.Store(true)
+	time.Sleep(80 * time.Millisecond)
+	show("while the feed is down:")
+
+	failing.Store(false)
+	time.Sleep(80 * time.Millisecond)
+	show("after the feed recovered:")
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

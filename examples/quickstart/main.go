@@ -1,0 +1,64 @@
+// Quickstart: two peers, one document with an embedded service call, one
+// transaction that materializes the call — committed once, aborted once to
+// show dynamic compensation restoring the document.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"axmltx"
+)
+
+func main() {
+	net := axmltx.NewNetwork(0)
+	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{Super: true})
+	ap2 := axmltx.NewPeer(net.Join("AP2"), axmltx.Options{})
+
+	// AP2 hosts the points table and exposes it as the getPoints service.
+	must(ap2.HostDocument("Points.xml", `<Points>
+	  <row player="Roger Federer"><points>475</points></row>
+	</Points>`))
+	ap2.HostQueryService(axmltx.Descriptor{
+		Name: "getPoints", ResultName: "points", TargetDocument: "Points.xml",
+		Params: []axmltx.ParamDef{{Name: "name", Required: true}},
+	}, `Select r/points from r in Points//row where r/@player = $name`)
+
+	// AP1 hosts an AXML document embedding a call to getPoints at AP2.
+	must(ap1.HostDocument("ATPList.xml", `<ATPList>
+	  <player rank="1">
+	    <name><lastname>Federer</lastname></name>
+	    <axml:sc mode="replace" methodName="getPoints" serviceURL="AP2">
+	      <axml:params><axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param></axml:params>
+	    </axml:sc>
+	  </player>
+	</ATPList>`))
+
+	// A query needing p/points lazily materializes the embedded call:
+	// AP1 invokes AP2 within the transaction.
+	q := axmltx.MustQuery(`Select p/points from p in ATPList//player where p/name/lastname = Federer`)
+
+	tx := ap1.Begin()
+	res, err := ap1.Exec(tx, axmltx.NewQueryAction(q))
+	must(err)
+	fmt.Printf("materialized result: %v\n", res.Query.Strings())
+	fmt.Printf("invocation chain:    %s\n", tx.Chain())
+	must(ap1.Commit(tx))
+	fmt.Println("committed: the materialized <points> stays in ATPList.xml")
+
+	// Run it again, but abort: dynamic compensation removes exactly the
+	// nodes this transaction materialized.
+	before, _ := ap1.Store().Snapshot("ATPList.xml")
+	tx2 := ap1.Begin()
+	_, err = ap1.Exec(tx2, axmltx.NewQueryAction(q))
+	must(err)
+	must(ap1.Abort(tx2))
+	after, _ := ap1.Store().Snapshot("ATPList.xml")
+	fmt.Printf("aborted: document restored = %t\n", after.Equal(before))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Rankings walks through §3.1 of the paper verbatim: the ATPList.xml
+// document with the getPoints (replace) and getGrandSlamsWonbyYear (merge)
+// embedded calls, Query A and Query B with lazy evaluation, the delete /
+// replace operations, and the dynamically constructed compensating
+// operations for each — printed in the paper's <action> syntax.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"axmltx"
+	"axmltx/internal/core"
+	"axmltx/internal/xmldom"
+)
+
+// atpList is the paper's §3.1 listing.
+const atpList = `<ATPList date="18042005">
+  <player rank="1">
+    <name><firstname>Roger</firstname><lastname>Federer</lastname></name>
+    <citizenship>Swiss</citizenship>
+    <axml:sc mode="replace" serviceNameSpace="getPoints" serviceURL="AP2" methodName="getPoints">
+      <axml:params><axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param></axml:params>
+      <points>475</points>
+    </axml:sc>
+    <axml:sc mode="merge" serviceNameSpace="getGrandSlamsWonbyYear" serviceURL="AP2" methodName="getGrandSlamsWonbyYear">
+      <axml:params>
+        <axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param>
+        <axml:param name="year"><axml:value>2005</axml:value></axml:param>
+      </axml:params>
+      <grandslamswon year="2003">A, W</grandslamswon>
+      <grandslamswon year="2004">A, U</grandslamswon>
+    </axml:sc>
+  </player>
+  <player rank="2">
+    <name><firstname>Rafael</firstname><lastname>Nadal</lastname></name>
+    <citizenship>Spanish</citizenship>
+  </player>
+</ATPList>`
+
+func main() {
+	net := axmltx.NewNetwork(0)
+	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{Super: true})
+	ap2 := axmltx.NewPeer(net.Join("AP2"), axmltx.Options{})
+	must(ap1.HostDocument("ATPList.xml", atpList))
+
+	// AP2 provides the two Web services of the example.
+	ap2.HostService(axmltx.StaticService(axmltx.Descriptor{
+		Name: "getPoints", ResultName: "points",
+	}, `<points>890</points>`))
+	ap2.HostService(axmltx.StaticService(axmltx.Descriptor{
+		Name: "getGrandSlamsWonbyYear", ResultName: "grandslamswon",
+	}, `<grandslamswon year="2005">A, F</grandslamswon>`))
+
+	fmt.Println("### Query A: Select p/citizenship, p/grandslamswon ... (lazy)")
+	txA := ap1.Begin()
+	qa := axmltx.MustQuery(`Select p/citizenship, p/grandslamswon from p in ATPList//player where p/name/lastname = Federer`)
+	resA, err := ap1.Exec(txA, axmltx.NewQueryAction(qa))
+	must(err)
+	fmt.Printf("  result: %v\n", resA.Query.Strings())
+	fmt.Printf("  materialized: %v (getPoints NOT invoked — lazy evaluation)\n", resA.Materialized)
+	fmt.Println("  dynamically constructed compensation for Query A:")
+	printCompensation(ap1, txA.ID)
+	must(ap1.Abort(txA))
+	fmt.Println("  aborted; the 2005 merge result was deleted again")
+
+	fmt.Println("\n### Query B: Select p/citizenship, p/points ... (lazy)")
+	txB := ap1.Begin()
+	qb := axmltx.MustQuery(`Select p/citizenship, p/points from p in ATPList//player where p/name/lastname = Federer`)
+	resB, err := ap1.Exec(txB, axmltx.NewQueryAction(qb))
+	must(err)
+	fmt.Printf("  result: %v\n", resB.Query.Strings())
+	fmt.Printf("  materialized: %v (replace mode: 475 -> 890)\n", resB.Materialized)
+	fmt.Println("  dynamically constructed compensation for Query B:")
+	printCompensation(ap1, txB.ID)
+	must(ap1.Abort(txB))
+	verify(ap1)
+
+	fmt.Println("\n### Delete operation (paper's example) and its compensation")
+	txD := ap1.Begin()
+	del := axmltx.NewDeleteAction(axmltx.MustQuery(
+		`Select p/citizenship from p in ATPList//player where p/name/lastname = Federer`))
+	resD, err := ap1.Exec(txD, del)
+	must(err)
+	fmt.Printf("  deleted: %v\n", resD.DeletedXML)
+	printCompensation(ap1, txD.ID)
+	must(ap1.Abort(txD))
+	verify(ap1)
+
+	fmt.Println("\n### Replace operation (delete + insert) and its compensation")
+	txR := ap1.Begin()
+	rep := axmltx.NewReplaceAction(axmltx.MustQuery(
+		`Select p/citizenship from p in ATPList//player where p/name/lastname = Nadal`),
+		`<citizenship>USA</citizenship>`)
+	_, err = ap1.Exec(txR, rep)
+	must(err)
+	printCompensation(ap1, txR.ID)
+	must(ap1.Abort(txR))
+	verify(ap1)
+}
+
+// printCompensation shows the compensating operations the engine would run,
+// in the paper's <action> wire syntax.
+func printCompensation(p *axmltx.Peer, txn string) {
+	for _, a := range core.BuildCompensation(p.Store().Log(), txn) {
+		fmt.Printf("    %s\n", a.XML())
+	}
+}
+
+var initial = func() *xmldom.Document { return xmldom.MustParse("ATPList.xml", atpList) }()
+
+func verify(p *axmltx.Peer) {
+	live, _ := p.Store().Snapshot("ATPList.xml")
+	fmt.Printf("  document restored to the §3.1 listing: %t\n", live.Equal(initial))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

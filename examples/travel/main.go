@@ -1,0 +1,104 @@
+// Travel is the classic compensation motivation ("the compensation of Book
+// Hotel is Cancel Hotel Booking") run on the AXML engine: a trip is booked
+// as one distributed transaction across a flight peer, a hotel peer and a
+// car-rental peer. When the car rental faults, the nested recovery
+// protocol compensates the bookings already made — first peer-dependently
+// (Abort messages), then peer-independently (the origin executes shipped
+// compensating-service definitions, even though the hotel peer has
+// meanwhile disconnected and a replica takes over).
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"axmltx"
+)
+
+func bookingPeer(net *axmltx.Network, id axmltx.PeerID, kind string, independent bool) *axmltx.Peer {
+	p := axmltx.NewPeer(net.Join(id), axmltx.Options{PeerIndependent: independent})
+	doc := kind + ".xml"
+	must(p.HostDocument(doc, fmt.Sprintf("<%s><bookings/></%s>", kind, kind)))
+	p.HostUpdateService(axmltx.Descriptor{
+		Name: "book" + kind, ResultName: "updateResult", TargetDocument: doc,
+		Params: []axmltx.ParamDef{{Name: "customer", Required: true}},
+	}, fmt.Sprintf(`<action type="insert"><data><booking customer="$customer"/></data><location>Select b from b in %s/bookings;</location></action>`, kind))
+	return p
+}
+
+func bookings(p *axmltx.Peer, kind string) int {
+	doc, ok := p.Store().Snapshot(kind + ".xml")
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, b := range doc.Root().Children() {
+		if b.Name() == "bookings" {
+			n = len(b.Elements())
+		}
+	}
+	return n
+}
+
+func run(independent bool, killHotel bool) {
+	net := axmltx.NewNetwork(0)
+	agency := axmltx.NewPeer(net.Join("Agency"), axmltx.Options{Super: true, PeerIndependent: independent})
+	flight := bookingPeer(net, "FlightCo", "Flight", independent)
+	hotel := bookingPeer(net, "HotelCo", "Hotel", independent)
+	hotelReplica := bookingPeer(net, "HotelCo2", "Hotel", independent)
+	_ = hotelReplica
+	// The car-rental service always faults (no cars left).
+	car := axmltx.NewPeer(net.Join("CarCo"), axmltx.Options{PeerIndependent: independent})
+	car.HostService(axmltx.NewFuncService(axmltx.Descriptor{Name: "bookCar", ResultName: "updateResult"},
+		func(ctx context.Context, params map[string]string) ([]string, error) {
+			return nil, &axmltx.Fault{Name: "no-cars", Msg: "fleet exhausted"}
+		}))
+	// The agency knows the hotel document is replicated at HotelCo2.
+	agency.Replicas().AddDocument("Hotel.xml", "HotelCo2")
+
+	tx := agency.Begin()
+	params := map[string]string{"customer": "dbiswas"}
+	_, err := agency.Call(tx, "FlightCo", "bookFlight", params)
+	must(err)
+	_, err = agency.Call(tx, "HotelCo", "bookHotel", params)
+	must(err)
+	fmt.Printf("  flight booked (%d), hotel booked (%d)\n", bookings(flight, "Flight"), bookings(hotel, "Hotel"))
+
+	// HotelCo synchronizes its replica [Abiteboul et al.]: an
+	// ID-preserving copy, so compensating operations address the same
+	// nodes on either holder.
+	if snap, ok := hotel.Store().Snapshot("Hotel.xml"); ok {
+		hotelReplica.Store().Add(snap)
+	}
+
+	if killHotel {
+		net.Disconnect("HotelCo")
+		fmt.Println("  ... and HotelCo just disconnected!")
+	}
+
+	if _, err := agency.Call(tx, "CarCo", "bookCar", params); err != nil {
+		fmt.Printf("  car rental failed: %v\n", err)
+		must(agency.Abort(tx))
+		fmt.Printf("  aborted: flight bookings=%d hotel bookings=%d (original peer), %d (replica)\n",
+			bookings(flight, "Flight"), bookings(hotel, "Hotel"), bookings(hotelReplica, "Hotel"))
+	}
+}
+
+func main() {
+	fmt.Println("### Peer-dependent recovery (Abort messages cancel the bookings)")
+	run(false, false)
+
+	fmt.Println("\n### Peer-independent recovery (compensating-service definitions)")
+	run(true, false)
+
+	fmt.Println("\n### Peer-independent recovery with the hotel peer disconnected:")
+	fmt.Println("    the shipped definition runs on the Hotel.xml replica holder instead")
+	run(true, true)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

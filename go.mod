@@ -1,0 +1,3 @@
+module axmltx
+
+go 1.22

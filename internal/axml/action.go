@@ -1,0 +1,256 @@
+package axml
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"axmltx/internal/query"
+	"axmltx/internal/xmldom"
+)
+
+// ActionType enumerates the four AXML operations (§3).
+type ActionType uint8
+
+const (
+	// ActionQuery evaluates a select-from-where query; under lazy
+	// evaluation it may materialize embedded service calls and therefore
+	// modify the document.
+	ActionQuery ActionType = iota + 1
+	// ActionInsert inserts the <data> fragment under each node located by
+	// the <location> query and returns the new nodes' unique IDs.
+	ActionInsert
+	// ActionDelete removes the located nodes.
+	ActionDelete
+	// ActionReplace is implemented as delete followed by insert at the same
+	// position, as the paper prescribes.
+	ActionReplace
+)
+
+func (t ActionType) String() string {
+	switch t {
+	case ActionQuery:
+		return "query"
+	case ActionInsert:
+		return "insert"
+	case ActionDelete:
+		return "delete"
+	case ActionReplace:
+		return "replace"
+	default:
+		return fmt.Sprintf("ActionType(%d)", uint8(t))
+	}
+}
+
+// ParseActionType maps the type attribute of an <action> element.
+func ParseActionType(s string) (ActionType, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "query":
+		return ActionQuery, nil
+	case "insert":
+		return ActionInsert, nil
+	case "delete":
+		return ActionDelete, nil
+	case "replace":
+		return ActionReplace, nil
+	default:
+		return 0, fmt.Errorf("axml: unknown action type %q", s)
+	}
+}
+
+// Action is one AXML operation. Target nodes come either from Location (the
+// usual path) or, for compensating operations constructed from the log, from
+// the explicit ID fields — a compensating delete addresses "the node having
+// the corresponding ID" directly, and a compensating insert restores a
+// subtree at a recorded parent and position.
+type Action struct {
+	Type ActionType
+	// Data is the XML fragment of insert/replace operations.
+	Data string
+	// Location selects target nodes; nil when ID addressing is used.
+	Location *query.Query
+	// Doc names the target document when Location is nil (Location carries
+	// the document name itself otherwise).
+	Doc string
+	// TargetID addresses the node to delete/replace directly by ID.
+	TargetID xmldom.NodeID
+	// ParentID addresses the insert parent directly by ID.
+	ParentID xmldom.NodeID
+	// Pos is the insert position under the parent; -1 appends.
+	Pos int
+	// RestoreID, on an insert, asks the engine to re-attach the detached
+	// subtree that still carries this ID (a before-image kept by a delete)
+	// instead of parsing Data into fresh nodes. Compensating inserts set it
+	// so that node identity survives rollback; when the subtree is not
+	// available (e.g. the action runs on a different peer), Data is used.
+	RestoreID xmldom.NodeID
+}
+
+// NewQuery returns a query action.
+func NewQuery(q *query.Query) *Action { return &Action{Type: ActionQuery, Location: q, Pos: -1} }
+
+// NewInsert returns an insert action placing data under each located node.
+func NewInsert(loc *query.Query, data string) *Action {
+	return &Action{Type: ActionInsert, Location: loc, Data: data, Pos: -1}
+}
+
+// NewDelete returns a delete action for the located nodes.
+func NewDelete(loc *query.Query) *Action { return &Action{Type: ActionDelete, Location: loc, Pos: -1} }
+
+// NewReplace returns a replace action substituting data for each located
+// node.
+func NewReplace(loc *query.Query, data string) *Action {
+	return &Action{Type: ActionReplace, Location: loc, Data: data, Pos: -1}
+}
+
+// Validate checks structural well-formedness of the action.
+func (a *Action) Validate() error {
+	switch a.Type {
+	case ActionQuery:
+		if a.Location == nil {
+			return fmt.Errorf("axml: query action requires a location")
+		}
+	case ActionInsert:
+		if a.Data == "" {
+			return fmt.Errorf("axml: insert action requires data")
+		}
+		if a.Location == nil && (a.Doc == "" || a.ParentID == 0) {
+			return fmt.Errorf("axml: insert action requires a location or doc+parent ID")
+		}
+	case ActionDelete:
+		if a.Location == nil && (a.Doc == "" || a.TargetID == 0) {
+			return fmt.Errorf("axml: delete action requires a location or doc+target ID")
+		}
+	case ActionReplace:
+		if a.Data == "" {
+			return fmt.Errorf("axml: replace action requires data")
+		}
+		if a.Location == nil && (a.Doc == "" || a.TargetID == 0) {
+			return fmt.Errorf("axml: replace action requires a location or doc+target ID")
+		}
+	default:
+		return fmt.Errorf("axml: invalid action type %d", a.Type)
+	}
+	return nil
+}
+
+// DocName returns the document the action targets.
+func (a *Action) DocName() string {
+	if a.Location != nil {
+		return a.Location.Doc
+	}
+	return a.Doc
+}
+
+// XML serializes the action to its wire form:
+//
+//	<action type="delete" [doc=".." targetID=".." parentID=".." pos=".."]>
+//	  <data>...</data>
+//	  <location>Select ...;</location>
+//	</action>
+//
+// ID addressing is an extension over the paper's surface syntax, needed to
+// ship compensating operations between peers (peer-independent recovery).
+func (a *Action) XML() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<action type=%q`, a.Type.String())
+	if a.Doc != "" {
+		fmt.Fprintf(&b, ` doc=%q`, a.Doc)
+	}
+	if a.TargetID != 0 {
+		fmt.Fprintf(&b, ` targetID="%d"`, a.TargetID)
+	}
+	if a.ParentID != 0 {
+		fmt.Fprintf(&b, ` parentID="%d"`, a.ParentID)
+	}
+	if a.Pos >= 0 {
+		fmt.Fprintf(&b, ` pos="%d"`, a.Pos)
+	}
+	if a.RestoreID != 0 {
+		fmt.Fprintf(&b, ` restoreID="%d"`, a.RestoreID)
+	}
+	b.WriteString(">")
+	if a.Data != "" {
+		b.WriteString("<data>")
+		b.WriteString(a.Data)
+		b.WriteString("</data>")
+	}
+	if a.Location != nil {
+		b.WriteString("<location>")
+		b.WriteString(escapeLocation(a.Location.String()))
+		b.WriteString(";</location>")
+	}
+	b.WriteString("</action>")
+	return b.String()
+}
+
+var locEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+func escapeLocation(s string) string { return locEscaper.Replace(s) }
+
+// ParseAction parses the wire form produced by XML.
+func ParseAction(src string) (*Action, error) {
+	doc, err := xmldom.ParseString("action", src)
+	if err != nil {
+		return nil, fmt.Errorf("axml: parse action: %w", err)
+	}
+	return ActionFromNode(doc.Root())
+}
+
+// ActionFromNode builds an Action from a parsed <action> element.
+func ActionFromNode(root *xmldom.Node) (*Action, error) {
+	if root.Name() != "action" {
+		return nil, fmt.Errorf("axml: expected <action>, got <%s>", root.Name())
+	}
+	t, err := ParseActionType(root.AttrDefault("type", ""))
+	if err != nil {
+		return nil, err
+	}
+	a := &Action{Type: t, Pos: -1, Doc: root.AttrDefault("doc", "")}
+	if v, ok := root.Attr("targetID"); ok {
+		id, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("axml: bad targetID %q", v)
+		}
+		a.TargetID = xmldom.NodeID(id)
+	}
+	if v, ok := root.Attr("parentID"); ok {
+		id, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("axml: bad parentID %q", v)
+		}
+		a.ParentID = xmldom.NodeID(id)
+	}
+	if v, ok := root.Attr("pos"); ok {
+		pos, err := strconv.Atoi(v)
+		if err != nil || pos < 0 {
+			return nil, fmt.Errorf("axml: bad pos %q", v)
+		}
+		a.Pos = pos
+	}
+	if v, ok := root.Attr("restoreID"); ok {
+		id, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("axml: bad restoreID %q", v)
+		}
+		a.RestoreID = xmldom.NodeID(id)
+	}
+	if dataEl := root.FirstElement("data"); dataEl != nil {
+		var parts []string
+		for _, c := range dataEl.Children() {
+			parts = append(parts, xmldom.MarshalString(c))
+		}
+		a.Data = strings.TrimSpace(strings.Join(parts, ""))
+	}
+	if locEl := root.FirstElement("location"); locEl != nil {
+		q, err := query.Parse(query.CleanSource(locEl.TextContent()))
+		if err != nil {
+			return nil, fmt.Errorf("axml: parse location: %w", err)
+		}
+		a.Location = q
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

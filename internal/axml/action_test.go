@@ -1,0 +1,147 @@
+package axml
+
+import (
+	"strings"
+	"testing"
+
+	"axmltx/internal/query"
+)
+
+func TestActionXMLRoundTrip(t *testing.T) {
+	loc := query.MustParse(`Select p/citizenship from p in ATPList//player where p/name/lastname = Federer`)
+	cases := []*Action{
+		NewDelete(loc),
+		NewInsert(loc, `<citizenship>Swiss</citizenship>`),
+		NewReplace(loc, `<citizenship>USA</citizenship>`),
+		NewQuery(loc),
+		{Type: ActionDelete, Doc: "ATPList.xml", TargetID: 42, Pos: -1},
+		{Type: ActionInsert, Doc: "ATPList.xml", ParentID: 7, Pos: 2, Data: "<x/>", RestoreID: 9},
+	}
+	for _, a := range cases {
+		wire := a.XML()
+		back, err := ParseAction(wire)
+		if err != nil {
+			t.Fatalf("ParseAction(%s): %v", wire, err)
+		}
+		if back.Type != a.Type || back.Data != a.Data || back.TargetID != a.TargetID ||
+			back.ParentID != a.ParentID || back.RestoreID != a.RestoreID {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", a, back)
+		}
+		if (a.Location == nil) != (back.Location == nil) {
+			t.Fatalf("location presence mismatch for %s", wire)
+		}
+		if a.Location != nil && back.Location.String() != a.Location.String() {
+			t.Fatalf("location mismatch: %q vs %q", a.Location.String(), back.Location.String())
+		}
+		if a.Pos >= 0 && back.Pos != a.Pos {
+			t.Fatalf("pos mismatch: %d vs %d", a.Pos, back.Pos)
+		}
+	}
+}
+
+func TestActionXMLMatchesPaperShape(t *testing.T) {
+	loc := query.MustParse(`Select p/citizenship from p in ATPList//player where p/name/lastname = Federer`)
+	wire := NewDelete(loc).XML()
+	for _, want := range []string{`<action type="delete"`, "<location>", "Select p/citizenship"} {
+		if !strings.Contains(wire, want) {
+			t.Fatalf("wire %q missing %q", wire, want)
+		}
+	}
+}
+
+func TestParseActionPaperExample(t *testing.T) {
+	// Verbatim shape from §3.1 (compensating insert for the delete).
+	src := `<action type="insert">
+	  <data><citizenship>Swiss</citizenship></data>
+	  <location>
+	    Select p/citizenship/.. from p in ATPList//player where p/name/lastname = Federer;
+	  </location>
+	</action>`
+	a, err := ParseAction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Type != ActionInsert {
+		t.Fatalf("type = %v", a.Type)
+	}
+	if a.Data != `<citizenship>Swiss</citizenship>` {
+		t.Fatalf("data = %q", a.Data)
+	}
+	sel := a.Location.Selects[0]
+	if sel[len(sel)-1].Axis != query.AxisParent {
+		t.Fatal("location should end with parent step")
+	}
+}
+
+func TestActionValidate(t *testing.T) {
+	loc := query.MustParse(`Select p from p in D//x`)
+	bad := []*Action{
+		{Type: ActionQuery},
+		{Type: ActionInsert, Location: loc},   // no data
+		{Type: ActionInsert, Data: "<x/>"},    // no location/IDs
+		{Type: ActionDelete},                  // no location/IDs
+		{Type: ActionReplace, Location: loc},  // no data
+		{Type: ActionDelete, TargetID: 5},     // ID without doc
+		{Type: ActionType(99), Location: loc}, // bad type
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("case %d: Validate() accepted %+v", i, a)
+		}
+	}
+	good := []*Action{
+		NewQuery(loc),
+		NewInsert(loc, "<x/>"),
+		{Type: ActionDelete, Doc: "d", TargetID: 5},
+		{Type: ActionInsert, Doc: "d", ParentID: 3, Data: "<x/>"},
+		{Type: ActionReplace, Doc: "d", TargetID: 5, Data: "<x/>"},
+	}
+	for i, a := range good {
+		if err := a.Validate(); err != nil {
+			t.Errorf("case %d: Validate() rejected: %v", i, err)
+		}
+	}
+}
+
+func TestParseActionErrors(t *testing.T) {
+	bad := []string{
+		`not xml`,
+		`<wrong/>`,
+		`<action type="nonsense"/>`,
+		`<action type="delete" targetID="abc"/>`,
+		`<action type="insert" parentID="-1"/>`,
+		`<action type="delete" doc="d" targetID="1" pos="x"/>`,
+		`<action type="query"><location>garbage !!</location></action>`,
+		`<action type="insert" doc="d" parentID="3" restoreID="zz"><data><x/></data></action>`,
+	}
+	for _, src := range bad {
+		if _, err := ParseAction(src); err == nil {
+			t.Errorf("ParseAction(%q) succeeded", src)
+		}
+	}
+}
+
+func TestParseActionTypeValues(t *testing.T) {
+	for s, want := range map[string]ActionType{
+		"query": ActionQuery, "INSERT": ActionInsert, " delete ": ActionDelete, "Replace": ActionReplace,
+	} {
+		got, err := ParseActionType(s)
+		if err != nil || got != want {
+			t.Errorf("ParseActionType(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseActionType("upsert"); err == nil {
+		t.Error("upsert accepted")
+	}
+}
+
+func TestActionDataWithMultipleSiblings(t *testing.T) {
+	src := `<action type="insert" doc="d" parentID="1"><data><a/><b/></data></action>`
+	a, err := ParseAction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Data != "<a/><b/>" {
+		t.Fatalf("data = %q", a.Data)
+	}
+}

@@ -1,0 +1,33 @@
+package axml
+
+import "testing"
+
+// FuzzParseAction guards the action wire-format parser: no panics, and
+// every accepted action re-serializes to a parseable equivalent.
+func FuzzParseAction(f *testing.F) {
+	for _, seed := range []string{
+		`<action type="delete"><location>Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;</location></action>`,
+		`<action type="insert"><data><citizenship>Swiss</citizenship></data><location>Select p from p in A//b;</location></action>`,
+		`<action type="insert" doc="D.xml" parentID="7" pos="2" restoreID="9"><data><x/></data></action>`,
+		`<action type="query"><location>Select p from p in D</location></action>`,
+		`<action type="replace" doc="d" targetID="5"><data><x/></data></action>`,
+		`<action/>`,
+		`<action type="delete" targetID="-1"/>`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := ParseAction(src)
+		if err != nil {
+			return
+		}
+		wire := a.XML()
+		b, err := ParseAction(wire)
+		if err != nil {
+			t.Fatalf("re-parse of XML() failed: %q -> %q: %v", src, wire, err)
+		}
+		if b.Type != a.Type || b.TargetID != a.TargetID || b.ParentID != a.ParentID {
+			t.Fatalf("wire round trip drifted: %+v vs %+v", a, b)
+		}
+	})
+}

@@ -1,0 +1,248 @@
+package axml
+
+import (
+	"errors"
+	"fmt"
+
+	"axmltx/internal/query"
+	"axmltx/internal/wal"
+	"axmltx/internal/xmldom"
+)
+
+// Materializer supplies service invocation to the document engine. The
+// engine stays transport-agnostic: the peer layer implements Materializer by
+// invoking local services directly and remote ones over the network, inside
+// the calling transaction.
+type Materializer interface {
+	// Invoke executes the service named by the call with resolved
+	// parameters, within transaction txn, and returns the result as XML
+	// fragments (zero or more sibling elements). Errors become faults
+	// handled by the recovery protocol.
+	Invoke(txn string, call *ServiceCall, params []Param) ([]string, error)
+	// ResultName reports the element name the named service produces, or
+	// "" when unknown. Lazy evaluation uses it to decide whether a query
+	// needs a call that has no previous results to reveal its shape.
+	ResultName(service string) string
+}
+
+// ErrNoMaterializer is returned when evaluation needs a service call
+// materialized but no Materializer was supplied.
+var ErrNoMaterializer = errors.New("axml: query requires materialization but no materializer is configured")
+
+// maxMaterializeRounds bounds fixpoint iteration in one evaluation:
+// results may themselves be service calls, and a pathological service that
+// keeps returning new calls must not loop the engine forever.
+const maxMaterializeRounds = 8
+
+// materializeForQuery performs the materialization phase of query
+// evaluation (§3.1). Under Lazy, only service calls whose (known or
+// declared) result names intersect the names the query references are
+// invoked; under Eager, every top-level call is. The set of calls actually
+// materialized is determined at run time — which is precisely why the
+// paper's compensation must be constructed dynamically.
+func (s *Store) materializeForQuery(txn string, doc *xmldom.Document, q *query.Query, mat Materializer, mode EvalMode, res *Result) error {
+	needed := make(map[string]bool)
+	for _, n := range q.Names() {
+		needed[n] = true
+	}
+	visited := make(map[xmldom.NodeID]bool)
+	for round := 0; round < maxMaterializeRounds; round++ {
+		var due []*ServiceCall
+		for _, sc := range TopLevelServiceCalls(doc) {
+			if visited[sc.ID()] {
+				continue
+			}
+			if mode == Eager || s.callMayProduce(sc, needed, mat) {
+				due = append(due, sc)
+			}
+		}
+		if len(due) == 0 {
+			return nil
+		}
+		if mat == nil {
+			return fmt.Errorf("%w (service %q)", ErrNoMaterializer, due[0].Service())
+		}
+		for _, sc := range due {
+			visited[sc.ID()] = true
+			// The call may have been detached by a previous materialization
+			// in this round (replace mode discarding an sc result).
+			if !attached(doc, sc.Node()) {
+				continue
+			}
+			if err := s.materializeCall(txn, doc, sc, mat, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// callMayProduce reports whether sc could contribute nodes the query needs:
+// its existing results carry a needed name, or the registry declares a
+// needed result name. A call whose result shape is unknowable (no previous
+// results and no declaration — typically a call to a remote service) must
+// be materialized conservatively: lazy evaluation may only skip calls it
+// can prove irrelevant.
+func (s *Store) callMayProduce(sc *ServiceCall, needed map[string]bool, mat Materializer) bool {
+	names := sc.ResultNames()
+	for _, n := range names {
+		if needed[n] {
+			return true
+		}
+	}
+	var declared string
+	if mat != nil {
+		declared = mat.ResultName(sc.Service())
+	}
+	if declared != "" {
+		return needed[declared]
+	}
+	// No declaration: previous results, when present, are the only shape
+	// evidence; with no evidence at all, materialize conservatively.
+	return len(names) == 0
+}
+
+// materializeCall invokes one service call and merges its results into the
+// document according to the call's mode, logging every structural effect
+// under txn. Parameters that are themselves service calls are materialized
+// first (nested local invocation).
+func (s *Store) materializeCall(txn string, doc *xmldom.Document, sc *ServiceCall, mat Materializer, res *Result) error {
+	if mat == nil {
+		return fmt.Errorf("%w (service %q)", ErrNoMaterializer, sc.Service())
+	}
+	params, err := s.resolveParams(txn, doc, sc, mat, res)
+	if err != nil {
+		return err
+	}
+	// Release the store lock for the invocation: the service may be local
+	// to this very peer, in which case its execution re-enters Apply (a
+	// peer's composition document routinely calls the peer's own update
+	// services). Transaction-level isolation is the lock table's job, not
+	// this mutex's.
+	s.mu.Unlock()
+	fragments, err := mat.Invoke(txn, sc, params)
+	s.mu.Lock()
+	if err != nil {
+		return fmt.Errorf("axml: materialize %s: %w", sc.Describe(), err)
+	}
+	if !attached(doc, sc.Node()) {
+		// The call was detached while the lock was released (e.g. a nested
+		// materialization in replace mode discarded it); its results have
+		// nowhere to go.
+		return nil
+	}
+	if lsn, lerr := s.log.Append(&wal.Record{
+		Txn:     txn,
+		Type:    wal.TypeMaterialize,
+		Doc:     doc.Name(),
+		NodeID:  uint64(sc.ID()),
+		Service: sc.Service(),
+	}); lerr == nil {
+		res.noteLSN(lsn)
+	}
+	res.Materialized = append(res.Materialized, sc.Service())
+
+	if sc.Mode() == ModeReplace {
+		for _, old := range sc.Results() {
+			if err := s.deleteNode(txn, doc, old, res); err != nil {
+				return err
+			}
+		}
+	}
+	for _, frag := range fragments {
+		n, err := xmldom.ParseFragment(doc, frag)
+		if err != nil {
+			return fmt.Errorf("axml: service %q returned malformed XML: %w", sc.Service(), err)
+		}
+		if err := doc.AppendChild(sc.Node(), n); err != nil {
+			return err
+		}
+		s.logInsert(txn, doc, n, res)
+	}
+	return nil
+}
+
+// attached reports whether n is reachable from the document root.
+func attached(doc *xmldom.Document, n *xmldom.Node) bool {
+	for ; n != nil; n = n.Parent() {
+		if n == doc.Root() {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveParams materializes nested service-call parameters and returns the
+// flat parameter list the service is invoked with.
+func (s *Store) resolveParams(txn string, doc *xmldom.Document, sc *ServiceCall, mat Materializer, res *Result) ([]Param, error) {
+	params := sc.Params()
+	for i, p := range params {
+		if p.Nested == nil {
+			continue
+		}
+		if err := s.materializeCall(txn, doc, p.Nested, mat, res); err != nil {
+			return nil, fmt.Errorf("axml: parameter %q of %s: %w", p.Name, sc.Describe(), err)
+		}
+		var text string
+		for _, r := range p.Nested.Results() {
+			text += r.TextContent()
+		}
+		params[i].Value = text
+	}
+	return params, nil
+}
+
+// MaterializeCall invokes one service call outside query evaluation (e.g.
+// the periodic "frequency" trigger), under the store lock.
+func (s *Store) MaterializeCall(txn string, docName string, scID xmldom.NodeID, mat Materializer) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc, ok := s.lookup(docName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchDocument, docName)
+	}
+	n := doc.ByID(scID)
+	if n == nil {
+		return nil, fmt.Errorf("%w: %d", ErrNoSuchNode, scID)
+	}
+	sc, ok := AsServiceCall(n)
+	if !ok {
+		return nil, fmt.Errorf("axml: node %d is not a service call", scID)
+	}
+	res := &Result{}
+	if err := s.materializeCall(txn, doc, sc, mat, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// MaterializeAll eagerly materializes every top-level service call of the
+// named document, returning the combined result. It is the engine behind
+// Eager evaluation benchmarks and document warm-up.
+func (s *Store) MaterializeAll(txn string, docName string, mat Materializer) (*Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc, ok := s.lookup(docName)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoSuchDocument, docName)
+	}
+	res := &Result{}
+	visited := make(map[xmldom.NodeID]bool)
+	for round := 0; round < maxMaterializeRounds; round++ {
+		progressed := false
+		for _, sc := range TopLevelServiceCalls(doc) {
+			if visited[sc.ID()] || !attached(doc, sc.Node()) {
+				continue
+			}
+			visited[sc.ID()] = true
+			progressed = true
+			if err := s.materializeCall(txn, doc, sc, mat, res); err != nil {
+				return nil, err
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,159 @@
+package axml
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"axmltx/internal/query"
+	"axmltx/internal/wal"
+	"axmltx/internal/xmldom"
+)
+
+// Store is a peer's document repository: a set of AXML documents plus the
+// operation log through which every mutation flows. The store serializes
+// all operations behind one mutex; concurrency control between transactions
+// (latching, waiting) is layered above in the transaction manager.
+type Store struct {
+	mu   sync.Mutex
+	docs map[string]*xmldom.Document
+	log  wal.Log
+	eval *query.Evaluator
+}
+
+// NewStore returns a store writing to log.
+func NewStore(log wal.Log) *Store {
+	return &Store{
+		docs: make(map[string]*xmldom.Document),
+		log:  log,
+		eval: &query.Evaluator{
+			Transparent: map[string]bool{ElemSC: true},
+			Hidden:      map[string]bool{ElemParams: true, ElemCatch: true, ElemCatchAll: true, ElemRetry: true},
+		},
+	}
+}
+
+// Log returns the store's operation log.
+func (s *Store) Log() wal.Log { return s.log }
+
+// Evaluator returns the AXML-configured query evaluator.
+func (s *Store) Evaluator() *query.Evaluator { return s.eval }
+
+// Add registers a document under its name; it replaces any previous
+// document with the same name.
+func (s *Store) Add(doc *xmldom.Document) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.docs[doc.Name()] = doc
+}
+
+// AddParsed parses src and registers the result.
+func (s *Store) AddParsed(name, src string) (*xmldom.Document, error) {
+	doc, err := xmldom.ParseString(name, src)
+	if err != nil {
+		return nil, err
+	}
+	s.Add(doc)
+	return doc, nil
+}
+
+// Get returns the named document, matching either the repository name
+// ("ATPList.xml"), the name without suffix, or the root element name.
+func (s *Store) Get(name string) (*xmldom.Document, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lookup(name)
+}
+
+func (s *Store) lookup(name string) (*xmldom.Document, bool) {
+	if d, ok := s.docs[name]; ok {
+		return d, true
+	}
+	if d, ok := s.docs[name+".xml"]; ok {
+		return d, true
+	}
+	for _, d := range s.docs {
+		if d.Root() != nil && d.Root().Name() == name {
+			return d, true
+		}
+	}
+	return nil, false
+}
+
+// Names returns the registered document names, sorted.
+func (s *Store) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.docs))
+	for n := range s.docs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Remove drops the named document and reports whether it was present.
+func (s *Store) Remove(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.docs[name]; !ok {
+		return false
+	}
+	delete(s.docs, name)
+	return true
+}
+
+// Snapshot returns an ID-preserving deep copy of the named document, for
+// test assertions and for shipping fragments between peers.
+func (s *Store) Snapshot(name string) (*xmldom.Document, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.lookup(name)
+	if !ok {
+		return nil, false
+	}
+	return d.Clone(), true
+}
+
+// EvalMode selects between the two AXML query evaluation modes (§3.1).
+type EvalMode uint8
+
+const (
+	// Lazy materializes only the embedded service calls whose results the
+	// query may need — the preferred AXML mode.
+	Lazy EvalMode = iota + 1
+	// Eager materializes every (top-level) embedded service call before
+	// evaluating.
+	Eager
+)
+
+func (m EvalMode) String() string {
+	if m == Eager {
+		return "eager"
+	}
+	return "lazy"
+}
+
+// Result is the outcome of applying an action.
+type Result struct {
+	// Query holds the evaluation result for query actions.
+	Query *query.Result
+	// InsertedIDs are the root IDs of subtrees this action inserted
+	// (directly or through materialization), in application order.
+	InsertedIDs []xmldom.NodeID
+	// DeletedXML holds the before-images of subtrees this action deleted.
+	DeletedXML []string
+	// AffectedNodes counts XML nodes touched (inserted + deleted subtree
+	// sizes, plus located nodes for queries) — the paper's cost measure.
+	AffectedNodes int
+	// Materialized lists the service names invoked during evaluation.
+	Materialized []string
+	// FirstLSN and LastLSN bracket the log records this action produced;
+	// both are zero when the action logged nothing (pure query).
+	FirstLSN, LastLSN uint64
+}
+
+// opError annotates an error with operation context.
+func opError(op string, a *Action, err error) error {
+	return fmt.Errorf("axml: %s %s on %q: %w", op, a.Type, a.DocName(), err)
+}

@@ -1,0 +1,255 @@
+package axml
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"axmltx/internal/wal"
+)
+
+func TestModeAndEvalModeStrings(t *testing.T) {
+	if ModeReplace.String() != "replace" || ModeMerge.String() != "merge" {
+		t.Fatal("Mode.String")
+	}
+	if Lazy.String() != "lazy" || Eager.String() != "eager" {
+		t.Fatal("EvalMode.String")
+	}
+	if ActionQuery.String() != "query" || ActionType(42).String() == "" {
+		t.Fatal("ActionType.String")
+	}
+}
+
+func TestStoreRemove(t *testing.T) {
+	s := NewStore(wal.NewMemory())
+	if _, err := s.AddParsed("D.xml", `<D/>`); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Remove("D.xml") {
+		t.Fatal("remove failed")
+	}
+	if s.Remove("D.xml") {
+		t.Fatal("double remove succeeded")
+	}
+	if _, ok := s.Get("D.xml"); ok {
+		t.Fatal("removed doc still found")
+	}
+}
+
+func TestStoreAddParsedRejectsBadXML(t *testing.T) {
+	s := NewStore(wal.NewMemory())
+	if _, err := s.AddParsed("D.xml", `<unclosed>`); err == nil {
+		t.Fatal("bad XML accepted")
+	}
+}
+
+func TestMustApplyPanicsOnError(t *testing.T) {
+	s := NewStore(wal.NewMemory())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustApply did not panic")
+		}
+	}()
+	q, _ := ParseQuery(`Select x from x in Missing`)
+	s.MustApply("T", NewQuery(q), nil, Lazy)
+}
+
+func TestResultLSNBracket(t *testing.T) {
+	s := NewStore(wal.NewMemory())
+	if _, err := s.AddParsed("D.xml", `<D><a/><a/></D>`); err != nil {
+		t.Fatal(err)
+	}
+	loc, _ := ParseQuery(`Select d/a from d in D`)
+	res, err := s.Apply("T", NewDelete(loc), nil, Lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FirstLSN == 0 || res.LastLSN < res.FirstLSN {
+		t.Fatalf("LSN bracket = [%d, %d]", res.FirstLSN, res.LastLSN)
+	}
+	if res.LastLSN-res.FirstLSN != 1 { // two deletes
+		t.Fatalf("expected two records, bracket = [%d, %d]", res.FirstLSN, res.LastLSN)
+	}
+}
+
+func TestInsertIntoMultipleTargets(t *testing.T) {
+	s := NewStore(wal.NewMemory())
+	if _, err := s.AddParsed("D.xml", `<D><item/><item/><item/></D>`); err != nil {
+		t.Fatal(err)
+	}
+	loc, _ := ParseQuery(`Select d/item from d in D`)
+	res, err := s.Apply("T", NewInsert(loc, `<tag/>`), nil, Lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InsertedIDs) != 3 {
+		t.Fatalf("inserted = %v", res.InsertedIDs)
+	}
+}
+
+func TestInsertPositioned(t *testing.T) {
+	s := NewStore(wal.NewMemory())
+	if _, err := s.AddParsed("D.xml", `<D><a/><c/></D>`); err != nil {
+		t.Fatal(err)
+	}
+	loc, _ := ParseQuery(`Select d from d in D`)
+	a := NewInsert(loc, `<b/>`)
+	a.Pos = 1
+	if _, err := s.Apply("T", a, nil, Lazy); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := s.Get("D.xml")
+	names := []string{}
+	for _, c := range doc.Root().Elements() {
+		names = append(names, c.Name())
+	}
+	if strings.Join(names, "") != "abc" {
+		t.Fatalf("order = %v", names)
+	}
+}
+
+func TestMaterializeRoundsCapStopsRunaway(t *testing.T) {
+	// A service that returns another call to itself forever must not loop
+	// the engine; the round cap bounds it.
+	s := NewStore(wal.NewMemory())
+	if _, err := s.AddParsed("D.xml", `<D><axml:sc mode="merge" methodName="loop"/></D>`); err != nil {
+		t.Fatal(err)
+	}
+	mat := newFakeMaterializer()
+	mat.results["loop"] = []string{`<axml:sc mode="merge" methodName="loop"/>`}
+	q, _ := ParseQuery(`Select d/never from d in D`)
+	if _, err := s.Apply("T", NewQuery(q), mat, Lazy); err != nil {
+		t.Fatal(err)
+	}
+	if len(mat.invoked) > maxMaterializeRounds+1 {
+		t.Fatalf("runaway: %d invocations", len(mat.invoked))
+	}
+}
+
+func TestFrequencyOnlyCallNotMaterializedWhenIrrelevant(t *testing.T) {
+	s := NewStore(wal.NewMemory())
+	if _, err := s.AddParsed("D.xml",
+		`<D><axml:sc mode="replace" methodName="feed" frequency="10ms"><tick/></axml:sc><other>x</other></D>`); err != nil {
+		t.Fatal(err)
+	}
+	mat := newFakeMaterializer()
+	mat.results["feed"] = []string{`<tick/>`}
+	q, _ := ParseQuery(`Select d/other from d in D`)
+	if _, err := s.Apply("T", NewQuery(q), mat, Lazy); err != nil {
+		t.Fatal(err)
+	}
+	if len(mat.invoked) != 0 {
+		t.Fatalf("irrelevant periodic call invoked: %v", mat.invoked)
+	}
+}
+
+func TestApplyCompensationStyleInsertWithoutRestore(t *testing.T) {
+	// RestoreID referencing a non-existent node falls back to Data.
+	s := NewStore(wal.NewMemory())
+	if _, err := s.AddParsed("D.xml", `<D/>`); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := s.Get("D.xml")
+	a := &Action{
+		Type: ActionInsert, Doc: "D.xml",
+		ParentID: doc.Root().ID(), Pos: 0,
+		Data: `<x/>`, RestoreID: 999,
+	}
+	res, err := s.Apply("T", a, nil, Lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InsertedIDs) != 1 {
+		t.Fatalf("res = %+v", res)
+	}
+	if doc.Root().FirstElement("x") == nil {
+		t.Fatal("fallback insert missing")
+	}
+}
+
+func TestReplaceByTargetID(t *testing.T) {
+	s := NewStore(wal.NewMemory())
+	doc, err := s.AddParsed("D.xml", `<D><v>old</v></D>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := doc.Root().FirstElement("v")
+	a := &Action{Type: ActionReplace, Doc: "D.xml", TargetID: target.ID(), Data: `<v>new</v>`, Pos: -1}
+	if _, err := s.Apply("T", a, nil, Lazy); err != nil {
+		t.Fatal(err)
+	}
+	if got := doc.Root().FirstElement("v").TextContent(); got != "new" {
+		t.Fatalf("value = %q", got)
+	}
+	// Replacing an already-detached target is a no-op (compensation path).
+	if _, err := s.Apply("T", a, nil, Lazy); err != nil {
+		t.Fatal(err)
+	}
+	// Replacing the root is refused.
+	rootA := &Action{Type: ActionReplace, Doc: "D.xml", TargetID: doc.Root().ID(), Data: `<x/>`, Pos: -1}
+	if _, err := s.Apply("T", rootA, nil, Lazy); err == nil {
+		t.Fatal("root replace accepted")
+	}
+}
+
+func TestReplaceNoTargetsErrors(t *testing.T) {
+	s := NewStore(wal.NewMemory())
+	if _, err := s.AddParsed("D.xml", `<D/>`); err != nil {
+		t.Fatal(err)
+	}
+	loc, _ := ParseQuery(`Select d/missing from d in D`)
+	if _, err := s.Apply("T", NewReplace(loc, `<x/>`), nil, Lazy); !errorsIs(err, ErrNoTargets) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Apply("T", NewInsert(loc, `<x/>`), nil, Lazy); !errorsIs(err, ErrNoTargets) {
+		t.Fatalf("insert err = %v", err)
+	}
+}
+
+func TestInsertByParentIDMissing(t *testing.T) {
+	s := NewStore(wal.NewMemory())
+	if _, err := s.AddParsed("D.xml", `<D/>`); err != nil {
+		t.Fatal(err)
+	}
+	a := &Action{Type: ActionInsert, Doc: "D.xml", ParentID: 424242, Data: `<x/>`, Pos: -1}
+	if _, err := s.Apply("T", a, nil, Lazy); !errorsIs(err, ErrNoSuchNode) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMaterializeCallErrors(t *testing.T) {
+	s := NewStore(wal.NewMemory())
+	if _, err := s.AddParsed("D.xml", `<D><axml:sc methodName="svc"/><plain/></D>`); err != nil {
+		t.Fatal(err)
+	}
+	doc, _ := s.Get("D.xml")
+	if _, err := s.MaterializeCall("T", "Missing.xml", 1, newFakeMaterializer()); !errorsIs(err, ErrNoSuchDocument) {
+		t.Fatalf("doc err = %v", err)
+	}
+	if _, err := s.MaterializeCall("T", "D.xml", 999, newFakeMaterializer()); !errorsIs(err, ErrNoSuchNode) {
+		t.Fatalf("node err = %v", err)
+	}
+	plain := doc.Root().FirstElement("plain")
+	if _, err := s.MaterializeCall("T", "D.xml", plain.ID(), newFakeMaterializer()); err == nil {
+		t.Fatal("non-sc node accepted")
+	}
+}
+
+func TestStoreEvaluatorConfigured(t *testing.T) {
+	s := NewStore(wal.NewMemory())
+	ev := s.Evaluator()
+	if !ev.Transparent[ElemSC] || !ev.Hidden[ElemParams] {
+		t.Fatal("evaluator not AXML-configured")
+	}
+}
+
+func TestServiceFallsBackToNamespace(t *testing.T) {
+	s := NewStore(wal.NewMemory())
+	doc, _ := s.AddParsed("D.xml", `<D><axml:sc serviceNameSpace="nsOnly"/></D>`)
+	sc := ServiceCalls(doc)[0]
+	if sc.Service() != "nsOnly" {
+		t.Fatalf("Service() = %q", sc.Service())
+	}
+}
+
+func errorsIs(err, target error) bool { return err != nil && errors.Is(err, target) }

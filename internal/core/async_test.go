@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"axmltx/internal/p2p"
+	"axmltx/internal/xmldom"
+)
+
+func TestAsyncInvokeDeliversResultAndRecordsChild(t *testing.T) {
+	c := newCluster(t)
+	ap1 := c.add("AP1", Options{PeerIndependent: true})
+	ap2 := c.add("AP2", Options{PeerIndependent: true})
+	hostEntryService(t, ap2, "S2", "D2.xml")
+	if !ap1.Super() && ap1.ID() != "AP1" {
+		t.Fatal("accessors")
+	}
+
+	got := make(chan *InvokeResponse, 1)
+	ap1.OnResult(func(txn string, resp *InvokeResponse) { got <- resp })
+	var downSeen []p2p.PeerID
+	ap1.OnPeerDownHook(func(txn string, dead p2p.PeerID) { downSeen = append(downSeen, dead) })
+
+	txc := ap1.Begin()
+	if err := ap1.CallAsync(txc, "AP2", "S2", nil); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case resp := <-got:
+		if resp.Service != "S2" || len(resp.Fragments) != 1 {
+			t.Fatalf("resp = %+v", resp)
+		}
+		if resp.Nodes == 0 {
+			t.Fatal("async result carries no work accounting")
+		}
+	case <-timeAfter():
+		t.Fatal("async result never delivered")
+	}
+	// handleResult recorded the child with its compensation definition.
+	waitFor(t, func() bool {
+		kids := txc.Children()
+		return len(kids) == 1 && kids[0].Comp != nil
+	})
+	// Abort uses it.
+	if err := ap1.Abort(txc); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return entryCount(t, ap2, "D2.xml") == 0 })
+	if len(downSeen) != 0 {
+		t.Fatalf("spurious down events: %v", downSeen)
+	}
+}
+
+func TestAsyncFailureAbortsParticipantLocally(t *testing.T) {
+	c := newCluster(t)
+	ap1 := c.add("AP1", Options{})
+	ap2 := c.add("AP2", Options{})
+	hostEntryService(t, ap2, "S2", "D2.xml")
+	flag := failFlag(t, ap2, "S2", "F2")
+	flag.Store(true)
+
+	txc := ap1.Begin()
+	if err := ap1.CallAsync(txc, "AP2", "S2", nil); err != nil {
+		t.Fatal(err)
+	}
+	// The async participant aborts itself and compensates; the origin gets
+	// an abort notification.
+	waitFor(t, func() bool { return entryCount(t, ap2, "D2.xml") == 0 })
+	waitFor(t, func() bool { return txc.Status() == StatusAborted })
+}
+
+func TestCompDefShippedToOriginDirectly(t *testing.T) {
+	// Depth-2 chain AP1 → AP2 → AP3 with peer independence: AP3's
+	// definition reaches AP1 directly; when AP2 dies before the abort,
+	// AP1 still compensates AP3.
+	c := newCluster(t)
+	ap1 := c.add("AP1", Options{PeerIndependent: true})
+	ap2 := c.add("AP2", Options{PeerIndependent: true})
+	ap3 := c.add("AP3", Options{PeerIndependent: true})
+	hostEntryService(t, ap3, "S3", "D3.xml")
+	ap2.HostService(compositeCalling(t, "S2", "AP3", "S3"))
+
+	txc := ap1.Begin()
+	if _, err := ap1.Call(txc, "AP2", "S2", nil); err != nil {
+		t.Fatal(err)
+	}
+	// The origin holds AP3's definition even though it never talked to
+	// AP3 (handleCompDef path).
+	defs := txc.CompDefs()
+	found := false
+	for _, d := range defs {
+		if d.Peer == "AP3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("origin lacks AP3's definition: %+v", defs)
+	}
+
+	c.net.Disconnect("AP2")
+	if err := ap1.Abort(txc); err != nil {
+		t.Fatal(err)
+	}
+	if entryCount(t, ap3, "D3.xml") != 0 {
+		t.Fatal("AP3 not compensated via origin-held definition")
+	}
+}
+
+func TestCompensationFallsBackToDocumentReplica(t *testing.T) {
+	c := newCluster(t)
+	ap1 := c.add("AP1", Options{PeerIndependent: true})
+	ap2 := c.add("AP2", Options{PeerIndependent: true})
+	ap2r := c.add("AP2r", Options{PeerIndependent: true})
+	hostEntryService(t, ap2, "S2", "D2.xml")
+
+	txc := ap1.Begin()
+	if _, err := ap1.Call(txc, "AP2", "S2", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Synchronize the replica (ID-preserving copy) and register it.
+	snap, _ := ap2.Store().Snapshot("D2.xml")
+	ap2r.Store().Add(snap)
+	ap1.Replicas().AddDocument("D2.xml", "AP2r")
+
+	c.net.Disconnect("AP2")
+	if err := ap1.Abort(txc); err != nil {
+		t.Fatal(err)
+	}
+	// The replica holder executed the shipped definition.
+	if entryCount(t, ap2r, "D2.xml") != 0 {
+		t.Fatal("replica not compensated")
+	}
+	if ap1.Metrics().CompServicesRun.Load() != 1 {
+		t.Fatal("comp def not routed")
+	}
+}
+
+func TestCompensationReplicaAllDeadAccountsLoss(t *testing.T) {
+	c := newCluster(t)
+	ap1 := c.add("AP1", Options{PeerIndependent: true})
+	ap2 := c.add("AP2", Options{PeerIndependent: true})
+	hostEntryService(t, ap2, "S2", "D2.xml")
+	ap1.Replicas().AddDocument("D2.xml", "AP2dead")
+
+	txc := ap1.Begin()
+	if _, err := ap1.Call(txc, "AP2", "S2", nil); err != nil {
+		t.Fatal(err)
+	}
+	c.net.Disconnect("AP2")
+	if err := ap1.Abort(txc); err != nil {
+		t.Fatal(err)
+	}
+	if ap1.Metrics().NodesLost.Load() == 0 {
+		t.Fatal("unrecoverable compensation not accounted as loss")
+	}
+	_ = xmldom.InvalidID
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/p2p"
+	"axmltx/internal/wal"
+	"axmltx/internal/xmldom"
+)
+
+// BuildCompensation constructs, from the operation log, the compensating
+// operations for everything txn did locally — in reverse order of the
+// forward operations, per the compensation model of Garcia-Molina & Salem's
+// Sagas and §3.1:
+//
+//   - an insert is compensated by a delete of the node with the recorded ID;
+//   - a delete is compensated by an insert of the logged before-image at the
+//     logged parent and position (ordered documents restore exactly);
+//   - a query's materialization effects are themselves insert/delete records
+//     and compensate the same way — this is the paper's "compensation for a
+//     query operation has to be constructed dynamically at run-time".
+//
+// Compensation is epoch-aware: effects already rolled back by a previous
+// compensation run (everything before a CompensateBegin/End bracket,
+// including the bracket's own records) are excluded, while effects logged
+// *after* a completed compensation belong to a new epoch — a participant
+// re-invoked during forward recovery after a local abort — and compensate
+// normally.
+func BuildCompensation(log wal.Log, txn string) []*axml.Action {
+	recs := currentEpoch(log.TxnRecords(txn))
+	var out []*axml.Action
+	for i := len(recs) - 1; i >= 0; i-- {
+		r := recs[i]
+		switch r.Type {
+		case wal.TypeInsert:
+			out = append(out, &axml.Action{
+				Type:     axml.ActionDelete,
+				Doc:      r.Doc,
+				TargetID: xmldom.NodeID(r.NodeID),
+				Pos:      -1,
+			})
+		case wal.TypeDelete:
+			out = append(out, &axml.Action{
+				Type:      axml.ActionInsert,
+				Doc:       r.Doc,
+				ParentID:  xmldom.NodeID(r.ParentID),
+				Pos:       r.Pos,
+				Data:      r.XML,
+				RestoreID: xmldom.NodeID(r.NodeID),
+			})
+		}
+	}
+	return out
+}
+
+// currentEpoch returns the structural records of the newest compensation
+// epoch: everything after the last completed compensation bracket. Records
+// inside a bracket (compensation's own effects) and before it (already
+// undone) are dropped. An unclosed CompensateBegin (crash mid-compensation)
+// leaves its pre-bracket records visible so recovery re-runs from the log.
+func currentEpoch(recs []*wal.Record) []*wal.Record {
+	var out []*wal.Record
+	skipping := false
+	for _, r := range recs {
+		switch r.Type {
+		case wal.TypeCompensateBegin:
+			out = out[:0]
+			skipping = true
+		case wal.TypeCompensateEnd:
+			skipping = false
+		case wal.TypeInsert, wal.TypeDelete:
+			if !skipping {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// AlreadyCompensated reports whether txn's local effects are fully rolled
+// back: a compensation completed and no new effects were logged since. It
+// makes abort idempotent — a context may receive "Abort TA" from several
+// directions during disconnection storms.
+func AlreadyCompensated(log wal.Log, txn string) bool {
+	recs := log.TxnRecords(txn)
+	completed := false
+	for _, r := range recs {
+		if r.Type == wal.TypeCompensateEnd {
+			completed = true
+			break
+		}
+	}
+	return completed && len(currentEpoch(recs)) == 0
+}
+
+// HasCommitted reports whether txn committed locally; committed effects
+// must never be compensated by stray abort messages.
+func HasCommitted(log wal.Log, txn string) bool {
+	for _, r := range log.TxnRecords(txn) {
+		if r.Type == wal.TypeCommit {
+			return true
+		}
+	}
+	return false
+}
+
+// Compensate rolls back txn's local effects on the store and returns the
+// number of XML nodes affected (the cost measure). It is idempotent.
+func Compensate(store *axml.Store, txn string) (int, error) {
+	log := store.Log()
+	if AlreadyCompensated(log, txn) {
+		return 0, nil
+	}
+	actions := BuildCompensation(log, txn)
+	if _, err := log.Append(&wal.Record{Txn: txn, Type: wal.TypeCompensateBegin}); err != nil {
+		return 0, err
+	}
+	affected := 0
+	for _, a := range actions {
+		res, err := store.Apply(txn, a, nil, axml.Lazy)
+		if err != nil {
+			return affected, fmt.Errorf("core: compensate %s: %w", txn, err)
+		}
+		affected += res.AffectedNodes
+	}
+	if _, err := log.Append(&wal.Record{Txn: txn, Type: wal.TypeCompensateEnd}); err != nil {
+		return affected, err
+	}
+	return affected, nil
+}
+
+// CompensationDef is the definition of a compensating service: "a service
+// capable of compensating the modifications at AP_Y which occurred as a
+// result of processing the service S" (§3.2). A participant returns it with
+// its invocation results; any peer holding the definition can later drive
+// compensation by sending it back to (a replica of) the original peer —
+// which "does not even need to be aware that the services it is executing
+// are, basically, compensating services".
+type CompensationDef struct {
+	// Txn is the transaction whose effects the definition undoes.
+	Txn string
+	// Peer is the original peer the actions target.
+	Peer p2p.PeerID
+	// Service is the forward service this definition compensates.
+	Service string
+	// Actions are the compensating operations in execution order, as
+	// <action> XML (ID-addressed, ready to run on the original peer's
+	// store or on a document replica).
+	Actions []string
+	// Docs lists the documents the actions touch, so a recovering peer can
+	// route the definition to a replica holder when the original peer has
+	// disconnected.
+	Docs []string
+	// Nodes is the expected affected-node count, for cost accounting.
+	Nodes int
+}
+
+// BuildCompensationDef captures txn's current local effects as a shippable
+// compensating-service definition.
+func BuildCompensationDef(store *axml.Store, txn string, self p2p.PeerID, service string) *CompensationDef {
+	actions := BuildCompensation(store.Log(), txn)
+	def := &CompensationDef{Txn: txn, Peer: self, Service: service}
+	seenDocs := make(map[string]bool)
+	for _, a := range actions {
+		def.Actions = append(def.Actions, a.XML())
+		if a.Type == axml.ActionInsert {
+			def.Nodes += countNodes(a.Data)
+		} else {
+			def.Nodes++
+		}
+		if a.Doc != "" && !seenDocs[a.Doc] {
+			seenDocs[a.Doc] = true
+			def.Docs = append(def.Docs, a.Doc)
+		}
+	}
+	return def
+}
+
+// countNodes estimates the node count of an XML fragment (1 on parse
+// failure, since the action still touches at least one node).
+func countNodes(fragment string) int {
+	doc, err := xmldom.ParseString("frag", fragment)
+	if err != nil {
+		return 1
+	}
+	return doc.Root().SubtreeSize()
+}
+
+// Execute runs the definition against a store (normally the original
+// peer's). The actions run under the original transaction ID so the
+// CompensateBegin/End bracket makes local abort and shipped compensation
+// mutually idempotent.
+func (d *CompensationDef) Execute(store *axml.Store) (int, error) {
+	log := store.Log()
+	if AlreadyCompensated(log, d.Txn) {
+		return 0, nil
+	}
+	if _, err := log.Append(&wal.Record{Txn: d.Txn, Type: wal.TypeCompensateBegin}); err != nil {
+		return 0, err
+	}
+	affected := 0
+	for _, src := range d.Actions {
+		a, err := axml.ParseAction(src)
+		if err != nil {
+			return affected, fmt.Errorf("core: compensation def for %s: %w", d.Txn, err)
+		}
+		res, err := store.Apply(d.Txn, a, nil, axml.Lazy)
+		if err != nil {
+			return affected, fmt.Errorf("core: compensation def for %s: %w", d.Txn, err)
+		}
+		affected += res.AffectedNodes
+	}
+	if _, err := log.Append(&wal.Record{Txn: d.Txn, Type: wal.TypeCompensateEnd}); err != nil {
+		return affected, err
+	}
+	return affected, nil
+}
+
+// Encode serializes the definition for the wire.
+func (d *CompensationDef) Encode() []byte {
+	var buf bytes.Buffer
+	// Encoding a plain struct of strings/ints cannot fail.
+	_ = gob.NewEncoder(&buf).Encode(d)
+	return buf.Bytes()
+}
+
+// DecodeCompensationDef parses a wire-encoded definition.
+func DecodeCompensationDef(b []byte) (*CompensationDef, error) {
+	var d CompensationDef
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&d); err != nil {
+		return nil, fmt.Errorf("core: decode compensation def: %w", err)
+	}
+	return &d, nil
+}

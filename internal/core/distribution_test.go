@@ -1,0 +1,144 @@
+package core
+
+import (
+	"testing"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/services"
+)
+
+// TestDistributedDocumentFragments realizes §1's "distributed storage of
+// parts of an AXML document across multiple peers": AP1's ATPList holds
+// players 1–2 locally, while players 3–4 live at AP2 and are pulled in by
+// an embedded call — the paper's option (b), copying the required fragment
+// to the querying peer. Option (a), shipping the sub-query, is the same
+// mechanism with the predicate folded into the remote query service.
+func TestDistributedDocumentFragments(t *testing.T) {
+	c := newCluster(t)
+	ap1 := c.add("AP1", Options{})
+	ap2 := c.add("AP2", Options{})
+
+	if err := ap2.HostDocument("ATPTail.xml", `<ATPTail>
+	  <player rank="3"><name><lastname>Djokovic</lastname></name><citizenship>Serbian</citizenship></player>
+	  <player rank="4"><name><lastname>Murray</lastname></name><citizenship>British</citizenship></player>
+	</ATPTail>`); err != nil {
+		t.Fatal(err)
+	}
+	// The fragment service ships whole player subtrees.
+	ap2.HostQueryService(services.Descriptor{
+		Name: "tailPlayers", ResultName: "player", TargetDocument: "ATPTail.xml",
+	}, `Select p from p in ATPTail//player`)
+
+	if err := ap1.HostDocument("ATPList.xml", `<ATPList>
+	  <player rank="1"><name><lastname>Federer</lastname></name><citizenship>Swiss</citizenship></player>
+	  <player rank="2"><name><lastname>Nadal</lastname></name><citizenship>Spanish</citizenship></player>
+	  <axml:sc mode="replace" methodName="tailPlayers" serviceURL="AP2"/>
+	</ATPList>`); err != nil {
+		t.Fatal(err)
+	}
+
+	// A query spanning the whole logical document materializes the remote
+	// fragment and evaluates over local + copied players uniformly.
+	txc := ap1.Begin()
+	q, _ := axml.ParseQuery(`Select p/citizenship from p in ATPList//player`)
+	res, err := ap1.Exec(txc, axml.NewQuery(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Query.Strings()
+	want := []string{"Swiss", "Spanish", "Serbian", "British"}
+	if len(got) != len(want) {
+		t.Fatalf("citizenships = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("citizenships = %v, want %v", got, want)
+		}
+	}
+	// Sub-query shipping (option a): the predicate evaluates at AP2.
+	frag, err := ap1.Call(txc, "AP2", "tailPlayers", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frag) != 2 {
+		t.Fatalf("fragments = %d", len(frag))
+	}
+	// Abort removes the copied fragment from AP1 again.
+	if err := ap1.Abort(txc); err != nil {
+		t.Fatal(err)
+	}
+	txc2 := ap1.Begin()
+	q2, _ := axml.ParseQuery(`Select p/name/lastname from p in ATPList//player where p/citizenship = Serbian`)
+	res2, err := ap1.Exec(txc2, axml.NewQuery(q2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The new query re-materializes (replace mode) — Djokovic is found via
+	// a fresh copy, proving the aborted copy was removed rather than
+	// duplicated.
+	if len(res2.Query.Items) != 1 {
+		t.Fatalf("after abort+requery = %v", res2.Query.Strings())
+	}
+	doc, _ := ap1.Store().Snapshot("ATPList.xml")
+	count := 0
+	for _, sc := range docServiceCalls(doc) {
+		count += len(sc.Results())
+	}
+	if count != 2 {
+		t.Fatalf("fragment copies = %d, want 2 (no duplication)", count)
+	}
+}
+
+// TestRedirectSkipsMultipleDeadAncestors: AP6's results survive even when
+// both its parent and grandparent are gone — the redirect walks the chain
+// to the super-peer origin.
+func TestRedirectSkipsMultipleDeadAncestors(t *testing.T) {
+	c := newCluster(t)
+	ap1 := c.add("AP1", Options{Super: true})
+	ap2 := c.add("AP2", Options{})
+	ap3 := c.add("AP3", Options{})
+	ap6 := c.add("AP6", Options{})
+	hostEntryService(t, ap6, "S6", "D6.xml")
+	release := make(chan struct{})
+	gate(t, ap6, "S6", release)
+
+	// Build the chain AP1* → AP2 → AP3 → AP6 with an async tail.
+	ap3.HostService(services.NewFuncService(
+		services.Descriptor{Name: "S3", ResultName: "updateResult"},
+		func(cctx contextT, params map[string]string) ([]string, error) {
+			env, _ := EnvFrom(cctx)
+			if err := env.Peer.CallAsync(env.Txn, "AP6", "S6", nil); err != nil {
+				return nil, err
+			}
+			return []string{`<updateResult pending="S6"/>`}, nil
+		}))
+	ap2.HostService(services.NewFuncService(
+		services.Descriptor{Name: "S2", ResultName: "updateResult"},
+		func(cctx contextT, params map[string]string) ([]string, error) {
+			env, _ := EnvFrom(cctx)
+			return env.Peer.Call(env.Txn, "AP3", "S3", nil)
+		}))
+
+	got := make(chan string, 1)
+	ap1.OnResult(func(txn string, resp *InvokeResponse) { got <- resp.Service })
+
+	txc := ap1.Begin()
+	if _, err := ap1.Call(txc, "AP2", "S2", nil); err != nil {
+		t.Fatal(err)
+	}
+	c.net.Disconnect("AP3")
+	c.net.Disconnect("AP2")
+	close(release)
+
+	select {
+	case svc := <-got:
+		if svc != "S6" {
+			t.Fatalf("redirected service = %s", svc)
+		}
+	case <-timeAfter():
+		t.Fatal("redirect never reached the super peer")
+	}
+	if ap6.Metrics().Redirects.Load() != 1 {
+		t.Fatal("redirect not counted at AP6")
+	}
+}

@@ -1,0 +1,331 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/p2p"
+	"axmltx/internal/replication"
+	"axmltx/internal/services"
+	"axmltx/internal/wal"
+)
+
+// Options configure a peer's transactional behaviour. The zero value is a
+// regular (non-super) peer with peer-dependent recovery, chaining enabled
+// and lazy evaluation.
+type Options struct {
+	// Super marks the peer as a trusted super peer that does not
+	// disconnect (§3.3, starred peers).
+	Super bool
+	// PeerIndependent makes every served invocation return a
+	// compensating-service definition with its results, enabling recovery
+	// driven by any peer (§3.2).
+	PeerIndependent bool
+	// DisableChaining suppresses active-peer-list propagation — the
+	// "traditional" baseline for the disconnection experiments.
+	DisableChaining bool
+	// EvalMode selects lazy or eager materialization; zero means Lazy.
+	EvalMode axml.EvalMode
+	// LockTimeout bounds document lock waits; zero means 2s.
+	LockTimeout time.Duration
+}
+
+// FaultHook is application-specific fault-handler code attached to
+// <axml:catch> blocks (the paper's "<!-- handle the fault --> part can be
+// ... some Java code"). Returning nil means the fault is handled (forward
+// recovery); returning an error propagates it.
+type FaultHook func(txn string, sc *axml.ServiceCall, faultName string) error
+
+// Peer is an AXML peer: a document store, a service registry, and the
+// transactional engine implementing the paper's protocols over a Transport.
+type Peer struct {
+	id        p2p.PeerID
+	opts      Options
+	transport p2p.Transport
+	store     *axml.Store
+	registry  *services.Registry
+	replicas  *replication.Table
+	mgr       *Manager
+	locks     *LockTable
+	metrics   *Metrics
+
+	mu         sync.Mutex
+	faultHooks map[string]FaultHook // key: service + "/" + faultName
+	onResult   func(txn string, resp *InvokeResponse)
+	onDown     func(txn string, dead p2p.PeerID)
+	streamSink func(batch *StreamBatch)
+}
+
+// NewPeer assembles a peer on the given transport and installs its message
+// handler (wrapped to answer pings).
+func NewPeer(transport p2p.Transport, log wal.Log, opts Options) *Peer {
+	if opts.EvalMode == 0 {
+		opts.EvalMode = axml.Lazy
+	}
+	if opts.LockTimeout == 0 {
+		opts.LockTimeout = 2 * time.Second
+	}
+	p := &Peer{
+		id:         transport.Self(),
+		opts:       opts,
+		transport:  transport,
+		store:      axml.NewStore(log),
+		registry:   services.NewRegistry(),
+		replicas:   replication.New(),
+		mgr:        NewManager(transport.Self()),
+		locks:      NewLockTable(opts.LockTimeout),
+		metrics:    &Metrics{},
+		faultHooks: make(map[string]FaultHook),
+	}
+	transport.SetHandler(p2p.AnswerPings(p.handle))
+	return p
+}
+
+// ID returns the peer's identity.
+func (p *Peer) ID() p2p.PeerID { return p.id }
+
+// Super reports whether this peer is a super peer.
+func (p *Peer) Super() bool { return p.opts.Super }
+
+// Store returns the peer's document store.
+func (p *Peer) Store() *axml.Store { return p.store }
+
+// Registry returns the peer's service registry.
+func (p *Peer) Registry() *services.Registry { return p.registry }
+
+// Replicas returns the peer's replication table.
+func (p *Peer) Replicas() *replication.Table { return p.replicas }
+
+// Metrics returns the peer's protocol counters.
+func (p *Peer) Metrics() *Metrics { return p.metrics }
+
+// Manager returns the peer's transaction manager.
+func (p *Peer) Manager() *Manager { return p.mgr }
+
+// Transport returns the peer's transport.
+func (p *Peer) Transport() p2p.Transport { return p.transport }
+
+// RegisterFaultHook installs application handler code for a service's
+// fault. faultName "" registers the catchAll hook.
+func (p *Peer) RegisterFaultHook(service, faultName string, hook FaultHook) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.faultHooks[service+"/"+faultName] = hook
+}
+
+func (p *Peer) faultHook(service, faultName string) (FaultHook, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if h, ok := p.faultHooks[service+"/"+faultName]; ok {
+		return h, true
+	}
+	h, ok := p.faultHooks[service+"/"]
+	return h, ok
+}
+
+// OnResult installs a callback for asynchronously pushed invocation
+// results (including redirected ones).
+func (p *Peer) OnResult(fn func(txn string, resp *InvokeResponse)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onResult = fn
+}
+
+// OnPeerDownHook installs a callback fired after the engine processes a
+// disconnection it detected or was notified of.
+func (p *Peer) OnPeerDownHook(fn func(txn string, dead p2p.PeerID)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.onDown = fn
+}
+
+// OnStream installs the sink for continuous-service batches streamed to
+// this peer.
+func (p *Peer) OnStream(fn func(batch *StreamBatch)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.streamSink = fn
+}
+
+// HostDocument parses and registers a document on this peer and records
+// the replica in the local replication table.
+func (p *Peer) HostDocument(name, xml string) error {
+	if _, err := p.store.AddParsed(name, xml); err != nil {
+		return err
+	}
+	p.replicas.AddDocument(name, p.id)
+	return nil
+}
+
+// HostQueryService registers a query service bound to this peer's store,
+// with this peer as materializer (embedded calls reach remote providers)
+// and announces it in the replication table.
+func (p *Peer) HostQueryService(desc services.Descriptor, template string) {
+	p.registry.Register(services.NewQueryService(desc, p.store, template, p, p.opts.EvalMode))
+	p.replicas.AddService(desc.Name, p.id)
+}
+
+// HostUpdateService registers an update service bound to this peer's store.
+func (p *Peer) HostUpdateService(desc services.Descriptor, template string) {
+	p.registry.Register(services.NewUpdateService(desc, p.store, template, p))
+	p.replicas.AddService(desc.Name, p.id)
+}
+
+// HostService registers an arbitrary service implementation.
+func (p *Peer) HostService(svc services.Service) {
+	p.registry.Register(svc)
+	p.replicas.AddService(svc.Descriptor().Name, p.id)
+}
+
+// Begin starts a transaction at this (origin) peer.
+func (p *Peer) Begin() *Context {
+	id := p.mgr.NewTxnID()
+	ctx := p.mgr.Begin(id, p.opts.Super)
+	p.metrics.TxnsBegun.Add(1)
+	_, _ = p.store.Log().Append(&wal.Record{Txn: id, Type: wal.TypeBegin})
+	return ctx
+}
+
+// Exec applies an AXML action locally within the transaction, with this
+// peer as materializer (so embedded service calls reach remote peers).
+// Errors do not abort the transaction by themselves: the paper's nested
+// recovery lets the application decide between forward recovery and abort.
+func (p *Peer) Exec(txc *Context, action *axml.Action) (*axml.Result, error) {
+	if txc.Status() != StatusActive {
+		return nil, fmt.Errorf("core: transaction %s is %s", txc.ID, txc.Status())
+	}
+	if doc := action.DocName(); doc != "" {
+		if err := p.locks.Acquire(txc.ID, doc, lockModeFor(action)); err != nil {
+			return nil, &services.Fault{Name: "lock-timeout", Msg: err.Error()}
+		}
+	}
+	return p.store.Apply(txc.ID, action, p, p.opts.EvalMode)
+}
+
+// lockModeFor picks the document lock mode. Every action takes exclusive:
+// updates obviously write, and queries may write too because lazy
+// evaluation materializes service calls into the document — the "active"
+// nature of AXML documents that §2 argues defeats classic XML lock
+// protocols.
+func lockModeFor(a *axml.Action) LockMode {
+	return LockExclusive
+}
+
+// Call invokes a service within the transaction from the top level (not
+// via an embedded call): locally when this peer provides it, remotely
+// otherwise. It returns the result fragments.
+func (p *Peer) Call(txc *Context, target p2p.PeerID, service string, params map[string]string) ([]string, error) {
+	if txc.Status() != StatusActive {
+		return nil, fmt.Errorf("core: transaction %s is %s", txc.ID, txc.Status())
+	}
+	resp, err := p.invokeOnce(txc, target, service, params, false)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Fragments, nil
+}
+
+// CallAsync invokes a remote service within the transaction without
+// waiting for the result: the callee acknowledges, executes, and pushes the
+// result back as a KindResult message (delivered to the OnResult callback
+// and recorded as a child invocation). This is the data-flow of the
+// disconnection scenarios: a child returning results may find its parent
+// gone (§3.3 case b).
+func (p *Peer) CallAsync(txc *Context, target p2p.PeerID, service string, params map[string]string) error {
+	if txc.Status() != StatusActive {
+		return fmt.Errorf("core: transaction %s is %s", txc.ID, txc.Status())
+	}
+	_, err := p.invokeOnce(txc, target, service, params, true)
+	return err
+}
+
+// Commit makes the transaction's effects permanent everywhere: the local
+// commit record is written, locks released, and commit notifications
+// cascade to every participant.
+func (p *Peer) Commit(txc *Context) error {
+	if !txc.transition(StatusCommitted) {
+		return fmt.Errorf("core: commit of %s transaction %s", txc.Status(), txc.ID)
+	}
+	_, err := p.store.Log().Append(&wal.Record{Txn: txc.ID, Type: wal.TypeCommit})
+	p.locks.ReleaseAll(txc.ID)
+	if txc.Self == txc.Origin {
+		p.metrics.TxnsCommitted.Add(1)
+	}
+	for _, child := range txc.Children() {
+		// Best effort: a participant that vanished after completing its
+		// work simply never learns of the commit; its effects are already
+		// in place.
+		_ = p.transport.Send(context.Background(), child.Peer,
+			&p2p.Message{Kind: p2p.KindCommit, Txn: txc.ID})
+	}
+	return err
+}
+
+// Abort rolls the transaction back: local effects are compensated and
+// abort/compensation messages propagate to the participants (§3.2).
+func (p *Peer) Abort(txc *Context) error {
+	return p.abortContext(txc, "", true)
+}
+
+// handle dispatches incoming protocol messages.
+func (p *Peer) handle(ctx context.Context, msg *p2p.Message) (*p2p.Message, error) {
+	switch msg.Kind {
+	case p2p.KindInvoke:
+		return p.handleInvoke(msg)
+	case p2p.KindAbort:
+		p.handleAbort(msg)
+		return &p2p.Message{Kind: "abort-ack"}, nil
+	case p2p.KindCommit:
+		p.handleCommit(msg)
+		return &p2p.Message{Kind: "commit-ack"}, nil
+	case p2p.KindCompensate:
+		return p.handleCompensate(msg)
+	case p2p.KindResult:
+		p.handleResult(msg)
+		return &p2p.Message{Kind: "result-ack"}, nil
+	case p2p.KindRedirect:
+		return p.handleRedirect(msg)
+	case p2p.KindDisconnect:
+		p.handleDisconnect(msg)
+		return &p2p.Message{Kind: "disconnect-ack"}, nil
+	case p2p.KindStream:
+		p.handleStream(msg)
+		return &p2p.Message{Kind: "stream-ack"}, nil
+	case p2p.KindChainUpdate:
+		p.handleChainUpdate(msg)
+		return &p2p.Message{Kind: "chain-ack"}, nil
+	case p2p.KindCompDef:
+		p.handleCompDef(msg)
+		return &p2p.Message{Kind: "compdef-ack"}, nil
+	case p2p.KindAdmin:
+		return p.handleAdmin(msg)
+	default:
+		return nil, fmt.Errorf("core: peer %s: unknown message kind %q", p.id, msg.Kind)
+	}
+}
+
+// handleAdmin serves directory-style requests (service descriptors), used
+// by cmd/axmlquery and remote tooling.
+func (p *Peer) handleAdmin(msg *p2p.Message) (*p2p.Message, error) {
+	switch msg.Subject {
+	case "descriptors":
+		var out string
+		for _, name := range p.registry.Names() {
+			if svc, ok := p.registry.Get(name); ok {
+				out += svc.Descriptor().XML()
+			}
+		}
+		return &p2p.Message{Kind: p2p.KindAdmin, Payload: []byte("<services>" + out + "</services>")}, nil
+	case "documents":
+		var out string
+		for _, name := range p.store.Names() {
+			out += "<document>" + name + "</document>"
+		}
+		return &p2p.Message{Kind: p2p.KindAdmin, Payload: []byte("<documents>" + out + "</documents>")}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown admin subject %q", msg.Subject)
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/p2p"
+	"axmltx/internal/xmldom"
+)
+
+// fig1 builds the paper's Figure 1 topology:
+//
+//	AP1 (origin, TA) invokes S2@AP2 and S3@AP3;
+//	AP3, processing S3, invokes S4@AP4 and S5@AP5;
+//	AP5, processing S5, invokes S6@AP6.
+//
+// Every peer hosts a document; leaf services (S2, S4, S6) insert an entry
+// into their local document; intermediate services are AXML query services
+// over documents embedding service calls to their children, so the
+// distributed nesting arises from lazy materialization exactly as in AXML.
+// failS5, when set, makes AP5's local work fail with fault "F5" *after*
+// S6 completed — the Figure 1 failure.
+type fig1 struct {
+	c       *cluster
+	failS5  *atomic.Bool
+	origin  *Peer
+	peers   map[p2p.PeerID]*Peer
+	snaps   map[p2p.PeerID]*xmldom.Document
+	q       *axml.Action // the top-level operation driving TA at AP1
+	rootDoc string
+}
+
+func buildFig1(t *testing.T, c *cluster, handlerXML string) *fig1 {
+	t.Helper()
+	f := &fig1{c: c, failS5: &atomic.Bool{}, peers: make(map[p2p.PeerID]*Peer), snaps: make(map[p2p.PeerID]*xmldom.Document)}
+
+	for _, id := range []p2p.PeerID{"AP1", "AP2", "AP3", "AP4", "AP5", "AP6"} {
+		opts := Options{}
+		if id == "AP1" {
+			opts.Super = true
+		}
+		f.peers[id] = c.add(id, opts)
+	}
+	f.origin = f.peers["AP1"]
+
+	// Leaves: S2@AP2, S4@AP4, S6@AP6.
+	hostEntryService(t, f.peers["AP2"], "S2", "D2.xml")
+	hostEntryService(t, f.peers["AP4"], "S4", "D4.xml")
+	hostEntryService(t, f.peers["AP6"], "S6", "D6.xml")
+
+	// AP5: S5 = query over D5, which embeds a call to S6@AP6; the failS5
+	// flag injects a fault into AP5's own processing after materialization.
+	ap5 := f.peers["AP5"]
+	if err := ap5.HostDocument("D5.xml", `<D5>
+	  <axml:sc mode="replace" methodName="S6" serviceURL="AP6"/>
+	  <fault trigger="maybe"/>
+	</D5>`); err != nil {
+		t.Fatal(err)
+	}
+	ap5.HostQueryService(servicesDescriptor("S5", "D5.xml"), `Select d/updateResult from d in D5`)
+	// The fault is injected below the service: a faulting materializer
+	// wrapper would be invasive, so instead S5's query service is wrapped.
+	wrapWithFault(ap5, "S5", f.failS5, "F5")
+
+	// AP3: S3 = query over D3 embedding S4@AP4 and S5@AP5 (handlerXML, if
+	// any, attaches fault handlers to the S5 call — the paper's step 3).
+	ap3 := f.peers["AP3"]
+	if err := ap3.HostDocument("D3.xml", fmt.Sprintf(`<D3>
+	  <axml:sc mode="replace" methodName="S4" serviceURL="AP4"/>
+	  <axml:sc mode="replace" methodName="S5" serviceURL="AP5">%s</axml:sc>
+	</D3>`, handlerXML)); err != nil {
+		t.Fatal(err)
+	}
+	ap3.HostQueryService(servicesDescriptor("S3", "D3.xml"), `Select d/updateResult from d in D3`)
+
+	// AP1: origin document embedding S2@AP2 and S3@AP3.
+	if err := f.origin.HostDocument("D1.xml", `<D1>
+	  <axml:sc mode="replace" methodName="S2" serviceURL="AP2"/>
+	  <axml:sc mode="replace" methodName="S3" serviceURL="AP3"/>
+	</D1>`); err != nil {
+		t.Fatal(err)
+	}
+	f.rootDoc = "D1.xml"
+	q, err := axml.ParseQuery(`Select d/updateResult from d in D1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.q = axml.NewQuery(q)
+
+	for id, p := range f.peers {
+		doc := "D" + strings.TrimPrefix(string(id), "AP") + ".xml"
+		if snap, ok := p.Store().Snapshot(doc); ok {
+			f.snaps[id] = snap
+		}
+	}
+	return f
+}
+
+func (f *fig1) assertAllRestored(t *testing.T) {
+	t.Helper()
+	for id, snap := range f.snaps {
+		doc := "D" + strings.TrimPrefix(string(id), "AP") + ".xml"
+		live, ok := f.peers[id].Store().Get(doc)
+		if !ok {
+			t.Fatalf("%s: doc missing", id)
+		}
+		if !live.Equal(snap) {
+			t.Errorf("%s: document not restored:\n%s", id, xmldom.MarshalString(live.Root()))
+		}
+	}
+}
+
+func TestFig1NestedRecoveryFullAbort(t *testing.T) {
+	c := newCluster(t)
+	f := buildFig1(t, c, "") // no fault handlers anywhere
+	f.failS5.Store(true)
+
+	txc := f.origin.Begin()
+	_, err := f.origin.Exec(txc, f.q)
+	if err == nil {
+		t.Fatal("expected TA to fail")
+	}
+	// Backward propagation reached the origin; the application aborts TA.
+	if err := f.origin.Abort(txc); err != nil {
+		t.Fatal(err)
+	}
+
+	f.assertAllRestored(t)
+
+	// The "Abort TA" message flow of Figure 1: AP5→AP6, AP3→AP4, AP1→AP2.
+	for _, tc := range []struct {
+		peer p2p.PeerID
+		sent int64
+		recv int64
+	}{
+		{"AP5", 1, 0}, // to AP6 (the reply to AP3 carries the abort upward)
+		{"AP6", 0, 1},
+		{"AP3", 1, 0}, // to AP4
+		{"AP4", 0, 1},
+		{"AP1", 1, 0}, // to AP2
+		{"AP2", 0, 1},
+	} {
+		m := f.peers[tc.peer].Metrics()
+		if m.AbortsSent.Load() != tc.sent || m.AbortsReceived.Load() != tc.recv {
+			t.Errorf("%s: aborts sent=%d recv=%d, want %d/%d",
+				tc.peer, m.AbortsSent.Load(), m.AbortsReceived.Load(), tc.sent, tc.recv)
+		}
+	}
+	// Every participant that had effects compensated them.
+	for _, id := range []p2p.PeerID{"AP1", "AP2", "AP3", "AP4", "AP5", "AP6"} {
+		if f.peers[id].Metrics().Compensations.Load() == 0 {
+			t.Errorf("%s never compensated", id)
+		}
+	}
+}
+
+func TestFig1SuccessCommitsEverywhere(t *testing.T) {
+	c := newCluster(t)
+	f := buildFig1(t, c, "")
+
+	txc := f.origin.Begin()
+	res, err := f.origin.Exec(txc, f.q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Query.Items) == 0 {
+		t.Fatal("no results")
+	}
+	// The chain recorded the full Figure 1 invocation tree.
+	chain := txc.Chain()
+	want := "[AP1* → [AP2] || [AP3 → [AP4] || [AP5 → AP6]]]"
+	if got := chain.String(); got != want {
+		t.Fatalf("chain = %s, want %s", got, want)
+	}
+	if err := f.origin.Commit(txc); err != nil {
+		t.Fatal(err)
+	}
+	// Leaf effects persist.
+	for _, id := range []p2p.PeerID{"AP2", "AP4", "AP6"} {
+		doc := "D" + strings.TrimPrefix(string(id), "AP") + ".xml"
+		if entryCount(t, f.peers[id], doc) != 1 {
+			t.Errorf("%s: committed entry missing", id)
+		}
+	}
+}
+
+func TestFig1ForwardRecoveryViaReplica(t *testing.T) {
+	// Fault handlers on the embedded S5 call at AP3 retry on a replica
+	// provider AP5b; the transaction completes despite AP5's failure —
+	// "undo only as much as required".
+	c := newCluster(t)
+	f := buildFig1(t, c, `<axml:catch faultName="F5"><axml:retry times="1"><axml:sc methodName="S5" serviceURL="AP5b"/></axml:retry></axml:catch>`)
+	f.failS5.Store(true)
+
+	// Replica of S5 at AP5b with its own copy of D5.
+	ap5b := c.add("AP5b", Options{})
+	if err := ap5b.HostDocument("D5.xml", `<D5>
+	  <axml:sc mode="replace" methodName="S6" serviceURL="AP6"/>
+	</D5>`); err != nil {
+		t.Fatal(err)
+	}
+	ap5b.HostQueryService(servicesDescriptor("S5", "D5.xml"), `Select d/updateResult from d in D5`)
+
+	txc := f.origin.Begin()
+	if _, err := f.origin.Exec(txc, f.q); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.origin.Commit(txc); err != nil {
+		t.Fatal(err)
+	}
+
+	m3 := f.peers["AP3"].Metrics()
+	if m3.ForwardRecoveries.Load() != 1 {
+		t.Fatalf("AP3 forward recoveries = %d", m3.ForwardRecoveries.Load())
+	}
+	// AP5's partial work was compensated; AP5b's is committed; AP6 was
+	// invoked twice (once under AP5, aborted; once under AP5b, committed)
+	// leaving exactly one live entry.
+	live5, _ := f.peers["AP5"].Store().Get("D5.xml")
+	if !live5.Equal(f.snaps["AP5"]) {
+		t.Error("AP5 not restored")
+	}
+	if n := entryCount(t, f.peers["AP6"], "D6.xml"); n != 1 {
+		t.Errorf("AP6 entries = %d, want 1", n)
+	}
+	// The other branches are untouched by the recovery.
+	if n := entryCount(t, f.peers["AP4"], "D4.xml"); n != 1 {
+		t.Errorf("AP4 entries = %d, want 1 (forward recovery must not undo siblings)", n)
+	}
+	if n := entryCount(t, f.peers["AP2"], "D2.xml"); n != 1 {
+		t.Errorf("AP2 entries = %d, want 1", n)
+	}
+	if f.origin.Metrics().TxnsCommitted.Load() != 1 {
+		t.Error("transaction did not commit")
+	}
+}

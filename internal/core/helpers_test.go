@@ -1,0 +1,111 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/p2p"
+	"axmltx/internal/services"
+	"axmltx/internal/xmldom"
+)
+
+// contextT keeps service closures in tests short.
+type contextT = context.Context
+
+// p2pID aliases the peer identifier type for helper brevity.
+type p2pID = p2p.PeerID
+
+// timeAfter is the standard test timeout channel.
+func timeAfter() <-chan time.Time { return time.After(5 * time.Second) }
+
+// docServiceCalls lists a (snapshot) document's service calls.
+func docServiceCalls(doc *xmldom.Document) []*axml.ServiceCall {
+	return axml.ServiceCalls(doc)
+}
+
+// servicesDescriptor builds the standard descriptor used by the scenario
+// services: they produce <updateResult> fragments over a target document.
+func servicesDescriptor(name, doc string) services.Descriptor {
+	return services.Descriptor{Name: name, ResultName: "updateResult", TargetDocument: doc}
+}
+
+// wrapWithFault replaces a registered service with a wrapper that runs the
+// original and then fails with the named fault while flag is set — the
+// standard failure-injection device of the scenario tests: the peer
+// performs (and logs) its work, then its processing fails, exactly like
+// AP5 in Figure 1.
+func wrapWithFault(p *Peer, name string, flag *atomic.Bool, faultName string) {
+	inner, ok := p.Registry().Get(name)
+	if !ok {
+		panic("wrapWithFault: no such service " + name)
+	}
+	p.Registry().Register(services.NewFuncService(inner.Descriptor(),
+		func(cctx context.Context, params map[string]string) ([]string, error) {
+			env, ok := EnvFrom(cctx)
+			if !ok {
+				panic("wrapWithFault: no engine environment")
+			}
+			out, err := inner.Invoke(cctx, &services.Request{Txn: env.Txn.ID, Params: params})
+			if err != nil {
+				return nil, err
+			}
+			if flag.Load() {
+				return nil, &services.Fault{Name: faultName, Msg: "injected"}
+			}
+			return out, nil
+		}))
+}
+
+// failFlag wraps a registered service with fault injection and returns the
+// flag controlling it.
+func failFlag(t interface{ Helper() }, p *Peer, name, faultName string) *atomic.Bool {
+	t.Helper()
+	flag := &atomic.Bool{}
+	wrapWithFault(p, name, flag, faultName)
+	return flag
+}
+
+// compositeCalling builds a service that invokes target/service within the
+// caller's transaction and relays the fragments.
+func compositeCalling(t interface{ Helper() }, name string, target string, service string) services.Service {
+	t.Helper()
+	return services.NewFuncService(services.Descriptor{Name: name, ResultName: "updateResult"},
+		func(cctx context.Context, params map[string]string) ([]string, error) {
+			env, ok := EnvFrom(cctx)
+			if !ok {
+				panic("compositeCalling: no engine environment")
+			}
+			return env.Peer.Call(env.Txn, p2pPeerID(target), service, params)
+		})
+}
+
+// p2pPeerID converts for readability at call sites.
+func p2pPeerID(s string) (id p2pID) { return p2pID(s) }
+
+// gate replaces a service with a wrapper that blocks until release closes,
+// so tests control exactly when the service's work completes.
+func gate(t interface{ Fatal(...any) }, p *Peer, name string, release <-chan struct{}) {
+	inner, ok := p.Registry().Get(name)
+	if !ok {
+		t.Fatal("gate: no such service " + name)
+	}
+	p.Registry().Register(services.NewFuncService(inner.Descriptor(),
+		func(cctx context.Context, params map[string]string) ([]string, error) {
+			<-release
+			env, _ := EnvFrom(cctx)
+			return inner.Invoke(cctx, &services.Request{Txn: env.Txn.ID, Params: params})
+		}))
+}
+
+// wrapCount replaces a service with a wrapper counting invocations.
+func wrapCount(p *Peer, name string, counter *atomic.Int32) {
+	inner, _ := p.Registry().Get(name)
+	p.Registry().Register(services.NewFuncService(inner.Descriptor(),
+		func(cctx context.Context, params map[string]string) ([]string, error) {
+			counter.Add(1)
+			env, _ := EnvFrom(cctx)
+			return inner.Invoke(cctx, &services.Request{Txn: env.Txn.ID, Params: params})
+		}))
+}

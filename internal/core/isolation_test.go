@@ -1,0 +1,119 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/services"
+)
+
+// TestIsolationConcurrentCounter runs many concurrent read-modify-write
+// transactions against one document. Document-level strict 2PL must
+// serialize them: the final counter equals the number of successful
+// transactions, with lock-timeout losers retrying.
+func TestIsolationConcurrentCounter(t *testing.T) {
+	c := newCluster(t)
+	ap1 := c.add("AP1", Options{LockTimeout: 250 * time.Millisecond})
+	if err := ap1.HostDocument("Counter.xml", `<Counter><value>0</value></Counter>`); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, perWorker = 8, 5
+	var wg sync.WaitGroup
+	var committed int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				for attempt := 0; attempt < 50; attempt++ {
+					if incrementOnce(ap1) {
+						mu.Lock()
+						committed++
+						mu.Unlock()
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	doc, _ := ap1.Store().Snapshot("Counter.xml")
+	got, err := strconv.Atoi(doc.Root().FirstElement("value").TextContent())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	want := int(committed)
+	mu.Unlock()
+	if got != want {
+		t.Fatalf("counter = %d, committed txns = %d (lost updates!)", got, want)
+	}
+	if want == 0 {
+		t.Fatal("no transaction ever succeeded")
+	}
+}
+
+// incrementOnce runs one read-modify-write transaction; false on lock
+// conflict (aborted, to be retried).
+func incrementOnce(p *Peer) bool {
+	txc := p.Begin()
+	q, _ := axml.ParseQuery(`Select c/value from c in Counter`)
+	res, err := p.Exec(txc, axml.NewQuery(q))
+	if err != nil {
+		_ = p.Abort(txc)
+		return false
+	}
+	cur, err := strconv.Atoi(res.Query.Items[0].Value())
+	if err != nil {
+		_ = p.Abort(txc)
+		return false
+	}
+	rep := axml.NewReplace(q, fmt.Sprintf("<value>%d</value>", cur+1))
+	if _, err := p.Exec(txc, rep); err != nil {
+		_ = p.Abort(txc)
+		return false
+	}
+	return p.Commit(txc) == nil
+}
+
+// TestIsolationAcrossPeers: two origins contending for one participant's
+// document; the loser's fault is a lock-timeout, and after the winner
+// commits the loser succeeds.
+func TestIsolationAcrossPeers(t *testing.T) {
+	c := newCluster(t)
+	host := c.add("HOST", Options{LockTimeout: 40 * time.Millisecond})
+	o1 := c.add("O1", Options{})
+	o2 := c.add("O2", Options{})
+	hostEntryService(t, host, "W", "D.xml")
+
+	tx1 := o1.Begin()
+	if _, err := o1.Call(tx1, "HOST", "W", nil); err != nil {
+		t.Fatal(err)
+	}
+	tx2 := o2.Begin()
+	_, err := o2.Call(tx2, "HOST", "W", nil)
+	var f *services.Fault
+	if !errors.As(err, &f) || f.Name != "lock-timeout" {
+		t.Fatalf("err = %v", err)
+	}
+	if err := o1.Commit(tx1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o2.Call(tx2, "HOST", "W", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := o2.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+	if entryCount(t, host, "D.xml") != 2 {
+		t.Fatalf("entries = %d", entryCount(t, host, "D.xml"))
+	}
+}

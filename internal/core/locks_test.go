@@ -1,0 +1,127 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLockSharedCompatible(t *testing.T) {
+	lt := NewLockTable(50 * time.Millisecond)
+	if err := lt.Acquire("t1", "d", LockShared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire("t2", "d", LockShared); err != nil {
+		t.Fatal(err)
+	}
+	if lt.Held("t1", "d") != LockShared || lt.Held("t2", "d") != LockShared {
+		t.Fatal("Held")
+	}
+}
+
+func TestLockExclusiveConflicts(t *testing.T) {
+	lt := NewLockTable(30 * time.Millisecond)
+	if err := lt.Acquire("t1", "d", LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire("t2", "d", LockShared); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("shared under exclusive: %v", err)
+	}
+	if err := lt.Acquire("t2", "d", LockExclusive); !errors.Is(err, ErrLockTimeout) {
+		t.Fatalf("exclusive under exclusive: %v", err)
+	}
+	// Different document is free.
+	if err := lt.Acquire("t2", "other", LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockReentrantAndUpgrade(t *testing.T) {
+	lt := NewLockTable(30 * time.Millisecond)
+	if err := lt.Acquire("t1", "d", LockShared); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire("t1", "d", LockShared); err != nil {
+		t.Fatal("re-acquire failed")
+	}
+	if err := lt.Acquire("t1", "d", LockExclusive); err != nil {
+		t.Fatal("upgrade failed with sole holder")
+	}
+	if lt.Held("t1", "d") != LockExclusive {
+		t.Fatal("upgrade not recorded")
+	}
+	// Downgrade request keeps exclusive.
+	if err := lt.Acquire("t1", "d", LockShared); err != nil {
+		t.Fatal(err)
+	}
+	if lt.Held("t1", "d") != LockExclusive {
+		t.Fatal("downgrade clobbered mode")
+	}
+}
+
+func TestLockReleaseWakesWaiters(t *testing.T) {
+	lt := NewLockTable(2 * time.Second)
+	if err := lt.Acquire("t1", "d", LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- lt.Acquire("t2", "d", LockExclusive)
+	}()
+	time.Sleep(10 * time.Millisecond)
+	lt.ReleaseAll("t1")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke")
+	}
+	if lt.Held("t1", "d") != 0 {
+		t.Fatal("t1 still holds after release")
+	}
+}
+
+func TestLockTimeoutBreaksDeadlock(t *testing.T) {
+	lt := NewLockTable(60 * time.Millisecond)
+	if err := lt.Acquire("t1", "a", LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	if err := lt.Acquire("t2", "b", LockExclusive); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	var err1, err2 error
+	wg.Add(2)
+	go func() { defer wg.Done(); err1 = lt.Acquire("t1", "b", LockExclusive) }()
+	go func() { defer wg.Done(); err2 = lt.Acquire("t2", "a", LockExclusive) }()
+	wg.Wait()
+	if err1 == nil && err2 == nil {
+		t.Fatal("deadlock not broken")
+	}
+}
+
+func TestLockManyConcurrentTxns(t *testing.T) {
+	lt := NewLockTable(2 * time.Second)
+	var wg sync.WaitGroup
+	counter := 0
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			txn := string(rune('a' + n))
+			if err := lt.Acquire(txn, "d", LockExclusive); err != nil {
+				t.Error(err)
+				return
+			}
+			counter++ // exclusive lock protects this
+			lt.ReleaseAll(txn)
+		}(i)
+	}
+	wg.Wait()
+	if counter != 20 {
+		t.Fatalf("counter = %d (lost updates => broken exclusion)", counter)
+	}
+}

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestManagerNewTxnIDsUnique(t *testing.T) {
+	m := NewManager("AP1")
+	seen := make(map[string]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				id := m.NewTxnID()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate txn id %s", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	for id := range seen {
+		if !strings.HasSuffix(id, "@AP1") {
+			t.Fatalf("id %s not origin-scoped", id)
+		}
+	}
+}
+
+func TestManagerBeginAndLookup(t *testing.T) {
+	m := NewManager("AP1")
+	ctx := m.Begin("T1@AP1", true)
+	if ctx.Origin != "AP1" || ctx.Self != "AP1" || ctx.Status() != StatusActive {
+		t.Fatalf("ctx = %+v", ctx)
+	}
+	if !ctx.Chain().IsSuper("AP1") {
+		t.Fatal("origin chain should carry super flag")
+	}
+	got, ok := m.Get("T1@AP1")
+	if !ok || got != ctx {
+		t.Fatal("lookup failed")
+	}
+	m.Remove("T1@AP1")
+	if _, ok := m.Get("T1@AP1"); ok {
+		t.Fatal("removed context still present")
+	}
+}
+
+func TestManagerBeginParticipantIdempotent(t *testing.T) {
+	m := NewManager("AP3")
+	chain := NewChain("AP1", true).Add("AP1", "AP3", "S3", false)
+	c1 := m.BeginParticipant("T1@AP1", "AP1", "AP1", "S3", chain)
+	c2 := m.BeginParticipant("T1@AP1", "AP1", "AP1", "S3", nil)
+	if c1 != c2 {
+		t.Fatal("participant context duplicated")
+	}
+	if c1.Parent != "AP1" || c1.Service != "S3" {
+		t.Fatalf("ctx = %+v", c1)
+	}
+}
+
+func TestManagerParticipantRevivedAfterAbort(t *testing.T) {
+	m := NewManager("AP3")
+	c1 := m.BeginParticipant("T1@AP1", "AP1", "AP1", "S3", nil)
+	c1.AddChild(Invocation{Peer: "AP4", Service: "S4"})
+	if !c1.transition(StatusAborted) {
+		t.Fatal("transition failed")
+	}
+	// Re-invocation (forward recovery) revives the context with a clean
+	// child list.
+	c2 := m.BeginParticipant("T1@AP1", "AP1", "AP1", "S3", nil)
+	if c2 != c1 {
+		t.Fatal("revival created a new context")
+	}
+	if c2.Status() != StatusActive {
+		t.Fatalf("status = %v", c2.Status())
+	}
+	if len(c2.Children()) != 0 {
+		t.Fatal("aborted epoch's children survived revival")
+	}
+	// A committed context is NOT revived into activity.
+	c3 := m.BeginParticipant("T2@AP1", "AP1", "AP1", "S3", nil)
+	c3.transition(StatusCommitted)
+	c4 := m.BeginParticipant("T2@AP1", "AP1", "AP1", "S3", nil)
+	if c4.Status() != StatusCommitted {
+		t.Fatal("committed context was revived")
+	}
+}
+
+func TestManagerActive(t *testing.T) {
+	m := NewManager("AP1")
+	a := m.Begin("T1@AP1", false)
+	m.Begin("T2@AP1", false)
+	a.transition(StatusCommitted)
+	active := m.Active()
+	if len(active) != 1 || active[0] != "T2@AP1" {
+		t.Fatalf("active = %v", active)
+	}
+}
+
+func TestContextTransitions(t *testing.T) {
+	m := NewManager("AP1")
+	ctx := m.Begin("T1@AP1", false)
+	if !ctx.transition(StatusAborted) {
+		t.Fatal("first transition failed")
+	}
+	if ctx.transition(StatusCommitted) {
+		t.Fatal("terminal context transitioned again")
+	}
+	if ctx.Status() != StatusAborted {
+		t.Fatal("status changed after terminal")
+	}
+}
+
+func TestContextReusedResults(t *testing.T) {
+	m := NewManager("AP1")
+	ctx := m.Begin("T1@AP1", false)
+	if _, ok := ctx.takeReused("S6"); ok {
+		t.Fatal("empty context had reused results")
+	}
+	ctx.storeReused(map[string][]string{"S6": {"<r/>"}})
+	ctx.storeReused(nil) // no-op
+	snap := ctx.reusedSnapshot()
+	if len(snap) != 1 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	frags, ok := ctx.takeReused("S6")
+	if !ok || len(frags) != 1 {
+		t.Fatal("takeReused failed")
+	}
+	if _, ok := ctx.takeReused("S6"); ok {
+		t.Fatal("reused results not consumed")
+	}
+	// The snapshot taken earlier is unaffected by consumption.
+	if len(snap["S6"]) != 1 {
+		t.Fatal("snapshot aliased")
+	}
+	if ctx.reusedSnapshot() != nil {
+		t.Fatal("empty snapshot should be nil")
+	}
+}
+
+func TestContextCompDefs(t *testing.T) {
+	m := NewManager("AP1")
+	ctx := m.Begin("T1@AP1", false)
+	ctx.AddCompDef(&CompensationDef{Txn: "T1@AP1", Peer: "AP3", Nodes: 1})
+	ctx.AddCompDef(&CompensationDef{Txn: "T1@AP1", Peer: "AP3", Nodes: 5}) // supersedes
+	ctx.AddCompDef(&CompensationDef{Txn: "T1@AP1", Peer: "AP4", Nodes: 2})
+	defs := ctx.CompDefs()
+	if len(defs) != 2 {
+		t.Fatalf("defs = %d", len(defs))
+	}
+	for _, d := range defs {
+		if d.Peer == "AP3" && d.Nodes != 5 {
+			t.Fatal("later definition did not supersede")
+		}
+	}
+}
+
+func TestContextUndoNodesAccumulates(t *testing.T) {
+	m := NewManager("AP1")
+	ctx := m.Begin("T1@AP1", false)
+	ctx.AddUndoNodes(3)
+	ctx.AddUndoNodes(4)
+	if ctx.UndoNodes() != 7 {
+		t.Fatalf("undo nodes = %d", ctx.UndoNodes())
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusActive: "active", StatusCommitted: "committed", StatusAborted: "aborted", Status(9): "Status(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q", s, got)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package core
+
+import "sync/atomic"
+
+// Metrics counts protocol events at one peer. All counters are safe for
+// concurrent update; Snapshot returns a consistent-enough copy for
+// experiment reporting (individual counters are atomic; cross-counter skew
+// is irrelevant for aggregated runs).
+type Metrics struct {
+	// TxnsBegun / TxnsCommitted / TxnsAborted count transaction outcomes
+	// at their origin peer.
+	TxnsBegun     atomic.Int64
+	TxnsCommitted atomic.Int64
+	TxnsAborted   atomic.Int64
+
+	// InvocationsServed counts services executed at this peer.
+	InvocationsServed atomic.Int64
+	// InvocationsMade counts remote invocations issued by this peer.
+	InvocationsMade atomic.Int64
+
+	// Compensations counts local compensation runs; NodesUndone the total
+	// XML nodes they touched (the paper's cost measure).
+	Compensations atomic.Int64
+	NodesUndone   atomic.Int64
+
+	// ForwardRecoveries counts faults absorbed by fault handlers (retry or
+	// application hooks); BackwardRecoveries counts faults propagated to
+	// the parent.
+	ForwardRecoveries  atomic.Int64
+	BackwardRecoveries atomic.Int64
+	// RetriesAttempted counts individual retry invocations.
+	RetriesAttempted atomic.Int64
+
+	// AbortsSent / AbortsReceived count "Abort TA" messages.
+	AbortsSent     atomic.Int64
+	AbortsReceived atomic.Int64
+
+	// DisconnectsDetected counts peer-death observations (failed sends,
+	// ping timeouts, stream silences); Redirects counts results re-routed
+	// past a dead parent (§3.3 case b); WorkReused counts materialized
+	// results salvaged into a forward recovery.
+	DisconnectsDetected atomic.Int64
+	Redirects           atomic.Int64
+	WorkReused          atomic.Int64
+	// NodesLost totals the subtree sizes of work discarded because of
+	// disconnection — the "loss of effort" §3.3 minimizes.
+	NodesLost atomic.Int64
+
+	// CompServicesBuilt counts compensating-service definitions constructed
+	// for peer-independent recovery; CompServicesRun counts executions of
+	// shipped definitions.
+	CompServicesBuilt atomic.Int64
+	CompServicesRun   atomic.Int64
+}
+
+// MetricsSnapshot is a plain-values copy of Metrics.
+type MetricsSnapshot struct {
+	TxnsBegun, TxnsCommitted, TxnsAborted      int64
+	InvocationsServed, InvocationsMade         int64
+	Compensations, NodesUndone                 int64
+	ForwardRecoveries, BackwardRecoveries      int64
+	RetriesAttempted                           int64
+	AbortsSent, AbortsReceived                 int64
+	DisconnectsDetected, Redirects, WorkReused int64
+	NodesLost                                  int64
+	CompServicesBuilt, CompServicesRun         int64
+}
+
+// Snapshot copies the current counter values.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		TxnsBegun:           m.TxnsBegun.Load(),
+		TxnsCommitted:       m.TxnsCommitted.Load(),
+		TxnsAborted:         m.TxnsAborted.Load(),
+		InvocationsServed:   m.InvocationsServed.Load(),
+		InvocationsMade:     m.InvocationsMade.Load(),
+		Compensations:       m.Compensations.Load(),
+		NodesUndone:         m.NodesUndone.Load(),
+		ForwardRecoveries:   m.ForwardRecoveries.Load(),
+		BackwardRecoveries:  m.BackwardRecoveries.Load(),
+		RetriesAttempted:    m.RetriesAttempted.Load(),
+		AbortsSent:          m.AbortsSent.Load(),
+		AbortsReceived:      m.AbortsReceived.Load(),
+		DisconnectsDetected: m.DisconnectsDetected.Load(),
+		Redirects:           m.Redirects.Load(),
+		WorkReused:          m.WorkReused.Load(),
+		NodesLost:           m.NodesLost.Load(),
+		CompServicesBuilt:   m.CompServicesBuilt.Load(),
+		CompServicesRun:     m.CompServicesRun.Load(),
+	}
+}
+
+// Add accumulates another snapshot into s (for cluster-wide totals).
+func (s *MetricsSnapshot) Add(o MetricsSnapshot) {
+	s.TxnsBegun += o.TxnsBegun
+	s.TxnsCommitted += o.TxnsCommitted
+	s.TxnsAborted += o.TxnsAborted
+	s.InvocationsServed += o.InvocationsServed
+	s.InvocationsMade += o.InvocationsMade
+	s.Compensations += o.Compensations
+	s.NodesUndone += o.NodesUndone
+	s.ForwardRecoveries += o.ForwardRecoveries
+	s.BackwardRecoveries += o.BackwardRecoveries
+	s.RetriesAttempted += o.RetriesAttempted
+	s.AbortsSent += o.AbortsSent
+	s.AbortsReceived += o.AbortsReceived
+	s.DisconnectsDetected += o.DisconnectsDetected
+	s.Redirects += o.Redirects
+	s.WorkReused += o.WorkReused
+	s.NodesLost += o.NodesLost
+	s.CompServicesBuilt += o.CompServicesBuilt
+	s.CompServicesRun += o.CompServicesRun
+}

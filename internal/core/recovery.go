@@ -1,0 +1,595 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/p2p"
+	"axmltx/internal/services"
+	"axmltx/internal/wal"
+)
+
+// FaultDisconnected is the fault name synthesized when an invocation target
+// is unreachable; <axml:catch faultName="disconnected"> handlers match it.
+const FaultDisconnected = "disconnected"
+
+// envKey carries the engine environment through context.Context into
+// service bodies, so composite services can make nested invocations within
+// the caller's transaction.
+type envKey struct{}
+
+// Env is the engine environment visible to service implementations.
+type Env struct {
+	// Peer is the hosting peer.
+	Peer *Peer
+	// Txn is the transaction context the invocation runs under.
+	Txn *Context
+}
+
+// WithEnv attaches an environment to a context.
+func WithEnv(ctx context.Context, env *Env) context.Context {
+	return context.WithValue(ctx, envKey{}, env)
+}
+
+// EnvFrom extracts the engine environment, if present.
+func EnvFrom(ctx context.Context) (*Env, bool) {
+	env, ok := ctx.Value(envKey{}).(*Env)
+	return env, ok
+}
+
+// Invoke implements axml.Materializer: it executes the embedded service
+// call within txn, applying the call's fault handlers (§3.2) before letting
+// a failure propagate. This is where the nested recovery protocol's
+// forward-vs-backward choice is made at each intermediate peer.
+func (p *Peer) Invoke(txn string, sc *axml.ServiceCall, params []axml.Param) ([]string, error) {
+	txc, ok := p.mgr.Get(txn)
+	if !ok {
+		return nil, fmt.Errorf("core: no context for transaction %s at %s", txn, p.id)
+	}
+	pm := paramMap(params)
+	service := sc.Service()
+
+	// Work salvaged from a disconnected peer's children substitutes for
+	// re-invocation (§3.3 case b: "passing the materialized results
+	// directly").
+	if frags, ok := txc.takeReused(service); ok {
+		p.metrics.WorkReused.Add(1)
+		return frags, nil
+	}
+
+	target := p.resolveTarget(sc)
+	resp, err := p.invokeOnce(txc, target, service, pm, false)
+	if err == nil {
+		return resp.Fragments, nil
+	}
+	return p.recoverInvocation(txc, sc, pm, target, err)
+}
+
+// ResultName implements axml.Materializer via the local registry.
+func (p *Peer) ResultName(service string) string { return p.registry.ResultName(service) }
+
+// resolveTarget picks the provider of an embedded call: the explicit
+// serviceURL (peer ID) if any, the local registry, then the replication
+// table's ranked providers.
+func (p *Peer) resolveTarget(sc *axml.ServiceCall) p2p.PeerID {
+	if url := sc.URL(); url != "" {
+		return p2p.PeerID(url)
+	}
+	if _, ok := p.registry.Get(sc.Service()); ok {
+		return p.id
+	}
+	if alt, ok := p.replicas.Alternative(sc.Service()); ok {
+		return alt
+	}
+	return p.id // will fail with unknown service, the honest error
+}
+
+// recoverInvocation applies the service call's fault handlers to a failed
+// invocation: application hooks first, then retry (with wait, and with an
+// alternative provider when the handler or the replication table supplies
+// one). A handled fault counts as forward recovery; an unhandled one is
+// propagated (backward recovery).
+func (p *Peer) recoverInvocation(txc *Context, sc *axml.ServiceCall, params map[string]string, failed p2p.PeerID, cause error) ([]string, error) {
+	faultName := faultNameOf(cause)
+	handler, ok := sc.HandlerFor(faultName)
+	if !ok {
+		p.metrics.BackwardRecoveries.Add(1)
+		return nil, cause
+	}
+	// Application-specific handler code (the paper's "Java code" slot).
+	if hook, ok := p.faultHook(sc.Service(), handler.FaultName); ok {
+		if err := hook(txc.ID, sc, faultName); err == nil {
+			p.metrics.ForwardRecoveries.Add(1)
+			return nil, nil
+		}
+	}
+	if handler.Retry == nil {
+		p.metrics.BackwardRecoveries.Add(1)
+		return nil, cause
+	}
+	excluded := []p2p.PeerID{failed}
+	lastErr := cause
+	for attempt := 0; attempt < handler.Retry.Times; attempt++ {
+		if handler.Retry.Wait > 0 {
+			time.Sleep(handler.Retry.Wait)
+		}
+		p.metrics.RetriesAttempted.Add(1)
+		target, service, pm := failed, sc.Service(), params
+		if alt := handler.Retry.Alt; alt != nil {
+			// The optional <axml:sc> inside retry names the replacement
+			// invocation (typically the same service on a replica peer).
+			service = alt.Service()
+			pm = paramMapOf(alt, params)
+			if alt.URL() != "" {
+				target = p2p.PeerID(alt.URL())
+			}
+		}
+		if target == failed {
+			// Pick a replica provider, excluding everyone who failed.
+			if alt, ok := p.replicas.Alternative(service, excluded...); ok {
+				target = alt
+			}
+		}
+		if target == failed && faultNameOf(lastErr) == FaultDisconnected {
+			// No alternative provider for a dead peer: retrying is futile.
+			break
+		}
+		resp, err := p.invokeOnce(txc, target, service, pm, false)
+		if err == nil {
+			p.metrics.ForwardRecoveries.Add(1)
+			return resp.Fragments, nil
+		}
+		lastErr = err
+		excluded = append(excluded, target)
+	}
+	p.metrics.BackwardRecoveries.Add(1)
+	return nil, lastErr
+}
+
+// paramMapOf binds an alternative call's own literal params, falling back
+// to the original invocation's parameters.
+func paramMapOf(sc *axml.ServiceCall, orig map[string]string) map[string]string {
+	out := make(map[string]string, len(orig))
+	for k, v := range orig {
+		out[k] = v
+	}
+	for _, prm := range sc.Params() {
+		if prm.Value != "" {
+			out[prm.Name] = prm.Value
+		}
+	}
+	return out
+}
+
+func paramMap(params []axml.Param) map[string]string {
+	out := make(map[string]string, len(params))
+	for _, prm := range params {
+		out[prm.Name] = prm.Value
+	}
+	return out
+}
+
+// faultNameOf classifies an error: unreachable peers become the synthetic
+// "disconnected" fault, named service faults keep their name, anything
+// else is anonymous ("" matches only catchAll).
+func faultNameOf(err error) string {
+	if errors.Is(err, p2p.ErrUnreachable) {
+		return FaultDisconnected
+	}
+	return services.FaultName(err)
+}
+
+// invokeOnce performs a single local or remote invocation within txc,
+// recording the completed child invocation and adopting the callee's chain.
+func (p *Peer) invokeOnce(txc *Context, target p2p.PeerID, service string, params map[string]string, async bool) (*InvokeResponse, error) {
+	if target == p.id || target == "" {
+		frags, err := p.executeLocalService(txc, service, params)
+		if err != nil {
+			return nil, err
+		}
+		return &InvokeResponse{Service: service, Fragments: frags, Chain: txc.Chain()}, nil
+	}
+	p.metrics.InvocationsMade.Add(1)
+	req := &InvokeRequest{
+		Txn:     txc.ID,
+		Origin:  txc.Origin,
+		Caller:  p.id,
+		Service: service,
+		Params:  params,
+		Async:   async,
+	}
+	if !p.opts.DisableChaining {
+		req.Chain = txc.Chain().Add(p.id, target, service, false)
+		txc.SetChain(req.Chain)
+		// Share the extended active peer list with our ancestors before
+		// the invocation runs: should we die mid-flight, they already know
+		// the subtree below us (§3.3 — AP2 must know about AP6).
+		p.propagateChain(txc)
+	}
+	msg := &p2p.Message{Kind: p2p.KindInvoke, Txn: txc.ID, Subject: service, Payload: encode(req)}
+	reply, err := p.transport.Request(context.Background(), target, msg)
+	if err != nil {
+		if errors.Is(err, p2p.ErrUnreachable) {
+			p.metrics.DisconnectsDetected.Add(1)
+		}
+		return nil, err
+	}
+	if reply.Err != "" {
+		// The error reply is the "Abort TA" message from the participant
+		// to its invoker (it has already aborted its local context).
+		if reply.Subject != "" {
+			msg := strings.TrimPrefix(reply.Err, "fault "+reply.Subject+": ")
+			return nil, &services.Fault{Name: reply.Subject, Msg: msg}
+		}
+		return nil, errors.New(reply.Err)
+	}
+	if async {
+		return &InvokeResponse{Service: service}, nil
+	}
+	var resp InvokeResponse
+	if err := decode(reply.Payload, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Chain != nil && !p.opts.DisableChaining {
+		txc.SetChain(txc.Chain().Merge(resp.Chain))
+	}
+	inv := Invocation{Peer: target, Service: service}
+	if len(resp.Comp) > 0 {
+		if def, err := DecodeCompensationDef(resp.Comp); err == nil {
+			inv.Comp = def
+		}
+	}
+	txc.AddChild(inv)
+	return &resp, nil
+}
+
+// propagateChain shares txc's current chain with every ancestor of this
+// peer, best effort and one-way.
+func (p *Peer) propagateChain(txc *Context) {
+	chain := txc.Chain()
+	if chain == nil {
+		return
+	}
+	payload := encode(&ChainUpdate{Txn: txc.ID, Chain: chain})
+	bg := context.Background()
+	for _, ancestor := range chain.AncestorsOf(p.id) {
+		_ = p.transport.Send(bg, ancestor, &p2p.Message{
+			Kind: p2p.KindChainUpdate, Txn: txc.ID, Payload: payload,
+		})
+	}
+}
+
+// handleChainUpdate merges a propagated active peer list into the local
+// context.
+func (p *Peer) handleChainUpdate(msg *p2p.Message) {
+	var cu ChainUpdate
+	if err := decode(msg.Payload, &cu); err != nil || cu.Chain == nil {
+		return
+	}
+	if txc, ok := p.mgr.Get(cu.Txn); ok && !p.opts.DisableChaining {
+		txc.SetChain(txc.Chain().Merge(cu.Chain))
+	}
+}
+
+// executeLocalService runs a registry service under txc with the engine
+// environment attached, acquiring the service's declared document lock.
+func (p *Peer) executeLocalService(txc *Context, service string, params map[string]string) ([]string, error) {
+	svc, ok := p.registry.Get(service)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q at %s", services.ErrUnknownService, service, p.id)
+	}
+	desc := svc.Descriptor()
+	if desc.TargetDocument != "" {
+		if err := p.locks.Acquire(txc.ID, desc.TargetDocument, LockExclusive); err != nil {
+			return nil, &services.Fault{Name: "lock-timeout", Msg: err.Error()}
+		}
+	}
+	cctx := WithEnv(context.Background(), &Env{Peer: p, Txn: txc})
+	return p.registry.Invoke(cctx, service, &services.Request{Txn: txc.ID, Params: params})
+}
+
+// handleInvoke serves an incoming invocation (the participant side).
+func (p *Peer) handleInvoke(msg *p2p.Message) (*p2p.Message, error) {
+	var req InvokeRequest
+	if err := decode(msg.Payload, &req); err != nil {
+		return nil, err
+	}
+	var chain *Chain
+	if req.Chain != nil && !p.opts.DisableChaining {
+		chain = req.Chain.Clone()
+		chain.markSuper(p.id, p.opts.Super)
+	}
+	txc := p.mgr.BeginParticipant(req.Txn, req.Origin, req.Caller, req.Service, chain)
+	txc.storeReused(req.Reused)
+	p.metrics.InvocationsServed.Add(1)
+
+	if req.Async {
+		// Acknowledge, run the service, then push the result — the flow
+		// where a child may find its parent gone when returning results.
+		go p.runAsync(txc, &req)
+		return &p2p.Message{Kind: "invoke-ack"}, nil
+	}
+
+	logBefore := len(p.store.Log().TxnRecords(req.Txn))
+	frags, err := p.executeLocalService(txc, req.Service, req.Params)
+	if err != nil {
+		// The paper's step 1 at a failed peer: abort the local context,
+		// notify the peers whose services we invoked; the error reply
+		// carries the abort to the invoker.
+		_ = p.abortContext(txc, req.Caller, false)
+		return &p2p.Message{Kind: p2p.KindResult, Txn: req.Txn,
+			Subject: faultNameOf(err), Err: err.Error()}, nil
+	}
+	resp := &InvokeResponse{
+		Service:   req.Service,
+		Fragments: frags,
+		Chain:     txc.Chain(),
+		Nodes:     workNodesSince(p.store.Log(), req.Txn, logBefore),
+	}
+	if p.opts.PeerIndependent {
+		def := BuildCompensationDef(p.store, req.Txn, p.id, req.Service)
+		p.metrics.CompServicesBuilt.Add(1)
+		resp.Comp = def.Encode()
+		p.sendCompDefToOrigin(&req, resp.Comp)
+	}
+	return &p2p.Message{Kind: p2p.KindResult, Txn: req.Txn, Payload: encode(resp)}, nil
+}
+
+// sendCompDefToOrigin also ships the compensating-service definition to
+// the origin peer directly ("The compensating service definitions can also
+// be sent to the origin peer directly", §3.2): should an intermediate peer
+// later disconnect, the origin can still drive this participant's
+// compensation without the invocation path.
+func (p *Peer) sendCompDefToOrigin(req *InvokeRequest, payload []byte) {
+	if req.Origin == "" || req.Origin == p.id || req.Origin == req.Caller {
+		return // the caller already receives the definition with the reply
+	}
+	_ = p.transport.Send(context.Background(), req.Origin, &p2p.Message{
+		Kind: p2p.KindCompDef, Txn: req.Txn, Payload: payload,
+	})
+}
+
+// handleCompDef stores a definition shipped directly by a participant.
+func (p *Peer) handleCompDef(msg *p2p.Message) {
+	def, err := DecodeCompensationDef(msg.Payload)
+	if err != nil {
+		return
+	}
+	if txc, ok := p.mgr.Get(msg.Txn); ok {
+		txc.AddCompDef(def)
+	}
+}
+
+// runAsync executes a deferred invocation and pushes the result to the
+// caller, redirecting up the chain when the caller has disconnected (§3.3
+// case b).
+func (p *Peer) runAsync(txc *Context, req *InvokeRequest) {
+	logBefore := len(p.store.Log().TxnRecords(req.Txn))
+	frags, err := p.executeLocalService(txc, req.Service, req.Params)
+	if err != nil {
+		_ = p.abortContext(txc, "", true)
+		return
+	}
+	resp := &InvokeResponse{
+		Service:   req.Service,
+		Fragments: frags,
+		Chain:     txc.Chain(),
+		Nodes:     workNodesSince(p.store.Log(), req.Txn, logBefore),
+	}
+	if p.opts.PeerIndependent {
+		resp.Comp = BuildCompensationDef(p.store, req.Txn, p.id, req.Service).Encode()
+		p.metrics.CompServicesBuilt.Add(1)
+		p.sendCompDefToOrigin(req, resp.Comp)
+	}
+	msg := &p2p.Message{Kind: p2p.KindResult, Txn: req.Txn, Subject: req.Service, Payload: encode(resp)}
+	if err := p.transport.Send(context.Background(), req.Caller, msg); err == nil {
+		return
+	}
+	// Parent unreachable while returning results: scenario (b).
+	p.metrics.DisconnectsDetected.Add(1)
+	p.redirectPastDeadParent(txc, req.Caller, req.Service, resp)
+}
+
+// handleResult receives an asynchronously pushed invocation result.
+func (p *Peer) handleResult(msg *p2p.Message) {
+	var resp InvokeResponse
+	if err := decode(msg.Payload, &resp); err != nil {
+		return
+	}
+	if txc, ok := p.mgr.Get(msg.Txn); ok {
+		if resp.Chain != nil && !p.opts.DisableChaining {
+			txc.SetChain(txc.Chain().Merge(resp.Chain))
+		}
+		inv := Invocation{Peer: msg.From, Service: resp.Service}
+		if len(resp.Comp) > 0 {
+			if def, err := DecodeCompensationDef(resp.Comp); err == nil {
+				inv.Comp = def
+			}
+		}
+		txc.AddChild(inv)
+	}
+	p.mu.Lock()
+	cb := p.onResult
+	p.mu.Unlock()
+	if cb != nil {
+		cb(msg.Txn, &resp)
+	}
+}
+
+// abortContext rolls back the local context and propagates "Abort TA":
+// to every completed child invocation, and — when notifyParent — to the
+// invoking peer. skip names a peer that must not be re-notified (the one
+// the abort came from). Peer-independent mode sends participants their own
+// compensating-service definitions instead of abort messages.
+func (p *Peer) abortContext(txc *Context, skip p2p.PeerID, notifyParent bool) error {
+	if !txc.transition(StatusAborted) {
+		return nil // already terminal; idempotent
+	}
+	if txc.Self == txc.Origin {
+		p.metrics.TxnsAborted.Add(1)
+	}
+	_, _ = p.store.Log().Append(&wal.Record{Txn: txc.ID, Type: wal.TypeAbort})
+
+	affected, err := Compensate(p.store, txc.ID)
+	p.metrics.Compensations.Add(1)
+	p.metrics.NodesUndone.Add(int64(affected))
+	txc.AddUndoNodes(affected)
+	p.locks.ReleaseAll(txc.ID)
+
+	bg := context.Background()
+	// Definitions shipped directly by transitive participants let the
+	// origin compensate peers whose invocation path has broken; a peer
+	// already covered as a direct child is handled there.
+	extraDefs := make(map[p2p.PeerID]*CompensationDef)
+	for _, def := range txc.CompDefs() {
+		extraDefs[def.Peer] = def
+	}
+	for _, child := range txc.Children() {
+		delete(extraDefs, child.Peer)
+		if child.Peer == skip {
+			continue
+		}
+		if child.Comp != nil {
+			// Peer-independent recovery: drive the participant's
+			// compensation directly; it "does not even need to be aware"
+			// this is compensation.
+			p.metrics.CompServicesRun.Add(1)
+			payload := child.Comp.Encode()
+			err := p.transport.Send(bg, child.Peer, &p2p.Message{
+				Kind: p2p.KindCompensate, Txn: txc.ID, Payload: payload,
+			})
+			if err != nil {
+				// The original peer disconnected: run the definition on a
+				// replica of the affected document instead — the payoff of
+				// peer independence under churn (§3.3).
+				p.metrics.DisconnectsDetected.Add(1)
+				p.sendCompToReplica(txc.ID, child, payload)
+			}
+			continue
+		}
+		p.metrics.AbortsSent.Add(1)
+		_ = p.transport.Send(bg, child.Peer, &p2p.Message{Kind: p2p.KindAbort, Txn: txc.ID})
+	}
+	for peer, def := range extraDefs {
+		if peer == skip || peer == p.id {
+			continue
+		}
+		p.metrics.CompServicesRun.Add(1)
+		payload := def.Encode()
+		if err := p.transport.Send(bg, peer, &p2p.Message{
+			Kind: p2p.KindCompensate, Txn: txc.ID, Payload: payload,
+		}); err != nil {
+			p.sendCompToReplica(txc.ID, Invocation{Peer: peer, Comp: def}, payload)
+		}
+	}
+	if notifyParent && txc.Parent != "" && txc.Parent != skip {
+		p.metrics.AbortsSent.Add(1)
+		_ = p.transport.Send(bg, txc.Parent, &p2p.Message{Kind: p2p.KindAbort, Txn: txc.ID})
+	}
+	return err
+}
+
+// sendCompToReplica routes a compensating-service definition to a live
+// holder of a replica of the affected document(s) when the original peer is
+// unreachable.
+func (p *Peer) sendCompToReplica(txn string, child Invocation, payload []byte) {
+	bg := context.Background()
+	tried := map[p2p.PeerID]bool{child.Peer: true, p.id: true}
+	for _, doc := range child.Comp.Docs {
+		for _, holder := range p.replicas.DocumentReplicas(doc) {
+			if tried[holder] {
+				continue
+			}
+			tried[holder] = true
+			if err := p.transport.Send(bg, holder, &p2p.Message{
+				Kind: p2p.KindCompensate, Txn: txn, Payload: payload,
+			}); err == nil {
+				return
+			}
+		}
+	}
+	// No reachable replica: atomicity cannot be guaranteed for this
+	// participant (the Spheres of Atomicity caveat).
+	p.metrics.NodesLost.Add(int64(child.Comp.Nodes))
+}
+
+// handleAbort processes an incoming "Abort TA".
+func (p *Peer) handleAbort(msg *p2p.Message) {
+	p.metrics.AbortsReceived.Add(1)
+	txc, ok := p.mgr.Get(msg.Txn)
+	if !ok {
+		// No live context (e.g. already removed): still compensate any
+		// logged effects, idempotently — unless the transaction committed
+		// here, in which case a stray abort must not undo durable work.
+		if HasCommitted(p.store.Log(), msg.Txn) {
+			return
+		}
+		affected, _ := Compensate(p.store, msg.Txn)
+		if affected > 0 {
+			p.metrics.Compensations.Add(1)
+			p.metrics.NodesUndone.Add(int64(affected))
+		}
+		return
+	}
+	// Continue propagation away from the sender: to children, and upward
+	// unless the abort came from the parent.
+	_ = p.abortContext(txc, msg.From, msg.From != txc.Parent)
+}
+
+// handleCommit processes a commit notification, cascading to children.
+func (p *Peer) handleCommit(msg *p2p.Message) {
+	txc, ok := p.mgr.Get(msg.Txn)
+	if !ok {
+		return
+	}
+	if !txc.transition(StatusCommitted) {
+		return
+	}
+	_, _ = p.store.Log().Append(&wal.Record{Txn: msg.Txn, Type: wal.TypeCommit})
+	p.locks.ReleaseAll(msg.Txn)
+	for _, child := range txc.Children() {
+		if child.Peer == msg.From {
+			continue
+		}
+		_ = p.transport.Send(context.Background(), child.Peer,
+			&p2p.Message{Kind: p2p.KindCommit, Txn: msg.Txn})
+	}
+	p.mgr.Remove(msg.Txn)
+}
+
+// handleCompensate executes a shipped compensating-service definition.
+func (p *Peer) handleCompensate(msg *p2p.Message) (*p2p.Message, error) {
+	def, err := DecodeCompensationDef(msg.Payload)
+	if err != nil {
+		return nil, err
+	}
+	affected, err := def.Execute(p.store)
+	if err != nil {
+		return nil, err
+	}
+	p.metrics.Compensations.Add(1)
+	p.metrics.NodesUndone.Add(int64(affected))
+	p.locks.ReleaseAll(def.Txn)
+	if txc, ok := p.mgr.Get(def.Txn); ok {
+		txc.transition(StatusAborted)
+	}
+	return &p2p.Message{Kind: "compensate-ack"}, nil
+}
+
+// workNodesSince values the work a transaction performed at this peer from
+// log records appended after index from — the affected-node cost measure.
+func workNodesSince(log wal.Log, txn string, from int) int {
+	recs := log.TxnRecords(txn)
+	total := 0
+	for i := from; i < len(recs); i++ {
+		switch recs[i].Type {
+		case wal.TypeInsert, wal.TypeDelete:
+			total += countNodes(recs[i].XML)
+		}
+	}
+	return total
+}

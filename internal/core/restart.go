@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/wal"
+)
+
+// RecoverPending rolls back every transaction in the store's log that has
+// structural effects but neither committed nor was fully compensated — the
+// restart-time recovery pass of a peer. AXML documents are the peer's
+// persistent state; after a crash they may contain effects of in-flight
+// transactions, and the log's before-images are exactly what is needed to
+// compensate them (§3.1's rationale for logging).
+//
+// It returns the IDs of the transactions it compensated. The pass is
+// idempotent: compensation markers make re-runs no-ops.
+func RecoverPending(store *axml.Store) ([]string, error) {
+	log := store.Log()
+	type state struct {
+		effects   bool
+		committed bool
+		order     int
+	}
+	txns := make(map[string]*state)
+	var order []string
+	for _, r := range log.Records() {
+		st, ok := txns[r.Txn]
+		if !ok {
+			st = &state{order: len(order)}
+			txns[r.Txn] = st
+			order = append(order, r.Txn)
+		}
+		switch r.Type {
+		case wal.TypeInsert, wal.TypeDelete:
+			st.effects = true
+		case wal.TypeCommit:
+			st.committed = true
+		}
+	}
+	var recovered []string
+	for _, txn := range order {
+		st := txns[txn]
+		if st.committed || !st.effects {
+			continue
+		}
+		if AlreadyCompensated(log, txn) {
+			continue
+		}
+		if _, err := Compensate(store, txn); err != nil {
+			return recovered, fmt.Errorf("core: restart recovery of %s: %w", txn, err)
+		}
+		recovered = append(recovered, txn)
+	}
+	return recovered, nil
+}
+
+// RecoverPending runs restart-time recovery over this peer's store,
+// updating the compensation metrics.
+func (p *Peer) RecoverPending() ([]string, error) {
+	recovered, err := RecoverPending(p.store)
+	if len(recovered) > 0 {
+		p.metrics.Compensations.Add(int64(len(recovered)))
+	}
+	return recovered, err
+}

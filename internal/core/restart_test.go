@@ -1,0 +1,109 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/wal"
+	"axmltx/internal/xmldom"
+)
+
+func TestRecoverPendingCompensatesInFlightTxn(t *testing.T) {
+	dir := t.TempDir()
+	logPath := filepath.Join(dir, "peer.wal")
+	log, err := wal.OpenFile(logPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := axml.NewStore(log)
+	if _, err := store.AddParsed("D.xml", `<D><a>orig</a></D>`); err != nil {
+		t.Fatal(err)
+	}
+	snapshot, _ := store.Snapshot("D.xml")
+
+	// T1 commits; T2 is in flight at "crash" time.
+	loc, _ := axml.ParseQuery(`Select d from d in D`)
+	if _, err := log.Append(&wal.Record{Txn: "T1", Type: wal.TypeBegin}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Apply("T1", axml.NewInsert(loc, `<committed/>`), nil, axml.Lazy); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(&wal.Record{Txn: "T1", Type: wal.TypeCommit}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(&wal.Record{Txn: "T2", Type: wal.TypeBegin}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Apply("T2", axml.NewInsert(loc, `<uncommitted/>`), nil, axml.Lazy); err != nil {
+		t.Fatal(err)
+	}
+	locA, _ := axml.ParseQuery(`Select d/a from d in D`)
+	if _, err := store.Apply("T2", axml.NewReplace(locA, `<a>dirty</a>`), nil, axml.Lazy); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": the documents are the persistent state (they carry T2's
+	// uncommitted effects); the log is reopened and recovery runs.
+	relog, err := wal.OpenFile(logPath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relog.Close()
+	restore := axml.NewStore(relog)
+	dirtyDoc, _ := store.Snapshot("D.xml")
+	restore.Add(dirtyDoc)
+
+	recovered, err := RecoverPending(restore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 || recovered[0] != "T2" {
+		t.Fatalf("recovered = %v", recovered)
+	}
+	// T2's effects are gone; T1's survive.
+	live, _ := restore.Get("D.xml")
+	wantDoc := snapshot.Clone()
+	frag, _ := xmldom.ParseFragment(wantDoc, `<committed/>`)
+	if err := wantDoc.AppendChild(wantDoc.Root(), frag); err != nil {
+		t.Fatal(err)
+	}
+	if !live.Equal(wantDoc) {
+		t.Fatalf("after recovery:\n got: %s\nwant: %s",
+			xmldom.MarshalString(live.Root()), xmldom.MarshalString(wantDoc.Root()))
+	}
+	// Idempotent.
+	again, err := RecoverPending(restore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Fatalf("second pass recovered %v", again)
+	}
+}
+
+func TestRecoverPendingViaPeer(t *testing.T) {
+	c := newCluster(t)
+	ap1 := c.add("AP1", Options{})
+	hostEntryService(t, ap1, "S1", "D1.xml")
+	txc := ap1.Begin()
+	if _, err := ap1.Call(txc, "AP1", "S1", nil); err != nil {
+		t.Fatal(err)
+	}
+	// The peer "restarts" without committing: the same store/log stand in
+	// for the reloaded persistent state.
+	recovered, err := ap1.RecoverPending()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered = %v", recovered)
+	}
+	if entryCount(t, ap1, "D1.xml") != 0 {
+		t.Fatal("pending effects survived restart recovery")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"axmltx/internal/services"
+)
+
+func TestSchedulerPeriodicMaterialization(t *testing.T) {
+	c := newCluster(t)
+	ap1 := c.add("AP1", Options{})
+	ap2 := c.add("AP2", Options{})
+	var calls atomic.Int32
+	ap2.HostService(services.NewFuncService(
+		services.Descriptor{Name: "feed", ResultName: "tick"},
+		func(ctx context.Context, params map[string]string) ([]string, error) {
+			n := calls.Add(1)
+			return []string{"<tick n=\"" + strings.Repeat("i", int(n)) + "\"/>"}, nil
+		}))
+	if err := ap1.HostDocument("Feed.xml",
+		`<Feed><axml:sc mode="replace" methodName="feed" serviceURL="AP2" frequency="10ms"/></Feed>`); err != nil {
+		t.Fatal(err)
+	}
+
+	s := ap1.StartScheduler(time.Hour) // timer loop idle; we drive RunDue
+	defer s.Stop()
+
+	now := time.Now()
+	s.RunDue(now) // first scan: due immediately
+	if calls.Load() != 1 {
+		t.Fatalf("calls = %d after first scan", calls.Load())
+	}
+	s.RunDue(now.Add(5 * time.Millisecond)) // not yet due
+	if calls.Load() != 1 {
+		t.Fatalf("refreshed before the interval: %d", calls.Load())
+	}
+	s.RunDue(now.Add(11 * time.Millisecond)) // due again
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d after interval", calls.Load())
+	}
+	if s.Runs() != 2 || s.Errors() != 0 {
+		t.Fatalf("runs=%d errs=%d", s.Runs(), s.Errors())
+	}
+	// Replace mode: exactly one <tick> lives in the document, the latest.
+	doc, _ := ap1.Store().Snapshot("Feed.xml")
+	ticks := 0
+	var lastAttr string
+	for _, sc := range docServiceCalls(doc) {
+		for _, r := range sc.Results() {
+			ticks++
+			lastAttr, _ = r.Attr("n")
+		}
+	}
+	if ticks != 1 || lastAttr != "ii" {
+		t.Fatalf("ticks=%d last=%q", ticks, lastAttr)
+	}
+	// Each refresh was its own committed transaction.
+	if got := ap1.Metrics().TxnsCommitted.Load(); got != 2 {
+		t.Fatalf("committed txns = %d", got)
+	}
+}
+
+func TestSchedulerFailedRefreshCompensates(t *testing.T) {
+	c := newCluster(t)
+	ap1 := c.add("AP1", Options{})
+	ap2 := c.add("AP2", Options{})
+	ap2.HostService(services.NewFuncService(
+		services.Descriptor{Name: "broken", ResultName: "tick"},
+		func(ctx context.Context, params map[string]string) ([]string, error) {
+			return nil, &services.Fault{Name: "down"}
+		}))
+	if err := ap1.HostDocument("Feed.xml",
+		`<Feed><axml:sc mode="replace" methodName="broken" serviceURL="AP2" frequency="1ms"><tick n="old"/></axml:sc></Feed>`); err != nil {
+		t.Fatal(err)
+	}
+	snapshot, _ := ap1.Store().Snapshot("Feed.xml")
+
+	s := ap1.StartScheduler(time.Hour)
+	defer s.Stop()
+	s.RunDue(time.Now())
+	if s.Errors() != 1 {
+		t.Fatalf("errors = %d", s.Errors())
+	}
+	// The failed refresh (which deleted the old result before invoking in
+	// replace mode... actually invocation precedes the delete) left the
+	// document unchanged.
+	live, _ := ap1.Store().Snapshot("Feed.xml")
+	if !live.Equal(snapshot) {
+		t.Fatal("failed refresh corrupted the document")
+	}
+}
+
+func TestSchedulerTimerLoop(t *testing.T) {
+	c := newCluster(t)
+	ap1 := c.add("AP1", Options{})
+	var calls atomic.Int32
+	ap1.HostService(services.NewFuncService(
+		services.Descriptor{Name: "local", ResultName: "tick"},
+		func(ctx context.Context, params map[string]string) ([]string, error) {
+			calls.Add(1)
+			return []string{`<tick/>`}, nil
+		}))
+	if err := ap1.HostDocument("Feed.xml",
+		`<Feed><axml:sc mode="merge" methodName="local" frequency="5ms"/></Feed>`); err != nil {
+		t.Fatal(err)
+	}
+	s := ap1.StartScheduler(2 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for calls.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	s.Stop()
+	if calls.Load() < 3 {
+		t.Fatalf("timer loop produced only %d refreshes", calls.Load())
+	}
+	// Stop is idempotent.
+	s.Stop()
+}

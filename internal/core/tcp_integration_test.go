@@ -1,0 +1,93 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/p2p"
+	"axmltx/internal/services"
+	"axmltx/internal/wal"
+)
+
+// TestProtocolsOverTCP runs the full transactional flow — materialization
+// of a remote embedded call, commit, and abort with cascaded compensation —
+// over real TCP transports instead of the in-memory network.
+func TestProtocolsOverTCP(t *testing.T) {
+	t1, err := p2p.ListenTCP("AP1", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	t2, err := p2p.ListenTCP("AP2", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+	t1.AddPeer("AP2", t2.Addr())
+	t2.AddPeer("AP1", t1.Addr())
+
+	ap1 := NewPeer(t1, wal.NewMemory(), Options{Super: true})
+	ap2 := NewPeer(t2, wal.NewMemory(), Options{PeerIndependent: true})
+
+	if err := ap2.HostDocument("Points.xml",
+		`<Points><row player="Roger Federer"><points>475</points></row></Points>`); err != nil {
+		t.Fatal(err)
+	}
+	ap2.HostQueryService(services.Descriptor{
+		Name: "getPoints", ResultName: "points", TargetDocument: "Points.xml",
+		Params: []services.ParamDef{{Name: "name", Required: true}},
+	}, `Select r/points from r in Points//row where r/@player = $name`)
+	ap2.HostUpdateService(services.Descriptor{
+		Name: "addRow", ResultName: "updateResult", TargetDocument: "Points.xml",
+	}, `<action type="insert"><data><row player="New"><points>1</points></row></data><location>Select r from r in Points;</location></action>`)
+
+	if err := ap1.HostDocument("ATPList.xml", `<ATPList><player rank="1">
+	  <name><lastname>Federer</lastname></name>
+	  <axml:sc mode="replace" methodName="getPoints" serviceURL="AP2">
+	    <axml:params><axml:param name="name"><axml:value>Roger Federer</axml:value></axml:param></axml:params>
+	  </axml:sc></player></ATPList>`); err != nil {
+		t.Fatal(err)
+	}
+
+	// Materialize over TCP and commit.
+	txc := ap1.Begin()
+	q, _ := axml.ParseQuery(`Select p/points from p in ATPList//player`)
+	res, err := ap1.Exec(txc, axml.NewQuery(q))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Query.Strings(); len(got) != 1 || got[0] != "475" {
+		t.Fatalf("result = %v", got)
+	}
+	if !strings.Contains(txc.Chain().String(), "AP2") {
+		t.Fatalf("chain = %s", txc.Chain())
+	}
+	if err := ap1.Commit(txc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote update, then abort: the peer-independent compensation
+	// definition travels back over TCP and is executed at AP2.
+	snapshot, _ := ap2.Store().Snapshot("Points.xml")
+	tx2 := ap1.Begin()
+	if _, err := ap1.Call(tx2, "AP2", "addRow", nil); err != nil {
+		t.Fatal(err)
+	}
+	kids := tx2.Children()
+	if len(kids) != 1 || kids[0].Comp == nil {
+		t.Fatalf("children = %+v", kids)
+	}
+	if err := ap1.Abort(tx2); err != nil {
+		t.Fatal(err)
+	}
+	waitForTCP(t, func() bool {
+		live, _ := ap2.Store().Snapshot("Points.xml")
+		return live.Equal(snapshot)
+	})
+}
+
+func waitForTCP(t *testing.T, cond func() bool) {
+	t.Helper()
+	waitFor(t, cond)
+}

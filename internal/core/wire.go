@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"axmltx/internal/p2p"
+)
+
+// InvokeRequest is the payload of a KindInvoke message.
+type InvokeRequest struct {
+	// Txn is the global transaction ID.
+	Txn string
+	// Origin is the transaction's origin peer.
+	Origin p2p.PeerID
+	// Caller is the invoking peer (the parent in the invocation tree).
+	Caller p2p.PeerID
+	// Service names the service to execute.
+	Service string
+	// Params are the resolved parameters.
+	Params map[string]string
+	// Chain is the active peer list so far, already extended with the
+	// callee (§3.3: "AP3 passes the list of active peers also while
+	// invoking the service S6 of AP6"). Nil when chaining is disabled —
+	// the "traditional" baseline.
+	Chain *Chain
+	// Async asks the callee to acknowledge immediately and push the result
+	// later as a KindResult message (data-intensive/continuous flows).
+	Async bool
+	// Reused carries result fragments salvaged from a disconnected
+	// participant's children, keyed by the service that produced them; the
+	// callee uses them instead of re-invoking those services (§3.3 case b
+	// work reuse).
+	Reused map[string][]string
+}
+
+// InvokeResponse is the payload of a successful invocation reply (or of a
+// KindResult push for async invocations).
+type InvokeResponse struct {
+	// Service echoes the executed service (needed on async pushes).
+	Service string
+	// Fragments are the service's result XML fragments.
+	Fragments []string
+	// Chain is the callee's updated active peer list, including every
+	// sub-invocation it made; the caller adopts it.
+	Chain *Chain
+	// Comp is the gob-encoded CompensationDef for the callee's effects;
+	// nil unless the system runs peer-independent recovery.
+	Comp []byte
+	// Nodes is the number of XML nodes the invocation touched at the
+	// callee (and below), the paper's cost measure; disconnection
+	// accounting uses it to value lost work.
+	Nodes int
+}
+
+// ChainUpdate is the payload of KindChainUpdate: a participant extended the
+// invocation tree and shares the updated active peer list with its
+// ancestors, so that any of them can run the disconnection protocol with
+// full knowledge of the tree (§3.3 scenario c requires AP2 to know about
+// AP6).
+type ChainUpdate struct {
+	Txn   string
+	Chain *Chain
+}
+
+// DisconnectNotice is the payload of KindDisconnect: peer Dead was observed
+// disconnected during Txn. Detected tells the receiver who noticed.
+type DisconnectNotice struct {
+	Txn      string
+	Dead     p2p.PeerID
+	Detected p2p.PeerID
+}
+
+// RedirectResult is the payload of KindRedirect: the sender finished
+// Service for Txn but its parent Dead is unreachable, so the results are
+// handed to an ancestor instead (§3.3 case b).
+type RedirectResult struct {
+	Txn      string
+	Dead     p2p.PeerID
+	Service  string
+	Response InvokeResponse
+}
+
+// StreamBatch is the payload of KindStream: batch Seq of a continuous
+// service, sent directly between siblings (§3.3 case d).
+type StreamBatch struct {
+	Txn       string
+	Service   string
+	Seq       int
+	Fragments []string
+}
+
+func encode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		// All wire types are plain data; an encode failure is a programming
+		// error.
+		panic(fmt.Sprintf("core: encode %T: %v", v, err))
+	}
+	return buf.Bytes()
+}
+
+func decode(b []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
+		return fmt.Errorf("core: decode %T: %w", v, err)
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package p2p
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestStatsSnapshotIsolated(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("A")
+	b := net.Join("B")
+	b.SetHandler(echoHandler("B"))
+	if _, err := a.Request(context.Background(), "B", &Message{Kind: KindInvoke}); err != nil {
+		t.Fatal(err)
+	}
+	st := net.Stats()
+	st.ByKind[KindInvoke] = 999
+	if net.Stats().ByKind[KindInvoke] != 1 {
+		t.Fatal("stats map aliased to internal state")
+	}
+}
+
+func TestNetworkLatencyApplied(t *testing.T) {
+	net := NewNetwork(10 * time.Millisecond)
+	a := net.Join("A")
+	b := net.Join("B")
+	b.SetHandler(echoHandler("B"))
+	start := time.Now()
+	if _, err := a.Request(context.Background(), "B", &Message{Kind: KindInvoke}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("latency not applied: %v", elapsed)
+	}
+}
+
+func TestNetworkLatencyRespectsContext(t *testing.T) {
+	net := NewNetwork(time.Hour)
+	a := net.Join("A")
+	net.Join("B")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	if _, err := a.Request(ctx, "B", &Message{Kind: KindInvoke}); err == nil {
+		t.Fatal("expected context deadline")
+	}
+}
+
+func TestPingerUnwatchStopsProbing(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("A")
+	b := net.Join("B")
+	b.SetHandler(AnswerPings(nil))
+	fired := false
+	p := NewPinger(a, time.Millisecond, 1, func(PeerID) { fired = true })
+	p.Watch("B")
+	p.Unwatch("B")
+	net.Disconnect("B")
+	p.ProbeNow(context.Background())
+	if fired {
+		t.Fatal("unwatched peer still probed")
+	}
+	if p.Probes() != 0 {
+		t.Fatalf("probes = %d", p.Probes())
+	}
+}
+
+func TestPingerStopBeforeStart(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("A")
+	p := NewPinger(a, time.Millisecond, 1, nil)
+	p.Stop() // must not panic or hang
+}
+
+func TestRejoinAfterDisconnect(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("A")
+	net.Join("B")
+	net.Disconnect("B")
+	if !net.Down("B") {
+		t.Fatal("Down() false after disconnect")
+	}
+	// The peer rejoins (new transport, same ID) — reachable again.
+	b2 := net.Join("B")
+	b2.SetHandler(echoHandler("B"))
+	if net.Down("B") {
+		t.Fatal("join did not clear down state")
+	}
+	if _, err := a.Request(context.Background(), "B", &Message{Kind: KindInvoke}); err != nil {
+		t.Fatal(err)
+	}
+}

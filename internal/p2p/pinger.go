@@ -1,0 +1,162 @@
+package p2p
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Pinger implements the keep-alive failure detector the related P2P work
+// relies on (§3.3): it probes watched peers at a fixed interval and reports
+// a peer down after `failures` consecutive missed pongs. Scenario (c) of
+// the disconnection protocol — a parent detecting its child's death — is
+// driven by a Pinger.
+type Pinger struct {
+	transport Transport
+	interval  time.Duration
+	failures  int
+
+	mu      sync.Mutex
+	watched map[PeerID]int // consecutive miss count
+	onDown  func(PeerID)
+	cancel  context.CancelFunc
+	done    chan struct{}
+	// probes counts ping attempts, for experiment metrics on detection
+	// cost.
+	probes int64
+}
+
+// NewPinger creates a detector probing every interval and declaring a peer
+// down after `failures` consecutive failed probes (minimum 1).
+func NewPinger(t Transport, interval time.Duration, failures int, onDown func(PeerID)) *Pinger {
+	if failures < 1 {
+		failures = 1
+	}
+	return &Pinger{
+		transport: t,
+		interval:  interval,
+		failures:  failures,
+		watched:   make(map[PeerID]int),
+		onDown:    onDown,
+	}
+}
+
+// Watch adds a peer to the probe set.
+func (p *Pinger) Watch(id PeerID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.watched[id]; !ok {
+		p.watched[id] = 0
+	}
+}
+
+// Unwatch removes a peer from the probe set.
+func (p *Pinger) Unwatch(id PeerID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.watched, id)
+}
+
+// Start launches the probe loop. It returns immediately; Stop terminates
+// the loop.
+func (p *Pinger) Start() {
+	ctx, cancel := context.WithCancel(context.Background())
+	p.mu.Lock()
+	p.cancel = cancel
+	p.done = make(chan struct{})
+	p.mu.Unlock()
+	go p.loop(ctx)
+}
+
+// Stop terminates the probe loop and waits for it to exit.
+func (p *Pinger) Stop() {
+	p.mu.Lock()
+	cancel, done := p.cancel, p.done
+	p.mu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	<-done
+}
+
+// Probes returns the number of ping attempts made so far.
+func (p *Pinger) Probes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.probes
+}
+
+func (p *Pinger) loop(ctx context.Context) {
+	defer close(p.done)
+	ticker := time.NewTicker(p.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			p.probeAll(ctx)
+		}
+	}
+}
+
+// ProbeNow performs one synchronous probe round; tests and deterministic
+// simulations use it instead of the timer loop.
+func (p *Pinger) ProbeNow(ctx context.Context) {
+	p.probeAll(ctx)
+}
+
+func (p *Pinger) probeAll(ctx context.Context) {
+	p.mu.Lock()
+	targets := make([]PeerID, 0, len(p.watched))
+	for id := range p.watched {
+		targets = append(targets, id)
+	}
+	p.mu.Unlock()
+
+	for _, id := range targets {
+		p.mu.Lock()
+		p.probes++
+		p.mu.Unlock()
+		probeCtx, cancel := context.WithTimeout(ctx, p.interval)
+		_, err := p.transport.Request(probeCtx, id, &Message{Kind: KindPing})
+		cancel()
+
+		p.mu.Lock()
+		if _, still := p.watched[id]; !still {
+			p.mu.Unlock()
+			continue
+		}
+		if err == nil {
+			p.watched[id] = 0
+			p.mu.Unlock()
+			continue
+		}
+		p.watched[id]++
+		trip := p.watched[id] >= p.failures
+		if trip {
+			delete(p.watched, id) // report once
+		}
+		cb := p.onDown
+		p.mu.Unlock()
+		if trip && cb != nil {
+			cb(id)
+		}
+	}
+}
+
+// AnswerPings wraps a handler so KindPing messages are answered with a pong
+// and everything else is passed through. Peers install this around their
+// protocol handler.
+func AnswerPings(next Handler) Handler {
+	return func(ctx context.Context, msg *Message) (*Message, error) {
+		if msg.Kind == KindPing {
+			return &Message{Kind: KindPong}, nil
+		}
+		if next == nil {
+			return nil, ErrNoHandler
+		}
+		return next(ctx, msg)
+	}
+}

@@ -1,0 +1,289 @@
+package p2p
+
+import (
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// wireFrame is the unit on a TCP connection: a message plus correlation
+// metadata for request/response matching.
+type wireFrame struct {
+	ID       uint64
+	Response bool
+	OneWay   bool
+	Msg      Message
+}
+
+// TCPTransport is a Transport over real TCP connections, used by
+// cmd/axmlpeer to run the system as separate processes. Peer addresses are
+// registered explicitly (a static directory), keeping the focus on the
+// transactional protocols rather than discovery.
+type TCPTransport struct {
+	self PeerID
+	ln   net.Listener
+
+	mu      sync.Mutex
+	addrs   map[PeerID]string
+	conns   map[PeerID]*tcpConn
+	h       Handler
+	pending map[uint64]chan *wireFrame
+	nextID  atomic.Uint64
+	closed  bool
+}
+
+// ListenTCP starts a transport for peer self on addr (e.g. "127.0.0.1:0").
+func ListenTCP(self PeerID, addr string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		self:    self,
+		ln:      ln,
+		addrs:   make(map[PeerID]string),
+		conns:   make(map[PeerID]*tcpConn),
+		pending: make(map[uint64]chan *wireFrame),
+	}
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *TCPTransport) Addr() string { return t.ln.Addr().String() }
+
+// AddPeer registers the address of a remote peer.
+func (t *TCPTransport) AddPeer(id PeerID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[id] = addr
+}
+
+// Self implements Transport.
+func (t *TCPTransport) Self() PeerID { return t.self }
+
+// SetHandler implements Transport.
+func (t *TCPTransport) SetHandler(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.h = h
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(ctx context.Context, to PeerID, msg *Message) error {
+	msg.From, msg.To = t.self, to
+	conn, err := t.conn(to)
+	if err != nil {
+		return err
+	}
+	return conn.write(&wireFrame{ID: t.nextID.Add(1), OneWay: true, Msg: *msg})
+}
+
+// Request implements Transport.
+func (t *TCPTransport) Request(ctx context.Context, to PeerID, msg *Message) (*Message, error) {
+	msg.From, msg.To = t.self, to
+	conn, err := t.conn(to)
+	if err != nil {
+		return nil, err
+	}
+	id := t.nextID.Add(1)
+	ch := make(chan *wireFrame, 1)
+	t.mu.Lock()
+	t.pending[id] = ch
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.pending, id)
+		t.mu.Unlock()
+	}()
+	if err := conn.write(&wireFrame{ID: id, Msg: *msg}); err != nil {
+		return nil, err
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case f, ok := <-ch:
+		if !ok {
+			return nil, ErrUnreachable
+		}
+		resp := f.Msg
+		return &resp, nil
+	}
+}
+
+// Close implements Transport.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := make([]*tcpConn, 0, len(t.conns))
+	for _, c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	for _, c := range conns {
+		c.close()
+	}
+	return t.ln.Close()
+}
+
+func (t *TCPTransport) handler() Handler {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.h
+}
+
+// conn returns (dialing if necessary) the connection to a peer.
+func (t *TCPTransport) conn(to PeerID) (*tcpConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := t.addrs[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s (no address registered)", ErrUnreachable, to)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
+	}
+	c := newTCPConn(t, raw)
+	// Identify ourselves so the remote can map the connection to a peer.
+	if err := c.write(&wireFrame{OneWay: true, Msg: Message{Kind: "hello", From: t.self}}); err != nil {
+		c.close()
+		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
+	}
+	t.mu.Lock()
+	if exist, ok := t.conns[to]; ok {
+		t.mu.Unlock()
+		c.close()
+		return exist, nil
+	}
+	t.conns[to] = c
+	t.mu.Unlock()
+	go c.readLoop()
+	return c, nil
+}
+
+func (t *TCPTransport) acceptLoop() {
+	for {
+		raw, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		c := newTCPConn(t, raw)
+		go c.readLoop()
+	}
+}
+
+// dropConn removes a dead connection so the next Send re-dials.
+func (t *TCPTransport) dropConn(c *tcpConn) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, cc := range t.conns {
+		if cc == c {
+			delete(t.conns, id)
+		}
+	}
+}
+
+// dispatch routes an incoming frame: responses complete pending requests,
+// requests run the handler (in the read goroutine's own worker).
+func (t *TCPTransport) dispatch(c *tcpConn, f *wireFrame) {
+	if f.Msg.Kind == "hello" {
+		t.mu.Lock()
+		if _, ok := t.conns[f.Msg.From]; !ok {
+			t.conns[f.Msg.From] = c
+		}
+		t.mu.Unlock()
+		return
+	}
+	if f.Response {
+		t.mu.Lock()
+		ch := t.pending[f.ID]
+		t.mu.Unlock()
+		if ch != nil {
+			ch <- f
+		}
+		return
+	}
+	go func() {
+		h := t.handler()
+		var resp *Message
+		var err error
+		if h == nil {
+			err = ErrNoHandler
+		} else {
+			resp, err = h(context.Background(), &f.Msg)
+		}
+		if f.OneWay {
+			return
+		}
+		out := &wireFrame{ID: f.ID, Response: true}
+		if resp != nil {
+			out.Msg = *resp
+		}
+		if err != nil {
+			out.Msg.Err = err.Error()
+		}
+		out.Msg.From, out.Msg.To = t.self, f.Msg.From
+		_ = c.write(out)
+	}()
+}
+
+type tcpConn struct {
+	t    *TCPTransport
+	raw  net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	wmu  sync.Mutex
+	once sync.Once
+}
+
+func newTCPConn(t *TCPTransport, raw net.Conn) *tcpConn {
+	return &tcpConn{t: t, raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+func (c *tcpConn) write(f *wireFrame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.enc.Encode(f); err != nil {
+		c.close()
+		if errors.Is(err, net.ErrClosed) {
+			return ErrUnreachable
+		}
+		return fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	return nil
+}
+
+func (c *tcpConn) readLoop() {
+	for {
+		var f wireFrame
+		if err := c.dec.Decode(&f); err != nil {
+			c.close()
+			return
+		}
+		c.t.dispatch(c, &f)
+	}
+}
+
+func (c *tcpConn) close() {
+	c.once.Do(func() {
+		_ = c.raw.Close()
+		c.t.dropConn(c)
+	})
+}

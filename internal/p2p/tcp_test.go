@@ -1,0 +1,173 @@
+package p2p
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTCPPair(t *testing.T) (*TCPTransport, *TCPTransport) {
+	t.Helper()
+	a, err := ListenTCP("A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP("B", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.AddPeer("B", b.Addr())
+	b.AddPeer("A", a.Addr())
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestTCPRequestResponse(t *testing.T) {
+	a, b := newTCPPair(t)
+	b.SetHandler(func(ctx context.Context, msg *Message) (*Message, error) {
+		return &Message{Kind: "echo", Payload: msg.Payload}, nil
+	})
+	resp, err := a.Request(context.Background(), "B", &Message{Kind: KindInvoke, Payload: []byte("over tcp")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Payload) != "over tcp" {
+		t.Fatalf("payload = %q", resp.Payload)
+	}
+}
+
+func TestTCPSendOneWay(t *testing.T) {
+	a, b := newTCPPair(t)
+	got := make(chan *Message, 1)
+	b.SetHandler(func(ctx context.Context, msg *Message) (*Message, error) {
+		got <- msg
+		return nil, nil
+	})
+	if err := a.Send(context.Background(), "B", &Message{Kind: KindAbort, Txn: "TA"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Kind != KindAbort || m.Txn != "TA" || m.From != "A" {
+			t.Fatalf("msg = %+v", m)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("one-way message never arrived")
+	}
+}
+
+func TestTCPHandlerErrorCarried(t *testing.T) {
+	a, b := newTCPPair(t)
+	b.SetHandler(func(ctx context.Context, msg *Message) (*Message, error) {
+		return nil, errors.New("service fault X")
+	})
+	resp, err := a.Request(context.Background(), "B", &Message{Kind: KindInvoke})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != "service fault X" {
+		t.Fatalf("Err = %q", resp.Err)
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	a, _ := newTCPPair(t)
+	if _, err := a.Request(context.Background(), "ghost", &Message{Kind: KindInvoke}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPDeadPeerUnreachable(t *testing.T) {
+	a, err := ListenTCP("A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	// Register an address nobody listens on.
+	a.AddPeer("B", "127.0.0.1:1")
+	if _, err := a.Request(context.Background(), "B", &Message{Kind: KindInvoke}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPPeerCrashMidRequest(t *testing.T) {
+	a, b := newTCPPair(t)
+	b.SetHandler(func(ctx context.Context, msg *Message) (*Message, error) {
+		b.Close() // crash before responding
+		return &Message{Kind: "never"}, nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := a.Request(ctx, "B", &Message{Kind: KindInvoke})
+	if err == nil {
+		t.Fatal("expected failure when peer crashes")
+	}
+}
+
+func TestTCPConcurrentRequests(t *testing.T) {
+	a, b := newTCPPair(t)
+	b.SetHandler(func(ctx context.Context, msg *Message) (*Message, error) {
+		return &Message{Kind: "echo", Payload: msg.Payload}, nil
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < 5; j++ {
+				payload := []byte{byte(n), byte(j)}
+				resp, err := a.Request(context.Background(), "B", &Message{Kind: KindInvoke, Payload: payload})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(resp.Payload) != 2 || resp.Payload[0] != byte(n) || resp.Payload[1] != byte(j) {
+					errs <- errors.New("response correlation broken")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPBidirectionalOverSingleDial(t *testing.T) {
+	a, b := newTCPPair(t)
+	a.SetHandler(func(ctx context.Context, msg *Message) (*Message, error) {
+		return &Message{Kind: "from-a"}, nil
+	})
+	b.SetHandler(func(ctx context.Context, msg *Message) (*Message, error) {
+		return &Message{Kind: "from-b"}, nil
+	})
+	// A dials B, then B can reach A back over its own registry.
+	if _, err := a.Request(context.Background(), "B", &Message{Kind: KindInvoke}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := b.Request(context.Background(), "A", &Message{Kind: KindInvoke})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != "from-a" {
+		t.Fatalf("kind = %q", resp.Kind)
+	}
+}
+
+func TestTCPCloseIdempotent(t *testing.T) {
+	a, _ := newTCPPair(t)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Request(context.Background(), "B", &Message{Kind: KindInvoke}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,329 @@
+package p2p
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func echoHandler(self PeerID) Handler {
+	return func(ctx context.Context, msg *Message) (*Message, error) {
+		return &Message{Kind: "echo", Payload: msg.Payload, From: self}, nil
+	}
+}
+
+func TestMemoryRequestResponse(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("AP1")
+	b := net.Join("AP2")
+	b.SetHandler(echoHandler("AP2"))
+
+	resp, err := a.Request(context.Background(), "AP2", &Message{Kind: KindInvoke, Payload: []byte("hi")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Payload) != "hi" {
+		t.Fatalf("payload = %q", resp.Payload)
+	}
+	_ = b
+}
+
+func TestMemorySendOneWay(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("AP1")
+	b := net.Join("AP2")
+	var got atomic.Int32
+	b.SetHandler(func(ctx context.Context, msg *Message) (*Message, error) {
+		got.Add(1)
+		return nil, nil
+	})
+	if err := a.Send(context.Background(), "AP2", &Message{Kind: KindAbort}); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 1 {
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestMemoryDisconnectMakesUnreachable(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("AP1")
+	b := net.Join("AP2")
+	b.SetHandler(echoHandler("AP2"))
+
+	net.Disconnect("AP2")
+	if _, err := a.Request(context.Background(), "AP2", &Message{Kind: KindInvoke}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	// Sends FROM a disconnected peer also fail.
+	net.Reconnect("AP2")
+	net.Disconnect("AP1")
+	if err := b.Send(context.Background(), "AP1", &Message{Kind: KindResult}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	net.Reconnect("AP1")
+	if _, err := a.Request(context.Background(), "AP2", &Message{Kind: KindInvoke}); err != nil {
+		t.Fatalf("after reconnect: %v", err)
+	}
+}
+
+func TestMemoryBlockLink(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("AP1")
+	b := net.Join("AP2")
+	c := net.Join("AP3")
+	for _, tr := range []Transport{a, b, c} {
+		tr.SetHandler(echoHandler(tr.Self()))
+	}
+	net.BlockLink("AP1", "AP2")
+	if _, err := a.Request(context.Background(), "AP2", &Message{Kind: KindInvoke}); !errors.Is(err, ErrUnreachable) {
+		t.Fatal("blocked link delivered")
+	}
+	if _, err := b.Request(context.Background(), "AP1", &Message{Kind: KindInvoke}); !errors.Is(err, ErrUnreachable) {
+		t.Fatal("blocked link (reverse) delivered")
+	}
+	if _, err := a.Request(context.Background(), "AP3", &Message{Kind: KindInvoke}); err != nil {
+		t.Fatalf("unrelated link failed: %v", err)
+	}
+	net.UnblockLink("AP2", "AP1") // order-insensitive
+	if _, err := a.Request(context.Background(), "AP2", &Message{Kind: KindInvoke}); err != nil {
+		t.Fatalf("after unblock: %v", err)
+	}
+}
+
+func TestMemoryUnknownPeer(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("AP1")
+	if _, err := a.Request(context.Background(), "ghost", &Message{Kind: KindInvoke}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemoryNoHandler(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("AP1")
+	net.Join("AP2") // no handler installed
+	if _, err := a.Request(context.Background(), "AP2", &Message{Kind: KindInvoke}); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemoryClosedTransport(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("AP1")
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(context.Background(), "AP2", &Message{Kind: KindAbort}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemoryStatsCountByKind(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("AP1")
+	b := net.Join("AP2")
+	b.SetHandler(echoHandler("AP2"))
+	for i := 0; i < 3; i++ {
+		if _, err := a.Request(context.Background(), "AP2", &Message{Kind: KindInvoke}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = a.Send(context.Background(), "AP2", &Message{Kind: KindAbort})
+	st := net.Stats()
+	if st.Total != 4 || st.ByKind[KindInvoke] != 3 || st.ByKind[KindAbort] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	net.ResetStats()
+	if st := net.Stats(); st.Total != 0 {
+		t.Fatalf("after reset = %+v", st)
+	}
+}
+
+func TestMemoryReentrantRequestChain(t *testing.T) {
+	// A→B→C→A nested request chain must not deadlock.
+	net := NewNetwork(0)
+	a := net.Join("A")
+	b := net.Join("B")
+	c := net.Join("C")
+	a.SetHandler(func(ctx context.Context, msg *Message) (*Message, error) {
+		return &Message{Kind: "leaf"}, nil
+	})
+	c.SetHandler(func(ctx context.Context, msg *Message) (*Message, error) {
+		return c.Request(ctx, "A", &Message{Kind: KindInvoke})
+	})
+	b.SetHandler(func(ctx context.Context, msg *Message) (*Message, error) {
+		return b.Request(ctx, "C", &Message{Kind: KindInvoke})
+	})
+	resp, err := a.Request(context.Background(), "B", &Message{Kind: KindInvoke})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != "leaf" {
+		t.Fatalf("kind = %q", resp.Kind)
+	}
+}
+
+func TestMemoryResponseLostWhenPeerDiesDuringProcessing(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("A")
+	b := net.Join("B")
+	b.SetHandler(func(ctx context.Context, msg *Message) (*Message, error) {
+		// B completes the work but the requester dies before the response
+		// returns (scenario b of §3.3: parent gone when child returns
+		// results).
+		net.Disconnect("A")
+		return &Message{Kind: "done"}, nil
+	})
+	if _, err := a.Request(context.Background(), "B", &Message{Kind: KindInvoke}); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMemoryConcurrentTraffic(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("A")
+	b := net.Join("B")
+	b.SetHandler(echoHandler("B"))
+	var wg sync.WaitGroup
+	errs := make(chan error, 100)
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10; j++ {
+				if _, err := a.Request(context.Background(), "B", &Message{Kind: KindInvoke}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := net.Stats(); st.Total != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPingerDetectsDisconnection(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("A")
+	b := net.Join("B")
+	b.SetHandler(AnswerPings(nil))
+	a.SetHandler(AnswerPings(nil))
+
+	var mu sync.Mutex
+	var down []PeerID
+	p := NewPinger(a, 5*time.Millisecond, 2, func(id PeerID) {
+		mu.Lock()
+		down = append(down, id)
+		mu.Unlock()
+	})
+	p.Watch("B")
+	ctx := context.Background()
+
+	// Healthy probe: no detection.
+	p.ProbeNow(ctx)
+	p.ProbeNow(ctx)
+	mu.Lock()
+	if len(down) != 0 {
+		t.Fatalf("false positive: %v", down)
+	}
+	mu.Unlock()
+
+	net.Disconnect("B")
+	p.ProbeNow(ctx) // miss 1
+	mu.Lock()
+	if len(down) != 0 {
+		t.Fatal("tripped before threshold")
+	}
+	mu.Unlock()
+	p.ProbeNow(ctx) // miss 2 -> down
+	mu.Lock()
+	if len(down) != 1 || down[0] != "B" {
+		t.Fatalf("down = %v", down)
+	}
+	mu.Unlock()
+	// Reported once only.
+	p.ProbeNow(ctx)
+	mu.Lock()
+	if len(down) != 1 {
+		t.Fatalf("re-reported: %v", down)
+	}
+	mu.Unlock()
+	if p.Probes() < 4 {
+		t.Fatalf("probes = %d", p.Probes())
+	}
+}
+
+func TestPingerMissResetOnRecovery(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("A")
+	b := net.Join("B")
+	b.SetHandler(AnswerPings(nil))
+	var fired atomic.Int32
+	p := NewPinger(a, 5*time.Millisecond, 2, func(id PeerID) { fired.Add(1) })
+	p.Watch("B")
+	ctx := context.Background()
+
+	net.Disconnect("B")
+	p.ProbeNow(ctx) // miss 1
+	net.Reconnect("B")
+	p.ProbeNow(ctx) // success resets
+	net.Disconnect("B")
+	p.ProbeNow(ctx) // miss 1 again
+	if fired.Load() != 0 {
+		t.Fatal("pinger fired despite reset")
+	}
+	p.ProbeNow(ctx) // miss 2 -> fire
+	if fired.Load() != 1 {
+		t.Fatal("pinger did not fire")
+	}
+}
+
+func TestPingerStartStop(t *testing.T) {
+	net := NewNetwork(0)
+	a := net.Join("A")
+	b := net.Join("B")
+	b.SetHandler(AnswerPings(nil))
+	detected := make(chan PeerID, 1)
+	p := NewPinger(a, 2*time.Millisecond, 1, func(id PeerID) { detected <- id })
+	p.Watch("B")
+	p.Start()
+	defer p.Stop()
+	time.Sleep(10 * time.Millisecond)
+	net.Disconnect("B")
+	select {
+	case id := <-detected:
+		if id != "B" {
+			t.Fatalf("detected %s", id)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pinger loop never detected the disconnection")
+	}
+}
+
+func TestAnswerPingsPassThrough(t *testing.T) {
+	h := AnswerPings(func(ctx context.Context, msg *Message) (*Message, error) {
+		return &Message{Kind: "inner"}, nil
+	})
+	resp, err := h(context.Background(), &Message{Kind: KindPing})
+	if err != nil || resp.Kind != KindPong {
+		t.Fatalf("ping resp = %v, %v", resp, err)
+	}
+	resp, err = h(context.Background(), &Message{Kind: KindInvoke})
+	if err != nil || resp.Kind != "inner" {
+		t.Fatalf("passthrough = %v, %v", resp, err)
+	}
+	bare := AnswerPings(nil)
+	if _, err := bare(context.Background(), &Message{Kind: KindInvoke}); !errors.Is(err, ErrNoHandler) {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,185 @@
+package query
+
+import "strings"
+
+// Axis is the navigation axis of a path step.
+type Axis uint8
+
+const (
+	// AxisChild matches element children with the step name.
+	AxisChild Axis = iota + 1
+	// AxisDescendant matches element descendants at any depth.
+	AxisDescendant
+	// AxisParent moves to the parent node (the paper's "/.." step, used by
+	// compensating inserts to address the parent of a deleted node).
+	AxisParent
+	// AxisAttribute matches an attribute of the context element; it must be
+	// the final step of a path.
+	AxisAttribute
+)
+
+func (a Axis) String() string {
+	switch a {
+	case AxisChild:
+		return "/"
+	case AxisDescendant:
+		return "//"
+	case AxisParent:
+		return "/.."
+	case AxisAttribute:
+		return "/@"
+	default:
+		return "?"
+	}
+}
+
+// Step is one navigation step. Name is "*" for a wildcard child or
+// descendant step and empty for parent steps.
+type Step struct {
+	Axis Axis
+	Name string
+}
+
+// Path is a sequence of steps, evaluated left to right from a context node.
+type Path []Step
+
+// String renders the path in the query surface syntax (without the leading
+// variable).
+func (p Path) String() string {
+	var b strings.Builder
+	for _, s := range p {
+		switch s.Axis {
+		case AxisChild:
+			b.WriteString("/")
+			b.WriteString(s.Name)
+		case AxisDescendant:
+			b.WriteString("//")
+			b.WriteString(s.Name)
+		case AxisParent:
+			b.WriteString("/..")
+		case AxisAttribute:
+			b.WriteString("/@")
+			b.WriteString(s.Name)
+		}
+	}
+	return b.String()
+}
+
+// Names returns the element names the path tests, used by the lazy
+// materialization planner to decide which embedded service calls a query
+// may need.
+func (p Path) Names() []string {
+	var out []string
+	for _, s := range p {
+		if (s.Axis == AxisChild || s.Axis == AxisDescendant) && s.Name != "*" {
+			out = append(out, s.Name)
+		}
+	}
+	return out
+}
+
+// Expr is a boolean predicate over a binding node.
+type Expr interface {
+	exprNode()
+	// Names reports element names referenced by comparison paths beneath
+	// this expression.
+	Names() []string
+	String() string
+}
+
+// Compare is `path op literal`.
+type Compare struct {
+	Path    Path
+	Op      CompareOp
+	Literal string
+}
+
+// CompareOp is the comparison operator of a Compare expression.
+type CompareOp uint8
+
+const (
+	// OpEq is "=".
+	OpEq CompareOp = iota + 1
+	// OpNeq is "!=".
+	OpNeq
+)
+
+func (c *Compare) exprNode()       {}
+func (c *Compare) Names() []string { return c.Path.Names() }
+func (c *Compare) String() string {
+	op := "="
+	if c.Op == OpNeq {
+		op = "!="
+	}
+	return "$" + c.Path.String() + " " + op + " \"" + c.Literal + "\""
+}
+
+// And is a conjunction of predicates.
+type And struct{ L, R Expr }
+
+func (a *And) exprNode()       {}
+func (a *And) Names() []string { return append(a.L.Names(), a.R.Names()...) }
+func (a *And) String() string  { return "(" + a.L.String() + " and " + a.R.String() + ")" }
+
+// Or is a disjunction of predicates.
+type Or struct{ L, R Expr }
+
+func (o *Or) exprNode()       {}
+func (o *Or) Names() []string { return append(o.L.Names(), o.R.Names()...) }
+func (o *Or) String() string  { return "(" + o.L.String() + " or " + o.R.String() + ")" }
+
+// Query is a parsed select-from-where query.
+//
+//	Select <Selects, relative to Var> from <Var> in <Doc><Source> where <Where>
+type Query struct {
+	// Selects are the projection paths, relative to each binding of Var. A
+	// query may select the binding itself, represented by an empty path.
+	Selects []Path
+	// Var is the binding variable name (e.g. "p").
+	Var string
+	// Doc is the document name the source path starts at (e.g. "ATPList");
+	// it must match the document's root element name.
+	Doc string
+	// Source navigates from the root element to the binding candidates.
+	Source Path
+	// Where is the optional predicate; nil means all bindings qualify.
+	Where Expr
+}
+
+// Names returns every element name the query references in its source,
+// selects and predicate — the input to lazy materialization planning.
+func (q *Query) Names() []string {
+	var out []string
+	out = append(out, q.Source.Names()...)
+	for _, s := range q.Selects {
+		out = append(out, s.Names()...)
+	}
+	if q.Where != nil {
+		out = append(out, q.Where.Names()...)
+	}
+	return out
+}
+
+// String renders the query in surface syntax.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("Select ")
+	for i, s := range q.Selects {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(q.Var)
+		b.WriteString(s.String())
+	}
+	b.WriteString(" from ")
+	b.WriteString(q.Var)
+	b.WriteString(" in ")
+	b.WriteString(q.Doc)
+	b.WriteString(q.Source.String())
+	if q.Where != nil {
+		b.WriteString(" where ")
+		// Re-prefix the variable in the rendered predicate.
+		b.WriteString(strings.ReplaceAll(q.Where.String(), "$", q.Var))
+	}
+	return b.String()
+}

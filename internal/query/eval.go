@@ -1,0 +1,288 @@
+package query
+
+import (
+	"fmt"
+
+	"axmltx/internal/xmldom"
+)
+
+// Item is one result of path evaluation: either an element/text node, or an
+// attribute of Node (when Attr is non-empty).
+type Item struct {
+	Node *xmldom.Node
+	Attr string // attribute name when the path ended on an attribute step
+}
+
+// Value returns the item's comparable string value: the attribute value for
+// attribute items, otherwise the node's text content.
+func (it Item) Value() string {
+	if it.Attr != "" {
+		v, _ := it.Node.Attr(it.Attr)
+		return v
+	}
+	return it.Node.TextContent()
+}
+
+// Result is the outcome of evaluating a Query.
+type Result struct {
+	// Bindings are the nodes the binding variable matched, in document
+	// order, after the where predicate.
+	Bindings []*xmldom.Node
+	// PerBinding holds, for each binding, the items its select paths
+	// produced (select paths concatenated in order).
+	PerBinding [][]Item
+	// Items is the deduplicated union of all selections, in the order
+	// discovered (document order within each binding).
+	Items []Item
+}
+
+// Nodes returns the distinct non-attribute result nodes.
+func (r *Result) Nodes() []*xmldom.Node {
+	var out []*xmldom.Node
+	for _, it := range r.Items {
+		if it.Attr == "" {
+			out = append(out, it.Node)
+		}
+	}
+	return out
+}
+
+// Strings returns the items' values, convenient in tests and examples.
+func (r *Result) Strings() []string {
+	out := make([]string, len(r.Items))
+	for i, it := range r.Items {
+		out[i] = it.Value()
+	}
+	return out
+}
+
+// Evaluator evaluates queries over a document. The zero value is a plain
+// XML evaluator; configure Transparent and Hidden for AXML semantics.
+type Evaluator struct {
+	// Transparent names elements whose children are addressed as if they
+	// were children of the element's own parent (the paper's <axml:sc>:
+	// results of a call are stored inside the sc element but a query for
+	// p/points must see them).
+	Transparent map[string]bool
+	// Hidden names elements whose whole subtree is invisible to queries
+	// (<axml:params>: parameter values must not be confused with results).
+	Hidden map[string]bool
+}
+
+// Eval evaluates q against doc. The query's document name must match the
+// root element name (or the document's repository name, with or without the
+// ".xml" suffix).
+func (ev *Evaluator) Eval(doc *xmldom.Document, q *Query) (*Result, error) {
+	root := doc.Root()
+	if root == nil {
+		return nil, fmt.Errorf("query: document %q is empty", doc.Name())
+	}
+	if !docNameMatches(doc, q.Doc) {
+		return nil, fmt.Errorf("query: query targets %q but document is %q (root %q)",
+			q.Doc, doc.Name(), root.Name())
+	}
+	candidates := ev.evalPathNodes(root, q.Source)
+	res := &Result{}
+	seen := make(map[Item]bool)
+	for _, b := range candidates {
+		ok, err := ev.evalExpr(b, q.Where)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		res.Bindings = append(res.Bindings, b)
+		var items []Item
+		for _, sel := range q.Selects {
+			selItems, err := ev.EvalPath(b, sel)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, selItems...)
+		}
+		res.PerBinding = append(res.PerBinding, items)
+		for _, it := range items {
+			if !seen[it] {
+				seen[it] = true
+				res.Items = append(res.Items, it)
+			}
+		}
+	}
+	return res, nil
+}
+
+func docNameMatches(doc *xmldom.Document, name string) bool {
+	if doc.Root().Name() == name {
+		return true
+	}
+	if doc.Name() == name || doc.Name() == name+".xml" {
+		return true
+	}
+	return false
+}
+
+// EvalPath evaluates a relative path from ctx and returns the matched items.
+// An empty path yields ctx itself.
+func (ev *Evaluator) EvalPath(ctx *xmldom.Node, path Path) ([]Item, error) {
+	nodes := []*xmldom.Node{ctx}
+	for i, step := range path {
+		if step.Axis == AxisAttribute {
+			if i != len(path)-1 {
+				return nil, fmt.Errorf("query: attribute step /@%s must be last", step.Name)
+			}
+			var items []Item
+			for _, n := range nodes {
+				if _, ok := n.Attr(step.Name); ok {
+					items = append(items, Item{Node: n, Attr: step.Name})
+				}
+			}
+			return items, nil
+		}
+		nodes = ev.stepNodes(nodes, step)
+	}
+	items := make([]Item, 0, len(nodes))
+	for _, n := range nodes {
+		items = append(items, Item{Node: n})
+	}
+	return items, nil
+}
+
+// evalPathNodes is EvalPath restricted to node (non-attribute) paths; it is
+// used for the source path, which cannot end on an attribute.
+func (ev *Evaluator) evalPathNodes(ctx *xmldom.Node, path Path) []*xmldom.Node {
+	nodes := []*xmldom.Node{ctx}
+	for _, step := range path {
+		if step.Axis == AxisAttribute {
+			return nil
+		}
+		nodes = ev.stepNodes(nodes, step)
+	}
+	return nodes
+}
+
+func (ev *Evaluator) stepNodes(ctxs []*xmldom.Node, step Step) []*xmldom.Node {
+	var out []*xmldom.Node
+	seen := make(map[*xmldom.Node]bool)
+	add := func(n *xmldom.Node) {
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	for _, ctx := range ctxs {
+		switch step.Axis {
+		case AxisChild:
+			for _, c := range ev.logicalChildren(ctx) {
+				if nameMatches(c, step.Name) {
+					add(c)
+				}
+			}
+		case AxisDescendant:
+			ev.walkVisible(ctx, func(n *xmldom.Node) {
+				if n != ctx && nameMatches(n, step.Name) {
+					add(n)
+				}
+			})
+		case AxisParent:
+			if p := ev.logicalParent(ctx); p != nil {
+				add(p)
+			}
+		}
+	}
+	return out
+}
+
+func nameMatches(n *xmldom.Node, name string) bool {
+	return n.Kind() == xmldom.ElementNode && (name == "*" || n.Name() == name)
+}
+
+// logicalChildren returns ctx's children with AXML visibility applied:
+// hidden subtrees are dropped, and transparent children contribute both
+// themselves (so axml:sc can be addressed directly) and, recursively, their
+// own logical children in place.
+func (ev *Evaluator) logicalChildren(ctx *xmldom.Node) []*xmldom.Node {
+	var out []*xmldom.Node
+	for _, c := range ctx.Children() {
+		if c.Kind() != xmldom.ElementNode {
+			continue
+		}
+		if ev.Hidden[c.Name()] {
+			continue
+		}
+		out = append(out, c)
+		if ev.Transparent[c.Name()] {
+			out = append(out, ev.logicalChildren(c)...)
+		}
+	}
+	return out
+}
+
+// logicalParent returns the nearest non-transparent ancestor element, so a
+// node stored inside an <axml:sc> reports the embedding element as parent.
+func (ev *Evaluator) logicalParent(n *xmldom.Node) *xmldom.Node {
+	for p := n.Parent(); p != nil; p = p.Parent() {
+		if !ev.Transparent[p.Name()] {
+			return p
+		}
+	}
+	return nil
+}
+
+// walkVisible visits every element beneath ctx in document order, skipping
+// hidden subtrees.
+func (ev *Evaluator) walkVisible(ctx *xmldom.Node, fn func(*xmldom.Node)) {
+	ctx.Walk(func(n *xmldom.Node) bool {
+		if n.Kind() != xmldom.ElementNode {
+			return false
+		}
+		if n != ctx && ev.Hidden[n.Name()] {
+			return false
+		}
+		fn(n)
+		return true
+	})
+}
+
+func (ev *Evaluator) evalExpr(binding *xmldom.Node, e Expr) (bool, error) {
+	if e == nil {
+		return true, nil
+	}
+	switch x := e.(type) {
+	case *Compare:
+		items, err := ev.EvalPath(binding, x.Path)
+		if err != nil {
+			return false, err
+		}
+		// Existential semantics as in XPath general comparisons: the
+		// predicate holds if any matched item satisfies it. A != with no
+		// matches is false (there is no witness).
+		for _, it := range items {
+			v := it.Value()
+			if x.Op == OpEq && v == x.Literal {
+				return true, nil
+			}
+			if x.Op == OpNeq && v != x.Literal {
+				return true, nil
+			}
+		}
+		return false, nil
+	case *And:
+		l, err := ev.evalExpr(binding, x.L)
+		if err != nil || !l {
+			return false, err
+		}
+		return ev.evalExpr(binding, x.R)
+	case *Or:
+		l, err := ev.evalExpr(binding, x.L)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return ev.evalExpr(binding, x.R)
+	default:
+		return false, fmt.Errorf("query: unknown expression %T", e)
+	}
+}

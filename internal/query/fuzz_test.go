@@ -1,0 +1,34 @@
+package query
+
+import "testing"
+
+// FuzzParse guards the query parser against panics and checks that every
+// accepted query round-trips through String() to an equivalent parse.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`Select p/citizenship from p in ATPList//player where p/name/lastname = Federer;`,
+		`Select p/a, p/b/c, p//d from p in Doc/x/y where p/a = "1" and p/b != "2"`,
+		`Select p/@rank from p in D//player where p/a = x or p/b = y`,
+		`Select p/citizenship/.. from p in ATPList//player`,
+		`Select p/* from p in D`,
+		`Select from in where`,
+		`Select p from p in D where ((p/a = 1))`,
+		"Select \x00 from p in D",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("String() output unparseable: %q -> %q: %v", src, rendered, err)
+		}
+		if q2.String() != rendered {
+			t.Fatalf("String() not a fixpoint: %q -> %q", rendered, q2.String())
+		}
+	})
+}

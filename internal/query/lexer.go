@@ -1,0 +1,186 @@
+// Package query implements the select-from-where query language the paper
+// uses for AXML <location> queries:
+//
+//	Select p/citizenship, p/grandslamswon from p in ATPList//player
+//	where p/name/lastname = Federer
+//
+// Paths support child (/name), descendant (//name), parent (/..) and
+// attribute (/@name) steps; predicates support =, != combined with and/or.
+// Literals may be quoted ("Roger Federer") or bare words (Federer).
+//
+// The evaluator is AXML-aware through two configurable name sets: elements
+// named in Transparent (axml:sc) expose their children as if they were
+// children of their own parent, and subtrees named in Hidden (axml:params)
+// are invisible to matching. This realizes the paper's document model where
+// service-call results live inside the <axml:sc> element yet are addressed
+// as children of the element embedding the call.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // quoted literal
+	tokSlash
+	tokDoubleSlash
+	tokComma
+	tokEq
+	tokNeq
+	tokLParen
+	tokRParen
+	tokAt
+	tokDotDot
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokString:
+		return "string"
+	case tokSlash:
+		return "/"
+	case tokDoubleSlash:
+		return "//"
+	case tokComma:
+		return ","
+	case tokEq:
+		return "="
+	case tokNeq:
+		return "!="
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokAt:
+		return "@"
+	case tokDotDot:
+		return ".."
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex splits src into tokens. Identifiers may contain letters, digits, '_',
+// '-', '.' and ':' (for prefixed names like axml:sc); a lone ".." is the
+// parent step.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '/':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+				l.emit(tokDoubleSlash, "//")
+				l.pos += 2
+			} else {
+				l.emit(tokSlash, "/")
+				l.pos++
+			}
+		case c == ',':
+			l.emit(tokComma, ",")
+			l.pos++
+		case c == '=':
+			l.emit(tokEq, "=")
+			l.pos++
+		case c == '!':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+				l.emit(tokNeq, "!=")
+				l.pos += 2
+			} else {
+				return nil, fmt.Errorf("query: unexpected '!' at %d", l.pos)
+			}
+		case c == '(':
+			l.emit(tokLParen, "(")
+			l.pos++
+		case c == ')':
+			l.emit(tokRParen, ")")
+			l.pos++
+		case c == '@':
+			l.emit(tokAt, "@")
+			l.pos++
+		case c == '*':
+			// The wildcard name test lexes as an identifier so the parser
+			// treats it like any step name.
+			l.emit(tokIdent, "*")
+			l.pos++
+		case c == '"' || c == '\'':
+			if err := l.lexString(c); err != nil {
+				return nil, err
+			}
+		case c == '.':
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+				l.emit(tokDotDot, "..")
+				l.pos += 2
+			} else {
+				return nil, fmt.Errorf("query: unexpected '.' at %d", l.pos)
+			}
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		default:
+			return nil, fmt.Errorf("query: unexpected character %q at %d", c, l.pos)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.toks, nil
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: l.pos})
+}
+
+func (l *lexer) lexString(quote byte) error {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == quote {
+			l.toks = append(l.toks, token{kind: tokString, text: b.String(), pos: start})
+			l.pos++
+			return nil
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("query: unterminated string starting at %d", start)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' || r == '-' || r == ':'
+}

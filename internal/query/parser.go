@@ -1,0 +1,275 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parse parses a select-from-where query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// MustParse is Parse that panics on error, for literals in tests and
+// examples.
+func MustParse(src string) *Query {
+	q, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src  string
+	toks []token
+	i    int
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("query: %s (at %q offset %d)", fmt.Sprintf(format, args...), p.src, p.peek().pos)
+}
+
+// keyword consumes an identifier token matching word case-insensitively.
+func (p *parser) keyword(word string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if !p.keyword("select") {
+		return nil, p.errorf("expected 'Select'")
+	}
+	// Selects start with the binding variable; its name is discovered in
+	// the from clause, so collect raw (varName, path) pairs first.
+	type rawSelect struct {
+		varName string
+		path    Path
+	}
+	var raws []rawSelect
+	for {
+		varName, path, err := p.parseVarPath()
+		if err != nil {
+			return nil, err
+		}
+		raws = append(raws, rawSelect{varName, path})
+		if p.peek().kind != tokComma {
+			break
+		}
+		p.next()
+	}
+	if !p.keyword("from") {
+		return nil, p.errorf("expected 'from'")
+	}
+	varTok := p.next()
+	if varTok.kind != tokIdent {
+		return nil, p.errorf("expected binding variable")
+	}
+	if !p.keyword("in") {
+		return nil, p.errorf("expected 'in'")
+	}
+	docTok := p.next()
+	if docTok.kind != tokIdent {
+		return nil, p.errorf("expected document name")
+	}
+	source, err := p.parsePathTail()
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Var: varTok.text, Doc: docTok.text, Source: source}
+	for _, r := range raws {
+		if r.varName != q.Var {
+			return nil, fmt.Errorf("query: select path uses %q but binding variable is %q", r.varName, q.Var)
+		}
+		q.Selects = append(q.Selects, r.path)
+	}
+	if p.keyword("where") {
+		expr, err := p.parseOr(q.Var)
+		if err != nil {
+			return nil, err
+		}
+		q.Where = expr
+	}
+	// The paper terminates queries with ';' in <location> blocks; a single
+	// trailing semicolon arrives lexed as nothing (we strip it before
+	// lexing in CleanSource), so here we only require EOF.
+	if p.peek().kind != tokEOF {
+		return nil, p.errorf("unexpected trailing %s", p.peek().kind)
+	}
+	return q, nil
+}
+
+// parseVarPath parses `var[/step...]`.
+func (p *parser) parseVarPath() (string, Path, error) {
+	t := p.next()
+	if t.kind != tokIdent {
+		return "", nil, p.errorf("expected variable, got %s", t.kind)
+	}
+	path, err := p.parsePathTail()
+	if err != nil {
+		return "", nil, err
+	}
+	return t.text, path, nil
+}
+
+// parsePathTail parses zero or more steps: /name, //name, /.., /@name.
+func (p *parser) parsePathTail() (Path, error) {
+	var path Path
+	for {
+		switch p.peek().kind {
+		case tokSlash:
+			p.next()
+			switch t := p.next(); t.kind {
+			case tokIdent:
+				path = append(path, Step{Axis: AxisChild, Name: t.text})
+			case tokDotDot:
+				path = append(path, Step{Axis: AxisParent})
+			case tokAt:
+				nt := p.next()
+				if nt.kind != tokIdent {
+					return nil, p.errorf("expected attribute name after @")
+				}
+				path = append(path, Step{Axis: AxisAttribute, Name: nt.text})
+			default:
+				return nil, p.errorf("expected step name after '/', got %s", t.kind)
+			}
+		case tokDoubleSlash:
+			p.next()
+			t := p.next()
+			if t.kind != tokIdent {
+				return nil, p.errorf("expected step name after '//', got %s", t.kind)
+			}
+			path = append(path, Step{Axis: AxisDescendant, Name: t.text})
+		default:
+			return path, nil
+		}
+	}
+}
+
+func (p *parser) parseOr(varName string) (Expr, error) {
+	left, err := p.parseAnd(varName)
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("or") {
+		right, err := p.parseAnd(varName)
+		if err != nil {
+			return nil, err
+		}
+		left = &Or{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd(varName string) (Expr, error) {
+	left, err := p.parseComparison(varName)
+	if err != nil {
+		return nil, err
+	}
+	for p.keyword("and") {
+		right, err := p.parseComparison(varName)
+		if err != nil {
+			return nil, err
+		}
+		left = &And{L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseComparison(varName string) (Expr, error) {
+	if p.peek().kind == tokLParen {
+		p.next()
+		e, err := p.parseOr(varName)
+		if err != nil {
+			return nil, err
+		}
+		if p.next().kind != tokRParen {
+			return nil, p.errorf("expected ')'")
+		}
+		return e, nil
+	}
+	v, path, err := p.parseVarPath()
+	if err != nil {
+		return nil, err
+	}
+	if v != varName {
+		return nil, fmt.Errorf("query: predicate path uses %q but binding variable is %q", v, varName)
+	}
+	var op CompareOp
+	switch t := p.next(); t.kind {
+	case tokEq:
+		op = OpEq
+	case tokNeq:
+		op = OpNeq
+	default:
+		return nil, p.errorf("expected comparison operator, got %s", t.kind)
+	}
+	lit, err := p.parseLiteral()
+	if err != nil {
+		return nil, err
+	}
+	return &Compare{Path: path, Op: op, Literal: lit}, nil
+}
+
+// parseLiteral accepts a quoted string or a run of bare identifiers — the
+// paper writes `p/name/lastname = Federer` unquoted, and values like
+// "Roger Federer" may span words.
+func (p *parser) parseLiteral() (string, error) {
+	t := p.next()
+	switch t.kind {
+	case tokString:
+		return t.text, nil
+	case tokIdent:
+		parts := []string{t.text}
+		// Greedily absorb following identifiers that are not clause
+		// keywords, so bare multi-word literals work.
+		for p.peek().kind == tokIdent && !isKeyword(p.peek().text) {
+			parts = append(parts, p.next().text)
+		}
+		return strings.Join(parts, " "), nil
+	default:
+		return "", p.errorf("expected literal, got %s", t.kind)
+	}
+}
+
+func isKeyword(s string) bool {
+	switch strings.ToLower(s) {
+	case "and", "or", "where", "from", "in", "select":
+		return true
+	}
+	return false
+}
+
+// CleanSource normalizes raw <location> text before parsing: trims
+// whitespace and at most one trailing ';' or ':' (the paper's examples end
+// with either, including one typo-colon).
+func CleanSource(src string) string {
+	s := strings.TrimSpace(src)
+	if len(s) > 0 && (s[len(s)-1] == ';' || s[len(s)-1] == ':') {
+		s = strings.TrimSpace(s[:len(s)-1])
+	}
+	return s
+}

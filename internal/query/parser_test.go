@@ -1,0 +1,182 @@
+package query
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePaperQueryA(t *testing.T) {
+	q, err := Parse(CleanSource(`Select p/citizenship, p/grandslamswon from p in ATPList//player where p/name/lastname = Federer;`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Var != "p" || q.Doc != "ATPList" {
+		t.Fatalf("var=%q doc=%q", q.Var, q.Doc)
+	}
+	if len(q.Selects) != 2 {
+		t.Fatalf("selects = %d", len(q.Selects))
+	}
+	if q.Selects[0].String() != "/citizenship" || q.Selects[1].String() != "/grandslamswon" {
+		t.Fatalf("selects = %v, %v", q.Selects[0], q.Selects[1])
+	}
+	if q.Source.String() != "//player" {
+		t.Fatalf("source = %v", q.Source)
+	}
+	cmp, ok := q.Where.(*Compare)
+	if !ok {
+		t.Fatalf("where = %T", q.Where)
+	}
+	if cmp.Path.String() != "/name/lastname" || cmp.Literal != "Federer" || cmp.Op != OpEq {
+		t.Fatalf("where = %v", cmp)
+	}
+}
+
+func TestParseParentStep(t *testing.T) {
+	q := MustParse(`Select p/citizenship/.. from p in ATPList//player where p/name/lastname = Federer`)
+	sel := q.Selects[0]
+	if len(sel) != 2 || sel[1].Axis != AxisParent {
+		t.Fatalf("select path = %v", sel)
+	}
+}
+
+func TestParseAttributeStep(t *testing.T) {
+	q := MustParse(`Select p/@rank from p in ATPList//player`)
+	sel := q.Selects[0]
+	if len(sel) != 1 || sel[0].Axis != AxisAttribute || sel[0].Name != "rank" {
+		t.Fatalf("select path = %v", sel)
+	}
+}
+
+func TestParseQuotedAndBareLiterals(t *testing.T) {
+	q1 := MustParse(`Select p from p in D//x where p/name = "Roger Federer"`)
+	if q1.Where.(*Compare).Literal != "Roger Federer" {
+		t.Fatal("quoted literal")
+	}
+	q2 := MustParse(`Select p from p in D//x where p/name = Roger Federer`)
+	if q2.Where.(*Compare).Literal != "Roger Federer" {
+		t.Fatalf("bare multi-word literal = %q", q2.Where.(*Compare).Literal)
+	}
+}
+
+func TestParseBooleanOperators(t *testing.T) {
+	q := MustParse(`Select p from p in D//x where p/a = 1 and p/b = 2 or p/c != 3`)
+	or, ok := q.Where.(*Or)
+	if !ok {
+		t.Fatalf("top = %T, want Or (and binds tighter)", q.Where)
+	}
+	if _, ok := or.L.(*And); !ok {
+		t.Fatalf("left of or = %T", or.L)
+	}
+	if cmp := or.R.(*Compare); cmp.Op != OpNeq {
+		t.Fatal("right comparison op")
+	}
+}
+
+func TestParseParenthesizedPredicate(t *testing.T) {
+	q := MustParse(`Select p from p in D//x where p/a = 1 and (p/b = 2 or p/c = 3)`)
+	and, ok := q.Where.(*And)
+	if !ok {
+		t.Fatalf("top = %T", q.Where)
+	}
+	if _, ok := and.R.(*Or); !ok {
+		t.Fatalf("right of and = %T", and.R)
+	}
+}
+
+func TestParseSelectBindingItself(t *testing.T) {
+	q := MustParse(`Select p from p in D//x`)
+	if len(q.Selects) != 1 || len(q.Selects[0]) != 0 {
+		t.Fatalf("selects = %v", q.Selects)
+	}
+}
+
+func TestParseDescendantInSelect(t *testing.T) {
+	q := MustParse(`Select p//deep from p in D/a/b`)
+	if q.Selects[0][0].Axis != AxisDescendant {
+		t.Fatal("descendant axis")
+	}
+	if q.Source.String() != "/a/b" {
+		t.Fatalf("source = %v", q.Source)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"Select",
+		"Select p",
+		"Select p from",
+		"Select p from p",
+		"Select p from p in",
+		"Select p from p in D where",
+		"Select p from p in D where p/a",
+		"Select p from p in D where p/a =",
+		"Select p from q in D//x",          // variable mismatch in select
+		"Select p from p in D where q/a=1", // variable mismatch in where
+		"Select p from p in D//x extra stuff =",
+		"Select p/ from p in D//x",
+		`Select p from p in D where p/a = "unterminated`,
+		"Select p from p in D where p/a ! 1",
+		"Select p from p in D//x where (p/a = 1",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCleanSource(t *testing.T) {
+	for in, want := range map[string]string{
+		"  Select p from p in D;  ": "Select p from p in D",
+		"Select p from p in D:":     "Select p from p in D",
+		"Select p from p in D":      "Select p from p in D",
+	} {
+		if got := CleanSource(in); got != want {
+			t.Errorf("CleanSource(%q) = %q", in, got)
+		}
+	}
+}
+
+func TestQueryNames(t *testing.T) {
+	q := MustParse(`Select p/citizenship, p/points from p in ATPList//player where p/name/lastname = Federer`)
+	names := q.Names()
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"player", "citizenship", "points", "name", "lastname"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("Names() = %v missing %q", names, want)
+		}
+	}
+}
+
+func TestPropertyStringReparse(t *testing.T) {
+	// String() of a parsed query must reparse to an equivalent query.
+	seeds := []string{
+		`Select p/citizenship from p in ATPList//player where p/name/lastname = Federer`,
+		`Select p/a, p/b/c, p//d from p in Doc/x/y where p/a = "1" and p/b != "2"`,
+		`Select p/@rank from p in D//player where p/a = "x" or p/b = "y" and p/c = "z"`,
+		`Select p/citizenship/.. from p in ATPList//player`,
+	}
+	for _, src := range seeds {
+		q1 := MustParse(src)
+		q2, err := Parse(q1.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", q1.String(), err)
+		}
+		if q1.String() != q2.String() {
+			t.Fatalf("not stable:\n%s\n%s", q1.String(), q2.String())
+		}
+	}
+}
+
+func TestPropertyLexerNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		_, _ = lex(s)   // must not panic
+		_, _ = Parse(s) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

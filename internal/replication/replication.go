@@ -1,0 +1,122 @@
+// Package replication tracks where documents and services are replicated
+// across peers [Abiteboul et al., SIGMOD 2003]. The recovery protocols
+// consult it for two purposes: retrying a failed invocation on a replica
+// peer (<axml:retry> with an alternative provider, §3.2) and forward
+// recovery after a disconnection by re-invoking a service "on a different
+// peer" (§3.3 case b) — which, as the paper notes, can only be a peer
+// holding a replica of the affected document.
+package replication
+
+import (
+	"sort"
+	"sync"
+
+	"axmltx/internal/p2p"
+)
+
+// Table is a peer's view of replica placement. Lists are ranked: the first
+// live entry is the preferred alternative (the "alternative participant"
+// approach of Jin & Goschnick).
+type Table struct {
+	mu   sync.RWMutex
+	docs map[string][]p2p.PeerID
+	svcs map[string][]p2p.PeerID
+}
+
+// New returns an empty table.
+func New() *Table {
+	return &Table{
+		docs: make(map[string][]p2p.PeerID),
+		svcs: make(map[string][]p2p.PeerID),
+	}
+}
+
+// AddDocument records that peer holds a replica of the named document.
+// Duplicate registrations are ignored; order of first registration is rank.
+func (t *Table) AddDocument(doc string, peer p2p.PeerID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.docs[doc] = appendUnique(t.docs[doc], peer)
+}
+
+// AddService records that peer provides the named service.
+func (t *Table) AddService(service string, peer p2p.PeerID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.svcs[service] = appendUnique(t.svcs[service], peer)
+}
+
+// RemovePeer drops a (disconnected) peer from every list.
+func (t *Table) RemovePeer(peer p2p.PeerID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for k, v := range t.docs {
+		t.docs[k] = remove(v, peer)
+	}
+	for k, v := range t.svcs {
+		t.svcs[k] = remove(v, peer)
+	}
+}
+
+// DocumentReplicas returns the ranked replica holders of a document.
+func (t *Table) DocumentReplicas(doc string) []p2p.PeerID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]p2p.PeerID(nil), t.docs[doc]...)
+}
+
+// ServiceProviders returns the ranked providers of a service.
+func (t *Table) ServiceProviders(service string) []p2p.PeerID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return append([]p2p.PeerID(nil), t.svcs[service]...)
+}
+
+// Alternative returns the highest-ranked provider of service that is not in
+// exclude — the failure-recovery hook: exclude the failed peer(s) and pick
+// the next provider of equivalent functionality.
+func (t *Table) Alternative(service string, exclude ...p2p.PeerID) (p2p.PeerID, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ex := make(map[p2p.PeerID]bool, len(exclude))
+	for _, e := range exclude {
+		ex[e] = true
+	}
+	for _, p := range t.svcs[service] {
+		if !ex[p] {
+			return p, true
+		}
+	}
+	return "", false
+}
+
+// Documents returns the known document names, sorted, for diagnostics.
+func (t *Table) Documents() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.docs))
+	for d := range t.docs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func appendUnique(list []p2p.PeerID, p p2p.PeerID) []p2p.PeerID {
+	for _, x := range list {
+		if x == p {
+			return list
+		}
+	}
+	return append(list, p)
+}
+
+func remove(list []p2p.PeerID, p p2p.PeerID) []p2p.PeerID {
+	out := list[:0]
+	for _, x := range list {
+		if x != p {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package replication
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"axmltx/internal/p2p"
+)
+
+func TestAddAndLookup(t *testing.T) {
+	tab := New()
+	tab.AddDocument("ATPList.xml", "AP1")
+	tab.AddDocument("ATPList.xml", "AP3")
+	tab.AddDocument("ATPList.xml", "AP1") // duplicate ignored
+	tab.AddService("getPoints", "AP2")
+	tab.AddService("getPoints", "AP5")
+
+	if got := tab.DocumentReplicas("ATPList.xml"); !reflect.DeepEqual(got, []p2p.PeerID{"AP1", "AP3"}) {
+		t.Fatalf("doc replicas = %v", got)
+	}
+	if got := tab.ServiceProviders("getPoints"); !reflect.DeepEqual(got, []p2p.PeerID{"AP2", "AP5"}) {
+		t.Fatalf("providers = %v", got)
+	}
+	if got := tab.DocumentReplicas("nope"); len(got) != 0 {
+		t.Fatalf("unknown doc = %v", got)
+	}
+	if got := tab.Documents(); !reflect.DeepEqual(got, []string{"ATPList.xml"}) {
+		t.Fatalf("documents = %v", got)
+	}
+}
+
+func TestAlternativeRankedWithExclusion(t *testing.T) {
+	tab := New()
+	tab.AddService("s", "AP2")
+	tab.AddService("s", "AP5")
+	tab.AddService("s", "AP9")
+
+	if alt, ok := tab.Alternative("s"); !ok || alt != "AP2" {
+		t.Fatalf("first = %v, %v", alt, ok)
+	}
+	if alt, ok := tab.Alternative("s", "AP2"); !ok || alt != "AP5" {
+		t.Fatalf("excluding AP2 = %v, %v", alt, ok)
+	}
+	if alt, ok := tab.Alternative("s", "AP2", "AP5", "AP9"); ok {
+		t.Fatalf("all excluded but got %v", alt)
+	}
+	if _, ok := tab.Alternative("unknown"); ok {
+		t.Fatal("unknown service has an alternative")
+	}
+}
+
+func TestRemovePeerDropsEverywhere(t *testing.T) {
+	tab := New()
+	tab.AddDocument("d1", "AP1")
+	tab.AddDocument("d1", "AP2")
+	tab.AddService("s1", "AP2")
+	tab.AddService("s1", "AP3")
+	tab.RemovePeer("AP2")
+	if got := tab.DocumentReplicas("d1"); !reflect.DeepEqual(got, []p2p.PeerID{"AP1"}) {
+		t.Fatalf("docs = %v", got)
+	}
+	if got := tab.ServiceProviders("s1"); !reflect.DeepEqual(got, []p2p.PeerID{"AP3"}) {
+		t.Fatalf("svcs = %v", got)
+	}
+}
+
+func TestPropertyAlternativeNeverReturnsExcluded(t *testing.T) {
+	f := func(providers []uint8, excluded []uint8) bool {
+		tab := New()
+		for _, p := range providers {
+			tab.AddService("s", p2p.PeerID(rune('A'+p%26)))
+		}
+		ex := make([]p2p.PeerID, 0, len(excluded))
+		for _, e := range excluded {
+			ex = append(ex, p2p.PeerID(rune('A'+e%26)))
+		}
+		alt, ok := tab.Alternative("s", ex...)
+		if !ok {
+			return true
+		}
+		for _, e := range ex {
+			if alt == e {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

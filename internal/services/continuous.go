@@ -1,0 +1,136 @@
+package services
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Continuous is a subscription-based service that pushes batches of result
+// fragments to a subscriber at a fixed interval — the paper's "continuous
+// services which are responsible for sending updated (streams of) data at
+// regular intervals" (§3.3 case d). In the disconnection protocol, a
+// sibling that stops receiving the stream on time is the detector of the
+// producer's death.
+type Continuous struct {
+	desc     Descriptor
+	interval time.Duration
+	gen      func(seq int) []string
+}
+
+// NewContinuous builds a continuous service generating batch seq with gen.
+func NewContinuous(desc Descriptor, interval time.Duration, gen func(seq int) []string) *Continuous {
+	desc.Kind = KindContinuous
+	return &Continuous{desc: desc, interval: interval, gen: gen}
+}
+
+// Descriptor implements Service.
+func (c *Continuous) Descriptor() Descriptor { return c.desc }
+
+// Interval returns the declared push interval.
+func (c *Continuous) Interval() time.Duration { return c.interval }
+
+// Invoke implements Service by returning the first batch; callers that
+// want the stream use Stream.
+func (c *Continuous) Invoke(ctx context.Context, req *Request) ([]string, error) {
+	return c.gen(0), nil
+}
+
+// Stream pushes batches through emit until ctx is cancelled or emit fails
+// (e.g. the subscriber became unreachable). It returns the emit error, or
+// nil on cancellation.
+func (c *Continuous) Stream(ctx context.Context, emit func(seq int, fragments []string) error) error {
+	ticker := time.NewTicker(c.interval)
+	defer ticker.Stop()
+	for seq := 0; ; seq++ {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+			if err := emit(seq, c.gen(seq)); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// StreamWatcher detects silence on a subscription: if no batch arrives
+// within the deadline, it fires onSilence once. It is the sibling-side
+// detector of §3.3 case (d).
+type StreamWatcher struct {
+	deadline  time.Duration
+	onSilence func()
+
+	mu      sync.Mutex
+	timer   *time.Timer
+	stopped bool
+	fired   bool
+	batches int
+}
+
+// NewStreamWatcher builds a watcher; call Reset on every received batch and
+// Start to arm it.
+func NewStreamWatcher(deadline time.Duration, onSilence func()) *StreamWatcher {
+	return &StreamWatcher{deadline: deadline, onSilence: onSilence}
+}
+
+// Start arms the watcher.
+func (w *StreamWatcher) Start() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.arm()
+}
+
+func (w *StreamWatcher) arm() {
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+	w.timer = time.AfterFunc(w.deadline, func() {
+		w.mu.Lock()
+		if w.stopped || w.fired {
+			w.mu.Unlock()
+			return
+		}
+		w.fired = true
+		cb := w.onSilence
+		w.mu.Unlock()
+		if cb != nil {
+			cb()
+		}
+	})
+}
+
+// Observe records a received batch and re-arms the deadline.
+func (w *StreamWatcher) Observe() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.stopped || w.fired {
+		return
+	}
+	w.batches++
+	w.arm()
+}
+
+// Batches returns the number of batches observed.
+func (w *StreamWatcher) Batches() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.batches
+}
+
+// Fired reports whether silence was detected.
+func (w *StreamWatcher) Fired() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.fired
+}
+
+// Stop disarms the watcher.
+func (w *StreamWatcher) Stop() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stopped = true
+	if w.timer != nil {
+		w.timer.Stop()
+	}
+}

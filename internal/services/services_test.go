@@ -1,0 +1,277 @@
+package services
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/wal"
+)
+
+const atp = `<ATPList date="18042005">
+  <player rank="1">
+    <name><firstname>Roger</firstname><lastname>Federer</lastname></name>
+    <citizenship>Swiss</citizenship>
+    <points>475</points>
+  </player>
+  <player rank="2">
+    <name><firstname>Rafael</firstname><lastname>Nadal</lastname></name>
+    <citizenship>Spanish</citizenship>
+  </player>
+</ATPList>`
+
+func newStore(t *testing.T) *axml.Store {
+	t.Helper()
+	s := axml.NewStore(wal.NewMemory())
+	if _, err := s.AddParsed("ATPList.xml", atp); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestQueryServiceWithParams(t *testing.T) {
+	store := newStore(t)
+	svc := NewQueryService(
+		Descriptor{Name: "getPoints", ResultName: "points",
+			Params: []ParamDef{{Name: "lastname", Required: true}}},
+		store,
+		`Select p/points from p in ATPList//player where p/name/lastname = $lastname`,
+		nil, axml.Lazy)
+
+	out, err := svc.Invoke(context.Background(), &Request{Txn: "T", Params: map[string]string{"lastname": "Federer"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0] != "<points>475</points>" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestQueryServiceAttributeResult(t *testing.T) {
+	store := newStore(t)
+	svc := NewQueryService(Descriptor{Name: "getRanks", ResultName: "rank"}, store,
+		`Select p/@rank from p in ATPList//player`, nil, axml.Lazy)
+	out, err := svc.Invoke(context.Background(), &Request{Txn: "T"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != "<rank>1</rank>" {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+func TestQueryServiceBadTemplate(t *testing.T) {
+	store := newStore(t)
+	svc := NewQueryService(Descriptor{Name: "bad"}, store, `Select nonsense !!`, nil, axml.Lazy)
+	if _, err := svc.Invoke(context.Background(), &Request{Txn: "T"}); err == nil {
+		t.Fatal("bad template accepted")
+	}
+}
+
+func TestUpdateServiceInsertReturnsIDs(t *testing.T) {
+	store := newStore(t)
+	svc := NewUpdateService(
+		Descriptor{Name: "addTitle", Params: []ParamDef{{Name: "lastname", Required: true}, {Name: "title", Required: true}}},
+		store,
+		`<action type="insert"><data><title>$title</title></data><location>Select p from p in ATPList//player where p/name/lastname = "$lastname";</location></action>`,
+		nil)
+	out, err := svc.Invoke(context.Background(), &Request{Txn: "T", Params: map[string]string{"lastname": "Federer", "title": "Wimbledon"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || !strings.Contains(out[0], "<insertedID>") {
+		t.Fatalf("out = %v", out)
+	}
+	// Verify the document changed.
+	check := NewQueryService(Descriptor{Name: "q"}, store,
+		`Select p/title from p in ATPList//player where p/name/lastname = "Federer"`, nil, axml.Lazy)
+	res, err := check.Invoke(context.Background(), &Request{Txn: "T"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != "<title>Wimbledon</title>" {
+		t.Fatalf("check = %v", res)
+	}
+}
+
+func TestRegistryInvokeValidatesParams(t *testing.T) {
+	r := NewRegistry()
+	r.Register(StaticService(Descriptor{
+		Name: "needsName", ResultName: "x",
+		Params: []ParamDef{{Name: "name", Required: true}, {Name: "opt"}},
+	}, "<x/>"))
+
+	if _, err := r.Invoke(context.Background(), "needsName", &Request{Params: map[string]string{}}); !errors.Is(err, ErrMissingParam) {
+		t.Fatalf("err = %v", err)
+	}
+	out, err := r.Invoke(context.Background(), "needsName", &Request{Params: map[string]string{"name": "x"}})
+	if err != nil || len(out) != 1 {
+		t.Fatalf("out = %v, %v", out, err)
+	}
+	if _, err := r.Invoke(context.Background(), "ghost", &Request{}); !errors.Is(err, ErrUnknownService) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRegistryNamesAndResultName(t *testing.T) {
+	r := NewRegistry()
+	r.Register(StaticService(Descriptor{Name: "b", ResultName: "vb"}, "<vb/>"))
+	r.Register(StaticService(Descriptor{Name: "a", ResultName: "va"}, "<va/>"))
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" {
+		t.Fatalf("names = %v", names)
+	}
+	if r.ResultName("a") != "va" || r.ResultName("ghost") != "" {
+		t.Fatal("ResultName")
+	}
+}
+
+func TestFaultNameExtraction(t *testing.T) {
+	base := &Fault{Name: "A", Msg: "backend down"}
+	wrapped := errors.Join(errors.New("ctx"), base)
+	if FaultName(wrapped) != "A" {
+		t.Fatal("wrapped fault name")
+	}
+	if FaultName(errors.New("anon")) != "" {
+		t.Fatal("anonymous error should have no fault name")
+	}
+	if !strings.Contains(base.Error(), "backend down") {
+		t.Fatal("fault message lost")
+	}
+}
+
+func TestSubstituteLongestFirst(t *testing.T) {
+	got := substitute("x=$year2 y=$year", map[string]string{"year": "2004", "year2": "2005"}, false)
+	if got != "x=2005 y=2004" {
+		t.Fatalf("got %q", got)
+	}
+	quoted := substitute("p = $v", map[string]string{"v": `Ro"ger`}, true)
+	if quoted != `p = "Roger"` {
+		t.Fatalf("quoted = %q", quoted)
+	}
+}
+
+func TestDescriptorXML(t *testing.T) {
+	d := Descriptor{Name: "getPoints", Kind: KindQuery, Doc: "ATP points", ResultName: "points",
+		Params: []ParamDef{{Name: "name", Required: true}}}
+	x := d.XML()
+	for _, want := range []string{`name="getPoints"`, `kind="query"`, `resultName="points"`, `<param name="name" required="true"/>`} {
+		if !strings.Contains(x, want) {
+			t.Fatalf("descriptor XML %q missing %q", x, want)
+		}
+	}
+}
+
+func TestContinuousStreamAndWatcher(t *testing.T) {
+	cont := NewContinuous(Descriptor{Name: "ticker", ResultName: "tick"}, 3*time.Millisecond,
+		func(seq int) []string { return []string{"<tick/>"} })
+
+	if d := cont.Interval(); d != 3*time.Millisecond {
+		t.Fatal("interval")
+	}
+	if out, err := cont.Invoke(context.Background(), &Request{}); err != nil || len(out) != 1 {
+		t.Fatal("invoke first batch")
+	}
+
+	silence := make(chan struct{}, 1)
+	w := NewStreamWatcher(50*time.Millisecond, func() { silence <- struct{}{} })
+	w.Start()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var received atomic.Int32
+	streamDone := make(chan error, 1)
+	go func() {
+		streamDone <- cont.Stream(ctx, func(seq int, frags []string) error {
+			received.Add(1)
+			w.Observe()
+			if received.Load() >= 3 {
+				cancel() // producer "disconnects" after 3 batches
+			}
+			return nil
+		})
+	}()
+
+	select {
+	case <-silence:
+		// Watcher fired after the stream went quiet.
+	case <-time.After(2 * time.Second):
+		t.Fatal("watcher never fired")
+	}
+	if received.Load() < 3 {
+		t.Fatalf("received = %d", received.Load())
+	}
+	if !w.Fired() || w.Batches() < 3 {
+		t.Fatalf("watcher state: fired=%v batches=%d", w.Fired(), w.Batches())
+	}
+	if err := <-streamDone; err != nil {
+		t.Fatalf("stream err = %v", err)
+	}
+	w.Stop()
+}
+
+func TestStreamStopsOnEmitError(t *testing.T) {
+	cont := NewContinuous(Descriptor{Name: "t"}, time.Millisecond, func(seq int) []string { return nil })
+	sentinel := errors.New("subscriber gone")
+	err := cont.Stream(context.Background(), func(seq int, frags []string) error {
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWatcherObserveAfterStopIgnored(t *testing.T) {
+	w := NewStreamWatcher(10*time.Millisecond, func() { t.Error("fired after stop") })
+	w.Start()
+	w.Stop()
+	w.Observe()
+	time.Sleep(30 * time.Millisecond)
+}
+
+func TestDescriptorsOfAllServiceTypes(t *testing.T) {
+	store := newStore(t)
+	q := NewQueryService(Descriptor{Name: "q"}, store, `Select p from p in ATPList`, nil, axml.Lazy)
+	if q.Descriptor().Kind != KindQuery {
+		t.Fatal("query kind")
+	}
+	u := NewUpdateService(Descriptor{Name: "u"}, store, `<action type="query"><location>Select p from p in ATPList</location></action>`, nil)
+	if u.Descriptor().Kind != KindUpdate {
+		t.Fatal("update kind")
+	}
+	c := NewContinuous(Descriptor{Name: "c"}, time.Second, func(int) []string { return nil })
+	if c.Descriptor().Kind != KindContinuous {
+		t.Fatal("continuous kind")
+	}
+	f := NewFuncService(Descriptor{Name: "f"}, func(context.Context, map[string]string) ([]string, error) { return nil, nil })
+	if f.Descriptor().Kind != KindGeneric {
+		t.Fatal("generic kind default")
+	}
+}
+
+func TestFaultErrorWithoutMessage(t *testing.T) {
+	f := &Fault{Name: "X"}
+	if f.Error() != "fault X" {
+		t.Fatalf("Error() = %q", f.Error())
+	}
+}
+
+func TestUpdateServiceBadTemplate(t *testing.T) {
+	store := newStore(t)
+	svc := NewUpdateService(Descriptor{Name: "bad"}, store, `not xml at all`, nil)
+	if _, err := svc.Invoke(context.Background(), &Request{Txn: "T"}); err == nil {
+		t.Fatal("bad template accepted")
+	}
+}
+
+func TestUpdateServiceApplyFailure(t *testing.T) {
+	store := newStore(t)
+	svc := NewUpdateService(Descriptor{Name: "missing"}, store,
+		`<action type="delete"><location>Select p/nothing from p in ATPList//player;</location></action>`, nil)
+	if _, err := svc.Invoke(context.Background(), &Request{Txn: "T"}); err == nil {
+		t.Fatal("no-target delete should fail")
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestChaosMixedOutcomes runs a stream of transactions against one
+// deployment while randomly injecting work faults and flipping them off
+// again, committing and aborting in a mix. The invariant: the number of
+// work entries in the system always equals WorkEntries × peers × committed
+// transactions — aborted or failed transactions leave no residue.
+func TestChaosMixedOutcomes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tc := BuildTree(TreeSpec{Depth: 2, Fanout: 2, Seed: 42})
+
+	committed := 0
+	for round := 0; round < 60; round++ {
+		// Random fault pattern for this round.
+		var victims []int
+		for i, id := range tc.Order {
+			fail := rng.Float64() < 0.2
+			tc.Fail[id].Store(fail)
+			if fail {
+				victims = append(victims, i)
+			}
+		}
+		err := tc.Run()
+		if len(victims) > 0 && err == nil {
+			t.Fatalf("round %d: faults injected but transaction committed", round)
+		}
+		if len(victims) == 0 && err != nil {
+			t.Fatalf("round %d: clean run failed: %v", round, err)
+		}
+		if err == nil {
+			committed++
+		}
+		if got, want := tc.WorkEntriesCommitted(), committed*tc.PeerCount(); got != want {
+			t.Fatalf("round %d: entries = %d, want %d (residue from failed txns?)", round, got, want)
+		}
+	}
+	if committed == 0 || committed == 60 {
+		t.Fatalf("degenerate chaos run: committed = %d", committed)
+	}
+	// The log-derived metrics stay coherent: every abort compensated.
+	m := tc.TotalMetrics()
+	if m.TxnsAborted != int64(60-committed) {
+		t.Fatalf("aborted = %d, want %d", m.TxnsAborted, 60-committed)
+	}
+}
+
+// TestChaosDisconnectReconnect cycles a participant through disconnection
+// and rejoin across transactions: transactions during the outage fail and
+// compensate; transactions after the rejoin succeed again.
+func TestChaosDisconnectReconnect(t *testing.T) {
+	tc := BuildTree(TreeSpec{Depth: 1, Fanout: 2, Seed: 7})
+	leaf := tc.Leaves[0]
+
+	committed := 0
+	for round := 0; round < 12; round++ {
+		switch round % 3 {
+		case 1:
+			tc.Net.Disconnect(leaf)
+		case 2:
+			tc.Net.Reconnect(leaf)
+		}
+		err := tc.Run()
+		down := tc.Net.Down(leaf)
+		if down && err == nil {
+			t.Fatalf("round %d: committed despite %s being down", round, leaf)
+		}
+		if !down && err != nil {
+			t.Fatalf("round %d: failed with everyone up: %v", round, err)
+		}
+		if err == nil {
+			committed++
+		}
+		if got, want := tc.WorkEntriesCommitted(), committed*tc.PeerCount(); got != want {
+			t.Fatalf("round %d: entries = %d, want %d", round, got, want)
+		}
+	}
+	if committed == 0 {
+		t.Fatal("nothing ever committed")
+	}
+}

@@ -1,0 +1,80 @@
+package sim
+
+import "testing"
+
+func TestSmokeE1(t *testing.T) {
+	r := RunE1(OpsSpec{Players: 20, Ops: 50, Insert: 0.3, Delete: 0.2, Replace: 0.3, Query: 0.2, Seed: 1})
+	if !r.Restored {
+		t.Fatal("E1 not restored")
+	}
+	if r.LogRecords == 0 || r.CompActions == 0 {
+		t.Fatalf("E1 = %+v", r)
+	}
+	if r.StaticCompensable >= r.Ops {
+		t.Fatalf("static compensable should be a strict subset: %+v", r)
+	}
+}
+
+func TestSmokeE2(t *testing.T) {
+	r := RunE2(8, 3)
+	if r.LazyInvoked != 3 || r.EagerInvoked != 8 {
+		t.Fatalf("E2 = %+v", r)
+	}
+}
+
+func TestSmokeE3(t *testing.T) {
+	b := RunE3(3, 2, false, 1)
+	if b.Committed || !b.Restored {
+		t.Fatalf("backward = %+v", b)
+	}
+	f := RunE3(3, 2, true, 1)
+	if !f.Committed || f.ForwardRecoveries == 0 {
+		t.Fatalf("forward = %+v", f)
+	}
+	if f.NodesUndone >= b.NodesUndone {
+		t.Fatalf("forward should undo less: fwd=%d back=%d", f.NodesUndone, b.NodesUndone)
+	}
+}
+
+func TestSmokeE4(t *testing.T) {
+	dep := RunE4(3, 1.0, false, 5, 1)
+	ind := RunE4(3, 1.0, true, 5, 1)
+	if ind.SurvivorRestoredFrac <= dep.SurvivorRestoredFrac {
+		t.Fatalf("independent %.2f should beat dependent %.2f", ind.SurvivorRestoredFrac, dep.SurvivorRestoredFrac)
+	}
+}
+
+func TestSmokeE5(t *testing.T) {
+	ch := RunE5(3, 2, true, 1)
+	tr := RunE5(3, 2, false, 1)
+	if !ch.Committed {
+		t.Fatalf("chaining should commit: %+v", ch)
+	}
+	if tr.Committed {
+		t.Fatalf("traditional should abort: %+v", tr)
+	}
+	if tr.OrphanedEntries == 0 {
+		t.Fatalf("traditional should orphan work: %+v", tr)
+	}
+	if ch.OrphanedEntries != 0 {
+		t.Fatalf("chaining should not orphan work: %+v", ch)
+	}
+}
+
+func TestSmokeE6(t *testing.T) {
+	r := RunE6(5, 3, 1)
+	if r.BackwardUndone <= r.ForwardUndone {
+		t.Fatalf("E6 = %+v", r)
+	}
+}
+
+func TestSmokeE7(t *testing.T) {
+	all := RunE7(1.0, 5, 1)
+	none := RunE7(0.0, 5, 1)
+	if all.GuaranteedFrac != 1 || all.AtomicFrac != 1 {
+		t.Fatalf("all-super = %+v", all)
+	}
+	if none.GuaranteedFrac != 0 || none.AtomicFrac != 0 {
+		t.Fatalf("no-super = %+v", none)
+	}
+}

@@ -1,0 +1,90 @@
+package sim
+
+import "testing"
+
+func TestSmokeF1(t *testing.T) {
+	abort := RunF1(false)
+	if abort.Committed || !abort.AllRestored || abort.AbortMessages != 3 {
+		t.Fatalf("F1 abort = %+v", abort)
+	}
+	fwd := RunF1(true)
+	if !fwd.Committed || fwd.ForwardRecoveries == 0 {
+		t.Fatalf("F1 forward = %+v", fwd)
+	}
+}
+
+func TestSmokeF2AllScenarios(t *testing.T) {
+	for _, sc := range []string{"a", "b", "c", "d"} {
+		row := RunF2(sc, true)
+		if !row.Recovered {
+			t.Errorf("F2%s (chaining) not recovered: %+v", sc, row)
+		}
+		switch sc {
+		case "b":
+			if row.Redirects == 0 || row.WorkReused == 0 || !row.Committed {
+				t.Errorf("F2b = %+v", row)
+			}
+		case "c", "d":
+			if !row.Committed {
+				t.Errorf("F2%s should commit via replica: %+v", sc, row)
+			}
+		}
+	}
+}
+
+func TestSmokeF2BaselineComparison(t *testing.T) {
+	ch := RunF2("b", true)
+	tr := RunF2("b", false)
+	if tr.Redirects != 0 {
+		t.Fatalf("baseline redirected: %+v", tr)
+	}
+	if tr.NodesLost == 0 {
+		t.Fatalf("baseline should lose work: %+v", tr)
+	}
+	if tr.Committed {
+		t.Fatalf("baseline should not commit: %+v", tr)
+	}
+	// Chaining: the transaction survives and AP6's result is reused.
+	if !ch.Committed || ch.WorkReused == 0 {
+		t.Fatalf("chaining should commit with reuse: %+v", ch)
+	}
+	if ch.NodesLost > tr.NodesLost {
+		t.Fatalf("chaining lost more than baseline: %d vs %d", ch.NodesLost, tr.NodesLost)
+	}
+}
+
+func TestSmokeE8Detectors(t *testing.T) {
+	for _, det := range []string{"active-send", "ping", "stream-silence"} {
+		r := RunE8(det, 0, 5_000_000) // 5ms interval
+		if !r.Detected {
+			t.Errorf("%s never detected", det)
+		}
+	}
+	// Active send detects faster than passive probing.
+	act := RunE8("active-send", 0, 5_000_000)
+	ping := RunE8("ping", 0, 5_000_000)
+	if act.Elapsed > ping.Elapsed {
+		t.Errorf("active-send (%v) slower than ping (%v)", act.Elapsed, ping.Elapsed)
+	}
+}
+
+func TestSmokeOverheadDecomposition(t *testing.T) {
+	plain := RunOverhead(3, 2, false, false, 1)
+	chain := RunOverhead(3, 2, true, false, 1)
+	indep := RunOverhead(3, 2, false, true, 1)
+	if !plain.Committed || !chain.Committed || !indep.Committed {
+		t.Fatal("failure-free runs must commit")
+	}
+	if plain.ChainMsgs != 0 || plain.CompDefMsgs != 0 {
+		t.Fatalf("plain overhead = %+v", plain)
+	}
+	if chain.ChainMsgs == 0 || chain.Messages <= plain.Messages {
+		t.Fatalf("chaining overhead missing: %+v", chain)
+	}
+	if indep.CompDefMsgs == 0 {
+		t.Fatalf("compdef overhead missing: %+v", indep)
+	}
+	if chain.InvokeMsgs != plain.InvokeMsgs {
+		t.Fatal("invocation count must not depend on chaining")
+	}
+}

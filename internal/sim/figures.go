@@ -1,0 +1,403 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/core"
+	"axmltx/internal/p2p"
+	"axmltx/internal/services"
+	"axmltx/internal/wal"
+	"axmltx/internal/xmldom"
+)
+
+// figCluster wires the named peers over one network with standard work
+// documents and services.
+type figCluster struct {
+	Net   *p2p.Network
+	Peers map[p2p.PeerID]*core.Peer
+}
+
+func newFigCluster(ids []p2p.PeerID, opt func(p2p.PeerID) core.Options) *figCluster {
+	fc := &figCluster{Net: p2p.NewNetwork(0), Peers: make(map[p2p.PeerID]*core.Peer)}
+	for _, id := range ids {
+		fc.Peers[id] = core.NewPeer(fc.Net.Join(id), wal.NewMemory(), opt(id))
+	}
+	return fc
+}
+
+// hostEntry gives a peer a work document and an update service inserting
+// one <entry/> per invocation.
+func (fc *figCluster) hostEntry(id p2p.PeerID, service, doc, root string) {
+	p := fc.Peers[id]
+	if err := p.HostDocument(doc, fmt.Sprintf("<%s><log/></%s>", root, root)); err != nil {
+		panic(err)
+	}
+	p.HostUpdateService(services.Descriptor{
+		Name: service, ResultName: "updateResult", TargetDocument: doc,
+	}, fmt.Sprintf(`<action type="insert"><data><entry svc=%q/></data><location>Select l from l in %s/log;</location></action>`, service, root))
+}
+
+// hostComposite gives a peer a composition document embedding the given
+// (service, provider) calls — optionally with handler XML on the last call
+// — and a query service named svc over it.
+func (fc *figCluster) hostComposite(id p2p.PeerID, svc, doc, root string, calls [][2]string, lastHandlerXML string) {
+	var b []byte
+	b = append(b, fmt.Sprintf("<%s>", root)...)
+	for i, c := range calls {
+		b = append(b, fmt.Sprintf(`<axml:sc mode="replace" methodName=%q serviceURL=%q>`, c[0], c[1])...)
+		if i == len(calls)-1 && lastHandlerXML != "" {
+			b = append(b, lastHandlerXML...)
+		}
+		b = append(b, `</axml:sc>`...)
+	}
+	b = append(b, fmt.Sprintf("</%s>", root)...)
+	p := fc.Peers[id]
+	if err := p.HostDocument(doc, string(b)); err != nil {
+		panic(err)
+	}
+	p.HostQueryService(services.Descriptor{
+		Name: svc, ResultName: "updateResult", TargetDocument: doc,
+	}, fmt.Sprintf("Select d/updateResult from d in %s", root))
+}
+
+// injectFaultAfter wraps a peer's service so it fails with the named fault
+// after doing its work, while flag is set.
+func injectFaultAfter(p *core.Peer, name string, flag *atomic.Bool, faultName string) {
+	inner, ok := p.Registry().Get(name)
+	if !ok {
+		panic("sim: no such service " + name)
+	}
+	p.Registry().Register(services.NewFuncService(inner.Descriptor(),
+		func(cctx context.Context, params map[string]string) ([]string, error) {
+			env, ok := core.EnvFrom(cctx)
+			if !ok {
+				return nil, fmt.Errorf("sim: no engine environment")
+			}
+			out, err := inner.Invoke(cctx, &services.Request{Txn: env.Txn.ID, Params: params})
+			if err != nil {
+				return nil, err
+			}
+			if flag.Load() {
+				return nil, &services.Fault{Name: faultName, Msg: "injected"}
+			}
+			return out, nil
+		}))
+}
+
+// F1Row reports one Figure 1 scenario run.
+type F1Row struct {
+	Mode              string // "abort" or "forward"
+	Committed         bool
+	AllRestored       bool
+	AbortMessages     int64
+	TotalMessages     int64
+	NodesUndone       int64
+	ForwardRecoveries int64
+}
+
+// RunF1 reproduces Figure 1: AP1 drives TA over S2@AP2 and S3@AP3;
+// AP3 invokes S4@AP4 and S5@AP5; AP5 invokes S6@AP6; AP5 fails processing
+// S5. With forward=false the failure aborts the whole transaction (nested
+// backward recovery); with forward=true a catch handler at AP3 retries S5
+// on a replica AP5b and the transaction commits.
+func RunF1(forward bool) F1Row {
+	ids := []p2p.PeerID{"AP1", "AP2", "AP3", "AP4", "AP5", "AP6"}
+	if forward {
+		ids = append(ids, "AP5b")
+	}
+	fc := newFigCluster(ids, func(id p2p.PeerID) core.Options {
+		return core.Options{Super: id == "AP1"}
+	})
+	fc.hostEntry("AP2", "S2", "D2.xml", "D2")
+	fc.hostEntry("AP4", "S4", "D4.xml", "D4")
+	fc.hostEntry("AP6", "S6", "D6.xml", "D6")
+	fc.hostComposite("AP5", "S5", "D5.xml", "D5", [][2]string{{"S6", "AP6"}}, "")
+	fail := &atomic.Bool{}
+	fail.Store(true)
+	injectFaultAfter(fc.Peers["AP5"], "S5", fail, "F5")
+
+	handler := ""
+	if forward {
+		handler = `<axml:catch faultName="F5"><axml:retry times="1"><axml:sc methodName="S5" serviceURL="AP5b"/></axml:retry></axml:catch>`
+		fc.hostComposite("AP5b", "S5", "D5.xml", "D5", [][2]string{{"S6", "AP6"}}, "")
+	}
+	fc.hostComposite("AP3", "S3", "D3.xml", "D3", [][2]string{{"S4", "AP4"}, {"S5", "AP5"}}, handler)
+	fc.hostComposite("AP1", "S1", "D1.xml", "D1", [][2]string{{"S2", "AP2"}, {"S3", "AP3"}}, "")
+
+	snaps := make(map[string]*xmldom.Document)
+	for id, p := range fc.Peers {
+		for _, name := range p.Store().Names() {
+			if snap, ok := p.Store().Snapshot(name); ok {
+				snaps[string(id)+"/"+name] = snap
+			}
+		}
+	}
+
+	origin := fc.Peers["AP1"]
+	txc := origin.Begin()
+	q, _ := axml.ParseQuery("Select d/updateResult from d in D1")
+	_, err := origin.Exec(txc, axml.NewQuery(q))
+	row := F1Row{Mode: "abort"}
+	if forward {
+		row.Mode = "forward"
+	}
+	if err != nil {
+		_ = origin.Abort(txc)
+	} else {
+		_ = origin.Commit(txc)
+		row.Committed = true
+	}
+
+	if row.Committed {
+		// Forward recovery: the failed peer's partial work must still have
+		// been compensated ("undo only as much as required").
+		live, ok := fc.Peers["AP5"].Store().Snapshot("D5.xml")
+		row.AllRestored = ok && live.Equal(snaps["AP5/D5.xml"])
+	} else {
+		row.AllRestored = true
+		for id, p := range fc.Peers {
+			for _, name := range p.Store().Names() {
+				live, ok := p.Store().Snapshot(name)
+				if !ok || !live.Equal(snaps[string(id)+"/"+name]) {
+					row.AllRestored = false
+				}
+			}
+		}
+	}
+	var total core.MetricsSnapshot
+	for _, p := range fc.Peers {
+		total.Add(p.Metrics().Snapshot())
+	}
+	stats := fc.Net.Stats()
+	row.AbortMessages = stats.ByKind[p2p.KindAbort]
+	row.TotalMessages = stats.Total
+	row.NodesUndone = total.NodesUndone
+	row.ForwardRecoveries = total.ForwardRecoveries
+	return row
+}
+
+// F2Row reports one Figure 2 disconnection scenario run.
+type F2Row struct {
+	Scenario            string
+	Chaining            bool
+	Recovered           bool // the transaction survived (committed) or aborted cleanly
+	Committed           bool
+	Redirects           int64
+	WorkReused          int64
+	NodesLost           int64
+	NodesUndone         int64
+	Messages            int64
+	DisconnectsDetected int64
+}
+
+// RunF2 reproduces the Figure 2 disconnection scenarios over the topology
+// [AP1* → AP2 → [AP3 → AP6] || [AP4 → AP5]]. scenario ∈ {"a","b","c","d"};
+// chaining toggles the active-peer-list mechanism (the paper's proposal vs
+// the traditional baseline).
+func RunF2(scenario string, chaining bool) F2Row {
+	ids := []p2p.PeerID{"AP1", "AP2", "AP3", "AP4", "AP5", "AP6", "AP3b"}
+	fc := newFigCluster(ids, func(id p2p.PeerID) core.Options {
+		return core.Options{Super: id == "AP1", DisableChaining: !chaining}
+	})
+	ap1, ap2, ap3, ap4, ap6 := fc.Peers["AP1"], fc.Peers["AP2"], fc.Peers["AP3"], fc.Peers["AP4"], fc.Peers["AP6"]
+	fc.hostEntry("AP2", "S2w", "D2.xml", "D2")
+	fc.hostEntry("AP3", "S3w", "D3.xml", "D3")
+	fc.hostEntry("AP4", "S4w", "D4.xml", "D4")
+	fc.hostEntry("AP5", "S5", "D5.xml", "D5")
+	fc.hostEntry("AP6", "S6", "D6.xml", "D6")
+	fc.hostEntry("AP3b", "S3", "D3b.xml", "D3b") // replica provider of S3
+	for _, p := range fc.Peers {
+		p.Replicas().AddService("S3", "AP3")
+		p.Replicas().AddService("S3", "AP3b")
+	}
+
+	row := F2Row{Scenario: scenario, Chaining: chaining}
+	resultCh := make(chan string, 8)
+	ap2.OnResult(func(txn string, resp *core.InvokeResponse) { resultCh <- resp.Service })
+
+	// The transaction starts at AP1 and reaches AP2 (S2w), forming the
+	// chain prefix; AP2 then drives the S3/S6 and S4/S5 branches.
+	txc := ap1.Begin()
+	if _, err := ap1.Call(txc, "AP2", "S2w", nil); err != nil {
+		panic(err)
+	}
+	ctx2, ok := ap2.Manager().Get(txc.ID)
+	if !ok {
+		panic("sim: AP2 has no context")
+	}
+
+	switch scenario {
+	case "a":
+		// Leaf AP6 disconnects; AP3 detects on invocation and the nested
+		// protocol aborts the transaction.
+		if _, err := ap2.Call(ctx2, "AP3", "S3w", nil); err != nil {
+			panic(err)
+		}
+		fc.Net.Disconnect("AP6")
+		ctx3, _ := ap3.Manager().Get(txc.ID)
+		if _, err := ap3.Call(ctx3, "AP6", "S6", nil); err == nil {
+			panic("sim: expected unreachable")
+		}
+		_ = ap1.Abort(txc)
+	case "b":
+		// AP3 invokes S6 asynchronously then dies; AP6 redirects the
+		// results to AP2, which forward-recovers S3 on AP3b reusing them.
+		release := make(chan struct{})
+		gateService(ap6, "S6", release)
+		ap3.HostService(services.NewFuncService(
+			services.Descriptor{Name: "S3", ResultName: "updateResult", TargetDocument: "D3.xml"},
+			func(cctx context.Context, params map[string]string) ([]string, error) {
+				env, _ := core.EnvFrom(cctx)
+				if _, err := env.Peer.Call(env.Txn, "AP3", "S3w", nil); err != nil {
+					return nil, err
+				}
+				if err := env.Peer.CallAsync(env.Txn, "AP6", "S6", nil); err != nil {
+					return nil, err
+				}
+				return []string{`<updateResult pending="S6"/>`}, nil
+			}))
+		if _, err := ap2.Call(ctx2, "AP3", "S3", nil); err != nil {
+			panic(err)
+		}
+		fc.Net.Disconnect("AP3")
+		close(release)
+		if chaining && waitService(resultCh, "S3", 5*time.Second) {
+			row.Committed = ap1.Commit(txc) == nil
+		} else {
+			// Traditional baseline: the redirect never happens, AP2 learns
+			// nothing; eventually the application gives up and aborts.
+			time.Sleep(20 * time.Millisecond)
+			_ = ap1.Abort(txc)
+		}
+	case "c":
+		// AP3 dies mid-processing; AP2's pinger detects and recovers on
+		// AP3b, notifying AP3's orphaned descendants.
+		hang := make(chan struct{})
+		ap3.HostService(services.NewFuncService(
+			services.Descriptor{Name: "S3", ResultName: "updateResult", TargetDocument: "D3.xml"},
+			func(cctx context.Context, params map[string]string) ([]string, error) {
+				env, _ := core.EnvFrom(cctx)
+				if _, err := env.Peer.Call(env.Txn, "AP3", "S3w", nil); err != nil {
+					return nil, err
+				}
+				if _, err := env.Peer.Call(env.Txn, "AP6", "S6", nil); err != nil {
+					return nil, err
+				}
+				<-hang
+				return nil, nil
+			}))
+		if err := ap2.CallAsync(ctx2, "AP3", "S3", nil); err != nil {
+			panic(err)
+		}
+		waitUntil(func() bool {
+			d, ok := ap6.Store().Snapshot("D6.xml")
+			return ok && countEntries(d) == 1
+		})
+		fc.Net.Disconnect("AP3")
+		pinger := p2p.NewPinger(ap2.Transport(), time.Millisecond, 1, func(id p2p.PeerID) { ap2.OnPeerDown(id) })
+		pinger.Watch("AP3")
+		pinger.ProbeNow(context.Background())
+		if chaining && waitService(resultCh, "S3", 5*time.Second) {
+			row.Committed = ap1.Commit(txc) == nil
+		} else {
+			// Traditional: the chain is unknown, recovery cannot redirect;
+			// the origin gives up and aborts.
+			time.Sleep(20 * time.Millisecond)
+			_ = ap1.Abort(txc)
+		}
+		close(hang)
+	case "d":
+		// AP3 streams to its sibling AP4; silence reveals the death, AP4
+		// notifies parent and children via the chain.
+		ap3.HostService(services.NewFuncService(
+			services.Descriptor{Name: "S3", ResultName: "updateResult", TargetDocument: "D3.xml"},
+			func(cctx context.Context, params map[string]string) ([]string, error) {
+				env, _ := core.EnvFrom(cctx)
+				if _, err := env.Peer.Call(env.Txn, "AP3", "S3w", nil); err != nil {
+					return nil, err
+				}
+				return env.Peer.Call(env.Txn, "AP6", "S6", nil)
+			}))
+		if _, err := ap2.Call(ctx2, "AP3", "S3", nil); err != nil {
+			panic(err)
+		}
+		if _, err := ap2.Call(ctx2, "AP4", "S4w", nil); err != nil {
+			panic(err)
+		}
+		silence := make(chan struct{}, 1)
+		watcher := services.NewStreamWatcher(40*time.Millisecond, func() { silence <- struct{}{} })
+		ap4.OnStream(func(b *core.StreamBatch) { watcher.Observe() })
+		watcher.Start()
+		for seq := 0; seq < 3; seq++ {
+			_ = ap3.StreamTo("AP4", &core.StreamBatch{Txn: txc.ID, Service: "S3", Seq: seq})
+		}
+		fc.Net.Disconnect("AP3")
+		<-silence
+		ap4.NotifySiblingDown(txc.ID, "AP3")
+		// With a replica available the parent forward-recovers; commit.
+		if chaining && waitService(resultCh, "S3", 5*time.Second) {
+			row.Committed = ap1.Commit(txc) == nil
+		} else {
+			time.Sleep(20 * time.Millisecond)
+			_ = ap1.Abort(txc)
+		}
+		watcher.Stop()
+	default:
+		panic("sim: unknown F2 scenario " + scenario)
+	}
+
+	// Settle asynchronous cleanups.
+	waitUntil(func() bool { return true })
+	time.Sleep(5 * time.Millisecond)
+
+	var total core.MetricsSnapshot
+	for _, p := range fc.Peers {
+		total.Add(p.Metrics().Snapshot())
+	}
+	row.Recovered = row.Committed || txc.Status() != core.StatusActive
+	row.Redirects = fc.Peers["AP6"].Metrics().Redirects.Load() + ap2.Metrics().Redirects.Load()
+	row.WorkReused = total.WorkReused
+	row.NodesLost = total.NodesLost
+	row.NodesUndone = total.NodesUndone
+	row.Messages = fc.Net.Stats().Total
+	row.DisconnectsDetected = total.DisconnectsDetected
+	return row
+}
+
+func gateService(p *core.Peer, name string, release <-chan struct{}) {
+	inner, _ := p.Registry().Get(name)
+	p.Registry().Register(services.NewFuncService(inner.Descriptor(),
+		func(cctx context.Context, params map[string]string) ([]string, error) {
+			<-release
+			env, _ := core.EnvFrom(cctx)
+			return inner.Invoke(cctx, &services.Request{Txn: env.Txn.ID, Params: params})
+		}))
+}
+
+func waitService(ch <-chan string, service string, timeout time.Duration) bool {
+	deadline := time.After(timeout)
+	for {
+		select {
+		case got := <-ch:
+			if got == service {
+				return true
+			}
+		case <-deadline:
+			return false
+		}
+	}
+}
+
+func waitUntil(cond func() bool) {
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

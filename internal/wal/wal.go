@@ -1,0 +1,313 @@
+// Package wal implements the per-peer operation log that makes dynamic
+// compensation possible.
+//
+// The paper's key observation (§3.1) is that the data needed to compensate
+// an AXML operation cannot be predicted in advance: the nodes a delete
+// removes, the ID an insert produces, the old value a replace overwrites and
+// the set of service calls a lazy query materializes are all run-time facts.
+// The log records exactly those facts — the results of <location> queries of
+// delete operations, inserted node IDs, replaced before-images — so the
+// compensating operation can be constructed when (and only if) it is needed.
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// Type discriminates log records.
+type Type uint8
+
+const (
+	// TypeBegin marks the start of a transaction (or of a local
+	// sub-transaction context on a participant peer).
+	TypeBegin Type = iota + 1
+	// TypeInsert records an insertion: the new subtree's root NodeID, its
+	// parent and position, and the inserted XML.
+	TypeInsert
+	// TypeDelete records a deletion with full before-image: the deleted
+	// subtree's XML, its former parent and position.
+	TypeDelete
+	// TypeSetText records an in-place text change with old and new value.
+	TypeSetText
+	// TypeMaterialize brackets the structural effects of one service-call
+	// materialization (the effects themselves are Insert/Delete records);
+	// it names the service so query compensation is explainable.
+	TypeMaterialize
+	// TypeCommit marks local commit of a transaction context.
+	TypeCommit
+	// TypeAbort marks local abort of a transaction context.
+	TypeAbort
+	// TypeCompensateBegin marks the start of compensation for a
+	// transaction, so crash recovery does not re-compensate compensation.
+	TypeCompensateBegin
+	// TypeCompensateEnd marks completed compensation.
+	TypeCompensateEnd
+)
+
+func (t Type) String() string {
+	switch t {
+	case TypeBegin:
+		return "begin"
+	case TypeInsert:
+		return "insert"
+	case TypeDelete:
+		return "delete"
+	case TypeSetText:
+		return "settext"
+	case TypeMaterialize:
+		return "materialize"
+	case TypeCommit:
+		return "commit"
+	case TypeAbort:
+		return "abort"
+	case TypeCompensateBegin:
+		return "compensate-begin"
+	case TypeCompensateEnd:
+		return "compensate-end"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Record is one log entry. Field use depends on Type; unused fields are
+// zero.
+type Record struct {
+	LSN  uint64
+	Txn  string // transaction ID
+	Type Type
+	Doc  string // document name the operation touched
+
+	NodeID   uint64 // subject node (inserted root, deleted root, text node)
+	ParentID uint64 // parent at time of operation (insert/delete)
+	Pos      int    // child position at time of operation (insert/delete)
+
+	XML     string // inserted subtree (insert) or before-image (delete)
+	OldText string // previous value (settext)
+	NewText string // new value (settext)
+
+	Service string // materialize: service name
+}
+
+// String renders a compact human-readable form for diagnostics.
+func (r *Record) String() string {
+	return fmt.Sprintf("[%d %s %s doc=%s node=%d]", r.LSN, r.Txn, r.Type, r.Doc, r.NodeID)
+}
+
+// Log is an append-only record store. Implementations are safe for
+// concurrent use.
+type Log interface {
+	// Append assigns the next LSN to r, stores it and returns the LSN.
+	Append(r *Record) (uint64, error)
+	// Records returns a snapshot of all records in LSN order.
+	Records() []*Record
+	// TxnRecords returns the records of one transaction in LSN order.
+	TxnRecords(txn string) []*Record
+	// Close releases resources; Append after Close errors.
+	Close() error
+}
+
+// ErrClosed is returned by Append on a closed log.
+var ErrClosed = errors.New("wal: log is closed")
+
+// MemoryLog is an in-memory Log, the default for simulation and tests.
+type MemoryLog struct {
+	mu      sync.Mutex
+	records []*Record
+	byTxn   map[string][]*Record
+	next    uint64
+	closed  bool
+}
+
+// NewMemory returns an empty in-memory log.
+func NewMemory() *MemoryLog {
+	return &MemoryLog{byTxn: make(map[string][]*Record)}
+}
+
+// Append implements Log.
+func (l *MemoryLog) Append(r *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	l.next++
+	r.LSN = l.next
+	cp := *r
+	l.records = append(l.records, &cp)
+	l.byTxn[r.Txn] = append(l.byTxn[r.Txn], &cp)
+	return r.LSN, nil
+}
+
+// Records implements Log.
+func (l *MemoryLog) Records() []*Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Record(nil), l.records...)
+}
+
+// TxnRecords implements Log.
+func (l *MemoryLog) TxnRecords(txn string) []*Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]*Record(nil), l.byTxn[txn]...)
+}
+
+// Close implements Log.
+func (l *MemoryLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	return nil
+}
+
+// Len returns the number of records.
+func (l *MemoryLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// FileLog is a durable Log backed by a file of framed records. Each record
+// is an independently gob-encoded blob framed as
+//
+//	uint32 length | uint32 crc32(blob) | blob
+//
+// so the file survives process restarts (no cross-session encoder state)
+// and Open detects a torn or corrupted tail by length/CRC mismatch and
+// truncates it — the standard write-ahead-log recovery contract.
+type FileLog struct {
+	mu    sync.Mutex
+	f     *os.File
+	sync  bool
+	next  uint64
+	mem   *MemoryLog // index over already-read + appended records
+	close bool
+}
+
+// OpenFile opens (creating if needed) a file-backed log. With sync true,
+// every append is fsynced before returning — full durability at the cost of
+// latency, matching the D in ACID; with sync false the OS flushes lazily.
+func OpenFile(path string, sync bool) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open %s: %w", path, err)
+	}
+	l := &FileLog{f: f, sync: sync, mem: NewMemory()}
+	br := bufio.NewReader(f)
+	var validEnd int64
+	for {
+		r, n, err := readFrame(br)
+		if err != nil {
+			if err != io.EOF {
+				// Torn or corrupt tail: keep the clean prefix.
+				if terr := f.Truncate(validEnd); terr != nil {
+					f.Close()
+					return nil, fmt.Errorf("wal: truncate torn tail: %w", terr)
+				}
+			}
+			break
+		}
+		if _, err := l.mem.Append(r); err != nil {
+			f.Close()
+			return nil, err
+		}
+		l.next = r.LSN
+		validEnd += int64(n)
+	}
+	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	return l, nil
+}
+
+// readFrame reads one framed record and returns it with the number of bytes
+// consumed. Any framing violation (short read, CRC mismatch, undecodable
+// blob) is reported as a non-EOF error so the caller truncates.
+func readFrame(br *bufio.Reader) (*Record, int, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, 0, io.EOF
+		}
+		return nil, 0, fmt.Errorf("wal: short frame header: %w", err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > 1<<30 {
+		return nil, 0, fmt.Errorf("wal: implausible frame length %d", length)
+	}
+	blob := make([]byte, length)
+	if _, err := io.ReadFull(br, blob); err != nil {
+		return nil, 0, fmt.Errorf("wal: short frame body: %w", err)
+	}
+	if crc32.ChecksumIEEE(blob) != sum {
+		return nil, 0, errors.New("wal: frame checksum mismatch")
+	}
+	var r Record
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&r); err != nil {
+		return nil, 0, fmt.Errorf("wal: decode frame: %w", err)
+	}
+	return &r, 8 + int(length), nil
+}
+
+// Append implements Log.
+func (l *FileLog) Append(r *Record) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.close {
+		return 0, ErrClosed
+	}
+	l.next++
+	r.LSN = l.next
+	var blob bytes.Buffer
+	if err := gob.NewEncoder(&blob).Encode(r); err != nil {
+		return 0, fmt.Errorf("wal: encode: %w", err)
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(blob.Len()))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(blob.Bytes()))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return 0, fmt.Errorf("wal: write header: %w", err)
+	}
+	if _, err := l.f.Write(blob.Bytes()); err != nil {
+		return 0, fmt.Errorf("wal: write body: %w", err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	// Mirror into the in-memory index; MemoryLog assigns the same LSN
+	// because it advances in lockstep from 1.
+	if _, err := l.mem.Append(r); err != nil {
+		return 0, err
+	}
+	return r.LSN, nil
+}
+
+// Records implements Log.
+func (l *FileLog) Records() []*Record { return l.mem.Records() }
+
+// TxnRecords implements Log.
+func (l *FileLog) TxnRecords(txn string) []*Record { return l.mem.TxnRecords(txn) }
+
+// Close implements Log.
+func (l *FileLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.close {
+		return nil
+	}
+	l.close = true
+	return l.f.Close()
+}

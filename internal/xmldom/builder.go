@@ -1,0 +1,71 @@
+package xmldom
+
+// Builder provides fluent construction of subtrees within a document. All
+// methods panic on structural misuse (attaching under text nodes etc.),
+// which is acceptable because builders are used for literal construction in
+// tests, examples and service results, never on untrusted input.
+type Builder struct {
+	doc *Document
+	cur *Node
+}
+
+// Build starts a builder positioned at a new detached element of the
+// document. Finish with Node() to obtain the built subtree.
+func Build(d *Document, name string) *Builder {
+	return &Builder{doc: d, cur: d.CreateElement(name)}
+}
+
+// Node returns the subtree root built so far.
+func (b *Builder) Node() *Node { return b.cur }
+
+// Attr sets an attribute on the current element.
+func (b *Builder) Attr(name, value string) *Builder {
+	b.cur.SetAttr(name, value)
+	return b
+}
+
+// Text appends a text child to the current element.
+func (b *Builder) Text(s string) *Builder {
+	mustAppend(b.doc, b.cur, b.doc.CreateText(s))
+	return b
+}
+
+// Child appends a new element child and descends into it.
+func (b *Builder) Child(name string) *Builder {
+	el := b.doc.CreateElement(name)
+	mustAppend(b.doc, b.cur, el)
+	return &Builder{doc: b.doc, cur: el}
+}
+
+// Leaf appends an element child containing only the given text and stays at
+// the current element. It covers the common <name>value</name> shape.
+func (b *Builder) Leaf(name, text string) *Builder {
+	el := b.doc.CreateElement(name)
+	mustAppend(b.doc, b.cur, el)
+	if text != "" {
+		mustAppend(b.doc, el, b.doc.CreateText(text))
+	}
+	return b
+}
+
+// Attach appends an existing detached node under the current element.
+func (b *Builder) Attach(n *Node) *Builder {
+	mustAppend(b.doc, b.cur, n)
+	return b
+}
+
+// Up returns a builder positioned at the current element's parent. It
+// panics if the element is detached, because that always indicates a
+// construction bug.
+func (b *Builder) Up() *Builder {
+	if b.cur.Parent() == nil {
+		panic("xmldom: Builder.Up above subtree root")
+	}
+	return &Builder{doc: b.doc, cur: b.cur.Parent()}
+}
+
+func mustAppend(d *Document, parent, child *Node) {
+	if err := d.AppendChild(parent, child); err != nil {
+		panic("xmldom: builder append: " + err.Error())
+	}
+}

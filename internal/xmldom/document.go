@@ -1,0 +1,303 @@
+package xmldom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Document owns a tree of nodes and the ID index over them. A document has
+// at most one root element; nodes created by the document but not yet
+// attached are "detached" and still indexed, so a deleted subtree can be
+// re-attached by a compensating insert with its original IDs intact.
+type Document struct {
+	name   string
+	root   *Node
+	nextID NodeID
+	index  map[NodeID]*Node
+}
+
+// Errors reported by tree mutations.
+var (
+	ErrForeignNode   = errors.New("xmldom: node belongs to a different document")
+	ErrAttached      = errors.New("xmldom: node is already attached")
+	ErrDetached      = errors.New("xmldom: node is not attached")
+	ErrNotElement    = errors.New("xmldom: node is not an element")
+	ErrCycle         = errors.New("xmldom: attaching a node under its own descendant")
+	ErrHasRoot       = errors.New("xmldom: document already has a root")
+	ErrNoSuchNode    = errors.New("xmldom: no node with that ID")
+	ErrBadPosition   = errors.New("xmldom: insert position out of range")
+	ErrRootOperation = errors.New("xmldom: operation not valid on the root")
+)
+
+// NewDocument returns an empty document with the given name (e.g. the file
+// name "ATPList.xml" it is known by in the repository).
+func NewDocument(name string) *Document {
+	return &Document{
+		name:  name,
+		index: make(map[NodeID]*Node),
+	}
+}
+
+// Name returns the document's repository name.
+func (d *Document) Name() string { return d.name }
+
+// Root returns the root element, or nil for an empty document.
+func (d *Document) Root() *Node { return d.root }
+
+// SetRoot installs root as the document root. The node must belong to this
+// document and be detached.
+func (d *Document) SetRoot(root *Node) error {
+	if d.root != nil {
+		return ErrHasRoot
+	}
+	if root.doc != d {
+		return ErrForeignNode
+	}
+	if root.parent != nil {
+		return ErrAttached
+	}
+	d.root = root
+	return nil
+}
+
+// ByID returns the node with the given ID (attached or detached), or nil.
+func (d *Document) ByID(id NodeID) *Node { return d.index[id] }
+
+// NodeCount returns the number of nodes currently attached to the tree.
+func (d *Document) NodeCount() int {
+	if d.root == nil {
+		return 0
+	}
+	return d.root.SubtreeSize()
+}
+
+// CreateElement returns a new detached element node owned by this document.
+func (d *Document) CreateElement(name string) *Node {
+	return d.newNode(ElementNode, name, "")
+}
+
+// CreateText returns a new detached text node owned by this document.
+func (d *Document) CreateText(text string) *Node {
+	return d.newNode(TextNode, "", text)
+}
+
+// CreateComment returns a new detached comment node.
+func (d *Document) CreateComment(text string) *Node {
+	return d.newNode(CommentNode, "", text)
+}
+
+func (d *Document) newNode(kind Kind, name, text string) *Node {
+	d.nextID++
+	n := &Node{id: d.nextID, kind: kind, name: name, text: text, doc: d}
+	d.index[n.id] = n
+	return n
+}
+
+// CreateElementWithID returns a new detached element carrying a specific
+// ID. It exists for checkpoint restore: a reloaded document must keep the
+// IDs the operation log's compensation records address. The ID must be
+// non-zero and unused; the allocator advances past it.
+func (d *Document) CreateElementWithID(name string, id NodeID) (*Node, error) {
+	if id == InvalidID {
+		return nil, fmt.Errorf("xmldom: cannot create node with the invalid ID")
+	}
+	if _, taken := d.index[id]; taken {
+		return nil, fmt.Errorf("xmldom: ID %d already in use", id)
+	}
+	n := &Node{id: id, kind: ElementNode, name: name, doc: d}
+	d.index[id] = n
+	if id > d.nextID {
+		d.nextID = id
+	}
+	return n, nil
+}
+
+// EnsureNextID raises the ID allocator so that future nodes get IDs above
+// min; restore uses it before creating unsaved (text) nodes so they cannot
+// collide with element IDs yet to be restored.
+func (d *Document) EnsureNextID(min NodeID) {
+	if min > d.nextID {
+		d.nextID = min
+	}
+}
+
+// AppendChild attaches child as the last child of parent.
+func (d *Document) AppendChild(parent, child *Node) error {
+	return d.InsertChild(parent, child, len(parent.children))
+}
+
+// InsertChild attaches child under parent at position pos (0 ≤ pos ≤ number
+// of children). Positional insertion is what makes compensation of deletes
+// in ordered documents exact: the compensating insert restores the deleted
+// subtree at the position recorded in the log.
+func (d *Document) InsertChild(parent, child *Node, pos int) error {
+	if parent.doc != d || child.doc != d {
+		return ErrForeignNode
+	}
+	if parent.kind != ElementNode {
+		return ErrNotElement
+	}
+	if child.parent != nil {
+		return ErrAttached
+	}
+	if child == parent || child.IsAncestorOf(parent) {
+		return ErrCycle
+	}
+	if pos < 0 || pos > len(parent.children) {
+		return ErrBadPosition
+	}
+	parent.children = append(parent.children, nil)
+	copy(parent.children[pos+1:], parent.children[pos:])
+	parent.children[pos] = child
+	child.parent = parent
+	return nil
+}
+
+// InsertBefore attaches child immediately before ref, which must be
+// attached. It implements the "insert before/after a specific node"
+// semantics from XQuery! updates.
+func (d *Document) InsertBefore(ref, child *Node) error {
+	if ref.parent == nil {
+		return ErrDetached
+	}
+	return d.InsertChild(ref.parent, child, ref.Index())
+}
+
+// InsertAfter attaches child immediately after ref, which must be attached.
+func (d *Document) InsertAfter(ref, child *Node) error {
+	if ref.parent == nil {
+		return ErrDetached
+	}
+	return d.InsertChild(ref.parent, child, ref.Index()+1)
+}
+
+// Detach removes n from its parent and returns its former position. The
+// subtree stays owned and indexed by the document so it can be re-attached
+// (compensating insert) with identical IDs. Detaching the root empties the
+// document.
+func (d *Document) Detach(n *Node) (parent *Node, pos int, err error) {
+	if n.doc != d {
+		return nil, 0, ErrForeignNode
+	}
+	if n == d.root {
+		d.root = nil
+		return nil, 0, nil
+	}
+	if n.parent == nil {
+		return nil, 0, ErrDetached
+	}
+	parent = n.parent
+	pos = n.Index()
+	parent.children = append(parent.children[:pos], parent.children[pos+1:]...)
+	n.parent = nil
+	return parent, pos, nil
+}
+
+// Remove permanently deletes the subtree rooted at n: it is detached and
+// every node in it is dropped from the ID index. Use Detach when the subtree
+// may be re-attached later.
+func (d *Document) Remove(n *Node) error {
+	if _, _, err := d.Detach(n); err != nil {
+		return err
+	}
+	n.Walk(func(m *Node) bool {
+		delete(d.index, m.id)
+		return true
+	})
+	return nil
+}
+
+// Adopt deep-copies foreign (a node from another document, or nil-doc
+// literal trees) into this document with fresh IDs, returning the detached
+// copy. Attributes and child order are preserved.
+func (d *Document) Adopt(foreign *Node) *Node {
+	var cp *Node
+	switch foreign.kind {
+	case ElementNode:
+		cp = d.CreateElement(foreign.name)
+		cp.attrs = append([]Attr(nil), foreign.attrs...)
+	case TextNode:
+		cp = d.CreateText(foreign.text)
+	case CommentNode:
+		cp = d.CreateComment(foreign.text)
+	}
+	for _, c := range foreign.children {
+		child := d.Adopt(c)
+		child.parent = cp
+		cp.children = append(cp.children, child)
+	}
+	return cp
+}
+
+// Clone returns a deep copy of the whole document, with node IDs preserved
+// (the copy has the same ID→structure mapping as the original). Cloning is
+// used for snapshot comparison in tests and for shipping document fragments
+// between peers.
+func (d *Document) Clone() *Document {
+	cp := NewDocument(d.name)
+	cp.nextID = d.nextID
+	if d.root != nil {
+		cp.root = cloneInto(cp, d.root, nil)
+	}
+	return cp
+}
+
+func cloneInto(dst *Document, n *Node, parent *Node) *Node {
+	cp := &Node{id: n.id, kind: n.kind, name: n.name, text: n.text, doc: dst, parent: parent}
+	cp.attrs = append([]Attr(nil), n.attrs...)
+	dst.index[cp.id] = cp
+	for _, c := range n.children {
+		cp.children = append(cp.children, cloneInto(dst, c, cp))
+	}
+	return cp
+}
+
+// Equal reports structural equality of the two documents' trees (IDs,
+// comments and insignificant whitespace ignored).
+func (d *Document) Equal(other *Document) bool {
+	if d.root == nil || other.root == nil {
+		return d.root == other.root
+	}
+	return d.root.Equal(other.root)
+}
+
+// Validate checks internal invariants (index consistency, parent/child
+// symmetry, ID uniqueness) and returns a descriptive error on violation.
+// It backs the property-based tests.
+func (d *Document) Validate() error {
+	seen := make(map[NodeID]bool)
+	var check func(n *Node, parent *Node) error
+	check = func(n *Node, parent *Node) error {
+		if n.doc != d {
+			return fmt.Errorf("node %d: wrong document", n.id)
+		}
+		if n.parent != parent {
+			return fmt.Errorf("node %d: parent link broken", n.id)
+		}
+		if seen[n.id] {
+			return fmt.Errorf("node %d: duplicate ID", n.id)
+		}
+		seen[n.id] = true
+		if got := d.index[n.id]; got != n {
+			return fmt.Errorf("node %d: not in index", n.id)
+		}
+		if n.id > d.nextID {
+			return fmt.Errorf("node %d: ID beyond nextID %d", n.id, d.nextID)
+		}
+		if n.kind != ElementNode && len(n.children) > 0 {
+			return fmt.Errorf("node %d: non-element with children", n.id)
+		}
+		for _, c := range n.children {
+			if err := check(c, n); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if d.root != nil {
+		if err := check(d.root, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}

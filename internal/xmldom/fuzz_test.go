@@ -1,0 +1,36 @@
+package xmldom
+
+import "testing"
+
+// FuzzParse guards the XML parser: no panics, and every accepted document
+// survives a serialize/parse round trip structurally unchanged.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		`<r/>`,
+		`<ATPList date="18042005"><player rank="1"><name>Roger</name></player></ATPList>`,
+		`<r><axml:sc mode="replace"><axml:params/></axml:sc></r>`,
+		`<a>text<!--comment--><b x="1&amp;2"/></a>`,
+		`<r>`,
+		`<<>>`,
+		`<a xmlns:axml="http://activexml.net"><axml:sc/></a>`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc, err := ParseString("fuzz", src)
+		if err != nil {
+			return
+		}
+		if err := doc.Validate(); err != nil {
+			t.Fatalf("accepted document invalid: %v", err)
+		}
+		out := MarshalString(doc.Root())
+		re, err := ParseString("fuzz2", out)
+		if err != nil {
+			t.Fatalf("serialized form unparseable: %q -> %q: %v", src, out, err)
+		}
+		if !re.Equal(doc) {
+			t.Fatalf("round trip changed structure: %q -> %q", src, out)
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package xmldom
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Serialize writes the subtree rooted at n as XML to w. Attribute and child
+// order are preserved; text is escaped. No insignificant whitespace is
+// added, so Serialize∘Parse is the identity on canonical trees.
+func Serialize(w io.Writer, n *Node) error {
+	sw := &stickyWriter{w: w}
+	writeNode(sw, n)
+	return sw.err
+}
+
+// MarshalString returns the subtree rooted at n as an XML string.
+func MarshalString(n *Node) string {
+	var b strings.Builder
+	// strings.Builder never fails, so the error is always nil.
+	_ = Serialize(&b, n)
+	return b.String()
+}
+
+// MarshalIndent returns the subtree pretty-printed with the given indent,
+// for human-facing output (examples, CLI). Indented output inserts
+// whitespace text nodes on re-parse, which Equal ignores.
+func MarshalIndent(n *Node, indent string) string {
+	var b strings.Builder
+	writeIndented(&b, n, indent, 0)
+	return b.String()
+}
+
+// DocumentString serializes a whole document, including the XML declaration.
+func DocumentString(d *Document) string {
+	if d.Root() == nil {
+		return xml.Header
+	}
+	return xml.Header + MarshalString(d.Root())
+}
+
+type stickyWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (s *stickyWriter) WriteString(str string) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = io.WriteString(s.w, str)
+}
+
+func writeNode(w *stickyWriter, n *Node) {
+	switch n.kind {
+	case TextNode:
+		w.WriteString(escapeText(n.text))
+	case CommentNode:
+		w.WriteString("<!--")
+		w.WriteString(n.text)
+		w.WriteString("-->")
+	case ElementNode:
+		w.WriteString("<")
+		w.WriteString(n.name)
+		for _, a := range n.attrs {
+			w.WriteString(" ")
+			w.WriteString(a.Name)
+			w.WriteString(`="`)
+			w.WriteString(escapeAttr(a.Value))
+			w.WriteString(`"`)
+		}
+		if len(n.children) == 0 {
+			w.WriteString("/>")
+			return
+		}
+		w.WriteString(">")
+		for _, c := range n.children {
+			writeNode(w, c)
+		}
+		w.WriteString("</")
+		w.WriteString(n.name)
+		w.WriteString(">")
+	}
+}
+
+func writeIndented(b *strings.Builder, n *Node, indent string, depth int) {
+	pad := strings.Repeat(indent, depth)
+	switch n.kind {
+	case TextNode:
+		if t := strings.TrimSpace(n.text); t != "" {
+			b.WriteString(pad)
+			b.WriteString(escapeText(t))
+			b.WriteString("\n")
+		}
+	case CommentNode:
+		b.WriteString(pad)
+		b.WriteString("<!--")
+		b.WriteString(n.text)
+		b.WriteString("-->\n")
+	case ElementNode:
+		b.WriteString(pad)
+		b.WriteString("<")
+		b.WriteString(n.name)
+		for _, a := range n.attrs {
+			fmt.Fprintf(b, ` %s=%q`, a.Name, a.Value)
+		}
+		onlyText := true
+		for _, c := range n.children {
+			if c.kind != TextNode {
+				onlyText = false
+				break
+			}
+		}
+		switch {
+		case len(n.children) == 0:
+			b.WriteString("/>\n")
+		case onlyText:
+			b.WriteString(">")
+			b.WriteString(escapeText(n.TextContent()))
+			b.WriteString("</")
+			b.WriteString(n.name)
+			b.WriteString(">\n")
+		default:
+			b.WriteString(">\n")
+			for _, c := range n.children {
+				writeIndented(b, c, indent, depth+1)
+			}
+			b.WriteString(pad)
+			b.WriteString("</")
+			b.WriteString(n.name)
+			b.WriteString(">\n")
+		}
+	}
+}
+
+var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+var attrEscaper = strings.NewReplacer(
+	"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "\n", "&#10;", "\t", "&#9;",
+)
+
+func escapeText(s string) string { return textEscaper.Replace(s) }
+func escapeAttr(s string) string { return attrEscaper.Replace(s) }
+
+// Parse reads an XML document from r into a new Document with the given
+// repository name. Processing instructions and directives are skipped;
+// comments are kept.
+func Parse(name string, r io.Reader) (*Document, error) {
+	doc := NewDocument(name)
+	dec := xml.NewDecoder(r)
+	var stack []*Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmldom: parse %s: %w", name, err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := doc.CreateElement(qualName(t.Name))
+			for _, a := range t.Attr {
+				el.SetAttr(qualName(a.Name), a.Value)
+			}
+			if len(stack) == 0 {
+				if err := doc.SetRoot(el); err != nil {
+					return nil, fmt.Errorf("xmldom: parse %s: %w", name, err)
+				}
+			} else if err := doc.AppendChild(stack[len(stack)-1], el); err != nil {
+				return nil, fmt.Errorf("xmldom: parse %s: %w", name, err)
+			}
+			stack = append(stack, el)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmldom: parse %s: unbalanced end element", name)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue // whitespace outside the root
+			}
+			text := string(t)
+			if strings.TrimSpace(text) == "" {
+				continue // insignificant whitespace
+			}
+			parent := stack[len(stack)-1]
+			if err := doc.AppendChild(parent, doc.CreateText(text)); err != nil {
+				return nil, fmt.Errorf("xmldom: parse %s: %w", name, err)
+			}
+		case xml.Comment:
+			if len(stack) == 0 {
+				continue
+			}
+			parent := stack[len(stack)-1]
+			if err := doc.AppendChild(parent, doc.CreateComment(string(t))); err != nil {
+				return nil, fmt.Errorf("xmldom: parse %s: %w", name, err)
+			}
+		}
+	}
+	if doc.Root() == nil {
+		return nil, fmt.Errorf("xmldom: parse %s: no root element", name)
+	}
+	return doc, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(name, s string) (*Document, error) {
+	return Parse(name, strings.NewReader(s))
+}
+
+// MustParse is ParseString that panics on error; for tests and literals.
+func MustParse(name, s string) *Document {
+	d, err := ParseString(name, s)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// ParseFragment parses an XML fragment (one element) and returns it as a
+// detached node adopted into dst. It is how <data> payloads of update
+// actions become tree nodes.
+func ParseFragment(dst *Document, s string) (*Node, error) {
+	tmp, err := ParseString("fragment", s)
+	if err != nil {
+		return nil, err
+	}
+	return dst.Adopt(tmp.Root()), nil
+}
+
+// qualName renders an xml.Name with its prefix. encoding/xml resolves
+// namespaces to URLs; AXML markup uses the conventional "axml" prefix, so we
+// map the AXML namespace (and unresolvable prefixes, which the decoder
+// leaves as the space verbatim) back to prefix:local form.
+func qualName(n xml.Name) string {
+	if n.Space == "" {
+		return n.Local
+	}
+	if strings.Contains(n.Space, "://") {
+		// A resolved namespace URL. Only the AXML namespace is meaningful
+		// to us; anything else keeps its local name.
+		if strings.Contains(n.Space, "activexml") {
+			return "axml:" + n.Local
+		}
+		return n.Local
+	}
+	return n.Space + ":" + n.Local
+}

@@ -1,0 +1,248 @@
+package xmldom
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasic(t *testing.T) {
+	doc, err := ParseString("t", `<ATPList date="18042005"><player rank="1"><name><firstname>Roger</firstname></name></player></ATPList>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := doc.Root()
+	if root.Name() != "ATPList" {
+		t.Fatalf("root = %q", root.Name())
+	}
+	if v, _ := root.Attr("date"); v != "18042005" {
+		t.Fatalf("date = %q", v)
+	}
+	player := root.FirstElement("player")
+	if player == nil {
+		t.Fatal("no player")
+	}
+	if got := player.FirstElement("name").TextContent(); got != "Roger" {
+		t.Fatalf("name text = %q", got)
+	}
+	if err := doc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParsePreservesAXMLPrefix(t *testing.T) {
+	doc, err := ParseString("t", `<r><axml:sc mode="replace" methodName="getPoints"><axml:params/></axml:sc></r>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := doc.Root().FirstElement("axml:sc")
+	if sc == nil {
+		t.Fatalf("axml:sc not found in %s", MarshalString(doc.Root()))
+	}
+	if sc.FirstElement("axml:params") == nil {
+		t.Fatal("axml:params not found")
+	}
+}
+
+func TestParseSkipsInsignificantWhitespace(t *testing.T) {
+	doc := MustParse("t", "<r>\n  <a/>\n  <b/>\n</r>")
+	if got := doc.Root().ChildCount(); got != 2 {
+		t.Fatalf("children = %d", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "   ", "<r>", "<r></x>", "just text"} {
+		if _, err := ParseString("t", bad); err == nil {
+			t.Fatalf("ParseString(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestSerializeEscaping(t *testing.T) {
+	doc := NewDocument("d")
+	el := doc.CreateElement("e")
+	el.SetAttr("a", `x<y"&`)
+	if err := doc.SetRoot(el); err != nil {
+		t.Fatal(err)
+	}
+	if err := doc.AppendChild(el, doc.CreateText("a<b&c>d")); err != nil {
+		t.Fatal(err)
+	}
+	s := MarshalString(el)
+	reparsed, err := ParseString("d", s)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", s, err)
+	}
+	if v, _ := reparsed.Root().Attr("a"); v != `x<y"&` {
+		t.Fatalf("attr round trip = %q", v)
+	}
+	if got := reparsed.Root().TextContent(); got != "a<b&c>d" {
+		t.Fatalf("text round trip = %q", got)
+	}
+}
+
+func TestSelfClosingAndComments(t *testing.T) {
+	doc := MustParse("t", `<r><empty/><!--hello--><full>x</full></r>`)
+	out := MarshalString(doc.Root())
+	if !strings.Contains(out, "<empty/>") {
+		t.Fatalf("self-closing lost: %s", out)
+	}
+	if !strings.Contains(out, "<!--hello-->") {
+		t.Fatalf("comment lost: %s", out)
+	}
+}
+
+func TestDocumentStringHasHeader(t *testing.T) {
+	doc := MustParse("t", `<r/>`)
+	s := DocumentString(doc)
+	if !strings.HasPrefix(s, "<?xml") {
+		t.Fatalf("no XML header: %q", s)
+	}
+}
+
+func TestMarshalIndentReparsesEqual(t *testing.T) {
+	doc := MustParse("t", `<r a="1"><b>text</b><c><d/></c></r>`)
+	pretty := MarshalIndent(doc.Root(), "  ")
+	re, err := ParseString("t", pretty)
+	if err != nil {
+		t.Fatalf("reparse indented: %v\n%s", err, pretty)
+	}
+	if !re.Equal(doc) {
+		t.Fatalf("indent round trip changed structure:\n%s", pretty)
+	}
+}
+
+func TestParseFragment(t *testing.T) {
+	doc := MustParse("t", `<r/>`)
+	frag, err := ParseFragment(doc, `<citizenship>Swiss</citizenship>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if frag.Document() != doc || frag.Parent() != nil {
+		t.Fatal("fragment not detached in target doc")
+	}
+	if err := doc.AppendChild(doc.Root(), frag); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Root().FirstElement("citizenship").TextContent() != "Swiss" {
+		t.Fatal("fragment content")
+	}
+}
+
+// randomTree builds a random document of bounded size, used by the
+// round-trip property tests.
+func randomTree(r *rand.Rand, maxNodes int) *Document {
+	doc := NewDocument("rand")
+	names := []string{"a", "b", "player", "points", "axml:sc", "grandslamswon"}
+	root := doc.CreateElement("root")
+	if err := doc.SetRoot(root); err != nil {
+		panic(err)
+	}
+	nodes := []*Node{root}
+	budget := 1 + r.Intn(maxNodes)
+	for i := 0; i < budget; i++ {
+		parent := nodes[r.Intn(len(nodes))]
+		switch r.Intn(3) {
+		case 0, 1:
+			el := doc.CreateElement(names[r.Intn(len(names))])
+			if r.Intn(2) == 0 {
+				el.SetAttr("k", string(rune('a'+r.Intn(26))))
+			}
+			if doc.AppendChild(parent, el) == nil {
+				nodes = append(nodes, el)
+			}
+		case 2:
+			_ = doc.AppendChild(parent, doc.CreateText("v"+string(rune('0'+r.Intn(10)))))
+		}
+	}
+	return doc
+}
+
+func TestPropertySerializeParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomTree(r, 40)
+		s := MarshalString(doc.Root())
+		re, err := ParseString("rand", s)
+		if err != nil {
+			t.Logf("reparse failed for %q: %v", s, err)
+			return false
+		}
+		return re.Equal(doc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyValidateAfterRandomMutations(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomTree(r, 30)
+		// Random detach/reattach churn must preserve invariants.
+		var all []*Node
+		doc.Root().Walk(func(n *Node) bool { all = append(all, n); return true })
+		for i := 0; i < 10 && len(all) > 1; i++ {
+			n := all[1+r.Intn(len(all)-1)]
+			if n.Parent() == nil {
+				continue
+			}
+			parent, pos, err := doc.Detach(n)
+			if err != nil {
+				t.Logf("detach: %v", err)
+				return false
+			}
+			if r.Intn(2) == 0 {
+				if err := doc.InsertChild(parent, n, pos); err != nil {
+					t.Logf("reinsert: %v", err)
+					return false
+				}
+			} else {
+				// Reattach at a random element that is not inside n.
+				target := parent
+				for _, cand := range all {
+					if cand.Kind() == ElementNode && cand != n && !n.IsAncestorOf(cand) && cand.Parent() != nil || cand == doc.Root() {
+						if r.Intn(3) == 0 {
+							target = cand
+							break
+						}
+					}
+				}
+				if target.Kind() != ElementNode {
+					target = doc.Root()
+				}
+				if err := doc.AppendChild(target, n); err != nil {
+					t.Logf("reattach: %v", err)
+					return false
+				}
+			}
+		}
+		return doc.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCloneEqualAndIndependent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		doc := randomTree(r, 30)
+		cp := doc.Clone()
+		if !cp.Equal(doc) || cp.Validate() != nil {
+			return false
+		}
+		// Mutating the clone must not affect the original.
+		before := MarshalString(doc.Root())
+		cp.Root().SetAttr("mutated", "yes")
+		if err := cp.AppendChild(cp.Root(), cp.CreateElement("extra")); err != nil {
+			return false
+		}
+		return MarshalString(doc.Root()) == before
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
