@@ -1,12 +1,14 @@
 // Command axmlbench runs the experiment suite of EXPERIMENTS.md and prints
 // one table per experiment. Without arguments it runs everything; pass
-// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7) to select a subset.
+// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 perf) to select a subset.
 //
 //	go run ./cmd/axmlbench          # full suite
 //	go run ./cmd/axmlbench e3 e5    # selected experiments
+//	go run ./cmd/axmlbench perf     # hot-path suite, writes -perfout JSON
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,7 @@ import (
 func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	trials := flag.Int("trials", 20, "trials per randomized data point")
+	perfOut := flag.String("perfout", "BENCH_PR1.json", "output file for the perf experiment")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -61,6 +64,50 @@ func main() {
 	if want("e8") {
 		runE8()
 	}
+	if selected["perf"] {
+		runPerf(*perfOut)
+	}
+}
+
+// runPerf runs the hot-path throughput suite (parallel materialization, WAL
+// group commit, pooled serialization) and writes the results as JSON.
+func runPerf(out string) {
+	results := sim.RunPerfSuite()
+	table("PERF — hot-path throughput (PR 1)",
+		"name\tops\tops/sec\tp50 µs\tp99 µs\tallocs/op",
+		func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%s\t%d\t%.1f\t%.0f\t%.0f\t%.1f\n",
+					r.Name, r.Ops, r.OpsPerSec, r.P50Micros, r.P99Micros, r.AllocsPerOp)
+			}
+		})
+	speedup := func(slow, fast string) float64 {
+		var s, f float64
+		for _, r := range results {
+			switch r.Name {
+			case slow:
+				s = r.OpsPerSec
+			case fast:
+				f = r.OpsPerSec
+			}
+		}
+		if s == 0 {
+			return 0
+		}
+		return f / s
+	}
+	fmt.Printf("\nmaterialize speedup: %.2fx   wal group-commit speedup: %.2fx\n",
+		speedup("materialize_sequential", "materialize_parallel"),
+		speedup("wal_sync_each", "wal_group_commit"))
+	blob, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		panic(err)
+	}
+	if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "axmlbench: write %s: %v\n", out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", out)
 }
 
 func runE8() {

@@ -40,18 +40,30 @@ import (
 func main() {
 	configPath := flag.String("config", "", "peer configuration XML file (required)")
 	walPath := flag.String("wal", "", "durable operation-log file (default: in-memory)")
+	walSync := flag.String("walsync", "each", "log durability: each (fsync per append), group (group commit), none (commit/abort barriers only)")
 	docsDir := flag.String("docs", "", "document checkpoint directory (loaded at startup, saved at shutdown)")
 	flag.Parse()
 	if *configPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*configPath, *walPath, *docsDir); err != nil {
+	var syncMode wal.SyncMode
+	switch *walSync {
+	case "each":
+		syncMode = wal.SyncEach
+	case "group":
+		syncMode = wal.SyncGroup
+	case "none":
+		syncMode = wal.SyncNone
+	default:
+		log.Fatalf("axmlpeer: unknown -walsync mode %q (want each, group, or none)", *walSync)
+	}
+	if err := run(*configPath, *walPath, syncMode, *docsDir); err != nil {
 		log.Fatalf("axmlpeer: %v", err)
 	}
 }
 
-func run(configPath, walPath, docsDir string) error {
+func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir string) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -78,7 +90,7 @@ func run(configPath, walPath, docsDir string) error {
 
 	var opLog wal.Log = wal.NewMemory()
 	if walPath != "" {
-		fileLog, err := wal.OpenFile(walPath, true)
+		fileLog, err := wal.OpenFileWith(walPath, wal.FileOptions{Sync: syncMode})
 		if err != nil {
 			return err
 		}

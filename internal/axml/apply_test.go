@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 
 	"axmltx/internal/wal"
@@ -11,10 +12,12 @@ import (
 )
 
 // fakeMaterializer implements Materializer from a static table and records
-// which services were invoked.
+// which services were invoked. The mutex makes it safe for the store's
+// overlapped per-round invocations.
 type fakeMaterializer struct {
 	results     map[string][]string // service -> result fragments
 	resultNames map[string]string   // service -> declared result element name
+	mu          sync.Mutex
 	invoked     []string
 	params      map[string][]Param
 	fail        map[string]error
@@ -30,9 +33,12 @@ func newFakeMaterializer() *fakeMaterializer {
 }
 
 func (f *fakeMaterializer) Invoke(txn string, call *ServiceCall, params []Param) ([]string, error) {
+	f.mu.Lock()
 	f.invoked = append(f.invoked, call.Service())
 	f.params[call.Service()] = params
-	if err := f.fail[call.Service()]; err != nil {
+	err := f.fail[call.Service()]
+	f.mu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	res, ok := f.results[call.Service()]

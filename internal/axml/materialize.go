@@ -3,6 +3,7 @@ package axml
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"axmltx/internal/query"
 	"axmltx/internal/wal"
@@ -17,12 +18,41 @@ type Materializer interface {
 	// Invoke executes the service named by the call with resolved
 	// parameters, within transaction txn, and returns the result as XML
 	// fragments (zero or more sibling elements). Errors become faults
-	// handled by the recovery protocol.
+	// handled by the recovery protocol. Implementations must be safe for
+	// concurrent use: the store overlaps the network waits of one
+	// materialization round's independent calls (SetMaxConcurrentCalls).
 	Invoke(txn string, call *ServiceCall, params []Param) ([]string, error)
 	// ResultName reports the element name the named service produces, or
 	// "" when unknown. Lazy evaluation uses it to decide whether a query
 	// needs a call that has no previous results to reveal its shape.
 	ResultName(service string) string
+}
+
+// LocalityHinter is optionally implemented by a Materializer to report
+// whether invoking a call would execute on this very peer. Local execution
+// re-enters the store (a peer's composition document routinely calls the
+// peer's own services), so such calls are kept on the strictly sequential
+// path; only genuinely remote waits are overlapped by the worker pool.
+type LocalityHinter interface {
+	InvokesLocally(sc *ServiceCall) bool
+}
+
+// InvokeOutcome is the result of one invocation performed by a BatchInvoker.
+type InvokeOutcome struct {
+	Fragments []string
+	Err       error
+}
+
+// BatchInvoker is optionally implemented by a Materializer that can overlap
+// the network waits of several independent invocations itself while keeping
+// its per-transaction bookkeeping (notably the active-peer chain of §3.3)
+// in call order. When implemented, the store's round prefetch delegates to
+// it instead of running its own generic worker pool, so chain extension and
+// child-invocation records stay deterministic.
+type BatchInvoker interface {
+	// InvokeBatch invokes calls[i] with params[i], at most limit network
+	// waits in flight at once, and returns one outcome per call.
+	InvokeBatch(txn string, calls []*ServiceCall, params [][]Param, limit int) []InvokeOutcome
 }
 
 // ErrNoMaterializer is returned when evaluation needs a service call
@@ -64,17 +94,151 @@ func (s *Store) materializeForQuery(txn string, doc *xmldom.Document, q *query.Q
 		}
 		for _, sc := range due {
 			visited[sc.ID()] = true
-			// The call may have been detached by a previous materialization
-			// in this round (replace mode discarding an sc result).
-			if !attached(doc, sc.Node()) {
-				continue
-			}
-			if err := s.materializeCall(txn, doc, sc, mat, res); err != nil {
-				return err
-			}
+		}
+		if err := s.materializeRound(txn, doc, due, mat, res); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// materializeRound materializes one round's due calls. Calls whose network
+// waits can safely overlap are invoked first through a bounded worker pool
+// (prefetchInvocations); then every call is processed strictly in document
+// order — prefetched results are merged, the rest take the sequential path —
+// so the WAL record sequence and therefore compensation are identical to
+// fully sequential execution.
+func (s *Store) materializeRound(txn string, doc *xmldom.Document, due []*ServiceCall, mat Materializer, res *Result) error {
+	pre := s.prefetchInvocations(txn, doc, due, mat)
+	for i, sc := range due {
+		if r, ok := pre[i]; ok {
+			if r.err != nil {
+				return fmt.Errorf("axml: materialize %s: %w", sc.Describe(), r.err)
+			}
+			if !attached(doc, sc.Node()) {
+				// Detached while the pool ran (or by an earlier call in this
+				// round); its results have nowhere to go.
+				continue
+			}
+			if err := s.mergeResults(txn, doc, sc, r.fragments, res); err != nil {
+				return err
+			}
+			continue
+		}
+		// The call may have been detached by a previous materialization
+		// in this round (replace mode discarding an sc result).
+		if !attached(doc, sc.Node()) {
+			continue
+		}
+		if err := s.materializeCall(txn, doc, sc, mat, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// prefetched is the outcome of one pooled Invoke.
+type prefetched struct {
+	fragments []string
+	err       error
+}
+
+// prefetchInvocations overlaps the Invoke network waits of the round's
+// independent calls through a bounded worker pool and returns their results
+// keyed by position in due. Called (and returning) with s.mu held; the lock
+// is released only while the pool runs, exactly like the sequential path
+// releases it around each single Invoke.
+//
+// A call stays off the pool (sequential fallback) when any of:
+//   - it has nested service-call parameters — resolving those logs WAL
+//     records, whose order must match sequential execution;
+//   - the materializer reports it executes locally (LocalityHinter) — local
+//     execution re-enters this store;
+//   - an earlier replace-mode due call's existing results contain it — that
+//     call's merge would detach it, and sequential execution would
+//     therefore never invoke it.
+func (s *Store) prefetchInvocations(txn string, doc *xmldom.Document, due []*ServiceCall, mat Materializer) map[int]*prefetched {
+	if mat == nil || len(due) < 2 {
+		return nil
+	}
+	limit := s.concurrencyFor(len(due))
+	if limit <= 1 {
+		return nil
+	}
+	hinter, _ := mat.(LocalityHinter)
+	// Existing result roots of earlier replace-mode calls: anything beneath
+	// them may be discarded before its own turn comes.
+	var hazards []*xmldom.Node
+	type job struct {
+		i      int
+		sc     *ServiceCall
+		params []Param
+	}
+	var jobs []job
+	for i, sc := range due {
+		eligible := true
+		for _, h := range hazards {
+			if h == sc.Node() || h.IsAncestorOf(sc.Node()) {
+				eligible = false
+				break
+			}
+		}
+		if sc.Mode() == ModeReplace {
+			hazards = append(hazards, sc.Results()...)
+		}
+		if !eligible || (hinter != nil && hinter.InvokesLocally(sc)) {
+			continue
+		}
+		params := sc.Params()
+		for _, p := range params {
+			if p.Nested != nil {
+				eligible = false
+				break
+			}
+		}
+		if eligible {
+			jobs = append(jobs, job{i: i, sc: sc, params: params})
+		}
+	}
+	if len(jobs) < 2 {
+		return nil // nothing to overlap
+	}
+	out := make(map[int]*prefetched, len(jobs))
+	if bi, ok := mat.(BatchInvoker); ok {
+		calls := make([]*ServiceCall, len(jobs))
+		params := make([][]Param, len(jobs))
+		for k, j := range jobs {
+			calls[k], params[k] = j.sc, j.params
+		}
+		s.mu.Unlock()
+		outcomes := bi.InvokeBatch(txn, calls, params, limit)
+		s.mu.Lock()
+		for k := range jobs {
+			if k < len(outcomes) {
+				out[jobs[k].i] = &prefetched{fragments: outcomes[k].Fragments, err: outcomes[k].Err}
+			}
+		}
+		return out
+	}
+	var omu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, limit)
+	s.mu.Unlock()
+	for _, j := range jobs {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			frags, err := mat.Invoke(txn, j.sc, j.params)
+			omu.Lock()
+			out[j.i] = &prefetched{fragments: frags, err: err}
+			omu.Unlock()
+		}(j)
+	}
+	wg.Wait()
+	s.mu.Lock()
+	return out
 }
 
 // callMayProduce reports whether sc could contribute nodes the query needs:
@@ -131,6 +295,14 @@ func (s *Store) materializeCall(txn string, doc *xmldom.Document, sc *ServiceCal
 		// nowhere to go.
 		return nil
 	}
+	return s.mergeResults(txn, doc, sc, fragments, res)
+}
+
+// mergeResults applies one successful invocation to the document under the
+// store lock: the materialize record, replace-mode discard of previous
+// results, and insertion of the result fragments — the paper's run-time
+// facts that dynamic compensation is built from.
+func (s *Store) mergeResults(txn string, doc *xmldom.Document, sc *ServiceCall, fragments []string, res *Result) error {
 	if lsn, lerr := s.log.Append(&wal.Record{
 		Txn:     txn,
 		Type:    wal.TypeMaterialize,
@@ -229,19 +401,19 @@ func (s *Store) MaterializeAll(txn string, docName string, mat Materializer) (*R
 	res := &Result{}
 	visited := make(map[xmldom.NodeID]bool)
 	for round := 0; round < maxMaterializeRounds; round++ {
-		progressed := false
+		var due []*ServiceCall
 		for _, sc := range TopLevelServiceCalls(doc) {
 			if visited[sc.ID()] || !attached(doc, sc.Node()) {
 				continue
 			}
 			visited[sc.ID()] = true
-			progressed = true
-			if err := s.materializeCall(txn, doc, sc, mat, res); err != nil {
-				return nil, err
-			}
+			due = append(due, sc)
 		}
-		if !progressed {
+		if len(due) == 0 {
 			break
+		}
+		if err := s.materializeRound(txn, doc, due, mat, res); err != nil {
+			return nil, err
 		}
 	}
 	return res, nil

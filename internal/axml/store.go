@@ -19,7 +19,16 @@ type Store struct {
 	docs map[string]*xmldom.Document
 	log  wal.Log
 	eval *query.Evaluator
+	// maxCalls caps how many of a materialization round's due service calls
+	// may have their Invoke network waits in flight at once; 0 means
+	// DefaultMaxConcurrentCalls, 1 disables the overlap entirely.
+	maxCalls int
 }
+
+// DefaultMaxConcurrentCalls is the default cap on overlapping service
+// invocations within one materialization round (further bounded by the
+// number of due calls).
+const DefaultMaxConcurrentCalls = 8
 
 // NewStore returns a store writing to log.
 func NewStore(log wal.Log) *Store {
@@ -35,6 +44,31 @@ func NewStore(log wal.Log) *Store {
 
 // Log returns the store's operation log.
 func (s *Store) Log() wal.Log { return s.log }
+
+// SetMaxConcurrentCalls bounds the per-round service-invocation overlap:
+// 0 restores the default (min(DefaultMaxConcurrentCalls, len(due))), 1
+// forces strictly sequential materialization.
+func (s *Store) SetMaxConcurrentCalls(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	s.maxCalls = n
+}
+
+// concurrencyFor resolves the worker-pool size for a round of n due calls;
+// called with s.mu held.
+func (s *Store) concurrencyFor(n int) int {
+	limit := s.maxCalls
+	if limit == 0 {
+		limit = DefaultMaxConcurrentCalls
+	}
+	if limit > n {
+		limit = n
+	}
+	return limit
+}
 
 // Evaluator returns the AXML-configured query evaluator.
 func (s *Store) Evaluator() *query.Evaluator { return s.eval }

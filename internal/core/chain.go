@@ -321,3 +321,11 @@ func (cl *chainLock) set(c *Chain) {
 	defer cl.mu.Unlock()
 	cl.chain = c
 }
+
+// update applies f to the chain atomically and returns the new chain.
+func (cl *chainLock) update(f func(*Chain) *Chain) *Chain {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	cl.chain = f(cl.chain)
+	return cl.chain
+}

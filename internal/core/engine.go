@@ -31,6 +31,10 @@ type Options struct {
 	EvalMode axml.EvalMode
 	// LockTimeout bounds document lock waits; zero means 2s.
 	LockTimeout time.Duration
+	// MaxConcurrentCalls caps how many of a materialization round's service
+	// invocations may have their network waits in flight at once: 0 means
+	// axml.DefaultMaxConcurrentCalls, 1 forces sequential materialization.
+	MaxConcurrentCalls int
 }
 
 // FaultHook is application-specific fault-handler code attached to
@@ -80,6 +84,7 @@ func NewPeer(transport p2p.Transport, log wal.Log, opts Options) *Peer {
 		metrics:    &Metrics{},
 		faultHooks: make(map[string]FaultHook),
 	}
+	p.store.SetMaxConcurrentCalls(opts.MaxConcurrentCalls)
 	transport.SetHandler(p2p.AnswerPings(p.handle))
 	return p
 }
@@ -250,6 +255,12 @@ func (p *Peer) Commit(txc *Context) error {
 		return fmt.Errorf("core: commit of %s transaction %s", txc.Status(), txc.ID)
 	}
 	_, err := p.store.Log().Append(&wal.Record{Txn: txc.ID, Type: wal.TypeCommit})
+	if err == nil {
+		// Explicit durability barrier: under relaxed per-record syncing the
+		// commit record — the decision — must still hit disk before commit
+		// notifications fan out.
+		err = p.store.Log().Sync()
+	}
 	p.locks.ReleaseAll(txc.ID)
 	if txc.Self == txc.Origin {
 		p.metrics.TxnsCommitted.Add(1)

@@ -185,6 +185,20 @@ func (c *Context) Chain() *Chain { return c.chain.get() }
 // SetChain replaces the context's active-peer list.
 func (c *Context) SetChain(ch *Chain) { c.chain.set(ch) }
 
+// ExtendChain atomically records that parent invoked service on child and
+// returns the updated chain. Unlike Chain()+SetChain(), concurrent
+// extensions (parallel materialization of one round's calls) cannot lose
+// updates, and sibling order is the order of ExtendChain calls.
+func (c *Context) ExtendChain(parent, child p2p.PeerID, service string, super bool) *Chain {
+	return c.chain.update(func(ch *Chain) *Chain { return ch.Add(parent, child, service, super) })
+}
+
+// MergeChain atomically folds other into the context's chain and returns
+// the result.
+func (c *Context) MergeChain(other *Chain) *Chain {
+	return c.chain.update(func(ch *Chain) *Chain { return ch.Merge(other) })
+}
+
 // AddUndoNodes accumulates compensation cost.
 func (c *Context) AddUndoNodes(n int) {
 	c.mu.Lock()

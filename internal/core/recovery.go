@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"time"
 
 	"axmltx/internal/axml"
@@ -193,6 +194,17 @@ func (p *Peer) invokeOnce(txc *Context, target p2p.PeerID, service string, param
 		}
 		return &InvokeResponse{Service: service, Fragments: frags, Chain: txc.Chain()}, nil
 	}
+	msg := p.prepareRemoteInvoke(txc, target, service, params, async)
+	reply, err := p.transport.Request(context.Background(), target, msg)
+	return p.finishRemoteInvoke(txc, target, service, async, reply, err)
+}
+
+// prepareRemoteInvoke performs the synchronous bookkeeping that must happen
+// in invocation order — metrics, chain extension and ancestor propagation —
+// and returns the wire message. Chain sibling order is the order of
+// prepareRemoteInvoke calls, which parallel materialization keeps equal to
+// document order.
+func (p *Peer) prepareRemoteInvoke(txc *Context, target p2p.PeerID, service string, params map[string]string, async bool) *p2p.Message {
 	p.metrics.InvocationsMade.Add(1)
 	req := &InvokeRequest{
 		Txn:     txc.ID,
@@ -203,15 +215,18 @@ func (p *Peer) invokeOnce(txc *Context, target p2p.PeerID, service string, param
 		Async:   async,
 	}
 	if !p.opts.DisableChaining {
-		req.Chain = txc.Chain().Add(p.id, target, service, false)
-		txc.SetChain(req.Chain)
+		req.Chain = txc.ExtendChain(p.id, target, service, false)
 		// Share the extended active peer list with our ancestors before
 		// the invocation runs: should we die mid-flight, they already know
 		// the subtree below us (§3.3 — AP2 must know about AP6).
 		p.propagateChain(txc)
 	}
-	msg := &p2p.Message{Kind: p2p.KindInvoke, Txn: txc.ID, Subject: service, Payload: encode(req)}
-	reply, err := p.transport.Request(context.Background(), target, msg)
+	return &p2p.Message{Kind: p2p.KindInvoke, Txn: txc.ID, Subject: service, Payload: encode(req)}
+}
+
+// finishRemoteInvoke processes a remote invocation's reply: error mapping,
+// chain adoption and the child-invocation record.
+func (p *Peer) finishRemoteInvoke(txc *Context, target p2p.PeerID, service string, async bool, reply *p2p.Message, err error) (*InvokeResponse, error) {
 	if err != nil {
 		if errors.Is(err, p2p.ErrUnreachable) {
 			p.metrics.DisconnectsDetected.Add(1)
@@ -235,7 +250,7 @@ func (p *Peer) invokeOnce(txc *Context, target p2p.PeerID, service string, param
 		return nil, err
 	}
 	if resp.Chain != nil && !p.opts.DisableChaining {
-		txc.SetChain(txc.Chain().Merge(resp.Chain))
+		txc.MergeChain(resp.Chain)
 	}
 	inv := Invocation{Peer: target, Service: service}
 	if len(resp.Comp) > 0 {
@@ -245,6 +260,89 @@ func (p *Peer) invokeOnce(txc *Context, target p2p.PeerID, service string, param
 	}
 	txc.AddChild(inv)
 	return &resp, nil
+}
+
+// InvokesLocally implements axml.LocalityHinter: calls that resolve to this
+// very peer re-enter the local store when executed, so the materializer's
+// worker pool must keep them sequential.
+func (p *Peer) InvokesLocally(sc *axml.ServiceCall) bool {
+	target := p.resolveTarget(sc)
+	return target == p.id || target == ""
+}
+
+// InvokeBatch implements axml.BatchInvoker: it overlaps the network waits
+// of one materialization round's independent calls while performing every
+// piece of transaction bookkeeping strictly in call order, in three phases —
+// (1) sequential: salvage reuse, target resolution, chain extension and
+// propagation; (2) concurrent: the transport round trips, bounded by limit;
+// (3) sequential: reply processing, chain adoption, child records, and the
+// per-call fault-handler recovery protocol for failures. The result is
+// byte-identical WAL and chain state to sequential execution; only the
+// remote waits overlap.
+func (p *Peer) InvokeBatch(txn string, calls []*axml.ServiceCall, params [][]axml.Param, limit int) []axml.InvokeOutcome {
+	out := make([]axml.InvokeOutcome, len(calls))
+	txc, ok := p.mgr.Get(txn)
+	if !ok {
+		err := fmt.Errorf("core: no context for transaction %s at %s", txn, p.id)
+		for i := range out {
+			out[i].Err = err
+		}
+		return out
+	}
+	type pending struct {
+		i       int
+		target  p2p.PeerID
+		service string
+		pm      map[string]string
+		msg     *p2p.Message
+	}
+	var remote []pending
+	for i, sc := range calls {
+		service := sc.Service()
+		pm := paramMap(params[i])
+		if frags, ok := txc.takeReused(service); ok {
+			p.metrics.WorkReused.Add(1)
+			out[i].Fragments = frags
+			continue
+		}
+		target := p.resolveTarget(sc)
+		if target == p.id || target == "" {
+			// Local execution re-enters the store; the materializer filters
+			// these out of batches, but handle stragglers correctly.
+			out[i].Fragments, out[i].Err = p.Invoke(txn, sc, params[i])
+			continue
+		}
+		remote = append(remote, pending{
+			i: i, target: target, service: service, pm: pm,
+			msg: p.prepareRemoteInvoke(txc, target, service, pm, false),
+		})
+	}
+	replies := make([]*p2p.Message, len(remote))
+	errs := make([]error, len(remote))
+	if limit < 1 {
+		limit = 1
+	}
+	sem := make(chan struct{}, limit)
+	var wg sync.WaitGroup
+	for k, pr := range remote {
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(k int, pr pending) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			replies[k], errs[k] = p.transport.Request(context.Background(), pr.target, pr.msg)
+		}(k, pr)
+	}
+	wg.Wait()
+	for k, pr := range remote {
+		resp, err := p.finishRemoteInvoke(txc, pr.target, pr.service, false, replies[k], errs[k])
+		if err == nil {
+			out[pr.i].Fragments = resp.Fragments
+			continue
+		}
+		out[pr.i].Fragments, out[pr.i].Err = p.recoverInvocation(txc, calls[pr.i], pr.pm, pr.target, err)
+	}
+	return out
 }
 
 // propagateChain shares txc's current chain with every ancestor of this
@@ -433,6 +531,9 @@ func (p *Peer) abortContext(txc *Context, skip p2p.PeerID, notifyParent bool) er
 		p.metrics.TxnsAborted.Add(1)
 	}
 	_, _ = p.store.Log().Append(&wal.Record{Txn: txc.ID, Type: wal.TypeAbort})
+	// The abort decision must be durable before compensation starts: a crash
+	// mid-compensation must replay as an abort, not an in-flight transaction.
+	_ = p.store.Log().Sync()
 
 	affected, err := Compensate(p.store, txc.ID)
 	p.metrics.Compensations.Add(1)
@@ -550,6 +651,9 @@ func (p *Peer) handleCommit(msg *p2p.Message) {
 		return
 	}
 	_, _ = p.store.Log().Append(&wal.Record{Txn: msg.Txn, Type: wal.TypeCommit})
+	// Same durability barrier as the origin's Commit: the decision record
+	// must be on disk before this participant cascades it.
+	_ = p.store.Log().Sync()
 	p.locks.ReleaseAll(msg.Txn)
 	for _, child := range txc.Children() {
 		if child.Peer == msg.From {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sync"
 
 	"axmltx/internal/p2p"
 )
@@ -91,14 +92,30 @@ type StreamBatch struct {
 	Fragments []string
 }
 
+// encodeBufs recycles gob scratch buffers: every message on the hot path
+// (invocations, chain updates, results) passes through encode, and growing a
+// fresh buffer per message dominates its allocation profile. Each payload
+// still gets its own gob.Encoder — gob streams are stateful, and every blob
+// must be self-contained for the decoder on the other side.
+var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledEncodeCap bounds pooled buffer capacity so one oversized payload
+// doesn't pin memory.
+const maxPooledEncodeCap = 1 << 16
+
 func encode(v any) []byte {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+	buf := encodeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
 		// All wire types are plain data; an encode failure is a programming
 		// error.
 		panic(fmt.Sprintf("core: encode %T: %v", v, err))
 	}
-	return buf.Bytes()
+	out := append([]byte(nil), buf.Bytes()...)
+	if buf.Cap() <= maxPooledEncodeCap {
+		encodeBufs.Put(buf)
+	}
+	return out
 }
 
 func decode(b []byte, v any) error {

@@ -30,10 +30,22 @@ type TCPTransport struct {
 	mu      sync.Mutex
 	addrs   map[PeerID]string
 	conns   map[PeerID]*tcpConn
+	dials   map[PeerID]*pendingDial
 	h       Handler
 	pending map[uint64]chan *wireFrame
 	nextID  atomic.Uint64
 	closed  bool
+	// dialCount counts outbound dial attempts (for tests asserting that
+	// concurrent requests to one peer share a single dial).
+	dialCount atomic.Int64
+}
+
+// pendingDial deduplicates concurrent dials to one peer: the first caller
+// dials while the rest wait on done, then all share the outcome.
+type pendingDial struct {
+	done chan struct{}
+	c    *tcpConn
+	err  error
 }
 
 // ListenTCP starts a transport for peer self on addr (e.g. "127.0.0.1:0").
@@ -47,6 +59,7 @@ func ListenTCP(self PeerID, addr string) (*TCPTransport, error) {
 		ln:      ln,
 		addrs:   make(map[PeerID]string),
 		conns:   make(map[PeerID]*tcpConn),
+		dials:   make(map[PeerID]*pendingDial),
 		pending: make(map[uint64]chan *wireFrame),
 	}
 	go t.acceptLoop()
@@ -140,7 +153,11 @@ func (t *TCPTransport) handler() Handler {
 	return t.h
 }
 
-// conn returns (dialing if necessary) the connection to a peer.
+// conn returns (dialing if necessary) the connection to a peer. Concurrent
+// callers for the same peer share a single dial: without deduplication, a
+// burst of requests (e.g. one materialization round fanning out) would open
+// one TCP connection per request and discard all but one after a wasted
+// hello round trip.
 func (t *TCPTransport) conn(to PeerID) (*tcpConn, error) {
 	t.mu.Lock()
 	if t.closed {
@@ -151,11 +168,56 @@ func (t *TCPTransport) conn(to PeerID) (*tcpConn, error) {
 		t.mu.Unlock()
 		return c, nil
 	}
+	if pd, ok := t.dials[to]; ok {
+		t.mu.Unlock()
+		<-pd.done
+		return pd.c, pd.err
+	}
 	addr, ok := t.addrs[to]
-	t.mu.Unlock()
 	if !ok {
+		t.mu.Unlock()
 		return nil, fmt.Errorf("%w: %s (no address registered)", ErrUnreachable, to)
 	}
+	pd := &pendingDial{done: make(chan struct{})}
+	t.dials[to] = pd
+	t.mu.Unlock()
+
+	c, err := t.dialPeer(to, addr)
+
+	t.mu.Lock()
+	delete(t.dials, to)
+	if err == nil && t.closed {
+		err = ErrClosed
+	}
+	if err != nil {
+		t.mu.Unlock()
+		if c != nil {
+			c.close()
+		}
+		pd.err = err
+		close(pd.done)
+		return nil, err
+	}
+	if exist, ok := t.conns[to]; ok {
+		// An inbound connection from the same peer registered meanwhile;
+		// prefer it and drop ours.
+		t.mu.Unlock()
+		c.close()
+		pd.c = exist
+		close(pd.done)
+		return exist, nil
+	}
+	t.conns[to] = c
+	t.mu.Unlock()
+	go c.readLoop()
+	pd.c = c
+	close(pd.done)
+	return c, nil
+}
+
+// dialPeer opens and identifies a new outbound connection.
+func (t *TCPTransport) dialPeer(to PeerID, addr string) (*tcpConn, error) {
+	t.dialCount.Add(1)
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
@@ -166,15 +228,6 @@ func (t *TCPTransport) conn(to PeerID) (*tcpConn, error) {
 		c.close()
 		return nil, fmt.Errorf("%w: %s (%v)", ErrUnreachable, to, err)
 	}
-	t.mu.Lock()
-	if exist, ok := t.conns[to]; ok {
-		t.mu.Unlock()
-		c.close()
-		return exist, nil
-	}
-	t.conns[to] = c
-	t.mu.Unlock()
-	go c.readLoop()
 	return c, nil
 }
 

@@ -171,3 +171,64 @@ func TestTCPCloseIdempotent(t *testing.T) {
 		t.Fatalf("err = %v", err)
 	}
 }
+
+func TestTCPConcurrentRequestsShareOneDial(t *testing.T) {
+	a, b := newTCPPair(t)
+	release := make(chan struct{})
+	b.SetHandler(func(ctx context.Context, msg *Message) (*Message, error) {
+		<-release // hold every request so the dials would overlap
+		return &Message{Kind: "echo", Payload: msg.Payload}, nil
+	})
+	const n = 16
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = a.Request(context.Background(), "B", &Message{Kind: KindInvoke})
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let every request reach conn()
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if got := a.dialCount.Load(); got != 1 {
+		t.Fatalf("dialCount = %d, want 1 (concurrent requests must share a dial)", got)
+	}
+}
+
+func TestTCPDialFailureSharedByWaiters(t *testing.T) {
+	a, err := ListenTCP("A", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	// Register an address nobody listens on.
+	dead, err := ListenTCP("X", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.Addr()
+	dead.Close()
+	a.AddPeer("B", addr)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = a.Send(context.Background(), "B", &Message{Kind: KindAbort})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("send %d: err = %v, want ErrUnreachable", i, err)
+		}
+	}
+}

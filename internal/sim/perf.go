@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/wal"
+	"axmltx/internal/xmldom"
+)
+
+// PerfResult is one measured configuration of the hot-path performance
+// suite (PR 1): materialization, WAL append throughput, serialization.
+type PerfResult struct {
+	Name        string  `json:"name"`
+	Ops         int     `json:"ops"`
+	OpsPerSec   float64 `json:"ops_per_sec"`
+	P50Micros   float64 `json:"p50_us"`
+	P99Micros   float64 `json:"p99_us"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// slowMaterializer simulates a remote provider with fixed network latency.
+// It is stateless and therefore safe for the store's overlapped invocations.
+type slowMaterializer struct {
+	delay time.Duration
+}
+
+func (m *slowMaterializer) Invoke(txn string, call *axml.ServiceCall, params []axml.Param) ([]string, error) {
+	time.Sleep(m.delay)
+	name := strings.TrimPrefix(call.Service(), "svc")
+	return []string{fmt.Sprintf("<r%s>v</r%s>", name, name)}, nil
+}
+
+func (m *slowMaterializer) ResultName(service string) string {
+	return "r" + strings.TrimPrefix(service, "svc")
+}
+
+// perfDoc builds a document with k top-level embedded service calls.
+func perfDoc(k int) string {
+	var b strings.Builder
+	b.WriteString("<D>")
+	for i := 1; i <= k; i++ {
+		fmt.Fprintf(&b, `<axml:sc methodName="svc%d" mode="replace"/>`, i)
+	}
+	b.WriteString("</D>")
+	return b.String()
+}
+
+// RunPerfMaterialize measures one full materialization of a document with
+// calls embedded 5ms-latency service calls, over the given number of trials,
+// with the store's per-round concurrency capped at maxCalls (1 = the
+// sequential baseline).
+func RunPerfMaterialize(calls, maxCalls, trials int, delay time.Duration) PerfResult {
+	lat := make([]time.Duration, 0, trials)
+	mat := &slowMaterializer{delay: delay}
+	start := time.Now()
+	for t := 0; t < trials; t++ {
+		s := axml.NewStore(wal.NewMemory())
+		if _, err := s.AddParsed("D.xml", perfDoc(calls)); err != nil {
+			panic(err)
+		}
+		s.SetMaxConcurrentCalls(maxCalls)
+		t0 := time.Now()
+		if _, err := s.MaterializeAll("P", "D.xml", mat); err != nil {
+			panic(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	name := "materialize_parallel"
+	if maxCalls == 1 {
+		name = "materialize_sequential"
+	}
+	return summarize(name, trials, time.Since(start), lat, 0)
+}
+
+// RunPerfWAL measures multi-writer append throughput of a file-backed log
+// under the given sync mode: writers goroutines each append perWriter
+// records concurrently.
+func RunPerfWAL(mode wal.SyncMode, writers, perWriter int) PerfResult {
+	dir, err := os.MkdirTemp("", "axmlperf")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	log, err := wal.OpenFileWith(filepath.Join(dir, "wal.log"), wal.FileOptions{Sync: mode})
+	if err != nil {
+		panic(err)
+	}
+	defer log.Close()
+
+	var mu sync.Mutex
+	lat := make([]time.Duration, 0, writers*perWriter)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine := make([]time.Duration, 0, perWriter)
+			for i := 0; i < perWriter; i++ {
+				rec := &wal.Record{
+					Txn:  fmt.Sprintf("T%d", w),
+					Type: wal.TypeInsert,
+					Doc:  "D.xml",
+					XML:  "<row>payload</row>",
+				}
+				t0 := time.Now()
+				if _, err := log.Append(rec); err != nil {
+					panic(err)
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			mu.Lock()
+			lat = append(lat, mine...)
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	name := "wal_sync_each"
+	if mode == wal.SyncGroup {
+		name = "wal_group_commit"
+	}
+	return summarize(name, writers*perWriter, elapsed, lat, 0)
+}
+
+// RunPerfSerialize measures MarshalString over the paper's ATPList document
+// (players entries), reporting allocations per serialization.
+func RunPerfSerialize(players, ops int) PerfResult {
+	doc, err := xmldom.ParseString("ATPList.xml", GenerateATPDoc(players, 4))
+	if err != nil {
+		panic(err)
+	}
+	root := doc.Root()
+	// Warm the buffer pool so steady-state allocation is what's measured.
+	for i := 0; i < 8; i++ {
+		_ = xmldom.MarshalString(root)
+	}
+	var before, after runtime.MemStats
+	lat := make([]time.Duration, 0, ops)
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		t0 := time.Now()
+		_ = xmldom.MarshalString(root)
+		lat = append(lat, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs-before.Mallocs)/float64(ops) - 1 // the latency slice append
+	if allocs < 0 {
+		allocs = 0
+	}
+	return summarize("serialize_marshal", ops, elapsed, lat, allocs)
+}
+
+// RunPerfSuite runs the whole hot-path suite with the PR's reference
+// parameters: 8 embedded 5ms calls, 16 concurrent WAL writers, a 200-player
+// ATP document.
+func RunPerfSuite() []PerfResult {
+	const (
+		calls   = 8
+		delay   = 5 * time.Millisecond
+		trials  = 20
+		writers = 16
+		perW    = 100
+	)
+	return []PerfResult{
+		RunPerfMaterialize(calls, 1, trials, delay),
+		RunPerfMaterialize(calls, calls, trials, delay),
+		RunPerfWAL(wal.SyncEach, writers, perW),
+		RunPerfWAL(wal.SyncGroup, writers, perW),
+		RunPerfSerialize(200, 5000),
+	}
+}
+
+// summarize folds raw latencies into a PerfResult.
+func summarize(name string, ops int, elapsed time.Duration, lat []time.Duration, allocs float64) PerfResult {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lat)-1))
+		return float64(lat[i].Microseconds())
+	}
+	return PerfResult{
+		Name:        name,
+		Ops:         ops,
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		P50Micros:   pct(0.50),
+		P99Micros:   pct(0.99),
+		AllocsPerOp: allocs,
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync/atomic"
 
 	"axmltx/internal/axml"
 	"axmltx/internal/core"
@@ -31,14 +32,15 @@ func GenerateATPDoc(players int, withSCEvery int) string {
 }
 
 // tableMaterializer serves getPoints-style calls from a counter, so every
-// materialization changes the document (replace mode).
+// materialization changes the document (replace mode). The counter is atomic
+// because the store may overlap Invoke calls within one round.
 type tableMaterializer struct {
-	calls int
+	calls atomic.Int64
 }
 
 func (m *tableMaterializer) Invoke(txn string, call *axml.ServiceCall, params []axml.Param) ([]string, error) {
-	m.calls++
-	return []string{fmt.Sprintf("<points>%d</points>", 500+m.calls)}, nil
+	n := m.calls.Add(1)
+	return []string{fmt.Sprintf("<points>%d</points>", 500+n)}, nil
 }
 
 func (m *tableMaterializer) ResultName(service string) string {
@@ -146,7 +148,7 @@ func RunE1(spec OpsSpec) E1Result {
 		}
 		res.AffectedNodes += out.AffectedNodes
 	}
-	res.Materializations = mat.calls
+	res.Materializations = int(mat.calls.Load())
 	for _, rec := range log.TxnRecords(txn) {
 		res.LogRecords++
 		res.LogBytes += len(rec.XML) + len(rec.OldText) + len(rec.NewText) + 32
@@ -202,7 +204,7 @@ func RunE2(k, j int) E2Result {
 	if err != nil {
 		panic(err)
 	}
-	res.LazyInvoked = mat.calls
+	res.LazyInvoked = int(mat.calls.Load())
 	res.LazyAffected = out.AffectedNodes
 
 	store, action, mat = build()
@@ -210,15 +212,17 @@ func RunE2(k, j int) E2Result {
 	if err != nil {
 		panic(err)
 	}
-	res.EagerInvoked = mat.calls
+	res.EagerInvoked = int(mat.calls.Load())
 	res.EagerAffected = out.AffectedNodes
 	return res
 }
 
-type countingMaterializer struct{ calls int }
+// countingMaterializer counts invocations; the counter is atomic because the
+// store may overlap Invoke calls within one materialization round.
+type countingMaterializer struct{ calls atomic.Int64 }
 
 func (m *countingMaterializer) Invoke(txn string, call *axml.ServiceCall, params []axml.Param) ([]string, error) {
-	m.calls++
+	m.calls.Add(1)
 	name := strings.TrimPrefix(call.Service(), "svc")
 	return []string{fmt.Sprintf("<r%s>new</r%s>", name, name)}, nil
 }

@@ -1,0 +1,156 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGroupCommitDurable verifies that under SyncGroup every Append that
+// returned is on disk: concurrent writers append, the log is closed, and a
+// reopen must see every record with intact framing.
+func TestGroupCommitDurable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "group.wal")
+	l, err := OpenFileWith(path, FileOptions{Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				r := &Record{Txn: fmt.Sprintf("T%d", w), Type: TypeInsert, Doc: "D", NodeID: uint64(i)}
+				if _, err := l.Append(r); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := re.Records()
+	if len(got) != writers*each {
+		t.Fatalf("reopen saw %d records, want %d", len(got), writers*each)
+	}
+	for i, r := range got {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+	}
+}
+
+// TestGroupCommitWindow exercises the batching window: appends still return
+// durable, just after at most one window's delay.
+func TestGroupCommitWindow(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "window.wal")
+	l, err := OpenFileWith(path, FileOptions{Sync: SyncGroup, GroupCommitWindow: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append(&Record{Txn: "T", Type: TypeInsert}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if n := len(re.Records()); n != 5 {
+		t.Fatalf("got %d records, want 5", n)
+	}
+}
+
+// TestSyncBarrier verifies the explicit Sync barrier works in every mode
+// and that appending after Close fails cleanly.
+func TestSyncBarrier(t *testing.T) {
+	for _, mode := range []SyncMode{SyncNone, SyncEach, SyncGroup} {
+		t.Run(fmt.Sprintf("mode=%d", mode), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "barrier.wal")
+			l, err := OpenFileWith(path, FileOptions{Sync: mode})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Sync(); err != nil { // empty log: no-op barrier
+				t.Fatalf("empty sync: %v", err)
+			}
+			if _, err := l.Append(&Record{Txn: "T", Type: TypeCommit}); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Sync(); err != nil {
+				t.Fatalf("sync: %v", err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := l.Append(&Record{Txn: "T", Type: TypeInsert}); err != ErrClosed {
+				t.Fatalf("append after close: %v, want ErrClosed", err)
+			}
+			if err := l.Sync(); err != ErrClosed {
+				t.Fatalf("sync after close: %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// TestGroupCommitCloseUnderLoad closes the log while appenders are active;
+// nothing may hang, and records that reported success must survive.
+func TestGroupCommitCloseUnderLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "closing.wal")
+	l, err := OpenFileWith(path, FileOptions{Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ok sync.Map
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				lsn, err := l.Append(&Record{Txn: fmt.Sprintf("T%d", w), Type: TypeInsert})
+				if err != nil {
+					return
+				}
+				ok.Store(lsn, true)
+			}
+		}(w)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	re, err := OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	seen := make(map[uint64]bool)
+	for _, r := range re.Records() {
+		seen[r.LSN] = true
+	}
+	ok.Range(func(k, _ any) bool {
+		if !seen[k.(uint64)] {
+			t.Errorf("acknowledged LSN %d missing after reopen", k.(uint64))
+		}
+		return true
+	})
+}

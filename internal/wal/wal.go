@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 )
 
 // Type discriminates log records.
@@ -111,6 +112,10 @@ type Log interface {
 	Records() []*Record
 	// TxnRecords returns the records of one transaction in LSN order.
 	TxnRecords(txn string) []*Record
+	// Sync blocks until every record appended so far is durable. It is the
+	// explicit durability barrier the engine places at TypeCommit/TypeAbort
+	// records; in-memory logs treat it as a no-op.
+	Sync() error
 	// Close releases resources; Append after Close errors.
 	Close() error
 }
@@ -161,6 +166,9 @@ func (l *MemoryLog) TxnRecords(txn string) []*Record {
 	return append([]*Record(nil), l.byTxn[txn]...)
 }
 
+// Sync implements Log; an in-memory log has no durability to wait for.
+func (l *MemoryLog) Sync() error { return nil }
+
 // Close implements Log.
 func (l *MemoryLog) Close() error {
 	l.mu.Lock()
@@ -176,6 +184,35 @@ func (l *MemoryLog) Len() int {
 	return len(l.records)
 }
 
+// SyncMode selects a FileLog's durability strategy.
+type SyncMode uint8
+
+const (
+	// SyncNone leaves flushing to the OS; the explicit Sync() barrier at
+	// commit records is the only forced flush (relaxed durability:
+	// mid-transaction records may be lost in a crash, commits are not).
+	SyncNone SyncMode = iota
+	// SyncEach fsyncs every append before returning — full per-record
+	// durability at the cost of one fsync per record.
+	SyncEach
+	// SyncGroup batches concurrent appenders behind one fsync (group
+	// commit): every Append still returns only after its record is durable,
+	// but appenders arriving while an fsync is in flight share the next one,
+	// so N concurrent writers amortize the fsync cost.
+	SyncGroup
+)
+
+// FileOptions configure OpenFileWith.
+type FileOptions struct {
+	// Sync selects the durability strategy; the zero value is SyncNone.
+	Sync SyncMode
+	// GroupCommitWindow (SyncGroup only) is how long the flusher waits
+	// after waking, to accumulate a batch before fsyncing. Zero syncs
+	// immediately — batching then arises naturally from appenders queueing
+	// behind an in-flight fsync.
+	GroupCommitWindow time.Duration
+}
+
 // FileLog is a durable Log backed by a file of framed records. Each record
 // is an independently gob-encoded blob framed as
 //
@@ -187,21 +224,44 @@ func (l *MemoryLog) Len() int {
 type FileLog struct {
 	mu    sync.Mutex
 	f     *os.File
-	sync  bool
+	opts  FileOptions
 	next  uint64
 	mem   *MemoryLog // index over already-read + appended records
 	close bool
+
+	// Group-commit state (SyncGroup), leader/follower: the first appender to
+	// find no fsync in flight becomes the leader and syncs on behalf of
+	// everyone whose frame is already in the file; appenders arriving while
+	// the leader syncs wait on gcond and are either covered by that fsync or
+	// elect the next leader. No dedicated goroutine, no handoff latency.
+	gmu     sync.Mutex
+	gcond   *sync.Cond
+	written uint64 // highest LSN whose frame is in the file
+	synced  uint64 // highest LSN known durable
+	gerr    error  // sticky fsync failure; durability state unknown past it
+	syncing bool   // a leader's fsync is in flight
+	gclosed bool   // Close started; no further fsyncs
 }
 
 // OpenFile opens (creating if needed) a file-backed log. With sync true,
 // every append is fsynced before returning — full durability at the cost of
 // latency, matching the D in ACID; with sync false the OS flushes lazily.
 func OpenFile(path string, sync bool) (*FileLog, error) {
+	mode := SyncNone
+	if sync {
+		mode = SyncEach
+	}
+	return OpenFileWith(path, FileOptions{Sync: mode})
+}
+
+// OpenFileWith opens (creating if needed) a file-backed log with explicit
+// durability options.
+func OpenFileWith(path string, opts FileOptions) (*FileLog, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open %s: %w", path, err)
 	}
-	l := &FileLog{f: f, sync: sync, mem: NewMemory()}
+	l := &FileLog{f: f, opts: opts, mem: NewMemory()}
 	br := bufio.NewReader(f)
 	var validEnd int64
 	for {
@@ -226,6 +286,10 @@ func OpenFile(path string, sync bool) (*FileLog, error) {
 	if _, err := f.Seek(validEnd, io.SeekStart); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	if opts.Sync == SyncGroup {
+		l.written, l.synced = l.next, l.next
+		l.gcond = sync.NewCond(&l.gmu)
 	}
 	return l, nil
 }
@@ -260,39 +324,137 @@ func readFrame(br *bufio.Reader) (*Record, int, error) {
 	return &r, 8 + int(length), nil
 }
 
+// frameBufs pools the per-append encode buffers: one frame is built
+// (header placeholder + gob blob) and written with a single Write call.
+var frameBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // Append implements Log.
 func (l *FileLog) Append(r *Record) (uint64, error) {
+	buf := frameBufs.Get().(*bytes.Buffer)
+	defer func() {
+		if buf.Cap() <= 1<<16 {
+			frameBufs.Put(buf)
+		}
+	}()
+	buf.Reset()
+	buf.Write(make([]byte, 8)) // header placeholder, filled after encoding
+
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.close {
+		l.mu.Unlock()
 		return 0, ErrClosed
 	}
 	l.next++
 	r.LSN = l.next
-	var blob bytes.Buffer
-	if err := gob.NewEncoder(&blob).Encode(r); err != nil {
+	if err := gob.NewEncoder(buf).Encode(r); err != nil {
+		l.next--
+		l.mu.Unlock()
 		return 0, fmt.Errorf("wal: encode: %w", err)
 	}
-	var hdr [8]byte
-	binary.LittleEndian.PutUint32(hdr[0:4], uint32(blob.Len()))
-	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(blob.Bytes()))
-	if _, err := l.f.Write(hdr[:]); err != nil {
-		return 0, fmt.Errorf("wal: write header: %w", err)
+	frame := buf.Bytes()
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(frame)-8))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(frame[8:]))
+	if _, err := l.f.Write(frame); err != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: write frame: %w", err)
 	}
-	if _, err := l.f.Write(blob.Bytes()); err != nil {
-		return 0, fmt.Errorf("wal: write body: %w", err)
-	}
-	if l.sync {
+	if l.opts.Sync == SyncEach {
 		if err := l.f.Sync(); err != nil {
+			l.mu.Unlock()
 			return 0, fmt.Errorf("wal: sync: %w", err)
 		}
 	}
 	// Mirror into the in-memory index; MemoryLog assigns the same LSN
 	// because it advances in lockstep from 1.
 	if _, err := l.mem.Append(r); err != nil {
+		l.mu.Unlock()
 		return 0, err
 	}
-	return r.LSN, nil
+	lsn := r.LSN
+	l.mu.Unlock()
+
+	if l.opts.Sync == SyncGroup {
+		// The frame is written in LSN order under l.mu, so it — and every
+		// earlier frame — is in the file; wait for a covering fsync.
+		if err := l.waitDurable(lsn); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// waitDurable blocks until an fsync covering lsn completed (group commit).
+// The first caller to find no fsync in flight becomes the leader: it syncs
+// once for every frame already in the file, then wakes the rest; followers
+// re-check and either return (covered) or elect the next leader.
+func (l *FileLog) waitDurable(lsn uint64) error {
+	l.gmu.Lock()
+	defer l.gmu.Unlock()
+	if lsn > l.written {
+		l.written = lsn
+	}
+	for {
+		if l.gerr != nil {
+			// A failed fsync leaves durability unknown; fail everything from
+			// here on rather than pretend.
+			return l.gerr
+		}
+		if l.synced >= lsn {
+			return nil
+		}
+		if l.gclosed {
+			return ErrClosed
+		}
+		if !l.syncing {
+			l.syncing = true
+			if w := l.opts.GroupCommitWindow; w > 0 {
+				// Accumulate a batch before snapshotting the target.
+				l.gmu.Unlock()
+				time.Sleep(w)
+				l.gmu.Lock()
+			}
+			target := l.written
+			l.gmu.Unlock()
+			err := l.f.Sync()
+			l.gmu.Lock()
+			l.syncing = false
+			if err != nil {
+				l.gerr = fmt.Errorf("wal: sync: %w", err)
+			} else if target > l.synced {
+				l.synced = target
+			}
+			l.gcond.Broadcast()
+			continue
+		}
+		l.gcond.Wait()
+	}
+}
+
+// Sync implements Log: an explicit durability barrier over everything
+// appended so far. Under SyncEach every record is already durable; under
+// SyncGroup it shares the group fsync; under SyncNone it is the one forced
+// flush — the engine calls it at TypeCommit/TypeAbort records so commit
+// durability is identical across modes.
+func (l *FileLog) Sync() error {
+	l.mu.Lock()
+	if l.close {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	last := l.next
+	if l.opts.Sync != SyncGroup {
+		err := l.f.Sync()
+		l.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("wal: sync: %w", err)
+		}
+		return nil
+	}
+	l.mu.Unlock()
+	if last == 0 {
+		return nil
+	}
+	return l.waitDurable(last)
 }
 
 // Records implements Log.
@@ -304,10 +466,24 @@ func (l *FileLog) TxnRecords(txn string) []*Record { return l.mem.TxnRecords(txn
 // Close implements Log.
 func (l *FileLog) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.close {
+		l.mu.Unlock()
 		return nil
 	}
 	l.close = true
+	l.mu.Unlock()
+	if l.opts.Sync == SyncGroup {
+		// Stop group commit: fail waiters not covered by the in-flight
+		// fsync, and wait that fsync out before closing the file under it.
+		l.gmu.Lock()
+		l.gclosed = true
+		l.gcond.Broadcast()
+		for l.syncing {
+			l.gcond.Wait()
+		}
+		l.gmu.Unlock()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	return l.f.Close()
 }

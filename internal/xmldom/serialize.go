@@ -1,10 +1,12 @@
 package xmldom
 
 import (
+	"bytes"
 	"encoding/xml"
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 )
 
 // Serialize writes the subtree rooted at n as XML to w. Attribute and child
@@ -16,12 +18,26 @@ func Serialize(w io.Writer, n *Node) error {
 	return sw.err
 }
 
+// serializeBufs recycles the scratch buffers behind MarshalString: logging
+// and wire encoding serialize subtrees constantly, and regrowing a builder
+// from zero for every record is pure allocator churn.
+var serializeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledBufCap bounds the capacity of buffers returned to the pool, so
+// one giant document doesn't pin its worth of memory forever.
+const maxPooledBufCap = 1 << 16
+
 // MarshalString returns the subtree rooted at n as an XML string.
 func MarshalString(n *Node) string {
-	var b strings.Builder
-	// strings.Builder never fails, so the error is always nil.
-	_ = Serialize(&b, n)
-	return b.String()
+	buf := serializeBufs.Get().(*bytes.Buffer)
+	buf.Reset()
+	// bytes.Buffer never fails, so the error is always nil.
+	_ = Serialize(buf, n)
+	out := buf.String()
+	if buf.Cap() <= maxPooledBufCap {
+		serializeBufs.Put(buf)
+	}
+	return out
 }
 
 // MarshalIndent returns the subtree pretty-printed with the given indent,
@@ -53,10 +69,24 @@ func (s *stickyWriter) WriteString(str string) {
 	_, s.err = io.WriteString(s.w, str)
 }
 
+// writeEscaped streams str through esc directly into the underlying writer,
+// allocating nothing when str contains none of chars (the common case for
+// element text and attribute values).
+func (s *stickyWriter) writeEscaped(str string, esc *strings.Replacer, chars string) {
+	if s.err != nil {
+		return
+	}
+	if !strings.ContainsAny(str, chars) {
+		_, s.err = io.WriteString(s.w, str)
+		return
+	}
+	_, s.err = esc.WriteString(s.w, str)
+}
+
 func writeNode(w *stickyWriter, n *Node) {
 	switch n.kind {
 	case TextNode:
-		w.WriteString(escapeText(n.text))
+		w.writeEscaped(n.text, textEscaper, textEscapeChars)
 	case CommentNode:
 		w.WriteString("<!--")
 		w.WriteString(n.text)
@@ -68,7 +98,7 @@ func writeNode(w *stickyWriter, n *Node) {
 			w.WriteString(" ")
 			w.WriteString(a.Name)
 			w.WriteString(`="`)
-			w.WriteString(escapeAttr(a.Value))
+			w.writeEscaped(a.Value, attrEscaper, attrEscapeChars)
 			w.WriteString(`"`)
 		}
 		if len(n.children) == 0 {
@@ -135,14 +165,30 @@ func writeIndented(b *strings.Builder, n *Node, indent string, depth int) {
 	}
 }
 
+const (
+	textEscapeChars = "&<>"
+	attrEscapeChars = "&<>\"\n\t"
+)
+
 var textEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
 
 var attrEscaper = strings.NewReplacer(
 	"&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "\n", "&#10;", "\t", "&#9;",
 )
 
-func escapeText(s string) string { return textEscaper.Replace(s) }
-func escapeAttr(s string) string { return attrEscaper.Replace(s) }
+func escapeText(s string) string {
+	if !strings.ContainsAny(s, textEscapeChars) {
+		return s
+	}
+	return textEscaper.Replace(s)
+}
+
+func escapeAttr(s string) string {
+	if !strings.ContainsAny(s, attrEscapeChars) {
+		return s
+	}
+	return attrEscaper.Replace(s)
+}
 
 // Parse reads an XML document from r into a new Document with the given
 // repository name. Processing instructions and directives are skipped;
