@@ -17,8 +17,8 @@
 // # Quick start
 //
 //	net := axmltx.NewNetwork(0)
-//	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{Super: true})
-//	ap2 := axmltx.NewPeer(net.Join("AP2"), axmltx.Options{})
+//	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper())
+//	ap2 := axmltx.NewPeer(net.Join("AP2"))
 //
 //	ap2.HostDocument("Points.xml", `<Points><row player="Federer"><points>475</points></row></Points>`)
 //	ap2.HostQueryService(axmltx.Descriptor{Name: "getPoints", ResultName: "points", TargetDocument: "Points.xml"},
@@ -29,21 +29,41 @@
 //	    <axml:sc mode="replace" methodName="getPoints" serviceURL="AP2"/>
 //	  </player></ATPList>`)
 //
+//	ctx := context.Background()
 //	tx := ap1.Begin()
 //	q := axmltx.MustQuery(`Select p/points from p in ATPList//player`)
-//	res, err := ap1.Exec(tx, axmltx.NewQueryAction(q))
+//	res, err := ap1.Exec(ctx, tx, axmltx.NewQueryAction(q))
 //	// ... err handling; res.Query.Strings() == ["475"]
-//	ap1.Commit(tx) // or ap1.Abort(tx) to compensate everywhere
+//	ap1.Commit(ctx, tx) // or ap1.Abort(ctx, tx) to compensate everywhere
+//
+// Cancelling ctx (or exceeding its deadline) mid-transaction triggers
+// backward recovery: the engine aborts the transaction, compensates every
+// peer's logged work, and returns an error matching ErrTimeout.
+//
+// # Observability
+//
+// Peers trace every transaction as a span tree mirroring the invocation
+// chain and export Prometheus-style metrics:
+//
+//	ring := axmltx.NewRing(0)
+//	reg := axmltx.NewRegistry()
+//	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper(),
+//	    axmltx.WithTracer(ring), axmltx.WithMetrics(reg))
+//	// ... run transactions, then:
+//	spans := ring.Trace(tx.ID)                      // the invocation tree
+//	http.ListenAndServe(":9100", axmltx.NewHTTPHandler(reg, ring))
 //
 // The names below alias the implementation packages so applications only
 // import axmltx.
 package axmltx
 
 import (
+	"fmt"
 	"time"
 
 	"axmltx/internal/axml"
 	"axmltx/internal/core"
+	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 	"axmltx/internal/query"
 	"axmltx/internal/replication"
@@ -56,9 +76,6 @@ type (
 	// Peer is an AXML peer: document store, service registry and
 	// transactional engine on a transport.
 	Peer = core.Peer
-	// Options configure a peer (super-peer status, recovery mode,
-	// chaining, evaluation mode).
-	Options = core.Options
 	// Txn is a transaction context at a peer.
 	Txn = core.Context
 	// Chain is the active-peer list of a transaction.
@@ -139,24 +156,233 @@ const (
 	Eager = axml.Eager
 )
 
+// EvalMode selects lazy or eager materialization (Lazy / Eager).
+type EvalMode = axml.EvalMode
+
+// WAL durability modes for file-backed operation logs (WithWALSync).
+const (
+	// SyncNone flushes lazily; only commit/abort barriers force an fsync.
+	SyncNone = wal.SyncNone
+	// SyncEach fsyncs every log append (full per-record durability).
+	SyncEach = wal.SyncEach
+	// SyncGroup batches concurrent appenders behind shared fsyncs.
+	SyncGroup = wal.SyncGroup
+)
+
+// SyncMode is a file log's durability strategy.
+type SyncMode = wal.SyncMode
+
+// RecoveryMode selects who drives compensation after a fault (§3.2).
+type RecoveryMode int
+
+const (
+	// RecoveryNested is originator-driven nested recovery: faults propagate
+	// up the invocation tree and the calling peer compensates (the default).
+	RecoveryNested RecoveryMode = iota
+	// RecoveryPeerIndependent makes every served invocation return a
+	// compensating-service definition with its results, so any peer can
+	// drive compensation.
+	RecoveryPeerIndependent
+)
+
+// Observability types, re-exported from the internal obs package.
+type (
+	// Span is one completed node of a transaction's trace.
+	Span = obs.Span
+	// Sink receives completed spans (implement it, or use Ring/JSONL).
+	Sink = obs.Sink
+	// Ring is a bounded in-memory span sink queryable by transaction.
+	Ring = obs.Ring
+	// JSONL streams spans as JSON Lines to a writer.
+	JSONL = obs.JSONL
+	// MultiSink fans spans out to several sinks.
+	MultiSink = obs.Multi
+	// Registry collects counters, gauges and latency histograms and renders
+	// them in Prometheus text format.
+	Registry = obs.Registry
+	// TreeNode is one node of a reassembled span tree.
+	TreeNode = obs.TreeNode
+	// TraceResponse is the JSON shape of the /trace/{txn} endpoint.
+	TraceResponse = obs.TraceResponse
+)
+
+// Span kinds (Span.Kind values) emitted by the engine.
+const (
+	KindTxn        = obs.KindTxn
+	KindExec       = obs.KindExec
+	KindCall       = obs.KindCall
+	KindInvoke     = obs.KindInvoke
+	KindServe      = obs.KindServe
+	KindRetry      = obs.KindRetry
+	KindRedirect   = obs.KindRedirect
+	KindReuse      = obs.KindReuse
+	KindCompensate = obs.KindCompensate
+	KindCommit     = obs.KindCommit
+	KindAbort      = obs.KindAbort
+)
+
+// NewRing creates a bounded in-memory span sink (capacity <= 0 selects the
+// default).
+var NewRing = obs.NewRing
+
+// NewJSONL creates a span sink streaming JSON Lines to w.
+var NewJSONL = obs.NewJSONL
+
+// DecodeJSONL parses spans previously written by a JSONL sink.
+var DecodeJSONL = obs.DecodeJSONL
+
+// NewRegistry creates an empty metrics registry.
+var NewRegistry = obs.NewRegistry
+
+// SpanTree reassembles emitted spans into their invocation forest.
+var SpanTree = obs.Tree
+
+// NewHTTPHandler serves /metrics (Prometheus text format), /trace/{txn}
+// (the span tree of one transaction as JSON) and /traces (known trace IDs).
+// Either argument may be nil to disable that side.
+var NewHTTPHandler = obs.NewHandler
+
+// Typed errors returned by the engine; match with errors.Is.
+var (
+	// ErrPeerDown reports an unreachable / disconnected peer.
+	ErrPeerDown = core.ErrPeerDown
+	// ErrAborted reports that the transaction was aborted.
+	ErrAborted = core.ErrAborted
+	// ErrCompensated reports an abort whose logged work was undone by
+	// dynamic compensation; it matches ErrAborted too.
+	ErrCompensated = core.ErrCompensated
+	// ErrTimeout reports a context deadline/cancellation or a lock timeout;
+	// the transaction has been backward-recovered.
+	ErrTimeout = core.ErrTimeout
+)
+
+// Option configures a peer assembled by NewPeer or NewPeerWithLog.
+type Option interface{ apply(*peerConfig) }
+
+// peerConfig is the resolved construction state options apply to.
+type peerConfig struct {
+	opts    core.Options
+	walPath string
+	walSync wal.SyncMode
+}
+
+type optionFunc func(*peerConfig)
+
+func (f optionFunc) apply(c *peerConfig) { f(c) }
+
+// WithSuper marks the peer as a trusted super peer that does not
+// disconnect (§3.3, starred peers).
+func WithSuper() Option {
+	return optionFunc(func(c *peerConfig) { c.opts.Super = true })
+}
+
+// WithRecovery selects who drives compensation after a fault (§3.2).
+func WithRecovery(mode RecoveryMode) Option {
+	return optionFunc(func(c *peerConfig) {
+		c.opts.PeerIndependent = mode == RecoveryPeerIndependent
+	})
+}
+
+// WithTracer attaches a span sink; every Exec, Call, invocation,
+// compensation, retry and redirect emits a span into it.
+func WithTracer(sink Sink) Option {
+	return optionFunc(func(c *peerConfig) { c.opts.TraceSink = sink })
+}
+
+// WithMetrics registers the peer's protocol counters and latency
+// histograms into reg under the shared axml_* schema.
+func WithMetrics(reg *Registry) Option {
+	return optionFunc(func(c *peerConfig) { c.opts.MetricsRegistry = reg })
+}
+
+// WithWALFile gives the peer a durable file-backed operation log at path
+// (NewPeer only; combine with WithWALSync for the durability mode).
+func WithWALFile(path string) Option {
+	return optionFunc(func(c *peerConfig) { c.walPath = path })
+}
+
+// WithWALSync selects the durability mode of the WithWALFile log:
+// SyncNone, SyncEach or SyncGroup.
+func WithWALSync(mode SyncMode) Option {
+	return optionFunc(func(c *peerConfig) { c.walSync = mode })
+}
+
+// WithEvalMode selects Lazy or Eager materialization.
+func WithEvalMode(mode EvalMode) Option {
+	return optionFunc(func(c *peerConfig) { c.opts.EvalMode = mode })
+}
+
+// WithLockTimeout bounds document lock waits (zero keeps the default).
+func WithLockTimeout(d time.Duration) Option {
+	return optionFunc(func(c *peerConfig) { c.opts.LockTimeout = d })
+}
+
+// WithMaxConcurrentCalls caps in-flight service invocations during one
+// materialization round (1 forces sequential materialization).
+func WithMaxConcurrentCalls(n int) Option {
+	return optionFunc(func(c *peerConfig) { c.opts.MaxConcurrentCalls = n })
+}
+
+// WithoutChaining suppresses active-peer-list propagation — the
+// "traditional" baseline for the disconnection experiments (§3.3).
+func WithoutChaining() Option {
+	return optionFunc(func(c *peerConfig) { c.opts.DisableChaining = true })
+}
+
+// Options is the legacy all-in-one configuration struct. It still works as
+// an Option (overriding everything applied before it), so existing
+// NewPeer(t, Options{...}) call sites keep compiling.
+//
+// Deprecated: use the functional options (WithSuper, WithRecovery,
+// WithTracer, WithWALSync, ...) instead.
+type Options core.Options
+
+func (o Options) apply(c *peerConfig) { c.opts = core.Options(o) }
+
 // NewNetwork creates an in-memory network with the given per-message
 // latency (0 for fastest simulation).
 func NewNetwork(latency time.Duration) *Network { return p2p.NewNetwork(latency) }
 
-// NewPeer assembles a peer with an in-memory operation log.
-func NewPeer(t Transport, opts Options) *Peer {
-	return core.NewPeer(t, wal.NewMemory(), opts)
+// NewPeer assembles a peer with an in-memory operation log (or a durable
+// one when WithWALFile is given — it panics if that file cannot be opened;
+// open the log yourself with OpenFileLogMode and NewPeerWithLog for
+// explicit error handling).
+func NewPeer(t Transport, opts ...Option) *Peer {
+	cfg := resolve(opts)
+	opLog := Log(wal.NewMemory())
+	if cfg.walPath != "" {
+		fileLog, err := wal.OpenFileWith(cfg.walPath, wal.FileOptions{Sync: cfg.walSync})
+		if err != nil {
+			panic(fmt.Sprintf("axmltx: open WAL %s: %v", cfg.walPath, err))
+		}
+		opLog = fileLog
+	}
+	return core.NewPeer(t, opLog, cfg.opts)
 }
 
 // NewPeerWithLog assembles a peer over an explicit log (e.g. a durable
-// wal.FileLog from OpenFileLog).
-func NewPeerWithLog(t Transport, log Log, opts Options) *Peer {
-	return core.NewPeer(t, log, opts)
+// wal.FileLog from OpenFileLog); WithWALFile/WithWALSync are ignored here.
+func NewPeerWithLog(t Transport, log Log, opts ...Option) *Peer {
+	return core.NewPeer(t, log, resolve(opts).opts)
+}
+
+func resolve(opts []Option) *peerConfig {
+	cfg := &peerConfig{}
+	for _, o := range opts {
+		o.apply(cfg)
+	}
+	return cfg
 }
 
 // OpenFileLog opens a durable file-backed operation log; with sync true,
 // every record is fsynced.
 func OpenFileLog(path string, sync bool) (Log, error) { return wal.OpenFile(path, sync) }
+
+// OpenFileLogMode opens a durable file-backed operation log with an
+// explicit durability mode (SyncNone, SyncEach or SyncGroup).
+func OpenFileLogMode(path string, mode SyncMode) (Log, error) {
+	return wal.OpenFileWith(path, wal.FileOptions{Sync: mode})
+}
 
 // ListenTCP starts a TCP transport for a peer.
 func ListenTCP(self PeerID, addr string) (*TCPTransport, error) { return p2p.ListenTCP(self, addr) }

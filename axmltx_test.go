@@ -13,8 +13,8 @@ import (
 // public package only.
 func TestPublicAPIQuickstart(t *testing.T) {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{Super: true})
-	ap2 := axmltx.NewPeer(net.Join("AP2"), axmltx.Options{})
+	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper())
+	ap2 := axmltx.NewPeer(net.Join("AP2"))
 
 	if err := ap2.HostDocument("Points.xml",
 		`<Points><row player="Roger Federer"><points>475</points></row></Points>`); err != nil {
@@ -34,7 +34,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 
 	tx := ap1.Begin()
-	res, err := ap1.Exec(tx, axmltx.NewQueryAction(
+	res, err := ap1.Exec(bg, tx, axmltx.NewQueryAction(
 		axmltx.MustQuery(`Select p/points from p in ATPList//player`)))
 	if err != nil {
 		t.Fatal(err)
@@ -42,33 +42,33 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if got := res.Query.Strings(); len(got) != 1 || got[0] != "475" {
 		t.Fatalf("result = %v", got)
 	}
-	if err := ap1.Commit(tx); err != nil {
+	if err := ap1.Commit(bg, tx); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestPublicAPIActionsAndAbort(t *testing.T) {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{})
+	ap1 := axmltx.NewPeer(net.Join("AP1"))
 	if err := ap1.HostDocument("D.xml", `<D><item k="1"><v>old</v></item></D>`); err != nil {
 		t.Fatal(err)
 	}
 	before, _ := ap1.Store().Snapshot("D.xml")
 
 	tx := ap1.Begin()
-	if _, err := ap1.Exec(tx, axmltx.NewInsertAction(
+	if _, err := ap1.Exec(bg, tx, axmltx.NewInsertAction(
 		axmltx.MustQuery(`Select d from d in D`), `<item k="2"/>`)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ap1.Exec(tx, axmltx.NewReplaceAction(
+	if _, err := ap1.Exec(bg, tx, axmltx.NewReplaceAction(
 		axmltx.MustQuery(`Select i/v from i in D//item where i/@k = 1`), `<v>new</v>`)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ap1.Exec(tx, axmltx.NewDeleteAction(
+	if _, err := ap1.Exec(bg, tx, axmltx.NewDeleteAction(
 		axmltx.MustQuery(`Select i from i in D//item where i/@k = 2`))); err != nil {
 		t.Fatal(err)
 	}
-	if err := ap1.Abort(tx); err != nil {
+	if err := ap1.Abort(bg, tx); err != nil {
 		t.Fatal(err)
 	}
 	after, _ := ap1.Store().Snapshot("D.xml")
@@ -90,18 +90,18 @@ func TestPublicAPIActionWireForm(t *testing.T) {
 
 func TestPublicAPIFaultsAndHooks(t *testing.T) {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{})
-	ap2 := axmltx.NewPeer(net.Join("AP2"), axmltx.Options{})
+	ap1 := axmltx.NewPeer(net.Join("AP1"))
+	ap2 := axmltx.NewPeer(net.Join("AP2"))
 	ap2.HostService(axmltx.NewFuncService(axmltx.Descriptor{Name: "f", ResultName: "x"},
 		func(ctx context.Context, params map[string]string) ([]string, error) {
 			return nil, &axmltx.Fault{Name: "boom"}
 		}))
 	tx := ap1.Begin()
-	_, err := ap1.Call(tx, "AP2", "f", nil)
+	_, err := ap1.Call(bg, tx, "AP2", "f", nil)
 	if err == nil || axmltx.FaultNameOf(err) != "boom" {
 		t.Fatalf("err = %v", err)
 	}
-	if err := ap1.Abort(tx); err != nil {
+	if err := ap1.Abort(bg, tx); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -113,16 +113,16 @@ func TestPublicAPIDurableLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeerWithLog(net.Join("AP1"), log, axmltx.Options{})
+	ap1 := axmltx.NewPeerWithLog(net.Join("AP1"), log)
 	if err := ap1.HostDocument("D.xml", `<D/>`); err != nil {
 		t.Fatal(err)
 	}
 	tx := ap1.Begin()
-	if _, err := ap1.Exec(tx, axmltx.NewInsertAction(
+	if _, err := ap1.Exec(bg, tx, axmltx.NewInsertAction(
 		axmltx.MustQuery(`Select d from d in D`), `<x/>`)); err != nil {
 		t.Fatal(err)
 	}
-	if err := ap1.Commit(tx); err != nil {
+	if err := ap1.Commit(bg, tx); err != nil {
 		t.Fatal(err)
 	}
 	if err := log.Close(); err != nil {
@@ -141,7 +141,7 @@ func TestPublicAPIDurableLog(t *testing.T) {
 
 func TestPublicAPIScheduler(t *testing.T) {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{})
+	ap1 := axmltx.NewPeer(net.Join("AP1"))
 	ap1.HostService(axmltx.StaticService(axmltx.Descriptor{Name: "tick", ResultName: "t"}, `<t/>`))
 	if err := ap1.HostDocument("Feed.xml",
 		`<Feed><axml:sc mode="merge" methodName="tick" frequency="1ms"/></Feed>`); err != nil {

@@ -1,10 +1,12 @@
 // Command axmlbench runs the experiment suite of EXPERIMENTS.md and prints
 // one table per experiment. Without arguments it runs everything; pass
-// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 perf) to select a subset.
+// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 perf obs) to select a
+// subset.
 //
 //	go run ./cmd/axmlbench          # full suite
 //	go run ./cmd/axmlbench e3 e5    # selected experiments
 //	go run ./cmd/axmlbench perf     # hot-path suite, writes -perfout JSON
+//	go run ./cmd/axmlbench obs      # traced run, writes -traceout spans
 package main
 
 import (
@@ -16,6 +18,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"axmltx/internal/obs"
 	"axmltx/internal/sim"
 )
 
@@ -23,6 +26,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	trials := flag.Int("trials", 20, "trials per randomized data point")
 	perfOut := flag.String("perfout", "BENCH_PR1.json", "output file for the perf experiment")
+	traceOut := flag.String("traceout", "TRACE.jsonl", "span output file (JSON Lines) for the obs experiment")
+	metricsOut := flag.String("metricsout", "", "Prometheus-text metrics output file for the obs experiment (default: stdout summary only)")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -66,6 +71,68 @@ func main() {
 	}
 	if selected["perf"] {
 		runPerf(*perfOut)
+	}
+	if selected["obs"] {
+		runObs(*seed, *traceOut, *metricsOut)
+	}
+}
+
+// runObs runs one committed and one aborted tree transaction with the full
+// observability layer attached, demonstrating that the simulation emits the
+// same axml_* metrics schema and span trees as live peers: spans go to
+// -traceout as JSON Lines, metrics to -metricsout in Prometheus text format.
+func runObs(seed int64, traceOut, metricsOut string) {
+	f, err := os.Create(traceOut)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "axmlbench: create %s: %v\n", traceOut, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	jsonl := obs.NewJSONL(f)
+	ring := obs.NewRing(0)
+	reg := obs.NewRegistry()
+
+	tc := sim.BuildTree(sim.TreeSpec{
+		Depth: 3, Fanout: 2, Seed: seed,
+		TraceSink: obs.Multi{ring, jsonl}, MetricsRegistry: reg,
+	})
+	commitErr := tc.Run()
+	// Second transaction: a leaf fails, the tree backward-recovers.
+	tc.Fail[tc.Leaves[len(tc.Leaves)-1]].Store(true)
+	abortErr := tc.Run()
+
+	kinds := map[string]int{}
+	for _, s := range ring.Spans() {
+		kinds[s.Kind]++
+	}
+	table("OBS — invocation-tree tracing and metrics export",
+		"span kind\tcount",
+		func(w *tabwriter.Writer) {
+			for _, k := range []string{obs.KindTxn, obs.KindExec, obs.KindInvoke, obs.KindServe,
+				obs.KindRetry, obs.KindCommit, obs.KindAbort, obs.KindCompensate} {
+				if kinds[k] > 0 {
+					fmt.Fprintf(w, "%s\t%d\n", k, kinds[k])
+				}
+			}
+		})
+	fmt.Printf("committed txn err=%v, failing txn aborted=%t, %d spans -> %s\n",
+		commitErr, abortErr != nil, ring.Total(), traceOut)
+	if err := jsonl.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "axmlbench: flush %s: %v\n", traceOut, err)
+		os.Exit(1)
+	}
+	if metricsOut != "" {
+		mf, err := os.Create(metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "axmlbench: create %s: %v\n", metricsOut, err)
+			os.Exit(1)
+		}
+		defer mf.Close()
+		if err := reg.WritePrometheus(mf); err != nil {
+			fmt.Fprintf(os.Stderr, "axmlbench: write metrics: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics -> %s\n", metricsOut)
 	}
 }
 

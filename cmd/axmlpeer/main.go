@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"axmltx/internal/core"
+	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 	"axmltx/internal/services"
 	"axmltx/internal/wal"
@@ -42,10 +45,10 @@ func main() {
 	walPath := flag.String("wal", "", "durable operation-log file (default: in-memory)")
 	walSync := flag.String("walsync", "each", "log durability: each (fsync per append), group (group commit), none (commit/abort barriers only)")
 	docsDir := flag.String("docs", "", "document checkpoint directory (loaded at startup, saved at shutdown)")
+	httpAddr := flag.String("http", "", `observability HTTP listen address, e.g. 127.0.0.1:9100 or :9100, serving /metrics (Prometheus text format), /trace/{txn} (span tree as JSON) and /traces (default: disabled)`)
 	flag.Parse()
 	if *configPath == "" {
-		flag.Usage()
-		os.Exit(2)
+		fatalUsage("the -config flag is required")
 	}
 	var syncMode wal.SyncMode
 	switch *walSync {
@@ -56,14 +59,27 @@ func main() {
 	case "none":
 		syncMode = wal.SyncNone
 	default:
-		log.Fatalf("axmlpeer: unknown -walsync mode %q (want each, group, or none)", *walSync)
+		fatalUsage(fmt.Sprintf("unknown -walsync mode %q (want each, group, or none)", *walSync))
 	}
-	if err := run(*configPath, *walPath, syncMode, *docsDir); err != nil {
+	if *httpAddr != "" {
+		if _, err := net.ResolveTCPAddr("tcp", *httpAddr); err != nil {
+			fatalUsage(fmt.Sprintf("invalid -http address %q: %v (want host:port or :port)", *httpAddr, err))
+		}
+	}
+	if err := run(*configPath, *walPath, syncMode, *docsDir, *httpAddr); err != nil {
 		log.Fatalf("axmlpeer: %v", err)
 	}
 }
 
-func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir string) error {
+// fatalUsage reports a flag error together with the full usage text, so
+// a bad invocation never fails silently.
+func fatalUsage(msg string) {
+	fmt.Fprintf(os.Stderr, "axmlpeer: %s\n\n", msg)
+	flag.Usage()
+	os.Exit(2)
+}
+
+func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir string, httpAddr string) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -97,9 +113,31 @@ func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir strin
 		defer fileLog.Close()
 		opLog = fileLog
 	}
+	// The observability pair: every transaction's span tree lands in the
+	// ring, the registry carries the protocol counters and latency
+	// histograms. Both also answer the "metrics"/"trace" admin subjects used
+	// by axmlquery, so they are wired even without -http.
+	ring := obs.NewRing(0)
+	registry := obs.NewRegistry()
 	peer := core.NewPeer(transport, opLog, core.Options{
-		Super: root.AttrDefault("super", "false") == "true",
+		Super:           root.AttrDefault("super", "false") == "true",
+		TraceSink:       ring,
+		MetricsRegistry: registry,
 	})
+	if httpAddr != "" {
+		srv := &http.Server{Addr: httpAddr, Handler: obs.NewHandler(registry, ring)}
+		httpLn, err := net.Listen("tcp", httpAddr)
+		if err != nil {
+			return fmt.Errorf("observability HTTP listener: %w", err)
+		}
+		defer srv.Close()
+		go func() {
+			if err := srv.Serve(httpLn); err != nil && err != http.ErrServerClosed {
+				log.Printf("observability HTTP server: %v", err)
+			}
+		}()
+		log.Printf("observability endpoints on http://%s/metrics and /trace/{txn}", httpLn.Addr())
+	}
 
 	for _, el := range root.Elements() {
 		switch el.Name() {

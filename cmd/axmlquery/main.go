@@ -5,17 +5,22 @@
 //	axmlquery -addr 127.0.0.1:7002 -id AP2 -descriptors
 //	axmlquery -addr 127.0.0.1:7002 -id AP2 -invoke getPoints name="Roger Federer"
 //	axmlquery -addr 127.0.0.1:7002 -id AP2 -invoke setPoints -abort value=99
+//	axmlquery -addr 127.0.0.1:7002 -id AP2 -metrics
+//	axmlquery -addr 127.0.0.1:7002 -id AP2 -trace TA@AP1
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"axmltx/internal/core"
+	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 	"axmltx/internal/wal"
 )
@@ -26,6 +31,8 @@ func main() {
 	invoke := flag.String("invoke", "", "service to invoke")
 	descriptors := flag.Bool("descriptors", false, "list the peer's service descriptors")
 	documents := flag.Bool("documents", false, "list the peer's documents")
+	metrics := flag.Bool("metrics", false, "dump the peer's metrics in Prometheus text format")
+	trace := flag.String("trace", "", "print the span tree of the given transaction ID")
 	abort := flag.Bool("abort", false, "abort (compensate) instead of committing")
 	flag.Parse()
 
@@ -33,12 +40,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, p2p.PeerID(*id), *invoke, *descriptors, *documents, *abort, flag.Args()); err != nil {
+	if err := run(*addr, p2p.PeerID(*id), *invoke, *descriptors, *documents, *metrics, *trace, *abort, flag.Args()); err != nil {
 		log.Fatalf("axmlquery: %v", err)
 	}
 }
 
-func run(addr string, target p2p.PeerID, invoke string, descriptors, documents, abort bool, args []string) error {
+func run(addr string, target p2p.PeerID, invoke string, descriptors, documents, metrics bool, trace string, abort bool, args []string) error {
 	self := p2p.PeerID(fmt.Sprintf("client-%d", os.Getpid()))
 	transport, err := p2p.ListenTCP(self, "127.0.0.1:0")
 	if err != nil {
@@ -49,25 +56,41 @@ func run(addr string, target p2p.PeerID, invoke string, descriptors, documents, 
 
 	peer := core.NewPeer(transport, wal.NewMemory(), core.Options{})
 
-	if descriptors || documents {
+	if descriptors || documents || metrics {
 		subject := "descriptors"
-		if documents {
+		switch {
+		case documents:
 			subject = "documents"
+		case metrics:
+			subject = "metrics"
 		}
-		resp, err := transport.Request(context.Background(), target,
-			&p2p.Message{Kind: p2p.KindAdmin, Subject: subject})
+		resp, err := admin(transport, target, &p2p.Message{Kind: p2p.KindAdmin, Subject: subject})
 		if err != nil {
 			return err
-		}
-		if resp.Err != "" {
-			return fmt.Errorf("%s", resp.Err)
 		}
 		fmt.Println(string(resp.Payload))
 		return nil
 	}
 
+	if trace != "" {
+		resp, err := admin(transport, target,
+			&p2p.Message{Kind: p2p.KindAdmin, Subject: "trace", Txn: trace})
+		if err != nil {
+			return err
+		}
+		var tr obs.TraceResponse
+		if err := json.Unmarshal(resp.Payload, &tr); err != nil {
+			return fmt.Errorf("trace payload: %w", err)
+		}
+		fmt.Printf("transaction %s: %d spans\n", tr.Txn, tr.Spans)
+		for _, root := range tr.Tree {
+			printSpanTree(root, 1)
+		}
+		return nil
+	}
+
 	if invoke == "" {
-		return fmt.Errorf("nothing to do: pass -invoke, -descriptors or -documents")
+		return fmt.Errorf("nothing to do: pass -invoke, -descriptors, -documents, -metrics or -trace")
 	}
 	params := make(map[string]string)
 	for _, a := range args {
@@ -78,25 +101,63 @@ func run(addr string, target p2p.PeerID, invoke string, descriptors, documents, 
 		params[k] = v
 	}
 
+	ctx := context.Background()
 	txc := peer.Begin()
-	out, err := peer.Call(txc, target, invoke, params)
+	out, err := peer.Call(ctx, txc, target, invoke, params)
 	if err != nil {
-		_ = peer.Abort(txc)
+		_ = peer.Abort(ctx, txc)
 		return fmt.Errorf("invoke %s: %w (transaction aborted)", invoke, err)
 	}
 	for _, frag := range out {
 		fmt.Println(frag)
 	}
 	if abort {
-		if err := peer.Abort(txc); err != nil {
+		if err := peer.Abort(ctx, txc); err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stderr, "transaction aborted (effects compensated)")
 		return nil
 	}
-	if err := peer.Commit(txc); err != nil {
+	if err := peer.Commit(ctx, txc); err != nil {
 		return err
 	}
 	fmt.Fprintln(os.Stderr, "transaction committed")
 	return nil
+}
+
+// admin sends one admin request and surfaces remote errors as errors.
+func admin(t p2p.Transport, target p2p.PeerID, msg *p2p.Message) (*p2p.Message, error) {
+	resp, err := t.Request(context.Background(), target, msg)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("%s", resp.Err)
+	}
+	return resp, nil
+}
+
+// printSpanTree renders one reassembled trace node per line, indented by
+// invocation depth.
+func printSpanTree(n *obs.TreeNode, depth int) {
+	s := n.Span
+	line := fmt.Sprintf("%s%-10s %s", strings.Repeat("  ", depth), s.Kind, s.Peer)
+	if s.Service != "" {
+		line += " " + s.Service
+	}
+	if s.Target != "" {
+		line += " -> " + s.Target
+	}
+	line += fmt.Sprintf("  [%s", s.Outcome)
+	if s.Code != "" {
+		line += " " + s.Code
+	}
+	line += fmt.Sprintf("] %v", s.Duration().Round(10*time.Microsecond))
+	if s.Chain != "" {
+		line += "  chain=" + s.Chain
+	}
+	fmt.Println(line)
+	for _, c := range n.Children {
+		printSpanTree(c, depth+1)
+	}
 }

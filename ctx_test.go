@@ -1,0 +1,6 @@
+package axmltx
+
+import "context"
+
+// bg is the default context tests pass to the ctx-first facade API.
+var bg = context.Background()

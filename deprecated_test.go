@@ -1,0 +1,54 @@
+package axmltx_test
+
+import (
+	"testing"
+
+	"axmltx"
+)
+
+// TestDeprecatedShimsCompile pins the legacy public surface so the
+// deprecation path stays source-compatible: the Options struct still works
+// as an Option to NewPeer/NewPeerWithLog, and the pre-context *NoCtx
+// methods keep their original signatures. The assertions are mostly
+// compile-time; the short run-through keeps the shims behaviorally honest.
+func TestDeprecatedShimsCompile(t *testing.T) {
+	net := axmltx.NewNetwork(0)
+	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{Super: true})
+	ap2 := axmltx.NewPeerWithLog(net.Join("AP2"), mustLog(t), axmltx.Options{
+		PeerIndependent: true,
+		DisableChaining: true,
+	})
+	if !ap1.Super() || ap2.Super() {
+		t.Fatal("Options shim did not configure the peers")
+	}
+
+	// Signature pins for the deprecated context-free methods.
+	var (
+		_ func(*axmltx.Txn, *axmltx.Action) (*axmltx.Result, error)                     = ap1.ExecNoCtx
+		_ func(*axmltx.Txn, axmltx.PeerID, string, map[string]string) ([]string, error) = ap1.CallNoCtx
+		_ func(*axmltx.Txn, axmltx.PeerID, string, map[string]string) error             = ap1.CallAsyncNoCtx
+		_ func(*axmltx.Txn) error                                                       = ap1.CommitNoCtx
+		_ func(*axmltx.Txn) error                                                       = ap1.AbortNoCtx
+	)
+
+	if err := ap1.HostDocument("D.xml", `<D/>`); err != nil {
+		t.Fatal(err)
+	}
+	tx := ap1.Begin()
+	if _, err := ap1.ExecNoCtx(tx, axmltx.NewInsertAction(
+		axmltx.MustQuery(`Select d from d in D`), `<x/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ap1.CommitNoCtx(tx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustLog(t *testing.T) axmltx.Log {
+	t.Helper()
+	log, err := axmltx.OpenFileLogMode(t.TempDir()+"/peer.wal", axmltx.SyncGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return log
+}

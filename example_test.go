@@ -10,8 +10,8 @@ import (
 // remote call, lazily materialized inside a transaction, then committed.
 func Example() {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{Super: true})
-	ap2 := axmltx.NewPeer(net.Join("AP2"), axmltx.Options{})
+	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper())
+	ap2 := axmltx.NewPeer(net.Join("AP2"))
 
 	ap2.HostService(axmltx.StaticService(
 		axmltx.Descriptor{Name: "getPoints", ResultName: "points"},
@@ -25,7 +25,7 @@ func Example() {
 	}
 
 	tx := ap1.Begin()
-	res, err := ap1.Exec(tx, axmltx.NewQueryAction(
+	res, err := ap1.Exec(bg, tx, axmltx.NewQueryAction(
 		axmltx.MustQuery(`Select p/points from p in ATPList//player`)))
 	if err != nil {
 		fmt.Println(err)
@@ -33,7 +33,7 @@ func Example() {
 	}
 	fmt.Println(res.Query.Strings())
 	fmt.Println(tx.Chain())
-	_ = ap1.Commit(tx)
+	_ = ap1.Commit(bg, tx)
 	// Output:
 	// [475]
 	// [AP1* → AP2]
@@ -43,7 +43,7 @@ func Example() {
 // undoes the materialization on the origin document.
 func ExamplePeer_Abort() {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{})
+	ap1 := axmltx.NewPeer(net.Join("AP1"))
 	ap1.HostService(axmltx.StaticService(
 		axmltx.Descriptor{Name: "feed", ResultName: "v"}, `<v>42</v>`))
 	if err := ap1.HostDocument("D.xml",
@@ -54,11 +54,11 @@ func ExamplePeer_Abort() {
 	before, _ := ap1.Store().Snapshot("D.xml")
 
 	tx := ap1.Begin()
-	if _, err := ap1.Exec(tx, axmltx.NewQueryAction(axmltx.MustQuery(`Select d/v from d in D`))); err != nil {
+	if _, err := ap1.Exec(bg, tx, axmltx.NewQueryAction(axmltx.MustQuery(`Select d/v from d in D`))); err != nil {
 		fmt.Println(err)
 		return
 	}
-	_ = ap1.Abort(tx)
+	_ = ap1.Abort(bg, tx)
 	after, _ := ap1.Store().Snapshot("D.xml")
 	fmt.Println("restored:", after.Equal(before))
 	// Output:

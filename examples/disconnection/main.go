@@ -18,12 +18,18 @@ import (
 
 func run(chaining bool) {
 	net := axmltx.NewNetwork(0)
-	opts := func(id axmltx.PeerID) axmltx.Options {
-		return axmltx.Options{Super: id == "AP1", DisableChaining: !chaining}
+	opts := func(id axmltx.PeerID) (o []axmltx.Option) {
+		if id == "AP1" {
+			o = append(o, axmltx.WithSuper())
+		}
+		if !chaining {
+			o = append(o, axmltx.WithoutChaining())
+		}
+		return o
 	}
 	peers := map[axmltx.PeerID]*axmltx.Peer{}
 	for _, id := range []axmltx.PeerID{"AP1", "AP2", "AP3", "AP3b", "AP4", "AP5", "AP6"} {
-		peers[id] = axmltx.NewPeer(net.Join(id), opts(id))
+		peers[id] = axmltx.NewPeer(net.Join(id), opts(id)...)
 	}
 	ap1, ap2, ap3, ap3b, ap6 := peers["AP1"], peers["AP2"], peers["AP3"], peers["AP3b"], peers["AP6"]
 
@@ -50,7 +56,7 @@ func run(chaining bool) {
 		axmltx.Descriptor{Name: "S3", ResultName: "slams"},
 		func(ctx context.Context, params map[string]string) ([]string, error) {
 			env, _ := axmltx.EnvFrom(ctx)
-			if err := env.Peer.CallAsync(env.Txn, "AP6", "S6", nil); err != nil {
+			if err := env.Peer.CallAsync(ctx, env.Txn, "AP6", "S6", nil); err != nil {
 				return nil, err
 			}
 			return []string{`<pending/>`}, nil
@@ -78,12 +84,13 @@ func run(chaining bool) {
 		}
 	})
 
+	ctx := context.Background()
 	tx := ap1.Begin()
-	if _, err := ap1.Call(tx, "AP2", "S2", nil); err != nil {
+	if _, err := ap1.Call(ctx, tx, "AP2", "S2", nil); err != nil {
 		log.Fatal(err)
 	}
 	ctx2, _ := ap2.Manager().Get(tx.ID)
-	if _, err := ap2.Call(ctx2, "AP3", "S3", nil); err != nil {
+	if _, err := ap2.Call(ctx, ctx2, "AP3", "S3", nil); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  chain after invocations: %s\n", ctx2.Chain())
@@ -95,11 +102,11 @@ func run(chaining bool) {
 	select {
 	case resp := <-recovered:
 		fmt.Printf("  AP2 recovered S3 on a replica; result: %v\n", resp.Fragments)
-		must(ap1.Commit(tx))
+		must(ap1.Commit(ctx, tx))
 		fmt.Println("  transaction committed")
 	case <-time.After(300 * time.Millisecond):
 		fmt.Println("  nothing arrived at AP2 — AP6's work is lost; aborting")
-		must(ap1.Abort(tx))
+		must(ap1.Abort(ctx, tx))
 	}
 	fmt.Printf("  redirects=%d  work reused=%d  nodes lost=%d\n",
 		ap6.Metrics().Redirects.Load()+ap2.Metrics().Redirects.Load(),

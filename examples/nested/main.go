@@ -20,15 +20,15 @@ type cluster struct {
 	peers map[axmltx.PeerID]*axmltx.Peer
 }
 
-func (c *cluster) peer(id axmltx.PeerID, opts axmltx.Options) *axmltx.Peer {
-	p := axmltx.NewPeer(c.net.Join(id), opts)
+func (c *cluster) peer(id axmltx.PeerID, opts ...axmltx.Option) *axmltx.Peer {
+	p := axmltx.NewPeer(c.net.Join(id), opts...)
 	c.peers[id] = p
 	return p
 }
 
 // leaf hosts a work document and an update service writing into it.
 func (c *cluster) leaf(id axmltx.PeerID, svc, doc, root string) {
-	p := c.peer(id, axmltx.Options{})
+	p := c.peer(id)
 	must(p.HostDocument(doc, fmt.Sprintf("<%s><log/></%s>", root, root)))
 	p.HostUpdateService(axmltx.Descriptor{Name: svc, ResultName: "updateResult", TargetDocument: doc},
 		fmt.Sprintf(`<action type="insert"><data><entry svc=%q/></data><location>Select l from l in %s/log;</location></action>`, svc, root))
@@ -36,10 +36,10 @@ func (c *cluster) leaf(id axmltx.PeerID, svc, doc, root string) {
 
 // composite hosts a composition document embedding calls and a query
 // service that drives them by lazy materialization.
-func (c *cluster) composite(id axmltx.PeerID, svc, root string, scXML string, opts axmltx.Options) *axmltx.Peer {
+func (c *cluster) composite(id axmltx.PeerID, svc, root string, scXML string, opts ...axmltx.Option) *axmltx.Peer {
 	p, ok := c.peers[id]
 	if !ok {
-		p = c.peer(id, opts)
+		p = c.peer(id, opts...)
 	}
 	must(p.HostDocument(root+".xml", fmt.Sprintf("<%s>%s</%s>", root, scXML, root)))
 	p.HostQueryService(axmltx.Descriptor{Name: svc, ResultName: "updateResult", TargetDocument: root + ".xml"},
@@ -54,7 +54,7 @@ func build(forward bool) (*cluster, *axmltx.Peer, *atomic.Bool) {
 	c.leaf("AP6", "S6", "D6.xml", "D6")
 
 	// AP5's S5 invokes S6 and then faults.
-	ap5 := c.composite("AP5", "S5", "D5", `<axml:sc mode="replace" methodName="S6" serviceURL="AP6"/>`, axmltx.Options{})
+	ap5 := c.composite("AP5", "S5", "D5", `<axml:sc mode="replace" methodName="S6" serviceURL="AP6"/>`)
 	fail := &atomic.Bool{}
 	fail.Store(true)
 	inner, _ := ap5.Registry().Get("S5")
@@ -74,14 +74,13 @@ func build(forward bool) (*cluster, *axmltx.Peer, *atomic.Bool) {
 	handler := ""
 	if forward {
 		handler = `<axml:catch faultName="F5"><axml:retry times="1"><axml:sc methodName="S5" serviceURL="AP5b"/></axml:retry></axml:catch>`
-		c.composite("AP5b", "S5", "D5", `<axml:sc mode="replace" methodName="S6" serviceURL="AP6"/>`, axmltx.Options{})
+		c.composite("AP5b", "S5", "D5", `<axml:sc mode="replace" methodName="S6" serviceURL="AP6"/>`)
 	}
 	c.composite("AP3", "S3", "D3", fmt.Sprintf(
-		`<axml:sc mode="replace" methodName="S4" serviceURL="AP4"/><axml:sc mode="replace" methodName="S5" serviceURL="AP5">%s</axml:sc>`, handler),
-		axmltx.Options{})
+		`<axml:sc mode="replace" methodName="S4" serviceURL="AP4"/><axml:sc mode="replace" methodName="S5" serviceURL="AP5">%s</axml:sc>`, handler))
 	origin := c.composite("AP1", "S1", "D1",
 		`<axml:sc mode="replace" methodName="S2" serviceURL="AP2"/><axml:sc mode="replace" methodName="S3" serviceURL="AP3"/>`,
-		axmltx.Options{Super: true})
+		axmltx.WithSuper())
 	return c, origin, fail
 }
 
@@ -101,15 +100,16 @@ func entries(c *cluster, id axmltx.PeerID, doc string) int {
 
 func run(forward bool) {
 	c, origin, _ := build(forward)
+	ctx := context.Background()
 	tx := origin.Begin()
-	_, err := origin.Exec(tx, axmltx.NewQueryAction(axmltx.MustQuery(`Select d/updateResult from d in D1`)))
+	_, err := origin.Exec(ctx, tx, axmltx.NewQueryAction(axmltx.MustQuery(`Select d/updateResult from d in D1`)))
 	if err != nil {
 		fmt.Printf("  TA failed: %v\n", err)
-		must(origin.Abort(tx))
+		must(origin.Abort(ctx, tx))
 		fmt.Println("  backward recovery: whole transaction aborted")
 	} else {
 		fmt.Printf("  chain: %s\n", tx.Chain())
-		must(origin.Commit(tx))
+		must(origin.Commit(ctx, tx))
 		fmt.Println("  forward recovery at AP3 absorbed the fault; TA committed")
 	}
 	for _, id := range []axmltx.PeerID{"AP2", "AP4", "AP6"} {

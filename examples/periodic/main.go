@@ -17,8 +17,8 @@ import (
 
 func main() {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{})
-	feed := axmltx.NewPeer(net.Join("FeedCo"), axmltx.Options{})
+	ap1 := axmltx.NewPeer(net.Join("AP1"))
+	feed := axmltx.NewPeer(net.Join("FeedCo"))
 
 	var seq atomic.Int32
 	var failing atomic.Bool

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -12,8 +13,8 @@ import (
 
 func main() {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{Super: true})
-	ap2 := axmltx.NewPeer(net.Join("AP2"), axmltx.Options{})
+	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper())
+	ap2 := axmltx.NewPeer(net.Join("AP2"))
 
 	// AP2 hosts the points table and exposes it as the getPoints service.
 	must(ap2.HostDocument("Points.xml", `<Points>
@@ -38,21 +39,22 @@ func main() {
 	// AP1 invokes AP2 within the transaction.
 	q := axmltx.MustQuery(`Select p/points from p in ATPList//player where p/name/lastname = Federer`)
 
+	ctx := context.Background()
 	tx := ap1.Begin()
-	res, err := ap1.Exec(tx, axmltx.NewQueryAction(q))
+	res, err := ap1.Exec(ctx, tx, axmltx.NewQueryAction(q))
 	must(err)
 	fmt.Printf("materialized result: %v\n", res.Query.Strings())
 	fmt.Printf("invocation chain:    %s\n", tx.Chain())
-	must(ap1.Commit(tx))
+	must(ap1.Commit(ctx, tx))
 	fmt.Println("committed: the materialized <points> stays in ATPList.xml")
 
 	// Run it again, but abort: dynamic compensation removes exactly the
 	// nodes this transaction materialized.
 	before, _ := ap1.Store().Snapshot("ATPList.xml")
 	tx2 := ap1.Begin()
-	_, err = ap1.Exec(tx2, axmltx.NewQueryAction(q))
+	_, err = ap1.Exec(ctx, tx2, axmltx.NewQueryAction(q))
 	must(err)
-	must(ap1.Abort(tx2))
+	must(ap1.Abort(ctx, tx2))
 	after, _ := ap1.Store().Snapshot("ATPList.xml")
 	fmt.Printf("aborted: document restored = %t\n", after.Equal(before))
 }

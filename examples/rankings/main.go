@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,8 +41,8 @@ const atpList = `<ATPList date="18042005">
 
 func main() {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.Options{Super: true})
-	ap2 := axmltx.NewPeer(net.Join("AP2"), axmltx.Options{})
+	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper())
+	ap2 := axmltx.NewPeer(net.Join("AP2"))
 	must(ap1.HostDocument("ATPList.xml", atpList))
 
 	// AP2 provides the two Web services of the example.
@@ -53,38 +54,39 @@ func main() {
 	}, `<grandslamswon year="2005">A, F</grandslamswon>`))
 
 	fmt.Println("### Query A: Select p/citizenship, p/grandslamswon ... (lazy)")
+	ctx := context.Background()
 	txA := ap1.Begin()
 	qa := axmltx.MustQuery(`Select p/citizenship, p/grandslamswon from p in ATPList//player where p/name/lastname = Federer`)
-	resA, err := ap1.Exec(txA, axmltx.NewQueryAction(qa))
+	resA, err := ap1.Exec(ctx, txA, axmltx.NewQueryAction(qa))
 	must(err)
 	fmt.Printf("  result: %v\n", resA.Query.Strings())
 	fmt.Printf("  materialized: %v (getPoints NOT invoked — lazy evaluation)\n", resA.Materialized)
 	fmt.Println("  dynamically constructed compensation for Query A:")
 	printCompensation(ap1, txA.ID)
-	must(ap1.Abort(txA))
+	must(ap1.Abort(ctx, txA))
 	fmt.Println("  aborted; the 2005 merge result was deleted again")
 
 	fmt.Println("\n### Query B: Select p/citizenship, p/points ... (lazy)")
 	txB := ap1.Begin()
 	qb := axmltx.MustQuery(`Select p/citizenship, p/points from p in ATPList//player where p/name/lastname = Federer`)
-	resB, err := ap1.Exec(txB, axmltx.NewQueryAction(qb))
+	resB, err := ap1.Exec(ctx, txB, axmltx.NewQueryAction(qb))
 	must(err)
 	fmt.Printf("  result: %v\n", resB.Query.Strings())
 	fmt.Printf("  materialized: %v (replace mode: 475 -> 890)\n", resB.Materialized)
 	fmt.Println("  dynamically constructed compensation for Query B:")
 	printCompensation(ap1, txB.ID)
-	must(ap1.Abort(txB))
+	must(ap1.Abort(ctx, txB))
 	verify(ap1)
 
 	fmt.Println("\n### Delete operation (paper's example) and its compensation")
 	txD := ap1.Begin()
 	del := axmltx.NewDeleteAction(axmltx.MustQuery(
 		`Select p/citizenship from p in ATPList//player where p/name/lastname = Federer`))
-	resD, err := ap1.Exec(txD, del)
+	resD, err := ap1.Exec(ctx, txD, del)
 	must(err)
 	fmt.Printf("  deleted: %v\n", resD.DeletedXML)
 	printCompensation(ap1, txD.ID)
-	must(ap1.Abort(txD))
+	must(ap1.Abort(ctx, txD))
 	verify(ap1)
 
 	fmt.Println("\n### Replace operation (delete + insert) and its compensation")
@@ -92,10 +94,10 @@ func main() {
 	rep := axmltx.NewReplaceAction(axmltx.MustQuery(
 		`Select p/citizenship from p in ATPList//player where p/name/lastname = Nadal`),
 		`<citizenship>USA</citizenship>`)
-	_, err = ap1.Exec(txR, rep)
+	_, err = ap1.Exec(ctx, txR, rep)
 	must(err)
 	printCompensation(ap1, txR.ID)
-	must(ap1.Abort(txR))
+	must(ap1.Abort(ctx, txR))
 	verify(ap1)
 }
 

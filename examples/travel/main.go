@@ -16,8 +16,16 @@ import (
 	"axmltx"
 )
 
+// recovery maps the scenario flag to the engine's recovery mode (§3.2).
+func recovery(independent bool) axmltx.Option {
+	if independent {
+		return axmltx.WithRecovery(axmltx.RecoveryPeerIndependent)
+	}
+	return axmltx.WithRecovery(axmltx.RecoveryNested)
+}
+
 func bookingPeer(net *axmltx.Network, id axmltx.PeerID, kind string, independent bool) *axmltx.Peer {
-	p := axmltx.NewPeer(net.Join(id), axmltx.Options{PeerIndependent: independent})
+	p := axmltx.NewPeer(net.Join(id), recovery(independent))
 	doc := kind + ".xml"
 	must(p.HostDocument(doc, fmt.Sprintf("<%s><bookings/></%s>", kind, kind)))
 	p.HostUpdateService(axmltx.Descriptor{
@@ -43,13 +51,13 @@ func bookings(p *axmltx.Peer, kind string) int {
 
 func run(independent bool, killHotel bool) {
 	net := axmltx.NewNetwork(0)
-	agency := axmltx.NewPeer(net.Join("Agency"), axmltx.Options{Super: true, PeerIndependent: independent})
+	agency := axmltx.NewPeer(net.Join("Agency"), axmltx.WithSuper(), recovery(independent))
 	flight := bookingPeer(net, "FlightCo", "Flight", independent)
 	hotel := bookingPeer(net, "HotelCo", "Hotel", independent)
 	hotelReplica := bookingPeer(net, "HotelCo2", "Hotel", independent)
 	_ = hotelReplica
 	// The car-rental service always faults (no cars left).
-	car := axmltx.NewPeer(net.Join("CarCo"), axmltx.Options{PeerIndependent: independent})
+	car := axmltx.NewPeer(net.Join("CarCo"), recovery(independent))
 	car.HostService(axmltx.NewFuncService(axmltx.Descriptor{Name: "bookCar", ResultName: "updateResult"},
 		func(ctx context.Context, params map[string]string) ([]string, error) {
 			return nil, &axmltx.Fault{Name: "no-cars", Msg: "fleet exhausted"}
@@ -57,11 +65,12 @@ func run(independent bool, killHotel bool) {
 	// The agency knows the hotel document is replicated at HotelCo2.
 	agency.Replicas().AddDocument("Hotel.xml", "HotelCo2")
 
+	ctx := context.Background()
 	tx := agency.Begin()
 	params := map[string]string{"customer": "dbiswas"}
-	_, err := agency.Call(tx, "FlightCo", "bookFlight", params)
+	_, err := agency.Call(ctx, tx, "FlightCo", "bookFlight", params)
 	must(err)
-	_, err = agency.Call(tx, "HotelCo", "bookHotel", params)
+	_, err = agency.Call(ctx, tx, "HotelCo", "bookHotel", params)
 	must(err)
 	fmt.Printf("  flight booked (%d), hotel booked (%d)\n", bookings(flight, "Flight"), bookings(hotel, "Hotel"))
 
@@ -77,9 +86,9 @@ func run(independent bool, killHotel bool) {
 		fmt.Println("  ... and HotelCo just disconnected!")
 	}
 
-	if _, err := agency.Call(tx, "CarCo", "bookCar", params); err != nil {
+	if _, err := agency.Call(ctx, tx, "CarCo", "bookCar", params); err != nil {
 		fmt.Printf("  car rental failed: %v\n", err)
-		must(agency.Abort(tx))
+		must(agency.Abort(ctx, tx))
 		fmt.Printf("  aborted: flight bookings=%d hotel bookings=%d (original peer), %d (replica)\n",
 			bookings(flight, "Flight"), bookings(hotel, "Hotel"), bookings(hotelReplica, "Hotel"))
 	}

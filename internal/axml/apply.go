@@ -3,6 +3,7 @@ package axml
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"axmltx/internal/query"
 	"axmltx/internal/wal"
@@ -30,6 +31,10 @@ func (s *Store) Apply(txn string, a *Action, mat Materializer, mode EvalMode) (*
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if obs := s.applyObserver; obs != nil {
+		start := time.Now()
+		defer func() { obs(time.Since(start)) }()
+	}
 	doc, ok := s.lookup(a.DocName())
 	if !ok {
 		return nil, opError("apply", a, fmt.Errorf("%w: %q", ErrNoSuchDocument, a.DocName()))

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"axmltx/internal/query"
 	"axmltx/internal/wal"
@@ -23,6 +24,9 @@ type Store struct {
 	// may have their Invoke network waits in flight at once; 0 means
 	// DefaultMaxConcurrentCalls, 1 disables the overlap entirely.
 	maxCalls int
+	// applyObserver, when set, receives the wall-clock duration of every
+	// Apply (action evaluation including its materialization rounds).
+	applyObserver func(time.Duration)
 }
 
 // DefaultMaxConcurrentCalls is the default cap on overlapping service
@@ -68,6 +72,15 @@ func (s *Store) concurrencyFor(n int) int {
 		limit = n
 	}
 	return limit
+}
+
+// SetApplyObserver installs a latency callback fired once per Apply with
+// the operation's duration (materialization included). Install before the
+// store is shared; a nil fn disables observation.
+func (s *Store) SetApplyObserver(fn func(time.Duration)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.applyObserver = fn
 }
 
 // Evaluator returns the AXML-configured query evaluator.

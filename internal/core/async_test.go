@@ -22,7 +22,7 @@ func TestAsyncInvokeDeliversResultAndRecordsChild(t *testing.T) {
 	ap1.OnPeerDownHook(func(txn string, dead p2p.PeerID) { downSeen = append(downSeen, dead) })
 
 	txc := ap1.Begin()
-	if err := ap1.CallAsync(txc, "AP2", "S2", nil); err != nil {
+	if err := ap1.CallAsync(bg, txc, "AP2", "S2", nil); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -42,7 +42,7 @@ func TestAsyncInvokeDeliversResultAndRecordsChild(t *testing.T) {
 		return len(kids) == 1 && kids[0].Comp != nil
 	})
 	// Abort uses it.
-	if err := ap1.Abort(txc); err != nil {
+	if err := ap1.Abort(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	waitFor(t, func() bool { return entryCount(t, ap2, "D2.xml") == 0 })
@@ -60,7 +60,7 @@ func TestAsyncFailureAbortsParticipantLocally(t *testing.T) {
 	flag.Store(true)
 
 	txc := ap1.Begin()
-	if err := ap1.CallAsync(txc, "AP2", "S2", nil); err != nil {
+	if err := ap1.CallAsync(bg, txc, "AP2", "S2", nil); err != nil {
 		t.Fatal(err)
 	}
 	// The async participant aborts itself and compensates; the origin gets
@@ -81,7 +81,7 @@ func TestCompDefShippedToOriginDirectly(t *testing.T) {
 	ap2.HostService(compositeCalling(t, "S2", "AP3", "S3"))
 
 	txc := ap1.Begin()
-	if _, err := ap1.Call(txc, "AP2", "S2", nil); err != nil {
+	if _, err := ap1.Call(bg, txc, "AP2", "S2", nil); err != nil {
 		t.Fatal(err)
 	}
 	// The origin holds AP3's definition even though it never talked to
@@ -98,7 +98,7 @@ func TestCompDefShippedToOriginDirectly(t *testing.T) {
 	}
 
 	c.net.Disconnect("AP2")
-	if err := ap1.Abort(txc); err != nil {
+	if err := ap1.Abort(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	if entryCount(t, ap3, "D3.xml") != 0 {
@@ -114,7 +114,7 @@ func TestCompensationFallsBackToDocumentReplica(t *testing.T) {
 	hostEntryService(t, ap2, "S2", "D2.xml")
 
 	txc := ap1.Begin()
-	if _, err := ap1.Call(txc, "AP2", "S2", nil); err != nil {
+	if _, err := ap1.Call(bg, txc, "AP2", "S2", nil); err != nil {
 		t.Fatal(err)
 	}
 	// Synchronize the replica (ID-preserving copy) and register it.
@@ -123,7 +123,7 @@ func TestCompensationFallsBackToDocumentReplica(t *testing.T) {
 	ap1.Replicas().AddDocument("D2.xml", "AP2r")
 
 	c.net.Disconnect("AP2")
-	if err := ap1.Abort(txc); err != nil {
+	if err := ap1.Abort(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	// The replica holder executed the shipped definition.
@@ -143,11 +143,11 @@ func TestCompensationReplicaAllDeadAccountsLoss(t *testing.T) {
 	ap1.Replicas().AddDocument("D2.xml", "AP2dead")
 
 	txc := ap1.Begin()
-	if _, err := ap1.Call(txc, "AP2", "S2", nil); err != nil {
+	if _, err := ap1.Call(bg, txc, "AP2", "S2", nil); err != nil {
 		t.Fatal(err)
 	}
 	c.net.Disconnect("AP2")
-	if err := ap1.Abort(txc); err != nil {
+	if err := ap1.Abort(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	if ap1.Metrics().NodesLost.Load() == 0 {

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 )
 
@@ -37,8 +38,12 @@ func (p *Peer) redirectPastDeadParent(txc *Context, dead p2p.PeerID, service str
 		p.metrics.NodesLost.Add(int64(resp.Nodes))
 		return
 	}
+	sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindRedirect, service)
+	sp.SetAttr("dead", string(dead))
+	sp.SetChain(chain.String())
 	payload := &RedirectResult{Txn: txc.ID, Dead: dead, Service: service, Response: *resp}
-	msg := &p2p.Message{Kind: p2p.KindRedirect, Txn: txc.ID, Subject: service, Payload: encode(payload)}
+	msg := &p2p.Message{Kind: p2p.KindRedirect, Txn: txc.ID, Subject: service,
+		Payload: encode(payload), Span: sp.ID()}
 	bg := context.Background()
 
 	// "AP6 can send the results directly to AP2 ... it is very likely that
@@ -52,6 +57,8 @@ func (p *Peer) redirectPastDeadParent(txc *Context, dead p2p.PeerID, service str
 		tried[ancestor] = true
 		if err := p.transport.Send(bg, ancestor, msg); err == nil {
 			p.metrics.Redirects.Add(1)
+			sp.SetTarget(string(ancestor))
+			sp.End("", nil)
 			return
 		}
 		p.metrics.DisconnectsDetected.Add(1)
@@ -59,11 +66,14 @@ func (p *Peer) redirectPastDeadParent(txc *Context, dead p2p.PeerID, service str
 	if superPeer, ok := chain.ClosestSuperAncestor(dead); ok && !tried[superPeer] {
 		if err := p.transport.Send(bg, superPeer, msg); err == nil {
 			p.metrics.Redirects.Add(1)
+			sp.SetTarget(string(superPeer))
+			sp.End("", nil)
 			return
 		}
 	}
 	// Every ancestor is gone; the work really is lost.
 	p.metrics.NodesLost.Add(int64(resp.Nodes))
+	sp.End(CodePeerDown, ErrPeerDown)
 }
 
 // handleRedirect is the ancestor side of scenario (b): record the salvaged
@@ -75,6 +85,10 @@ func (p *Peer) handleRedirect(msg *p2p.Message) (*p2p.Message, error) {
 		return nil, err
 	}
 	p.metrics.Redirects.Add(1)
+	sp := p.tracer.Start(rr.Txn, msg.Span, obs.KindRedirect, rr.Service)
+	sp.SetAttr("dead", string(rr.Dead))
+	sp.SetTarget(string(msg.From))
+	sp.End("", nil)
 	txc, ok := p.mgr.Get(rr.Txn)
 	if ok {
 		// The redirected fragments substitute for the dead subtree's
@@ -228,6 +242,9 @@ func (p *Peer) recoverDeadChild(txc *Context, chain *Chain, dead p2p.PeerID) {
 		return
 	}
 	if alt, ok := p.replicas.Alternative(service, dead); ok && txc.Status() == StatusActive {
+		rsp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindRetry, service)
+		rsp.SetTarget(string(alt))
+		rsp.SetAttr("dead", string(dead))
 		req := &InvokeRequest{
 			Txn:     txc.ID,
 			Origin:  txc.Origin,
@@ -240,8 +257,10 @@ func (p *Peer) recoverDeadChild(txc *Context, chain *Chain, dead p2p.PeerID) {
 		}
 		if len(req.Reused) > 0 {
 			p.metrics.WorkReused.Add(int64(len(req.Reused)))
+			rsp.SetAttr("reused", "true")
 		}
-		msg := &p2p.Message{Kind: p2p.KindInvoke, Txn: txc.ID, Subject: service, Payload: encode(req)}
+		msg := &p2p.Message{Kind: p2p.KindInvoke, Txn: txc.ID, Subject: service,
+			Payload: encode(req), Span: rsp.ID()}
 		reply, err := p.transport.Request(bg, alt, msg)
 		if err == nil && reply.Err == "" {
 			var resp InvokeResponse
@@ -257,6 +276,8 @@ func (p *Peer) recoverDeadChild(txc *Context, chain *Chain, dead p2p.PeerID) {
 				}
 				txc.AddChild(inv)
 				p.metrics.ForwardRecoveries.Add(1)
+				rsp.SetChain(chainStr(txc))
+				rsp.End("", nil)
 				p.mu.Lock()
 				cb := p.onResult
 				p.mu.Unlock()
@@ -266,6 +287,11 @@ func (p *Peer) recoverDeadChild(txc *Context, chain *Chain, dead p2p.PeerID) {
 				return
 			}
 		}
+		code := CodePeerDown
+		if err == nil && reply != nil && reply.Code != "" {
+			code = reply.Code
+		}
+		rsp.End(code, err)
 	}
 	p.metrics.BackwardRecoveries.Add(1)
 	_ = p.abortContext(txc, "", true)

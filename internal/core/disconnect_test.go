@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 	"axmltx/internal/services"
 	"axmltx/internal/xmldom"
@@ -51,7 +52,7 @@ func (f *fig2) startTxn(t *testing.T) (*Context, *Context) {
 	t.Helper()
 	hostEntryService(t, f.peers["AP2"], "S2", "D2.xml")
 	txc := f.peers["AP1"].Begin()
-	if _, err := f.peers["AP1"].Call(txc, "AP2", "S2", nil); err != nil {
+	if _, err := f.peers["AP1"].Call(bg, txc, "AP2", "S2", nil); err != nil {
 		t.Fatal(err)
 	}
 	ctx2, ok := f.peers["AP2"].Manager().Get(txc.ID)
@@ -72,14 +73,14 @@ func TestF2aLeafDisconnectionDetectedByParent(t *testing.T) {
 	// AP2 invokes S3sub at AP3 so AP3 joins the chain with local effects.
 	ap2 := f.peers["AP2"]
 	ctx2got, _ := ap2.Manager().Get(txc.ID)
-	if _, err := ap2.Call(ctx2got, "AP3", "S3sub", nil); err != nil {
+	if _, err := ap2.Call(bg, ctx2got, "AP3", "S3sub", nil); err != nil {
 		t.Fatal(err)
 	}
 	// AP3 now invokes S6@AP6 — but AP6 has disconnected.
 	c.net.Disconnect("AP6")
 	ap3 := f.peers["AP3"]
 	ctx3, _ := ap3.Manager().Get(txc.ID)
-	_, err := ap3.Call(ctx3, "AP6", "S6", nil)
+	_, err := ap3.Call(bg, ctx3, "AP6", "S6", nil)
 	if !errors.Is(err, p2p.ErrUnreachable) {
 		t.Fatalf("err = %v", err)
 	}
@@ -87,7 +88,7 @@ func TestF2aLeafDisconnectionDetectedByParent(t *testing.T) {
 		t.Fatal("disconnection not detected")
 	}
 	// Nested recovery: abort the whole transaction from the origin.
-	if err := f.peers["AP1"].Abort(txc); err != nil {
+	if err := f.peers["AP1"].Abort(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	if entryCount(t, ap3, "D3.xml") != 0 || entryCount(t, ap2, "D2.xml") != 0 {
@@ -101,6 +102,8 @@ func TestF2bParentDisconnectionDetectedByChild(t *testing.T) {
 	// the active peer list), which recovers forward by re-invoking S3 on a
 	// replica AP3b, reusing AP6's materialized results.
 	c := newCluster(t)
+	ring := obs.NewRing(0)
+	c.sink = ring
 	f := buildFig2(t, c)
 
 	// S3: composite service at AP3 — does local work, then invokes S6
@@ -111,10 +114,10 @@ func TestF2bParentDisconnectionDetectedByChild(t *testing.T) {
 		services.Descriptor{Name: "S3", ResultName: "updateResult", TargetDocument: "D3.xml"},
 		func(cctx context.Context, params map[string]string) ([]string, error) {
 			env, _ := EnvFrom(cctx)
-			if _, err := env.Peer.Call(env.Txn, "AP3", "S3sub", nil); err != nil {
+			if _, err := env.Peer.Call(bg, env.Txn, "AP3", "S3sub", nil); err != nil {
 				return nil, err
 			}
-			if err := env.Peer.CallAsync(env.Txn, "AP6", "S6", nil); err != nil {
+			if err := env.Peer.CallAsync(bg, env.Txn, "AP6", "S6", nil); err != nil {
 				return nil, err
 			}
 			return []string{`<updateResult pending="S6"/>`}, nil
@@ -154,7 +157,7 @@ func TestF2bParentDisconnectionDetectedByChild(t *testing.T) {
 			recovered <- struct{}{}
 		}
 	})
-	if _, err := ap2.Call(ctx2, "AP3", "S3", nil); err != nil {
+	if _, err := ap2.Call(bg, ctx2, "AP3", "S3", nil); err != nil {
 		t.Fatal(err)
 	}
 	// AP3 dies; unblock S6 at AP6, whose result push AP6→AP3 now fails.
@@ -166,7 +169,7 @@ func TestF2bParentDisconnectionDetectedByChild(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("AP2 never recovered via redirect + replica")
 	}
-	if err := f.peers["AP1"].Commit(txc); err != nil {
+	if err := f.peers["AP1"].Commit(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 
@@ -193,6 +196,39 @@ func TestF2bParentDisconnectionDetectedByChild(t *testing.T) {
 	if !strings.Contains(marshal(d3b), "<updateResult") {
 		t.Errorf("AP3b doc missing reused results: %s", marshal(d3b))
 	}
+
+	// Trace shape of case (b): AP6 emits a redirect span naming the dead
+	// parent and the live ancestor it delivered to; AP2 mirrors it on the
+	// receiving side and emits the replica retry; AP3b emits the work-reuse
+	// span instead of a fresh invocation of S6.
+	spans := ring.Trace(txc.ID)
+	redir6 := findSpan(spans, byKind(obs.KindRedirect, "AP6", "S6"))
+	if redir6 == nil {
+		t.Fatal("AP6 emitted no redirect span")
+	}
+	if redir6.Attrs["dead"] != "AP3" || redir6.Target != "AP2" || redir6.Outcome != obs.OutcomeOK {
+		t.Errorf("AP6 redirect span dead=%q target=%q outcome=%s, want AP3/AP2/ok",
+			redir6.Attrs["dead"], redir6.Target, redir6.Outcome)
+	}
+	redir2 := findSpan(spans, byKind(obs.KindRedirect, "AP2", "S6"))
+	if redir2 == nil {
+		t.Fatal("AP2 emitted no receiving-side redirect span")
+	}
+	if redir2.Parent != redir6.ID {
+		t.Errorf("AP2 redirect parent = %q, want AP6's redirect %q (wire span propagation)",
+			redir2.Parent, redir6.ID)
+	}
+	retry := findSpan(spans, byKind(obs.KindRetry, "AP2", "S3"))
+	if retry == nil {
+		t.Fatal("AP2 emitted no replica-retry span")
+	}
+	if retry.Attrs["dead"] != "AP3" || retry.Attrs["reused"] != "true" || retry.Target != "AP3b" {
+		t.Errorf("AP2 retry span dead=%q reused=%q target=%q, want AP3/true/AP3b",
+			retry.Attrs["dead"], retry.Attrs["reused"], retry.Target)
+	}
+	if reuse := findSpan(spans, byKind(obs.KindReuse, "AP3b", "S6")); reuse == nil {
+		t.Error("AP3b emitted no work-reuse span")
+	}
 }
 
 func TestF2cChildDisconnectionDetectedByParentPing(t *testing.T) {
@@ -200,6 +236,8 @@ func TestF2cChildDisconnectionDetectedByParentPing(t *testing.T) {
 	// AP2 then informs AP3's descendants (AP6, preventing wasted effort)
 	// and forward-recovers S3 on the replica AP3b.
 	c := newCluster(t)
+	ring := obs.NewRing(0)
+	c.sink = ring
 	f := buildFig2(t, c)
 	ap2, ap3, ap6 := f.peers["AP2"], f.peers["AP3"], f.peers["AP6"]
 
@@ -210,10 +248,10 @@ func TestF2cChildDisconnectionDetectedByParentPing(t *testing.T) {
 		services.Descriptor{Name: "S3", ResultName: "updateResult", TargetDocument: "D3.xml"},
 		func(cctx context.Context, params map[string]string) ([]string, error) {
 			env, _ := EnvFrom(cctx)
-			if _, err := env.Peer.Call(env.Txn, "AP3", "S3sub", nil); err != nil {
+			if _, err := env.Peer.Call(bg, env.Txn, "AP3", "S3sub", nil); err != nil {
 				return nil, err
 			}
-			if _, err := env.Peer.Call(env.Txn, "AP6", "S6", nil); err != nil {
+			if _, err := env.Peer.Call(bg, env.Txn, "AP6", "S6", nil); err != nil {
 				return nil, err
 			}
 			<-dead // never returns: AP3 has crashed
@@ -229,7 +267,7 @@ func TestF2cChildDisconnectionDetectedByParentPing(t *testing.T) {
 
 	txc, ctx2 := f.startTxn(t)
 	// Invoke S3 asynchronously so AP2 is not blocked on the dead peer.
-	if err := ap2.CallAsync(ctx2, "AP3", "S3", nil); err != nil {
+	if err := ap2.CallAsync(bg, ctx2, "AP3", "S3", nil); err != nil {
 		t.Fatal(err)
 	}
 	// Wait until AP6's entry exists (S6 completed under AP3).
@@ -260,7 +298,7 @@ func TestF2cChildDisconnectionDetectedByParentPing(t *testing.T) {
 		t.Error("AP6 did not account lost work")
 	}
 	// AP3b carries the redone work; commit finalizes.
-	if err := f.peers["AP1"].Commit(txc); err != nil {
+	if err := f.peers["AP1"].Commit(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	if entryCount(t, ap3b, "D3b.xml") != 1 {
@@ -268,6 +306,26 @@ func TestF2cChildDisconnectionDetectedByParentPing(t *testing.T) {
 	}
 	if ap2.Metrics().ForwardRecoveries.Load() != 1 {
 		t.Error("AP2 did not forward-recover")
+	}
+
+	// Trace shape of case (c): AP2's forward recovery is a retry span naming
+	// the dead child and the replica it succeeded on (no salvage here — the
+	// replica redoes the work), and AP6's doomed work shows up as a
+	// compensate span.
+	spans := ring.Trace(txc.ID)
+	retry := findSpan(spans, byKind(obs.KindRetry, "AP2", "S3"))
+	if retry == nil {
+		t.Fatal("AP2 emitted no replica-retry span")
+	}
+	if retry.Attrs["dead"] != "AP3" || retry.Target != "AP3b" || retry.Outcome != obs.OutcomeOK {
+		t.Errorf("AP2 retry span dead=%q target=%q outcome=%s, want AP3/AP3b/ok",
+			retry.Attrs["dead"], retry.Target, retry.Outcome)
+	}
+	if retry.Attrs["reused"] == "true" {
+		t.Error("case (c) has no salvaged results; retry span must not claim reuse")
+	}
+	if comp := findSpan(spans, byKind(obs.KindCompensate, "AP6", "")); comp == nil {
+		t.Error("AP6 emitted no compensate span for its doomed work")
 	}
 	close(dead)
 }
@@ -286,16 +344,16 @@ func TestF2dSiblingDisconnectionDetectedByStreamSilence(t *testing.T) {
 		services.Descriptor{Name: "S3", ResultName: "updateResult", TargetDocument: "D3.xml"},
 		func(cctx context.Context, params map[string]string) ([]string, error) {
 			env, _ := EnvFrom(cctx)
-			if _, err := env.Peer.Call(env.Txn, "AP3", "S3sub", nil); err != nil {
+			if _, err := env.Peer.Call(bg, env.Txn, "AP3", "S3sub", nil); err != nil {
 				return nil, err
 			}
-			return env.Peer.Call(env.Txn, "AP6", "S6", nil)
+			return env.Peer.Call(bg, env.Txn, "AP6", "S6", nil)
 		}))
 	txc, ctx2 := f.startTxn(t)
-	if _, err := ap2.Call(ctx2, "AP3", "S3", nil); err != nil {
+	if _, err := ap2.Call(bg, ctx2, "AP3", "S3", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ap2.Call(ctx2, "AP4", "S4sub", nil); err != nil {
+	if _, err := ap2.Call(bg, ctx2, "AP4", "S4sub", nil); err != nil {
 		t.Fatal(err)
 	}
 
@@ -363,14 +421,14 @@ func TestTraditionalBaselineLosesRedirectedWork(t *testing.T) {
 		services.Descriptor{Name: "S3", ResultName: "updateResult"},
 		func(cctx context.Context, params map[string]string) ([]string, error) {
 			env, _ := EnvFrom(cctx)
-			if err := env.Peer.CallAsync(env.Txn, "AP6", "S6", nil); err != nil {
+			if err := env.Peer.CallAsync(bg, env.Txn, "AP6", "S6", nil); err != nil {
 				return nil, err
 			}
 			return []string{`<updateResult/>`}, nil
 		}))
 
 	txc := ap2.Begin()
-	if _, err := ap2.Call(txc, "AP3", "S3", nil); err != nil {
+	if _, err := ap2.Call(bg, txc, "AP3", "S3", nil); err != nil {
 		t.Fatal(err)
 	}
 	c.net.Disconnect("AP3")
@@ -394,13 +452,13 @@ func TestSpheresOfAtomicity(t *testing.T) {
 	hostEntryService(t, ap3, "S3", "D3.xml")
 
 	txc := ap1.Begin()
-	if _, err := ap1.Call(txc, "AP2", "S2", nil); err != nil {
+	if _, err := ap1.Call(bg, txc, "AP2", "S2", nil); err != nil {
 		t.Fatal(err)
 	}
 	if !ap1.SpheresOfAtomicityHolds(txc) {
 		t.Fatal("all-super participant set should guarantee atomicity")
 	}
-	if _, err := ap1.Call(txc, "AP3", "S3", nil); err != nil {
+	if _, err := ap1.Call(bg, txc, "AP3", "S3", nil); err != nil {
 		t.Fatal(err)
 	}
 	if ap1.SpheresOfAtomicityHolds(txc) {

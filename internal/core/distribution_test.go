@@ -41,7 +41,7 @@ func TestDistributedDocumentFragments(t *testing.T) {
 	// fragment and evaluates over local + copied players uniformly.
 	txc := ap1.Begin()
 	q, _ := axml.ParseQuery(`Select p/citizenship from p in ATPList//player`)
-	res, err := ap1.Exec(txc, axml.NewQuery(q))
+	res, err := ap1.Exec(bg, txc, axml.NewQuery(q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestDistributedDocumentFragments(t *testing.T) {
 		}
 	}
 	// Sub-query shipping (option a): the predicate evaluates at AP2.
-	frag, err := ap1.Call(txc, "AP2", "tailPlayers", nil)
+	frag, err := ap1.Call(bg, txc, "AP2", "tailPlayers", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,12 +64,12 @@ func TestDistributedDocumentFragments(t *testing.T) {
 		t.Fatalf("fragments = %d", len(frag))
 	}
 	// Abort removes the copied fragment from AP1 again.
-	if err := ap1.Abort(txc); err != nil {
+	if err := ap1.Abort(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	txc2 := ap1.Begin()
 	q2, _ := axml.ParseQuery(`Select p/name/lastname from p in ATPList//player where p/citizenship = Serbian`)
-	res2, err := ap1.Exec(txc2, axml.NewQuery(q2))
+	res2, err := ap1.Exec(bg, txc2, axml.NewQuery(q2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func TestRedirectSkipsMultipleDeadAncestors(t *testing.T) {
 		services.Descriptor{Name: "S3", ResultName: "updateResult"},
 		func(cctx contextT, params map[string]string) ([]string, error) {
 			env, _ := EnvFrom(cctx)
-			if err := env.Peer.CallAsync(env.Txn, "AP6", "S6", nil); err != nil {
+			if err := env.Peer.CallAsync(bg, env.Txn, "AP6", "S6", nil); err != nil {
 				return nil, err
 			}
 			return []string{`<updateResult pending="S6"/>`}, nil
@@ -116,14 +116,14 @@ func TestRedirectSkipsMultipleDeadAncestors(t *testing.T) {
 		services.Descriptor{Name: "S2", ResultName: "updateResult"},
 		func(cctx contextT, params map[string]string) ([]string, error) {
 			env, _ := EnvFrom(cctx)
-			return env.Peer.Call(env.Txn, "AP3", "S3", nil)
+			return env.Peer.Call(bg, env.Txn, "AP3", "S3", nil)
 		}))
 
 	got := make(chan string, 1)
 	ap1.OnResult(func(txn string, resp *InvokeResponse) { got <- resp.Service })
 
 	txc := ap1.Begin()
-	if _, err := ap1.Call(txc, "AP2", "S2", nil); err != nil {
+	if _, err := ap1.Call(bg, txc, "AP2", "S2", nil); err != nil {
 		t.Fatal(err)
 	}
 	c.net.Disconnect("AP3")

@@ -2,11 +2,14 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
 	"axmltx/internal/axml"
+	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 	"axmltx/internal/replication"
 	"axmltx/internal/services"
@@ -35,6 +38,12 @@ type Options struct {
 	// invocations may have their network waits in flight at once: 0 means
 	// axml.DefaultMaxConcurrentCalls, 1 forces sequential materialization.
 	MaxConcurrentCalls int
+	// TraceSink receives every span the engine emits (one per Exec, Call,
+	// invocation, compensation, retry, redirect…); nil disables tracing.
+	TraceSink obs.Sink
+	// MetricsRegistry, when set, receives the peer's protocol counters and
+	// latency histograms under the shared axml_* schema.
+	MetricsRegistry *obs.Registry
 }
 
 // FaultHook is application-specific fault-handler code attached to
@@ -55,6 +64,13 @@ type Peer struct {
 	mgr       *Manager
 	locks     *LockTable
 	metrics   *Metrics
+	tracer    *obs.Tracer
+
+	// Latency histograms (nil-safe: stay nil without a MetricsRegistry).
+	histMaterialize *obs.Histogram
+	histInvoke      *obs.Histogram
+	histWALSync     *obs.Histogram
+	histCompensate  *obs.Histogram
 
 	mu         sync.Mutex
 	faultHooks map[string]FaultHook // key: service + "/" + faultName
@@ -85,8 +101,70 @@ func NewPeer(transport p2p.Transport, log wal.Log, opts Options) *Peer {
 		faultHooks: make(map[string]FaultHook),
 	}
 	p.store.SetMaxConcurrentCalls(opts.MaxConcurrentCalls)
+	p.tracer = obs.NewTracer(string(p.id), opts.TraceSink)
+	if reg := opts.MetricsRegistry; reg != nil {
+		p.RegisterObservability(reg)
+	}
 	transport.SetHandler(p2p.AnswerPings(p.handle))
 	return p
+}
+
+// RegisterObservability exports the peer's protocol counters into reg and
+// creates its latency histograms there. Called from NewPeer when Options
+// carry a registry; callable later for peers constructed without one.
+func (p *Peer) RegisterObservability(reg *obs.Registry) {
+	peer := string(p.id)
+	p.metrics.Register(reg, peer)
+	labels := obs.Labels{"peer": peer}
+	p.histMaterialize = reg.Histogram("axml_materialize_seconds", labels)
+	p.histInvoke = reg.Histogram("axml_invoke_seconds", labels)
+	p.histWALSync = reg.Histogram("axml_wal_sync_seconds", labels)
+	p.histCompensate = reg.Histogram("axml_compensate_seconds", labels)
+	p.store.SetApplyObserver(func(d time.Duration) { p.histMaterialize.Observe(d) })
+}
+
+// Tracer returns the peer's span tracer (nil when tracing is disabled).
+func (p *Peer) Tracer() *obs.Tracer { return p.tracer }
+
+// syncLog runs the WAL durability barrier and feeds its latency histogram.
+func (p *Peer) syncLog() error {
+	start := time.Now()
+	err := p.store.Log().Sync()
+	p.histWALSync.Observe(time.Since(start))
+	return err
+}
+
+// chainStr renders the context's active-peer list for span snapshots.
+func chainStr(txc *Context) string {
+	if ch := txc.Chain(); ch != nil {
+		return ch.String()
+	}
+	return ""
+}
+
+// errStatus reports an operation on a non-active transaction, typed so
+// errors.Is(err, ErrAborted/ErrCompensated) holds after an abort.
+func errStatus(txc *Context) error {
+	switch st := txc.Status(); st {
+	case StatusAborted:
+		if txc.wasCompensated() {
+			return fmt.Errorf("core: transaction %s: %w", txc.ID, ErrCompensated)
+		}
+		return fmt.Errorf("core: transaction %s: %w", txc.ID, ErrAborted)
+	default:
+		return fmt.Errorf("core: transaction %s is %s", txc.ID, st)
+	}
+}
+
+// checkCtx maps an expired or cancelled public-API context to the paper's
+// backward recovery: the transaction is aborted (with compensation) and the
+// caller gets ErrTimeout.
+func (p *Peer) checkCtx(ctx context.Context, txc *Context) error {
+	if ctx == nil || ctx.Err() == nil {
+		return nil
+	}
+	_ = p.abortContext(txc, "", true)
+	return fmt.Errorf("%w: %v", ErrTimeout, ctx.Err())
 }
 
 // ID returns the peer's identity.
@@ -189,6 +267,8 @@ func (p *Peer) HostService(svc services.Service) {
 func (p *Peer) Begin() *Context {
 	id := p.mgr.NewTxnID()
 	ctx := p.mgr.Begin(id, p.opts.Super)
+	ctx.rootSpan = p.tracer.Start(id, "", obs.KindTxn, "")
+	ctx.swapSpanID(ctx.rootSpan.ID())
 	p.metrics.TxnsBegun.Add(1)
 	_, _ = p.store.Log().Append(&wal.Record{Txn: id, Type: wal.TypeBegin})
 	return ctx
@@ -198,16 +278,47 @@ func (p *Peer) Begin() *Context {
 // peer as materializer (so embedded service calls reach remote peers).
 // Errors do not abort the transaction by themselves: the paper's nested
 // recovery lets the application decide between forward recovery and abort.
-func (p *Peer) Exec(txc *Context, action *axml.Action) (*axml.Result, error) {
+// An expired ctx aborts the transaction with compensation (ErrTimeout).
+func (p *Peer) Exec(ctx context.Context, txc *Context, action *axml.Action) (*axml.Result, error) {
 	if txc.Status() != StatusActive {
-		return nil, fmt.Errorf("core: transaction %s is %s", txc.ID, txc.Status())
+		return nil, errStatus(txc)
 	}
+	if err := p.checkCtx(ctx, txc); err != nil {
+		return nil, err
+	}
+	sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindExec, "")
+	if doc := action.DocName(); doc != "" {
+		sp.SetAttr("doc", doc)
+	}
+	prevCtx := txc.swapCallCtx(ctx)
+	prevSpan := txc.swapSpanID(sp.ID())
+	defer func() {
+		txc.swapCallCtx(prevCtx)
+		txc.swapSpanID(prevSpan)
+	}()
+	res, err := p.execLocked(txc, action)
+	if res != nil {
+		sp.SetLSNRange(res.FirstLSN, res.LastLSN)
+	}
+	sp.SetChain(chainStr(txc))
+	sp.End(ErrCode(err), err)
+	return res, err
+}
+
+func (p *Peer) execLocked(txc *Context, action *axml.Action) (*axml.Result, error) {
 	if doc := action.DocName(); doc != "" {
 		if err := p.locks.Acquire(txc.ID, doc, lockModeFor(action)); err != nil {
-			return nil, &services.Fault{Name: "lock-timeout", Msg: err.Error()}
+			return nil, &services.Fault{Name: "lock-timeout", Msg: err.Error(), Err: ErrTimeout}
 		}
 	}
 	return p.store.Apply(txc.ID, action, p, p.opts.EvalMode)
+}
+
+// ExecNoCtx applies an action without a caller context.
+//
+// Deprecated: use Exec with a context.Context.
+func (p *Peer) ExecNoCtx(txc *Context, action *axml.Action) (*axml.Result, error) {
+	return p.Exec(context.Background(), txc, action)
 }
 
 // lockModeFor picks the document lock mode. Every action takes exclusive:
@@ -221,16 +332,37 @@ func lockModeFor(a *axml.Action) LockMode {
 
 // Call invokes a service within the transaction from the top level (not
 // via an embedded call): locally when this peer provides it, remotely
-// otherwise. It returns the result fragments.
-func (p *Peer) Call(txc *Context, target p2p.PeerID, service string, params map[string]string) ([]string, error) {
+// otherwise. It returns the result fragments. An expired ctx aborts the
+// transaction with compensation (ErrTimeout).
+func (p *Peer) Call(ctx context.Context, txc *Context, target p2p.PeerID, service string, params map[string]string) ([]string, error) {
 	if txc.Status() != StatusActive {
-		return nil, fmt.Errorf("core: transaction %s is %s", txc.ID, txc.Status())
+		return nil, errStatus(txc)
 	}
+	if err := p.checkCtx(ctx, txc); err != nil {
+		return nil, err
+	}
+	sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindCall, service)
+	sp.SetTarget(string(target))
+	prevCtx := txc.swapCallCtx(ctx)
+	prevSpan := txc.swapSpanID(sp.ID())
+	defer func() {
+		txc.swapCallCtx(prevCtx)
+		txc.swapSpanID(prevSpan)
+	}()
 	resp, err := p.invokeOnce(txc, target, service, params, false)
+	sp.SetChain(chainStr(txc))
+	sp.End(ErrCode(err), err)
 	if err != nil {
 		return nil, err
 	}
 	return resp.Fragments, nil
+}
+
+// CallNoCtx invokes a service without a caller context.
+//
+// Deprecated: use Call with a context.Context.
+func (p *Peer) CallNoCtx(txc *Context, target p2p.PeerID, service string, params map[string]string) ([]string, error) {
+	return p.Call(context.Background(), txc, target, service, params)
 }
 
 // CallAsync invokes a remote service within the transaction without
@@ -239,27 +371,52 @@ func (p *Peer) Call(txc *Context, target p2p.PeerID, service string, params map[
 // and recorded as a child invocation). This is the data-flow of the
 // disconnection scenarios: a child returning results may find its parent
 // gone (§3.3 case b).
-func (p *Peer) CallAsync(txc *Context, target p2p.PeerID, service string, params map[string]string) error {
+func (p *Peer) CallAsync(ctx context.Context, txc *Context, target p2p.PeerID, service string, params map[string]string) error {
 	if txc.Status() != StatusActive {
-		return fmt.Errorf("core: transaction %s is %s", txc.ID, txc.Status())
+		return errStatus(txc)
 	}
+	if err := p.checkCtx(ctx, txc); err != nil {
+		return err
+	}
+	sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindCall, service)
+	sp.SetTarget(string(target))
+	prevCtx := txc.swapCallCtx(ctx)
+	prevSpan := txc.swapSpanID(sp.ID())
+	defer func() {
+		txc.swapCallCtx(prevCtx)
+		txc.swapSpanID(prevSpan)
+	}()
 	_, err := p.invokeOnce(txc, target, service, params, true)
+	sp.SetChain(chainStr(txc))
+	sp.End(ErrCode(err), err)
 	return err
+}
+
+// CallAsyncNoCtx invokes a service asynchronously without a caller context.
+//
+// Deprecated: use CallAsync with a context.Context.
+func (p *Peer) CallAsyncNoCtx(txc *Context, target p2p.PeerID, service string, params map[string]string) error {
+	return p.CallAsync(context.Background(), txc, target, service, params)
 }
 
 // Commit makes the transaction's effects permanent everywhere: the local
 // commit record is written, locks released, and commit notifications
-// cascade to every participant.
-func (p *Peer) Commit(txc *Context) error {
+// cascade to every participant. An expired ctx aborts instead (backward
+// recovery) and returns ErrTimeout.
+func (p *Peer) Commit(ctx context.Context, txc *Context) error {
+	if err := p.checkCtx(ctx, txc); err != nil {
+		return err
+	}
 	if !txc.transition(StatusCommitted) {
 		return fmt.Errorf("core: commit of %s transaction %s", txc.Status(), txc.ID)
 	}
+	sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindCommit, "")
 	_, err := p.store.Log().Append(&wal.Record{Txn: txc.ID, Type: wal.TypeCommit})
 	if err == nil {
 		// Explicit durability barrier: under relaxed per-record syncing the
 		// commit record — the decision — must still hit disk before commit
 		// notifications fan out.
-		err = p.store.Log().Sync()
+		err = p.syncLog()
 	}
 	p.locks.ReleaseAll(txc.ID)
 	if txc.Self == txc.Origin {
@@ -272,13 +429,31 @@ func (p *Peer) Commit(txc *Context) error {
 		_ = p.transport.Send(context.Background(), child.Peer,
 			&p2p.Message{Kind: p2p.KindCommit, Txn: txc.ID})
 	}
+	sp.SetChain(chainStr(txc))
+	sp.End(ErrCode(err), err)
+	txc.rootSpan.SetChain(chainStr(txc))
+	txc.rootSpan.End(ErrCode(err), err)
 	return err
+}
+
+// CommitNoCtx commits without a caller context.
+//
+// Deprecated: use Commit with a context.Context.
+func (p *Peer) CommitNoCtx(txc *Context) error {
+	return p.Commit(context.Background(), txc)
 }
 
 // Abort rolls the transaction back: local effects are compensated and
 // abort/compensation messages propagate to the participants (§3.2).
-func (p *Peer) Abort(txc *Context) error {
+func (p *Peer) Abort(ctx context.Context, txc *Context) error {
 	return p.abortContext(txc, "", true)
+}
+
+// AbortNoCtx aborts without a caller context.
+//
+// Deprecated: use Abort with a context.Context.
+func (p *Peer) AbortNoCtx(txc *Context) error {
+	return p.Abort(context.Background(), txc)
 }
 
 // handle dispatches incoming protocol messages.
@@ -336,7 +511,49 @@ func (p *Peer) handleAdmin(msg *p2p.Message) (*p2p.Message, error) {
 			out += "<document>" + name + "</document>"
 		}
 		return &p2p.Message{Kind: p2p.KindAdmin, Payload: []byte("<documents>" + out + "</documents>")}, nil
+	case "metrics":
+		reg := p.obsRegistry()
+		if reg == nil {
+			return nil, fmt.Errorf("core: peer %s exports no metrics registry", p.id)
+		}
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			return nil, err
+		}
+		return &p2p.Message{Kind: p2p.KindAdmin, Payload: []byte(b.String())}, nil
+	case "trace":
+		ring := ringSink(p.opts.TraceSink)
+		if ring == nil {
+			return nil, fmt.Errorf("core: peer %s keeps no trace ring", p.id)
+		}
+		spans := ring.Trace(msg.Txn)
+		if len(spans) == 0 {
+			return nil, fmt.Errorf("core: no spans for transaction %q at %s", msg.Txn, p.id)
+		}
+		payload, err := json.Marshal(obs.TraceResponse{Txn: msg.Txn, Spans: len(spans), Tree: obs.Tree(spans)})
+		if err != nil {
+			return nil, err
+		}
+		return &p2p.Message{Kind: p2p.KindAdmin, Txn: msg.Txn, Payload: payload}, nil
 	default:
 		return nil, fmt.Errorf("core: unknown admin subject %q", msg.Subject)
 	}
+}
+
+func (p *Peer) obsRegistry() *obs.Registry { return p.opts.MetricsRegistry }
+
+// ringSink digs the queryable ring buffer out of a (possibly fanned-out)
+// trace sink configuration.
+func ringSink(s obs.Sink) *obs.Ring {
+	switch v := s.(type) {
+	case *obs.Ring:
+		return v
+	case obs.Multi:
+		for _, sub := range v {
+			if r := ringSink(sub); r != nil {
+				return r
+			}
+		}
+	}
+	return nil
 }

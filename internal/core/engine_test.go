@@ -10,17 +10,21 @@ import (
 	"time"
 
 	"axmltx/internal/axml"
+	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 	"axmltx/internal/services"
 	"axmltx/internal/wal"
 	"axmltx/internal/xmldom"
 )
 
-// cluster wires peers over one in-memory network.
+// cluster wires peers over one in-memory network. When sink is set before
+// peers are added, every peer traces into it (the trace-shape tests set one
+// ring for the whole deployment).
 type cluster struct {
 	t     *testing.T
 	net   *p2p.Network
 	peers map[p2p.PeerID]*Peer
+	sink  obs.Sink
 }
 
 func newCluster(t *testing.T) *cluster {
@@ -28,6 +32,9 @@ func newCluster(t *testing.T) *cluster {
 }
 
 func (c *cluster) add(id p2p.PeerID, opts Options) *Peer {
+	if opts.TraceSink == nil {
+		opts.TraceSink = c.sink
+	}
 	p := NewPeer(c.net.Join(id), wal.NewMemory(), opts)
 	c.peers[id] = p
 	return p
@@ -81,10 +88,10 @@ func TestLocalTransactionCommit(t *testing.T) {
 	hostEntryService(t, ap1, "S1", "D1.xml")
 
 	txc := ap1.Begin()
-	if _, err := ap1.Call(txc, "AP1", "S1", nil); err != nil {
+	if _, err := ap1.Call(bg, txc, "AP1", "S1", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := ap1.Commit(txc); err != nil {
+	if err := ap1.Commit(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	if entryCount(t, ap1, "D1.xml") != 1 {
@@ -94,7 +101,7 @@ func TestLocalTransactionCommit(t *testing.T) {
 		t.Fatal("commit metric")
 	}
 	// Committed work cannot be aborted.
-	if err := ap1.Abort(txc); err != nil {
+	if err := ap1.Abort(bg, txc); err != nil {
 		t.Fatal(err) // Abort on terminal context is a no-op, not an error
 	}
 	if entryCount(t, ap1, "D1.xml") != 1 {
@@ -110,10 +117,10 @@ func TestRemoteInvokeAndAbortCascades(t *testing.T) {
 	hostEntryService(t, ap2, "S2", "D2.xml")
 
 	txc := ap1.Begin()
-	if _, err := ap1.Call(txc, "AP1", "S1", nil); err != nil {
+	if _, err := ap1.Call(bg, txc, "AP1", "S1", nil); err != nil {
 		t.Fatal(err)
 	}
-	out, err := ap1.Call(txc, "AP2", "S2", nil)
+	out, err := ap1.Call(bg, txc, "AP2", "S2", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +131,7 @@ func TestRemoteInvokeAndAbortCascades(t *testing.T) {
 		t.Fatal("remote effect missing")
 	}
 
-	if err := ap1.Abort(txc); err != nil {
+	if err := ap1.Abort(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	if entryCount(t, ap1, "D1.xml") != 0 {
@@ -146,10 +153,10 @@ func TestRemoteInvokeCommitCascades(t *testing.T) {
 	hostEntryService(t, ap2, "S2", "D2.xml")
 
 	txc := ap1.Begin()
-	if _, err := ap1.Call(txc, "AP2", "S2", nil); err != nil {
+	if _, err := ap1.Call(bg, txc, "AP2", "S2", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := ap1.Commit(txc); err != nil {
+	if err := ap1.Commit(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	// The participant context is finished and a late abort is refused.
@@ -166,7 +173,7 @@ func TestPeerIndependentCompensation(t *testing.T) {
 	hostEntryService(t, ap2, "S2", "D2.xml")
 
 	txc := ap1.Begin()
-	if _, err := ap1.Call(txc, "AP2", "S2", nil); err != nil {
+	if _, err := ap1.Call(bg, txc, "AP2", "S2", nil); err != nil {
 		t.Fatal(err)
 	}
 	// The invocation returned a compensating-service definition.
@@ -178,7 +185,7 @@ func TestPeerIndependentCompensation(t *testing.T) {
 		t.Fatal("comp def not built at participant")
 	}
 
-	if err := ap1.Abort(txc); err != nil {
+	if err := ap1.Abort(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	if entryCount(t, ap2, "D2.xml") != 0 {
@@ -214,7 +221,7 @@ func TestEmbeddedCallMaterializesRemoteService(t *testing.T) {
 
 	txc := ap1.Begin()
 	q, _ := axml.ParseQuery(`Select p/points from p in ATPList//player where p/name/lastname = Federer`)
-	res, err := ap1.Exec(txc, axml.NewQuery(q))
+	res, err := ap1.Exec(bg, txc, axml.NewQuery(q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +232,7 @@ func TestEmbeddedCallMaterializesRemoteService(t *testing.T) {
 	if ch := txc.Chain(); !ch.Contains("AP2") || ch.ParentOf("AP2") != "AP1" {
 		t.Fatalf("chain = %s", txc.Chain())
 	}
-	if err := ap1.Commit(txc); err != nil {
+	if err := ap1.Commit(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	// Abort after commit changes nothing; the materialized node persists.
@@ -248,14 +255,14 @@ func TestMaterializationAbortRestoresCallerDocument(t *testing.T) {
 	snapshot, _ := ap1.Store().Snapshot("D.xml")
 	txc := ap1.Begin()
 	q, _ := axml.ParseQuery(`Select d/val from d in D`)
-	res, err := ap1.Exec(txc, axml.NewQuery(q))
+	res, err := ap1.Exec(bg, txc, axml.NewQuery(q))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := res.Query.Strings(); len(got) != 1 || got[0] != "42" {
 		t.Fatalf("result = %v", got)
 	}
-	if err := ap1.Abort(txc); err != nil {
+	if err := ap1.Abort(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	live, _ := ap1.Store().Get("D.xml")
@@ -289,7 +296,7 @@ func TestFaultHandlerRetrySameProvider(t *testing.T) {
 
 	txc := ap1.Begin()
 	q, _ := axml.ParseQuery(`Select d/val from d in D`)
-	res, err := ap1.Exec(txc, axml.NewQuery(q))
+	res, err := ap1.Exec(bg, txc, axml.NewQuery(q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +337,7 @@ func TestFaultHandlerRetryOnReplica(t *testing.T) {
 	}
 	txc := ap1.Begin()
 	q, _ := axml.ParseQuery(`Select d/val from d in D`)
-	res, err := ap1.Exec(txc, axml.NewQuery(q))
+	res, err := ap1.Exec(bg, txc, axml.NewQuery(q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +365,7 @@ func TestFaultHandlerExplicitAlternative(t *testing.T) {
 	}
 	txc := ap1.Begin()
 	q, _ := axml.ParseQuery(`Select d/val from d in D`)
-	res, err := ap1.Exec(txc, axml.NewQuery(q))
+	res, err := ap1.Exec(bg, txc, axml.NewQuery(q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,7 +397,7 @@ func TestFaultHookHandlesFault(t *testing.T) {
 	})
 	txc := ap1.Begin()
 	q, _ := axml.ParseQuery(`Select d/val from d in D`)
-	if _, err := ap1.Exec(txc, axml.NewQuery(q)); err != nil {
+	if _, err := ap1.Exec(bg, txc, axml.NewQuery(q)); err != nil {
 		t.Fatal(err)
 	}
 	if !hookRan.Load() {
@@ -419,7 +426,7 @@ func TestUnhandledFaultPropagates(t *testing.T) {
 	}
 	txc := ap1.Begin()
 	q, _ := axml.ParseQuery(`Select d/val from d in D`)
-	_, err := ap1.Exec(txc, axml.NewQuery(q))
+	_, err := ap1.Exec(bg, txc, axml.NewQuery(q))
 	if err == nil {
 		t.Fatal("fault swallowed")
 	}
@@ -438,23 +445,23 @@ func TestLockConflictSurfacesAsFault(t *testing.T) {
 	hostEntryService(t, ap1, "S1", "D1.xml")
 
 	tx1 := ap1.Begin()
-	if _, err := ap1.Call(tx1, "AP1", "S1", nil); err != nil {
+	if _, err := ap1.Call(bg, tx1, "AP1", "S1", nil); err != nil {
 		t.Fatal(err)
 	}
 	tx2 := ap1.Begin()
-	_, err := ap1.Call(tx2, "AP1", "S1", nil)
+	_, err := ap1.Call(bg, tx2, "AP1", "S1", nil)
 	var f *services.Fault
 	if !errors.As(err, &f) || f.Name != "lock-timeout" {
 		t.Fatalf("err = %v", err)
 	}
 	// After tx1 finishes, tx2 can proceed.
-	if err := ap1.Commit(tx1); err != nil {
+	if err := ap1.Commit(bg, tx1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ap1.Call(tx2, "AP1", "S1", nil); err != nil {
+	if _, err := ap1.Call(bg, tx2, "AP1", "S1", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := ap1.Abort(tx2); err != nil {
+	if err := ap1.Abort(bg, tx2); err != nil {
 		t.Fatal(err)
 	}
 	if entryCount(t, ap1, "D1.xml") != 1 {
@@ -467,17 +474,17 @@ func TestExecOnFinishedTransactionRefused(t *testing.T) {
 	ap1 := c.add("AP1", Options{})
 	hostEntryService(t, ap1, "S1", "D1.xml")
 	txc := ap1.Begin()
-	if err := ap1.Commit(txc); err != nil {
+	if err := ap1.Commit(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	loc, _ := axml.ParseQuery(`Select l from l in D1/log`)
-	if _, err := ap1.Exec(txc, axml.NewInsert(loc, `<entry/>`)); err == nil {
+	if _, err := ap1.Exec(bg, txc, axml.NewInsert(loc, `<entry/>`)); err == nil {
 		t.Fatal("Exec on committed txn accepted")
 	}
-	if _, err := ap1.Call(txc, "AP1", "S1", nil); err == nil {
+	if _, err := ap1.Call(bg, txc, "AP1", "S1", nil); err == nil {
 		t.Fatal("Call on committed txn accepted")
 	}
-	if err := ap1.Commit(txc); err == nil {
+	if err := ap1.Commit(bg, txc); err == nil {
 		t.Fatal("double commit accepted")
 	}
 }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"axmltx/internal/p2p"
+	"axmltx/internal/services"
+)
+
+// Typed error taxonomy of the transaction engine. Callers branch with
+// errors.Is/As instead of matching message strings; the same codes travel in
+// p2p.Message.Code so the taxonomy survives peer boundaries, and spans
+// record them as their outcome code.
+var (
+	// ErrPeerDown reports that a peer could not be reached. It is the
+	// transport's unreachable error, so transport failures match without
+	// wrapping.
+	ErrPeerDown = p2p.ErrUnreachable
+
+	// ErrAborted reports that the transaction was (or is being) aborted.
+	ErrAborted = errors.New("core: transaction aborted")
+
+	// ErrCompensated reports an abort whose effects were rolled back by
+	// running compensations (the paper's backward recovery). It wraps
+	// ErrAborted, so errors.Is(err, ErrAborted) also holds.
+	ErrCompensated = fmt.Errorf("%w, updates compensated", ErrAborted)
+
+	// ErrTimeout reports that the caller's context deadline expired or was
+	// cancelled; the engine maps it to backward recovery with compensation.
+	ErrTimeout = errors.New("core: transaction deadline exceeded")
+)
+
+// Wire/span codes of the taxonomy. Faults carry "fault:<name>" so catch
+// handlers keep their name-based dispatch.
+const (
+	CodeAborted     = "aborted"
+	CodeCompensated = "compensated"
+	CodeTimeout     = "timeout"
+	CodePeerDown    = "peer-down"
+	CodeError       = "error"
+	codeFaultPrefix = "fault:"
+)
+
+// ErrCode maps an error to its taxonomy code; nil maps to "".
+func ErrCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrCompensated):
+		return CodeCompensated
+	case errors.Is(err, ErrAborted):
+		return CodeAborted
+	case errors.Is(err, ErrTimeout),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return CodeTimeout
+	case errors.Is(err, ErrPeerDown):
+		return CodePeerDown
+	}
+	if name := services.FaultName(err); name != "" {
+		return codeFaultPrefix + name
+	}
+	return CodeError
+}
+
+// errFromWire reconstructs a typed error from a reply's code, fault subject
+// and message, so errors.Is/As hold across peer boundaries exactly as they
+// do locally. Unknown codes degrade to an opaque error carrying msg.
+func errFromWire(code, subject, msg string) error {
+	if subject != "" {
+		// Named fault: keep the Fault type for catch-handler dispatch and
+		// chain the taxonomy sentinel underneath when one applies.
+		msg = strings.TrimPrefix(msg, "fault "+subject+": ")
+		f := &services.Fault{Name: subject, Msg: msg}
+		switch code {
+		case CodeTimeout:
+			f.Err = ErrTimeout
+		case CodePeerDown:
+			f.Err = ErrPeerDown
+		}
+		return f
+	}
+	switch code {
+	case CodeAborted:
+		return fmt.Errorf("%w (remote: %s)", ErrAborted, msg)
+	case CodeCompensated:
+		return fmt.Errorf("%w (remote: %s)", ErrCompensated, msg)
+	case CodeTimeout:
+		return fmt.Errorf("%w (remote: %s)", ErrTimeout, msg)
+	case CodePeerDown:
+		return fmt.Errorf("%w (remote: %s)", ErrPeerDown, msg)
+	}
+	return errors.New(msg)
+}

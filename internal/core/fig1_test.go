@@ -119,12 +119,12 @@ func TestFig1NestedRecoveryFullAbort(t *testing.T) {
 	f.failS5.Store(true)
 
 	txc := f.origin.Begin()
-	_, err := f.origin.Exec(txc, f.q)
+	_, err := f.origin.Exec(bg, txc, f.q)
 	if err == nil {
 		t.Fatal("expected TA to fail")
 	}
 	// Backward propagation reached the origin; the application aborts TA.
-	if err := f.origin.Abort(txc); err != nil {
+	if err := f.origin.Abort(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 
@@ -162,7 +162,7 @@ func TestFig1SuccessCommitsEverywhere(t *testing.T) {
 	f := buildFig1(t, c, "")
 
 	txc := f.origin.Begin()
-	res, err := f.origin.Exec(txc, f.q)
+	res, err := f.origin.Exec(bg, txc, f.q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ func TestFig1SuccessCommitsEverywhere(t *testing.T) {
 	if got := chain.String(); got != want {
 		t.Fatalf("chain = %s, want %s", got, want)
 	}
-	if err := f.origin.Commit(txc); err != nil {
+	if err := f.origin.Commit(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	// Leaf effects persist.
@@ -205,10 +205,10 @@ func TestFig1ForwardRecoveryViaReplica(t *testing.T) {
 	ap5b.HostQueryService(servicesDescriptor("S5", "D5.xml"), `Select d/updateResult from d in D5`)
 
 	txc := f.origin.Begin()
-	if _, err := f.origin.Exec(txc, f.q); err != nil {
+	if _, err := f.origin.Exec(bg, txc, f.q); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.origin.Commit(txc); err != nil {
+	if err := f.origin.Commit(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 

@@ -14,6 +14,9 @@ import (
 // contextT keeps service closures in tests short.
 type contextT = context.Context
 
+// bg is the default context tests pass to the ctx-first engine API.
+var bg = context.Background()
+
 // p2pID aliases the peer identifier type for helper brevity.
 type p2pID = p2p.PeerID
 
@@ -77,7 +80,7 @@ func compositeCalling(t interface{ Helper() }, name string, target string, servi
 			if !ok {
 				panic("compositeCalling: no engine environment")
 			}
-			return env.Peer.Call(env.Txn, p2pPeerID(target), service, params)
+			return env.Peer.Call(bg, env.Txn, p2pPeerID(target), service, params)
 		})
 }
 

@@ -66,22 +66,22 @@ func TestIsolationConcurrentCounter(t *testing.T) {
 func incrementOnce(p *Peer) bool {
 	txc := p.Begin()
 	q, _ := axml.ParseQuery(`Select c/value from c in Counter`)
-	res, err := p.Exec(txc, axml.NewQuery(q))
+	res, err := p.Exec(bg, txc, axml.NewQuery(q))
 	if err != nil {
-		_ = p.Abort(txc)
+		_ = p.Abort(bg, txc)
 		return false
 	}
 	cur, err := strconv.Atoi(res.Query.Items[0].Value())
 	if err != nil {
-		_ = p.Abort(txc)
+		_ = p.Abort(bg, txc)
 		return false
 	}
 	rep := axml.NewReplace(q, fmt.Sprintf("<value>%d</value>", cur+1))
-	if _, err := p.Exec(txc, rep); err != nil {
-		_ = p.Abort(txc)
+	if _, err := p.Exec(bg, txc, rep); err != nil {
+		_ = p.Abort(bg, txc)
 		return false
 	}
-	return p.Commit(txc) == nil
+	return p.Commit(bg, txc) == nil
 }
 
 // TestIsolationAcrossPeers: two origins contending for one participant's
@@ -95,22 +95,22 @@ func TestIsolationAcrossPeers(t *testing.T) {
 	hostEntryService(t, host, "W", "D.xml")
 
 	tx1 := o1.Begin()
-	if _, err := o1.Call(tx1, "HOST", "W", nil); err != nil {
+	if _, err := o1.Call(bg, tx1, "HOST", "W", nil); err != nil {
 		t.Fatal(err)
 	}
 	tx2 := o2.Begin()
-	_, err := o2.Call(tx2, "HOST", "W", nil)
+	_, err := o2.Call(bg, tx2, "HOST", "W", nil)
 	var f *services.Fault
 	if !errors.As(err, &f) || f.Name != "lock-timeout" {
 		t.Fatalf("err = %v", err)
 	}
-	if err := o1.Commit(tx1); err != nil {
+	if err := o1.Commit(bg, tx1); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o2.Call(tx2, "HOST", "W", nil); err != nil {
+	if _, err := o2.Call(bg, tx2, "HOST", "W", nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := o2.Commit(tx2); err != nil {
+	if err := o2.Commit(bg, tx2); err != nil {
 		t.Fatal(err)
 	}
 	if entryCount(t, host, "D.xml") != 2 {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 )
 
@@ -75,6 +77,68 @@ type Context struct {
 	// origin by (transitive) participants, one per peer (a definition
 	// covers every effect of the transaction at that peer).
 	compDefs map[p2p.PeerID]*CompensationDef
+	// rootSpan is the transaction's root span at the origin peer (nil on
+	// participants or when tracing is off); ended by Commit/abort.
+	rootSpan *obs.ActiveSpan
+	// spanID is the span the next operation under this context should
+	// parent on: the root/serve span between operations, the exec/call span
+	// while one is running.
+	spanID string
+	// callCtx is the public-API context of the operation currently running
+	// under this transaction, inherited by nested materializer invocations.
+	callCtx context.Context
+	// compensated records that abort processing ran compensations, so later
+	// errors surface ErrCompensated rather than plain ErrAborted.
+	compensated bool
+}
+
+// SpanID returns the current tracing parent for operations under this
+// context ("" when tracing is off).
+func (c *Context) SpanID() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spanID
+}
+
+// swapSpanID installs id as the tracing parent and returns the previous one.
+func (c *Context) swapSpanID(id string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.spanID
+	c.spanID = id
+	return prev
+}
+
+// swapCallCtx installs the public-API context for the operation now running
+// and returns the previous one.
+func (c *Context) swapCallCtx(ctx context.Context) context.Context {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.callCtx
+	c.callCtx = ctx
+	return prev
+}
+
+// ctxForCalls returns the context nested invocations should run under.
+func (c *Context) ctxForCalls() context.Context {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.callCtx != nil {
+		return c.callCtx
+	}
+	return context.Background()
+}
+
+func (c *Context) markCompensated() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.compensated = true
+}
+
+func (c *Context) wasCompensated() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.compensated
 }
 
 // AddCompDef records a participant's compensating-service definition,

@@ -1,6 +1,10 @@
 package core
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"axmltx/internal/obs"
+)
 
 // Metrics counts protocol events at one peer. All counters are safe for
 // concurrent update; Snapshot returns a consistent-enough copy for
@@ -51,6 +55,42 @@ type Metrics struct {
 	// shipped definitions.
 	CompServicesBuilt atomic.Int64
 	CompServicesRun   atomic.Int64
+}
+
+// Register exports every counter into an obs.Registry as a function-backed
+// gauge labeled with the peer ID. The atomics stay the single source of
+// truth; the registry reads them at scrape time, so peers, benchmarks and
+// simulations all emit the same metric schema.
+func (m *Metrics) Register(reg *obs.Registry, peer string) {
+	if reg == nil {
+		return
+	}
+	labels := obs.Labels{"peer": peer}
+	for _, c := range []struct {
+		name string
+		v    *atomic.Int64
+	}{
+		{"axml_txns_begun", &m.TxnsBegun},
+		{"axml_txns_committed", &m.TxnsCommitted},
+		{"axml_txns_aborted", &m.TxnsAborted},
+		{"axml_invocations_served", &m.InvocationsServed},
+		{"axml_invocations_made", &m.InvocationsMade},
+		{"axml_compensations", &m.Compensations},
+		{"axml_nodes_undone", &m.NodesUndone},
+		{"axml_forward_recoveries", &m.ForwardRecoveries},
+		{"axml_backward_recoveries", &m.BackwardRecoveries},
+		{"axml_retries_attempted", &m.RetriesAttempted},
+		{"axml_aborts_sent", &m.AbortsSent},
+		{"axml_aborts_received", &m.AbortsReceived},
+		{"axml_disconnects_detected", &m.DisconnectsDetected},
+		{"axml_redirects", &m.Redirects},
+		{"axml_work_reused", &m.WorkReused},
+		{"axml_nodes_lost", &m.NodesLost},
+		{"axml_comp_services_built", &m.CompServicesBuilt},
+		{"axml_comp_services_run", &m.CompServicesRun},
+	} {
+		reg.Gauge(c.name, labels, c.v.Load)
+	}
 }
 
 // MetricsSnapshot is a plain-values copy of Metrics.

@@ -4,11 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strings"
+	"strconv"
 	"sync"
 	"time"
 
 	"axmltx/internal/axml"
+	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 	"axmltx/internal/services"
 	"axmltx/internal/wal"
@@ -59,6 +60,9 @@ func (p *Peer) Invoke(txn string, sc *axml.ServiceCall, params []axml.Param) ([]
 	// directly").
 	if frags, ok := txc.takeReused(service); ok {
 		p.metrics.WorkReused.Add(1)
+		sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindReuse, service)
+		sp.SetChain(chainStr(txc))
+		sp.End("", nil)
 		return frags, nil
 	}
 
@@ -139,7 +143,14 @@ func (p *Peer) recoverInvocation(txc *Context, sc *axml.ServiceCall, params map[
 			// No alternative provider for a dead peer: retrying is futile.
 			break
 		}
+		rsp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindRetry, service)
+		rsp.SetTarget(string(target))
+		rsp.SetAttr("attempt", strconv.Itoa(attempt+1))
+		prevSpan := txc.swapSpanID(rsp.ID())
 		resp, err := p.invokeOnce(txc, target, service, pm, false)
+		txc.swapSpanID(prevSpan)
+		rsp.SetChain(chainStr(txc))
+		rsp.End(ErrCode(err), err)
 		if err == nil {
 			p.metrics.ForwardRecoveries.Add(1)
 			return resp.Fragments, nil
@@ -188,24 +199,35 @@ func faultNameOf(err error) string {
 // recording the completed child invocation and adopting the callee's chain.
 func (p *Peer) invokeOnce(txc *Context, target p2p.PeerID, service string, params map[string]string, async bool) (*InvokeResponse, error) {
 	if target == p.id || target == "" {
+		sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindInvoke, service)
+		sp.SetTarget(string(p.id))
+		start := time.Now()
 		frags, err := p.executeLocalService(txc, service, params)
+		p.histInvoke.Observe(time.Since(start))
+		sp.SetChain(chainStr(txc))
+		sp.End(ErrCode(err), err)
 		if err != nil {
 			return nil, err
 		}
 		return &InvokeResponse{Service: service, Fragments: frags, Chain: txc.Chain()}, nil
 	}
-	msg := p.prepareRemoteInvoke(txc, target, service, params, async)
-	reply, err := p.transport.Request(context.Background(), target, msg)
-	return p.finishRemoteInvoke(txc, target, service, async, reply, err)
+	msg, sp := p.prepareRemoteInvoke(txc, target, service, params, async)
+	start := time.Now()
+	reply, err := p.transport.Request(txc.ctxForCalls(), target, msg)
+	p.histInvoke.Observe(time.Since(start))
+	return p.finishRemoteInvoke(txc, target, service, async, reply, err, sp)
 }
 
 // prepareRemoteInvoke performs the synchronous bookkeeping that must happen
 // in invocation order — metrics, chain extension and ancestor propagation —
-// and returns the wire message. Chain sibling order is the order of
-// prepareRemoteInvoke calls, which parallel materialization keeps equal to
-// document order.
-func (p *Peer) prepareRemoteInvoke(txc *Context, target p2p.PeerID, service string, params map[string]string, async bool) *p2p.Message {
+// and returns the wire message plus the opened client-side invoke span
+// (whose ID travels in the message, parenting the participant's serve
+// span). Chain sibling order is the order of prepareRemoteInvoke calls,
+// which parallel materialization keeps equal to document order.
+func (p *Peer) prepareRemoteInvoke(txc *Context, target p2p.PeerID, service string, params map[string]string, async bool) (*p2p.Message, *obs.ActiveSpan) {
 	p.metrics.InvocationsMade.Add(1)
+	sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindInvoke, service)
+	sp.SetTarget(string(target))
 	req := &InvokeRequest{
 		Txn:     txc.ID,
 		Origin:  txc.Origin,
@@ -221,12 +243,22 @@ func (p *Peer) prepareRemoteInvoke(txc *Context, target p2p.PeerID, service stri
 		// the subtree below us (§3.3 — AP2 must know about AP6).
 		p.propagateChain(txc)
 	}
-	return &p2p.Message{Kind: p2p.KindInvoke, Txn: txc.ID, Subject: service, Payload: encode(req)}
+	msg := &p2p.Message{Kind: p2p.KindInvoke, Txn: txc.ID, Subject: service,
+		Payload: encode(req), Span: sp.ID()}
+	return msg, sp
 }
 
 // finishRemoteInvoke processes a remote invocation's reply: error mapping,
-// chain adoption and the child-invocation record.
-func (p *Peer) finishRemoteInvoke(txc *Context, target p2p.PeerID, service string, async bool, reply *p2p.Message, err error) (*InvokeResponse, error) {
+// chain adoption, the child-invocation record, and closing the invoke span
+// opened by prepareRemoteInvoke.
+func (p *Peer) finishRemoteInvoke(txc *Context, target p2p.PeerID, service string, async bool, reply *p2p.Message, err error, sp *obs.ActiveSpan) (*InvokeResponse, error) {
+	resp, err := p.finishRemoteReply(txc, target, service, async, reply, err)
+	sp.SetChain(chainStr(txc))
+	sp.End(ErrCode(err), err)
+	return resp, err
+}
+
+func (p *Peer) finishRemoteReply(txc *Context, target p2p.PeerID, service string, async bool, reply *p2p.Message, err error) (*InvokeResponse, error) {
 	if err != nil {
 		if errors.Is(err, p2p.ErrUnreachable) {
 			p.metrics.DisconnectsDetected.Add(1)
@@ -235,12 +267,9 @@ func (p *Peer) finishRemoteInvoke(txc *Context, target p2p.PeerID, service strin
 	}
 	if reply.Err != "" {
 		// The error reply is the "Abort TA" message from the participant
-		// to its invoker (it has already aborted its local context).
-		if reply.Subject != "" {
-			msg := strings.TrimPrefix(reply.Err, "fault "+reply.Subject+": ")
-			return nil, &services.Fault{Name: reply.Subject, Msg: msg}
-		}
-		return nil, errors.New(reply.Err)
+		// to its invoker (it has already aborted its local context). The
+		// typed code reconstructs an errors.Is-compatible error.
+		return nil, errFromWire(reply.Code, reply.Subject, reply.Err)
 	}
 	if async {
 		return &InvokeResponse{Service: service}, nil
@@ -295,6 +324,7 @@ func (p *Peer) InvokeBatch(txn string, calls []*axml.ServiceCall, params [][]axm
 		service string
 		pm      map[string]string
 		msg     *p2p.Message
+		sp      *obs.ActiveSpan
 	}
 	var remote []pending
 	for i, sc := range calls {
@@ -302,6 +332,9 @@ func (p *Peer) InvokeBatch(txn string, calls []*axml.ServiceCall, params [][]axm
 		pm := paramMap(params[i])
 		if frags, ok := txc.takeReused(service); ok {
 			p.metrics.WorkReused.Add(1)
+			sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindReuse, service)
+			sp.SetChain(chainStr(txc))
+			sp.End("", nil)
 			out[i].Fragments = frags
 			continue
 		}
@@ -312,9 +345,9 @@ func (p *Peer) InvokeBatch(txn string, calls []*axml.ServiceCall, params [][]axm
 			out[i].Fragments, out[i].Err = p.Invoke(txn, sc, params[i])
 			continue
 		}
+		msg, sp := p.prepareRemoteInvoke(txc, target, service, pm, false)
 		remote = append(remote, pending{
-			i: i, target: target, service: service, pm: pm,
-			msg: p.prepareRemoteInvoke(txc, target, service, pm, false),
+			i: i, target: target, service: service, pm: pm, msg: msg, sp: sp,
 		})
 	}
 	replies := make([]*p2p.Message, len(remote))
@@ -322,6 +355,7 @@ func (p *Peer) InvokeBatch(txn string, calls []*axml.ServiceCall, params [][]axm
 	if limit < 1 {
 		limit = 1
 	}
+	callCtx := txc.ctxForCalls()
 	sem := make(chan struct{}, limit)
 	var wg sync.WaitGroup
 	for k, pr := range remote {
@@ -330,12 +364,14 @@ func (p *Peer) InvokeBatch(txn string, calls []*axml.ServiceCall, params [][]axm
 		go func(k int, pr pending) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			replies[k], errs[k] = p.transport.Request(context.Background(), pr.target, pr.msg)
+			start := time.Now()
+			replies[k], errs[k] = p.transport.Request(callCtx, pr.target, pr.msg)
+			p.histInvoke.Observe(time.Since(start))
 		}(k, pr)
 	}
 	wg.Wait()
 	for k, pr := range remote {
-		resp, err := p.finishRemoteInvoke(txc, pr.target, pr.service, false, replies[k], errs[k])
+		resp, err := p.finishRemoteInvoke(txc, pr.target, pr.service, false, replies[k], errs[k], pr.sp)
 		if err == nil {
 			out[pr.i].Fragments = resp.Fragments
 			continue
@@ -404,24 +440,35 @@ func (p *Peer) handleInvoke(msg *p2p.Message) (*p2p.Message, error) {
 	txc := p.mgr.BeginParticipant(req.Txn, req.Origin, req.Caller, req.Service, chain)
 	txc.storeReused(req.Reused)
 	p.metrics.InvocationsServed.Add(1)
+	// The serve span parents on the caller's invoke span carried in the
+	// message, stitching one trace tree across the peer boundary. It also
+	// becomes this context's parent hint for nested and later spans.
+	sp := p.tracer.Start(req.Txn, msg.Span, obs.KindServe, req.Service)
+	sp.SetTarget(string(req.Caller))
+	txc.swapSpanID(sp.ID())
 
 	if req.Async {
 		// Acknowledge, run the service, then push the result — the flow
 		// where a child may find its parent gone when returning results.
-		go p.runAsync(txc, &req)
+		go p.runAsync(txc, &req, sp)
 		return &p2p.Message{Kind: "invoke-ack"}, nil
 	}
 
 	logBefore := len(p.store.Log().TxnRecords(req.Txn))
 	frags, err := p.executeLocalService(txc, req.Service, req.Params)
+	setServeLSNRange(sp, p.store.Log(), req.Txn, logBefore)
 	if err != nil {
 		// The paper's step 1 at a failed peer: abort the local context,
 		// notify the peers whose services we invoked; the error reply
 		// carries the abort to the invoker.
+		sp.SetChain(chainStr(txc))
+		sp.End(ErrCode(err), err)
 		_ = p.abortContext(txc, req.Caller, false)
 		return &p2p.Message{Kind: p2p.KindResult, Txn: req.Txn,
-			Subject: faultNameOf(err), Err: err.Error()}, nil
+			Subject: faultNameOf(err), Err: err.Error(), Code: ErrCode(err)}, nil
 	}
+	sp.SetChain(chainStr(txc))
+	sp.End("", nil)
 	resp := &InvokeResponse{
 		Service:   req.Service,
 		Fragments: frags,
@@ -465,9 +512,12 @@ func (p *Peer) handleCompDef(msg *p2p.Message) {
 // runAsync executes a deferred invocation and pushes the result to the
 // caller, redirecting up the chain when the caller has disconnected (§3.3
 // case b).
-func (p *Peer) runAsync(txc *Context, req *InvokeRequest) {
+func (p *Peer) runAsync(txc *Context, req *InvokeRequest, sp *obs.ActiveSpan) {
 	logBefore := len(p.store.Log().TxnRecords(req.Txn))
 	frags, err := p.executeLocalService(txc, req.Service, req.Params)
+	setServeLSNRange(sp, p.store.Log(), req.Txn, logBefore)
+	sp.SetChain(chainStr(txc))
+	sp.End(ErrCode(err), err)
 	if err != nil {
 		_ = p.abortContext(txc, "", true)
 		return
@@ -530,12 +580,19 @@ func (p *Peer) abortContext(txc *Context, skip p2p.PeerID, notifyParent bool) er
 	if txc.Self == txc.Origin {
 		p.metrics.TxnsAborted.Add(1)
 	}
+	sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindAbort, txc.Service)
 	_, _ = p.store.Log().Append(&wal.Record{Txn: txc.ID, Type: wal.TypeAbort})
 	// The abort decision must be durable before compensation starts: a crash
 	// mid-compensation must replay as an abort, not an in-flight transaction.
-	_ = p.store.Log().Sync()
+	_ = p.syncLog()
 
+	csp := p.tracer.Start(txc.ID, sp.ID(), obs.KindCompensate, "")
+	compStart := time.Now()
 	affected, err := Compensate(p.store, txc.ID)
+	p.histCompensate.Observe(time.Since(compStart))
+	csp.SetAttr("nodes", strconv.Itoa(affected))
+	csp.End(ErrCode(err), err)
+	txc.markCompensated()
 	p.metrics.Compensations.Add(1)
 	p.metrics.NodesUndone.Add(int64(affected))
 	txc.AddUndoNodes(affected)
@@ -561,7 +618,7 @@ func (p *Peer) abortContext(txc *Context, skip p2p.PeerID, notifyParent bool) er
 			p.metrics.CompServicesRun.Add(1)
 			payload := child.Comp.Encode()
 			err := p.transport.Send(bg, child.Peer, &p2p.Message{
-				Kind: p2p.KindCompensate, Txn: txc.ID, Payload: payload,
+				Kind: p2p.KindCompensate, Txn: txc.ID, Payload: payload, Span: sp.ID(),
 			})
 			if err != nil {
 				// The original peer disconnected: run the definition on a
@@ -582,7 +639,7 @@ func (p *Peer) abortContext(txc *Context, skip p2p.PeerID, notifyParent bool) er
 		p.metrics.CompServicesRun.Add(1)
 		payload := def.Encode()
 		if err := p.transport.Send(bg, peer, &p2p.Message{
-			Kind: p2p.KindCompensate, Txn: txc.ID, Payload: payload,
+			Kind: p2p.KindCompensate, Txn: txc.ID, Payload: payload, Span: sp.ID(),
 		}); err != nil {
 			p.sendCompToReplica(txc.ID, Invocation{Peer: peer, Comp: def}, payload)
 		}
@@ -590,6 +647,15 @@ func (p *Peer) abortContext(txc *Context, skip p2p.PeerID, notifyParent bool) er
 	if notifyParent && txc.Parent != "" && txc.Parent != skip {
 		p.metrics.AbortsSent.Add(1)
 		_ = p.transport.Send(bg, txc.Parent, &p2p.Message{Kind: p2p.KindAbort, Txn: txc.ID})
+	}
+	sp.SetChain(chainStr(txc))
+	sp.End(ErrCode(err), err)
+	if txc.rootSpan != nil {
+		// Close the origin's transaction root span with the abort outcome
+		// so /trace shows a complete tree for aborted transactions.
+		txc.rootSpan.SetChain(chainStr(txc))
+		txc.rootSpan.End(CodeCompensated, nil)
+		txc.rootSpan = nil
 	}
 	return err
 }
@@ -650,10 +716,12 @@ func (p *Peer) handleCommit(msg *p2p.Message) {
 	if !txc.transition(StatusCommitted) {
 		return
 	}
+	sp := p.tracer.Start(msg.Txn, txc.SpanID(), obs.KindCommit, txc.Service)
+	defer func() { sp.End("", nil) }()
 	_, _ = p.store.Log().Append(&wal.Record{Txn: msg.Txn, Type: wal.TypeCommit})
 	// Same durability barrier as the origin's Commit: the decision record
 	// must be on disk before this participant cascades it.
-	_ = p.store.Log().Sync()
+	_ = p.syncLog()
 	p.locks.ReleaseAll(msg.Txn)
 	for _, child := range txc.Children() {
 		if child.Peer == msg.From {
@@ -671,7 +739,16 @@ func (p *Peer) handleCompensate(msg *p2p.Message) (*p2p.Message, error) {
 	if err != nil {
 		return nil, err
 	}
+	parent := msg.Span
+	if txc, ok := p.mgr.Get(def.Txn); ok && parent == "" {
+		parent = txc.SpanID()
+	}
+	sp := p.tracer.Start(def.Txn, parent, obs.KindCompensate, def.Service)
+	start := time.Now()
 	affected, err := def.Execute(p.store)
+	p.histCompensate.Observe(time.Since(start))
+	sp.SetAttr("nodes", strconv.Itoa(affected))
+	sp.End(ErrCode(err), err)
 	if err != nil {
 		return nil, err
 	}
@@ -682,6 +759,18 @@ func (p *Peer) handleCompensate(msg *p2p.Message) (*p2p.Message, error) {
 		txc.transition(StatusAborted)
 	}
 	return &p2p.Message{Kind: "compensate-ack"}, nil
+}
+
+// setServeLSNRange brackets the WAL records a served invocation appended
+// (those after index from) onto its span.
+func setServeLSNRange(sp *obs.ActiveSpan, log wal.Log, txn string, from int) {
+	if sp == nil {
+		return
+	}
+	recs := log.TxnRecords(txn)
+	if len(recs) > from {
+		sp.SetLSNRange(recs[from].LSN, recs[len(recs)-1].LSN)
+	}
 }
 
 // workNodesSince values the work a transaction performed at this peer from

@@ -25,7 +25,7 @@ func TestInvokeUnknownServiceIsFault(t *testing.T) {
 	ap1 := c.add("AP1", Options{})
 	c.add("AP2", Options{})
 	txc := ap1.Begin()
-	_, err := ap1.Call(txc, "AP2", "nope", nil)
+	_, err := ap1.Call(bg, txc, "AP2", "nope", nil)
 	if err == nil || !strings.Contains(err.Error(), "unknown service") {
 		t.Fatalf("err = %v", err)
 	}
@@ -48,11 +48,11 @@ func TestAbortWithUnreachableChildBestEffort(t *testing.T) {
 	ap2 := c.add("AP2", Options{})
 	hostEntryService(t, ap2, "S2", "D2.xml")
 	txc := ap1.Begin()
-	if _, err := ap1.Call(txc, "AP2", "S2", nil); err != nil {
+	if _, err := ap1.Call(bg, txc, "AP2", "S2", nil); err != nil {
 		t.Fatal(err)
 	}
 	c.net.Disconnect("AP2")
-	if err := ap1.Abort(txc); err != nil {
+	if err := ap1.Abort(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	if txc.Status() != StatusAborted {
@@ -71,7 +71,7 @@ func TestRelativeDisconnectNoticeDelegatesToParent(t *testing.T) {
 	c := newCluster(t)
 	f := buildFig1(t, c, "")
 	txc := f.origin.Begin()
-	if _, err := f.origin.Exec(txc, f.q); err != nil {
+	if _, err := f.origin.Exec(bg, txc, f.q); err != nil {
 		t.Fatal(err)
 	}
 	// AP6 dies after the run; its uncle-ish relative AP4 (a leaf in the
@@ -103,7 +103,7 @@ func TestReusedResultsConsumedInsteadOfInvocation(t *testing.T) {
 	txc := ap1.Begin()
 	txc.storeReused(map[string][]string{"ghost": {`<val>saved</val>`}})
 	q, _ := axml.ParseQuery(`Select d/val from d in D`)
-	res, err := ap1.Exec(txc, axml.NewQuery(q))
+	res, err := ap1.Exec(bg, txc, axml.NewQuery(q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestAsyncLocalInvocationExecutesSynchronously(t *testing.T) {
 	ap1 := c.add("AP1", Options{})
 	hostEntryService(t, ap1, "S1", "D1.xml")
 	txc := ap1.Begin()
-	if err := ap1.CallAsync(txc, "AP1", "S1", nil); err != nil {
+	if err := ap1.CallAsync(bg, txc, "AP1", "S1", nil); err != nil {
 		t.Fatal(err)
 	}
 	if entryCount(t, ap1, "D1.xml") != 1 {
@@ -160,7 +160,7 @@ func TestInvocationErrorMessageNotDoubled(t *testing.T) {
 			return nil, &services.Fault{Name: "boom", Msg: "root cause"}
 		}))
 	txc := ap1.Begin()
-	_, err := ap1.Call(txc, "AP2", "f", nil)
+	_, err := ap1.Call(bg, txc, "AP2", "f", nil)
 	if err == nil {
 		t.Fatal("no error")
 	}
@@ -176,10 +176,10 @@ func TestCommitNotifiesMultiLevelParticipants(t *testing.T) {
 	c := newCluster(t)
 	f := buildFig1(t, c, "")
 	txc := f.origin.Begin()
-	if _, err := f.origin.Exec(txc, f.q); err != nil {
+	if _, err := f.origin.Exec(bg, txc, f.q); err != nil {
 		t.Fatal(err)
 	}
-	if err := f.origin.Commit(txc); err != nil {
+	if err := f.origin.Commit(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 	// Commit cascaded through AP3 and AP5 to the leaves: their contexts

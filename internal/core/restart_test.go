@@ -91,7 +91,7 @@ func TestRecoverPendingViaPeer(t *testing.T) {
 	ap1 := c.add("AP1", Options{})
 	hostEntryService(t, ap1, "S1", "D1.xml")
 	txc := ap1.Begin()
-	if _, err := ap1.Call(txc, "AP1", "S1", nil); err != nil {
+	if _, err := ap1.Call(bg, txc, "AP1", "S1", nil); err != nil {
 		t.Fatal(err)
 	}
 	// The peer "restarts" without committing: the same store/log stand in

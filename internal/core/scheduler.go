@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sync"
 	"time"
 
@@ -121,18 +122,19 @@ func (s *Scheduler) RunDue(now time.Time) {
 // refresh materializes one call in its own transaction.
 func (s *Scheduler) refresh(d due) {
 	p := s.peer
+	bg := context.Background()
 	txc := p.Begin()
 	if err := p.locks.Acquire(txc.ID, d.doc, LockExclusive); err != nil {
-		_ = p.Abort(txc)
+		_ = p.Abort(bg, txc)
 		s.countErr()
 		return
 	}
 	if _, err := p.Store().MaterializeCall(txc.ID, d.doc, d.scID, p); err != nil {
-		_ = p.Abort(txc)
+		_ = p.Abort(bg, txc)
 		s.countErr()
 		return
 	}
-	if err := p.Commit(txc); err != nil {
+	if err := p.Commit(bg, txc); err != nil {
 		s.countErr()
 		return
 	}

@@ -53,7 +53,7 @@ func TestProtocolsOverTCP(t *testing.T) {
 	// Materialize over TCP and commit.
 	txc := ap1.Begin()
 	q, _ := axml.ParseQuery(`Select p/points from p in ATPList//player`)
-	res, err := ap1.Exec(txc, axml.NewQuery(q))
+	res, err := ap1.Exec(bg, txc, axml.NewQuery(q))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestProtocolsOverTCP(t *testing.T) {
 	if !strings.Contains(txc.Chain().String(), "AP2") {
 		t.Fatalf("chain = %s", txc.Chain())
 	}
-	if err := ap1.Commit(txc); err != nil {
+	if err := ap1.Commit(bg, txc); err != nil {
 		t.Fatal(err)
 	}
 
@@ -71,14 +71,14 @@ func TestProtocolsOverTCP(t *testing.T) {
 	// definition travels back over TCP and is executed at AP2.
 	snapshot, _ := ap2.Store().Snapshot("Points.xml")
 	tx2 := ap1.Begin()
-	if _, err := ap1.Call(tx2, "AP2", "addRow", nil); err != nil {
+	if _, err := ap1.Call(bg, tx2, "AP2", "addRow", nil); err != nil {
 		t.Fatal(err)
 	}
 	kids := tx2.Children()
 	if len(kids) != 1 || kids[0].Comp == nil {
 		t.Fatalf("children = %+v", kids)
 	}
-	if err := ap1.Abort(tx2); err != nil {
+	if err := ap1.Abort(bg, tx2); err != nil {
 		t.Fatal(err)
 	}
 	waitForTCP(t, func() bool {

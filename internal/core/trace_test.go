@@ -1,0 +1,327 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/obs"
+	"axmltx/internal/p2p"
+	"axmltx/internal/services"
+)
+
+// mustInsert builds an insert action for a location query literal.
+func mustInsert(t *testing.T, loc string, data string) *axml.Action {
+	t.Helper()
+	q, err := axml.ParseQuery(loc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return axml.NewInsert(q, data)
+}
+
+// spanIndex maps span IDs to spans for parent-chain walks.
+func spanIndex(spans []*obs.Span) map[string]*obs.Span {
+	idx := make(map[string]*obs.Span, len(spans))
+	for _, s := range spans {
+		idx[s.ID] = s
+	}
+	return idx
+}
+
+// findSpan returns the first span matching pred, or nil.
+func findSpan(spans []*obs.Span, pred func(*obs.Span) bool) *obs.Span {
+	for _, s := range spans {
+		if pred(s) {
+			return s
+		}
+	}
+	return nil
+}
+
+// countSpans counts spans matching pred.
+func countSpans(spans []*obs.Span, pred func(*obs.Span) bool) int {
+	n := 0
+	for _, s := range spans {
+		if pred(s) {
+			n++
+		}
+	}
+	return n
+}
+
+// byKind builds a kind/peer/service predicate; empty fields match anything.
+func byKind(kind string, peer p2p.PeerID, service string) func(*obs.Span) bool {
+	return func(s *obs.Span) bool {
+		return (kind == "" || s.Kind == kind) &&
+			(peer == "" || s.Peer == string(peer)) &&
+			(service == "" || s.Service == service)
+	}
+}
+
+// ancestry walks the parent chain of s and returns "<kind>@<peer>" hops,
+// nearest first, stopping at the root or an unknown parent.
+func ancestry(idx map[string]*obs.Span, s *obs.Span) []string {
+	var hops []string
+	for cur := idx[s.Parent]; cur != nil; cur = idx[cur.Parent] {
+		hops = append(hops, cur.Kind+"@"+cur.Peer)
+		if cur.Parent == "" {
+			break
+		}
+	}
+	return hops
+}
+
+// TestTraceShapeFig1Commit runs the paper's Figure 1 transaction to commit
+// and checks that the emitted span tree mirrors the invocation chain
+// [AP1* → [AP2] || [AP3 → [AP4] || [AP5 → AP6]]] across all six peers.
+func TestTraceShapeFig1Commit(t *testing.T) {
+	ring := obs.NewRing(0)
+	c := newCluster(t)
+	c.sink = ring
+	f := buildFig1(t, c, "")
+
+	txc := f.origin.Begin()
+	if _, err := f.origin.Exec(bg, txc, f.q); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.origin.Commit(bg, txc); err != nil {
+		t.Fatal(err)
+	}
+	// Commit notifications cascade asynchronously; every participant emits
+	// a commit span (origin + 5 participants).
+	waitFor(t, func() bool {
+		return countSpans(ring.Trace(txc.ID), byKind(obs.KindCommit, "", "")) == 6
+	})
+
+	spans := ring.Trace(txc.ID)
+	idx := spanIndex(spans)
+	tree := obs.Tree(spans)
+	if len(tree) != 1 {
+		t.Fatalf("trace has %d roots, want 1 (span context lost somewhere)", len(tree))
+	}
+	root := tree[0].Span
+	if root.Kind != obs.KindTxn || root.Peer != "AP1" || root.Outcome != obs.OutcomeOK {
+		t.Fatalf("root span = %s@%s outcome=%s", root.Kind, root.Peer, root.Outcome)
+	}
+	wantChain := "[AP1* → [AP2] || [AP3 → [AP4] || [AP5 → AP6]]]"
+	if root.Chain != wantChain {
+		t.Errorf("root chain = %s, want %s", root.Chain, wantChain)
+	}
+	for _, s := range spans {
+		if s.Txn != txc.ID {
+			t.Fatalf("span %s carries txn %q", s.ID, s.Txn)
+		}
+		if s.Outcome != obs.OutcomeOK {
+			t.Errorf("span %s %s@%s outcome=%s code=%s err=%s",
+				s.ID, s.Kind, s.Peer, s.Outcome, s.Code, s.Err)
+		}
+	}
+
+	// The deepest branch: S6 served at AP6 under AP5's materialization of
+	// S5, itself under AP3's materialization of S3, started by AP1's Exec.
+	s6 := findSpan(spans, byKind(obs.KindServe, "AP6", "S6"))
+	if s6 == nil {
+		t.Fatal("no serve span for S6@AP6")
+	}
+	want := []string{
+		"invoke@AP5", "serve@AP5", // S6 invoked during AP5's serve of S5
+		"invoke@AP3", "serve@AP3", // S5 invoked during AP3's serve of S3
+		"invoke@AP1", "exec@AP1", "txn@AP1", // S3 embedded in AP1's Exec
+	}
+	got := ancestry(idx, s6)
+	if len(got) != len(want) {
+		t.Fatalf("S6 ancestry = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("S6 ancestry[%d] = %s, want %s (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	// Sibling branches hang off the same exec span.
+	for _, svc := range []struct {
+		peer    p2p.PeerID
+		service string
+	}{{"AP2", "S2"}, {"AP4", "S4"}} {
+		if findSpan(spans, byKind(obs.KindServe, svc.peer, svc.service)) == nil {
+			t.Errorf("no serve span for %s@%s", svc.service, svc.peer)
+		}
+	}
+	// Leaf work is WAL-logged: the serve span brackets its LSN range.
+	if s6.FirstLSN == 0 || s6.LastLSN < s6.FirstLSN {
+		t.Errorf("S6 serve LSN range = [%d,%d]", s6.FirstLSN, s6.LastLSN)
+	}
+}
+
+// TestTraceShapeFig1Abort injects the Figure 1 fault (AP5 fails during S5)
+// and checks the error taxonomy on the spans plus the compensation spans of
+// backward recovery at every participant.
+func TestTraceShapeFig1Abort(t *testing.T) {
+	ring := obs.NewRing(0)
+	c := newCluster(t)
+	c.sink = ring
+	f := buildFig1(t, c, "")
+	f.failS5.Store(true)
+
+	txc := f.origin.Begin()
+	_, err := f.origin.Exec(bg, txc, f.q)
+	if err == nil {
+		t.Fatal("expected TA to fail")
+	}
+	if ErrCode(err) != "fault:F5" {
+		t.Fatalf("ErrCode = %q, want fault:F5 (err: %v)", ErrCode(err), err)
+	}
+	if err := f.origin.Abort(bg, txc); err != nil {
+		t.Fatal(err)
+	}
+	// Abort propagation is partly asynchronous; all six peers compensate.
+	waitFor(t, func() bool {
+		peers := map[string]bool{}
+		for _, s := range ring.Trace(txc.ID) {
+			if s.Kind == obs.KindCompensate {
+				peers[s.Peer] = true
+			}
+		}
+		return len(peers) == 6
+	})
+
+	spans := ring.Trace(txc.ID)
+	root := findSpan(spans, byKind(obs.KindTxn, "AP1", ""))
+	if root == nil {
+		t.Fatal("no txn root span")
+	}
+	if root.Code != CodeCompensated {
+		t.Errorf("root code = %q, want %q", root.Code, CodeCompensated)
+	}
+	// The failing invocation carries the fault code at every level it
+	// crossed: AP5's serve of S5 and AP3's client-side invoke of it.
+	for _, probe := range []struct {
+		kind string
+		peer p2p.PeerID
+		svc  string
+	}{{obs.KindServe, "AP5", "S5"}, {obs.KindInvoke, "AP3", "S5"}} {
+		s := findSpan(spans, byKind(probe.kind, probe.peer, probe.svc))
+		if s == nil {
+			t.Errorf("no %s span for %s@%s", probe.kind, probe.svc, probe.peer)
+			continue
+		}
+		if s.Outcome != obs.OutcomeError || s.Code != "fault:F5" {
+			t.Errorf("%s %s@%s outcome=%s code=%q, want error/fault:F5",
+				probe.kind, probe.svc, probe.peer, s.Outcome, s.Code)
+		}
+	}
+	// Compensation spans record how many nodes they undid.
+	comp := findSpan(spans, func(s *obs.Span) bool {
+		return s.Kind == obs.KindCompensate && s.Peer == "AP6"
+	})
+	if comp == nil {
+		t.Fatal("AP6 emitted no compensate span")
+	}
+	if comp.Attrs["nodes"] == "" || comp.Attrs["nodes"] == "0" {
+		t.Errorf("AP6 compensate span nodes attr = %q", comp.Attrs["nodes"])
+	}
+}
+
+// TestTraceContextCancellation checks the context-first API contract: an
+// expired or cancelled ctx triggers backward recovery — the transaction is
+// aborted, logged work is compensated, and the error matches ErrTimeout.
+func TestTraceContextCancellation(t *testing.T) {
+	t.Run("cancel before Exec", func(t *testing.T) {
+		c := newCluster(t)
+		p := c.add("AP1", Options{})
+		if err := p.HostDocument("D.xml", `<D/>`); err != nil {
+			t.Fatal(err)
+		}
+		snap, _ := p.Store().Snapshot("D.xml")
+		txc := p.Begin()
+		if _, err := p.Exec(bg, txc, mustInsert(t, `Select d from d in D`, `<x/>`)); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := p.Exec(ctx, txc, mustInsert(t, `Select d from d in D`, `<y/>`))
+		if !errors.Is(err, ErrTimeout) {
+			t.Fatalf("err = %v, want ErrTimeout", err)
+		}
+		if txc.Status() != StatusAborted {
+			t.Fatalf("status = %s, want aborted", txc.Status())
+		}
+		live, _ := p.Store().Get("D.xml")
+		if !live.Equal(snap) {
+			t.Fatal("cancellation did not compensate the logged insert")
+		}
+		// Follow-up operations report the abort through the taxonomy.
+		if _, err := p.Exec(bg, txc, mustInsert(t, `Select d from d in D`, `<z/>`)); !errors.Is(err, ErrAborted) {
+			t.Fatalf("post-abort err = %v, want ErrAborted", err)
+		}
+	})
+
+	t.Run("deadline before Commit", func(t *testing.T) {
+		c := newCluster(t)
+		p := c.add("AP1", Options{})
+		if err := p.HostDocument("D.xml", `<D/>`); err != nil {
+			t.Fatal(err)
+		}
+		snap, _ := p.Store().Snapshot("D.xml")
+		txc := p.Begin()
+		if _, err := p.Exec(bg, txc, mustInsert(t, `Select d from d in D`, `<x/>`)); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+		defer cancel()
+		if err := p.Commit(ctx, txc); !errors.Is(err, ErrTimeout) {
+			t.Fatalf("commit err = %v, want ErrTimeout", err)
+		}
+		live, _ := p.Store().Get("D.xml")
+		if !live.Equal(snap) {
+			t.Fatal("deadline on commit did not compensate")
+		}
+	})
+}
+
+// TestErrorTaxonomy pins the errors.Is relations of the taxonomy, locally
+// and across the wire.
+func TestErrorTaxonomy(t *testing.T) {
+	if !errors.Is(ErrCompensated, ErrAborted) {
+		t.Error("ErrCompensated must match ErrAborted")
+	}
+	if !errors.Is(ErrPeerDown, p2p.ErrUnreachable) {
+		t.Error("ErrPeerDown must match the transport's unreachable error")
+	}
+
+	c := newCluster(t)
+	ap1 := c.add("AP1", Options{})
+	ap2 := c.add("AP2", Options{})
+	ap2.HostService(services.NewFuncService(services.Descriptor{Name: "boom", ResultName: "x"},
+		func(cctx context.Context, params map[string]string) ([]string, error) {
+			return nil, &services.Fault{Name: "F9", Msg: "injected"}
+		}))
+
+	// Named faults survive the wire as *services.Fault.
+	txc := ap1.Begin()
+	_, err := ap1.Call(bg, txc, "AP2", "boom", nil)
+	var fault *services.Fault
+	if !errors.As(err, &fault) || fault.Name != "F9" {
+		t.Fatalf("remote fault err = %v", err)
+	}
+	if ErrCode(err) != "fault:F9" {
+		t.Errorf("ErrCode = %q", ErrCode(err))
+	}
+
+	// Unreachable peers surface as ErrPeerDown.
+	c.net.Disconnect("AP2")
+	if _, err := ap1.Call(bg, txc, "AP2", "boom", nil); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("down-peer err = %v, want ErrPeerDown", err)
+	}
+	if err := ap1.Abort(bg, txc); err != nil {
+		t.Fatal(err)
+	}
+
+	// Operations on the aborted transaction match both abort sentinels.
+	_, err = ap1.Call(bg, txc, "AP2", "boom", nil)
+	if !errors.Is(err, ErrAborted) || !errors.Is(err, ErrCompensated) {
+		t.Fatalf("aborted-txn err = %v, want ErrCompensated", err)
+	}
+}

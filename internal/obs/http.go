@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+)
+
+// NewHandler serves the observability HTTP surface of a peer:
+//
+//	GET /metrics       — Prometheus text exposition of the registry
+//	GET /trace/{txn}   — JSON span tree of one transaction from the ring
+//	GET /traces        — JSON list of transaction IDs present in the ring
+//
+// Either argument may be nil; the corresponding endpoint then answers 404.
+func NewHandler(reg *Registry, ring *Ring) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if reg == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
+		if ring == nil {
+			http.NotFound(w, r)
+			return
+		}
+		txn := strings.TrimPrefix(r.URL.Path, "/trace/")
+		if txn == "" {
+			http.Error(w, "obs: missing transaction id", http.StatusBadRequest)
+			return
+		}
+		spans := ring.Trace(txn)
+		if len(spans) == 0 {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(TraceResponse{Txn: txn, Spans: len(spans), Tree: Tree(spans)})
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if ring == nil {
+			http.NotFound(w, r)
+			return
+		}
+		seen := make(map[string]bool)
+		var txns []string
+		for _, s := range ring.Spans() {
+			if !seen[s.Txn] {
+				seen[s.Txn] = true
+				txns = append(txns, s.Txn)
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(txns)
+	})
+	return mux
+}
+
+// TraceResponse is the /trace/{txn} payload.
+type TraceResponse struct {
+	Txn   string      `json:"txn"`
+	Spans int         `json:"spans"`
+	Tree  []*TreeNode `json:"tree"`
+}

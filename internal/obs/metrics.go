@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Labels attach dimensions to a metric (typically {"peer": "AP1"}).
+type Labels map[string]string
+
+// render returns the Prometheus label suffix, keys sorted, or "".
+func (l Labels) render() string {
+	if len(l) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(l))
+	for k := range l {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, l[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// renderWith returns the label suffix with one extra pair appended (used
+// for histogram "le" labels).
+func renderWith(base string, k, v string) string {
+	if base == "" {
+		return fmt.Sprintf("{%s=%q}", k, v)
+	}
+	return fmt.Sprintf("%s,%s=%q}", strings.TrimSuffix(base, "}"), k, v)
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(delta int64) {
+	if c != nil {
+		c.v.Add(delta)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// DefaultBuckets are the histogram upper bounds in seconds: exponential
+// from 100µs to 10s, sized for the framework's latencies (materialize,
+// invoke round-trip, fsync, compensation).
+var DefaultBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram. A nil *Histogram is valid
+// and ignores observations, so the engine can observe unconditionally even
+// when no registry was configured.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is +Inf
+	count  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+// NewHistogram returns a histogram over DefaultBuckets.
+func NewHistogram() *Histogram {
+	h := &Histogram{bounds: DefaultBuckets}
+	h.counts = make([]atomic.Int64, len(h.bounds)+1)
+	return h
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	secs := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, secs)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total observed time.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sumNs.Load())
+}
+
+// metricKey identifies one labeled series within a family.
+type metricKey struct {
+	name   string
+	labels string
+}
+
+// Registry collects counters, gauges and histograms and renders them in
+// the Prometheus text exposition format. It is the single export schema
+// shared by production peers (axmlpeer /metrics), benchmarks (axmlbench)
+// and simulations, so experiment output and operations dashboards read the
+// same names.
+type Registry struct {
+	mu       sync.Mutex
+	types    map[string]string // family name -> counter|gauge|histogram
+	counters map[metricKey]*Counter
+	gauges   map[metricKey]func() int64
+	hists    map[metricKey]*Histogram
+	order    []metricKey // registration order for stable output
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		types:    make(map[string]string),
+		counters: make(map[metricKey]*Counter),
+		gauges:   make(map[metricKey]func() int64),
+		hists:    make(map[metricKey]*Histogram),
+	}
+}
+
+// note registers the series key once and records the family type.
+func (r *Registry) note(name, typ, labels string) (metricKey, bool) {
+	key := metricKey{name: name, labels: labels}
+	if t, ok := r.types[name]; ok && t != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, t, typ))
+	}
+	r.types[name] = typ
+	_, c := r.counters[key]
+	_, g := r.gauges[key]
+	_, h := r.hists[key]
+	if c || g || h {
+		return key, false
+	}
+	r.order = append(r.order, key)
+	return key, true
+}
+
+// Counter returns the counter for name+labels, creating it on first use.
+func (r *Registry) Counter(name string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key, fresh := r.note(name, "counter", labels.render())
+	if fresh {
+		r.counters[key] = &Counter{}
+	}
+	return r.counters[key]
+}
+
+// Gauge registers a function-backed gauge; fn is called at scrape time.
+// Registering the same name+labels again replaces the function — this is
+// how core.Metrics counters export without changing their atomic storage.
+func (r *Registry) Gauge(name string, labels Labels, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key, _ := r.note(name, "gauge", labels.render())
+	r.gauges[key] = fn
+}
+
+// Histogram returns the histogram for name+labels, creating it on first
+// use.
+func (r *Registry) Histogram(name string, labels Labels) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key, fresh := r.note(name, "histogram", labels.render())
+	if fresh {
+		r.hists[key] = NewHistogram()
+	}
+	return r.hists[key]
+}
+
+// WritePrometheus renders every registered metric in the text exposition
+// format, in registration order with one # TYPE line per family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	order := append([]metricKey(nil), r.order...)
+	types := make(map[string]string, len(r.types))
+	for k, v := range r.types {
+		types[k] = v
+	}
+	counters := make(map[metricKey]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[metricKey]func() int64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[metricKey]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	typed := make(map[string]bool)
+	for _, key := range order {
+		if !typed[key.name] {
+			typed[key.name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", key.name, types[key.name]); err != nil {
+				return err
+			}
+		}
+		var err error
+		switch {
+		case counters[key] != nil:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", key.name, key.labels, counters[key].Value())
+		case gauges[key] != nil:
+			_, err = fmt.Fprintf(w, "%s%s %d\n", key.name, key.labels, gauges[key]())
+		case hists[key] != nil:
+			err = writeHistogram(w, key, hists[key])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders cumulative le-buckets plus _sum and _count.
+func writeHistogram(w io.Writer, key metricKey, h *Histogram) error {
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		le := renderWith(key.labels, "le", formatBound(bound))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", key.name, le, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	le := renderWith(key.labels, "le", "+Inf")
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", key.name, le, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", key.name, key.labels, h.Sum().Seconds()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", key.name, key.labels, h.Count())
+	return err
+}
+
+func formatBound(b float64) string { return fmt.Sprintf("%g", b) }

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTracerEmitsIntoRing(t *testing.T) {
+	ring := NewRing(8)
+	tr := NewTracer("AP1", ring)
+	root := tr.Start("T1", "", KindTxn, "")
+	child := tr.Start("T1", root.ID(), KindExec, "query")
+	child.SetChain("[AP1]")
+	child.SetLSNRange(3, 7)
+	child.SetAttr("doc", "D1.xml")
+	child.End("", nil)
+	root.End("aborted", errors.New("boom"))
+
+	spans := ring.Trace("T1")
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	exec, txn := spans[0], spans[1]
+	if exec.Kind != KindExec || exec.Parent != txn.ID || exec.Peer != "AP1" {
+		t.Fatalf("exec span malformed: %+v", exec)
+	}
+	if exec.Chain != "[AP1]" || exec.FirstLSN != 3 || exec.LastLSN != 7 || exec.Attrs["doc"] != "D1.xml" {
+		t.Fatalf("exec span details: %+v", exec)
+	}
+	if exec.Outcome != OutcomeOK {
+		t.Fatalf("exec outcome = %s", exec.Outcome)
+	}
+	if txn.Outcome != OutcomeError || txn.Code != "aborted" || txn.Err != "boom" {
+		t.Fatalf("txn span outcome: %+v", txn)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("T", "", KindExec, "s")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	sp.SetChain("x")
+	sp.SetTarget("y")
+	sp.SetLSNRange(1, 2)
+	sp.SetAttr("k", "v")
+	sp.End("", nil)
+	if sp.ID() != "" {
+		t.Fatal("nil span ID must be empty")
+	}
+	if NewTracer("AP1", nil) != nil {
+		t.Fatal("nil sink must disable tracing")
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	ring := NewRing(3)
+	tr := NewTracer("P", ring)
+	for i := 0; i < 5; i++ {
+		tr.Start("T", "", KindExec, "s").End("", nil)
+	}
+	if got := len(ring.Spans()); got != 3 {
+		t.Fatalf("ring holds %d, want 3", got)
+	}
+	if ring.Total() != 5 {
+		t.Fatalf("total = %d, want 5", ring.Total())
+	}
+	// Oldest two were evicted; remaining IDs are P#3..P#5 in order.
+	if ids := ring.Spans(); ids[0].ID != "P#3" || ids[2].ID != "P#5" {
+		t.Fatalf("unexpected ring order: %v, %v, %v", ids[0].ID, ids[1].ID, ids[2].ID)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONL(&buf)
+	tr := NewTracer("AP2", sink)
+	sp := tr.Start("T9", "AP1#1", KindServe, "getPoints")
+	sp.SetTarget("AP1")
+	sp.SetChain("[AP1* → AP2]")
+	sp.SetLSNRange(10, 12)
+	sp.SetAttr("nodes", "4")
+	sp.End("fault:F5", errors.New("fault F5: injected"))
+	tr.Start("T9", "", KindTxn, "").End("", nil)
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := DecodeJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("decoded %d spans, want 2", len(back))
+	}
+	got := back[0]
+	if got.Txn != "T9" || got.ID != "AP2#1" || got.Parent != "AP1#1" ||
+		got.Peer != "AP2" || got.Kind != KindServe || got.Service != "getPoints" ||
+		got.Target != "AP1" || got.Chain != "[AP1* → AP2]" ||
+		got.FirstLSN != 10 || got.LastLSN != 12 ||
+		got.Outcome != OutcomeError || got.Code != "fault:F5" ||
+		got.Err != "fault F5: injected" || got.Attrs["nodes"] != "4" {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if back[1].Outcome != OutcomeOK {
+		t.Fatalf("second span outcome: %+v", back[1])
+	}
+}
+
+func TestTreeReassembly(t *testing.T) {
+	ring := NewRing(16)
+	tr := NewTracer("AP1", ring)
+	root := tr.Start("T1", "", KindTxn, "")
+	a := tr.Start("T1", root.ID(), KindExec, "q")
+	b := tr.Start("T1", a.ID(), KindInvoke, "S3")
+	b.End("", nil)
+	a.End("", nil)
+	// An orphan whose parent span lives on another (unscraped) peer.
+	orphan := tr.Start("T1", "AP9#77", KindServe, "S9")
+	orphan.End("", nil)
+	root.End("", nil)
+
+	roots := Tree(ring.Trace("T1"))
+	if len(roots) != 2 {
+		t.Fatalf("got %d roots, want 2 (txn + orphan)", len(roots))
+	}
+	var txnRoot *TreeNode
+	for _, r := range roots {
+		if r.Span.Kind == KindTxn {
+			txnRoot = r
+		}
+	}
+	if txnRoot == nil {
+		t.Fatal("no txn root")
+	}
+	if len(txnRoot.Children) != 1 || txnRoot.Children[0].Span.Kind != KindExec {
+		t.Fatalf("txn children: %+v", txnRoot.Children)
+	}
+	if kids := txnRoot.Children[0].Children; len(kids) != 1 || kids[0].Span.Service != "S3" {
+		t.Fatalf("exec children: %+v", kids)
+	}
+	visited := 0
+	txnRoot.Walk(func(*TreeNode) { visited++ })
+	if visited != 3 {
+		t.Fatalf("walk visited %d, want 3", visited)
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	r1, r2 := NewRing(4), NewRing(4)
+	tr := NewTracer("P", Multi{r1, nil, r2})
+	tr.Start("T", "", KindExec, "s").End("", nil)
+	if len(r1.Spans()) != 1 || len(r2.Spans()) != 1 {
+		t.Fatal("multi sink did not fan out")
+	}
+}
+
+func TestRegistryPrometheusOutput(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("axml_txns_total", Labels{"peer": "AP1", "outcome": "committed"})
+	c.Add(3)
+	// Same series returned on re-registration.
+	reg.Counter("axml_txns_total", Labels{"outcome": "committed", "peer": "AP1"}).Inc()
+	v := int64(41)
+	reg.Gauge("axml_invocations_served", Labels{"peer": "AP1"}, func() int64 { return v })
+	h := reg.Histogram("axml_wal_sync_seconds", Labels{"peer": "AP1"})
+	h.Observe(300 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(20 * time.Second) // lands in +Inf
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE axml_txns_total counter",
+		`axml_txns_total{outcome="committed",peer="AP1"} 4`,
+		"# TYPE axml_invocations_served gauge",
+		`axml_invocations_served{peer="AP1"} 41`,
+		"# TYPE axml_wal_sync_seconds histogram",
+		`axml_wal_sync_seconds_bucket{peer="AP1",le="0.0005"} 1`,
+		`axml_wal_sync_seconds_bucket{peer="AP1",le="0.0025"} 2`,
+		`axml_wal_sync_seconds_bucket{peer="AP1",le="+Inf"} 3`,
+		`axml_wal_sync_seconds_count{peer="AP1"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if h.Count() != 3 || h.Sum() < 20*time.Second {
+		t.Fatalf("histogram count=%d sum=%v", h.Count(), h.Sum())
+	}
+}
+
+func TestNilHistogramObserve(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram must be empty")
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("axml_txns_total", Labels{"peer": "AP1"}).Inc()
+	ring := NewRing(16)
+	tr := NewTracer("AP1", ring)
+	root := tr.Start("T1@AP1", "", KindTxn, "")
+	tr.Start("T1@AP1", root.ID(), KindExec, "q").End("", nil)
+	root.End("", nil)
+
+	srv := httptest.NewServer(NewHandler(reg, ring))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b bytes.Buffer
+		_, _ = b.ReadFrom(resp.Body)
+		return resp.StatusCode, b.String()
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "axml_txns_total") {
+		t.Fatalf("/metrics: %d %q", code, body)
+	}
+	code, body := get("/trace/T1@AP1")
+	if code != 200 {
+		t.Fatalf("/trace: %d %q", code, body)
+	}
+	var tre TraceResponse
+	if err := json.Unmarshal([]byte(body), &tre); err != nil {
+		t.Fatal(err)
+	}
+	if tre.Txn != "T1@AP1" || tre.Spans != 2 || len(tre.Tree) != 1 || len(tre.Tree[0].Children) != 1 {
+		t.Fatalf("trace response: %+v", tre)
+	}
+	if code, _ := get("/trace/unknown"); code != 404 {
+		t.Fatalf("unknown trace: %d", code)
+	}
+	if code, body := get("/traces"); code != 200 || !strings.Contains(body, "T1@AP1") {
+		t.Fatalf("/traces: %d %q", code, body)
+	}
+}

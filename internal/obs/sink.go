@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Ring is an in-memory ring-buffer sink holding the most recent spans. It
+// is the default sink for tests, cmd/axmlquery and the /trace endpoint.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []*Span
+	next  int
+	full  bool
+	total int64
+}
+
+// DefaultRingCapacity bounds memory when callers pass capacity <= 0.
+const DefaultRingCapacity = 4096
+
+// NewRing returns a ring buffer keeping the last capacity spans
+// (DefaultRingCapacity when capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCapacity
+	}
+	return &Ring{buf: make([]*Span, capacity)}
+}
+
+// Emit implements Sink.
+func (r *Ring) Emit(s *Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % len(r.buf)
+	if r.next == 0 {
+		r.full = true
+	}
+	r.total++
+}
+
+// Spans returns the buffered spans in emission order.
+func (r *Ring) Spans() []*Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []*Span
+	if r.full {
+		out = append(out, r.buf[r.next:]...)
+	}
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Trace returns the buffered spans of one transaction in emission order.
+func (r *Ring) Trace(txn string) []*Span {
+	var out []*Span
+	for _, s := range r.Spans() {
+		if s.Txn == txn {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Total returns the number of spans ever emitted (including evicted ones).
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// JSONL is a sink writing one JSON object per line — the portable exchange
+// format for traces (axmlbench -trace, axmlpeer -trace).
+type JSONL struct {
+	mu  sync.Mutex
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a sink writing to w. Call Flush (or Close on the
+// underlying writer after Flush) before reading the output.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	return &JSONL{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink. Encoding errors are sticky and reported by Flush.
+func (j *JSONL) Emit(s *Span) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(s)
+}
+
+// Flush writes buffered lines through and returns the first error seen.
+func (j *JSONL) Flush() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return j.err
+	}
+	return j.w.Flush()
+}
+
+// DecodeJSONL reads spans back from a JSONL stream; blank lines are
+// skipped. It is the inverse of the JSONL sink.
+func DecodeJSONL(r io.Reader) ([]*Span, error) {
+	dec := json.NewDecoder(r)
+	var out []*Span
+	for {
+		var s Span
+		if err := dec.Decode(&s); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("obs: decode jsonl span %d: %w", len(out), err)
+		}
+		out = append(out, &s)
+	}
+}
+
+// Multi fans spans out to several sinks.
+type Multi []Sink
+
+// Emit implements Sink.
+func (m Multi) Emit(s *Span) {
+	for _, sink := range m {
+		if sink != nil {
+			sink.Emit(s)
+		}
+	}
+}

@@ -48,6 +48,13 @@ type Message struct {
 	Subject string // kind-specific discriminator (service name, fault name…)
 	Payload []byte
 	Err     string // error carried by a response
+	// Code is the typed error-taxonomy code matching Err (core.ErrCode), so
+	// receivers reconstruct errors.Is-compatible errors instead of matching
+	// strings.
+	Code string
+	// Span is the sender's active span ID; the receiver parents its own
+	// spans under it, stitching one trace tree across peers.
+	Span string
 }
 
 // Handler processes an incoming message and returns a response for requests

@@ -98,10 +98,12 @@ var (
 
 // Fault is a named service failure. Fault names select <axml:catch>
 // handlers during recovery; generic errors behave as an anonymous fault
-// (matched only by catchAll).
+// (matched only by catchAll). Err, when set, is the underlying cause and
+// participates in errors.Is/As chains via Unwrap.
 type Fault struct {
 	Name string
 	Msg  string
+	Err  error
 }
 
 // Error implements error.
@@ -111,6 +113,9 @@ func (f *Fault) Error() string {
 	}
 	return fmt.Sprintf("fault %s: %s", f.Name, f.Msg)
 }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (f *Fault) Unwrap() error { return f.Err }
 
 // FaultName extracts the fault name from an error chain, or "" for
 // anonymous failures.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -93,7 +94,7 @@ func RunE4(fanout int, p float64, peerIndependent bool, trials int, seed int64) 
 				dead = append(dead, id)
 			}
 		}
-		_ = tc.Origin.Abort(txc)
+		_ = tc.Origin.Abort(context.Background(), txc)
 
 		restored, total := 0, 0
 		deadSet := make(map[p2p.PeerID]bool, len(dead))
@@ -177,11 +178,11 @@ func RunE5(depth, fanout int, chaining bool, seed int64) E5Row {
 		// Chaining recovery redid the dead subtree on the replica; the
 		// transaction can commit (recoverDeadChild already ran).
 		if txc.Status() == core.StatusActive {
-			committed = tc.Origin.Commit(txc) == nil
+			committed = tc.Origin.Commit(context.Background(), txc) == nil
 		}
 	} else {
 		// Traditional: the origin aborts the whole transaction.
-		_ = tc.Origin.Abort(txc)
+		_ = tc.Origin.Abort(context.Background(), txc)
 	}
 
 	orphans := 0
@@ -273,7 +274,7 @@ func RunE7(superRatio float64, trials int, seed int64) E7Row {
 				dead = append(dead, id)
 			}
 		}
-		_ = tc.Origin.Abort(txc)
+		_ = tc.Origin.Abort(context.Background(), txc)
 		if tc.RestoredExcept(dead...) && len(dead) == 0 {
 			atomic++
 		}

@@ -140,15 +140,15 @@ func RunF1(forward bool) F1Row {
 	origin := fc.Peers["AP1"]
 	txc := origin.Begin()
 	q, _ := axml.ParseQuery("Select d/updateResult from d in D1")
-	_, err := origin.Exec(txc, axml.NewQuery(q))
+	_, err := origin.Exec(context.Background(), txc, axml.NewQuery(q))
 	row := F1Row{Mode: "abort"}
 	if forward {
 		row.Mode = "forward"
 	}
 	if err != nil {
-		_ = origin.Abort(txc)
+		_ = origin.Abort(context.Background(), txc)
 	} else {
-		_ = origin.Commit(txc)
+		_ = origin.Commit(context.Background(), txc)
 		row.Committed = true
 	}
 
@@ -222,7 +222,7 @@ func RunF2(scenario string, chaining bool) F2Row {
 	// The transaction starts at AP1 and reaches AP2 (S2w), forming the
 	// chain prefix; AP2 then drives the S3/S6 and S4/S5 branches.
 	txc := ap1.Begin()
-	if _, err := ap1.Call(txc, "AP2", "S2w", nil); err != nil {
+	if _, err := ap1.Call(context.Background(), txc, "AP2", "S2w", nil); err != nil {
 		panic(err)
 	}
 	ctx2, ok := ap2.Manager().Get(txc.ID)
@@ -234,15 +234,15 @@ func RunF2(scenario string, chaining bool) F2Row {
 	case "a":
 		// Leaf AP6 disconnects; AP3 detects on invocation and the nested
 		// protocol aborts the transaction.
-		if _, err := ap2.Call(ctx2, "AP3", "S3w", nil); err != nil {
+		if _, err := ap2.Call(context.Background(), ctx2, "AP3", "S3w", nil); err != nil {
 			panic(err)
 		}
 		fc.Net.Disconnect("AP6")
 		ctx3, _ := ap3.Manager().Get(txc.ID)
-		if _, err := ap3.Call(ctx3, "AP6", "S6", nil); err == nil {
+		if _, err := ap3.Call(context.Background(), ctx3, "AP6", "S6", nil); err == nil {
 			panic("sim: expected unreachable")
 		}
-		_ = ap1.Abort(txc)
+		_ = ap1.Abort(context.Background(), txc)
 	case "b":
 		// AP3 invokes S6 asynchronously then dies; AP6 redirects the
 		// results to AP2, which forward-recovers S3 on AP3b reusing them.
@@ -252,26 +252,26 @@ func RunF2(scenario string, chaining bool) F2Row {
 			services.Descriptor{Name: "S3", ResultName: "updateResult", TargetDocument: "D3.xml"},
 			func(cctx context.Context, params map[string]string) ([]string, error) {
 				env, _ := core.EnvFrom(cctx)
-				if _, err := env.Peer.Call(env.Txn, "AP3", "S3w", nil); err != nil {
+				if _, err := env.Peer.Call(context.Background(), env.Txn, "AP3", "S3w", nil); err != nil {
 					return nil, err
 				}
-				if err := env.Peer.CallAsync(env.Txn, "AP6", "S6", nil); err != nil {
+				if err := env.Peer.CallAsync(context.Background(), env.Txn, "AP6", "S6", nil); err != nil {
 					return nil, err
 				}
 				return []string{`<updateResult pending="S6"/>`}, nil
 			}))
-		if _, err := ap2.Call(ctx2, "AP3", "S3", nil); err != nil {
+		if _, err := ap2.Call(context.Background(), ctx2, "AP3", "S3", nil); err != nil {
 			panic(err)
 		}
 		fc.Net.Disconnect("AP3")
 		close(release)
 		if chaining && waitService(resultCh, "S3", 5*time.Second) {
-			row.Committed = ap1.Commit(txc) == nil
+			row.Committed = ap1.Commit(context.Background(), txc) == nil
 		} else {
 			// Traditional baseline: the redirect never happens, AP2 learns
 			// nothing; eventually the application gives up and aborts.
 			time.Sleep(20 * time.Millisecond)
-			_ = ap1.Abort(txc)
+			_ = ap1.Abort(context.Background(), txc)
 		}
 	case "c":
 		// AP3 dies mid-processing; AP2's pinger detects and recovers on
@@ -281,16 +281,16 @@ func RunF2(scenario string, chaining bool) F2Row {
 			services.Descriptor{Name: "S3", ResultName: "updateResult", TargetDocument: "D3.xml"},
 			func(cctx context.Context, params map[string]string) ([]string, error) {
 				env, _ := core.EnvFrom(cctx)
-				if _, err := env.Peer.Call(env.Txn, "AP3", "S3w", nil); err != nil {
+				if _, err := env.Peer.Call(context.Background(), env.Txn, "AP3", "S3w", nil); err != nil {
 					return nil, err
 				}
-				if _, err := env.Peer.Call(env.Txn, "AP6", "S6", nil); err != nil {
+				if _, err := env.Peer.Call(context.Background(), env.Txn, "AP6", "S6", nil); err != nil {
 					return nil, err
 				}
 				<-hang
 				return nil, nil
 			}))
-		if err := ap2.CallAsync(ctx2, "AP3", "S3", nil); err != nil {
+		if err := ap2.CallAsync(context.Background(), ctx2, "AP3", "S3", nil); err != nil {
 			panic(err)
 		}
 		waitUntil(func() bool {
@@ -302,12 +302,12 @@ func RunF2(scenario string, chaining bool) F2Row {
 		pinger.Watch("AP3")
 		pinger.ProbeNow(context.Background())
 		if chaining && waitService(resultCh, "S3", 5*time.Second) {
-			row.Committed = ap1.Commit(txc) == nil
+			row.Committed = ap1.Commit(context.Background(), txc) == nil
 		} else {
 			// Traditional: the chain is unknown, recovery cannot redirect;
 			// the origin gives up and aborts.
 			time.Sleep(20 * time.Millisecond)
-			_ = ap1.Abort(txc)
+			_ = ap1.Abort(context.Background(), txc)
 		}
 		close(hang)
 	case "d":
@@ -317,15 +317,15 @@ func RunF2(scenario string, chaining bool) F2Row {
 			services.Descriptor{Name: "S3", ResultName: "updateResult", TargetDocument: "D3.xml"},
 			func(cctx context.Context, params map[string]string) ([]string, error) {
 				env, _ := core.EnvFrom(cctx)
-				if _, err := env.Peer.Call(env.Txn, "AP3", "S3w", nil); err != nil {
+				if _, err := env.Peer.Call(context.Background(), env.Txn, "AP3", "S3w", nil); err != nil {
 					return nil, err
 				}
-				return env.Peer.Call(env.Txn, "AP6", "S6", nil)
+				return env.Peer.Call(context.Background(), env.Txn, "AP6", "S6", nil)
 			}))
-		if _, err := ap2.Call(ctx2, "AP3", "S3", nil); err != nil {
+		if _, err := ap2.Call(context.Background(), ctx2, "AP3", "S3", nil); err != nil {
 			panic(err)
 		}
-		if _, err := ap2.Call(ctx2, "AP4", "S4w", nil); err != nil {
+		if _, err := ap2.Call(context.Background(), ctx2, "AP4", "S4w", nil); err != nil {
 			panic(err)
 		}
 		silence := make(chan struct{}, 1)
@@ -340,10 +340,10 @@ func RunF2(scenario string, chaining bool) F2Row {
 		ap4.NotifySiblingDown(txc.ID, "AP3")
 		// With a replica available the parent forward-recovers; commit.
 		if chaining && waitService(resultCh, "S3", 5*time.Second) {
-			row.Committed = ap1.Commit(txc) == nil
+			row.Committed = ap1.Commit(context.Background(), txc) == nil
 		} else {
 			time.Sleep(20 * time.Millisecond)
-			_ = ap1.Abort(txc)
+			_ = ap1.Abort(context.Background(), txc)
 		}
 		watcher.Stop()
 	default:

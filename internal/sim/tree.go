@@ -18,6 +18,7 @@ import (
 
 	"axmltx/internal/axml"
 	"axmltx/internal/core"
+	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 	"axmltx/internal/services"
 	"axmltx/internal/wal"
@@ -50,6 +51,12 @@ type TreeSpec struct {
 	// options everywhere.
 	PeerIndependent bool
 	DisableChaining bool
+	// TraceSink, when set, receives every span of every peer in the
+	// deployment (the transaction ID keys them to one trace).
+	TraceSink obs.Sink
+	// MetricsRegistry, when set, collects every peer's protocol counters
+	// and latency histograms under the shared axml_* schema.
+	MetricsRegistry *obs.Registry
 }
 
 // TreeCluster is a built tree deployment.
@@ -161,6 +168,8 @@ func (tc *TreeCluster) buildPeer(id p2p.PeerID, children []p2p.PeerID, super, is
 		Super:           super,
 		PeerIndependent: tc.Spec.PeerIndependent,
 		DisableChaining: tc.Spec.DisableChaining,
+		TraceSink:       tc.Spec.TraceSink,
+		MetricsRegistry: tc.Spec.MetricsRegistry,
 	}
 	peer := core.NewPeer(tc.Net.Join(id), wal.NewMemory(), opts)
 	tc.Peers[id] = peer
@@ -241,12 +250,12 @@ func (tc *TreeCluster) Run() error {
 	if err != nil {
 		panic(err)
 	}
-	_, err = tc.Origin.Exec(txc, axml.NewQuery(q))
+	_, err = tc.Origin.Exec(context.Background(), txc, axml.NewQuery(q))
 	if err != nil {
-		_ = tc.Origin.Abort(txc)
+		_ = tc.Origin.Abort(context.Background(), txc)
 		return err
 	}
-	return tc.Origin.Commit(txc)
+	return tc.Origin.Commit(context.Background(), txc)
 }
 
 // RunNoCommit executes the tree but leaves the transaction open, returning
@@ -258,7 +267,7 @@ func (tc *TreeCluster) RunNoCommit() (*core.Context, error) {
 	if err != nil {
 		panic(err)
 	}
-	_, err = tc.Origin.Exec(txc, axml.NewQuery(q))
+	_, err = tc.Origin.Exec(context.Background(), txc, axml.NewQuery(q))
 	return txc, err
 }
 

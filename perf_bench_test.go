@@ -46,13 +46,13 @@ func BenchmarkLocalTxnCommit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		txc := ap1.Begin()
-		if _, err := ap1.Exec(txc, axml.NewInsert(loc, `<entry/>`)); err != nil {
+		if _, err := ap1.Exec(bg, txc, axml.NewInsert(loc, `<entry/>`)); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := ap1.Exec(txc, axml.NewDelete(del)); err != nil {
+		if _, err := ap1.Exec(bg, txc, axml.NewDelete(del)); err != nil {
 			b.Fatal(err)
 		}
-		if err := ap1.Commit(txc); err != nil {
+		if err := ap1.Commit(bg, txc); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -70,10 +70,10 @@ func BenchmarkLocalTxnAbort(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		txc := ap1.Begin()
-		if _, err := ap1.Exec(txc, axml.NewInsert(loc, `<entry/>`)); err != nil {
+		if _, err := ap1.Exec(bg, txc, axml.NewInsert(loc, `<entry/>`)); err != nil {
 			b.Fatal(err)
 		}
-		if err := ap1.Abort(txc); err != nil {
+		if err := ap1.Abort(bg, txc); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -87,10 +87,10 @@ func BenchmarkRemoteInvokeCommit(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		txc := ap1.Begin()
-		if _, err := ap1.Call(txc, "AP2", "W", nil); err != nil {
+		if _, err := ap1.Call(bg, txc, "AP2", "W", nil); err != nil {
 			b.Fatal(err)
 		}
-		if err := ap1.Commit(txc); err != nil {
+		if err := ap1.Commit(bg, txc); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -115,11 +115,11 @@ func BenchmarkConcurrentOrigins(b *testing.B) {
 		}, `<action type="replace"><data><slot v="1"/></data><location>Select s from s in D/slot;</location></action>`)
 		for pb.Next() {
 			txc := origin.Begin()
-			if _, err := origin.Call(txc, host.ID(), "W", nil); err != nil {
+			if _, err := origin.Call(bg, txc, host.ID(), "W", nil); err != nil {
 				b.Error(err)
 				return
 			}
-			if err := origin.Commit(txc); err != nil {
+			if err := origin.Commit(bg, txc); err != nil {
 				b.Error(err)
 				return
 			}
@@ -148,11 +148,11 @@ func BenchmarkQueryEvaluation(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		txc := ap1.Begin()
-		res, err := ap1.Exec(txc, axml.NewQuery(q))
+		res, err := ap1.Exec(bg, txc, axml.NewQuery(q))
 		if err != nil || len(res.Query.Items) != 1 {
 			b.Fatalf("res=%v err=%v", res, err)
 		}
-		if err := ap1.Commit(txc); err != nil {
+		if err := ap1.Commit(bg, txc); err != nil {
 			b.Fatal(err)
 		}
 	}
