@@ -1,12 +1,13 @@
 // Command axmlbench runs the experiment suite of EXPERIMENTS.md and prints
 // one table per experiment. Without arguments it runs everything; pass
-// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 perf obs) to select a
-// subset.
+// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 perf obs chaos) to select
+// a subset, either positionally or via -run.
 //
 //	go run ./cmd/axmlbench          # full suite
 //	go run ./cmd/axmlbench e3 e5    # selected experiments
 //	go run ./cmd/axmlbench perf     # hot-path suite, writes -perfout JSON
 //	go run ./cmd/axmlbench obs      # traced run, writes -traceout spans
+//	go run ./cmd/axmlbench -run chaos -scenario b -seed 6 -faults 'drop kind=abort p=0.3'
 package main
 
 import (
@@ -18,21 +19,30 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"axmltx/internal/chaos"
 	"axmltx/internal/obs"
 	"axmltx/internal/sim"
 )
 
 func main() {
+	run := flag.String("run", "", "comma-separated experiment IDs to run (same as positional args)")
 	seed := flag.Int64("seed", 1, "base random seed")
 	trials := flag.Int("trials", 20, "trials per randomized data point")
 	perfOut := flag.String("perfout", "BENCH_PR1.json", "output file for the perf experiment")
 	traceOut := flag.String("traceout", "TRACE.jsonl", "span output file (JSON Lines) for the obs experiment")
 	metricsOut := flag.String("metricsout", "", "Prometheus-text metrics output file for the obs experiment (default: stdout summary only)")
+	scenario := flag.String("scenario", "", "chaos: scenario to replay (fig1 fig1f sphere a b c d; default: sweep all)")
+	faults := flag.String("faults", "", "chaos: noise fault schedule in the rule DSL")
 	flag.Parse()
 
 	selected := map[string]bool{}
 	for _, a := range flag.Args() {
 		selected[strings.ToLower(a)] = true
+	}
+	for _, a := range strings.Split(*run, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			selected[strings.ToLower(a)] = true
+		}
 	}
 	want := func(id string) bool { return len(selected) == 0 || selected[id] }
 
@@ -74,6 +84,50 @@ func main() {
 	}
 	if selected["obs"] {
 		runObs(*seed, *traceOut, *metricsOut)
+	}
+	if selected["chaos"] {
+		runChaos(*scenario, *seed, *faults)
+	}
+}
+
+// runChaos replays one chaos conformance run (when -scenario is set) or
+// sweeps every scenario at the given seed. Any invariant violation prints a
+// one-line repro and exits nonzero, so the command doubles as the repro tool
+// the chaos test suite points at when a sweep seed fails.
+func runChaos(scenario string, seed int64, faults string) {
+	scenarios := chaos.Scenarios()
+	if scenario != "" {
+		scenarios = []string{scenario}
+	}
+	reports := make([]*chaos.Report, 0, len(scenarios))
+	for _, sc := range scenarios {
+		rep, err := chaos.Run(chaos.Config{Scenario: sc, Seed: seed, Faults: faults})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "axmlbench: chaos %s: %v\n", sc, err)
+			os.Exit(2)
+		}
+		reports = append(reports, rep)
+	}
+	table("CHAOS — fault-injected conformance (seed "+fmt.Sprint(seed)+")",
+		"scenario\tcommitted\tcanonical\tinjections\trestarts\treused\tviolations",
+		func(w *tabwriter.Writer) {
+			for _, r := range reports {
+				fmt.Fprintf(w, "%s\t%t\t%t\t%d\t%d\t%d\t%d\n",
+					r.Scenario, r.Committed, r.Canonical, r.Injections, r.Restarts, r.WorkReused, len(r.Violations))
+			}
+		})
+	failed := false
+	for _, r := range reports {
+		for _, v := range r.Violations {
+			failed = true
+			fmt.Fprintf(os.Stderr, "VIOLATION %s seed=%d: %s\n", r.Scenario, r.Seed, v)
+		}
+		if len(r.Violations) > 0 {
+			fmt.Fprintf(os.Stderr, "repro: %s\n", r.Repro())
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }
 

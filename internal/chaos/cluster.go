@@ -1,0 +1,156 @@
+package chaos
+
+import (
+	"fmt"
+
+	"axmltx/internal/core"
+	"axmltx/internal/obs"
+	"axmltx/internal/p2p"
+	"axmltx/internal/services"
+	"axmltx/internal/wal"
+	"axmltx/internal/xmldom"
+)
+
+// Cluster wires peers over one simulated network with the injector in every
+// transport path, and keeps the WAL handles so conformance checks can read
+// each peer's log after the run.
+type Cluster struct {
+	Net   *p2p.Network
+	Inj   *Injector
+	Peers map[p2p.PeerID]*core.Peer
+	Logs  map[p2p.PeerID]wal.Log
+
+	snaps map[string]*xmldom.Document
+}
+
+// NewCluster builds a cluster whose transports route through the injector.
+func NewCluster(inj *Injector) *Cluster {
+	return &Cluster{
+		Net:   p2p.NewNetwork(0),
+		Inj:   inj,
+		Peers: make(map[p2p.PeerID]*core.Peer),
+		Logs:  make(map[p2p.PeerID]wal.Log),
+		snaps: make(map[string]*xmldom.Document),
+	}
+}
+
+// Add joins a peer with a fresh in-memory WAL behind a chaos-wrapped
+// transport. Super peers are protected from crash faults (the paper's super
+// peers "do not disconnect", §3.3); every peer gets a restart hook running
+// core.Peer.Restart — drop volatile transaction state, WAL-replay recovery.
+func (c *Cluster) Add(id p2p.PeerID, opts core.Options) *core.Peer {
+	log := wal.NewMemory()
+	p := core.NewPeer(c.Inj.Wrap(c.Net.Join(id)), log, opts)
+	c.Peers[id] = p
+	c.Logs[id] = log
+	c.Inj.OnRestart(id, func() { _, _ = p.Restart() })
+	if opts.Super {
+		c.Inj.Protect(id)
+	}
+	return p
+}
+
+// HostEntry gives a peer a work document and an update service inserting
+// one <entry/> per invocation.
+func (c *Cluster) HostEntry(id p2p.PeerID, service, doc, root string) {
+	p := c.Peers[id]
+	if err := p.HostDocument(doc, fmt.Sprintf("<%s><log/></%s>", root, root)); err != nil {
+		panic(err)
+	}
+	p.HostUpdateService(services.Descriptor{
+		Name: service, ResultName: "updateResult", TargetDocument: doc,
+	}, fmt.Sprintf(`<action type="insert"><data><entry svc=%q/></data><location>Select l from l in %s/log;</location></action>`, service, root))
+}
+
+// HostComposite gives a peer a composition document embedding the given
+// (service, provider) calls — optionally with handler XML on the last call
+// — and a query service named svc over it.
+func (c *Cluster) HostComposite(id p2p.PeerID, svc, doc, root string, calls [][2]string, lastHandlerXML string) {
+	var b []byte
+	b = append(b, fmt.Sprintf("<%s>", root)...)
+	for i, call := range calls {
+		b = append(b, fmt.Sprintf(`<axml:sc mode="replace" methodName=%q serviceURL=%q>`, call[0], call[1])...)
+		if i == len(calls)-1 && lastHandlerXML != "" {
+			b = append(b, lastHandlerXML...)
+		}
+		b = append(b, `</axml:sc>`...)
+	}
+	b = append(b, fmt.Sprintf("</%s>", root)...)
+	p := c.Peers[id]
+	if err := p.HostDocument(doc, string(b)); err != nil {
+		panic(err)
+	}
+	p.HostQueryService(services.Descriptor{
+		Name: svc, ResultName: "updateResult", TargetDocument: doc,
+	}, fmt.Sprintf("Select d/updateResult from d in %s", root))
+}
+
+// SnapshotAll records every hosted document's pre-transaction state, the
+// baseline the global-abort invariant compares against.
+func (c *Cluster) SnapshotAll() {
+	for id, p := range c.Peers {
+		for _, name := range p.Store().Names() {
+			if snap, ok := p.Store().Snapshot(name); ok {
+				c.snaps[string(id)+"/"+name] = snap
+			}
+		}
+	}
+}
+
+// RestoredViolations returns one message per document whose live state
+// differs from its snapshot — empty when a global abort restored everything.
+func (c *Cluster) RestoredViolations() []string {
+	var out []string
+	for id, p := range c.Peers {
+		for _, name := range p.Store().Names() {
+			key := string(id) + "/" + name
+			snap, ok := c.snaps[key]
+			if !ok {
+				continue
+			}
+			live, ok := p.Store().Snapshot(name)
+			if !ok || !live.Equal(snap) {
+				out = append(out, fmt.Sprintf("%s: document not restored after abort", key))
+			}
+		}
+	}
+	return out
+}
+
+// CountEntries counts <entry/> elements in a peer's document (the unit of
+// work the standard update services insert).
+func (c *Cluster) CountEntries(id p2p.PeerID, doc string) int {
+	d, ok := c.Peers[id].Store().Snapshot(doc)
+	if !ok || d.Root() == nil {
+		return 0
+	}
+	n := 0
+	d.Root().Walk(func(x *xmldom.Node) bool {
+		if x.Name() == "entry" {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// Reconciler returns an unwrapped transport joined to the network under a
+// synthetic ID. The conformance runner uses it after healing to deliver the
+// final decision to straggler peers — modeling the eventual outcome
+// propagation a rejoined peer performs (§3.3) without routing the decision
+// itself through the fault schedule.
+func (c *Cluster) Reconciler() p2p.Transport {
+	return c.Net.Join("__reconciler__")
+}
+
+// FaultSpans counts KindFault spans observed by a sink collecting the run's
+// trace (nil-safe helper for reports).
+func FaultSpans(spans []*obs.Span) int {
+	n := 0
+	for _, s := range spans {
+		if s.Kind == obs.KindFault {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,223 @@
+// Package chaos is the deterministic fault-injection layer of the AXML
+// transactional framework, in the spirit of FoundationDB-style simulation
+// testing and Jepsen-style fault schedules: a p2p.Transport wrapper that
+// interposes on every message and, driven by a seeded schedule and a small
+// rule DSL, injects message drops, delays, duplications, reorders, peer
+// crashes (with optional restart + WAL-replay recovery), asymmetric
+// partitions and mid-stream disconnects. Every injected fault emits an
+// internal/obs span, so chaos shows up in traces next to the protocol
+// events it perturbs.
+//
+// On top of the wrapper, the conformance runner (runner.go) executes the
+// paper's Figure 1 workload and the §3.3 disconnection scenarios (a)–(d)
+// under fault schedules across a seed sweep, then asserts the
+// relaxed-atomicity invariants exported by internal/core. Failures
+// reproduce from a one-line command: axmlbench -run chaos -seed N.
+package chaos
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"axmltx/internal/p2p"
+)
+
+// Fault identifies one injectable fault type.
+type Fault string
+
+const (
+	// FaultDrop silently loses the message (one-way sends vanish; requests
+	// fail with the typed peer-down error, like a lost datagram + timeout).
+	FaultDrop Fault = "drop"
+	// FaultDelay sleeps before delivery.
+	FaultDelay Fault = "delay"
+	// FaultDup delivers the message twice (at-least-once delivery; the
+	// protocol's idempotency guards absorb it).
+	FaultDup Fault = "dup"
+	// FaultReorder holds a one-way message back and delivers it after the
+	// next message on the same edge (synchronous requests cannot reorder
+	// and pass through unchanged).
+	FaultReorder Fault = "reorder"
+	// FaultCrash kills a peer: the matched message dies with it and every
+	// later delivery to or from the peer fails until it restarts (rule
+	// option restart=N, after N blocked deliveries) or the injector heals.
+	// Restart runs the peer's hook — core.Peer.Restart, i.e. WAL-replay
+	// recovery.
+	FaultCrash Fault = "crash"
+	// FaultPartition blocks the matched message's (from → to) direction
+	// only — an asymmetric partition — until the injector heals.
+	FaultPartition Fault = "partition"
+	// FaultHangup is a mid-stream disconnect: the request is delivered and
+	// processed, but the response is torn down, so the sender sees the peer
+	// die mid-conversation while the receiver's work happened.
+	FaultHangup Fault = "hangup"
+)
+
+// Rule is one clause of a fault schedule: a fault plus matchers and
+// modifiers. The zero value of every matcher means "any".
+type Rule struct {
+	Fault Fault
+
+	// From/To match the message's sender/receiver; Peer names the crash
+	// victim explicitly (default: the message's receiver).
+	From, To, Peer p2p.PeerID
+	// Kind matches the message kind ("invoke", "result", "abort", ...).
+	Kind string
+	// Service matches the message subject (the service name on
+	// invoke/result/redirect/stream messages).
+	Service string
+	// Depth matches invocations at least this deep in the active-peer
+	// chain (1 = invoked by the origin). Only invoke messages carry a
+	// chain; other kinds never match a Depth-constrained rule.
+	Depth int
+
+	// P is the injection probability per matching message (default 1).
+	P float64
+	// After skips the first After matching messages (counted per directed
+	// edge, deterministically).
+	After int
+	// Times caps injections (per directed edge); 0 = unlimited.
+	Times int
+	// Delay is the sleep for delay faults (key "for", e.g. for=5ms).
+	Delay time.Duration
+	// Restart, for crash faults, revives the peer after that many blocked
+	// deliveries, running its restart hook; 0 = stay down until healed.
+	Restart int
+}
+
+// String renders the rule in the DSL so failing runs print reproducible
+// schedules.
+func (r Rule) String() string {
+	var b strings.Builder
+	b.WriteString(string(r.Fault))
+	add := func(k, v string) {
+		if v != "" {
+			b.WriteByte(' ')
+			b.WriteString(k)
+			b.WriteByte('=')
+			b.WriteString(v)
+		}
+	}
+	add("from", string(r.From))
+	add("to", string(r.To))
+	add("peer", string(r.Peer))
+	add("kind", r.Kind)
+	add("service", r.Service)
+	if r.Depth > 0 {
+		add("depth", strconv.Itoa(r.Depth))
+	}
+	if r.P > 0 && r.P < 1 {
+		add("p", strconv.FormatFloat(r.P, 'g', -1, 64))
+	}
+	if r.After > 0 {
+		add("after", strconv.Itoa(r.After))
+	}
+	if r.Times > 0 {
+		add("times", strconv.Itoa(r.Times))
+	}
+	if r.Delay > 0 {
+		add("for", r.Delay.String())
+	}
+	if r.Restart > 0 {
+		add("restart", strconv.Itoa(r.Restart))
+	}
+	return b.String()
+}
+
+// FormatRules renders a schedule in the DSL.
+func FormatRules(rules []Rule) string {
+	parts := make([]string, len(rules))
+	for i, r := range rules {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// ParseRules parses a semicolon-separated fault schedule, e.g.:
+//
+//	drop kind=invoke to=AP4 p=0.5; crash peer=AP3 kind=result restart=3;
+//	partition from=AP2 to=AP4; delay kind=chain for=2ms after=1 times=4
+//
+// Each clause is a fault name followed by space-separated key=value
+// matchers/modifiers (keys: from, to, peer, kind, service, depth, p, after,
+// times, for, restart). An empty string parses to an empty schedule.
+func ParseRules(src string) ([]Rule, error) {
+	var rules []Rule
+	for _, clause := range strings.Split(src, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		fields := strings.Fields(clause)
+		r := Rule{Fault: Fault(fields[0])}
+		switch r.Fault {
+		case FaultDrop, FaultDelay, FaultDup, FaultReorder, FaultCrash, FaultPartition, FaultHangup:
+		default:
+			return nil, fmt.Errorf("chaos: unknown fault %q in %q", fields[0], clause)
+		}
+		for _, f := range fields[1:] {
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("chaos: malformed option %q in %q (want key=value)", f, clause)
+			}
+			var err error
+			switch k {
+			case "from":
+				r.From = p2p.PeerID(v)
+			case "to":
+				r.To = p2p.PeerID(v)
+			case "peer":
+				r.Peer = p2p.PeerID(v)
+			case "kind":
+				r.Kind = v
+			case "service":
+				r.Service = v
+			case "depth":
+				r.Depth, err = strconv.Atoi(v)
+			case "p":
+				r.P, err = strconv.ParseFloat(v, 64)
+				if err == nil && (r.P < 0 || r.P > 1) {
+					err = fmt.Errorf("probability out of [0,1]")
+				}
+			case "after":
+				r.After, err = strconv.Atoi(v)
+			case "times":
+				r.Times, err = strconv.Atoi(v)
+			case "for":
+				r.Delay, err = time.ParseDuration(v)
+			case "restart":
+				r.Restart, err = strconv.Atoi(v)
+			default:
+				return nil, fmt.Errorf("chaos: unknown option %q in %q", k, clause)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("chaos: option %q in %q: %v", f, clause, err)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+// matches reports whether the rule's matchers accept the message. depth is
+// the invocation depth (0 = unknown / not an invoke).
+func (r Rule) matches(msg *p2p.Message, depth int) bool {
+	if r.From != "" && r.From != msg.From {
+		return false
+	}
+	if r.To != "" && r.To != msg.To {
+		return false
+	}
+	if r.Kind != "" && r.Kind != msg.Kind {
+		return false
+	}
+	if r.Service != "" && r.Service != msg.Subject {
+		return false
+	}
+	if r.Depth > 0 && depth < r.Depth {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,133 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+
+	"axmltx/internal/p2p"
+)
+
+func TestParseRulesRoundTrip(t *testing.T) {
+	cases := []string{
+		"drop kind=invoke to=AP4 p=0.5",
+		"crash peer=AP3 kind=result restart=3",
+		"partition from=AP2 to=AP4",
+		"delay kind=chain for=2ms after=1 times=4",
+		"dup kind=commit; reorder from=AP3 to=AP4 kind=stream",
+		"hangup service=S3 depth=2",
+	}
+	for _, src := range cases {
+		rules, err := ParseRules(src)
+		if err != nil {
+			t.Fatalf("ParseRules(%q): %v", src, err)
+		}
+		out := FormatRules(rules)
+		again, err := ParseRules(out)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", out, err)
+		}
+		if FormatRules(again) != out {
+			t.Fatalf("round trip diverged: %q -> %q -> %q", src, out, FormatRules(again))
+		}
+	}
+}
+
+func TestParseRulesFields(t *testing.T) {
+	rules, err := ParseRules("delay from=AP1 to=AP2 kind=invoke service=S3 depth=2 p=0.25 after=1 times=3 for=5ms; crash peer=AP4 restart=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("got %d rules", len(rules))
+	}
+	r := rules[0]
+	if r.Fault != FaultDelay || r.From != "AP1" || r.To != "AP2" || r.Kind != "invoke" ||
+		r.Service != "S3" || r.Depth != 2 || r.P != 0.25 || r.After != 1 || r.Times != 3 ||
+		r.Delay != 5*time.Millisecond {
+		t.Fatalf("rule 0 = %+v", r)
+	}
+	if rules[1].Fault != FaultCrash || rules[1].Peer != "AP4" || rules[1].Restart != 2 {
+		t.Fatalf("rule 1 = %+v", rules[1])
+	}
+}
+
+func TestParseRulesErrors(t *testing.T) {
+	for _, src := range []string{
+		"explode kind=invoke",      // unknown fault
+		"drop kindinvoke",          // malformed option
+		"drop color=red",           // unknown option
+		"drop p=1.5",               // probability out of range
+		"delay for=fast",           // bad duration
+		"crash restart=soon",       // bad int
+	} {
+		if _, err := ParseRules(src); err == nil {
+			t.Errorf("ParseRules(%q) accepted", src)
+		}
+	}
+	if rules, err := ParseRules("  ; ;  "); err != nil || len(rules) != 0 {
+		t.Errorf("blank schedule: rules=%v err=%v", rules, err)
+	}
+}
+
+func TestRuleMatching(t *testing.T) {
+	msg := &p2p.Message{From: "AP3", To: "AP6", Kind: p2p.KindInvoke, Subject: "S6"}
+	cases := []struct {
+		rule  Rule
+		depth int
+		want  bool
+	}{
+		{Rule{Fault: FaultDrop}, 0, true},
+		{Rule{Fault: FaultDrop, From: "AP3"}, 0, true},
+		{Rule{Fault: FaultDrop, From: "AP2"}, 0, false},
+		{Rule{Fault: FaultDrop, To: "AP6", Kind: "invoke"}, 0, true},
+		{Rule{Fault: FaultDrop, Kind: "result"}, 0, false},
+		{Rule{Fault: FaultDrop, Service: "S6"}, 0, true},
+		{Rule{Fault: FaultDrop, Service: "S3"}, 0, false},
+		{Rule{Fault: FaultDrop, Depth: 2}, 3, true},
+		{Rule{Fault: FaultDrop, Depth: 2}, 1, false},
+	}
+	for i, tc := range cases {
+		if got := tc.rule.matches(msg, tc.depth); got != tc.want {
+			t.Errorf("case %d (%s): matches = %v, want %v", i, tc.rule, got, tc.want)
+		}
+	}
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	rules := []Rule{{Fault: FaultDrop, Kind: "invoke", P: 0.5}}
+	outcome := func(seed int64) []bool {
+		in := NewInjector(seed, rules, nil)
+		var got []bool
+		for i := 0; i < 64; i++ {
+			v := in.decide(&p2p.Message{From: "A", To: "B", Kind: "invoke"}, false)
+			got = append(got, v.drop)
+		}
+		return got
+	}
+	a, b := outcome(42), outcome(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at message %d", i)
+		}
+	}
+	c := outcome(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 64-message schedules")
+	}
+	drops := 0
+	for _, d := range a {
+		if d {
+			drops++
+		}
+	}
+	if drops == 0 || drops == 64 {
+		t.Fatalf("p=0.5 produced %d/64 drops", drops)
+	}
+}

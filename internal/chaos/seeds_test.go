@@ -1,0 +1,60 @@
+package chaos
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestSeedReplayRegressions replays every run recorded in
+// testdata/chaos_seeds.txt — the regression corpus of seeds that once broke
+// an invariant. Determinism makes each line a permanent test case: same
+// scenario, seed and schedule, same message-level decisions.
+func TestSeedReplayRegressions(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "chaos_seeds.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	ran := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.SplitN(line, " ", 3)
+		if len(fields) < 2 {
+			t.Fatalf("line %d: malformed %q (want: scenario seed [faults])", lineNo, line)
+		}
+		seed, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad seed in %q: %v", lineNo, line, err)
+		}
+		cfg := Config{Scenario: fields[0], Seed: seed}
+		if len(fields) == 3 {
+			cfg.Faults = fields[2]
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Errorf("line %d (%s): %v", lineNo, line, err)
+			continue
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("line %d (%s): %s", lineNo, line, v)
+		}
+		ran++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if ran == 0 {
+		t.Fatal("corpus empty: testdata/chaos_seeds.txt has no runnable lines")
+	}
+}

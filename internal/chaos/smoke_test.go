@@ -1,0 +1,25 @@
+package chaos
+
+import "testing"
+
+// TestCanonicalScenarios runs every scenario with its scripted fault only
+// (no noise): the paper's outcomes must reproduce exactly, and the safety
+// invariants must hold — Violations covers both.
+func TestCanonicalScenarios(t *testing.T) {
+	for _, sc := range Scenarios() {
+		sc := sc
+		t.Run(sc, func(t *testing.T) {
+			t.Parallel()
+			rep, err := Run(Config{Scenario: sc, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("%s", v)
+			}
+			if t.Failed() {
+				t.Logf("repro: %s", rep.Repro())
+			}
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package chaos
+
+import (
+	"context"
+	"time"
+
+	"axmltx/internal/p2p"
+)
+
+// Transport wraps an inner p2p.Transport and interposes the injector on
+// every message in both directions. It is safe for concurrent use to the
+// same degree the inner transport is.
+type Transport struct {
+	inner p2p.Transport
+	inj   *Injector
+}
+
+var _ p2p.Transport = (*Transport)(nil)
+
+// Wrap interposes the injector on a transport. Engine code keeps seeing a
+// plain p2p.Transport; only the wiring layer knows chaos is in the path.
+func (in *Injector) Wrap(t p2p.Transport) *Transport {
+	return &Transport{inner: t, inj: in}
+}
+
+// Inner returns the wrapped transport.
+func (t *Transport) Inner() p2p.Transport { return t.inner }
+
+func (t *Transport) Self() p2p.PeerID { return t.inner.Self() }
+
+func (t *Transport) Close() error { return t.inner.Close() }
+
+// SetHandler installs h behind a guard: a crashed peer processes nothing —
+// messages reaching it from unwrapped transports (or racing a crash) fail
+// exactly as if the process were gone.
+func (t *Transport) SetHandler(h p2p.Handler) {
+	self := t.inner.Self()
+	t.inner.SetHandler(func(ctx context.Context, msg *p2p.Message) (*p2p.Message, error) {
+		if t.inj.Crashed(self) {
+			return nil, errInjected("receiver crashed", msg.From, self)
+		}
+		return h(ctx, msg)
+	})
+}
+
+// Send delivers a one-way message through the fault schedule. Drops vanish
+// silently (a lost datagram, not an error); reorders hold the message until
+// the next send on the same edge; dups deliver twice; hangups deliver but
+// report failure to the sender.
+func (t *Transport) Send(ctx context.Context, to p2p.PeerID, msg *p2p.Message) error {
+	msg.From = t.inner.Self()
+	msg.To = to
+	v := t.inj.decide(msg, false)
+	if v.delay > 0 {
+		sleep(ctx, v.delay)
+	}
+	if v.err != nil {
+		return v.err
+	}
+	if v.drop {
+		return nil
+	}
+	if v.reorder {
+		t.inj.hold(msg.From, to, msg, func(m *p2p.Message) error {
+			return t.inner.Send(context.Background(), to, m)
+		})
+		return nil
+	}
+	held := t.inj.takeHeld(msg.From, to)
+	err := t.inner.Send(ctx, to, msg)
+	for _, h := range held {
+		_ = h.deliver(h.msg) // the reordered message lands after this one
+	}
+	if v.dup {
+		cp := *msg
+		_ = t.inner.Send(ctx, to, &cp)
+	}
+	if v.hangup && err == nil {
+		return errInjected("connection lost after send", msg.From, to)
+	}
+	return err
+}
+
+// Request delivers a request through the fault schedule. A dropped request
+// fails like a timeout; a hangup lets the receiver do the work but tears
+// down the response path; a crash injected by this very message (or racing
+// it) loses the response even when the handler ran.
+func (t *Transport) Request(ctx context.Context, to p2p.PeerID, msg *p2p.Message) (*p2p.Message, error) {
+	self := t.inner.Self()
+	msg.From = self
+	msg.To = to
+	v := t.inj.decide(msg, true)
+	if v.delay > 0 {
+		sleep(ctx, v.delay)
+	}
+	if v.err != nil {
+		return nil, v.err
+	}
+	if v.drop {
+		return nil, errInjected("request dropped", self, to)
+	}
+	if v.hangup {
+		_, _ = t.inner.Request(ctx, to, msg)
+		return nil, errInjected("connection lost mid-request", self, to)
+	}
+	resp, err := t.inner.Request(ctx, to, msg)
+	if v.dup && err == nil {
+		cp := *msg
+		_, _ = t.inner.Request(ctx, to, &cp)
+	}
+	// A crash that fired while the handler ran (a crash rule matched this
+	// request's own delivery, or a concurrent path) loses the response.
+	if err == nil && (t.inj.Crashed(to) || t.inj.Crashed(self)) {
+		return nil, errInjected("response lost", self, to)
+	}
+	return resp, err
+}
+
+func sleep(ctx context.Context, d time.Duration) {
+	select {
+	case <-time.After(d):
+	case <-ctx.Done():
+	}
+}

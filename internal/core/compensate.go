@@ -58,24 +58,43 @@ func BuildCompensation(log wal.Log, txn string) []*axml.Action {
 
 // currentEpoch returns the structural records of the newest compensation
 // epoch: everything after the last completed compensation bracket. Records
-// inside a bracket (compensation's own effects) and before it (already
-// undone) are dropped. An unclosed CompensateBegin (crash mid-compensation)
-// leaves its pre-bracket records visible so recovery re-runs from the log.
+// inside a completed bracket (compensation's own effects) and before it
+// (already undone) are dropped. An unclosed CompensateBegin (crash
+// mid-compensation) does NOT clear the epoch: its records are undos that
+// were applied before the crash, so they fold into the epoch and a re-run
+// compensates them together with the remaining original effects — first
+// re-doing the partially-undone suffix, then undoing everything, which is
+// consistent at every intermediate step.
 func currentEpoch(recs []*wal.Record) []*wal.Record {
 	var out []*wal.Record
-	skipping := false
+	var bracket []*wal.Record
+	open := false
 	for _, r := range recs {
 		switch r.Type {
 		case wal.TypeCompensateBegin:
-			out = out[:0]
-			skipping = true
+			if open {
+				// The previous bracket never closed (crash mid-compensation
+				// followed by a re-run): its applied undos join the epoch.
+				out = append(out, bracket...)
+				bracket = nil
+			}
+			open = true
 		case wal.TypeCompensateEnd:
-			skipping = false
+			if open {
+				out = out[:0]
+				bracket = nil
+				open = false
+			}
 		case wal.TypeInsert, wal.TypeDelete:
-			if !skipping {
+			if open {
+				bracket = append(bracket, r)
+			} else {
 				out = append(out, r)
 			}
 		}
+	}
+	if open {
+		out = append(out, bracket...)
 	}
 	return out
 }

@@ -65,3 +65,25 @@ func (p *Peer) RecoverPending() ([]string, error) {
 	}
 	return recovered, err
 }
+
+// Restart simulates a crash-restart of the peer: every live transaction
+// context is discarded (a crashed process loses its volatile state — no
+// abort messages are sent), document locks are released, and restart-time
+// recovery compensates whatever the log shows as uncommitted. The store and
+// log stand in for the reloaded persistent state, exactly as in
+// RecoverPending's model where AXML documents plus the undo log survive the
+// crash. The chaos injector uses this as the restart hook after an injected
+// crash.
+func (p *Peer) Restart() ([]string, error) {
+	p.mgr.mu.Lock()
+	ids := make([]string, 0, len(p.mgr.ctxs))
+	for id := range p.mgr.ctxs {
+		ids = append(ids, id)
+	}
+	p.mgr.ctxs = make(map[string]*Context)
+	p.mgr.mu.Unlock()
+	for _, id := range ids {
+		p.locks.ReleaseAll(id)
+	}
+	return p.RecoverPending()
+}

@@ -55,6 +55,10 @@ const (
 	// KindAbort covers abort processing (including local compensation) at
 	// a peer.
 	KindAbort = "abort"
+	// KindFault is an injected fault (internal/chaos): a message dropped,
+	// delayed, duplicated or reordered, a peer crash/restart, or a
+	// partition, parented under the span of the message it hit.
+	KindFault = "fault"
 )
 
 // Outcome values.

@@ -32,7 +32,7 @@ type TCPTransport struct {
 	conns   map[PeerID]*tcpConn
 	dials   map[PeerID]*pendingDial
 	h       Handler
-	pending map[uint64]chan *wireFrame
+	pending map[uint64]*tcpPending
 	nextID  atomic.Uint64
 	closed  bool
 	// dialCount counts outbound dial attempts (for tests asserting that
@@ -48,6 +48,15 @@ type pendingDial struct {
 	err  error
 }
 
+// tcpPending is an in-flight request: the channel its response completes
+// and the connection it was written on, so that when that connection dies
+// the requester is failed with a typed ErrUnreachable instead of hanging
+// until its context expires.
+type tcpPending struct {
+	ch chan *wireFrame
+	c  *tcpConn
+}
+
 // ListenTCP starts a transport for peer self on addr (e.g. "127.0.0.1:0").
 func ListenTCP(self PeerID, addr string) (*TCPTransport, error) {
 	ln, err := net.Listen("tcp", addr)
@@ -60,7 +69,7 @@ func ListenTCP(self PeerID, addr string) (*TCPTransport, error) {
 		addrs:   make(map[PeerID]string),
 		conns:   make(map[PeerID]*tcpConn),
 		dials:   make(map[PeerID]*pendingDial),
-		pending: make(map[uint64]chan *wireFrame),
+		pending: make(map[uint64]*tcpPending),
 	}
 	go t.acceptLoop()
 	return t, nil
@@ -106,7 +115,7 @@ func (t *TCPTransport) Request(ctx context.Context, to PeerID, msg *Message) (*M
 	id := t.nextID.Add(1)
 	ch := make(chan *wireFrame, 1)
 	t.mu.Lock()
-	t.pending[id] = ch
+	t.pending[id] = &tcpPending{ch: ch, c: conn}
 	t.mu.Unlock()
 	defer func() {
 		t.mu.Lock()
@@ -121,7 +130,11 @@ func (t *TCPTransport) Request(ctx context.Context, to PeerID, msg *Message) (*M
 		return nil, ctx.Err()
 	case f, ok := <-ch:
 		if !ok {
-			return nil, ErrUnreachable
+			// The connection died while the request was in flight: the peer
+			// crashed, closed, or the link broke — a disconnection in the
+			// protocol's terms, reported with the typed error so
+			// errors.Is(err, core.ErrPeerDown) holds end to end.
+			return nil, fmt.Errorf("%w: %s (connection lost mid-request)", ErrUnreachable, to)
 		}
 		resp := f.Msg
 		return &resp, nil
@@ -242,13 +255,21 @@ func (t *TCPTransport) acceptLoop() {
 	}
 }
 
-// dropConn removes a dead connection so the next Send re-dials.
+// dropConn removes a dead connection so the next Send re-dials, and fails
+// every request still waiting on that connection (closing the channel makes
+// Request return a typed ErrUnreachable).
 func (t *TCPTransport) dropConn(c *tcpConn) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for id, cc := range t.conns {
 		if cc == c {
 			delete(t.conns, id)
+		}
+	}
+	for id, p := range t.pending {
+		if p.c == c {
+			delete(t.pending, id)
+			close(p.ch)
 		}
 	}
 }
@@ -265,11 +286,16 @@ func (t *TCPTransport) dispatch(c *tcpConn, f *wireFrame) {
 		return
 	}
 	if f.Response {
+		// Pop the entry under the lock so a racing dropConn cannot close the
+		// channel this send targets.
 		t.mu.Lock()
-		ch := t.pending[f.ID]
+		p := t.pending[f.ID]
+		if p != nil {
+			delete(t.pending, f.ID)
+		}
 		t.mu.Unlock()
-		if ch != nil {
-			ch <- f
+		if p != nil {
+			p.ch <- f
 		}
 		return
 	}

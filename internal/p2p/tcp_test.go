@@ -98,11 +98,42 @@ func TestTCPPeerCrashMidRequest(t *testing.T) {
 		b.Close() // crash before responding
 		return &Message{Kind: "never"}, nil
 	})
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	_, err := a.Request(ctx, "B", &Message{Kind: KindInvoke})
-	if err == nil {
-		t.Fatal("expected failure when peer crashes")
+	// No deadline on purpose: the dead connection itself must fail the
+	// request with the typed disconnection error — callers must not depend
+	// on a context timeout to learn the peer died.
+	_, err := a.Request(context.Background(), "B", &Message{Kind: KindInvoke})
+	if !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v, want ErrUnreachable", err)
+	}
+}
+
+func TestTCPInFlightRequestsFailTypedOnConnDeath(t *testing.T) {
+	a, b := newTCPPair(t)
+	entered := make(chan struct{}, 8)
+	b.SetHandler(func(ctx context.Context, msg *Message) (*Message, error) {
+		entered <- struct{}{}
+		time.Sleep(5 * time.Second) // hold the response past the crash
+		return &Message{Kind: "late"}, nil
+	})
+	const n = 4
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = a.Request(context.Background(), "B", &Message{Kind: KindInvoke})
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-entered // every request is in flight
+	}
+	b.Close() // peer dies with all responses outstanding
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, ErrUnreachable) {
+			t.Fatalf("request %d: err = %v, want ErrUnreachable", i, err)
+		}
 	}
 }
 

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"axmltx/internal/chaos"
+	"axmltx/internal/core"
+	"axmltx/internal/p2p"
+)
+
+// ChaosTreeResult is the outcome of one fault-injected tree transaction.
+type ChaosTreeResult struct {
+	Depth, Fanout int
+	Seed          int64
+	Faults        string
+	Committed     bool
+	Injections    int
+	Restarts      int
+	// Violations lists every invariant the run broke after healing; empty
+	// means the run conforms.
+	Violations []string
+}
+
+// RunChaosTree builds a Depth×Fanout invocation tree behind a chaos
+// injector and runs one transaction under the given noise schedule (rule
+// DSL, see chaos.ParseRules). After the run the faults heal — crashed peers
+// restart through WAL replay, partitions lift — stragglers are reconciled
+// with the final decision, and the relaxed-atomicity invariants are checked
+// on every peer's log. It is the generalization of the chaos package's
+// fixed Figure 1 conformance runs to arbitrary synthetic trees.
+func RunChaosTree(depth, fanout int, seed int64, faults string) (*ChaosTreeResult, error) {
+	rules, err := chaos.ParseRules(faults)
+	if err != nil {
+		return nil, err
+	}
+	inj := chaos.NewInjector(seed, rules, nil)
+	tc := BuildTree(TreeSpec{
+		Depth: depth, Fanout: fanout, Seed: seed,
+		WrapTransport: func(t p2p.Transport) p2p.Transport { return inj.Wrap(t) },
+	})
+	// The origin drives the workload and holds the decision; crashing it
+	// models nothing from §3.3 (it is the super peer of every chain here).
+	inj.Protect(tc.Order[0])
+	for id, p := range tc.Peers {
+		p := p
+		inj.OnRestart(id, func() { _, _ = p.Restart() })
+	}
+
+	res := &ChaosTreeResult{Depth: depth, Fanout: fanout, Seed: seed, Faults: faults}
+	bg := context.Background()
+	txc, runErr := tc.RunNoCommit()
+	if runErr == nil {
+		res.Committed = tc.Origin.Commit(bg, txc) == nil
+	} else {
+		_ = tc.Origin.Abort(bg, txc)
+	}
+
+	time.Sleep(10 * time.Millisecond) // let in-flight async work land or fail
+	inj.Heal()
+
+	// Reconcile + converge, exactly like the chaos conformance runner: keep
+	// re-sending the final decision (both handlers are idempotent) and poll
+	// the invariants until every log is consistent or the deadline expires.
+	ids := make([]p2p.PeerID, 0, len(tc.Peers))
+	for id := range tc.Peers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	rec := tc.Net.Join("__reconciler__")
+	defer rec.Close()
+	kind := p2p.KindAbort
+	if res.Committed {
+		kind = p2p.KindCommit
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		for _, id := range ids {
+			_ = rec.Send(bg, id, &p2p.Message{Kind: kind, Txn: txc.ID})
+		}
+		time.Sleep(5 * time.Millisecond)
+		res.Violations = res.Violations[:0]
+		for _, id := range ids {
+			log := tc.Logs[id]
+			if err := core.CheckReplayConsistency(log.Records()); err != nil {
+				res.Violations = append(res.Violations, fmt.Sprintf("%s: %v", id, err))
+			}
+			if err := core.CheckReverseCompensationOrder(log, txc.ID); err != nil {
+				res.Violations = append(res.Violations, fmt.Sprintf("%s: %v", id, err))
+			}
+			if err := core.CheckCompensationComplete(log, txc.ID); err != nil {
+				res.Violations = append(res.Violations, fmt.Sprintf("%s: %v", id, err))
+			}
+		}
+		if !res.Committed && !tc.AllRestored() {
+			res.Violations = append(res.Violations, "aborted transaction left a work document modified")
+		}
+		if len(res.Violations) == 0 || time.Now().After(deadline) {
+			break
+		}
+	}
+	res.Injections = len(inj.Injections())
+	res.Restarts = inj.Restarts()
+	return res, nil
+}

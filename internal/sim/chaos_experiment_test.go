@@ -1,0 +1,40 @@
+package sim
+
+import "testing"
+
+// TestRunChaosTree drives the generalized tree workload through the chaos
+// injector: a clean run must commit with zero injections, and noisy runs
+// across a small seed sweep must uphold the safety invariants whatever the
+// outcome.
+func TestRunChaosTree(t *testing.T) {
+	clean, err := RunChaosTree(3, 2, 1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !clean.Committed || clean.Injections != 0 || len(clean.Violations) > 0 {
+		t.Fatalf("clean run: committed=%v injections=%d violations=%v",
+			clean.Committed, clean.Injections, clean.Violations)
+	}
+
+	schedules := []string{
+		"drop kind=invoke p=0.2",
+		"dup kind=result p=0.5; drop kind=commit p=0.3",
+		"crash peer=P3 to=P3 kind=invoke p=0.5 restart=2",
+		"delay kind=result p=0.5 for=1ms; hangup kind=invoke p=0.2",
+	}
+	seeds := 4
+	if testing.Short() {
+		seeds = 2
+	}
+	for i, faults := range schedules {
+		for seed := 0; seed < seeds; seed++ {
+			res, err := RunChaosTree(3, 2, int64(seed), faults)
+			if err != nil {
+				t.Fatalf("schedule %d seed %d: %v", i, seed, err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("schedule %q seed %d: %s", faults, seed, v)
+			}
+		}
+	}
+}

@@ -1,9 +1,12 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"axmltx/internal/core"
 )
 
 // TestPropertyAtomicityUnderRandomFailure is the central invariant of the
@@ -92,6 +95,67 @@ func TestPropertyForwardRecoveryPreservesSiblingWork(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestPropertyCompensationReverseOrder: for ANY tree shape and ANY failing
+// peer, every compensation bracket in every peer's WAL undoes its epoch's
+// effects in exact reverse order, the log stays replay-consistent, and the
+// aborted transaction ends fully compensated everywhere — the §3.1 Sagas
+// discipline as a machine-checked property (table of shapes × random
+// victims, driven by the quick seed).
+func TestPropertyCompensationReverseOrder(t *testing.T) {
+	shapes := []struct {
+		name          string
+		depth, fanout int
+		entries       int
+	}{
+		{"chain", 3, 1, 2},
+		{"star", 1, 3, 1},
+		{"bushy", 2, 2, 2},
+		{"deep", 3, 2, 1},
+	}
+	for _, shape := range shapes {
+		shape := shape
+		t.Run(shape.name, func(t *testing.T) {
+			t.Parallel()
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				tc := BuildTree(TreeSpec{
+					Depth: shape.depth, Fanout: shape.fanout,
+					WorkEntries: shape.entries, Seed: seed,
+				})
+				victim := tc.Order[rng.Intn(len(tc.Order))]
+				tc.Fail[victim].Store(true)
+				txc, err := tc.RunNoCommit()
+				if err == nil {
+					t.Logf("seed %d: expected failure with victim %s", seed, victim)
+					return false
+				}
+				if err := tc.Origin.Abort(context.Background(), txc); err != nil {
+					t.Logf("seed %d: abort: %v", seed, err)
+					return false
+				}
+				for id, log := range tc.Logs {
+					if err := core.CheckReplayConsistency(log.Records()); err != nil {
+						t.Logf("seed %d: %s: %v", seed, id, err)
+						return false
+					}
+					if err := core.CheckReverseCompensationOrder(log, txc.ID); err != nil {
+						t.Logf("seed %d: %s: %v", seed, id, err)
+						return false
+					}
+					if err := core.CheckCompensationComplete(log, txc.ID); err != nil {
+						t.Logf("seed %d: %s: %v", seed, id, err)
+						return false
+					}
+				}
+				return tc.AllRestored()
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatal(err)
+			}
+		})
 	}
 }
 

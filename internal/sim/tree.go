@@ -57,6 +57,10 @@ type TreeSpec struct {
 	// MetricsRegistry, when set, collects every peer's protocol counters
 	// and latency histograms under the shared axml_* schema.
 	MetricsRegistry *obs.Registry
+	// WrapTransport, when set, wraps every peer's transport before the peer
+	// is built — the hook the chaos layer uses to interpose fault injection
+	// on all traffic of a tree deployment.
+	WrapTransport func(p2p.Transport) p2p.Transport
 }
 
 // TreeCluster is a built tree deployment.
@@ -65,6 +69,7 @@ type TreeCluster struct {
 	Net    *p2p.Network
 	Origin *core.Peer
 	Peers  map[p2p.PeerID]*core.Peer // includes replicas
+	Logs   map[p2p.PeerID]wal.Log    // each peer's WAL, for invariant checks
 	Order  []p2p.PeerID              // main peers, breadth-first; Order[0] is the origin
 	Parent map[p2p.PeerID]p2p.PeerID
 	Leaves []p2p.PeerID
@@ -93,6 +98,7 @@ func BuildTree(spec TreeSpec) *TreeCluster {
 		Spec:      spec,
 		Net:       p2p.NewNetwork(0),
 		Peers:     make(map[p2p.PeerID]*core.Peer),
+		Logs:      make(map[p2p.PeerID]wal.Log),
 		Parent:    make(map[p2p.PeerID]p2p.PeerID),
 		Fail:      make(map[p2p.PeerID]*atomic.Bool),
 		snapshots: make(map[p2p.PeerID]*xmldom.Document),
@@ -171,8 +177,14 @@ func (tc *TreeCluster) buildPeer(id p2p.PeerID, children []p2p.PeerID, super, is
 		TraceSink:       tc.Spec.TraceSink,
 		MetricsRegistry: tc.Spec.MetricsRegistry,
 	}
-	peer := core.NewPeer(tc.Net.Join(id), wal.NewMemory(), opts)
+	transport := tc.Net.Join(id)
+	if tc.Spec.WrapTransport != nil {
+		transport = tc.Spec.WrapTransport(transport)
+	}
+	log := wal.NewMemory()
+	peer := core.NewPeer(transport, log, opts)
 	tc.Peers[id] = peer
+	tc.Logs[id] = log
 
 	base := p2p.PeerID(strings.TrimSuffix(string(id), "r"))
 	svc, work := serviceName(base), workName(base)
