@@ -204,6 +204,18 @@ type (
 	TreeNode = obs.TreeNode
 	// TraceResponse is the JSON shape of the /trace/{txn} endpoint.
 	TraceResponse = obs.TraceResponse
+	// Sampler is an adaptive tail-based sampling sink: it always keeps
+	// failed, compensated, faulted and slow-percentile transactions and
+	// probabilistically drops fast clean commits, with the keep/drop
+	// decision propagated to every peer of a transaction.
+	Sampler = obs.Sampler
+	// SamplerConfig tunes a Sampler (zero value = defaults).
+	SamplerConfig = obs.SamplerConfig
+	// SamplerStats snapshots a sampler's keep/drop counters.
+	SamplerStats = obs.SamplerStats
+	// HTTPHandlerConfig assembles the full ops endpoint set of a peer
+	// (metrics, traces, healthz, pprof) for NewOpsHandler.
+	HTTPHandlerConfig = obs.HandlerConfig
 )
 
 // Span kinds (Span.Kind values) emitted by the engine.
@@ -241,6 +253,18 @@ var SpanTree = obs.Tree
 // (the span tree of one transaction as JSON) and /traces (known trace IDs).
 // Either argument may be nil to disable that side.
 var NewHTTPHandler = obs.NewHandler
+
+// NewOpsHandler builds the full ops endpoint set (metrics, traces, healthz,
+// optional pprof, sampled-out awareness) from an HTTPHandlerConfig.
+var NewOpsHandler = obs.NewOpsHandler
+
+// NewSampler wraps a sink with adaptive tail-based sampling; use it as the
+// WithTracer sink to keep tracing always-on at near-zero cost:
+//
+//	ring := axmltx.NewRing(0)
+//	sampler := axmltx.NewSampler(ring, axmltx.SamplerConfig{KeepRate: 0.05})
+//	peer := axmltx.NewPeer(t, axmltx.WithTracer(sampler))
+var NewSampler = obs.NewSampler
 
 // Typed errors returned by the engine; match with errors.Is.
 var (
@@ -327,6 +351,16 @@ func WithMaxConcurrentCalls(n int) Option {
 // "traditional" baseline for the disconnection experiments (§3.3).
 func WithoutChaining() Option {
 	return optionFunc(func(c *peerConfig) { c.opts.DisableChaining = true })
+}
+
+// WithSlowTxnLog reports origin transactions slower than threshold to fn
+// (outcome "committed" or "aborted") and force-keeps their traces when the
+// peer samples adaptively. fn may be nil to only force-keep.
+func WithSlowTxnLog(threshold time.Duration, fn func(txn string, d time.Duration, outcome string)) Option {
+	return optionFunc(func(c *peerConfig) {
+		c.opts.SlowTxn = threshold
+		c.opts.SlowTxnLog = fn
+	})
 }
 
 // Options is the legacy all-in-one configuration struct. It still works as

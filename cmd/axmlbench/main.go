@@ -5,9 +5,10 @@
 //
 //	go run ./cmd/axmlbench          # full suite
 //	go run ./cmd/axmlbench e3 e5    # selected experiments
-//	go run ./cmd/axmlbench perf     # hot-path suite, writes -perfout JSON
+//	go run ./cmd/axmlbench perf     # hot-path + obs-overhead suite, writes JSON
+//	go run ./cmd/axmlbench -run perf -json BENCH_PR4.json -quick
 //	go run ./cmd/axmlbench obs      # traced run, writes -traceout spans
-//	go run ./cmd/axmlbench -run chaos -scenario b -seed 6 -faults 'drop kind=abort p=0.3'
+//	go run ./cmd/axmlbench -run chaos -scenario b -seed 6 -traceout b6.jsonl
 package main
 
 import (
@@ -29,11 +30,19 @@ func main() {
 	seed := flag.Int64("seed", 1, "base random seed")
 	trials := flag.Int("trials", 20, "trials per randomized data point")
 	perfOut := flag.String("perfout", "BENCH_PR1.json", "output file for the perf experiment")
-	traceOut := flag.String("traceout", "TRACE.jsonl", "span output file (JSON Lines) for the obs experiment")
+	jsonOut := flag.String("json", "", "perf: JSON output file; takes precedence over -perfout (schema: BENCH_PR1.json keys plus spans_emitted/spans_kept/vs_baseline_pct on the obs-overhead entries)")
+	quick := flag.Bool("quick", false, "perf: reduced parameters for CI smoke runs")
+	traceOut := flag.String("traceout", "TRACE.jsonl", "span output file (JSON Lines) for the obs experiment; when set explicitly, chaos runs also write their traces here")
 	metricsOut := flag.String("metricsout", "", "Prometheus-text metrics output file for the obs experiment (default: stdout summary only)")
 	scenario := flag.String("scenario", "", "chaos: scenario to replay (fig1 fig1f sphere a b c d; default: sweep all)")
 	faults := flag.String("faults", "", "chaos: noise fault schedule in the rule DSL")
 	flag.Parse()
+	traceOutSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "traceout" {
+			traceOutSet = true
+		}
+	})
 
 	selected := map[string]bool{}
 	for _, a := range flag.Args() {
@@ -80,33 +89,62 @@ func main() {
 		runE8()
 	}
 	if selected["perf"] {
-		runPerf(*perfOut)
+		out := *perfOut
+		if *jsonOut != "" {
+			out = *jsonOut
+		}
+		runPerf(out, *quick)
 	}
 	if selected["obs"] {
 		runObs(*seed, *traceOut, *metricsOut)
 	}
 	if selected["chaos"] {
-		runChaos(*scenario, *seed, *faults)
+		chaosTrace := ""
+		if traceOutSet {
+			chaosTrace = *traceOut
+		}
+		runChaos(*scenario, *seed, *faults, chaosTrace)
 	}
 }
 
 // runChaos replays one chaos conformance run (when -scenario is set) or
 // sweeps every scenario at the given seed. Any invariant violation prints a
 // one-line repro and exits nonzero, so the command doubles as the repro tool
-// the chaos test suite points at when a sweep seed fails.
-func runChaos(scenario string, seed int64, faults string) {
+// the chaos test suite points at when a sweep seed fails. With traceOut the
+// full span stream of every run (protocol + injected fault spans) lands in
+// one JSON Lines file, ready for axmltrace critical/diff.
+func runChaos(scenario string, seed int64, faults string, traceOut string) {
 	scenarios := chaos.Scenarios()
 	if scenario != "" {
 		scenarios = []string{scenario}
 	}
+	var sink obs.Sink
+	var jsonl *obs.JSONL
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "axmlbench: create %s: %v\n", traceOut, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		jsonl = obs.NewJSONL(f)
+		sink = jsonl
+	}
 	reports := make([]*chaos.Report, 0, len(scenarios))
 	for _, sc := range scenarios {
-		rep, err := chaos.Run(chaos.Config{Scenario: sc, Seed: seed, Faults: faults})
+		rep, err := chaos.Run(chaos.Config{Scenario: sc, Seed: seed, Faults: faults, Sink: sink})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "axmlbench: chaos %s: %v\n", sc, err)
 			os.Exit(2)
 		}
 		reports = append(reports, rep)
+	}
+	if jsonl != nil {
+		if err := jsonl.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "axmlbench: flush %s: %v\n", traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("chaos trace -> %s\n", traceOut)
 	}
 	table("CHAOS — fault-injected conformance (seed "+fmt.Sprint(seed)+")",
 		"scenario\tcommitted\tcanonical\tinjections\trestarts\treused\tviolations",
@@ -191,15 +229,27 @@ func runObs(seed int64, traceOut, metricsOut string) {
 }
 
 // runPerf runs the hot-path throughput suite (parallel materialization, WAL
-// group commit, pooled serialization) and writes the results as JSON.
-func runPerf(out string) {
-	results := sim.RunPerfSuite()
-	table("PERF — hot-path throughput (PR 1)",
-		"name\tops\tops/sec\tp50 µs\tp99 µs\tallocs/op",
+// group commit, pooled serialization) plus the observability-overhead suite
+// (the same tree transaction with tracing off / adaptive sampling / full
+// tracing) and writes the results as JSON.
+func runPerf(out string, quick bool) {
+	var results []sim.PerfResult
+	if quick {
+		results = append(sim.RunPerfSuiteQuick(), sim.RunObsOverhead(2, 2, 5)...)
+	} else {
+		results = append(sim.RunPerfSuite(), sim.RunObsOverhead(3, 2, 60)...)
+	}
+	table("PERF — hot-path throughput and observability overhead",
+		"name\tops\tops/sec\tp50 µs\tp99 µs\tallocs/op\tspans\tkept\tvs baseline",
 		func(w *tabwriter.Writer) {
 			for _, r := range results {
-				fmt.Fprintf(w, "%s\t%d\t%.1f\t%.0f\t%.0f\t%.1f\n",
-					r.Name, r.Ops, r.OpsPerSec, r.P50Micros, r.P99Micros, r.AllocsPerOp)
+				vs := ""
+				if r.SpansEmitted > 0 {
+					vs = fmt.Sprintf("%+.1f%%", r.VsBaselinePct)
+				}
+				fmt.Fprintf(w, "%s\t%d\t%.1f\t%.0f\t%.0f\t%.1f\t%d\t%d\t%s\n",
+					r.Name, r.Ops, r.OpsPerSec, r.P50Micros, r.P99Micros, r.AllocsPerOp,
+					r.SpansEmitted, r.SpansKept, vs)
 			}
 		})
 	speedup := func(slow, fast string) float64 {

@@ -29,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -45,7 +46,9 @@ func main() {
 	walPath := flag.String("wal", "", "durable operation-log file (default: in-memory)")
 	walSync := flag.String("walsync", "each", "log durability: each (fsync per append), group (group commit), none (commit/abort barriers only)")
 	docsDir := flag.String("docs", "", "document checkpoint directory (loaded at startup, saved at shutdown)")
-	httpAddr := flag.String("http", "", `observability HTTP listen address, e.g. 127.0.0.1:9100 or :9100, serving /metrics (Prometheus text format), /trace/{txn} (span tree as JSON) and /traces (default: disabled)`)
+	httpAddr := flag.String("http", "", `observability HTTP listen address, e.g. 127.0.0.1:9100 or :9100, serving /metrics (Prometheus text format), /trace/{txn} (span tree as JSON), /traces, /healthz and /debug/pprof/ (default: disabled)`)
+	sample := flag.Float64("sample", 0, "adaptive trace sampling keep-rate for fast clean commits, 0 < rate < 1 (0 disables sampling: every span is kept; errors/aborts/faults/slow transactions are always kept when sampling)")
+	slowTxn := flag.Duration("slowtxn", 0, "log origin transactions slower than this and force-keep their traces, e.g. 250ms (0 disables)")
 	flag.Parse()
 	if *configPath == "" {
 		fatalUsage("the -config flag is required")
@@ -66,7 +69,10 @@ func main() {
 			fatalUsage(fmt.Sprintf("invalid -http address %q: %v (want host:port or :port)", *httpAddr, err))
 		}
 	}
-	if err := run(*configPath, *walPath, syncMode, *docsDir, *httpAddr); err != nil {
+	if *sample < 0 || *sample >= 1 {
+		fatalUsage(fmt.Sprintf("invalid -sample rate %v (want 0 to disable, or 0 < rate < 1)", *sample))
+	}
+	if err := run(*configPath, *walPath, syncMode, *docsDir, *httpAddr, *sample, *slowTxn); err != nil {
 		log.Fatalf("axmlpeer: %v", err)
 	}
 }
@@ -79,7 +85,7 @@ func fatalUsage(msg string) {
 	os.Exit(2)
 }
 
-func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir string, httpAddr string) error {
+func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir string, httpAddr string, sample float64, slowTxn time.Duration) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -116,16 +122,46 @@ func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir strin
 	// The observability pair: every transaction's span tree lands in the
 	// ring, the registry carries the protocol counters and latency
 	// histograms. Both also answer the "metrics"/"trace" admin subjects used
-	// by axmlquery, so they are wired even without -http.
+	// by axmlquery, so they are wired even without -http. With -sample an
+	// adaptive tail-based sampler sits in front of the ring: failed,
+	// compensated and slow transactions are always kept, fast clean commits
+	// survive with the given probability.
 	ring := obs.NewRing(0)
 	registry := obs.NewRegistry()
+	var sink obs.Sink = ring
+	var sampler *obs.Sampler
+	if sample > 0 {
+		sampler = obs.NewSampler(ring, obs.SamplerConfig{KeepRate: sample})
+		sampler.Register(registry, string(id))
+		sink = sampler
+	}
 	peer := core.NewPeer(transport, opLog, core.Options{
 		Super:           root.AttrDefault("super", "false") == "true",
-		TraceSink:       ring,
+		TraceSink:       sink,
 		MetricsRegistry: registry,
+		SlowTxn:         slowTxn,
+		SlowTxnLog: func(txn string, d time.Duration, outcome string) {
+			log.Printf("slow transaction %s: %s (%s)", txn, d, outcome)
+		},
 	})
+	// ready flips once startup (config, checkpoint load, restart recovery)
+	// finished; until then /healthz answers 503 so orchestrators hold
+	// traffic during WAL replay.
+	var ready atomic.Bool
 	if httpAddr != "" {
-		srv := &http.Server{Addr: httpAddr, Handler: obs.NewHandler(registry, ring)}
+		handler := obs.NewOpsHandler(obs.HandlerConfig{
+			Registry: registry,
+			Ring:     ring,
+			Sampler:  sampler,
+			Pprof:    true,
+			Ready: func() error {
+				if !ready.Load() {
+					return fmt.Errorf("peer %s still starting", id)
+				}
+				return nil
+			},
+		})
+		srv := &http.Server{Addr: httpAddr, Handler: handler}
 		httpLn, err := net.Listen("tcp", httpAddr)
 		if err != nil {
 			return fmt.Errorf("observability HTTP listener: %w", err)
@@ -136,7 +172,7 @@ func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir strin
 				log.Printf("observability HTTP server: %v", err)
 			}
 		}()
-		log.Printf("observability endpoints on http://%s/metrics and /trace/{txn}", httpLn.Addr())
+		log.Printf("ops endpoints on http://%s: /metrics /trace/{txn} /traces /healthz /debug/pprof/", httpLn.Addr())
 	}
 
 	for _, el := range root.Elements() {
@@ -200,6 +236,7 @@ func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir strin
 		}
 	}
 
+	ready.Store(true)
 	log.Printf("peer %s listening on %s (super=%t)", id, transport.Addr(), peer.Super())
 
 	// Keep-alive probing of neighbors: disconnections feed the recovery

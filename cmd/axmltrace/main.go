@@ -1,0 +1,204 @@
+// Command axmltrace analyzes recorded span traces (JSONL files produced by
+// axmlpeer -trace, axmlbench, or internal/chaos runs):
+//
+//	axmltrace show trace.jsonl [-txn T1@AP1]      per-transaction waterfall
+//	axmltrace critical trace.jsonl [-txn ...]     critical path + cost classes
+//	axmltrace flame trace.jsonl [-txn ...]        folded stacks (flamegraph input)
+//	axmltrace top trace.jsonl [-by peer|service]  latency breakdown
+//	axmltrace diff a.jsonl b.jsonl [-txn -txn2]   structural + latency deltas
+//
+// Without -txn, show/critical operate on every transaction in the file;
+// diff pairs the first transaction of each file unless told otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"axmltx/internal/obs/analyze"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "show":
+		err = runShow(args)
+	case "critical":
+		err = runCritical(args)
+	case "flame":
+		err = runFlame(args)
+	case "top":
+		err = runTop(args)
+	case "diff":
+		err = runDiff(args)
+	case "-h", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "axmltrace: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "axmltrace %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: axmltrace <command> <trace.jsonl> [flags]
+
+commands:
+  show      render per-transaction waterfalls
+  critical  extract the critical path with cost-class attribution
+  flame     emit folded stacks for flamegraph tooling
+  top       per-peer or per-service latency breakdown
+  diff      compare two traces of the same scenario
+`)
+}
+
+// loadTraces parses one trace file, optionally filtered to a transaction.
+func loadTraces(path, txn string) ([]*analyze.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	traces, err := analyze.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("%s holds no spans", path)
+	}
+	if txn == "" {
+		return traces, nil
+	}
+	t, ok := analyze.Find(traces, txn)
+	if !ok {
+		return nil, fmt.Errorf("%s holds no transaction %q", path, txn)
+	}
+	return []*analyze.Trace{t}, nil
+}
+
+// fileAndFlags splits the leading positional file arguments from flags, so
+// "axmltrace critical trace.jsonl -txn T1" parses naturally.
+func fileAndFlags(args []string, want int, fs *flag.FlagSet) ([]string, error) {
+	var files []string
+	for len(args) > 0 && len(files) < want && len(args[0]) > 0 && args[0][0] != '-' {
+		files = append(files, args[0])
+		args = args[1:]
+	}
+	if len(files) < want {
+		return nil, fmt.Errorf("expected %d trace file argument(s)", want)
+	}
+	return files, fs.Parse(args)
+}
+
+func runShow(args []string) error {
+	fs := flag.NewFlagSet("show", flag.ContinueOnError)
+	txn := fs.String("txn", "", "single transaction to render")
+	files, err := fileAndFlags(args, 1, fs)
+	if err != nil {
+		return err
+	}
+	traces, err := loadTraces(files[0], *txn)
+	if err != nil {
+		return err
+	}
+	for i, t := range traces {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := analyze.WriteWaterfall(os.Stdout, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runCritical(args []string) error {
+	fs := flag.NewFlagSet("critical", flag.ContinueOnError)
+	txn := fs.String("txn", "", "single transaction to analyze")
+	files, err := fileAndFlags(args, 1, fs)
+	if err != nil {
+		return err
+	}
+	traces, err := loadTraces(files[0], *txn)
+	if err != nil {
+		return err
+	}
+	for i, t := range traces {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := analyze.WriteCritical(os.Stdout, t, analyze.CriticalPath(t)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runFlame(args []string) error {
+	fs := flag.NewFlagSet("flame", flag.ContinueOnError)
+	txn := fs.String("txn", "", "single transaction to fold")
+	files, err := fileAndFlags(args, 1, fs)
+	if err != nil {
+		return err
+	}
+	traces, err := loadTraces(files[0], *txn)
+	if err != nil {
+		return err
+	}
+	for _, line := range analyze.FoldedStacksAll(traces) {
+		fmt.Println(line)
+	}
+	return nil
+}
+
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	by := fs.String("by", "peer", "aggregate by \"peer\" or \"service\"")
+	txn := fs.String("txn", "", "single transaction to aggregate")
+	files, err := fileAndFlags(args, 1, fs)
+	if err != nil {
+		return err
+	}
+	traces, err := loadTraces(files[0], *txn)
+	if err != nil {
+		return err
+	}
+	switch *by {
+	case "peer":
+		return analyze.WriteTop(os.Stdout, "peer", analyze.TopPeers(traces))
+	case "service":
+		return analyze.WriteTop(os.Stdout, "service", analyze.TopServices(traces))
+	default:
+		return fmt.Errorf("unknown -by %q (want peer or service)", *by)
+	}
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	txnA := fs.String("txn", "", "transaction in the first trace (default: first)")
+	txnB := fs.String("txn2", "", "transaction in the second trace (default: first)")
+	files, err := fileAndFlags(args, 2, fs)
+	if err != nil {
+		return err
+	}
+	ta, err := loadTraces(files[0], *txnA)
+	if err != nil {
+		return err
+	}
+	tb, err := loadTraces(files[1], *txnB)
+	if err != nil {
+		return err
+	}
+	return analyze.WriteDiff(os.Stdout, analyze.DiffTraces(ta[0], tb[0]))
+}

@@ -19,6 +19,10 @@ type Cluster struct {
 	Inj   *Injector
 	Peers map[p2p.PeerID]*core.Peer
 	Logs  map[p2p.PeerID]wal.Log
+	// Sink, when set before Add, becomes every peer's TraceSink (unless the
+	// peer's own Options already name one), so a run's trace interleaves
+	// protocol spans with the injector's fault spans in one stream.
+	Sink obs.Sink
 
 	snaps map[string]*xmldom.Document
 }
@@ -39,6 +43,9 @@ func NewCluster(inj *Injector) *Cluster {
 // peers "do not disconnect", §3.3); every peer gets a restart hook running
 // core.Peer.Restart — drop volatile transaction state, WAL-replay recovery.
 func (c *Cluster) Add(id p2p.PeerID, opts core.Options) *core.Peer {
+	if opts.TraceSink == nil {
+		opts.TraceSink = c.Sink
+	}
 	log := wal.NewMemory()
 	p := core.NewPeer(c.Inj.Wrap(c.Net.Join(id)), log, opts)
 	c.Peers[id] = p

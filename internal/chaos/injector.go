@@ -318,7 +318,11 @@ func (in *Injector) decide(msg *p2p.Message, isRequest bool) verdict {
 	in.mu.Unlock()
 
 	for _, inj := range spans {
-		sp := in.tracer.Start(msg.Txn, msg.Span, obs.KindFault, string(inj.Fault))
+		// Strip the sampler's drop-eligibility marker before parenting: the
+		// fault span must hang under the real span, and a fault forces the
+		// transaction to be kept anyway.
+		parent, _ := obs.DecodeWireSpan(msg.Span)
+		sp := in.tracer.Start(msg.Txn, parent, obs.KindFault, string(inj.Fault))
 		sp.SetTarget(string(msg.To))
 		sp.SetAttr("rule", in.rules[inj.Rule].String())
 		sp.SetAttr("kind", msg.Kind)

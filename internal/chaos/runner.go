@@ -113,6 +113,7 @@ func Run(cfg Config) (*Report, error) {
 	rules := append(append([]Rule(nil), scripted...), noise...)
 	inj := NewInjector(cfg.Seed, rules, cfg.Sink)
 	c := NewCluster(inj)
+	c.Sink = cfg.Sink
 	rep := &Report{
 		Scenario:  cfg.Scenario,
 		Seed:      cfg.Seed,

@@ -39,11 +39,20 @@ type Options struct {
 	// axml.DefaultMaxConcurrentCalls, 1 forces sequential materialization.
 	MaxConcurrentCalls int
 	// TraceSink receives every span the engine emits (one per Exec, Call,
-	// invocation, compensation, retry, redirect…); nil disables tracing.
+	// invocation, compensation, retry, redirect…); nil disables tracing. A
+	// sink chain containing an *obs.Sampler enables adaptive tail-based
+	// sampling: the engine discovers it, propagates its keep/drop decision
+	// with every remote invocation, and force-keeps slow transactions.
 	TraceSink obs.Sink
 	// MetricsRegistry, when set, receives the peer's protocol counters and
 	// latency histograms under the shared axml_* schema.
 	MetricsRegistry *obs.Registry
+	// SlowTxn is the latency above which an origin transaction is reported
+	// to SlowTxnLog and force-kept by the sampler; zero disables the hook.
+	SlowTxn time.Duration
+	// SlowTxnLog receives origin transactions slower than SlowTxn. outcome
+	// is "committed" or "aborted". Nil falls back to sampler force-keep only.
+	SlowTxnLog func(txn string, d time.Duration, outcome string)
 }
 
 // FaultHook is application-specific fault-handler code attached to
@@ -65,6 +74,7 @@ type Peer struct {
 	locks     *LockTable
 	metrics   *Metrics
 	tracer    *obs.Tracer
+	sampler   *obs.Sampler
 
 	// Latency histograms (nil-safe: stay nil without a MetricsRegistry).
 	histMaterialize *obs.Histogram
@@ -102,6 +112,7 @@ func NewPeer(transport p2p.Transport, log wal.Log, opts Options) *Peer {
 	}
 	p.store.SetMaxConcurrentCalls(opts.MaxConcurrentCalls)
 	p.tracer = obs.NewTracer(string(p.id), opts.TraceSink)
+	p.sampler = obs.FindSampler(opts.TraceSink)
 	if reg := opts.MetricsRegistry; reg != nil {
 		p.RegisterObservability(reg)
 	}
@@ -431,9 +442,28 @@ func (p *Peer) Commit(ctx context.Context, txc *Context) error {
 	}
 	sp.SetChain(chainStr(txc))
 	sp.End(ErrCode(err), err)
+	p.noteSlowTxn(txc, "committed")
 	txc.rootSpan.SetChain(chainStr(txc))
 	txc.rootSpan.End(ErrCode(err), err)
 	return err
+}
+
+// noteSlowTxn applies the slow-transaction hook at an origin terminal:
+// transactions slower than Options.SlowTxn are force-kept by the sampler
+// (before the root span flushes the buffer) and reported to SlowTxnLog.
+// Must run before the root span's End.
+func (p *Peer) noteSlowTxn(txc *Context, outcome string) {
+	if p.opts.SlowTxn <= 0 || txc.began.IsZero() {
+		return
+	}
+	d := time.Since(txc.began)
+	if d < p.opts.SlowTxn {
+		return
+	}
+	p.sampler.ForceKeep(txc.ID)
+	if p.opts.SlowTxnLog != nil {
+		p.opts.SlowTxnLog(txc.ID, d, outcome)
+	}
 }
 
 // CommitNoCtx commits without a caller context.
@@ -528,6 +558,13 @@ func (p *Peer) handleAdmin(msg *p2p.Message) (*p2p.Message, error) {
 		}
 		spans := ring.Trace(msg.Txn)
 		if len(spans) == 0 {
+			if p.sampler.WasSampledOut(msg.Txn) {
+				payload, err := json.Marshal(obs.TraceResponse{Txn: msg.Txn, SampledOut: true})
+				if err != nil {
+					return nil, err
+				}
+				return &p2p.Message{Kind: p2p.KindAdmin, Txn: msg.Txn, Payload: payload}, nil
+			}
 			return nil, fmt.Errorf("core: no spans for transaction %q at %s", msg.Txn, p.id)
 		}
 		payload, err := json.Marshal(obs.TraceResponse{Txn: msg.Txn, Spans: len(spans), Tree: obs.Tree(spans)})
@@ -542,12 +579,14 @@ func (p *Peer) handleAdmin(msg *p2p.Message) (*p2p.Message, error) {
 
 func (p *Peer) obsRegistry() *obs.Registry { return p.opts.MetricsRegistry }
 
-// ringSink digs the queryable ring buffer out of a (possibly fanned-out)
-// trace sink configuration.
+// ringSink digs the queryable ring buffer out of a (possibly fanned-out,
+// possibly sampled) trace sink configuration.
 func ringSink(s obs.Sink) *obs.Ring {
 	switch v := s.(type) {
 	case *obs.Ring:
 		return v
+	case *obs.Sampler:
+		return ringSink(v.Next())
 	case obs.Multi:
 		for _, sub := range v {
 			if r := ringSink(sub); r != nil {

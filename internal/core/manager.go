@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
@@ -90,6 +91,9 @@ type Context struct {
 	// compensated records that abort processing ran compensations, so later
 	// errors surface ErrCompensated rather than plain ErrAborted.
 	compensated bool
+	// began is when the origin context was created (zero on participants),
+	// the basis of the slow-transaction hook.
+	began time.Time
 }
 
 // SpanID returns the current tracing parent for operations under this
@@ -298,7 +302,7 @@ func (m *Manager) NewTxnID() string {
 
 // Begin creates the origin context for a new transaction.
 func (m *Manager) Begin(id string, super bool) *Context {
-	ctx := &Context{ID: id, Origin: m.self, Self: m.self, status: StatusActive}
+	ctx := &Context{ID: id, Origin: m.self, Self: m.self, status: StatusActive, began: time.Now()}
 	ctx.SetChain(NewChain(m.self, super))
 	m.put(ctx)
 	return ctx

@@ -243,8 +243,11 @@ func (p *Peer) prepareRemoteInvoke(txc *Context, target p2p.PeerID, service stri
 		// the subtree below us (§3.3 — AP2 must know about AP6).
 		p.propagateChain(txc)
 	}
+	// The span reference carries the sampler's keep/drop decision to the
+	// participant, so all peers of a deployment retain or drop the same
+	// transactions without coordination.
 	msg := &p2p.Message{Kind: p2p.KindInvoke, Txn: txc.ID, Subject: service,
-		Payload: encode(req), Span: sp.ID()}
+		Payload: encode(req), Span: obs.EncodeWireSpan(sp.ID(), p.sampler.DropEligible(txc.ID))}
 	return msg, sp
 }
 
@@ -442,8 +445,16 @@ func (p *Peer) handleInvoke(msg *p2p.Message) (*p2p.Message, error) {
 	p.metrics.InvocationsServed.Add(1)
 	// The serve span parents on the caller's invoke span carried in the
 	// message, stitching one trace tree across the peer boundary. It also
-	// becomes this context's parent hint for nested and later spans.
-	sp := p.tracer.Start(req.Txn, msg.Span, obs.KindServe, req.Service)
+	// becomes this context's parent hint for nested and later spans. The
+	// wire reference additionally carries the caller's sampling decision.
+	parentSpan, dropHint := obs.DecodeWireSpan(msg.Span)
+	if msg.Span != "" {
+		// An empty reference means the caller doesn't trace at all — that is
+		// no hint, and the local coin stays in charge. Treating it as "keep"
+		// would disable sampling on every peer serving untraced clients.
+		p.sampler.Hint(req.Txn, dropHint)
+	}
+	sp := p.tracer.Start(req.Txn, parentSpan, obs.KindServe, req.Service)
 	sp.SetTarget(string(req.Caller))
 	txc.swapSpanID(sp.ID())
 
@@ -651,6 +662,7 @@ func (p *Peer) abortContext(txc *Context, skip p2p.PeerID, notifyParent bool) er
 	sp.SetChain(chainStr(txc))
 	sp.End(ErrCode(err), err)
 	if txc.rootSpan != nil {
+		p.noteSlowTxn(txc, "aborted")
 		// Close the origin's transaction root span with the abort outcome
 		// so /trace shows a complete tree for aborted transactions.
 		txc.rootSpan.SetChain(chainStr(txc))
@@ -739,7 +751,7 @@ func (p *Peer) handleCompensate(msg *p2p.Message) (*p2p.Message, error) {
 	if err != nil {
 		return nil, err
 	}
-	parent := msg.Span
+	parent, _ := obs.DecodeWireSpan(msg.Span)
 	if txc, ok := p.mgr.Get(def.Txn); ok && parent == "" {
 		parent = txc.SpanID()
 	}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"axmltx/internal/obs"
+	"axmltx/internal/p2p"
+	"axmltx/internal/services"
+)
+
+// samplingPair builds a two-peer cluster where each peer runs its own
+// adaptive sampler over its own ring: AP1 (the origin) drops virtually every
+// clean commit, AP2 (the participant) would keep virtually every one by its
+// local coin — so any agreement between the two must come from the wire.
+func samplingPair(t *testing.T) (c *cluster, origin, part *Peer, rings map[p2p.PeerID]*obs.Ring, samplers map[p2p.PeerID]*obs.Sampler) {
+	t.Helper()
+	c = newCluster(t)
+	rings = make(map[p2p.PeerID]*obs.Ring)
+	samplers = make(map[p2p.PeerID]*obs.Sampler)
+	rates := map[p2p.PeerID]float64{"AP1": 1e-12, "AP2": 1 - 1e-12}
+	for _, id := range []p2p.PeerID{"AP1", "AP2"} {
+		ring := obs.NewRing(0)
+		s := obs.NewSampler(ring, obs.SamplerConfig{KeepRate: rates[id]})
+		rings[id] = ring
+		samplers[id] = s
+		c.add(id, Options{TraceSink: s})
+	}
+	origin, part = c.peers["AP1"], c.peers["AP2"]
+	hostEntryService(t, part, "S2", "D2.xml")
+	return c, origin, part, rings, samplers
+}
+
+// TestSamplingDropPropagatesOverWire: the origin's drop decision rides the
+// Message.Span marker, so the participant drops its half of the trace even
+// though its own coin would have kept it.
+func TestSamplingDropPropagatesOverWire(t *testing.T) {
+	_, origin, _, rings, samplers := samplingPair(t)
+
+	txc := origin.Begin()
+	if _, err := origin.Call(bg, txc, "AP2", "S2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := origin.Commit(bg, txc); err != nil {
+		t.Fatal(err)
+	}
+	// The origin flushes at the txn root; the participant at its (async)
+	// commit span.
+	waitFor(t, func() bool { return samplers["AP1"].WasSampledOut(txc.ID) })
+	waitFor(t, func() bool { return samplers["AP2"].WasSampledOut(txc.ID) })
+	for id, ring := range rings {
+		if got := len(ring.Trace(txc.ID)); got != 0 {
+			t.Errorf("%s leaked %d spans of the dropped transaction", id, got)
+		}
+	}
+}
+
+// TestSamplingUntracedCallerLeavesCoinInCharge: a caller with no tracer
+// sends no span reference at all — that is not a keep hint, and the
+// participant's own coin must stay in charge (otherwise any peer serving
+// untraced clients would keep every trace and sampling would be dead).
+func TestSamplingUntracedCallerLeavesCoinInCharge(t *testing.T) {
+	c := newCluster(t)
+	c.add("AP1", Options{}) // untraced origin: no sink, no sampler
+	ring := obs.NewRing(0)
+	sampler := obs.NewSampler(ring, obs.SamplerConfig{KeepRate: 1e-12})
+	c.add("AP2", Options{TraceSink: sampler})
+	origin, part := c.peers["AP1"], c.peers["AP2"]
+	hostEntryService(t, part, "S2", "D2.xml")
+
+	txc := origin.Begin()
+	if _, err := origin.Call(bg, txc, "AP2", "S2", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := origin.Commit(bg, txc); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return sampler.WasSampledOut(txc.ID) })
+	if got := len(ring.Trace(txc.ID)); got != 0 {
+		t.Errorf("participant kept %d spans of a clean commit its coin dropped", got)
+	}
+}
+
+// TestSamplingErrorOverridesDropHint: a failing service forces the
+// participant to keep its part of the trace even when the origin marked the
+// transaction drop-eligible — keep upgrades are local and conservative.
+func TestSamplingErrorOverridesDropHint(t *testing.T) {
+	_, origin, part, rings, samplers := samplingPair(t)
+	part.HostService(services.NewFuncService(
+		services.Descriptor{Name: "boom", ResultName: "x"},
+		func(cctx context.Context, params map[string]string) ([]string, error) {
+			return nil, &services.Fault{Name: "F9", Msg: "injected"}
+		}))
+
+	txc := origin.Begin()
+	if _, err := origin.Call(bg, txc, "AP2", "boom", nil); err == nil {
+		t.Fatal("expected the fault to surface")
+	}
+	if err := origin.Abort(bg, txc); err != nil {
+		t.Fatal(err)
+	}
+	// The failed serve span is interesting, so AP2 keeps its buffer at the
+	// (async) abort flush; the origin's abort is interesting too.
+	waitFor(t, func() bool { return len(rings["AP2"].Trace(txc.ID)) > 0 })
+	waitFor(t, func() bool { return len(rings["AP1"].Trace(txc.ID)) > 0 })
+	for _, id := range []p2p.PeerID{"AP1", "AP2"} {
+		if samplers[id].WasSampledOut(txc.ID) {
+			t.Errorf("%s sampled out a failed transaction", id)
+		}
+	}
+	serve := findSpan(rings["AP2"].Trace(txc.ID), byKind(obs.KindServe, "AP2", "boom"))
+	if serve == nil || serve.Outcome != obs.OutcomeError {
+		t.Fatalf("failing serve span missing or clean: %+v", serve)
+	}
+}

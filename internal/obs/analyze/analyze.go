@@ -1,0 +1,189 @@
+// Package analyze turns recorded span trees (internal/obs) into answers:
+// which edge of the invocation chain dominated commit latency, whether
+// compensation time went to WAL sync or network round trips, and how two
+// runs of the same scenario diverged.
+//
+// The package is pure analysis — it consumes spans from any sink (a Ring
+// snapshot or a decoded JSONL trace file), reconstructs per-transaction
+// DAGs, and derives critical paths, cost-class attribution, folded-stack
+// flamegraphs, per-peer/per-service breakdowns and structural diffs. It is
+// the library under cmd/axmltrace.
+package analyze
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"axmltx/internal/obs"
+)
+
+// Trace is one transaction's reassembled span forest.
+type Trace struct {
+	// Txn is the transaction (= trace) ID.
+	Txn string
+	// Spans are the transaction's spans in emission order.
+	Spans []*obs.Span
+	// Roots is the reassembled forest (the txn root plus any orphans whose
+	// parents live on unscraped peers).
+	Roots []*obs.TreeNode
+	// Start/End bound the whole trace in wall-clock time.
+	Start, End time.Time
+}
+
+// Duration is the trace's wall-clock extent.
+func (t *Trace) Duration() time.Duration { return t.End.Sub(t.Start) }
+
+// FromSpans groups spans by transaction and reassembles each group into a
+// Trace. Traces are ordered by start time, then transaction ID, for
+// deterministic output.
+func FromSpans(spans []*obs.Span) []*Trace {
+	byTxn := make(map[string][]*obs.Span)
+	var order []string
+	for _, s := range spans {
+		if s == nil || s.Txn == "" {
+			continue
+		}
+		if _, ok := byTxn[s.Txn]; !ok {
+			order = append(order, s.Txn)
+		}
+		byTxn[s.Txn] = append(byTxn[s.Txn], s)
+	}
+	out := make([]*Trace, 0, len(order))
+	for _, txn := range order {
+		group := byTxn[txn]
+		t := &Trace{Txn: txn, Spans: group, Roots: obs.Tree(group)}
+		t.Start, t.End = group[0].Start, group[0].End
+		for _, s := range group[1:] {
+			if s.Start.Before(t.Start) {
+				t.Start = s.Start
+			}
+			if s.End.After(t.End) {
+				t.End = s.End
+			}
+		}
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].Txn < out[j].Txn
+	})
+	return out
+}
+
+// Load decodes a JSONL trace stream and groups it into traces.
+func Load(r io.Reader) ([]*Trace, error) {
+	spans, err := obs.DecodeJSONL(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromSpans(spans), nil
+}
+
+// Find returns the trace for one transaction, if present.
+func Find(traces []*Trace, txn string) (*Trace, bool) {
+	for _, t := range traces {
+		if t.Txn == txn {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// CostClass attributes a latency contribution to one resource, the units
+// the paper's experiments reason in.
+type CostClass string
+
+const (
+	// ClassNetwork is remote-invocation round-trip time (including the
+	// remote peer's queueing) and injected network faults.
+	ClassNetwork CostClass = "network"
+	// ClassWALSync is commit/abort processing: the durability barrier and
+	// decision propagation.
+	ClassWALSync CostClass = "wal-sync"
+	// ClassMaterialize is local document materialization (Exec).
+	ClassMaterialize CostClass = "materialize"
+	// ClassService is service-body execution and transaction bookkeeping.
+	ClassService CostClass = "service"
+	// ClassCompensation is backward-recovery work: undoing effects and
+	// running shipped compensating-service definitions.
+	ClassCompensation CostClass = "compensation"
+)
+
+// Classify attributes a span to exactly one cost class based on its kind
+// and, for invocations, whether it crossed the network (Target differs from
+// the span's own peer).
+func Classify(sp *obs.Span) CostClass {
+	switch sp.Kind {
+	case obs.KindExec:
+		return ClassMaterialize
+	case obs.KindCompensate:
+		return ClassCompensation
+	case obs.KindCommit, obs.KindAbort:
+		return ClassWALSync
+	case obs.KindFault:
+		return ClassNetwork
+	case obs.KindInvoke, obs.KindCall, obs.KindRetry, obs.KindRedirect:
+		if sp.Target != "" && sp.Target != sp.Peer {
+			return ClassNetwork
+		}
+		return ClassService
+	default: // serve, reuse, txn, unknown kinds
+		return ClassService
+	}
+}
+
+// selfIntervals returns the parts of [start,end) not covered by the node's
+// children (clamped to the window) — the span's own time. Used by the
+// flamegraph and top breakdowns; the critical path derives its own segments
+// during the walk.
+func selfIntervals(n *obs.TreeNode, start, end time.Time) []interval {
+	ivs := make([]interval, 0, len(n.Children))
+	for _, c := range n.Children {
+		s, e := clamp(c.Span.Start, c.Span.End, start, end)
+		if e.After(s) {
+			ivs = append(ivs, interval{s, e})
+		}
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start.Before(ivs[j].start) })
+	var out []interval
+	cursor := start
+	for _, iv := range ivs {
+		if iv.start.After(cursor) {
+			out = append(out, interval{cursor, iv.start})
+		}
+		if iv.end.After(cursor) {
+			cursor = iv.end
+		}
+	}
+	if end.After(cursor) {
+		out = append(out, interval{cursor, end})
+	}
+	return out
+}
+
+type interval struct{ start, end time.Time }
+
+func (iv interval) duration() time.Duration { return iv.end.Sub(iv.start) }
+
+// clamp restricts [s,e) to the window [ws,we).
+func clamp(s, e, ws, we time.Time) (time.Time, time.Time) {
+	if s.Before(ws) {
+		s = ws
+	}
+	if e.After(we) {
+		e = we
+	}
+	return s, e
+}
+
+// selfTime is the span's duration minus its children's coverage.
+func selfTime(n *obs.TreeNode) time.Duration {
+	var total time.Duration
+	for _, iv := range selfIntervals(n, n.Span.Start, n.Span.End) {
+		total += iv.duration()
+	}
+	return total
+}

@@ -1,0 +1,217 @@
+package analyze
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"axmltx/internal/obs"
+)
+
+// ms is a fixed wall-clock instant offset in milliseconds, so synthetic
+// traces have exact, skew-free timestamps.
+func ms(m int) time.Time { return time.Unix(1000, 0).UTC().Add(time.Duration(m) * time.Millisecond) }
+
+func mkSpan(txn, id, parent, peer, kind, service, target string, startMs, endMs int) *obs.Span {
+	return &obs.Span{
+		Txn: txn, ID: id, Parent: parent, Peer: peer, Kind: kind,
+		Service: service, Target: target,
+		Start: ms(startMs), End: ms(endMs), Outcome: obs.OutcomeOK,
+	}
+}
+
+// syntheticCommit builds a one-hop committed transaction:
+//
+//	txn@AP1 [0,100) ── exec@AP1 [5,90) ── invoke(S3)@AP1→AP3 [10,80) ── serve(S3)@AP3 [15,75)
+//	              └── commit@AP1 [90,99)
+func syntheticCommit() []*obs.Span {
+	return []*obs.Span{
+		mkSpan("T1", "AP1#1", "", "AP1", obs.KindTxn, "", "", 0, 100),
+		mkSpan("T1", "AP1#2", "AP1#1", "AP1", obs.KindExec, "q", "", 5, 90),
+		mkSpan("T1", "AP1#3", "AP1#2", "AP1", obs.KindInvoke, "S3", "AP3", 10, 80),
+		mkSpan("T1", "AP3#1", "AP1#3", "AP3", obs.KindServe, "S3", "", 15, 75),
+		mkSpan("T1", "AP1#4", "AP1#1", "AP1", obs.KindCommit, "", "", 90, 99),
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		kind, target, peer string
+		want               CostClass
+	}{
+		{obs.KindExec, "", "AP1", ClassMaterialize},
+		{obs.KindCompensate, "", "AP1", ClassCompensation},
+		{obs.KindCommit, "", "AP1", ClassWALSync},
+		{obs.KindAbort, "", "AP1", ClassWALSync},
+		{obs.KindFault, "AP3", "chaos", ClassNetwork},
+		{obs.KindInvoke, "AP3", "AP1", ClassNetwork},
+		{obs.KindInvoke, "AP1", "AP1", ClassService}, // local invocation
+		{obs.KindInvoke, "", "AP1", ClassService},
+		{obs.KindCall, "AP2", "AP1", ClassNetwork},
+		{obs.KindRetry, "AP5r", "AP3", ClassNetwork},
+		{obs.KindRedirect, "AP1", "AP6", ClassNetwork},
+		{obs.KindServe, "", "AP3", ClassService},
+		{obs.KindReuse, "", "AP3", ClassService},
+		{obs.KindTxn, "", "AP1", ClassService},
+	}
+	for _, c := range cases {
+		sp := &obs.Span{Kind: c.kind, Target: c.target, Peer: c.peer}
+		if got := Classify(sp); got != c.want {
+			t.Errorf("Classify(%s target=%q peer=%q) = %s, want %s", c.kind, c.target, c.peer, got, c.want)
+		}
+	}
+}
+
+func TestCriticalPathSynthetic(t *testing.T) {
+	traces := FromSpans(syntheticCommit())
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces", len(traces))
+	}
+	tr := traces[0]
+	segs := CriticalPath(tr)
+
+	type want struct {
+		startMs, endMs int
+		class          CostClass
+	}
+	wants := []want{
+		{0, 5, ClassService},      // txn before exec starts
+		{5, 10, ClassMaterialize}, // exec before the invocation
+		{10, 15, ClassNetwork},    // request leg of the round trip
+		{15, 75, ClassService},    // remote service body
+		{75, 80, ClassNetwork},    // response leg
+		{80, 90, ClassMaterialize},
+		{90, 99, ClassWALSync},
+		{99, 100, ClassService}, // txn wrap-up after commit
+	}
+	if len(segs) != len(wants) {
+		t.Fatalf("got %d segments, want %d: %+v", len(segs), len(wants), segs)
+	}
+	for i, w := range wants {
+		s := segs[i]
+		if !s.Start.Equal(ms(w.startMs)) || !s.End.Equal(ms(w.endMs)) || s.Class != w.class {
+			t.Errorf("segment %d = [%s,%s) %s, want [%v,%v) %s",
+				i, s.Start, s.End, s.Class, w.startMs, w.endMs, w.class)
+		}
+	}
+	// The path tiles the transaction window exactly: contiguous, no gaps, no
+	// overlaps, summing to the end-to-end latency.
+	for i := 1; i < len(segs); i++ {
+		if !segs[i].Start.Equal(segs[i-1].End) {
+			t.Errorf("segment %d not contiguous: %s vs %s", i, segs[i-1].End, segs[i].Start)
+		}
+	}
+	var total time.Duration
+	for _, s := range segs {
+		total += s.Duration()
+	}
+	if total != tr.Duration() {
+		t.Errorf("critical path sums to %s, trace duration %s", total, tr.Duration())
+	}
+	if tot := ClassTotals(segs); tot[ClassService] != 66*time.Millisecond || tot[ClassNetwork] != 10*time.Millisecond {
+		t.Errorf("class totals: %v", tot)
+	}
+}
+
+func TestCriticalPathInputOrderIndependent(t *testing.T) {
+	spans := syntheticCommit()
+	base := CriticalPath(FromSpans(spans)[0])
+	rev := make([]*obs.Span, len(spans))
+	for i, s := range spans {
+		rev[len(spans)-1-i] = s
+	}
+	again := CriticalPath(FromSpans(rev)[0])
+	if !reflect.DeepEqual(base, again) {
+		t.Fatalf("critical path depends on span emission order:\n%+v\nvs\n%+v", base, again)
+	}
+}
+
+func TestFoldedStacks(t *testing.T) {
+	tr := FromSpans(syntheticCommit())[0]
+	got := FoldedStacks(tr)
+	want := []string{
+		"txn@AP1 6000",
+		"txn@AP1;commit@AP1 9000",
+		"txn@AP1;exec(q)@AP1 15000",
+		"txn@AP1;exec(q)@AP1;invoke(S3)@AP1 10000",
+		"txn@AP1;exec(q)@AP1;invoke(S3)@AP1;serve(S3)@AP3 60000",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("folded stacks:\n%v\nwant\n%v", got, want)
+	}
+	if all := FoldedStacksAll([]*Trace{tr, tr}); all[0] != "txn@AP1 12000" {
+		t.Fatalf("merged stacks: %v", all)
+	}
+}
+
+func TestTopPeers(t *testing.T) {
+	tr := FromSpans(syntheticCommit())[0]
+	tops := TopPeers([]*Trace{tr})
+	if len(tops) != 2 || tops[0].Key != "AP3" || tops[1].Key != "AP1" {
+		t.Fatalf("top peers: %+v", tops)
+	}
+	// AP3: serve self time 60ms, all service class.
+	if tops[0].Total != 60*time.Millisecond || tops[0].ByClass[ClassService] != 60*time.Millisecond {
+		t.Fatalf("AP3 entry: %+v", tops[0])
+	}
+	// AP1: 6+9+15+10 = 40ms across txn/commit/exec/invoke.
+	if tops[1].Total != 40*time.Millisecond || tops[1].ByClass[ClassNetwork] != 10*time.Millisecond {
+		t.Fatalf("AP1 entry: %+v", tops[1])
+	}
+}
+
+func TestDiffTracesSurfacesFault(t *testing.T) {
+	a := FromSpans(syntheticCommit())[0]
+
+	spansB := syntheticCommit()
+	for _, s := range spansB {
+		s.Txn = "T2"
+	}
+	fault := mkSpan("T2", "chaos#1", "AP1#3", "chaos", obs.KindFault, "crash", "AP3", 40, 40)
+	fault.Outcome = obs.OutcomeError
+	fault.Code = "chaos:crash"
+	retry := mkSpan("T2", "AP1#9", "AP1#2", "AP1", obs.KindRetry, "S3", "AP3", 80, 88)
+	b := FromSpans(append(spansB, fault, retry))[0]
+
+	d := DiffTraces(a, b)
+	if len(d.OnlyA) != 0 {
+		t.Fatalf("OnlyA: %+v", d.OnlyA)
+	}
+	var paths []string
+	for _, p := range d.OnlyB {
+		paths = append(paths, p.Path)
+	}
+	joined := strings.Join(paths, "\n")
+	if !strings.Contains(joined, "fault(crash)@chaos") || !strings.Contains(joined, "retry(S3)@AP1") {
+		t.Fatalf("OnlyB misses the divergence: %v", paths)
+	}
+	if len(d.FaultsA) != 0 || len(d.FaultsB) != 1 || d.FaultsB[0].Service != "crash" {
+		t.Fatalf("faults: A=%v B=%v", d.FaultsA, d.FaultsB)
+	}
+	var buf bytes.Buffer
+	if err := WriteDiff(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"only in B:", "faults in A: none", "fault=crash", "shared paths by |delta|:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diff rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWaterfallRendering(t *testing.T) {
+	tr := FromSpans(syntheticCommit())[0]
+	var buf bytes.Buffer
+	if err := WriteWaterfall(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"txn T1", "serve(S3)@AP3", "materialize", "wal-sync"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package analyze
+
+import (
+	"sort"
+	"time"
+
+	"axmltx/internal/obs"
+)
+
+// Segment is one stretch of a transaction's critical path: during
+// [Start,End) the span named here was the latest-finishing work in flight,
+// so shortening it (and nothing else) would have shortened the transaction.
+type Segment struct {
+	Span  *obs.Span
+	Class CostClass
+	Start time.Time
+	End   time.Time
+}
+
+// Duration is the segment's length.
+func (s Segment) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// CriticalPath extracts the transaction's critical path: the chain of spans
+// that determined its end-to-end latency. The walk starts at the primary
+// root (the txn span when present, otherwise the latest-ending root) and
+// repeatedly steps into the latest-ending child overlapping the remaining
+// window — the standard backward critical-path scan over an interval tree.
+// Windows are clamped so cross-peer clock skew cannot produce negative or
+// overlapping segments, and ties break on (End, Start, ID) so the result is
+// deterministic for identical input. Each returned segment is attributed to
+// exactly one cost class; segments come back in chronological order.
+func CriticalPath(t *Trace) []Segment {
+	root := primaryRoot(t)
+	if root == nil {
+		return nil
+	}
+	var segs []Segment
+	walkCritical(root, root.Span.Start, root.Span.End, &segs)
+	sort.Slice(segs, func(i, j int) bool {
+		if !segs[i].Start.Equal(segs[j].Start) {
+			return segs[i].Start.Before(segs[j].Start)
+		}
+		return segs[i].Span.ID < segs[j].Span.ID
+	})
+	return segs
+}
+
+// primaryRoot picks the root the critical path hangs off: the txn span when
+// the trace includes its origin, otherwise the latest-ending root (ties on
+// ID for determinism).
+func primaryRoot(t *Trace) *obs.TreeNode {
+	var best *obs.TreeNode
+	for _, r := range t.Roots {
+		if r.Span.Kind == obs.KindTxn {
+			return r
+		}
+		if best == nil || laterNode(r, best) {
+			best = r
+		}
+	}
+	return best
+}
+
+// laterNode reports whether a's span outranks b's for latest-ending
+// selection: later End, then later Start, then greater ID.
+func laterNode(a, b *obs.TreeNode) bool {
+	as, bs := a.Span, b.Span
+	if !as.End.Equal(bs.End) {
+		return as.End.After(bs.End)
+	}
+	if !as.Start.Equal(bs.Start) {
+		return as.Start.After(bs.Start)
+	}
+	return as.ID > bs.ID
+}
+
+// walkCritical appends node's critical segments within [start,end) to segs,
+// recursing into the latest-ending overlapping child at each backward step.
+func walkCritical(n *obs.TreeNode, start, end time.Time, segs *[]Segment) {
+	if !end.After(start) {
+		return
+	}
+	cls := Classify(n.Span)
+	cursor := end
+	for cursor.After(start) {
+		child := latestChildBefore(n, start, cursor)
+		if child == nil {
+			*segs = append(*segs, Segment{Span: n.Span, Class: cls, Start: start, End: cursor})
+			return
+		}
+		cs, ce := clamp(child.Span.Start, child.Span.End, start, cursor)
+		if ce.Before(cursor) {
+			// The node itself was the latest work between the child's end
+			// and the cursor: self time on the critical path.
+			*segs = append(*segs, Segment{Span: n.Span, Class: cls, Start: ce, End: cursor})
+		}
+		walkCritical(child, cs, ce, segs)
+		cursor = cs
+	}
+}
+
+// latestChildBefore returns the child of n with the latest End that overlaps
+// [start,cursor), or nil. Ties break like laterNode, keeping the scan
+// deterministic when children end at the same instant.
+func latestChildBefore(n *obs.TreeNode, start, cursor time.Time) *obs.TreeNode {
+	var best *obs.TreeNode
+	for _, c := range n.Children {
+		cs, ce := clamp(c.Span.Start, c.Span.End, start, cursor)
+		if !ce.After(cs) {
+			continue // no overlap with the remaining window
+		}
+		if best == nil || laterNode(c, best) {
+			best = c
+		}
+	}
+	return best
+}
+
+// ClassTotals sums critical-path time per cost class.
+func ClassTotals(segs []Segment) map[CostClass]time.Duration {
+	out := make(map[CostClass]time.Duration)
+	for _, s := range segs {
+		out[s.Class] += s.Duration()
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+package analyze
+
+import (
+	"sort"
+	"time"
+
+	"axmltx/internal/obs"
+)
+
+// PathStat aggregates the spans sharing one structural path (root-to-node
+// frame signature) within a trace: how many there were and how much time
+// they took in total. Retries of the same invocation fold into one entry
+// with Count > 1.
+type PathStat struct {
+	Path  string
+	Count int
+	Total time.Duration
+}
+
+// PathDelta is one structural path present in both traces with its
+// per-trace count and total duration.
+type PathDelta struct {
+	Path   string
+	CountA int
+	CountB int
+	TotalA time.Duration
+	TotalB time.Duration
+}
+
+// Delta is the latency difference B−A.
+func (d PathDelta) Delta() time.Duration { return d.TotalB - d.TotalA }
+
+// Diff is the structural and latency comparison of two traces of the same
+// scenario (two chaos seeds, or pre/post a code change).
+type Diff struct {
+	TxnA, TxnB string
+	// DurationA/B are the end-to-end trace extents.
+	DurationA, DurationB time.Duration
+	// OnlyA/OnlyB are structural paths present in one trace only — the
+	// divergence: injected faults, retries, redirects, compensations that
+	// the other run did not perform.
+	OnlyA, OnlyB []PathStat
+	// Changed are paths present in both, ordered by |latency delta|
+	// descending so the dominating shift comes first.
+	Changed []PathDelta
+	// FaultsA/B list the injected-fault spans of each trace explicitly, so
+	// a seed comparison surfaces what chaos actually did even when the
+	// fault hit a structurally identical path.
+	FaultsA, FaultsB []*obs.Span
+}
+
+// DiffTraces aligns two traces by structural path signature and reports
+// what only one of them did, how shared paths shifted in latency, and the
+// fault spans of each. Output ordering is deterministic: OnlyA/OnlyB sort
+// by path, Changed by |delta| descending then path.
+func DiffTraces(a, b *Trace) *Diff {
+	pa, pb := pathStats(a), pathStats(b)
+	d := &Diff{
+		TxnA: a.Txn, TxnB: b.Txn,
+		DurationA: a.Duration(), DurationB: b.Duration(),
+		FaultsA: faultSpans(a), FaultsB: faultSpans(b),
+	}
+	for path, sa := range pa {
+		if sb, ok := pb[path]; ok {
+			d.Changed = append(d.Changed, PathDelta{
+				Path: path, CountA: sa.Count, CountB: sb.Count,
+				TotalA: sa.Total, TotalB: sb.Total,
+			})
+		} else {
+			d.OnlyA = append(d.OnlyA, sa)
+		}
+	}
+	for path, sb := range pb {
+		if _, ok := pa[path]; !ok {
+			d.OnlyB = append(d.OnlyB, sb)
+		}
+	}
+	sort.Slice(d.OnlyA, func(i, j int) bool { return d.OnlyA[i].Path < d.OnlyA[j].Path })
+	sort.Slice(d.OnlyB, func(i, j int) bool { return d.OnlyB[i].Path < d.OnlyB[j].Path })
+	sort.Slice(d.Changed, func(i, j int) bool {
+		di, dj := absDur(d.Changed[i].Delta()), absDur(d.Changed[j].Delta())
+		if di != dj {
+			return di > dj
+		}
+		return d.Changed[i].Path < d.Changed[j].Path
+	})
+	return d
+}
+
+func absDur(d time.Duration) time.Duration {
+	if d < 0 {
+		return -d
+	}
+	return d
+}
+
+// pathStats folds a trace into per-signature stats. The signature is the
+// root-to-node chain of frames ("kind(service)@peer;…"), which is stable
+// across runs of the same scenario: span IDs and timestamps differ, the
+// structure does not — except where the runs genuinely diverged.
+func pathStats(t *Trace) map[string]PathStat {
+	out := make(map[string]PathStat)
+	var walk func(n *obs.TreeNode, prefix string)
+	walk = func(n *obs.TreeNode, prefix string) {
+		path := Frame(n.Span)
+		if prefix != "" {
+			path = prefix + ";" + path
+		}
+		s := out[path]
+		s.Path = path
+		s.Count++
+		s.Total += n.Span.Duration()
+		out[path] = s
+		for _, c := range n.Children {
+			walk(c, path)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r, "")
+	}
+	return out
+}
+
+// faultSpans extracts a trace's injected-fault spans in start order.
+func faultSpans(t *Trace) []*obs.Span {
+	var out []*obs.Span
+	for _, s := range t.Spans {
+		if s.Kind == obs.KindFault {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Start.Equal(out[j].Start) {
+			return out[i].Start.Before(out[j].Start)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}

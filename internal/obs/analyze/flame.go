@@ -1,0 +1,68 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"axmltx/internal/obs"
+)
+
+// Frame renders one flamegraph frame: "kind(service)@peer", with the
+// service part omitted for spans that have none.
+func Frame(sp *obs.Span) string {
+	if sp.Service != "" {
+		return sp.Kind + "(" + sp.Service + ")@" + sp.Peer
+	}
+	return sp.Kind + "@" + sp.Peer
+}
+
+// FoldedStacks renders a trace in the folded-stack format flamegraph
+// tooling consumes: one line per unique stack, "frame;frame;... <weight>",
+// with the weight in microseconds of self time (the span's duration not
+// covered by its children). Lines are sorted and stacks with zero self time
+// are dropped, so the output is deterministic and minimal.
+func FoldedStacks(t *Trace) []string {
+	acc := make(map[string]int64)
+	var walk func(n *obs.TreeNode, prefix string)
+	walk = func(n *obs.TreeNode, prefix string) {
+		stack := Frame(n.Span)
+		if prefix != "" {
+			stack = prefix + ";" + stack
+		}
+		if us := selfTime(n).Microseconds(); us > 0 {
+			acc[stack] += us
+		}
+		for _, c := range n.Children {
+			walk(c, stack)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r, "")
+	}
+	lines := make([]string, 0, len(acc))
+	for stack, us := range acc {
+		lines = append(lines, fmt.Sprintf("%s %d", stack, us))
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// FoldedStacksAll folds several traces into one stack set (weights merge).
+func FoldedStacksAll(traces []*Trace) []string {
+	acc := make(map[string]int64)
+	for _, t := range traces {
+		for _, line := range FoldedStacks(t) {
+			i := strings.LastIndexByte(line, ' ')
+			var us int64
+			fmt.Sscanf(line[i+1:], "%d", &us)
+			acc[line[:i]] += us
+		}
+	}
+	lines := make([]string, 0, len(acc))
+	for stack, us := range acc {
+		lines = append(lines, fmt.Sprintf("%s %d", stack, us))
+	}
+	sort.Strings(lines)
+	return lines
+}

@@ -1,0 +1,176 @@
+package analyze
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"axmltx/internal/chaos"
+	"axmltx/internal/obs"
+)
+
+// Golden traces are real chaos-conformance runs captured as JSONL (see
+// regenGoldens). They pin the analysis end to end: the committed byte
+// streams never change, so critical-path extraction and attribution on them
+// must be identical run-to-run and match the committed .golden rendering.
+//
+// Regenerate after intentional span-model or scenario changes with:
+//
+//	AXML_UPDATE_GOLDEN=1 go test ./internal/obs/analyze -run TestGolden
+var updateGolden = os.Getenv("AXML_UPDATE_GOLDEN") != ""
+
+func goldenPath(name string) string { return filepath.Join("testdata", name) }
+
+// regenGolden captures one chaos run's span stream into testdata.
+func regenGolden(t *testing.T, file, scenario string, seed int64) {
+	t.Helper()
+	var buf bytes.Buffer
+	jsonl := obs.NewJSONL(&buf)
+	rep, err := chaos.Run(chaos.Config{Scenario: scenario, Seed: seed, Sink: jsonl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) > 0 {
+		t.Fatalf("golden source run violates invariants: %v", rep.Violations)
+	}
+	if err := jsonl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath(file), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func loadGoldenTraces(t *testing.T, file string) []*Trace {
+	t.Helper()
+	f, err := os.Open(goldenPath(file))
+	if err != nil {
+		t.Fatalf("%v (regenerate with AXML_UPDATE_GOLDEN=1)", err)
+	}
+	defer f.Close()
+	traces, err := Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) == 0 {
+		t.Fatalf("%s holds no traces", file)
+	}
+	return traces
+}
+
+// primaryTxnTrace picks the trace that includes its origin's txn root.
+func primaryTxnTrace(t *testing.T, traces []*Trace) *Trace {
+	t.Helper()
+	for _, tr := range traces {
+		for _, s := range tr.Spans {
+			if s.Kind == obs.KindTxn {
+				return tr
+			}
+		}
+	}
+	t.Fatal("no trace with a txn root span")
+	return nil
+}
+
+// TestGoldenFig1Critical pins critical-path extraction on the Figure 1
+// commit trace: deterministic, every segment attributed to exactly one cost
+// class, gap-free, and byte-identical to the committed rendering.
+func TestGoldenFig1Critical(t *testing.T) {
+	if updateGolden {
+		regenGolden(t, "fig1_commit.jsonl", "fig1", 1)
+	}
+	tr := primaryTxnTrace(t, loadGoldenTraces(t, "fig1_commit.jsonl"))
+	segs := CriticalPath(tr)
+	if len(segs) == 0 {
+		t.Fatal("empty critical path")
+	}
+	valid := map[CostClass]bool{
+		ClassNetwork: true, ClassWALSync: true, ClassMaterialize: true,
+		ClassService: true, ClassCompensation: true,
+	}
+	for i, s := range segs {
+		if !valid[s.Class] {
+			t.Errorf("segment %d has unknown cost class %q", i, s.Class)
+		}
+		if !s.End.After(s.Start) {
+			t.Errorf("segment %d is empty or reversed: [%s,%s)", i, s.Start, s.End)
+		}
+		if i > 0 && segs[i].Start.Before(segs[i-1].End) {
+			t.Errorf("segments %d/%d overlap", i-1, i)
+		}
+	}
+	// Identical input, identical output — twice from the same parse and once
+	// from a fresh parse of the same bytes.
+	if again := CriticalPath(tr); !reflect.DeepEqual(segs, again) {
+		t.Fatal("critical path not deterministic on the same trace")
+	}
+	fresh := primaryTxnTrace(t, loadGoldenTraces(t, "fig1_commit.jsonl"))
+	if again := CriticalPath(fresh); !reflect.DeepEqual(segs, again) {
+		t.Fatal("critical path not deterministic across parses")
+	}
+
+	var buf bytes.Buffer
+	if err := WriteCritical(&buf, tr, segs); err != nil {
+		t.Fatal(err)
+	}
+	if updateGolden {
+		if err := os.WriteFile(goldenPath("fig1_critical.golden"), buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath("fig1_critical.golden"))
+	if err != nil {
+		t.Fatalf("%v (regenerate with AXML_UPDATE_GOLDEN=1)", err)
+	}
+	if buf.String() != string(want) {
+		t.Fatalf("critical rendering drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.String(), want)
+	}
+}
+
+// TestGoldenScenarioBDiff diffs two seeds of disconnection scenario (b) and
+// checks the injected crash fault spans surface explicitly on both sides.
+func TestGoldenScenarioBDiff(t *testing.T) {
+	if updateGolden {
+		regenGolden(t, "b_seed1.jsonl", "b", 1)
+		regenGolden(t, "b_seed2.jsonl", "b", 2)
+	}
+	a := primaryTxnTrace(t, loadGoldenTraces(t, "b_seed1.jsonl"))
+	b := primaryTxnTrace(t, loadGoldenTraces(t, "b_seed2.jsonl"))
+	d := DiffTraces(a, b)
+	if len(d.FaultsA) == 0 || len(d.FaultsB) == 0 {
+		t.Fatalf("injected fault spans missing: A=%d B=%d", len(d.FaultsA), len(d.FaultsB))
+	}
+	foundCrash := false
+	for _, f := range append(append([]*obs.Span(nil), d.FaultsA...), d.FaultsB...) {
+		if f.Service == string(chaos.FaultCrash) {
+			foundCrash = true
+		}
+	}
+	if !foundCrash {
+		t.Fatalf("scenario (b) diff does not surface the scripted crash: A=%+v B=%+v", d.FaultsA, d.FaultsB)
+	}
+	// The scenario's recovery machinery shows up in the trace: the child
+	// redirects its result past the dead parent (§3.3 case b).
+	sawRedirect := false
+	for _, s := range a.Spans {
+		if s.Kind == obs.KindRedirect {
+			sawRedirect = true
+		}
+	}
+	if !sawRedirect {
+		t.Error("scenario (b) trace has no redirect span")
+	}
+	var buf bytes.Buffer
+	if err := WriteDiff(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); !strings.Contains(out, "fault=crash") {
+		t.Errorf("diff rendering does not mention the crash:\n%s", out)
+	}
+}

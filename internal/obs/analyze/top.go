@@ -1,0 +1,69 @@
+package analyze
+
+import (
+	"sort"
+	"time"
+
+	"axmltx/internal/obs"
+)
+
+// TopEntry aggregates self time for one peer or one service, broken down by
+// cost class.
+type TopEntry struct {
+	// Key is the peer ID or service name.
+	Key string
+	// Spans counts the spans contributing.
+	Spans int
+	// Total is the summed self time.
+	Total time.Duration
+	// ByClass splits Total by cost class.
+	ByClass map[CostClass]time.Duration
+}
+
+// TopPeers aggregates self time per peer across traces, heaviest first
+// (ties on key, so equal-weight peers order deterministically).
+func TopPeers(traces []*Trace) []TopEntry {
+	return top(traces, func(sp *obs.Span) string { return sp.Peer })
+}
+
+// TopServices aggregates self time per service across traces, heaviest
+// first. Spans without a service (txn, exec, commit…) land under "-".
+func TopServices(traces []*Trace) []TopEntry {
+	return top(traces, func(sp *obs.Span) string {
+		if sp.Service == "" {
+			return "-"
+		}
+		return sp.Service
+	})
+}
+
+func top(traces []*Trace, key func(*obs.Span) string) []TopEntry {
+	merged := make(map[string]*TopEntry)
+	for _, t := range traces {
+		for _, r := range t.Roots {
+			r.Walk(func(n *obs.TreeNode) {
+				st := selfTime(n)
+				k := key(n.Span)
+				e := merged[k]
+				if e == nil {
+					e = &TopEntry{Key: k, ByClass: make(map[CostClass]time.Duration)}
+					merged[k] = e
+				}
+				e.Spans++
+				e.Total += st
+				e.ByClass[Classify(n.Span)] += st
+			})
+		}
+	}
+	out := make([]TopEntry, 0, len(merged))
+	for _, e := range merged {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}

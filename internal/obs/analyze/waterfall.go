@@ -1,0 +1,176 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"axmltx/internal/obs"
+)
+
+// waterfallWidth is the bar width of the rightmost column, in cells.
+const waterfallWidth = 40
+
+// WriteWaterfall renders a per-transaction waterfall: the span tree in
+// depth-first order with offsets from trace start, durations, cost classes
+// and proportional bars. Deterministic for identical input.
+func WriteWaterfall(w io.Writer, t *Trace) error {
+	fmt.Fprintf(w, "txn %s  spans %d  duration %s\n", t.Txn, len(t.Spans), fmtDur(t.Duration()))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	total := t.Duration()
+	var walk func(n *obs.TreeNode, depth int)
+	walk = func(n *obs.TreeNode, depth int) {
+		sp := n.Span
+		indent := strings.Repeat("· ", depth)
+		status := ""
+		if sp.Outcome != obs.OutcomeOK {
+			status = " !" + sp.Code
+		}
+		fmt.Fprintf(tw, "%s%s\t%s\t%s\t%s\t|%s|%s\n",
+			indent, Frame(sp), fmtDur(sp.Start.Sub(t.Start)), fmtDur(sp.Duration()),
+			Classify(sp), bar(sp.Start.Sub(t.Start), sp.Duration(), total), status)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range t.Roots {
+		walk(r, 0)
+	}
+	return tw.Flush()
+}
+
+// bar renders a fixed-width timeline cell with the span's extent marked.
+func bar(offset, dur, total time.Duration) string {
+	if total <= 0 {
+		return strings.Repeat(" ", waterfallWidth)
+	}
+	from := int(float64(offset) / float64(total) * waterfallWidth)
+	to := int(float64(offset+dur) / float64(total) * waterfallWidth)
+	if from >= waterfallWidth {
+		from = waterfallWidth - 1
+	}
+	if to <= from {
+		to = from + 1
+	}
+	if to > waterfallWidth {
+		to = waterfallWidth
+	}
+	return strings.Repeat(" ", from) + strings.Repeat("▇", to-from) + strings.Repeat(" ", waterfallWidth-to)
+}
+
+// WriteCritical renders a critical path: each segment with its offset,
+// length, cost class and owning span, followed by the per-class totals and
+// their share of the end-to-end latency.
+func WriteCritical(w io.Writer, t *Trace, segs []Segment) error {
+	fmt.Fprintf(w, "txn %s  duration %s  critical segments %d\n", t.Txn, fmtDur(t.Duration()), len(segs))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "offset\tlength\tclass\tspan")
+	var critical time.Duration
+	for _, s := range segs {
+		critical += s.Duration()
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n",
+			fmtDur(s.Start.Sub(t.Start)), fmtDur(s.Duration()), s.Class, Frame(s.Span))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	totals := ClassTotals(segs)
+	classes := make([]CostClass, 0, len(totals))
+	for c := range totals {
+		classes = append(classes, c)
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		if totals[classes[i]] != totals[classes[j]] {
+			return totals[classes[i]] > totals[classes[j]]
+		}
+		return classes[i] < classes[j]
+	})
+	fmt.Fprintf(w, "by class (critical %s):\n", fmtDur(critical))
+	for _, c := range classes {
+		pct := 0.0
+		if critical > 0 {
+			pct = float64(totals[c]) / float64(critical) * 100
+		}
+		fmt.Fprintf(w, "  %-13s %10s  %5.1f%%\n", c, fmtDur(totals[c]), pct)
+	}
+	return nil
+}
+
+// WriteTop renders peer or service aggregates with per-class breakdowns.
+func WriteTop(w io.Writer, label string, entries []TopEntry) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "%s\tspans\tself\tnetwork\twal-sync\tmaterialize\tservice\tcompensation\n", label)
+	for _, e := range entries {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%s\t%s\t%s\t%s\t%s\n",
+			e.Key, e.Spans, fmtDur(e.Total),
+			fmtDur(e.ByClass[ClassNetwork]), fmtDur(e.ByClass[ClassWALSync]),
+			fmtDur(e.ByClass[ClassMaterialize]), fmtDur(e.ByClass[ClassService]),
+			fmtDur(e.ByClass[ClassCompensation]))
+	}
+	return tw.Flush()
+}
+
+// WriteDiff renders a trace comparison: end-to-end delta, paths unique to
+// either run, the biggest latency shifts on shared paths, and each run's
+// injected-fault spans.
+func WriteDiff(w io.Writer, d *Diff) error {
+	fmt.Fprintf(w, "A %s (%s)  vs  B %s (%s)  delta %s\n",
+		d.TxnA, fmtDur(d.DurationA), d.TxnB, fmtDur(d.DurationB), fmtDelta(d.DurationB-d.DurationA))
+	if len(d.OnlyA) > 0 {
+		fmt.Fprintln(w, "only in A:")
+		for _, s := range d.OnlyA {
+			fmt.Fprintf(w, "  %s  ×%d  %s\n", s.Path, s.Count, fmtDur(s.Total))
+		}
+	}
+	if len(d.OnlyB) > 0 {
+		fmt.Fprintln(w, "only in B:")
+		for _, s := range d.OnlyB {
+			fmt.Fprintf(w, "  %s  ×%d  %s\n", s.Path, s.Count, fmtDur(s.Total))
+		}
+	}
+	if len(d.Changed) > 0 {
+		fmt.Fprintln(w, "shared paths by |delta|:")
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  path\tA\tB\tdelta")
+		for _, c := range d.Changed {
+			fmt.Fprintf(tw, "  %s\t%s ×%d\t%s ×%d\t%s\n",
+				c.Path, fmtDur(c.TotalA), c.CountA, fmtDur(c.TotalB), c.CountB, fmtDelta(c.Delta()))
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+	writeFaults(w, "A", d.FaultsA)
+	writeFaults(w, "B", d.FaultsB)
+	return nil
+}
+
+func writeFaults(w io.Writer, side string, faults []*obs.Span) {
+	if len(faults) == 0 {
+		fmt.Fprintf(w, "faults in %s: none\n", side)
+		return
+	}
+	fmt.Fprintf(w, "faults in %s:\n", side)
+	for _, f := range faults {
+		fmt.Fprintf(w, "  %s fault=%s peer=%s target=%s code=%s\n",
+			f.ID, f.Service, f.Peer, f.Target, f.Code)
+	}
+}
+
+// fmtDur renders durations with µs precision so output is compact and
+// stable (sub-microsecond jitter does not leak into goldens of synthetic
+// traces with whole-µs timestamps).
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// fmtDelta renders a signed duration ("+1ms" / "-1ms" / "+0s").
+func fmtDelta(d time.Duration) string {
+	if d >= 0 {
+		return "+" + fmtDur(d)
+	}
+	return fmtDur(d)
+}

@@ -3,8 +3,28 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 )
+
+// HandlerConfig assembles the full operations surface of a peer. Every
+// field is optional; missing pieces degrade to 404 (or, for Ready, to
+// "always ready").
+type HandlerConfig struct {
+	// Registry backs GET /metrics.
+	Registry *Registry
+	// Ring backs GET /trace/{txn} and GET /traces.
+	Ring *Ring
+	// Sampler, when set, lets /trace/{txn} distinguish a transaction that
+	// was deliberately sampled out (200 with an empty tree and
+	// sampledOut=true) from one the peer never saw (404).
+	Sampler *Sampler
+	// Ready backs GET /healthz: nil error → 200, non-nil → 503 with the
+	// error message. A nil func means always ready.
+	Ready func() error
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+}
 
 // NewHandler serves the observability HTTP surface of a peer:
 //
@@ -13,18 +33,29 @@ import (
 //	GET /traces        — JSON list of transaction IDs present in the ring
 //
 // Either argument may be nil; the corresponding endpoint then answers 404.
+// For the full operations surface (healthz, pprof, sampled-out awareness)
+// use NewOpsHandler.
 func NewHandler(reg *Registry, ring *Ring) http.Handler {
+	return NewOpsHandler(HandlerConfig{Registry: reg, Ring: ring})
+}
+
+// NewOpsHandler builds the peer's operations endpoint set from cfg. On top
+// of the NewHandler surface it serves:
+//
+//	GET /healthz       — readiness: {"status":"ok"} or 503 with the error
+//	GET /debug/pprof/  — net/http/pprof (when cfg.Pprof)
+func NewOpsHandler(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		if reg == nil {
+		if cfg.Registry == nil {
 			http.NotFound(w, r)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_ = reg.WritePrometheus(w)
+		_ = cfg.Registry.WritePrometheus(w)
 	})
 	mux.HandleFunc("/trace/", func(w http.ResponseWriter, r *http.Request) {
-		if ring == nil {
+		if cfg.Ring == nil {
 			http.NotFound(w, r)
 			return
 		}
@@ -33,8 +64,16 @@ func NewHandler(reg *Registry, ring *Ring) http.Handler {
 			http.Error(w, "obs: missing transaction id", http.StatusBadRequest)
 			return
 		}
-		spans := ring.Trace(txn)
-		if len(spans) == 0 {
+		spans, known := cfg.Ring.TraceLookup(txn)
+		if !known {
+			if cfg.Sampler.WasSampledOut(txn) {
+				// The peer saw this transaction and deliberately dropped its
+				// spans: answer 200 with an empty tree, not 404, so callers
+				// can tell "sampled out" from "never happened here".
+				w.Header().Set("Content-Type", "application/json")
+				_ = json.NewEncoder(w).Encode(TraceResponse{Txn: txn, SampledOut: true})
+				return
+			}
 			http.NotFound(w, r)
 			return
 		}
@@ -42,13 +81,13 @@ func NewHandler(reg *Registry, ring *Ring) http.Handler {
 		_ = json.NewEncoder(w).Encode(TraceResponse{Txn: txn, Spans: len(spans), Tree: Tree(spans)})
 	})
 	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
-		if ring == nil {
+		if cfg.Ring == nil {
 			http.NotFound(w, r)
 			return
 		}
 		seen := make(map[string]bool)
 		var txns []string
-		for _, s := range ring.Spans() {
+		for _, s := range cfg.Ring.Spans() {
 			if !seen[s.Txn] {
 				seen[s.Txn] = true
 				txns = append(txns, s.Txn)
@@ -57,6 +96,24 @@ func NewHandler(reg *Registry, ring *Ring) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(txns)
 	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if cfg.Ready != nil {
+			if err := cfg.Ready(); err != nil {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				_ = json.NewEncoder(w).Encode(map[string]string{"status": "unavailable", "error": err.Error()})
+				return
+			}
+		}
+		_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	})
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -65,4 +122,7 @@ type TraceResponse struct {
 	Txn   string      `json:"txn"`
 	Spans int         `json:"spans"`
 	Tree  []*TreeNode `json:"tree"`
+	// SampledOut marks a transaction whose spans were deliberately dropped
+	// by adaptive sampling (200-empty rather than 404-unknown).
+	SampledOut bool `json:"sampledOut,omitempty"`
 }

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+	"unicode/utf8"
+)
+
+// FuzzJSONLRoundTrip throws arbitrary span field values at the JSONL codec
+// and asserts encode→decode is the identity. Times compare with Equal (the
+// wall-clock reading survives JSON, the monotonic part does not).
+func FuzzJSONLRoundTrip(f *testing.F) {
+	f.Add("T1@AP1", "AP1#1", "", "AP1", KindTxn, "", "", int64(0), int64(1000), "", uint64(0), uint64(0), "", "", "")
+	f.Add("T9", "AP2#1", "AP1#1~", "AP2", KindServe, "getPoints", "AP1",
+		int64(1700000000), int64(1700000001), "[AP1* → AP2]", uint64(10), uint64(12), "fault:F5", "fault F5: injected", "4")
+	f.Add("t\x00z", "p#✓", "~", "漢字", KindFault, "s\nvc", "\"", int64(-1), int64(1)<<40, "]", uint64(1)<<63, uint64(7), "c~", "e\te", "π")
+	f.Fuzz(func(t *testing.T, txn, id, parent, peer, kind, service, target string,
+		startNs, endNs int64, chain string, firstLSN, lastLSN uint64, code, errMsg, attr string) {
+		// encoding/json replaces invalid UTF-8 with U+FFFD, so only valid
+		// strings can round-trip byte-identically.
+		for _, s := range []string{txn, id, parent, peer, kind, service, target, chain, code, errMsg, attr} {
+			if !utf8.ValidString(s) {
+				t.Skip("invalid UTF-8 input")
+			}
+		}
+		in := &Span{
+			Txn: txn, ID: id, Parent: parent, Peer: peer, Kind: kind,
+			Service: service, Target: target,
+			Start: time.Unix(0, startNs).UTC(), End: time.Unix(0, endNs).UTC(),
+			Chain: chain, FirstLSN: firstLSN, LastLSN: lastLSN,
+			Outcome: OutcomeError, Code: code, Err: errMsg,
+		}
+		if attr != "" {
+			in.Attrs = map[string]string{"k": attr}
+		}
+		var buf bytes.Buffer
+		sink := NewJSONL(&buf)
+		sink.Emit(in)
+		if err := sink.Flush(); err != nil {
+			t.Fatalf("flush: %v", err)
+		}
+		back, err := DecodeJSONL(&buf)
+		if err != nil {
+			t.Fatalf("decode own output: %v", err)
+		}
+		if len(back) != 1 {
+			t.Fatalf("decoded %d spans, want 1", len(back))
+		}
+		got := back[0]
+		if got.Txn != in.Txn || got.ID != in.ID || got.Parent != in.Parent ||
+			got.Peer != in.Peer || got.Kind != in.Kind || got.Service != in.Service ||
+			got.Target != in.Target || got.Chain != in.Chain ||
+			got.FirstLSN != in.FirstLSN || got.LastLSN != in.LastLSN ||
+			got.Outcome != in.Outcome || got.Code != in.Code || got.Err != in.Err {
+			t.Fatalf("round trip mismatch:\n in: %+v\ngot: %+v", in, got)
+		}
+		if !got.Start.Equal(in.Start) || !got.End.Equal(in.End) {
+			t.Fatalf("time mismatch: %v/%v vs %v/%v", got.Start, got.End, in.Start, in.End)
+		}
+		if attr != "" && got.Attrs["k"] != attr {
+			t.Fatalf("attr mismatch: %q", got.Attrs["k"])
+		}
+		// The wire marker must survive any span ID the codec can carry.
+		encID, drop := DecodeWireSpan(EncodeWireSpan(got.ID, true))
+		if !drop || encID != got.ID {
+			t.Fatalf("wire marker round trip on %q", got.ID)
+		}
+	})
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRingTraceLookupAfterEviction(t *testing.T) {
+	ring := NewRing(3)
+	tr := NewTracer("P", ring)
+	for i := 0; i < 5; i++ {
+		tr.Start("T", "", KindExec, "s").End("", nil)
+	}
+	spans, known := ring.TraceLookup("T")
+	if !known {
+		t.Fatal("txn with live spans must be known")
+	}
+	if len(spans) != 3 || spans[0].ID != "P#3" || spans[2].ID != "P#5" {
+		t.Fatalf("index out of sync with eviction: %v", spans)
+	}
+	if _, known := ring.TraceLookup("absent"); known {
+		t.Fatal("unknown txn reported as known")
+	}
+	// Evict T entirely with spans of another transaction: the index entry
+	// must disappear, not linger half-evicted.
+	for i := 0; i < 3; i++ {
+		tr.Start("U", "", KindExec, "s").End("", nil)
+	}
+	if _, known := ring.TraceLookup("T"); known {
+		t.Fatal("fully evicted txn must be unknown")
+	}
+	if spans, _ := ring.TraceLookup("U"); len(spans) != 3 {
+		t.Fatalf("U index: %v", spans)
+	}
+}
+
+// TestRingConcurrentUse hammers a small ring with concurrent writers while
+// readers reassemble trees through the HTTP handler — the eviction/index
+// consistency check that the race detector turns into a correctness gate.
+func TestRingConcurrentUse(t *testing.T) {
+	ring := NewRing(64)
+	srv := httptest.NewServer(NewOpsHandler(HandlerConfig{Ring: ring}))
+	defer srv.Close()
+
+	const writers, readers, perWorker = 4, 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tr := NewTracer(fmt.Sprintf("P%d", w), ring)
+			for i := 0; i < perWorker; i++ {
+				txn := fmt.Sprintf("T%d", i%7)
+				root := tr.Start(txn, "", KindTxn, "")
+				tr.Start(txn, root.ID(), KindExec, "q").End("", nil)
+				root.End("", nil)
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				resp, err := srv.Client().Get(srv.URL + fmt.Sprintf("/trace/T%d", i%7))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp.StatusCode == 200 {
+					var tre TraceResponse
+					if err := json.NewDecoder(resp.Body).Decode(&tre); err != nil {
+						t.Errorf("decode mid-eviction trace: %v", err)
+					}
+				}
+				resp.Body.Close()
+				_, _ = ring.TraceLookup("T0")
+				_ = ring.Spans()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestOpsHandlerSampledOutAndHealth(t *testing.T) {
+	ring := NewRing(16)
+	sampler := NewSampler(ring, SamplerConfig{KeepRate: 0.05})
+	var mu sync.Mutex
+	ready := fmt.Errorf("wal replay in progress")
+	srv := httptest.NewServer(NewOpsHandler(HandlerConfig{
+		Registry: NewRegistry(),
+		Ring:     ring,
+		Sampler:  sampler,
+		Ready: func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			return ready
+		},
+		Pprof: true,
+	}))
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, b.String()
+	}
+
+	// Drop a fast clean commit through the sampler, then ask for its trace:
+	// 200 + sampledOut, not 404.
+	dropped := coinTxn(t, 0.05, false)
+	sampler.Emit(span(dropped, "P#1", KindTxn))
+	code, body := get("/trace/" + dropped)
+	if code != 200 {
+		t.Fatalf("sampled-out trace: %d %q", code, body)
+	}
+	var tre TraceResponse
+	if err := json.Unmarshal([]byte(body), &tre); err != nil {
+		t.Fatal(err)
+	}
+	if !tre.SampledOut || tre.Spans != 0 {
+		t.Fatalf("sampled-out response: %+v", tre)
+	}
+	if code, _ := get("/trace/never-seen"); code != 404 {
+		t.Fatalf("unknown txn must 404, got %d", code)
+	}
+
+	if code, body := get("/healthz"); code != 503 || !strings.Contains(body, "wal replay") {
+		t.Fatalf("/healthz while starting: %d %q", code, body)
+	}
+	mu.Lock()
+	ready = nil
+	mu.Unlock()
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("/healthz ready: %d %q", code, body)
+	}
+
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: %d", code)
+	}
+	// Without Pprof the debug surface stays unmounted.
+	plain := httptest.NewServer(NewOpsHandler(HandlerConfig{Ring: ring}))
+	defer plain.Close()
+	resp, err := plain.Client().Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("pprof mounted without opt-in: %d", resp.StatusCode)
+	}
+}

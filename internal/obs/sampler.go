@@ -1,0 +1,406 @@
+package obs
+
+import (
+	"hash/fnv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sampler is an adaptive, tail-based sampling sink: it buffers every span of
+// a transaction until the transaction reaches a terminal span at this peer
+// (the origin's txn root, or a participant's commit/abort span), then keeps
+// or drops the whole buffer at once.
+//
+// The keep rules are monotone — a transaction can only be upgraded from
+// "drop" to "keep", never the reverse:
+//
+//   - any error span, or any abort/compensate/fault/retry/redirect span,
+//     forces keep (failed and recovered transactions are always traced);
+//   - a terminal span slower than the SlowQuantile of recently observed
+//     terminal durations forces keep (the adaptive part: the cutoff follows
+//     the workload, so "slow" means slow *for this peer right now*);
+//   - ForceKeep (the engine's slow-transaction hook) forces keep;
+//   - otherwise a fast, clean commit survives with probability KeepRate,
+//     decided by a deterministic coin over the transaction ID (KeepCoin).
+//
+// Because the coin is a pure function of the transaction ID, every peer of a
+// deployment flips it identically without coordination. The origin
+// additionally propagates its decision in Message.Span (EncodeWireSpan /
+// DecodeWireSpan), so peers agree on the drop side even if a transport
+// rewrites transaction IDs; keep upgrades stay local and conservative — a
+// peer that saw an error keeps its part of the trace even when the rest of
+// the deployment dropped theirs.
+type Sampler struct {
+	next Sink
+	cfg  SamplerConfig
+
+	mu      sync.Mutex
+	pending map[string]*txnBuffer
+	order   []string // pending transactions, oldest first (overflow eviction)
+	hints   map[string]bool
+	window  []time.Duration // recent terminal durations, ring-buffered
+	wnext   int
+	wfull   bool
+	decided map[string]bool // txn -> kept; bounded memory of past decisions
+	dorder  []string
+
+	txnsKept    atomic.Int64
+	txnsDropped atomic.Int64
+	spansIn     atomic.Int64
+	spansOut    atomic.Int64
+}
+
+// SamplerConfig tunes a Sampler. The zero value selects the defaults.
+type SamplerConfig struct {
+	// KeepRate is the fraction of fast, clean commits kept (default 0.05).
+	KeepRate float64
+	// SlowQuantile is the quantile of recent terminal-span durations above
+	// which a transaction is always kept (default 0.95).
+	SlowQuantile float64
+	// Window is how many recent terminal durations feed the slow cutoff
+	// (default 256).
+	Window int
+	// MaxPending bounds the buffered in-flight transactions; when exceeded
+	// the oldest is flushed as kept (a transaction still running when that
+	// many others completed is slow by definition). Default 1024.
+	MaxPending int
+	// MaxDecisions bounds the remembered keep/drop decisions, used to route
+	// late spans and to answer "was this sampled out?" (default 4096).
+	MaxDecisions int
+}
+
+func (c SamplerConfig) withDefaults() SamplerConfig {
+	if c.KeepRate <= 0 {
+		c.KeepRate = 0.05
+	}
+	if c.SlowQuantile <= 0 || c.SlowQuantile >= 1 {
+		c.SlowQuantile = 0.95
+	}
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 1024
+	}
+	if c.MaxDecisions <= 0 {
+		c.MaxDecisions = 4096
+	}
+	return c
+}
+
+// SamplerStats is a snapshot of a sampler's counters.
+type SamplerStats struct {
+	TxnsKept    int64
+	TxnsDropped int64
+	SpansIn     int64
+	SpansOut    int64
+}
+
+type txnBuffer struct {
+	spans  []*Span
+	forced bool
+}
+
+// NewSampler wraps next with adaptive tail-based sampling. A nil next panics
+// at the first Emit, like any other sink misconfiguration.
+func NewSampler(next Sink, cfg SamplerConfig) *Sampler {
+	c := cfg.withDefaults()
+	return &Sampler{
+		next:    next,
+		cfg:     c,
+		pending: make(map[string]*txnBuffer),
+		hints:   make(map[string]bool),
+		window:  make([]time.Duration, c.Window),
+		decided: make(map[string]bool),
+	}
+}
+
+// Next returns the wrapped sink, so ring-buffer discovery (core's admin
+// endpoints) can descend through a sampler.
+func (s *Sampler) Next() Sink {
+	if s == nil {
+		return nil
+	}
+	return s.next
+}
+
+// interesting reports whether a span forces its transaction to be kept.
+func interesting(sp *Span) bool {
+	if sp.Outcome != OutcomeOK {
+		return true
+	}
+	switch sp.Kind {
+	case KindAbort, KindCompensate, KindFault, KindRetry, KindRedirect:
+		return true
+	}
+	return false
+}
+
+// terminal reports whether a span completes its transaction at this peer.
+func terminal(sp *Span) bool {
+	switch sp.Kind {
+	case KindTxn, KindCommit, KindAbort:
+		return true
+	}
+	return false
+}
+
+// Emit implements Sink.
+func (s *Sampler) Emit(sp *Span) {
+	s.spansIn.Add(1)
+	s.mu.Lock()
+	if kept, ok := s.decided[sp.Txn]; ok {
+		// Late span of an already-decided transaction (e.g. a compensation
+		// landing after the abort flush): follow the decision, except that
+		// an interesting late span still surfaces on its own.
+		s.mu.Unlock()
+		if kept || interesting(sp) {
+			s.spansOut.Add(1)
+			s.next.Emit(sp)
+		}
+		return
+	}
+	buf := s.pending[sp.Txn]
+	if buf == nil {
+		buf = &txnBuffer{}
+		s.pending[sp.Txn] = buf
+		s.order = append(s.order, sp.Txn)
+	}
+	buf.spans = append(buf.spans, sp)
+	if interesting(sp) {
+		buf.forced = true
+	}
+	if !terminal(sp) {
+		var spill []*Span
+		if len(s.pending) > s.cfg.MaxPending {
+			spill = s.evictOldestLocked()
+		}
+		s.mu.Unlock()
+		s.forward(spill)
+		return
+	}
+	d := sp.Duration()
+	slow := s.observeLocked(d)
+	keep := buf.forced || slow || s.keepCoinLocked(sp.Txn)
+	spans := s.decideLocked(sp.Txn, keep)
+	s.mu.Unlock()
+	s.forward(spans)
+}
+
+// forward emits a flushed buffer outside the sampler lock.
+func (s *Sampler) forward(spans []*Span) {
+	for _, sp := range spans {
+		s.spansOut.Add(1)
+		s.next.Emit(sp)
+	}
+}
+
+// decideLocked commits a keep/drop decision and returns the spans to emit.
+func (s *Sampler) decideLocked(txn string, keep bool) []*Span {
+	buf := s.pending[txn]
+	delete(s.pending, txn)
+	delete(s.hints, txn)
+	for i, t := range s.order {
+		if t == txn {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.decided[txn] = keep
+	s.dorder = append(s.dorder, txn)
+	if len(s.dorder) > s.cfg.MaxDecisions {
+		delete(s.decided, s.dorder[0])
+		s.dorder = s.dorder[1:]
+	}
+	if keep {
+		s.txnsKept.Add(1)
+		if buf != nil {
+			return buf.spans
+		}
+		return nil
+	}
+	s.txnsDropped.Add(1)
+	return nil
+}
+
+// evictOldestLocked flushes the oldest pending transaction as kept: if it is
+// still running after MaxPending others completed, it is slow, and slow
+// transactions are kept.
+func (s *Sampler) evictOldestLocked() []*Span {
+	if len(s.order) == 0 {
+		return nil
+	}
+	return s.decideLocked(s.order[0], true)
+}
+
+// observeLocked records a terminal duration and reports whether it clears
+// the adaptive slow cutoff. With fewer than 16 observations the cutoff is
+// not yet trusted and nothing counts as slow.
+func (s *Sampler) observeLocked(d time.Duration) bool {
+	s.window[s.wnext] = d
+	s.wnext = (s.wnext + 1) % len(s.window)
+	if s.wnext == 0 {
+		s.wfull = true
+	}
+	n := s.wnext
+	if s.wfull {
+		n = len(s.window)
+	}
+	if n < 16 {
+		return false
+	}
+	// Count how many recent durations d strictly beats; slow means beating
+	// the SlowQuantile share of the window (counting avoids re-sorting, and
+	// strict comparison keeps a constant-latency workload from flagging
+	// every tied duration as slow).
+	beaten := 0
+	for i := 0; i < n; i++ {
+		if d > s.window[i] {
+			beaten++
+		}
+	}
+	return float64(beaten)/float64(n) >= s.cfg.SlowQuantile
+}
+
+// keepCoinLocked resolves the probabilistic decision for a fast, clean
+// commit: a propagated wire hint wins, otherwise the deterministic coin.
+func (s *Sampler) keepCoinLocked(txn string) bool {
+	if drop, ok := s.hints[txn]; ok {
+		return !drop
+	}
+	return KeepCoin(txn, s.cfg.KeepRate)
+}
+
+// KeepCoin is the deterministic head coin shared by every peer: FNV-1a of
+// the transaction ID mapped to [0,1) and compared against rate. Same
+// transaction ID, same verdict, on every peer, with no coordination.
+func KeepCoin(txn string, rate float64) bool {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(txn))
+	u := float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+	return u < rate
+}
+
+// Hint records a keep/drop hint propagated from another peer (the wire
+// marker of DecodeWireSpan). drop=true marks the transaction drop-eligible;
+// local keep rules still override.
+func (s *Sampler) Hint(txn string, drop bool) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, done := s.decided[txn]; done {
+		return
+	}
+	s.hints[txn] = drop
+}
+
+// DropEligible reports the probabilistic side of the decision for a
+// transaction — the value a peer propagates with its invocations. It never
+// consults the tail rules (those are local upgrades applied at flush time).
+func (s *Sampler) DropEligible(txn string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return !s.keepCoinLocked(txn)
+}
+
+// ForceKeep upgrades a transaction to keep before its terminal span arrives
+// (the engine's slow-transaction hook).
+func (s *Sampler) ForceKeep(txn string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, done := s.decided[txn]; done {
+		return
+	}
+	buf := s.pending[txn]
+	if buf == nil {
+		buf = &txnBuffer{}
+		s.pending[txn] = buf
+		s.order = append(s.order, txn)
+	}
+	buf.forced = true
+}
+
+// WasSampledOut reports whether the transaction was deliberately dropped —
+// the signal that lets /trace/{txn} answer 200-empty instead of 404.
+func (s *Sampler) WasSampledOut(txn string) bool {
+	if s == nil {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept, ok := s.decided[txn]
+	return ok && !kept
+}
+
+// Stats snapshots the sampler counters.
+func (s *Sampler) Stats() SamplerStats {
+	if s == nil {
+		return SamplerStats{}
+	}
+	return SamplerStats{
+		TxnsKept:    s.txnsKept.Load(),
+		TxnsDropped: s.txnsDropped.Load(),
+		SpansIn:     s.spansIn.Load(),
+		SpansOut:    s.spansOut.Load(),
+	}
+}
+
+// Register exports the sampler's counters into a metrics registry.
+func (s *Sampler) Register(reg *Registry, peer string) {
+	if s == nil || reg == nil {
+		return
+	}
+	labels := Labels{"peer": peer}
+	reg.Gauge("axml_trace_txns_kept", labels, s.txnsKept.Load)
+	reg.Gauge("axml_trace_txns_dropped", labels, s.txnsDropped.Load)
+	reg.Gauge("axml_trace_spans_in", labels, s.spansIn.Load)
+	reg.Gauge("axml_trace_spans_out", labels, s.spansOut.Load)
+}
+
+// FindSampler digs a sampler out of a (possibly fanned-out) sink chain.
+func FindSampler(s Sink) *Sampler {
+	switch v := s.(type) {
+	case *Sampler:
+		return v
+	case Multi:
+		for _, sub := range v {
+			if sm := FindSampler(sub); sm != nil {
+				return sm
+			}
+		}
+	}
+	return nil
+}
+
+// wireDropMarker is appended to a span reference on the wire when the
+// sender's sampler ruled the transaction drop-eligible. Span IDs are
+// "<peer>#<seq>" and never contain '~'.
+const wireDropMarker = "~"
+
+// EncodeWireSpan renders the Message.Span field: the sender's active span ID
+// plus the keep/drop marker when the transaction is drop-eligible.
+func EncodeWireSpan(spanID string, dropEligible bool) string {
+	if dropEligible {
+		return spanID + wireDropMarker
+	}
+	return spanID
+}
+
+// DecodeWireSpan splits a Message.Span field into the parent span ID and the
+// propagated drop hint. Absent marker means "keep or undecided".
+func DecodeWireSpan(ref string) (spanID string, dropEligible bool) {
+	if strings.HasSuffix(ref, wireDropMarker) {
+		return strings.TrimSuffix(ref, wireDropMarker), true
+	}
+	return ref, false
+}

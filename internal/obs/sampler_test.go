@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// coinTxn returns a transaction ID whose deterministic keep coin at rate
+// lands on the wanted side.
+func coinTxn(t *testing.T, rate float64, keep bool) string {
+	t.Helper()
+	for i := 0; i < 100000; i++ {
+		id := fmt.Sprintf("T%d", i)
+		if KeepCoin(id, rate) == keep {
+			return id
+		}
+	}
+	t.Fatalf("no transaction ID with coin=%t at rate %v", keep, rate)
+	return ""
+}
+
+// span builds a clean span of the given kind with a fixed 1ms duration.
+func span(txn, id, kind string) *Span {
+	t0 := time.Unix(1000, 0)
+	return &Span{
+		Txn: txn, ID: id, Peer: "P", Kind: kind,
+		Start: t0, End: t0.Add(time.Millisecond), Outcome: OutcomeOK,
+	}
+}
+
+func TestKeepCoinDeterministic(t *testing.T) {
+	for _, txn := range []string{"T1@AP1", "T2@AP1", "xyz"} {
+		first := KeepCoin(txn, 0.5)
+		for i := 0; i < 10; i++ {
+			if KeepCoin(txn, 0.5) != first {
+				t.Fatalf("coin for %q flipped", txn)
+			}
+		}
+	}
+	keeps := 0
+	for i := 0; i < 10000; i++ {
+		if KeepCoin(fmt.Sprintf("T%d@AP1", i), 0.05) {
+			keeps++
+		}
+	}
+	// Expected 500; a wide tolerance still catches a broken hash mapping.
+	if keeps < 250 || keeps > 750 {
+		t.Fatalf("kept %d/10000 at rate 0.05", keeps)
+	}
+	if KeepCoin("anything", 0) {
+		t.Fatal("rate 0 must never keep")
+	}
+	if !KeepCoin("anything", 1) {
+		t.Fatal("rate 1 must always keep")
+	}
+}
+
+func TestSamplerDropsFastCommit(t *testing.T) {
+	ring := NewRing(64)
+	s := NewSampler(ring, SamplerConfig{KeepRate: 0.05})
+	txn := coinTxn(t, 0.05, false)
+	s.Emit(span(txn, "P#1", KindExec))
+	s.Emit(span(txn, "P#2", KindTxn))
+	if got := len(ring.Spans()); got != 0 {
+		t.Fatalf("dropped txn leaked %d spans", got)
+	}
+	if !s.WasSampledOut(txn) {
+		t.Fatal("WasSampledOut must report the drop")
+	}
+	st := s.Stats()
+	if st.TxnsDropped != 1 || st.TxnsKept != 0 || st.SpansIn != 2 || st.SpansOut != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// A late clean span follows the drop decision; a late interesting one
+	// still surfaces.
+	s.Emit(span(txn, "P#3", KindExec))
+	if len(ring.Spans()) != 0 {
+		t.Fatal("late clean span of a dropped txn must not emit")
+	}
+	late := span(txn, "P#4", KindCompensate)
+	late.Outcome = OutcomeError
+	late.Code = "compensated"
+	s.Emit(late)
+	if got := len(ring.Spans()); got != 1 {
+		t.Fatalf("late interesting span must emit, got %d", got)
+	}
+}
+
+func TestSamplerKeepsCoinWinner(t *testing.T) {
+	ring := NewRing(64)
+	s := NewSampler(ring, SamplerConfig{KeepRate: 0.05})
+	txn := coinTxn(t, 0.05, true)
+	s.Emit(span(txn, "P#1", KindExec))
+	s.Emit(span(txn, "P#2", KindTxn))
+	spans := ring.Spans()
+	if len(spans) != 2 || spans[0].ID != "P#1" || spans[1].ID != "P#2" {
+		t.Fatalf("kept txn must flush in emission order, got %v", spans)
+	}
+	if s.WasSampledOut(txn) {
+		t.Fatal("kept txn reported as sampled out")
+	}
+}
+
+func TestSamplerKeepsInteresting(t *testing.T) {
+	for _, kind := range []string{KindAbort, KindCompensate, KindFault, KindRetry, KindRedirect} {
+		ring := NewRing(64)
+		s := NewSampler(ring, SamplerConfig{KeepRate: 0.05})
+		txn := coinTxn(t, 0.05, false) // the coin alone would drop it
+		s.Emit(span(txn, "P#1", kind))
+		if kind != KindAbort { // abort is terminal itself
+			s.Emit(span(txn, "P#2", KindTxn))
+		}
+		if len(ring.Spans()) == 0 {
+			t.Fatalf("kind %s must force keep", kind)
+		}
+	}
+	// An error outcome forces keep regardless of kind.
+	ring := NewRing(64)
+	s := NewSampler(ring, SamplerConfig{KeepRate: 0.05})
+	txn := coinTxn(t, 0.05, false)
+	bad := span(txn, "P#1", KindServe)
+	bad.Outcome = OutcomeError
+	bad.Code = "timeout"
+	s.Emit(bad)
+	s.Emit(span(txn, "P#2", KindCommit))
+	if len(ring.Spans()) != 2 {
+		t.Fatal("error span must force keep of the whole buffer")
+	}
+}
+
+func TestSamplerAdaptiveSlowKeep(t *testing.T) {
+	ring := NewRing(256)
+	s := NewSampler(ring, SamplerConfig{KeepRate: 1e-12})
+	// Twenty fast terminals build the window; all drop-eligible by coin.
+	emitted := 0
+	for i := 0; emitted < 20; i++ {
+		txn := fmt.Sprintf("warm%d", i)
+		if KeepCoin(txn, 1e-12) {
+			continue
+		}
+		s.Emit(span(txn, fmt.Sprintf("P#%d", emitted), KindCommit))
+		emitted++
+	}
+	if got := len(ring.Spans()); got != 0 {
+		t.Fatalf("warmup leaked %d spans", got)
+	}
+	// A terminal 100x slower than everything in the window must be kept even
+	// though its coin would drop it.
+	slowTxn := coinTxn(t, 1e-12, false)
+	slow := span(slowTxn, "P#99", KindTxn)
+	slow.End = slow.Start.Add(100 * time.Millisecond)
+	s.Emit(slow)
+	if got := len(ring.Spans()); got != 1 {
+		t.Fatalf("slow txn must be kept, got %d spans", got)
+	}
+}
+
+func TestSamplerHintPropagation(t *testing.T) {
+	// A drop hint from the origin overrides this peer's keep coin…
+	ring := NewRing(64)
+	s := NewSampler(ring, SamplerConfig{KeepRate: 0.05})
+	txn := coinTxn(t, 0.05, true)
+	s.Hint(txn, true)
+	s.Emit(span(txn, "P#1", KindCommit))
+	if len(ring.Spans()) != 0 {
+		t.Fatal("wire drop hint must override the local coin")
+	}
+	// …and a keep hint overrides a drop coin.
+	ring2 := NewRing(64)
+	s2 := NewSampler(ring2, SamplerConfig{KeepRate: 0.05})
+	txn2 := coinTxn(t, 0.05, false)
+	s2.Hint(txn2, false)
+	s2.Emit(span(txn2, "P#1", KindCommit))
+	if len(ring2.Spans()) != 1 {
+		t.Fatal("wire keep hint must override the local coin")
+	}
+}
+
+func TestSamplerForceKeep(t *testing.T) {
+	ring := NewRing(64)
+	s := NewSampler(ring, SamplerConfig{KeepRate: 0.05})
+	txn := coinTxn(t, 0.05, false)
+	s.ForceKeep(txn) // the engine's slow-transaction hook, before any span
+	s.Emit(span(txn, "P#1", KindExec))
+	s.Emit(span(txn, "P#2", KindTxn))
+	if len(ring.Spans()) != 2 {
+		t.Fatal("ForceKeep must keep the transaction")
+	}
+	// Nil receiver safety, as used by the engine when sampling is off.
+	var nilS *Sampler
+	nilS.ForceKeep("T")
+	nilS.Hint("T", true)
+	if nilS.DropEligible("T") || nilS.WasSampledOut("T") {
+		t.Fatal("nil sampler must report keep/unknown")
+	}
+}
+
+func TestSamplerPendingOverflow(t *testing.T) {
+	ring := NewRing(64)
+	s := NewSampler(ring, SamplerConfig{KeepRate: 0.05, MaxPending: 2})
+	s.Emit(span("Ta", "P#1", KindExec))
+	s.Emit(span("Tb", "P#2", KindExec))
+	s.Emit(span("Tc", "P#3", KindExec)) // third pending txn evicts the oldest
+	spans := ring.Spans()
+	if len(spans) != 1 || spans[0].Txn != "Ta" {
+		t.Fatalf("overflow must flush the oldest pending txn as kept, got %v", spans)
+	}
+	if st := s.Stats(); st.TxnsKept != 1 {
+		t.Fatalf("stats after overflow: %+v", st)
+	}
+}
+
+func TestWireSpanMarker(t *testing.T) {
+	if got := EncodeWireSpan("AP1#3", true); got != "AP1#3~" {
+		t.Fatalf("encode drop: %q", got)
+	}
+	if got := EncodeWireSpan("AP1#3", false); got != "AP1#3" {
+		t.Fatalf("encode keep: %q", got)
+	}
+	id, drop := DecodeWireSpan("AP1#3~")
+	if id != "AP1#3" || !drop {
+		t.Fatalf("decode drop: %q %t", id, drop)
+	}
+	id, drop = DecodeWireSpan("AP1#3")
+	if id != "AP1#3" || drop {
+		t.Fatalf("decode keep: %q %t", id, drop)
+	}
+}
+
+func TestFindSampler(t *testing.T) {
+	ring := NewRing(4)
+	s := NewSampler(ring, SamplerConfig{})
+	if FindSampler(ring) != nil {
+		t.Fatal("plain ring has no sampler")
+	}
+	if FindSampler(s) != s {
+		t.Fatal("direct sampler not found")
+	}
+	if FindSampler(Multi{ring, s}) != s {
+		t.Fatal("sampler inside Multi not found")
+	}
+}

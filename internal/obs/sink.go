@@ -10,12 +10,19 @@ import (
 
 // Ring is an in-memory ring-buffer sink holding the most recent spans. It
 // is the default sink for tests, cmd/axmlquery and the /trace endpoint.
+//
+// A per-transaction index is maintained alongside the buffer so that
+// /trace/{txn} lookups are O(spans of that txn) and always observe a
+// consistent snapshot: the index is updated under the same mutex that
+// performs eviction, so a concurrent reader never sees a half-evicted
+// trace.
 type Ring struct {
 	mu    sync.Mutex
 	buf   []*Span
 	next  int
 	full  bool
 	total int64
+	byTxn map[string][]*Span
 }
 
 // DefaultRingCapacity bounds memory when callers pass capacity <= 0.
@@ -27,14 +34,30 @@ func NewRing(capacity int) *Ring {
 	if capacity <= 0 {
 		capacity = DefaultRingCapacity
 	}
-	return &Ring{buf: make([]*Span, capacity)}
+	return &Ring{
+		buf:   make([]*Span, capacity),
+		byTxn: make(map[string][]*Span),
+	}
 }
 
 // Emit implements Sink.
 func (r *Ring) Emit(s *Span) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if old := r.buf[r.next]; old != nil {
+		// Eviction order equals emission order, so the evicted span is
+		// always the head of its transaction's bucket.
+		bucket := r.byTxn[old.Txn]
+		if len(bucket) > 0 && bucket[0] == old {
+			if len(bucket) == 1 {
+				delete(r.byTxn, old.Txn)
+			} else {
+				r.byTxn[old.Txn] = bucket[1:]
+			}
+		}
+	}
 	r.buf[r.next] = s
+	r.byTxn[s.Txn] = append(r.byTxn[s.Txn], s)
 	r.next = (r.next + 1) % len(r.buf)
 	if r.next == 0 {
 		r.full = true
@@ -56,13 +79,22 @@ func (r *Ring) Spans() []*Span {
 
 // Trace returns the buffered spans of one transaction in emission order.
 func (r *Ring) Trace(txn string) []*Span {
-	var out []*Span
-	for _, s := range r.Spans() {
-		if s.Txn == txn {
-			out = append(out, s)
-		}
+	spans, _ := r.TraceLookup(txn)
+	return spans
+}
+
+// TraceLookup returns the buffered spans of one transaction in emission
+// order, plus whether the transaction is known to the ring at all. The
+// returned slice is a snapshot taken under the ring lock — eviction after
+// the call cannot mutate it, so encoders never observe a half-evicted tree.
+func (r *Ring) TraceLookup(txn string) (spans []*Span, known bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bucket, ok := r.byTxn[txn]
+	if !ok {
+		return nil, false
 	}
-	return out
+	return append([]*Span(nil), bucket...), true
 }
 
 // Total returns the number of spans ever emitted (including evicted ones).

@@ -53,7 +53,10 @@ type Message struct {
 	// strings.
 	Code string
 	// Span is the sender's active span ID; the receiver parents its own
-	// spans under it, stitching one trace tree across peers.
+	// spans under it, stitching one trace tree across peers. When the
+	// sender samples traces adaptively, the ID carries a trailing "~"
+	// drop-eligibility marker (obs.EncodeWireSpan/DecodeWireSpan) so every
+	// peer of a transaction agrees on the keep/drop decision.
 	Span string
 }
 

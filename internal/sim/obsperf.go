@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+
+	"axmltx/internal/obs"
+)
+
+// countingSink counts spans without retaining them, isolating the cost of
+// emitting (span construction, sampler bookkeeping) from the cost of any
+// particular storage backend.
+type countingSink struct{ n atomic.Int64 }
+
+func (c *countingSink) Emit(*obs.Span) { c.n.Add(1) }
+
+// obsMode selects the tracing configuration of one overhead measurement.
+type obsMode int
+
+const (
+	obsOff obsMode = iota
+	obsSampled
+	obsFull
+)
+
+// obsTrial is the per-mode state of one interleaved overhead measurement.
+type obsTrial struct {
+	name    string
+	mode    obsMode
+	counter countingSink
+	sampler *obs.Sampler
+	lat     []time.Duration
+	busy    time.Duration
+}
+
+func newObsTrial(name string, mode obsMode, trials int) *obsTrial {
+	o := &obsTrial{name: name, mode: mode, lat: make([]time.Duration, 0, trials)}
+	if mode == obsSampled {
+		o.sampler = obs.NewSampler(&o.counter, obs.SamplerConfig{KeepRate: 0.05})
+	}
+	return o
+}
+
+func (o *obsTrial) sink() obs.Sink {
+	switch o.mode {
+	case obsSampled:
+		return o.sampler
+	case obsFull:
+		return &o.counter
+	}
+	return nil
+}
+
+// run executes one fresh tree transaction (replace-mode materialization is
+// one-shot, so every trial deploys its own tree) and times only the
+// transaction itself — BuildTree is setup and would dilute the tracing
+// overhead being measured.
+func (o *obsTrial) run(depth, fanout int, seed int64) {
+	tc := BuildTree(TreeSpec{
+		Depth:     depth,
+		Fanout:    fanout,
+		Seed:      seed,
+		TraceSink: o.sink(),
+	})
+	t0 := time.Now()
+	if err := tc.Run(); err != nil {
+		panic(err)
+	}
+	d := time.Since(t0)
+	o.lat = append(o.lat, d)
+	o.busy += d
+}
+
+func (o *obsTrial) result() PerfResult {
+	res := summarize(o.name, len(o.lat), o.busy, o.lat, 0)
+	switch o.mode {
+	case obsSampled:
+		st := o.sampler.Stats()
+		res.SpansEmitted = st.SpansIn
+		res.SpansKept = st.SpansOut
+	case obsFull:
+		n := o.counter.n.Load()
+		res.SpansEmitted = n
+		res.SpansKept = n
+	}
+	return res
+}
+
+// RunObsOverhead measures the tracing hot path: the same synthetic tree
+// transaction (depth×fanout) under three configurations — tracing off, an
+// adaptive tail-based sampler in front of a counting sink, and full tracing
+// into the counting sink. The modes are interleaved trial-by-trial so
+// machine drift (CPU frequency, page cache, background load) hits all three
+// equally instead of biasing whichever block ran first. VsBaselinePct on
+// the traced entries is the throughput delta against the tracing-off
+// baseline of the same trials.
+func RunObsOverhead(depth, fanout, trials int) []PerfResult {
+	off := newObsTrial("tree_txn_tracing_off", obsOff, trials)
+	sampled := newObsTrial("tree_txn_adaptive_sampling", obsSampled, trials)
+	full := newObsTrial("tree_txn_tracing_full", obsFull, trials)
+	// Untimed warmup so the first trial doesn't absorb process warmup.
+	newObsTrial("warmup", obsFull, 1).run(depth, fanout, 1)
+	for t := 0; t < trials; t++ {
+		seed := int64(t + 1)
+		off.run(depth, fanout, seed)
+		sampled.run(depth, fanout, seed)
+		full.run(depth, fanout, seed)
+	}
+	offRes := off.result()
+	sampledRes := sampled.result()
+	fullRes := full.result()
+	sampledRes.VsBaselinePct = pctDelta(sampledRes.OpsPerSec, offRes.OpsPerSec)
+	fullRes.VsBaselinePct = pctDelta(fullRes.OpsPerSec, offRes.OpsPerSec)
+	return []PerfResult{offRes, sampledRes, fullRes}
+}
+
+func pctDelta(v, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (v/base - 1) * 100
+}

@@ -24,6 +24,12 @@ type PerfResult struct {
 	P50Micros   float64 `json:"p50_us"`
 	P99Micros   float64 `json:"p99_us"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Observability-overhead fields (PR 4), set only by RunObsOverhead:
+	// span traffic of the run and throughput relative to the tracing-off
+	// baseline of the same workload (negative = slower than baseline).
+	SpansEmitted  int64   `json:"spans_emitted,omitempty"`
+	SpansKept     int64   `json:"spans_kept,omitempty"`
+	VsBaselinePct float64 `json:"vs_baseline_pct,omitempty"`
 }
 
 // slowMaterializer simulates a remote provider with fixed network latency.
@@ -179,6 +185,18 @@ func RunPerfSuite() []PerfResult {
 		RunPerfWAL(wal.SyncEach, writers, perW),
 		RunPerfWAL(wal.SyncGroup, writers, perW),
 		RunPerfSerialize(200, 5000),
+	}
+}
+
+// RunPerfSuiteQuick is the suite with reduced parameters, sized for CI smoke
+// runs: same result schema, a fraction of the wall-clock time.
+func RunPerfSuiteQuick() []PerfResult {
+	return []PerfResult{
+		RunPerfMaterialize(4, 1, 5, 2*time.Millisecond),
+		RunPerfMaterialize(4, 4, 5, 2*time.Millisecond),
+		RunPerfWAL(wal.SyncEach, 4, 25),
+		RunPerfWAL(wal.SyncGroup, 4, 25),
+		RunPerfSerialize(50, 500),
 	}
 }
 
