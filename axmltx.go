@@ -63,6 +63,7 @@ import (
 
 	"axmltx/internal/axml"
 	"axmltx/internal/core"
+	"axmltx/internal/membership"
 	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 	"axmltx/internal/query"
@@ -231,7 +232,31 @@ const (
 	KindCompensate = obs.KindCompensate
 	KindCommit     = obs.KindCommit
 	KindAbort      = obs.KindAbort
+	KindMember     = obs.KindMember
 )
+
+// Gossip membership types, re-exported from internal/membership.
+type (
+	// Membership is a SWIM-style gossip instance: failure detection
+	// (probe / indirect probe / suspect → dead, with incarnation-numbered
+	// refutation) plus a self-maintaining replica catalog piggybacked on
+	// the gossip exchanges. Bind one to a peer with WithMembership.
+	Membership = membership.Gossip
+	// MembershipConfig tunes a Membership (probe interval, suspicion
+	// rounds, fanout, seeds…); the zero value of every knob is a default.
+	MembershipConfig = membership.Config
+	// MemberInfo is the diagnostic snapshot served by /members and
+	// axmlquery -members.
+	MemberInfo = membership.Info
+	// CatalogEntry is one origin peer's versioned advertisement of the
+	// documents and services it hosts.
+	CatalogEntry = membership.CatalogEntry
+)
+
+// NewMembership creates a gossip membership instance over a transport
+// (typically the same transport the peer runs on). Call Start for the
+// background protocol loop, or Tick for deterministic single periods.
+var NewMembership = membership.New
 
 // NewRing creates a bounded in-memory span sink (capacity <= 0 selects the
 // default).
@@ -293,6 +318,16 @@ type peerConfig struct {
 type optionFunc func(*peerConfig)
 
 func (f optionFunc) apply(c *peerConfig) { f(c) }
+
+// WithMembership binds a gossip membership instance (NewMembership) to the
+// peer: the replica table is populated and pruned from the gossiped
+// catalog and ranked by liveness + observed RTT, failure detection drives
+// the disconnection protocol, and Host* registrations are announced to the
+// network. The instance must be built over the same transport the peer
+// uses; the caller owns its lifecycle (Start/Stop).
+func WithMembership(m *Membership) Option {
+	return optionFunc(func(c *peerConfig) { c.opts.Membership = m })
+}
 
 // WithSuper marks the peer as a trusted super peer that does not
 // disconnect (§3.3, starred peers).

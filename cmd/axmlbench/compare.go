@@ -1,0 +1,138 @@
+// Perf regression gate: compare a perf run against a committed baseline and
+// fail on >15% regression of the machine-independent derived metrics.
+//
+// Raw ops/sec numbers shift with the host, so they only warn. What gates are
+// the *ratios* the optimizations exist to hold — parallel-materialization
+// speedup over sequential, WAL group-commit speedup over sync-each — and the
+// observability overhead percentages, which compare two modes measured on
+// the same machine in the same run and are therefore stable across hosts.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"axmltx/internal/sim"
+)
+
+// regressionTolerance is how much a gated metric may degrade relative to the
+// baseline before the gate fails: speedup ratios may lose 15% of their
+// value, overhead percentages may grow 15 percentage points.
+const regressionTolerance = 0.15
+
+func loadPerfResults(path string) ([]sim.PerfResult, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rs []sim.PerfResult
+	if err := json.Unmarshal(blob, &rs); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return rs, nil
+}
+
+// opsPerSec returns the named result's throughput, or 0 when absent.
+func opsPerSec(rs []sim.PerfResult, name string) float64 {
+	for _, r := range rs {
+		if r.Name == name {
+			return r.OpsPerSec
+		}
+	}
+	return 0
+}
+
+// speedupRatio derives fast/slow throughput; 0 when either side is missing.
+func speedupRatio(rs []sim.PerfResult, slow, fast string) float64 {
+	s, f := opsPerSec(rs, slow), opsPerSec(rs, fast)
+	if s == 0 {
+		return 0
+	}
+	return f / s
+}
+
+// overheads extracts the observability-overhead entries: name → overhead in
+// percent (0 when the traced mode was not slower than the untraced
+// baseline).
+func overheads(rs []sim.PerfResult) map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range rs {
+		if r.SpansEmitted == 0 {
+			continue
+		}
+		ov := -r.VsBaselinePct
+		if ov < 0 {
+			ov = 0
+		}
+		out[r.Name] = ov
+	}
+	return out
+}
+
+// runCompare prints one verdict line per gated metric and reports whether
+// the gate passed.
+func runCompare(current []sim.PerfResult, baselinePath string) bool {
+	baseline, err := loadPerfResults(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "axmlbench: compare: %v\n", err)
+		return false
+	}
+	fmt.Printf("\n== COMPARE — perf regression gate vs %s (tolerance %.0f%%) ==\n",
+		baselinePath, regressionTolerance*100)
+	ok := true
+	check := func(metric string, cur, base float64) {
+		verdict := "ok"
+		if base > 0 && cur < base*(1-regressionTolerance) {
+			verdict = "FAIL"
+			ok = false
+		}
+		delta := 0.0
+		if base > 0 {
+			delta = (cur/base - 1) * 100
+		}
+		fmt.Printf("%-28s %8.2f  baseline %8.2f  (%+.1f%%)  %s\n", metric, cur, base, delta, verdict)
+	}
+	check("materialize_speedup_x", speedupRatio(current, "materialize_sequential", "materialize_parallel"),
+		speedupRatio(baseline, "materialize_sequential", "materialize_parallel"))
+	check("wal_group_commit_speedup_x", speedupRatio(current, "wal_sync_each", "wal_group_commit"),
+		speedupRatio(baseline, "wal_sync_each", "wal_group_commit"))
+
+	curOv, baseOv := overheads(current), overheads(baseline)
+	for name, base := range baseOv {
+		cur, present := curOv[name]
+		if !present {
+			fmt.Printf("%-28s missing from current run  FAIL\n", name)
+			ok = false
+			continue
+		}
+		// Overheads are percentages already; the tolerance is additive
+		// percentage points, and the baseline is floored at 10% so a
+		// near-zero baseline doesn't turn measurement noise into a gate.
+		allowedBase := base
+		if allowedBase < 10 {
+			allowedBase = 10
+		}
+		verdict := "ok"
+		if cur > allowedBase+regressionTolerance*100 {
+			verdict = "FAIL"
+			ok = false
+		}
+		fmt.Printf("%-28s %7.1f%%  baseline %7.1f%%  %s\n", name+"_overhead", cur, base, verdict)
+	}
+
+	// Raw throughput is machine-dependent: halving is worth a shout, but
+	// only as a warning.
+	for _, b := range baseline {
+		if cur := opsPerSec(current, b.Name); cur > 0 && b.OpsPerSec > 0 && cur < b.OpsPerSec*0.5 {
+			fmt.Printf("warning: %s ops/sec %.0f < half of baseline %.0f (machine difference?)\n",
+				b.Name, cur, b.OpsPerSec)
+		}
+	}
+	if ok {
+		fmt.Println("compare: PASS")
+	} else {
+		fmt.Println("compare: FAIL — a gated metric regressed beyond tolerance")
+	}
+	return ok
+}

@@ -1,12 +1,13 @@
 // Command axmlbench runs the experiment suite of EXPERIMENTS.md and prints
 // one table per experiment. Without arguments it runs everything; pass
-// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 perf obs chaos) to select
-// a subset, either positionally or via -run.
+// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 m1 perf obs chaos) to
+// select a subset, either positionally or via -run.
 //
 //	go run ./cmd/axmlbench          # full suite
 //	go run ./cmd/axmlbench e3 e5    # selected experiments
 //	go run ./cmd/axmlbench perf     # hot-path + obs-overhead suite, writes JSON
-//	go run ./cmd/axmlbench -run perf -json BENCH_PR4.json -quick
+//	go run ./cmd/axmlbench -run perf -quick -json bench_ci.json
+//	go run ./cmd/axmlbench -compare ci/bench_baseline.json -json bench_ci.json
 //	go run ./cmd/axmlbench obs      # traced run, writes -traceout spans
 //	go run ./cmd/axmlbench -run chaos -scenario b -seed 6 -traceout b6.jsonl
 package main
@@ -34,8 +35,9 @@ func main() {
 	quick := flag.Bool("quick", false, "perf: reduced parameters for CI smoke runs")
 	traceOut := flag.String("traceout", "TRACE.jsonl", "span output file (JSON Lines) for the obs experiment; when set explicitly, chaos runs also write their traces here")
 	metricsOut := flag.String("metricsout", "", "Prometheus-text metrics output file for the obs experiment (default: stdout summary only)")
-	scenario := flag.String("scenario", "", "chaos: scenario to replay (fig1 fig1f sphere a b c d; default: sweep all)")
+	scenario := flag.String("scenario", "", "chaos: scenario to replay (fig1 fig1f sphere a b bg c d; default: sweep all)")
 	faults := flag.String("faults", "", "chaos: noise fault schedule in the rule DSL")
+	compare := flag.String("compare", "", "perf regression gate: baseline JSON to compare against; exits 1 when a derived metric regresses >15%. Compares the perf run's fresh results, or the file named by -json when perf is not selected")
 	flag.Parse()
 	traceOutSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -53,7 +55,10 @@ func main() {
 			selected[strings.ToLower(a)] = true
 		}
 	}
-	want := func(id string) bool { return len(selected) == 0 || selected[id] }
+	// -compare alone means "gate only": don't fall into the run-everything
+	// default.
+	compareOnly := *compare != "" && len(selected) == 0
+	want := func(id string) bool { return !compareOnly && (len(selected) == 0 || selected[id]) }
 
 	if want("f1") {
 		runF1()
@@ -88,12 +93,16 @@ func main() {
 	if want("e8") {
 		runE8()
 	}
+	if want("m1") {
+		runM1()
+	}
+	var perfResults []sim.PerfResult
 	if selected["perf"] {
 		out := *perfOut
 		if *jsonOut != "" {
 			out = *jsonOut
 		}
-		runPerf(out, *quick)
+		perfResults = runPerf(out, *quick)
 	}
 	if selected["obs"] {
 		runObs(*seed, *traceOut, *metricsOut)
@@ -104,6 +113,23 @@ func main() {
 			chaosTrace = *traceOut
 		}
 		runChaos(*scenario, *seed, *faults, chaosTrace)
+	}
+	if *compare != "" {
+		if perfResults == nil {
+			if *jsonOut == "" {
+				fmt.Fprintln(os.Stderr, "axmlbench: -compare needs either the perf experiment in the same run or -json naming an existing results file")
+				os.Exit(2)
+			}
+			var err error
+			perfResults, err = loadPerfResults(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "axmlbench: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		if !runCompare(perfResults, *compare) {
+			os.Exit(1)
+		}
 	}
 }
 
@@ -232,10 +258,10 @@ func runObs(seed int64, traceOut, metricsOut string) {
 // group commit, pooled serialization) plus the observability-overhead suite
 // (the same tree transaction with tracing off / adaptive sampling / full
 // tracing) and writes the results as JSON.
-func runPerf(out string, quick bool) {
+func runPerf(out string, quick bool) []sim.PerfResult {
 	var results []sim.PerfResult
 	if quick {
-		results = append(sim.RunPerfSuiteQuick(), sim.RunObsOverhead(2, 2, 5)...)
+		results = append(sim.RunPerfSuiteQuick(), sim.RunObsOverhead(2, 2, 30)...)
 	} else {
 		results = append(sim.RunPerfSuite(), sim.RunObsOverhead(3, 2, 60)...)
 	}
@@ -279,6 +305,22 @@ func runPerf(out string, quick bool) {
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s\n", out)
+	return results
+}
+
+// runM1 reports gossip membership costs: rounds and messages to a fully
+// converged member view + replica catalog from a ring-seeded bootstrap, then
+// rounds and messages until a silent disconnect is detected cluster-wide.
+func runM1() {
+	table("M1 — gossip membership: bootstrap convergence and failure detection",
+		"peers\tconverged\trounds\tmsgs\tdetected\tdetect rounds\tdetect msgs",
+		func(w *tabwriter.Writer) {
+			for _, n := range []int{8, 16, 32} {
+				r := sim.RunMembership(n, 0)
+				fmt.Fprintf(w, "%d\t%t\t%d\t%d\t%t\t%d\t%d\n",
+					r.Peers, r.Converged, r.ConvergeRounds, r.MsgsConverge, r.Detected, r.DetectRounds, r.MsgsDetect)
+			}
+		})
 }
 
 func runE8() {

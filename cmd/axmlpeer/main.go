@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"axmltx/internal/core"
+	"axmltx/internal/membership"
 	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 	"axmltx/internal/services"
@@ -49,6 +50,7 @@ func main() {
 	httpAddr := flag.String("http", "", `observability HTTP listen address, e.g. 127.0.0.1:9100 or :9100, serving /metrics (Prometheus text format), /trace/{txn} (span tree as JSON), /traces, /healthz and /debug/pprof/ (default: disabled)`)
 	sample := flag.Float64("sample", 0, "adaptive trace sampling keep-rate for fast clean commits, 0 < rate < 1 (0 disables sampling: every span is kept; errors/aborts/faults/slow transactions are always kept when sampling)")
 	slowTxn := flag.Duration("slowtxn", 0, "log origin transactions slower than this and force-keep their traces, e.g. 250ms (0 disables)")
+	gossip := flag.Duration("gossip", 0, "enable SWIM gossip membership with this probe interval, e.g. 1s: the configured neighbors become gossip seeds, the replica catalog is maintained by announcements instead of static <replica> entries alone, failure detection feeds recovery, and /members reports the live view (0 disables; replaces the static neighbor pinger)")
 	flag.Parse()
 	if *configPath == "" {
 		fatalUsage("the -config flag is required")
@@ -72,7 +74,7 @@ func main() {
 	if *sample < 0 || *sample >= 1 {
 		fatalUsage(fmt.Sprintf("invalid -sample rate %v (want 0 to disable, or 0 < rate < 1)", *sample))
 	}
-	if err := run(*configPath, *walPath, syncMode, *docsDir, *httpAddr, *sample, *slowTxn); err != nil {
+	if err := run(*configPath, *walPath, syncMode, *docsDir, *httpAddr, *sample, *slowTxn, *gossip); err != nil {
 		log.Fatalf("axmlpeer: %v", err)
 	}
 }
@@ -85,7 +87,7 @@ func fatalUsage(msg string) {
 	os.Exit(2)
 }
 
-func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir string, httpAddr string, sample float64, slowTxn time.Duration) error {
+func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir string, httpAddr string, sample float64, slowTxn time.Duration, gossipEvery time.Duration) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -135,6 +137,29 @@ func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir strin
 		sampler.Register(registry, string(id))
 		sink = sampler
 	}
+	// With -gossip the configured neighbors seed a SWIM membership instance;
+	// it is handed to the engine before construction so the gossip handler
+	// sits in the peer's message chain and hosted documents/services are
+	// announced into the shared replica catalog.
+	var member *membership.Gossip
+	if gossipEvery > 0 {
+		var seeds []p2p.PeerID
+		for _, el := range root.Elements() {
+			if el.Name() == "neighbor" {
+				seeds = append(seeds, p2p.PeerID(el.AttrDefault("id", "")))
+			}
+		}
+		member = membership.New(transport, membership.Config{
+			Seeds:         seeds,
+			ProbeInterval: gossipEvery,
+			AdvertiseAddr: transport.Addr(),
+			Sink:          sink,
+			Registry:      registry,
+		})
+		member.OnDown(func(dead p2p.PeerID) {
+			log.Printf("gossip: peer %s declared dead", dead)
+		})
+	}
 	peer := core.NewPeer(transport, opLog, core.Options{
 		Super:           root.AttrDefault("super", "false") == "true",
 		TraceSink:       sink,
@@ -143,13 +168,14 @@ func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir strin
 		SlowTxnLog: func(txn string, d time.Duration, outcome string) {
 			log.Printf("slow transaction %s: %s (%s)", txn, d, outcome)
 		},
+		Membership: member,
 	})
 	// ready flips once startup (config, checkpoint load, restart recovery)
 	// finished; until then /healthz answers 503 so orchestrators hold
 	// traffic during WAL replay.
 	var ready atomic.Bool
 	if httpAddr != "" {
-		handler := obs.NewOpsHandler(obs.HandlerConfig{
+		hcfg := obs.HandlerConfig{
 			Registry: registry,
 			Ring:     ring,
 			Sampler:  sampler,
@@ -160,7 +186,11 @@ func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir strin
 				}
 				return nil
 			},
-		})
+		}
+		if member != nil {
+			hcfg.Members = func() any { return member.Info() }
+		}
+		handler := obs.NewOpsHandler(hcfg)
 		srv := &http.Server{Addr: httpAddr, Handler: handler}
 		httpLn, err := net.Listen("tcp", httpAddr)
 		if err != nil {
@@ -172,7 +202,11 @@ func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir strin
 				log.Printf("observability HTTP server: %v", err)
 			}
 		}()
-		log.Printf("ops endpoints on http://%s: /metrics /trace/{txn} /traces /healthz /debug/pprof/", httpLn.Addr())
+		extra := ""
+		if member != nil {
+			extra = " /members"
+		}
+		log.Printf("ops endpoints on http://%s: /metrics /trace/{txn} /traces /healthz%s /debug/pprof/", httpLn.Addr(), extra)
 	}
 
 	for _, el := range root.Elements() {
@@ -239,19 +273,28 @@ func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir strin
 	ready.Store(true)
 	log.Printf("peer %s listening on %s (super=%t)", id, transport.Addr(), peer.Super())
 
-	// Keep-alive probing of neighbors: disconnections feed the recovery
-	// protocol.
-	pinger := p2p.NewPinger(transport, 2*time.Second, 3, func(dead p2p.PeerID) {
-		log.Printf("peer %s detected down", dead)
-		peer.OnPeerDown(dead)
-	})
-	for _, el := range root.Elements() {
-		if el.Name() == "neighbor" {
-			pinger.Watch(p2p.PeerID(el.AttrDefault("id", "")))
+	if member != nil {
+		// Gossip subsumes the static neighbor pinger: SWIM probing covers
+		// every known member (not just configured neighbors), and its death
+		// verdicts already feed peer.OnPeerDown through the engine wiring.
+		member.Start()
+		defer member.Stop()
+		log.Printf("gossip membership on (probe every %s, %d seed(s))", gossipEvery, len(member.Members())-1)
+	} else {
+		// Keep-alive probing of neighbors: disconnections feed the recovery
+		// protocol.
+		pinger := p2p.NewPinger(transport, 2*time.Second, 3, func(dead p2p.PeerID) {
+			log.Printf("peer %s detected down", dead)
+			peer.OnPeerDown(dead)
+		})
+		for _, el := range root.Elements() {
+			if el.Name() == "neighbor" {
+				pinger.Watch(p2p.PeerID(el.AttrDefault("id", "")))
+			}
 		}
+		pinger.Start()
+		defer pinger.Stop()
 	}
-	pinger.Start()
-	defer pinger.Stop()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -6,6 +6,7 @@
 //	axmlquery -addr 127.0.0.1:7002 -id AP2 -invoke getPoints name="Roger Federer"
 //	axmlquery -addr 127.0.0.1:7002 -id AP2 -invoke setPoints -abort value=99
 //	axmlquery -addr 127.0.0.1:7002 -id AP2 -metrics
+//	axmlquery -addr 127.0.0.1:7002 -id AP2 -members
 //	axmlquery -addr 127.0.0.1:7002 -id AP2 -trace TA@AP1
 package main
 
@@ -32,6 +33,7 @@ func main() {
 	descriptors := flag.Bool("descriptors", false, "list the peer's service descriptors")
 	documents := flag.Bool("documents", false, "list the peer's documents")
 	metrics := flag.Bool("metrics", false, "dump the peer's metrics in Prometheus text format")
+	members := flag.Bool("members", false, "dump the peer's gossip membership view and replica catalog as JSON (requires the peer to run with -gossip)")
 	trace := flag.String("trace", "", "print the span tree of the given transaction ID")
 	abort := flag.Bool("abort", false, "abort (compensate) instead of committing")
 	flag.Parse()
@@ -40,12 +42,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, p2p.PeerID(*id), *invoke, *descriptors, *documents, *metrics, *trace, *abort, flag.Args()); err != nil {
+	if err := run(*addr, p2p.PeerID(*id), *invoke, *descriptors, *documents, *metrics, *members, *trace, *abort, flag.Args()); err != nil {
 		log.Fatalf("axmlquery: %v", err)
 	}
 }
 
-func run(addr string, target p2p.PeerID, invoke string, descriptors, documents, metrics bool, trace string, abort bool, args []string) error {
+func run(addr string, target p2p.PeerID, invoke string, descriptors, documents, metrics, members bool, trace string, abort bool, args []string) error {
 	self := p2p.PeerID(fmt.Sprintf("client-%d", os.Getpid()))
 	transport, err := p2p.ListenTCP(self, "127.0.0.1:0")
 	if err != nil {
@@ -56,17 +58,28 @@ func run(addr string, target p2p.PeerID, invoke string, descriptors, documents, 
 
 	peer := core.NewPeer(transport, wal.NewMemory(), core.Options{})
 
-	if descriptors || documents || metrics {
+	if descriptors || documents || metrics || members {
 		subject := "descriptors"
 		switch {
 		case documents:
 			subject = "documents"
 		case metrics:
 			subject = "metrics"
+		case members:
+			subject = "members"
 		}
 		resp, err := admin(transport, target, &p2p.Message{Kind: p2p.KindAdmin, Subject: subject})
 		if err != nil {
 			return err
+		}
+		if members {
+			// Re-indent the JSON payload for the terminal.
+			var buf json.RawMessage = resp.Payload
+			pretty, err := json.MarshalIndent(buf, "", "  ")
+			if err == nil {
+				fmt.Println(string(pretty))
+				return nil
+			}
 		}
 		fmt.Println(string(resp.Payload))
 		return nil

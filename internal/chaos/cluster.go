@@ -1,9 +1,11 @@
 package chaos
 
 import (
+	"context"
 	"fmt"
 
 	"axmltx/internal/core"
+	"axmltx/internal/membership"
 	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 	"axmltx/internal/services"
@@ -23,6 +25,14 @@ type Cluster struct {
 	// peer's own Options already name one), so a run's trace interleaves
 	// protocol spans with the injector's fault spans in one stream.
 	Sink obs.Sink
+	// Gossip, when set before Add, gives every subsequently added peer a
+	// membership instance (over the same chaos-wrapped transport, so the
+	// schedule's partitions and crashes drive the failure detector). Seeds
+	// are ignored; call ConnectGossip once the topology is built.
+	Gossip *membership.Config
+	// Members holds the gossip instance of each peer added while Gossip was
+	// set.
+	Members map[p2p.PeerID]*membership.Gossip
 
 	snaps map[string]*xmldom.Document
 }
@@ -30,11 +40,12 @@ type Cluster struct {
 // NewCluster builds a cluster whose transports route through the injector.
 func NewCluster(inj *Injector) *Cluster {
 	return &Cluster{
-		Net:   p2p.NewNetwork(0),
-		Inj:   inj,
-		Peers: make(map[p2p.PeerID]*core.Peer),
-		Logs:  make(map[p2p.PeerID]wal.Log),
-		snaps: make(map[string]*xmldom.Document),
+		Net:     p2p.NewNetwork(0),
+		Inj:     inj,
+		Peers:   make(map[p2p.PeerID]*core.Peer),
+		Logs:    make(map[p2p.PeerID]wal.Log),
+		Members: make(map[p2p.PeerID]*membership.Gossip),
+		snaps:   make(map[string]*xmldom.Document),
 	}
 }
 
@@ -46,8 +57,19 @@ func (c *Cluster) Add(id p2p.PeerID, opts core.Options) *core.Peer {
 	if opts.TraceSink == nil {
 		opts.TraceSink = c.Sink
 	}
+	t := c.Inj.Wrap(c.Net.Join(id))
+	if c.Gossip != nil && opts.Membership == nil {
+		cfg := *c.Gossip
+		cfg.Seeds = nil
+		if cfg.Sink == nil {
+			cfg.Sink = opts.TraceSink
+		}
+		g := membership.New(t, cfg)
+		c.Members[id] = g
+		opts.Membership = g
+	}
 	log := wal.NewMemory()
-	p := core.NewPeer(c.Inj.Wrap(c.Net.Join(id)), log, opts)
+	p := core.NewPeer(t, log, opts)
 	c.Peers[id] = p
 	c.Logs[id] = log
 	c.Inj.OnRestart(id, func() { _, _ = p.Restart() })
@@ -55,6 +77,40 @@ func (c *Cluster) Add(id p2p.PeerID, opts core.Options) *core.Peer {
 		c.Inj.Protect(id)
 	}
 	return p
+}
+
+// ConnectGossip seeds every gossip instance with the full current member
+// set — conformance runs start from a converged bootstrap and let the
+// schedule churn it, rather than also testing discovery.
+func (c *Cluster) ConnectGossip() {
+	ids := make([]p2p.PeerID, 0, len(c.Members))
+	for id := range c.Members {
+		ids = append(ids, id)
+	}
+	sortPeers(ids)
+	for _, g := range c.Members {
+		g.Seed(ids...)
+	}
+}
+
+// GossipRounds drives n deterministic protocol periods across every
+// non-crashed peer, in sorted peer order. Crashed peers neither probe nor
+// answer (the injector fails their traffic), which is exactly how the
+// failure detector notices them.
+func (c *Cluster) GossipRounds(ctx context.Context, n int) {
+	ids := make([]p2p.PeerID, 0, len(c.Members))
+	for id := range c.Members {
+		ids = append(ids, id)
+	}
+	sortPeers(ids)
+	for i := 0; i < n; i++ {
+		for _, id := range ids {
+			if c.Inj.Crashed(id) {
+				continue
+			}
+			c.Members[id].Tick(ctx)
+		}
+	}
 }
 
 // HostEntry gives a peer a work document and an update service inserting

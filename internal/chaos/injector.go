@@ -131,6 +131,27 @@ func (in *Injector) Crash(id p2p.PeerID) {
 	sp.End("chaos:crash", nil)
 }
 
+// PartitionLink blocks both directions between a and b outside any rule —
+// scenario scripts use it for clean network partitions (e.g. forcing a
+// false suspicion in the gossip failure detector).
+func (in *Injector) PartitionLink(a, b p2p.PeerID) {
+	in.mu.Lock()
+	in.parts[edgeKey(a, b)] = true
+	in.parts[edgeKey(b, a)] = true
+	in.mu.Unlock()
+	sp := in.tracer.Start("", "", obs.KindFault, string(FaultPartition))
+	sp.SetTarget(string(a) + "<->" + string(b))
+	sp.End("chaos:"+string(FaultPartition), nil)
+}
+
+// HealLink reverses PartitionLink for one pair.
+func (in *Injector) HealLink(a, b p2p.PeerID) {
+	in.mu.Lock()
+	delete(in.parts, edgeKey(a, b))
+	delete(in.parts, edgeKey(b, a))
+	in.mu.Unlock()
+}
+
 // Crashed reports whether the peer is currently down.
 func (in *Injector) Crashed(id p2p.PeerID) bool {
 	in.mu.Lock()

@@ -8,8 +8,10 @@ import (
 
 	"axmltx/internal/axml"
 	"axmltx/internal/core"
+	"axmltx/internal/membership"
 	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
+	"axmltx/internal/replication"
 	"axmltx/internal/services"
 )
 
@@ -18,8 +20,11 @@ import (
 type Config struct {
 	// Scenario is one of Scenarios(): "fig1" (Figure 1 workload, commits),
 	// "fig1f" (Figure 1 with the F5 service fault at AP5, aborts), "sphere"
-	// (Figure 1 with every peer super — a Sphere of Atomicity), and the §3.3
-	// disconnection scenarios "a"–"d".
+	// (Figure 1 with every peer super — a Sphere of Atomicity), the §3.3
+	// disconnection scenarios "a"–"d", and "bg" — scenario "b" rerun with
+	// gossip membership maintaining the replica catalog instead of static
+	// table entries, plus an extra S3 replica that dies before the workload
+	// so forward recovery must pick the live one.
 	Scenario string
 	// Seed drives every probabilistic decision in the fault schedule.
 	Seed int64
@@ -59,7 +64,7 @@ func (r *Report) Repro() string {
 
 // Scenarios lists the conformance scenarios in sweep order.
 func Scenarios() []string {
-	return []string{"fig1", "fig1f", "sphere", "a", "b", "c", "d"}
+	return []string{"fig1", "fig1f", "sphere", "a", "b", "bg", "c", "d"}
 }
 
 // scenarioRules returns the scripted fault that defines each scenario —
@@ -74,9 +79,11 @@ func scenarioRules(scenario string) ([]Rule, error) {
 	case "a":
 		// Leaf AP6 dies the moment work reaches it (§3.3 case a).
 		return []Rule{{Fault: FaultCrash, Peer: "AP6", To: "AP6", Kind: p2p.KindInvoke, Times: 1}}, nil
-	case "b":
+	case "b", "bg":
 		// AP3 dies exactly when AP6 pushes results back to it (§3.3 case b):
 		// the child discovers the death and redirects past the dead parent.
+		// "bg" keeps the same scripted fault but sources the replica catalog
+		// from gossip rather than static table entries.
 		return []Rule{{Fault: FaultCrash, Peer: "AP3", To: "AP3", Kind: p2p.KindResult, Times: 1}}, nil
 	case "d":
 		// AP3 dies mid-stream to its sibling AP4 (§3.3 case d): the third
@@ -221,9 +228,21 @@ func canonicalViolations(scenario string, c *Cluster, res runResult, rep *Report
 		if !res.sphereOK {
 			out = append(out, "canonical sphere run: all-super chain not recognized as a Sphere of Atomicity")
 		}
-	case "b":
+	case "b", "bg":
 		if rep.WorkReused == 0 {
-			out = append(out, "canonical b run: redirected results were not reused by the forward recovery")
+			out = append(out, fmt.Sprintf("canonical %s run: redirected results were not reused by the forward recovery", scenario))
+		}
+		if scenario == "bg" {
+			// Forward recovery tries exactly one alternative, so a commit
+			// proves the live replica was chosen — but assert the placement
+			// directly: the dead replica AP3c must hold no work, the live
+			// replica AP3b must hold the recovered invocation.
+			if n := c.CountEntries("AP3c", "D3c.xml"); n != 0 {
+				out = append(out, fmt.Sprintf("canonical bg run: dead replica AP3c holds %d entr(ies), want 0 (recovery must pick a live replica)", n))
+			}
+			if n := c.CountEntries("AP3b", "D3b.xml"); n == 0 {
+				out = append(out, "canonical bg run: live replica AP3b holds no entries, want the forward-recovered S3 invocation")
+			}
 		}
 	case "c":
 		// The dead peer's orphaned descendant must have discarded its work
@@ -277,7 +296,19 @@ func runFig1(c *Cluster, variant string) runResult {
 // S3. Every step tolerates noise-induced failure by falling back to a clean
 // abort — under noise the runner asserts safety, not the scripted outcome.
 func runDisconnection(c *Cluster, scenario string) runResult {
+	gossip := scenario == "bg"
+	if gossip {
+		c.Gossip = &membership.Config{
+			ProbeInterval:  5 * time.Millisecond,
+			SuspectRounds:  2,
+			IndirectProbes: 2,
+			Fanout:         2,
+		}
+	}
 	ids := []p2p.PeerID{"AP1", "AP2", "AP3", "AP4", "AP5", "AP6", "AP3b"}
+	if gossip {
+		ids = append(ids, "AP3c")
+	}
 	for _, id := range ids {
 		c.Add(id, core.Options{Super: id == "AP1"})
 	}
@@ -287,9 +318,34 @@ func runDisconnection(c *Cluster, scenario string) runResult {
 	c.HostEntry("AP5", "S5", "D5.xml", "D5")
 	c.HostEntry("AP6", "S6", "D6.xml", "D6")
 	c.HostEntry("AP3b", "S3", "D3b.xml", "D3b") // replica provider of S3
-	for _, p := range c.Peers {
-		p.Replicas().AddService("S3", "AP3")
-		p.Replicas().AddService("S3", "AP3b")
+	if gossip {
+		// The catalog is gossip-maintained: hosting announced every placement
+		// above, so replicas of S3 spread without static table entries. A
+		// second replica AP3c joins, is learned everywhere, and then dies
+		// before the workload — the catalog must prune it so forward recovery
+		// (which tries exactly one alternative) lands on the live AP3b.
+		c.HostEntry("AP3c", "S3", "D3c.xml", "D3c")
+		c.ConnectGossip()
+		gctx := context.Background()
+		ap2r := c.Peers["AP2"].Replicas()
+		for i := 0; i < 300; i++ {
+			if hasProvider(ap2r, "S3", "AP3b") && hasProvider(ap2r, "S3", "AP3c") {
+				break
+			}
+			c.GossipRounds(gctx, 1)
+		}
+		c.Inj.Crash("AP3c")
+		for i := 0; i < 300; i++ {
+			if st, ok := c.Members["AP2"].StateOf("AP3c"); ok && st == membership.StateDead {
+				break
+			}
+			c.GossipRounds(gctx, 1)
+		}
+	} else {
+		for _, p := range c.Peers {
+			p.Replicas().AddService("S3", "AP3")
+			p.Replicas().AddService("S3", "AP3b")
+		}
 	}
 	c.SnapshotAll()
 
@@ -344,11 +400,12 @@ func runDisconnection(c *Cluster, scenario string) runResult {
 		// Only reachable when noise pre-empted the scripted crash somehow.
 		return finish(true)
 
-	case "b":
+	case "b", "bg":
 		// AP3 invokes S6 asynchronously, then crashes exactly when AP6
 		// pushes the result back (scripted rule); AP6 redirects past the
 		// dead parent to AP2, which forward-recovers S3 on AP3b reusing the
-		// redirected work.
+		// redirected work. In "bg" the S3 replica set comes from the gossip
+		// catalog, already pruned of the dead AP3c.
 		release := make(chan struct{})
 		var once sync.Once
 		rel := func() { once.Do(func() { close(release) }) }
@@ -496,6 +553,17 @@ func waitService(ch <-chan string, service string, timeout time.Duration) bool {
 			return false
 		}
 	}
+}
+
+// hasProvider reports whether the table currently lists id as a provider of
+// the service.
+func hasProvider(t *replication.Table, svc string, id p2p.PeerID) bool {
+	for _, p := range t.ServiceProviders(svc) {
+		if p == id {
+			return true
+		}
+	}
+	return false
 }
 
 // waitTrue polls cond until it holds or the timeout expires.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"axmltx/internal/axml"
+	"axmltx/internal/membership"
 	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 	"axmltx/internal/replication"
@@ -53,6 +54,13 @@ type Options struct {
 	// SlowTxnLog receives origin transactions slower than SlowTxn. outcome
 	// is "committed" or "aborted". Nil falls back to sampler force-keep only.
 	SlowTxnLog func(txn string, d time.Duration, outcome string)
+	// Membership, when set, binds a SWIM gossip instance (built over the
+	// same transport) to this peer: the replica table is populated/pruned
+	// from the gossiped catalog and ranked by liveness + observed RTT,
+	// failure detection drives the disconnection protocol (OnPeerDown),
+	// Host* registrations are announced to the network, and successful
+	// remote invokes feed the RTT estimator.
+	Membership *membership.Gossip
 }
 
 // FaultHook is application-specific fault-handler code attached to
@@ -116,8 +124,28 @@ func NewPeer(transport p2p.Transport, log wal.Log, opts Options) *Peer {
 	if reg := opts.MetricsRegistry; reg != nil {
 		p.RegisterObservability(reg)
 	}
-	transport.SetHandler(p2p.AnswerPings(p.handle))
+	handler := p.handle
+	if m := opts.Membership; m != nil {
+		// Gossip keeps the replica table current and ranked; failure
+		// detection feeds the §3.3 disconnection protocol.
+		m.SetTable(p.replicas)
+		m.OnDown(func(dead p2p.PeerID) { p.OnPeerDown(dead) })
+		handler = m.Intercept(handler)
+	}
+	transport.SetHandler(p2p.AnswerPings(handler))
 	return p
+}
+
+// Membership returns the gossip instance bound via Options.Membership, or
+// nil when the peer runs with a static replica table.
+func (p *Peer) Membership() *membership.Gossip { return p.opts.Membership }
+
+// noteInvokeRTT feeds a successful remote-invoke round trip into the
+// membership RTT estimator (replica ranking), when gossip is enabled.
+func (p *Peer) noteInvokeRTT(target p2p.PeerID, d time.Duration) {
+	if m := p.opts.Membership; m != nil {
+		m.ObserveRTT(target, d)
+	}
 }
 
 // RegisterObservability exports the peer's protocol counters into reg and
@@ -251,6 +279,9 @@ func (p *Peer) HostDocument(name, xml string) error {
 		return err
 	}
 	p.replicas.AddDocument(name, p.id)
+	if m := p.opts.Membership; m != nil {
+		m.AnnounceDocument(name)
+	}
 	return nil
 }
 
@@ -260,18 +291,27 @@ func (p *Peer) HostDocument(name, xml string) error {
 func (p *Peer) HostQueryService(desc services.Descriptor, template string) {
 	p.registry.Register(services.NewQueryService(desc, p.store, template, p, p.opts.EvalMode))
 	p.replicas.AddService(desc.Name, p.id)
+	if m := p.opts.Membership; m != nil {
+		m.AnnounceService(desc.Name)
+	}
 }
 
 // HostUpdateService registers an update service bound to this peer's store.
 func (p *Peer) HostUpdateService(desc services.Descriptor, template string) {
 	p.registry.Register(services.NewUpdateService(desc, p.store, template, p))
 	p.replicas.AddService(desc.Name, p.id)
+	if m := p.opts.Membership; m != nil {
+		m.AnnounceService(desc.Name)
+	}
 }
 
 // HostService registers an arbitrary service implementation.
 func (p *Peer) HostService(svc services.Service) {
 	p.registry.Register(svc)
 	p.replicas.AddService(svc.Descriptor().Name, p.id)
+	if m := p.opts.Membership; m != nil {
+		m.AnnounceService(svc.Descriptor().Name)
+	}
 }
 
 // Begin starts a transaction at this (origin) peer.
@@ -541,6 +581,16 @@ func (p *Peer) handleAdmin(msg *p2p.Message) (*p2p.Message, error) {
 			out += "<document>" + name + "</document>"
 		}
 		return &p2p.Message{Kind: p2p.KindAdmin, Payload: []byte("<documents>" + out + "</documents>")}, nil
+	case "members":
+		m := p.opts.Membership
+		if m == nil {
+			return nil, fmt.Errorf("core: peer %s runs without gossip membership", p.id)
+		}
+		payload, err := json.Marshal(m.Info())
+		if err != nil {
+			return nil, err
+		}
+		return &p2p.Message{Kind: p2p.KindAdmin, Payload: payload}, nil
 	case "metrics":
 		reg := p.obsRegistry()
 		if reg == nil {

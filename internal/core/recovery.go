@@ -214,7 +214,11 @@ func (p *Peer) invokeOnce(txc *Context, target p2p.PeerID, service string, param
 	msg, sp := p.prepareRemoteInvoke(txc, target, service, params, async)
 	start := time.Now()
 	reply, err := p.transport.Request(txc.ctxForCalls(), target, msg)
-	p.histInvoke.Observe(time.Since(start))
+	elapsed := time.Since(start)
+	p.histInvoke.Observe(elapsed)
+	if err == nil {
+		p.noteInvokeRTT(target, elapsed)
+	}
 	return p.finishRemoteInvoke(txc, target, service, async, reply, err, sp)
 }
 
@@ -369,7 +373,11 @@ func (p *Peer) InvokeBatch(txn string, calls []*axml.ServiceCall, params [][]axm
 			defer func() { <-sem }()
 			start := time.Now()
 			replies[k], errs[k] = p.transport.Request(callCtx, pr.target, pr.msg)
-			p.histInvoke.Observe(time.Since(start))
+			elapsed := time.Since(start)
+			p.histInvoke.Observe(elapsed)
+			if errs[k] == nil {
+				p.noteInvokeRTT(pr.target, elapsed)
+			}
 		}(k, pr)
 	}
 	wg.Wait()

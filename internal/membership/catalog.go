@@ -1,0 +1,322 @@
+package membership
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sort"
+	"time"
+
+	"axmltx/internal/p2p"
+)
+
+// Gossip message subjects carried on p2p.KindGossip.
+const (
+	// subjectSync is a push-pull anti-entropy exchange: the request carries
+	// the sender's full member list + catalog, the response the receiver's.
+	subjectSync = "sync"
+	// subjectPingReq asks a helper to probe a third peer (SWIM indirect
+	// probe); subjectPingAck answers it, with Err set on failure.
+	subjectPingReq = "ping-req"
+	subjectPingAck = "ping-ack"
+)
+
+// CatalogEntry is one origin peer's advertisement of what it hosts. The
+// origin is the entry's single writer: it bumps Version on every change,
+// and reconciliation keeps, per origin, the highest version seen — no
+// vector clocks needed.
+type CatalogEntry struct {
+	Origin   p2p.PeerID `json:"origin"`
+	Version  uint64     `json:"version"`
+	Docs     []string   `json:"docs,omitempty"`
+	Services []string   `json:"services,omitempty"`
+	// Announced is the origin's wall-clock time of the last change; the
+	// convergence histogram measures receipt time minus Announced.
+	Announced time.Time `json:"announced"`
+}
+
+// memberRecord is the wire form of one membership row.
+type memberRecord struct {
+	ID          p2p.PeerID
+	State       int
+	Incarnation uint64
+	Addr        string
+}
+
+// syncMsg is the full push-pull payload (request and response alike).
+type syncMsg struct {
+	From    p2p.PeerID
+	Members []memberRecord
+	Catalog []CatalogEntry
+}
+
+// pingReq asks the receiver to probe Target on the sender's behalf.
+type pingReq struct {
+	Target p2p.PeerID
+}
+
+func encode(v any) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		panic("membership: gob encode: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+func decode(b []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
+}
+
+// AnnounceDocument advertises that this peer hosts a replica of doc. The
+// local table (when bound) learns it immediately; remote peers learn it on
+// the next sync exchange.
+func (g *Gossip) AnnounceDocument(doc string) {
+	g.mu.Lock()
+	if !g.selfDocs[doc] {
+		g.selfDocs[doc] = true
+		g.selfVersion++
+		g.selfAnnounced = time.Now()
+	}
+	tbl := g.table
+	g.mu.Unlock()
+	if tbl != nil {
+		tbl.AddDocument(doc, g.self)
+	}
+}
+
+// AnnounceService advertises that this peer provides svc.
+func (g *Gossip) AnnounceService(svc string) {
+	g.mu.Lock()
+	if !g.selfSvcs[svc] {
+		g.selfSvcs[svc] = true
+		g.selfVersion++
+		g.selfAnnounced = time.Now()
+	}
+	tbl := g.table
+	g.mu.Unlock()
+	if tbl != nil {
+		tbl.AddService(svc, g.self)
+	}
+}
+
+// WithdrawDocument stops advertising a document replica; remote tables
+// prune it via the version bump on the next exchange.
+func (g *Gossip) WithdrawDocument(doc string) {
+	g.mu.Lock()
+	if g.selfDocs[doc] {
+		delete(g.selfDocs, doc)
+		g.selfVersion++
+		g.selfAnnounced = time.Now()
+	}
+	tbl := g.table
+	g.mu.Unlock()
+	if tbl != nil {
+		tbl.RemoveDocument(doc, g.self)
+	}
+}
+
+// WithdrawService stops advertising a service.
+func (g *Gossip) WithdrawService(svc string) {
+	g.mu.Lock()
+	if g.selfSvcs[svc] {
+		delete(g.selfSvcs, svc)
+		g.selfVersion++
+		g.selfAnnounced = time.Now()
+	}
+	tbl := g.table
+	g.mu.Unlock()
+	if tbl != nil {
+		tbl.RemoveService(svc, g.self)
+	}
+}
+
+// applyEntryLocked merges one remote catalog entry: higher version wins,
+// and the diff against the previously known version is translated into
+// table add/remove operations. Entries from dead origins are stored (for
+// revival) but not materialized into the table.
+func (g *Gossip) applyEntryLocked(e *CatalogEntry, fx *effects) {
+	if e.Origin == g.self || e.Origin == "" {
+		return
+	}
+	old := g.catalog[e.Origin]
+	if old != nil && e.Version <= old.Version {
+		return
+	}
+	cp := &CatalogEntry{
+		Origin:    e.Origin,
+		Version:   e.Version,
+		Docs:      append([]string(nil), e.Docs...),
+		Services:  append([]string(nil), e.Services...),
+		Announced: e.Announced,
+	}
+	sort.Strings(cp.Docs)
+	sort.Strings(cp.Services)
+	g.catalog[e.Origin] = cp
+	if !cp.Announced.IsZero() {
+		if d := time.Since(cp.Announced); d > 0 {
+			fx.converge = append(fx.converge, d)
+		}
+	}
+
+	var oldDocs, oldSvcs []string
+	if old != nil {
+		oldDocs, oldSvcs = old.Docs, old.Services
+	}
+	if gone := missingFrom(oldDocs, cp.Docs); len(gone) > 0 {
+		fx.removePlacements(cp.Origin, gone, nil)
+	}
+	if gone := missingFrom(oldSvcs, cp.Services); len(gone) > 0 {
+		fx.removePlacements(cp.Origin, nil, gone)
+	}
+	m := g.members[e.Origin]
+	if m != nil && m.state == StateDead {
+		return
+	}
+	if add := missingFrom(cp.Docs, oldDocs); len(add) > 0 {
+		fx.addPlacements(cp.Origin, add, nil)
+	}
+	if add := missingFrom(cp.Services, oldSvcs); len(add) > 0 {
+		fx.addPlacements(cp.Origin, nil, add)
+	}
+}
+
+// missingFrom returns the elements of a not present in b.
+func missingFrom(a, b []string) []string {
+	if len(a) == 0 {
+		return nil
+	}
+	in := make(map[string]bool, len(b))
+	for _, x := range b {
+		in[x] = true
+	}
+	var out []string
+	for _, x := range a {
+		if !in[x] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// selfEntryLocked renders this peer's own catalog entry.
+func (g *Gossip) selfEntryLocked() CatalogEntry {
+	e := CatalogEntry{
+		Origin:    g.self,
+		Version:   g.selfVersion,
+		Announced: g.selfAnnounced,
+	}
+	for d := range g.selfDocs {
+		e.Docs = append(e.Docs, d)
+	}
+	for s := range g.selfSvcs {
+		e.Services = append(e.Services, s)
+	}
+	sort.Strings(e.Docs)
+	sort.Strings(e.Services)
+	return e
+}
+
+// syncPayloadLocked encodes the full push-pull payload: every known member
+// (plus our own record) and every catalog entry (plus our own).
+func (g *Gossip) syncPayloadLocked() []byte {
+	msg := syncMsg{From: g.self}
+	msg.Members = append(msg.Members, memberRecord{
+		ID: g.self, State: int(StateAlive), Incarnation: g.incarnation, Addr: g.cfg.AdvertiseAddr,
+	})
+	ids := make([]p2p.PeerID, 0, len(g.members))
+	for id := range g.members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		m := g.members[id]
+		msg.Members = append(msg.Members, memberRecord{
+			ID: id, State: int(m.state), Incarnation: m.incarnation, Addr: m.addr,
+		})
+	}
+	if g.selfVersion > 0 {
+		msg.Catalog = append(msg.Catalog, g.selfEntryLocked())
+	}
+	origins := make([]p2p.PeerID, 0, len(g.catalog))
+	for o := range g.catalog {
+		origins = append(origins, o)
+	}
+	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
+	for _, o := range origins {
+		msg.Catalog = append(msg.Catalog, *g.catalog[o])
+	}
+	return encode(msg)
+}
+
+// Member is the exported view of one membership row (self included).
+type Member struct {
+	ID          p2p.PeerID `json:"id"`
+	State       string     `json:"state"`
+	Incarnation uint64     `json:"incarnation"`
+	Addr        string     `json:"addr,omitempty"`
+	RTTMicros   int64      `json:"rtt_us,omitempty"`
+}
+
+// Info is the full diagnostic snapshot served by /members and the
+// axmlquery -members admin subject.
+type Info struct {
+	Self        p2p.PeerID     `json:"self"`
+	Incarnation uint64         `json:"incarnation"`
+	Round       uint64         `json:"round"`
+	Members     []Member       `json:"members"`
+	Catalog     []CatalogEntry `json:"catalog"`
+}
+
+// Members returns the sorted membership view, self first among equals.
+func (g *Gossip) Members() []Member {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Member, 0, len(g.members)+1)
+	out = append(out, Member{
+		ID: g.self, State: StateAlive.String(), Incarnation: g.incarnation, Addr: g.cfg.AdvertiseAddr,
+	})
+	for id, m := range g.members {
+		out = append(out, Member{
+			ID: id, State: m.state.String(), Incarnation: m.incarnation, Addr: m.addr,
+			RTTMicros: g.rtts[id].Microseconds(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CatalogSnapshot returns the known catalog (own entry included), sorted
+// by origin, with sorted doc/service lists — directly comparable across
+// peers in convergence tests.
+func (g *Gossip) CatalogSnapshot() []CatalogEntry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]CatalogEntry, 0, len(g.catalog)+1)
+	if g.selfVersion > 0 {
+		out = append(out, g.selfEntryLocked())
+	}
+	for _, e := range g.catalog {
+		out = append(out, CatalogEntry{
+			Origin:    e.Origin,
+			Version:   e.Version,
+			Docs:      append([]string(nil), e.Docs...),
+			Services:  append([]string(nil), e.Services...),
+			Announced: e.Announced,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
+}
+
+// Info assembles the full snapshot.
+func (g *Gossip) Info() Info {
+	g.mu.Lock()
+	self, inc, round := g.self, g.incarnation, g.round
+	g.mu.Unlock()
+	return Info{
+		Self:        self,
+		Incarnation: inc,
+		Round:       round,
+		Members:     g.Members(),
+		Catalog:     g.CatalogSnapshot(),
+	}
+}

@@ -1,0 +1,264 @@
+package membership_test
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"axmltx/internal/membership"
+	"axmltx/internal/p2p"
+	"axmltx/internal/replication"
+)
+
+// node bundles one peer's gossip stack for tests.
+type node struct {
+	id    p2p.PeerID
+	g     *membership.Gossip
+	tbl   *replication.Table
+	downs atomic.Int64
+}
+
+// buildCluster wires n peers over an in-memory network, each hosting one
+// document ("D<id>") and one service ("S<id>"), seeded in a ring.
+func buildCluster(n int, cfg membership.Config) (*p2p.Network, []*node) {
+	net := p2p.NewNetwork(0)
+	ids := make([]p2p.PeerID, n)
+	for i := range ids {
+		ids[i] = p2p.PeerID('A' + rune(i))
+	}
+	nodes := make([]*node, n)
+	for i, id := range ids {
+		t := net.Join(id)
+		c := cfg
+		c.Seeds = []p2p.PeerID{ids[(i+1)%n]}
+		g := membership.New(t, c)
+		nd := &node{id: id, g: g, tbl: replication.New()}
+		g.SetTable(nd.tbl)
+		g.OnDown(func(p2p.PeerID) { nd.downs.Add(1) })
+		t.SetHandler(p2p.AnswerPings(g.Intercept(nil)))
+		g.AnnounceDocument("D" + string(id))
+		g.AnnounceService("S" + string(id))
+		nodes[i] = nd
+	}
+	return net, nodes
+}
+
+func tickAll(ctx context.Context, nodes []*node, rounds int, skip map[p2p.PeerID]bool) {
+	for r := 0; r < rounds; r++ {
+		for _, nd := range nodes {
+			if skip[nd.id] {
+				continue
+			}
+			nd.g.Tick(ctx)
+		}
+	}
+}
+
+func quickCfg() membership.Config {
+	return membership.Config{
+		ProbeInterval:  20 * time.Millisecond,
+		SuspectRounds:  2,
+		IndirectProbes: 2,
+		Fanout:         2,
+	}
+}
+
+func TestConvergenceAndCatalogPruning(t *testing.T) {
+	ctx := context.Background()
+	_, nodes := buildCluster(5, quickCfg())
+
+	converged := func() bool {
+		for _, nd := range nodes {
+			if len(nd.g.CatalogSnapshot()) != len(nodes) {
+				return false
+			}
+			for _, m := range nd.g.Members() {
+				if m.State != "alive" {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := 0; i < 40 && !converged(); i++ {
+		tickAll(ctx, nodes, 1, nil)
+	}
+	if !converged() {
+		t.Fatalf("cluster did not converge: %+v", nodes[0].g.Info())
+	}
+	// Every table must know every placement.
+	for _, nd := range nodes {
+		for _, other := range nodes {
+			if got := nd.tbl.DocumentReplicas("D" + string(other.id)); len(got) != 1 || got[0] != other.id {
+				t.Fatalf("peer %s: document D%s replicas = %v", nd.id, other.id, got)
+			}
+			if _, ok := nd.tbl.Alternative("S" + string(other.id)); !ok {
+				t.Fatalf("peer %s: no provider for S%s", nd.id, other.id)
+			}
+		}
+	}
+
+	// Withdrawal bumps the version and prunes remote tables.
+	nodes[0].g.WithdrawDocument("D" + string(nodes[0].id))
+	tickAll(ctx, nodes, 10, nil)
+	for _, nd := range nodes {
+		if got := nd.tbl.DocumentReplicas("D" + string(nodes[0].id)); len(got) != 0 {
+			t.Fatalf("peer %s still sees withdrawn doc: %v", nd.id, got)
+		}
+	}
+}
+
+func TestFailureDetectionPrunesCatalog(t *testing.T) {
+	ctx := context.Background()
+	net, nodes := buildCluster(4, quickCfg())
+	tickAll(ctx, nodes, 20, nil)
+
+	victim := nodes[len(nodes)-1]
+	net.Disconnect(victim.id)
+	skip := map[p2p.PeerID]bool{victim.id: true}
+	deadEverywhere := func() bool {
+		for _, nd := range nodes {
+			if nd.id == victim.id {
+				continue
+			}
+			if st, _ := nd.g.StateOf(victim.id); st != membership.StateDead {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 60 && !deadEverywhere(); i++ {
+		tickAll(ctx, nodes, 1, skip)
+	}
+	if !deadEverywhere() {
+		t.Fatalf("victim %s not declared dead everywhere", victim.id)
+	}
+	for _, nd := range nodes {
+		if nd.id == victim.id {
+			continue
+		}
+		if nd.downs.Load() != 1 {
+			t.Fatalf("peer %s: OnDown fired %d times, want 1", nd.id, nd.downs.Load())
+		}
+		if got := nd.tbl.DocumentReplicas("D" + string(victim.id)); len(got) != 0 {
+			t.Fatalf("peer %s still lists dead peer's doc: %v", nd.id, got)
+		}
+		if alt, ok := nd.tbl.Alternative("S" + string(victim.id)); ok {
+			t.Fatalf("peer %s: Alternative returned dead peer %s", nd.id, alt)
+		}
+	}
+}
+
+func TestFalseSuspicionHealsWithoutDeath(t *testing.T) {
+	ctx := context.Background()
+	cfg := quickCfg()
+	cfg.SuspectRounds = 50 // suspicion must not expire during the test
+	net, nodes := buildCluster(3, cfg)
+	tickAll(ctx, nodes, 15, nil)
+
+	victim := nodes[1]
+	// Isolate the victim: direct and indirect probes both fail.
+	for _, nd := range nodes {
+		if nd.id != victim.id {
+			net.BlockLink(nd.id, victim.id)
+		}
+	}
+	skip := map[p2p.PeerID]bool{victim.id: true}
+	suspected := func() bool {
+		for _, nd := range nodes {
+			if nd.id == victim.id {
+				continue
+			}
+			if st, _ := nd.g.StateOf(victim.id); st != membership.StateSuspect {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 30 && !suspected(); i++ {
+		tickAll(ctx, nodes, 1, skip)
+	}
+	if !suspected() {
+		t.Fatal("victim never suspected")
+	}
+
+	// Heal. The victim's next exchanges carry the suspicion back to it; it
+	// refutes with a higher incarnation and everyone re-marks it alive.
+	for _, nd := range nodes {
+		if nd.id != victim.id {
+			net.UnblockLink(nd.id, victim.id)
+		}
+	}
+	healed := func() bool {
+		for _, nd := range nodes {
+			for _, m := range nd.g.Members() {
+				if m.State != "alive" {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for i := 0; i < 40 && !healed(); i++ {
+		tickAll(ctx, nodes, 1, nil)
+	}
+	if !healed() {
+		t.Fatalf("suspicion never healed: %+v", nodes[0].g.Members())
+	}
+	if inc := victim.g.Info().Incarnation; inc == 0 {
+		t.Fatal("victim never refuted (incarnation still 0)")
+	}
+	for _, nd := range nodes {
+		if nd.downs.Load() != 0 {
+			t.Fatalf("peer %s: OnDown fired on a false suspicion", nd.id)
+		}
+		// Catalog must be intact: the victim's placements never pruned.
+		if got := nd.tbl.DocumentReplicas("D" + string(victim.id)); len(got) != 1 {
+			t.Fatalf("peer %s lost victim's doc during false suspicion: %v", nd.id, got)
+		}
+	}
+}
+
+func TestScorerRanksByLivenessAndRTT(t *testing.T) {
+	ctx := context.Background()
+	net, nodes := buildCluster(4, quickCfg())
+	tickAll(ctx, nodes, 20, nil)
+
+	observer := nodes[0]
+	// All four peers provide a shared service.
+	for _, nd := range nodes {
+		nd.g.AnnounceService("Shared")
+	}
+	tickAll(ctx, nodes, 10, nil)
+
+	// Probe round-trips already feed the RTT EWMA (microseconds on the
+	// in-memory network); drown the other providers in slow samples so the
+	// last peer is unambiguously fastest.
+	fast := nodes[3].id
+	for i := 0; i < 20; i++ {
+		observer.g.ObserveRTT(nodes[1].id, 80*time.Millisecond)
+		observer.g.ObserveRTT(nodes[2].id, 60*time.Millisecond)
+	}
+	alt, ok := observer.tbl.Alternative("Shared", observer.id)
+	if !ok || alt != fast {
+		t.Fatalf("Alternative = %v,%v; want fastest peer %s", alt, ok, fast)
+	}
+
+	// Kill the fast peer: detection must re-rank to a live provider.
+	net.Disconnect(fast)
+	skip := map[p2p.PeerID]bool{fast: true}
+	for i := 0; i < 60; i++ {
+		tickAll(ctx, nodes, 1, skip)
+		if st, _ := observer.g.StateOf(fast); st == membership.StateDead {
+			break
+		}
+	}
+	if st, _ := observer.g.StateOf(fast); st != membership.StateDead {
+		t.Fatal("fast peer never declared dead")
+	}
+	alt, ok = observer.tbl.Alternative("Shared", observer.id)
+	if !ok || alt == fast {
+		t.Fatalf("Alternative after death = %v,%v; must avoid dead peer", alt, ok)
+	}
+}

@@ -22,6 +22,11 @@ type HandlerConfig struct {
 	// Ready backs GET /healthz: nil error → 200, non-nil → 503 with the
 	// error message. A nil func means always ready.
 	Ready func() error
+	// Members, when set, backs GET /members with its JSON-marshaled return
+	// value — the gossip membership + replica-catalog view of the peer
+	// (internal/membership.Gossip.Info; typed as any so obs does not import
+	// membership).
+	Members func() any
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
 }
@@ -95,6 +100,16 @@ func NewOpsHandler(cfg HandlerConfig) http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(txns)
+	})
+	mux.HandleFunc("/members", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Members == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.Members())
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

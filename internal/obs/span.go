@@ -59,6 +59,10 @@ const (
 	// delayed, duplicated or reordered, a peer crash/restart, or a
 	// partition, parented under the span of the message it hit.
 	KindFault = "fault"
+	// KindMember is a membership state transition observed by the SWIM
+	// failure detector (internal/membership): a peer joining, becoming
+	// suspect, being declared dead, or refuting a false suspicion.
+	KindMember = "member"
 )
 
 // Outcome values.

@@ -36,6 +36,7 @@ const (
 	KindStream      = "stream"     // continuous-service data (§3.3 case d)
 	KindChainUpdate = "chain"      // active-peer-list propagation to ancestors (§3.3)
 	KindAdmin       = "admin"      // document/service administration
+	KindGossip      = "gossip"     // SWIM membership sync / indirect probe (internal/membership)
 )
 
 // Message is the unit of communication. Payload encoding is the caller's

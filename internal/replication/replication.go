@@ -10,17 +10,39 @@ package replication
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"axmltx/internal/p2p"
 )
 
-// Table is a peer's view of replica placement. Lists are ranked: the first
-// live entry is the preferred alternative (the "alternative participant"
-// approach of Jin & Goschnick).
+// Scorer ranks candidate peers by observed health. The membership layer
+// (internal/membership) implements it from SWIM failure-detector state and
+// invoke/probe RTT samples; without a scorer the table falls back to static
+// registration order.
+//
+// Implementations must not call back into the Table: the table releases its
+// own lock before consulting the scorer, and expects the same courtesy to
+// avoid lock-order inversion.
+type Scorer interface {
+	// Live reports whether the peer is believed reachable. Unknown peers
+	// should be reported live (absence of evidence is not failure).
+	Live(p2p.PeerID) bool
+	// RTT returns the smoothed observed round-trip time to the peer, or 0
+	// when no sample exists yet.
+	RTT(p2p.PeerID) time.Duration
+}
+
+// Table is a peer's view of replica placement. Lists are ranked: with no
+// scorer, the first live entry is the preferred alternative (the
+// "alternative participant" approach of Jin & Goschnick); with a scorer
+// installed, live peers with the lowest observed RTT rank first.
 type Table struct {
 	mu   sync.RWMutex
 	docs map[string][]p2p.PeerID
 	svcs map[string][]p2p.PeerID
+
+	scorerMu sync.RWMutex
+	scorer   Scorer
 }
 
 // New returns an empty table.
@@ -29,6 +51,19 @@ func New() *Table {
 		docs: make(map[string][]p2p.PeerID),
 		svcs: make(map[string][]p2p.PeerID),
 	}
+}
+
+// SetScorer installs (or clears, with nil) the liveness/RTT ranking hook.
+func (t *Table) SetScorer(s Scorer) {
+	t.scorerMu.Lock()
+	defer t.scorerMu.Unlock()
+	t.scorer = s
+}
+
+func (t *Table) getScorer() Scorer {
+	t.scorerMu.RLock()
+	defer t.scorerMu.RUnlock()
+	return t.scorer
 }
 
 // AddDocument records that peer holds a replica of the named document.
@@ -46,48 +81,157 @@ func (t *Table) AddService(service string, peer p2p.PeerID) {
 	t.svcs[service] = appendUnique(t.svcs[service], peer)
 }
 
-// RemovePeer drops a (disconnected) peer from every list.
+// RemoveDocument forgets one peer's replica of a document (catalog pruning
+// when an origin stops advertising it). The key is deleted once no holder
+// remains.
+func (t *Table) RemoveDocument(doc string, peer p2p.PeerID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rest := remove(t.docs[doc], peer); len(rest) == 0 {
+		delete(t.docs, doc)
+	} else {
+		t.docs[doc] = rest
+	}
+}
+
+// RemoveService forgets one peer's registration of a service.
+func (t *Table) RemoveService(service string, peer p2p.PeerID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rest := remove(t.svcs[service], peer); len(rest) == 0 {
+		delete(t.svcs, service)
+	} else {
+		t.svcs[service] = rest
+	}
+}
+
+// RemovePeer drops a (disconnected) peer from every list. Keys whose last
+// holder is removed are deleted, so Documents() and catalog gossip never
+// advertise a document with zero holders.
 func (t *Table) RemovePeer(peer p2p.PeerID) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for k, v := range t.docs {
-		t.docs[k] = remove(v, peer)
+		if rest := remove(v, peer); len(rest) == 0 {
+			delete(t.docs, k)
+		} else {
+			t.docs[k] = rest
+		}
 	}
 	for k, v := range t.svcs {
-		t.svcs[k] = remove(v, peer)
+		if rest := remove(v, peer); len(rest) == 0 {
+			delete(t.svcs, k)
+		} else {
+			t.svcs[k] = rest
+		}
 	}
 }
 
 // DocumentReplicas returns the ranked replica holders of a document.
 func (t *Table) DocumentReplicas(doc string) []p2p.PeerID {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return append([]p2p.PeerID(nil), t.docs[doc]...)
+	list := append([]p2p.PeerID(nil), t.docs[doc]...)
+	t.mu.RUnlock()
+	return t.rank(list)
 }
 
 // ServiceProviders returns the ranked providers of a service.
 func (t *Table) ServiceProviders(service string) []p2p.PeerID {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return append([]p2p.PeerID(nil), t.svcs[service]...)
+	list := append([]p2p.PeerID(nil), t.svcs[service]...)
+	t.mu.RUnlock()
+	return t.rank(list)
 }
 
-// Alternative returns the highest-ranked provider of service that is not in
+// Alternative returns the best-ranked provider of service that is not in
 // exclude — the failure-recovery hook: exclude the failed peer(s) and pick
-// the next provider of equivalent functionality.
+// the next provider of equivalent functionality. With a scorer installed,
+// only live providers qualify (recovery must not redirect to a peer the
+// failure detector already declared dead) and lower observed RTT wins.
 func (t *Table) Alternative(service string, exclude ...p2p.PeerID) (p2p.PeerID, bool) {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
+	list := append([]p2p.PeerID(nil), t.svcs[service]...)
+	t.mu.RUnlock()
+
 	ex := make(map[p2p.PeerID]bool, len(exclude))
 	for _, e := range exclude {
 		ex[e] = true
 	}
-	for _, p := range t.svcs[service] {
+	candidates := list[:0]
+	for _, p := range list {
 		if !ex[p] {
-			return p, true
+			candidates = append(candidates, p)
 		}
 	}
+	s := t.getScorer()
+	if s == nil {
+		if len(candidates) > 0 {
+			return candidates[0], true
+		}
+		return "", false
+	}
+	live := rankByScore(candidates, s)
+	if len(live) > 0 {
+		return live[0], true
+	}
 	return "", false
+}
+
+// rank orders a candidate list for return: live peers first (sorted by
+// observed RTT, unsampled last, registration order as tie-break), then
+// non-live peers in registration order as a last-resort tail — callers like
+// compensation broadcast still want to *attempt* suspect peers after the
+// live ones.
+func (t *Table) rank(list []p2p.PeerID) []p2p.PeerID {
+	s := t.getScorer()
+	if s == nil || len(list) < 2 {
+		return list
+	}
+	live := rankByScore(list, s)
+	seen := make(map[p2p.PeerID]bool, len(live))
+	for _, p := range live {
+		seen[p] = true
+	}
+	out := live
+	for _, p := range list {
+		if !seen[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// rankByScore returns only the live members of list, ordered by RTT
+// (measured before unmeasured, lower first), preserving the input order as
+// a stable tie-break.
+func rankByScore(list []p2p.PeerID, s Scorer) []p2p.PeerID {
+	type scored struct {
+		id      p2p.PeerID
+		rtt     time.Duration
+		sampled bool
+	}
+	live := make([]scored, 0, len(list))
+	for _, p := range list {
+		if !s.Live(p) {
+			continue
+		}
+		rtt := s.RTT(p)
+		live = append(live, scored{id: p, rtt: rtt, sampled: rtt > 0})
+	}
+	sort.SliceStable(live, func(i, j int) bool {
+		if live[i].sampled != live[j].sampled {
+			return live[i].sampled
+		}
+		if !live[i].sampled {
+			return false // both unsampled: keep registration order
+		}
+		return live[i].rtt < live[j].rtt
+	})
+	out := make([]p2p.PeerID, len(live))
+	for i, c := range live {
+		out[i] = c.id
+	}
+	return out
 }
 
 // Documents returns the known document names, sorted, for diagnostics.
@@ -97,6 +241,18 @@ func (t *Table) Documents() []string {
 	out := make([]string, 0, len(t.docs))
 	for d := range t.docs {
 		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Services returns the known service names, sorted, for diagnostics.
+func (t *Table) Services() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.svcs))
+	for s := range t.svcs {
+		out = append(out, s)
 	}
 	sort.Strings(out)
 	return out

@@ -1,9 +1,12 @@
 package replication
 
 import (
+	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"axmltx/internal/p2p"
 )
@@ -63,6 +66,110 @@ func TestRemovePeerDropsEverywhere(t *testing.T) {
 	if got := tab.ServiceProviders("s1"); !reflect.DeepEqual(got, []p2p.PeerID{"AP3"}) {
 		t.Fatalf("svcs = %v", got)
 	}
+}
+
+func TestRemovePeerDeletesEmptiedKeys(t *testing.T) {
+	tab := New()
+	tab.AddDocument("d1", "AP1")
+	tab.AddService("s1", "AP1")
+	tab.AddDocument("d2", "AP1")
+	tab.AddDocument("d2", "AP2")
+	tab.RemovePeer("AP1")
+	// d1/s1 lost their last holder: the keys must vanish so catalogs and
+	// Documents() never advertise zero-holder entries.
+	if got := tab.Documents(); !reflect.DeepEqual(got, []string{"d2"}) {
+		t.Fatalf("documents after removal = %v, want [d2]", got)
+	}
+	if got := tab.Services(); len(got) != 0 {
+		t.Fatalf("services after removal = %v, want none", got)
+	}
+	tab.RemoveDocument("d2", "AP2")
+	if got := tab.Documents(); len(got) != 0 {
+		t.Fatalf("documents after RemoveDocument = %v, want none", got)
+	}
+}
+
+// staticScorer marks a fixed set dead and orders by a fixed RTT map.
+type staticScorer struct {
+	dead map[p2p.PeerID]bool
+	rtt  map[p2p.PeerID]time.Duration
+}
+
+func (s staticScorer) Live(p p2p.PeerID) bool         { return !s.dead[p] }
+func (s staticScorer) RTT(p p2p.PeerID) time.Duration { return s.rtt[p] }
+
+func TestScorerRanking(t *testing.T) {
+	tab := New()
+	tab.AddService("s", "AP1")
+	tab.AddService("s", "AP2")
+	tab.AddService("s", "AP3")
+	tab.AddService("s", "AP4")
+	tab.SetScorer(staticScorer{
+		dead: map[p2p.PeerID]bool{"AP1": true},
+		rtt: map[p2p.PeerID]time.Duration{
+			"AP2": 30 * time.Millisecond,
+			"AP3": 5 * time.Millisecond,
+			// AP4 unsampled: ranks after measured peers.
+		},
+	})
+	if alt, ok := tab.Alternative("s"); !ok || alt != "AP3" {
+		t.Fatalf("Alternative = %v,%v; want AP3 (lowest RTT live)", alt, ok)
+	}
+	if alt, ok := tab.Alternative("s", "AP3"); !ok || alt != "AP2" {
+		t.Fatalf("Alternative excluding AP3 = %v,%v; want AP2", alt, ok)
+	}
+	if alt, ok := tab.Alternative("s", "AP2", "AP3", "AP4"); ok {
+		t.Fatalf("only dead AP1 left but got %v", alt)
+	}
+	// Full listings rank live first, dead in the tail.
+	if got := tab.ServiceProviders("s"); !reflect.DeepEqual(got, []p2p.PeerID{"AP3", "AP2", "AP4", "AP1"}) {
+		t.Fatalf("providers = %v", got)
+	}
+	tab.SetScorer(nil)
+	if alt, ok := tab.Alternative("s"); !ok || alt != "AP1" {
+		t.Fatalf("without scorer = %v,%v; want registration order AP1", alt, ok)
+	}
+}
+
+// TestConcurrencyHammer exercises every table operation from many
+// goroutines under -race.
+func TestConcurrencyHammer(t *testing.T) {
+	tab := New()
+	tab.SetScorer(staticScorer{dead: map[p2p.PeerID]bool{"P3": true}})
+	const workers = 8
+	const iters = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			peer := p2p.PeerID(fmt.Sprintf("P%d", w))
+			for i := 0; i < iters; i++ {
+				doc := fmt.Sprintf("d%d", i%7)
+				svc := fmt.Sprintf("s%d", i%5)
+				tab.AddDocument(doc, peer)
+				tab.AddService(svc, peer)
+				tab.DocumentReplicas(doc)
+				tab.ServiceProviders(svc)
+				tab.Alternative(svc, peer)
+				tab.Documents()
+				tab.Services()
+				switch i % 4 {
+				case 0:
+					tab.RemoveDocument(doc, peer)
+				case 1:
+					tab.RemoveService(svc, peer)
+				case 2:
+					tab.RemovePeer(peer)
+				case 3:
+					if i%40 == 3 {
+						tab.SetScorer(staticScorer{})
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
 }
 
 func TestPropertyAlternativeNeverReturnsExcluded(t *testing.T) {

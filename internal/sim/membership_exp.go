@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"axmltx/internal/membership"
+	"axmltx/internal/p2p"
+)
+
+// MembershipRow is one data point of the M1 experiment: gossip bootstrap and
+// failure-detection cost at cluster size N.
+type MembershipRow struct {
+	Peers int
+	// ConvergeRounds is how many protocol periods it took from a ring-seeded
+	// bootstrap (each peer knows only its successor) until every peer saw
+	// every other alive and held the full replica catalog.
+	ConvergeRounds int
+	Converged      bool
+	// MsgsConverge is the network message total spent converging.
+	MsgsConverge int64
+	// DetectRounds is how many further periods until every survivor declared
+	// a disconnected peer dead and pruned its catalog entry.
+	DetectRounds int
+	Detected     bool
+	// MsgsDetect is the message total spent on the detection phase.
+	MsgsDetect int64
+}
+
+// RunMembership runs the gossip layer standalone (no transaction engine) on
+// an in-memory network: N peers bootstrap from a one-successor ring seeding,
+// each announcing one document and one service, and run deterministic
+// protocol periods until the member view and catalog converge everywhere.
+// Then one peer silently disconnects and the survivors run further periods
+// until the failure is detected and the catalog pruned cluster-wide.
+func RunMembership(n int, maxRounds int) MembershipRow {
+	if n < 2 {
+		panic("sim: RunMembership needs at least 2 peers")
+	}
+	if maxRounds <= 0 {
+		maxRounds = 50 * n
+	}
+	net := p2p.NewNetwork(0)
+	ids := make([]p2p.PeerID, n)
+	gs := make([]*membership.Gossip, n)
+	for i := range ids {
+		ids[i] = p2p.PeerID(fmt.Sprintf("P%03d", i))
+	}
+	for i, id := range ids {
+		t := net.Join(id)
+		g := membership.New(t, membership.Config{
+			ProbeInterval: 5 * time.Millisecond,
+			Seeds:         []p2p.PeerID{ids[(i+1)%n]}, // ring: discovery is transitive
+		})
+		t.SetHandler(p2p.AnswerPings(g.Intercept(nil)))
+		g.AnnounceDocument(fmt.Sprintf("D%03d.xml", i))
+		g.AnnounceService(fmt.Sprintf("S%03d", i))
+		gs[i] = g
+	}
+
+	ctx := context.Background()
+	row := MembershipRow{Peers: n}
+	tick := func(skip p2p.PeerID) {
+		for i, g := range gs {
+			if ids[i] == skip {
+				continue
+			}
+			g.Tick(ctx)
+		}
+	}
+	converged := func() bool {
+		for _, g := range gs {
+			if len(g.Members()) != n || len(g.CatalogSnapshot()) != n {
+				return false
+			}
+			for _, m := range g.Members() {
+				if m.State != membership.StateAlive.String() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for r := 1; r <= maxRounds; r++ {
+		tick("")
+		if converged() {
+			row.ConvergeRounds = r
+			row.Converged = true
+			break
+		}
+	}
+	row.MsgsConverge = net.Stats().Total
+	if !row.Converged {
+		return row
+	}
+
+	// One peer drops off the network without a word; survivors must notice.
+	victim := ids[n/2]
+	net.Disconnect(victim)
+	net.ResetStats()
+	detected := func() bool {
+		for i, g := range gs {
+			if ids[i] == victim {
+				continue
+			}
+			if st, ok := g.StateOf(victim); !ok || st != membership.StateDead {
+				return false
+			}
+		}
+		return true
+	}
+	for r := 1; r <= maxRounds; r++ {
+		tick(victim)
+		if detected() {
+			row.DetectRounds = r
+			row.Detected = true
+			break
+		}
+	}
+	row.MsgsDetect = net.Stats().Total
+	return row
+}

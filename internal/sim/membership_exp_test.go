@@ -1,0 +1,16 @@
+package sim
+
+import "testing"
+
+func TestRunMembershipSmoke(t *testing.T) {
+	row := RunMembership(8, 0)
+	if !row.Converged {
+		t.Fatalf("8-peer cluster never converged: %+v", row)
+	}
+	if !row.Detected {
+		t.Fatalf("8-peer cluster never detected the disconnect: %+v", row)
+	}
+	if row.MsgsConverge == 0 || row.MsgsDetect == 0 {
+		t.Fatalf("message accounting missing: %+v", row)
+	}
+}

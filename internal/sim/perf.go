@@ -191,11 +191,14 @@ func RunPerfSuite() []PerfResult {
 // RunPerfSuiteQuick is the suite with reduced parameters, sized for CI smoke
 // runs: same result schema, a fraction of the wall-clock time.
 func RunPerfSuiteQuick() []PerfResult {
+	// Trial counts are sized so the derived ratios (materialize speedup, WAL
+	// group-commit speedup) are stable enough for the -compare regression
+	// gate; 5 trials made them swing >10% run to run.
 	return []PerfResult{
-		RunPerfMaterialize(4, 1, 5, 2*time.Millisecond),
-		RunPerfMaterialize(4, 4, 5, 2*time.Millisecond),
-		RunPerfWAL(wal.SyncEach, 4, 25),
-		RunPerfWAL(wal.SyncGroup, 4, 25),
+		RunPerfMaterialize(4, 1, 15, 2*time.Millisecond),
+		RunPerfMaterialize(4, 4, 15, 2*time.Millisecond),
+		RunPerfWAL(wal.SyncEach, 8, 50),
+		RunPerfWAL(wal.SyncGroup, 8, 50),
 		RunPerfSerialize(50, 500),
 	}
 }
