@@ -233,6 +233,7 @@ const (
 	KindCommit     = obs.KindCommit
 	KindAbort      = obs.KindAbort
 	KindMember     = obs.KindMember
+	KindCompact    = obs.KindCompact
 )
 
 // Gossip membership types, re-exported from internal/membership.
@@ -303,6 +304,13 @@ var (
 	// ErrTimeout reports a context deadline/cancellation or a lock timeout;
 	// the transaction has been backward-recovered.
 	ErrTimeout = core.ErrTimeout
+	// ErrWALSync reports a failed WAL fsync: durability of the affected
+	// appends is not guaranteed.
+	ErrWALSync = wal.ErrSync
+	// ErrWALCorrupt reports a corrupt WAL frame encountered on open/replay.
+	ErrWALCorrupt = wal.ErrCorrupt
+	// ErrWALClose reports a failure while closing a WAL file or segment.
+	ErrWALClose = wal.ErrClose
 )
 
 // Option configures a peer assembled by NewPeer or NewPeerWithLog.
@@ -313,6 +321,8 @@ type peerConfig struct {
 	opts    core.Options
 	walPath string
 	walSync wal.SyncMode
+	walDir  string
+	walSeg  wal.SegmentOptions
 }
 
 type optionFunc func(*peerConfig)
@@ -364,6 +374,36 @@ func WithWALFile(path string) Option {
 // SyncNone, SyncEach or SyncGroup.
 func WithWALSync(mode SyncMode) Option {
 	return optionFunc(func(c *peerConfig) { c.walSync = mode })
+}
+
+// WithWALDir gives the peer a durable segmented operation log in dir:
+// size/record-triggered segment rotation, checkpoint snapshots and
+// background compaction of covered segments. Takes precedence over
+// WithWALFile; WithWALSync and the segment knobs below apply to it.
+func WithWALDir(dir string) Option {
+	return optionFunc(func(c *peerConfig) { c.walDir = dir })
+}
+
+// WithWALSegmentSize caps a WithWALDir segment's size in bytes before
+// rotation (zero keeps the 4 MiB default).
+func WithWALSegmentSize(n int64) Option {
+	return optionFunc(func(c *peerConfig) { c.walSeg.MaxSegmentBytes = n })
+}
+
+// WithWALSegmentRecords caps a WithWALDir segment's record count before
+// rotation (zero disables the count trigger).
+func WithWALSegmentRecords(n int) Option {
+	return optionFunc(func(c *peerConfig) { c.walSeg.MaxSegmentRecords = n })
+}
+
+// WithWALCheckpointEvery checkpoints a WithWALDir log automatically after
+// every n appends since the last checkpoint: a snapshot of the live
+// transactions is written and covered segments are compacted away in the
+// background, keeping restart replay proportional to live work rather
+// than history (zero disables automatic checkpoints; call
+// SegmentedLog.Checkpoint/Compact manually).
+func WithWALCheckpointEvery(n int) Option {
+	return optionFunc(func(c *peerConfig) { c.walSeg.CheckpointEvery = n })
 }
 
 // WithEvalMode selects Lazy or Eager materialization.
@@ -419,7 +459,16 @@ func NewNetwork(latency time.Duration) *Network { return p2p.NewNetwork(latency)
 func NewPeer(t Transport, opts ...Option) *Peer {
 	cfg := resolve(opts)
 	opLog := Log(wal.NewMemory())
-	if cfg.walPath != "" {
+	switch {
+	case cfg.walDir != "":
+		segOpts := cfg.walSeg
+		segOpts.Sync = cfg.walSync
+		segLog, err := wal.OpenDir(cfg.walDir, segOpts)
+		if err != nil {
+			panic(fmt.Sprintf("axmltx: open WAL dir %s: %v", cfg.walDir, err))
+		}
+		opLog = segLog
+	case cfg.walPath != "":
 		fileLog, err := wal.OpenFileWith(cfg.walPath, wal.FileOptions{Sync: cfg.walSync})
 		if err != nil {
 			panic(fmt.Sprintf("axmltx: open WAL %s: %v", cfg.walPath, err))
@@ -452,6 +501,19 @@ func OpenFileLog(path string, sync bool) (Log, error) { return wal.OpenFile(path
 func OpenFileLogMode(path string, mode SyncMode) (Log, error) {
 	return wal.OpenFileWith(path, wal.FileOptions{Sync: mode})
 }
+
+// SegmentedLog is a durable operation log split into rotated segment
+// files, with checkpoint snapshots and compaction of covered segments
+// (see OpenSegmentedLog / WithWALDir).
+type SegmentedLog = wal.SegmentedLog
+
+// SegmentOptions configure a SegmentedLog (rotation thresholds, automatic
+// checkpoint cadence, durability mode); the zero value uses defaults.
+type SegmentOptions = wal.SegmentOptions
+
+// OpenSegmentedLog opens (or creates) a segmented operation log in a
+// directory, replaying existing segments from the latest checkpoint.
+var OpenSegmentedLog = wal.OpenDir
 
 // ListenTCP starts a TCP transport for a peer.
 func ListenTCP(self PeerID, addr string) (*TCPTransport, error) { return p2p.ListenTCP(self, addr) }

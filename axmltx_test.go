@@ -139,6 +139,86 @@ func TestPublicAPIDurableLog(t *testing.T) {
 	}
 }
 
+func TestPublicAPISegmentedLog(t *testing.T) {
+	dir := t.TempDir()
+	ring := axmltx.NewRing(0)
+	reg := axmltx.NewRegistry()
+	net := axmltx.NewNetwork(0)
+	ap1 := axmltx.NewPeer(net.Join("AP1"),
+		axmltx.WithWALDir(dir),
+		axmltx.WithWALSegmentRecords(4),
+		axmltx.WithWALSync(axmltx.SyncEach),
+		axmltx.WithTracer(ring),
+		axmltx.WithMetrics(reg))
+	if err := ap1.HostDocument("D.xml", `<D/>`); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		tx := ap1.Begin()
+		if _, err := ap1.Exec(bg, tx, axmltx.NewInsertAction(
+			axmltx.MustQuery(`Select d from d in D`), `<x/>`)); err != nil {
+			t.Fatal(err)
+		}
+		if err := ap1.Commit(bg, tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seg, ok := ap1.Store().Log().(*axmltx.SegmentedLog)
+	if !ok {
+		t.Fatalf("WithWALDir log is %T, want *SegmentedLog", ap1.Store().Log())
+	}
+	if seg.Segments() < 2 {
+		t.Fatalf("Segments() = %d after 6 txns at 4 records/segment", seg.Segments())
+	}
+	// Checkpoint with a transaction still in flight: its records are the
+	// live state the snapshot must carry across compaction and restart.
+	live := ap1.Begin()
+	if _, err := ap1.Exec(bg, live, axmltx.NewInsertAction(
+		axmltx.MustQuery(`Select d from d in D`), `<y/>`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := seg.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatal("Compact removed no segments despite a fresh checkpoint")
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `axml_wal_segments{peer="AP1"}`) {
+		t.Fatalf("/metrics misses the segment gauge:\n%s", sb.String())
+	}
+	var compacts int
+	for _, s := range ring.Spans() {
+		if s.Kind == axmltx.KindCompact {
+			compacts++
+		}
+	}
+	if compacts == 0 {
+		t.Fatal("no wal-compact span emitted")
+	}
+	if err := ap1.Abort(bg, live); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := axmltx.OpenSegmentedLog(dir, axmltx.SegmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if recs := re.TxnRecords(live.ID); len(recs) == 0 {
+		t.Fatal("reopened segmented log lost the in-flight transaction")
+	}
+}
+
 func TestPublicAPIScheduler(t *testing.T) {
 	net := axmltx.NewNetwork(0)
 	ap1 := axmltx.NewPeer(net.Join("AP1"))

@@ -52,6 +52,27 @@ func speedupRatio(rs []sim.PerfResult, slow, fast string) float64 {
 	return f / s
 }
 
+// p50Micros returns the named result's median latency, or 0 when absent.
+func p50Micros(rs []sim.PerfResult, name string) float64 {
+	for _, r := range rs {
+		if r.Name == name {
+			return r.P50Micros
+		}
+	}
+	return 0
+}
+
+// p50Ratio derives slow/fast median-latency speedup — steadier than the
+// throughput ratio for microsecond-scale operations, where a single
+// scheduler stall in a short run drags the mean but not the median.
+func p50Ratio(rs []sim.PerfResult, slow, fast string) float64 {
+	s, f := p50Micros(rs, slow), p50Micros(rs, fast)
+	if f == 0 {
+		return 0
+	}
+	return s / f
+}
+
 // overheads extracts the observability-overhead entries: name → overhead in
 // percent (0 when the traced mode was not slower than the untraced
 // baseline).
@@ -97,6 +118,16 @@ func runCompare(current []sim.PerfResult, baselinePath string) bool {
 		speedupRatio(baseline, "materialize_sequential", "materialize_parallel"))
 	check("wal_group_commit_speedup_x", speedupRatio(current, "wal_sync_each", "wal_group_commit"),
 		speedupRatio(baseline, "wal_sync_each", "wal_group_commit"))
+	check("wire_codec_speedup_x", speedupRatio(current, "wire_roundtrip_gob", "wire_roundtrip_binary"),
+		speedupRatio(baseline, "wire_roundtrip_gob", "wire_roundtrip_binary"))
+	check("wal_replay_ckpt_speedup_x", p50Ratio(current, "wal_replay_history", "wal_replay_checkpointed"),
+		p50Ratio(baseline, "wal_replay_history", "wal_replay_checkpointed"))
+	// Absolute floor on top of the baseline-relative gate: the binary wire
+	// codec exists to beat gob by at least 3x round-trip throughput.
+	if wx := speedupRatio(current, "wire_roundtrip_gob", "wire_roundtrip_binary"); wx > 0 && wx < 3.0 {
+		fmt.Printf("%-28s %8.2f  below the 3.00x floor  FAIL\n", "wire_codec_floor", wx)
+		ok = false
+	}
 
 	curOv, baseOv := overheads(current), overheads(baseline)
 	for name, base := range baseOv {

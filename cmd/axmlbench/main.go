@@ -296,6 +296,10 @@ func runPerf(out string, quick bool) []sim.PerfResult {
 	fmt.Printf("\nmaterialize speedup: %.2fx   wal group-commit speedup: %.2fx\n",
 		speedup("materialize_sequential", "materialize_parallel"),
 		speedup("wal_sync_each", "wal_group_commit"))
+	fmt.Printf("wire codec speedup: %.2fx   wal checkpointed-replay speedup: %.2fx (vs empty restart: %.2fx)\n",
+		speedup("wire_roundtrip_gob", "wire_roundtrip_binary"),
+		speedup("wal_replay_history", "wal_replay_checkpointed"),
+		speedup("wal_replay_checkpointed", "wal_replay_empty"))
 	blob, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		panic(err)

@@ -45,6 +45,9 @@ import (
 func main() {
 	configPath := flag.String("config", "", "peer configuration XML file (required)")
 	walPath := flag.String("wal", "", "durable operation-log file (default: in-memory)")
+	walDir := flag.String("waldir", "", "durable segmented operation-log directory with rotation, checkpoints and compaction (takes precedence over -wal)")
+	walSeg := flag.Int64("walseg", 0, "segment rotation threshold in bytes for -waldir (0: 4 MiB default)")
+	walCheckpoint := flag.Int("walcheckpoint", 0, "checkpoint the -waldir log automatically every N appends, compacting covered segments in the background (0 disables)")
 	walSync := flag.String("walsync", "each", "log durability: each (fsync per append), group (group commit), none (commit/abort barriers only)")
 	docsDir := flag.String("docs", "", "document checkpoint directory (loaded at startup, saved at shutdown)")
 	httpAddr := flag.String("http", "", `observability HTTP listen address, e.g. 127.0.0.1:9100 or :9100, serving /metrics (Prometheus text format), /trace/{txn} (span tree as JSON), /traces, /healthz and /debug/pprof/ (default: disabled)`)
@@ -74,7 +77,8 @@ func main() {
 	if *sample < 0 || *sample >= 1 {
 		fatalUsage(fmt.Sprintf("invalid -sample rate %v (want 0 to disable, or 0 < rate < 1)", *sample))
 	}
-	if err := run(*configPath, *walPath, syncMode, *docsDir, *httpAddr, *sample, *slowTxn, *gossip); err != nil {
+	wcfg := walConfig{path: *walPath, dir: *walDir, segBytes: *walSeg, checkpointEvery: *walCheckpoint, sync: syncMode}
+	if err := run(*configPath, wcfg, *docsDir, *httpAddr, *sample, *slowTxn, *gossip); err != nil {
 		log.Fatalf("axmlpeer: %v", err)
 	}
 }
@@ -87,7 +91,17 @@ func fatalUsage(msg string) {
 	os.Exit(2)
 }
 
-func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir string, httpAddr string, sample float64, slowTxn time.Duration, gossipEvery time.Duration) error {
+// walConfig bundles the operation-log flags: a single file (-wal), or a
+// segmented directory (-waldir) with rotation/checkpoint knobs.
+type walConfig struct {
+	path            string
+	dir             string
+	segBytes        int64
+	checkpointEvery int
+	sync            wal.SyncMode
+}
+
+func run(configPath string, wcfg walConfig, docsDir string, httpAddr string, sample float64, slowTxn time.Duration, gossipEvery time.Duration) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -113,8 +127,20 @@ func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir strin
 	defer transport.Close()
 
 	var opLog wal.Log = wal.NewMemory()
-	if walPath != "" {
-		fileLog, err := wal.OpenFileWith(walPath, wal.FileOptions{Sync: syncMode})
+	switch {
+	case wcfg.dir != "":
+		segLog, err := wal.OpenDir(wcfg.dir, wal.SegmentOptions{
+			FileOptions:     wal.FileOptions{Sync: wcfg.sync},
+			MaxSegmentBytes: wcfg.segBytes,
+			CheckpointEvery: wcfg.checkpointEvery,
+		})
+		if err != nil {
+			return err
+		}
+		defer segLog.Close()
+		opLog = segLog
+	case wcfg.path != "":
+		fileLog, err := wal.OpenFileWith(wcfg.path, wal.FileOptions{Sync: wcfg.sync})
 		if err != nil {
 			return err
 		}
@@ -260,7 +286,7 @@ func run(configPath string, walPath string, syncMode wal.SyncMode, docsDir strin
 
 	// Restart-time recovery: compensate transactions the log shows as in
 	// flight at crash time.
-	if walPath != "" {
+	if wcfg.path != "" || wcfg.dir != "" {
 		recovered, err := peer.RecoverPending()
 		if err != nil {
 			return fmt.Errorf("restart recovery: %w", err)

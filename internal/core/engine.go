@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -160,6 +161,17 @@ func (p *Peer) RegisterObservability(reg *obs.Registry) {
 	p.histWALSync = reg.Histogram("axml_wal_sync_seconds", labels)
 	p.histCompensate = reg.Histogram("axml_compensate_seconds", labels)
 	p.store.SetApplyObserver(func(d time.Duration) { p.histMaterialize.Observe(d) })
+	if seg, ok := p.store.Log().(*wal.SegmentedLog); ok {
+		// Make log compaction visible on /metrics and in traces: a gauge for
+		// the current segment count and a wal-compact span per compaction.
+		reg.Gauge("axml_wal_segments", labels, func() int64 { return int64(seg.Segments()) })
+		seg.SetOnCompact(func(removed, remaining int) {
+			sp := p.tracer.Start("wal", "", obs.KindCompact, "")
+			sp.SetAttr("removed", strconv.Itoa(removed))
+			sp.SetAttr("segments", strconv.Itoa(remaining))
+			sp.End("", nil)
+		})
+	}
 }
 
 // Tracer returns the peer's span tracer (nil when tracing is disabled).

@@ -32,6 +32,20 @@ func CheckReplayConsistency(recs []*wal.Record) error {
 	return nil
 }
 
+// CheckLSNMonotonic verifies strictly increasing LSNs without requiring
+// contiguity — the replay invariant for checkpointed segmented logs, where
+// a checkpoint snapshot legitimately drops the records of resolved
+// transactions and leaves gaps in the surviving sequence.
+func CheckLSNMonotonic(recs []*wal.Record) error {
+	for i := 1; i < len(recs); i++ {
+		if recs[i].LSN <= recs[i-1].LSN {
+			return fmt.Errorf("core: LSN regression: record %d has LSN %d after LSN %d",
+				i, recs[i].LSN, recs[i-1].LSN)
+		}
+	}
+	return nil
+}
+
 // CheckCompensationComplete verifies txn's terminal state at one peer:
 // if it committed locally, it must not (also) be fully compensated; if it
 // did not commit, no structural effects may survive in the current epoch —

@@ -9,6 +9,27 @@ import (
 	"axmltx/internal/xmldom"
 )
 
+func TestCheckLSNMonotonic(t *testing.T) {
+	log := wal.NewMemory()
+	for i := 0; i < 5; i++ {
+		if _, err := log.Append(&wal.Record{Txn: "T", Type: wal.TypeBegin}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := log.Records()
+	// Gaps are fine (a checkpoint trimmed resolved transactions)…
+	if err := CheckLSNMonotonic([]*wal.Record{recs[0], recs[3]}); err != nil {
+		t.Fatalf("gapped but increasing sequence flagged: %v", err)
+	}
+	// …but regressions and duplicates are not.
+	if err := CheckLSNMonotonic([]*wal.Record{recs[3], recs[1]}); err == nil {
+		t.Fatal("LSN regression not flagged")
+	}
+	if err := CheckLSNMonotonic([]*wal.Record{recs[2], recs[2]}); err == nil {
+		t.Fatal("duplicate LSN not flagged")
+	}
+}
+
 func TestCheckReplayConsistency(t *testing.T) {
 	log := wal.NewMemory()
 	for i := 0; i < 5; i++ {

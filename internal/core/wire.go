@@ -92,18 +92,18 @@ type StreamBatch struct {
 	Fragments []string
 }
 
-// encodeBufs recycles gob scratch buffers: every message on the hot path
-// (invocations, chain updates, results) passes through encode, and growing a
-// fresh buffer per message dominates its allocation profile. Each payload
-// still gets its own gob.Encoder — gob streams are stateful, and every blob
-// must be self-contained for the decoder on the other side.
+// encodeBufs recycles gob scratch buffers for the legacy encoder, which the
+// cross-version compatibility test and the codec benchmarks still exercise.
 var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // maxPooledEncodeCap bounds pooled buffer capacity so one oversized payload
 // doesn't pin memory.
 const maxPooledEncodeCap = 1 << 16
 
-func encode(v any) []byte {
+// encodeGob is the legacy (pre-binary) wire encoding. Kept because decode
+// still accepts its output: peers running the previous version interoperate
+// with current ones during a rolling upgrade.
+func encodeGob(v any) []byte {
 	buf := encodeBufs.Get().(*bytes.Buffer)
 	buf.Reset()
 	if err := gob.NewEncoder(buf).Encode(v); err != nil {
@@ -118,7 +118,7 @@ func encode(v any) []byte {
 	return out
 }
 
-func decode(b []byte, v any) error {
+func decodeGob(b []byte, v any) error {
 	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(v); err != nil {
 		return fmt.Errorf("core: decode %T: %w", v, err)
 	}

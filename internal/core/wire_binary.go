@@ -1,0 +1,299 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"axmltx/internal/codec"
+	"axmltx/internal/p2p"
+)
+
+// The binary wire format: every payload opens with a version byte and a
+// message-kind tag, then the fields in declaration order under the varint
+// framing of internal/codec. Version bytes occupy 0x01..0x07 — a gob blob
+// of any wire struct opens with the uvarint length of its type-descriptor
+// message, which is always far larger, so the first byte cleanly separates
+// binary payloads from legacy gob ones and decode falls back accordingly.
+// A version in the reserved range that this build does not speak is a typed
+// error (errWireVersion), not a gob misparse.
+const (
+	wireVersion    = 0x02
+	wireVersionMax = 0x07
+)
+
+// Message-kind tags; decode validates the tag against the decode target so
+// a payload routed to the wrong handler fails loudly instead of shredding
+// fields into the wrong struct.
+const (
+	wkInvokeRequest byte = iota + 1
+	wkInvokeResponse
+	wkChainUpdate
+	wkDisconnectNotice
+	wkRedirectResult
+	wkStreamBatch
+)
+
+// errWireVersion reports a payload from a future protocol version.
+var errWireVersion = errors.New("core: unsupported wire version")
+
+// encode renders a wire payload in the binary format. The hot-path
+// replacement for gob: no reflection, no type descriptors, one output
+// allocation per message (strings decode zero-copy on the other side).
+func encode(v any) []byte {
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+	w.Byte(wireVersion)
+	switch m := v.(type) {
+	case *InvokeRequest:
+		w.Byte(wkInvokeRequest)
+		appendInvokeRequest(w, m)
+	case *InvokeResponse:
+		w.Byte(wkInvokeResponse)
+		appendInvokeResponse(w, m)
+	case *ChainUpdate:
+		w.Byte(wkChainUpdate)
+		w.String(m.Txn)
+		appendChain(w, m.Chain)
+	case *DisconnectNotice:
+		w.Byte(wkDisconnectNotice)
+		w.String(m.Txn)
+		w.String(string(m.Dead))
+		w.String(string(m.Detected))
+	case *RedirectResult:
+		w.Byte(wkRedirectResult)
+		w.String(m.Txn)
+		w.String(string(m.Dead))
+		w.String(m.Service)
+		appendInvokeResponse(w, &m.Response)
+	case *StreamBatch:
+		w.Byte(wkStreamBatch)
+		w.String(m.Txn)
+		w.String(m.Service)
+		w.Varint(int64(m.Seq))
+		w.Strings(m.Fragments)
+	default:
+		panic(fmt.Sprintf("core: encode: unknown wire type %T", v))
+	}
+	return w.Finish()
+}
+
+// decode parses a wire payload into v: binary payloads by version byte,
+// legacy gob payloads otherwise (rolling-upgrade interop). Strings in the
+// decoded message alias b, which is freshly allocated per message by every
+// transport.
+func decode(b []byte, v any) error {
+	if len(b) > 0 && b[0] >= 0x01 && b[0] <= wireVersionMax {
+		if b[0] != wireVersion {
+			return fmt.Errorf("%w: %d (max %d)", errWireVersion, b[0], wireVersion)
+		}
+		return decodeBinary(b[1:], v)
+	}
+	return decodeGob(b, v)
+}
+
+func decodeBinary(b []byte, v any) error {
+	r := codec.NewReader(b)
+	kind := r.Byte()
+	var want byte
+	switch m := v.(type) {
+	case *InvokeRequest:
+		want = wkInvokeRequest
+		if kind == want {
+			readInvokeRequest(r, m)
+		}
+	case *InvokeResponse:
+		want = wkInvokeResponse
+		if kind == want {
+			readInvokeResponse(r, m)
+		}
+	case *ChainUpdate:
+		want = wkChainUpdate
+		if kind == want {
+			m.Txn = r.String()
+			m.Chain = readChain(r)
+		}
+	case *DisconnectNotice:
+		want = wkDisconnectNotice
+		if kind == want {
+			m.Txn = r.String()
+			m.Dead = p2p.PeerID(r.String())
+			m.Detected = p2p.PeerID(r.String())
+		}
+	case *RedirectResult:
+		want = wkRedirectResult
+		if kind == want {
+			m.Txn = r.String()
+			m.Dead = p2p.PeerID(r.String())
+			m.Service = r.String()
+			readInvokeResponse(r, &m.Response)
+		}
+	case *StreamBatch:
+		want = wkStreamBatch
+		if kind == want {
+			m.Txn = r.String()
+			m.Service = r.String()
+			m.Seq = int(r.Varint())
+			m.Fragments = r.Strings()
+		}
+	default:
+		return fmt.Errorf("core: decode: unknown wire type %T", v)
+	}
+	if r.Err() == nil && kind != want {
+		return fmt.Errorf("core: decode %T: payload has kind tag %d, want %d", v, kind, want)
+	}
+	if err := r.Finish(); err != nil {
+		return fmt.Errorf("core: decode %T: %w", v, err)
+	}
+	return nil
+}
+
+func appendInvokeRequest(w *codec.Writer, m *InvokeRequest) {
+	w.String(m.Txn)
+	w.String(string(m.Origin))
+	w.String(string(m.Caller))
+	w.String(m.Service)
+	appendStringMap(w, m.Params)
+	appendChain(w, m.Chain)
+	w.Bool(m.Async)
+	appendStringsMap(w, m.Reused)
+}
+
+func readInvokeRequest(r *codec.Reader, m *InvokeRequest) {
+	m.Txn = r.String()
+	m.Origin = p2p.PeerID(r.String())
+	m.Caller = p2p.PeerID(r.String())
+	m.Service = r.String()
+	m.Params = readStringMap(r)
+	m.Chain = readChain(r)
+	m.Async = r.Bool()
+	m.Reused = readStringsMap(r)
+}
+
+func appendInvokeResponse(w *codec.Writer, m *InvokeResponse) {
+	w.String(m.Service)
+	w.Strings(m.Fragments)
+	appendChain(w, m.Chain)
+	w.BytesPrefixed(m.Comp)
+	w.Varint(int64(m.Nodes))
+}
+
+func readInvokeResponse(r *codec.Reader, m *InvokeResponse) {
+	m.Service = r.String()
+	m.Fragments = r.Strings()
+	m.Chain = readChain(r)
+	m.Comp = r.BytesPrefixed()
+	m.Nodes = int(r.Varint())
+}
+
+// appendChain encodes a possibly-nil invocation tree: presence flag, node
+// count, then each node's peer/super/service/parent.
+func appendChain(w *codec.Writer, c *Chain) {
+	if c == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.Uvarint(uint64(len(c.Nodes)))
+	for _, n := range c.Nodes {
+		w.String(string(n.Peer))
+		w.Bool(n.Super)
+		w.String(n.Service)
+		w.Varint(int64(n.Parent))
+	}
+}
+
+func readChain(r *codec.Reader) *Chain {
+	if !r.Bool() {
+		return nil
+	}
+	n := r.Count(4) // minimal node: 3 empty strings + parent byte
+	c := &Chain{Nodes: make([]ChainNode, 0, n)}
+	for i := 0; i < n; i++ {
+		c.Nodes = append(c.Nodes, ChainNode{
+			Peer:    p2p.PeerID(r.String()),
+			Super:   r.Bool(),
+			Service: r.String(),
+			Parent:  int(r.Varint()),
+		})
+		if r.Err() != nil {
+			return nil
+		}
+	}
+	return c
+}
+
+// appendStringMap encodes a map in sorted key order, so equal maps encode
+// to equal bytes (the golden fixture test depends on determinism; gob does
+// not provide it).
+func appendStringMap(w *codec.Writer, m map[string]string) {
+	w.Uvarint(uint64(len(m)))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.String(k)
+		w.String(m[k])
+	}
+}
+
+func readStringMap(r *codec.Reader) map[string]string {
+	n := r.Count(2)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string]string, n)
+	for i := 0; i < n; i++ {
+		k := r.String()
+		v := r.String()
+		if r.Err() != nil {
+			return nil
+		}
+		m[k] = v
+	}
+	return m
+}
+
+func appendStringsMap(w *codec.Writer, m map[string][]string) {
+	w.Uvarint(uint64(len(m)))
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		w.String(k)
+		w.Strings(m[k])
+	}
+}
+
+func readStringsMap(r *codec.Reader) map[string][]string {
+	n := r.Count(2)
+	if n == 0 {
+		return nil
+	}
+	m := make(map[string][]string, n)
+	for i := 0; i < n; i++ {
+		k := r.String()
+		v := r.Strings()
+		if r.Err() != nil {
+			return nil
+		}
+		m[k] = v
+	}
+	return m
+}
+
+// EncodeWire renders v in the current (binary) wire format. Exported for
+// the codec benchmarks in internal/sim and cmd/axmlbench.
+func EncodeWire(v any) []byte { return encode(v) }
+
+// DecodeWire parses a wire payload of either format into v.
+func DecodeWire(b []byte, v any) error { return decode(b, v) }
+
+// EncodeWireLegacy renders v in the legacy gob wire format, the baseline
+// the benchmarks compare against and the input of the cross-version
+// compatibility tests.
+func EncodeWireLegacy(v any) []byte { return encodeGob(v) }

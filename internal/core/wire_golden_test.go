@@ -1,0 +1,195 @@
+package core
+
+import (
+	"encoding/hex"
+	"errors"
+	"reflect"
+	"testing"
+
+	"axmltx/internal/codec"
+)
+
+// goldenChain is the fixture invocation tree used by every chain-carrying
+// message: [AP1* → AP2 → AP3].
+func goldenChain() *Chain {
+	c := NewChain("AP1", true)
+	c = c.Add("AP1", "AP2", "svcB", false)
+	c = c.Add("AP2", "AP3", "svcC", false)
+	return c
+}
+
+// wireFixture pairs one fully-populated instance of each message kind with
+// the pinned bytes of its binary encoding. The bytes are part of the wire
+// contract: changing them silently would break rolling upgrades, so any
+// format change must bump wireVersion and extend decode, not rewrite these.
+type wireFixture struct {
+	name   string
+	msg    any
+	fresh  func() any // zero decode target of the same type
+	golden string     // hex of EncodeWire(msg)
+}
+
+func wireFixtures() []wireFixture {
+	return []wireFixture{
+		{
+			name: "InvokeRequest",
+			msg: &InvokeRequest{
+				Txn: "txn-1", Origin: "AP1", Caller: "AP2", Service: "svcC",
+				Params: map[string]string{"doc": "orders.xml", "qty": "2"},
+				Chain:  goldenChain(), Async: true,
+				Reused: map[string][]string{"svcD": {"<d/>", "<e/>"}},
+			},
+			fresh:  func() any { return new(InvokeRequest) },
+			golden: "02010574786e2d31034150310341503204737663430203646f630a6f72646572732e786d6c037174790132010303415031010001034150320004737663420003415033000473766343020101047376634402043c642f3e043c652f3e",
+		},
+		{
+			name: "InvokeResponse",
+			msg: &InvokeResponse{
+				Service: "svcC", Fragments: []string{"<r1/>", "<r2/>"},
+				Chain: goldenChain(), Comp: []byte{0xde, 0xad}, Nodes: 7,
+			},
+			fresh:  func() any { return new(InvokeResponse) },
+			golden: "0202047376634302053c72312f3e053c72322f3e0103034150310100010341503200047376634200034150330004737663430202dead0e",
+		},
+		{
+			name:   "ChainUpdate",
+			msg:    &ChainUpdate{Txn: "txn-1", Chain: goldenChain()},
+			fresh:  func() any { return new(ChainUpdate) },
+			golden: "02030574786e2d3101030341503101000103415032000473766342000341503300047376634302",
+		},
+		{
+			name:   "DisconnectNotice",
+			msg:    &DisconnectNotice{Txn: "txn-1", Dead: "AP3", Detected: "AP2"},
+			fresh:  func() any { return new(DisconnectNotice) },
+			golden: "02040574786e2d310341503303415032",
+		},
+		{
+			name: "RedirectResult",
+			msg: &RedirectResult{
+				Txn: "txn-1", Dead: "AP2", Service: "svcC",
+				Response: InvokeResponse{Service: "svcC", Fragments: []string{"<x/>"}, Nodes: 3},
+			},
+			fresh:  func() any { return new(RedirectResult) },
+			golden: "02050574786e2d31034150320473766343047376634301043c782f3e000006",
+		},
+		{
+			name:   "StreamBatch",
+			msg:    &StreamBatch{Txn: "txn-1", Service: "svcS", Seq: 4, Fragments: []string{"<b/>"}},
+			fresh:  func() any { return new(StreamBatch) },
+			golden: "02060574786e2d3104737663530801043c622f3e",
+		},
+	}
+}
+
+// TestGoldenWireBytes pins the exact bytes of every message kind's binary
+// encoding. Maps encode in sorted key order, so the encoding is
+// deterministic and the pin is stable.
+func TestGoldenWireBytes(t *testing.T) {
+	for _, f := range wireFixtures() {
+		t.Run(f.name, func(t *testing.T) {
+			got := hex.EncodeToString(EncodeWire(f.msg))
+			if got != f.golden {
+				t.Fatalf("encoding changed (bump wireVersion instead of editing the pin)\n   got %s\ngolden %s", got, f.golden)
+			}
+			// The golden bytes decode back to the fixture.
+			out := f.fresh()
+			raw, err := hex.DecodeString(f.golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := DecodeWire(raw, out); err != nil {
+				t.Fatalf("decode golden: %v", err)
+			}
+			if !reflect.DeepEqual(out, f.msg) {
+				t.Fatalf("golden decode mismatch:\n got %+v\nwant %+v", out, f.msg)
+			}
+		})
+	}
+}
+
+// TestWireCrossVersionInterop asserts the upgrade matrix the version byte
+// buys: the current decoder reads both current (binary) and legacy (gob)
+// encodings, the legacy decoder still reads legacy bytes, and a payload
+// from a future version fails with the typed version error rather than a
+// gob misparse.
+func TestWireCrossVersionInterop(t *testing.T) {
+	for _, f := range wireFixtures() {
+		t.Run(f.name, func(t *testing.T) {
+			// New decoder ← old encoder.
+			out := f.fresh()
+			if err := DecodeWire(EncodeWireLegacy(f.msg), out); err != nil {
+				t.Fatalf("decode legacy: %v", err)
+			}
+			if !reflect.DeepEqual(out, f.msg) {
+				t.Fatalf("legacy decode mismatch:\n got %+v\nwant %+v", out, f.msg)
+			}
+			// Old decoder ← old encoder (the pre-upgrade pairing keeps
+			// working while both versions coexist).
+			out = f.fresh()
+			if err := decodeGob(EncodeWireLegacy(f.msg), out); err != nil {
+				t.Fatalf("gob round trip: %v", err)
+			}
+			if !reflect.DeepEqual(out, f.msg) {
+				t.Fatalf("gob round trip mismatch:\n got %+v\nwant %+v", out, f.msg)
+			}
+		})
+	}
+	// Future version byte: typed error.
+	var req InvokeRequest
+	err := DecodeWire([]byte{0x05, 0x01, 0x00}, &req)
+	if !errors.Is(err, errWireVersion) {
+		t.Fatalf("future version: err = %v, want errWireVersion", err)
+	}
+}
+
+// TestWireKindTagMismatch: a binary payload routed to the wrong decode
+// target must fail, not shred fields.
+func TestWireKindTagMismatch(t *testing.T) {
+	b := EncodeWire(&DisconnectNotice{Txn: "t", Dead: "AP2", Detected: "AP1"})
+	var resp InvokeResponse
+	if err := DecodeWire(b, &resp); err == nil {
+		t.Fatal("decoding a DisconnectNotice payload as InvokeResponse succeeded")
+	}
+}
+
+// FuzzWireDecode asserts the binary wire decoder never panics or
+// over-reads on truncated or bit-flipped frames, and that everything it
+// does accept survives a re-encode round trip. Wired into the nightly
+// fuzz job.
+func FuzzWireDecode(f *testing.F) {
+	for _, fx := range wireFixtures() {
+		f.Add(EncodeWire(fx.msg))
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		targets := []func() any{
+			func() any { return new(InvokeRequest) },
+			func() any { return new(InvokeResponse) },
+			func() any { return new(ChainUpdate) },
+			func() any { return new(DisconnectNotice) },
+			func() any { return new(RedirectResult) },
+			func() any { return new(StreamBatch) },
+		}
+		for _, fresh := range targets {
+			v := fresh()
+			if len(b) > 0 && b[0] != wireVersion {
+				continue // gob fallback is out of scope for this fuzzer
+			}
+			if err := DecodeWire(b, v); err != nil {
+				if !errors.Is(err, codec.ErrMalformed) && !errors.Is(err, codec.ErrTrailing) &&
+					!errors.Is(err, errWireVersion) && err.Error() == "" {
+					t.Fatalf("untyped decode error: %v", err)
+				}
+				continue
+			}
+			// Accepted input: value round trip must be stable (byte-level
+			// identity is not required — non-minimal varints decode fine).
+			w := fresh()
+			if err := DecodeWire(EncodeWire(v), w); err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if !reflect.DeepEqual(v, w) {
+				t.Fatalf("round trip unstable:\n got %+v\nwant %+v", w, v)
+			}
+		}
+	})
+}

@@ -54,7 +54,10 @@ type pingReq struct {
 	Target p2p.PeerID
 }
 
-func encode(v any) []byte {
+// encodeGob is the legacy gossip encoding, kept so mixed-version
+// deployments keep exchanging sync messages during a rolling upgrade (the
+// current decode accepts both formats; see codec.go).
+func encodeGob(v any) []byte {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
 		panic("membership: gob encode: " + err.Error())
@@ -62,7 +65,7 @@ func encode(v any) []byte {
 	return buf.Bytes()
 }
 
-func decode(b []byte, v any) error {
+func decodeGob(b []byte, v any) error {
 	return gob.NewDecoder(bytes.NewReader(b)).Decode(v)
 }
 

@@ -1,0 +1,132 @@
+package membership
+
+import (
+	"fmt"
+	"time"
+
+	"axmltx/internal/codec"
+	"axmltx/internal/p2p"
+)
+
+// Gossip payloads use the shared binary wire format: version byte, kind
+// tag, varint-framed fields. Sync exchanges are the membership layer's hot
+// path — every round ships the full member list and catalog both ways — so
+// they get the same zero-copy treatment as the core protocol messages. A
+// first byte outside the reserved 0x01..0x07 range is a legacy gob payload
+// (gob type-descriptor lengths are always larger) and decodes through the
+// old path.
+const (
+	gossipVersion    = 0x02
+	gossipVersionMax = 0x07
+)
+
+const (
+	gkSync byte = iota + 1
+	gkPingReq
+)
+
+func encode(v any) []byte {
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+	w.Byte(gossipVersion)
+	switch m := v.(type) {
+	case syncMsg:
+		w.Byte(gkSync)
+		w.String(string(m.From))
+		w.Uvarint(uint64(len(m.Members)))
+		for _, r := range m.Members {
+			w.String(string(r.ID))
+			w.Varint(int64(r.State))
+			w.Uvarint(r.Incarnation)
+			w.String(r.Addr)
+		}
+		w.Uvarint(uint64(len(m.Catalog)))
+		for i := range m.Catalog {
+			appendCatalogEntry(w, &m.Catalog[i])
+		}
+	case pingReq:
+		w.Byte(gkPingReq)
+		w.String(string(m.Target))
+	default:
+		panic(fmt.Sprintf("membership: encode: unknown gossip type %T", v))
+	}
+	return w.Finish()
+}
+
+func decode(b []byte, v any) error {
+	if len(b) > 0 && b[0] >= 0x01 && b[0] <= gossipVersionMax {
+		if b[0] != gossipVersion {
+			return fmt.Errorf("membership: unsupported gossip version %d", b[0])
+		}
+		return decodeBinary(b[1:], v)
+	}
+	return decodeGob(b, v)
+}
+
+func decodeBinary(b []byte, v any) error {
+	r := codec.NewReader(b)
+	kind := r.Byte()
+	var want byte
+	switch m := v.(type) {
+	case *syncMsg:
+		want = gkSync
+		if kind == want {
+			m.From = p2p.PeerID(r.String())
+			n := r.Count(4)
+			for i := 0; i < n && r.Err() == nil; i++ {
+				m.Members = append(m.Members, memberRecord{
+					ID:          p2p.PeerID(r.String()),
+					State:       int(r.Varint()),
+					Incarnation: r.Uvarint(),
+					Addr:        r.String(),
+				})
+			}
+			n = r.Count(5)
+			for i := 0; i < n && r.Err() == nil; i++ {
+				var e CatalogEntry
+				readCatalogEntry(r, &e)
+				m.Catalog = append(m.Catalog, e)
+			}
+		}
+	case *pingReq:
+		want = gkPingReq
+		if kind == want {
+			m.Target = p2p.PeerID(r.String())
+		}
+	default:
+		return fmt.Errorf("membership: decode: unknown gossip type %T", v)
+	}
+	if r.Err() == nil && kind != want {
+		return fmt.Errorf("membership: decode %T: payload has kind tag %d, want %d", v, kind, want)
+	}
+	if err := r.Finish(); err != nil {
+		return fmt.Errorf("membership: decode %T: %w", v, err)
+	}
+	return nil
+}
+
+// appendCatalogEntry encodes one advertisement. Announced travels as
+// UnixNano behind a presence flag, so the zero time (no announcement yet)
+// round-trips as zero and IsZero keeps working on the receiving side.
+func appendCatalogEntry(w *codec.Writer, e *CatalogEntry) {
+	w.String(string(e.Origin))
+	w.Uvarint(e.Version)
+	w.Strings(e.Docs)
+	w.Strings(e.Services)
+	if e.Announced.IsZero() {
+		w.Bool(false)
+	} else {
+		w.Bool(true)
+		w.Varint(e.Announced.UnixNano())
+	}
+}
+
+func readCatalogEntry(r *codec.Reader, e *CatalogEntry) {
+	e.Origin = p2p.PeerID(r.String())
+	e.Version = r.Uvarint()
+	e.Docs = r.Strings()
+	e.Services = r.Strings()
+	if r.Bool() {
+		e.Announced = time.Unix(0, r.Varint())
+	}
+}

@@ -1,0 +1,108 @@
+package membership
+
+import (
+	"testing"
+	"time"
+)
+
+func sampleSync() syncMsg {
+	return syncMsg{
+		From: "AP1",
+		Members: []memberRecord{
+			{ID: "AP1", State: int(StateAlive), Incarnation: 3, Addr: "127.0.0.1:9001"},
+			{ID: "AP2", State: int(StateSuspect), Incarnation: 1},
+		},
+		Catalog: []CatalogEntry{
+			{Origin: "AP1", Version: 4, Docs: []string{"a.xml"}, Services: []string{"svcA"},
+				Announced: time.Unix(1700000000, 12345)},
+			{Origin: "AP2", Version: 1}, // zero Announced
+		},
+	}
+}
+
+func syncEqual(a, b *syncMsg) bool {
+	if a.From != b.From || len(a.Members) != len(b.Members) || len(a.Catalog) != len(b.Catalog) {
+		return false
+	}
+	for i := range a.Members {
+		if a.Members[i] != b.Members[i] {
+			return false
+		}
+	}
+	for i := range a.Catalog {
+		x, y := a.Catalog[i], b.Catalog[i]
+		if x.Origin != y.Origin || x.Version != y.Version || !x.Announced.Equal(y.Announced) {
+			return false
+		}
+		if len(x.Docs) != len(y.Docs) || len(x.Services) != len(y.Services) {
+			return false
+		}
+		for j := range x.Docs {
+			if x.Docs[j] != y.Docs[j] {
+				return false
+			}
+		}
+		for j := range x.Services {
+			if x.Services[j] != y.Services[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSyncMsgBinaryRoundTrip(t *testing.T) {
+	in := sampleSync()
+	var out syncMsg
+	if err := decode(encode(in), &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !syncEqual(&in, &out) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", out, in)
+	}
+	if !out.Catalog[1].Announced.IsZero() {
+		t.Fatal("zero Announced did not survive the round trip")
+	}
+}
+
+func TestSyncMsgGobCompat(t *testing.T) {
+	in := sampleSync()
+	var out syncMsg
+	if err := decode(encodeGob(in), &out); err != nil {
+		t.Fatalf("decode gob: %v", err)
+	}
+	if !syncEqual(&in, &out) {
+		t.Fatalf("gob compat mismatch:\n got %+v\nwant %+v", out, in)
+	}
+}
+
+func TestPingReqRoundTrip(t *testing.T) {
+	var out pingReq
+	if err := decode(encode(pingReq{Target: "AP7"}), &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Target != "AP7" {
+		t.Fatalf("Target = %q", out.Target)
+	}
+	out = pingReq{}
+	if err := decode(encodeGob(pingReq{Target: "AP7"}), &out); err != nil || out.Target != "AP7" {
+		t.Fatalf("gob compat: %v %q", err, out.Target)
+	}
+}
+
+func TestGossipKindMismatch(t *testing.T) {
+	var s syncMsg
+	if err := decode(encode(pingReq{Target: "AP1"}), &s); err == nil {
+		t.Fatal("pingReq payload decoded as syncMsg")
+	}
+}
+
+func TestGossipTruncated(t *testing.T) {
+	b := encode(sampleSync())
+	for cut := 1; cut < len(b); cut += 7 {
+		var s syncMsg
+		if err := decode(b[:cut], &s); err == nil && cut < len(b) {
+			t.Fatalf("truncated payload at %d decoded without error", cut)
+		}
+	}
+}

@@ -63,6 +63,9 @@ const (
 	// failure detector (internal/membership): a peer joining, becoming
 	// suspect, being declared dead, or refuting a false suspicion.
 	KindMember = "member"
+	// KindCompact is one WAL compaction: segments wholly covered by a
+	// checkpoint were deleted (attrs carry removed/remaining counts).
+	KindCompact = "wal-compact"
 )
 
 // Outcome values.

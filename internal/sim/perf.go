@@ -179,13 +179,18 @@ func RunPerfSuite() []PerfResult {
 		writers = 16
 		perW    = 100
 	)
-	return []PerfResult{
+	rs := []PerfResult{
 		RunPerfMaterialize(calls, 1, trials, delay),
 		RunPerfMaterialize(calls, calls, trials, delay),
 		RunPerfWAL(wal.SyncEach, writers, perW),
 		RunPerfWAL(wal.SyncGroup, writers, perW),
 		RunPerfSerialize(200, 5000),
 	}
+	rs = append(rs, RunPerfWireCodec(50000)...)
+	// 100k records is the W1 reference history: checkpointed restart must
+	// land within ~2x of an empty-log restart.
+	rs = append(rs, RunPerfWALReplay(100000, 20)...)
+	return rs
 }
 
 // RunPerfSuiteQuick is the suite with reduced parameters, sized for CI smoke
@@ -194,13 +199,16 @@ func RunPerfSuiteQuick() []PerfResult {
 	// Trial counts are sized so the derived ratios (materialize speedup, WAL
 	// group-commit speedup) are stable enough for the -compare regression
 	// gate; 5 trials made them swing >10% run to run.
-	return []PerfResult{
+	rs := []PerfResult{
 		RunPerfMaterialize(4, 1, 15, 2*time.Millisecond),
 		RunPerfMaterialize(4, 4, 15, 2*time.Millisecond),
 		RunPerfWAL(wal.SyncEach, 8, 50),
 		RunPerfWAL(wal.SyncGroup, 8, 50),
 		RunPerfSerialize(50, 500),
 	}
+	rs = append(rs, RunPerfWireCodec(5000)...)
+	rs = append(rs, RunPerfWALReplay(5000, 50)...)
+	return rs
 }
 
 // summarize folds raw latencies into a PerfResult.

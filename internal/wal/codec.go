@@ -1,0 +1,133 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"axmltx/internal/codec"
+)
+
+// Record bodies inside CRC frames are versioned: the first byte of the blob
+// selects the codec. Version 2 is the hand-rolled binary encoding (varint
+// framing over internal/codec); version 3 is a checkpoint body (segmented
+// logs only). Anything else is treated as a legacy gob blob — gob streams of
+// Record always open with a multi-byte type-descriptor message whose length
+// prefix is far above 3, so the dispatch byte cannot collide — which keeps
+// WAL files written before the binary codec replayable.
+const (
+	blobBinaryV2   = 0x02
+	blobCheckpoint = 0x03
+)
+
+// appendRecordBinary appends the version-2 binary encoding of r to w.
+func appendRecordBinary(w *codec.Writer, r *Record) {
+	w.Byte(blobBinaryV2)
+	w.Uvarint(r.LSN)
+	w.String(r.Txn)
+	w.Byte(byte(r.Type))
+	w.String(r.Doc)
+	w.Uvarint(r.NodeID)
+	w.Uvarint(r.ParentID)
+	w.Varint(int64(r.Pos))
+	w.String(r.XML)
+	w.String(r.OldText)
+	w.String(r.NewText)
+	w.String(r.Service)
+}
+
+// readRecordBinary decodes the fields following the version byte. Strings
+// alias blob (frame bodies are freshly allocated per frame and never
+// recycled, so the aliasing is safe and keeps replay allocation-free beyond
+// the frame read itself).
+func readRecordBinary(rd *codec.Reader) *Record {
+	r := &Record{}
+	r.LSN = rd.Uvarint()
+	r.Txn = rd.String()
+	r.Type = Type(rd.Byte())
+	r.Doc = rd.String()
+	r.NodeID = rd.Uvarint()
+	r.ParentID = rd.Uvarint()
+	r.Pos = int(rd.Varint())
+	r.XML = rd.String()
+	r.OldText = rd.String()
+	r.NewText = rd.String()
+	r.Service = rd.String()
+	return r
+}
+
+// DecodeRecord decodes one frame body: binary v2 blobs by version byte,
+// anything else as a legacy gob blob. The error wraps ErrCorrupt.
+func DecodeRecord(blob []byte) (*Record, error) {
+	if len(blob) > 0 && blob[0] == blobBinaryV2 {
+		rd := codec.NewReader(blob[1:])
+		r := readRecordBinary(rd)
+		if err := rd.Finish(); err != nil {
+			return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+		}
+		return r, nil
+	}
+	var r Record
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("%w: decode frame: %w", ErrCorrupt, err)
+	}
+	return &r, nil
+}
+
+// EncodeRecord renders the binary v2 body of r (no CRC frame), exported for
+// the codec benchmarks and fuzz target.
+func EncodeRecord(r *Record) []byte {
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+	appendRecordBinary(w, r)
+	return w.Finish()
+}
+
+// encodeRecordGob renders the legacy gob body, kept for the cross-version
+// compatibility test and the codec benchmarks.
+func encodeRecordGob(r *Record) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		panic(fmt.Sprintf("wal: gob encode: %v", err))
+	}
+	return buf.Bytes()
+}
+
+// checkpoint is the live-transaction snapshot written at the head of a
+// fresh segment: the highest LSN assigned so far and the full record lists
+// of every transaction that is still unresolved, in LSN order. Replay that
+// starts at a checkpoint is therefore O(live transactions), not O(history).
+type checkpoint struct {
+	LastLSN uint64
+	Live    []*Record
+}
+
+// appendCheckpoint appends the version-3 checkpoint body.
+func appendCheckpoint(w *codec.Writer, ck *checkpoint) {
+	w.Byte(blobCheckpoint)
+	w.Uvarint(ck.LastLSN)
+	w.Uvarint(uint64(len(ck.Live)))
+	for _, r := range ck.Live {
+		appendRecordBinary(w, r)
+	}
+}
+
+// decodeCheckpoint decodes a version-3 blob (including the version byte).
+func decodeCheckpoint(blob []byte) (*checkpoint, error) {
+	if len(blob) == 0 || blob[0] != blobCheckpoint {
+		return nil, fmt.Errorf("%w: not a checkpoint frame", ErrCorrupt)
+	}
+	rd := codec.NewReader(blob[1:])
+	ck := &checkpoint{LastLSN: rd.Uvarint()}
+	n := rd.Count(12) // a binary record body is ≥ 12 bytes
+	for i := 0; i < n; i++ {
+		if v := rd.Byte(); v != blobBinaryV2 {
+			return nil, fmt.Errorf("%w: checkpoint record %d has version %d", ErrCorrupt, i, v)
+		}
+		ck.Live = append(ck.Live, readRecordBinary(rd))
+	}
+	if err := rd.Finish(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCorrupt, err)
+	}
+	return ck, nil
+}

@@ -1,0 +1,623 @@
+package wal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"axmltx/internal/codec"
+)
+
+// SegmentOptions configure OpenDir.
+type SegmentOptions struct {
+	FileOptions
+	// MaxSegmentBytes rotates the active segment once it exceeds this many
+	// bytes; 0 means the 4 MiB default.
+	MaxSegmentBytes int64
+	// MaxSegmentRecords rotates the active segment once it holds this many
+	// records; 0 disables record-count rotation.
+	MaxSegmentRecords int
+	// CheckpointEvery runs an automatic checkpoint + compaction in the
+	// background after this many appends since the last checkpoint; 0 means
+	// checkpoints are taken only by explicit Checkpoint calls.
+	CheckpointEvery int
+}
+
+// DefaultMaxSegmentBytes is the rotation threshold when none is configured.
+const DefaultMaxSegmentBytes = 4 << 20
+
+// segmentName renders the file name of segment n. Segments are named by a
+// monotonic segment number — not by first LSN, which could collide when a
+// checkpoint rotates without intervening appends.
+func segmentName(n uint64) string { return fmt.Sprintf("%08d.seg", n) }
+
+// parseSegmentName inverts segmentName.
+func parseSegmentName(name string) (uint64, bool) {
+	var n uint64
+	if _, err := fmt.Sscanf(name, "%08d.seg", &n); err != nil || segmentName(n) != name {
+		return 0, false
+	}
+	return n, true
+}
+
+// SegmentedLog is a durable Log over a directory of segment files, each a
+// sequence of CRC frames exactly as FileLog writes them. It adds:
+//
+//   - rotation: the active segment is closed and a new one started when it
+//     exceeds MaxSegmentBytes or MaxSegmentRecords;
+//   - checkpoints: a rotation that writes, as the first frame of the fresh
+//     segment, a snapshot of every live (unresolved) transaction's records
+//     plus the highest LSN, so replay restarts from the snapshot instead of
+//     the full history;
+//   - compaction: deleting every segment older than the latest durable
+//     checkpoint, whose state the checkpoint wholly covers.
+//
+// Only the last segment can have a torn tail: rotation fsyncs a segment
+// before opening its successor, so every non-last segment is fully durable.
+// A transaction is live until its log shows TypeCommit or TypeCompensateEnd
+// — exactly the transactions core.RecoverPending would still act on.
+type SegmentedLog struct {
+	mu       sync.Mutex
+	dir      string
+	opts     SegmentOptions
+	f        *os.File // active segment
+	segnum   uint64   // active segment number
+	nsegs    int      // segment files on disk
+	segBytes int64    // bytes in the active segment
+	segRecs  int      // records in the active segment
+	next     uint64   // last assigned LSN
+	mem      *MemoryLog
+	sinceCk  int        // appends since the last checkpoint
+	minSeg   uint64     // lowest segment file on disk (compaction floor)
+	ckSeg    uint64     // segment whose head holds the latest durable checkpoint (0: none)
+	ckBusy   bool       // background checkpoint in flight
+	ckDone   *sync.Cond // signals ckBusy clearing (Close waits on it)
+	closed   bool
+	onComp   func(removed, remaining int)
+
+	// Group commit (SyncGroup), the FileLog leader/follower protocol plus a
+	// rotation generation: a leader snapshots the active file and gen under
+	// gmu; if rotation bumped gen while its fsync was in flight, the outcome
+	// is discarded (rotation's own fsync already covered the old segment,
+	// and an fsync error on the just-closed handle is expected noise).
+	gmu     sync.Mutex
+	gcond   *sync.Cond
+	gf      *os.File // active file as seen by group commit
+	gen     uint64   // bumped by every rotation
+	written uint64
+	synced  uint64
+	gerr    error
+	syncing bool
+	gclosed bool
+}
+
+// OpenDir opens (creating if needed) a segmented log in dir. Existing
+// segments are scanned in order; replay state resets at each segment-head
+// checkpoint; a torn tail in the last segment is truncated away (earlier
+// segments are always fully durable, so corruption there is an error).
+func OpenDir(dir string, opts SegmentOptions) (*SegmentedLog, error) {
+	if opts.MaxSegmentBytes <= 0 {
+		opts.MaxSegmentBytes = DefaultMaxSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: open dir %s: %w", dir, err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir %s: %w", dir, err)
+	}
+	var segs []uint64
+	for _, e := range names {
+		if n, ok := parseSegmentName(e.Name()); ok {
+			segs = append(segs, n)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+
+	l := &SegmentedLog{dir: dir, opts: opts, mem: NewMemory()}
+	l.ckDone = sync.NewCond(&l.mu)
+	for i, n := range segs {
+		if err := l.replaySegment(n, i == len(segs)-1); err != nil {
+			return nil, err
+		}
+	}
+	l.nsegs = len(segs)
+	if len(segs) == 0 {
+		if err := l.openSegmentLocked(1); err != nil {
+			return nil, err
+		}
+		l.nsegs = 1
+		l.minSeg = 1
+	} else {
+		l.minSeg = segs[0]
+		// Reopen the last segment for appending at its valid end.
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(filepath.Join(dir, segmentName(last)), os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("wal: open segment: %w", err)
+		}
+		if _, err := f.Seek(l.segBytes, io.SeekStart); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("wal: seek: %w", err)
+		}
+		l.f, l.segnum = f, last
+	}
+	if opts.Sync == SyncGroup {
+		l.gcond = sync.NewCond(&l.gmu)
+		l.gf = l.f
+		l.written, l.synced = l.next, l.next
+	}
+	return l, nil
+}
+
+// replaySegment reads segment n into the in-memory index. A checkpoint
+// frame at the head of a segment resets the index to the snapshot. last
+// marks the final segment, the only one allowed a torn tail; when the tail
+// is torn, the file is truncated to the valid prefix and segBytes/segRecs
+// describe it.
+func (l *SegmentedLog) replaySegment(n uint64, last bool) error {
+	path := filepath.Join(l.dir, segmentName(n))
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	br := bufio.NewReader(f)
+	var validEnd int64
+	recs := 0
+	first := true
+	var ferr error
+	for {
+		blob, nb, err := readFrame(br)
+		if err != nil {
+			ferr = err
+			break
+		}
+		if first && len(blob) > 0 && blob[0] == blobCheckpoint {
+			ck, err := decodeCheckpoint(blob)
+			if err != nil {
+				ferr = err
+				break
+			}
+			nm := NewMemory()
+			for _, r := range ck.Live {
+				if err := nm.appendExisting(r); err != nil {
+					f.Close()
+					return err
+				}
+			}
+			if ck.LastLSN > nm.next {
+				nm.next = ck.LastLSN
+			}
+			l.mem = nm
+			l.next = ck.LastLSN
+			l.ckSeg = n
+		} else {
+			r, err := DecodeRecord(blob)
+			if err != nil {
+				ferr = err
+				break
+			}
+			if err := l.mem.appendExisting(r); err != nil {
+				f.Close()
+				return err
+			}
+			if r.LSN > l.next {
+				l.next = r.LSN
+			}
+		}
+		first = false
+		validEnd += int64(nb)
+		recs++
+	}
+	f.Close()
+	if ferr != nil && ferr != io.EOF {
+		if !last {
+			return fmt.Errorf("wal: segment %s: %w", segmentName(n), ferr)
+		}
+		// Torn or corrupt tail of the final segment: keep the clean prefix.
+		if terr := os.Truncate(path, validEnd); terr != nil {
+			return fmt.Errorf("wal: truncate torn tail: %w", terr)
+		}
+	}
+	if last {
+		l.segBytes, l.segRecs = validEnd, recs
+	}
+	return nil
+}
+
+// openSegmentLocked creates segment n and makes it active. Caller holds
+// l.mu (or is still constructing l).
+func (l *SegmentedLog) openSegmentLocked(n uint64) error {
+	f, err := os.OpenFile(filepath.Join(l.dir, segmentName(n)), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	syncDir(l.dir)
+	l.f, l.segnum, l.segBytes, l.segRecs = f, n, 0, 0
+	return nil
+}
+
+// syncDir fsyncs a directory so freshly created or removed segment files
+// survive a crash. Best effort: not every platform supports it.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// rotateLocked fsyncs and closes the active segment and opens its
+// successor. Caller holds l.mu. After it returns, every record appended so
+// far is durable (rotation is itself a durability barrier), which is what
+// lets group commit release waiters on the closed segment and lets
+// non-last segments be trusted during replay.
+func (l *SegmentedLog) rotateLocked() error {
+	old := l.f
+	lastLSN := l.next
+	if err := old.Sync(); err != nil {
+		l.failGroupLocked(fmt.Errorf("%w: rotate: %w", ErrSync, err))
+		return fmt.Errorf("%w: rotate: %w", ErrSync, err)
+	}
+	group := l.opts.Sync == SyncGroup
+	if group {
+		// Hold gmu across close+reopen: a group-commit leader must never be
+		// able to snapshot the just-closed handle paired with a generation
+		// that is still current, or its doomed fsync would poison the group.
+		l.gmu.Lock()
+		defer l.gmu.Unlock()
+	}
+	if err := old.Close(); err != nil {
+		return fmt.Errorf("%w: rotate: %w", ErrClose, err)
+	}
+	if err := l.openSegmentLocked(l.segnum + 1); err != nil {
+		return err
+	}
+	l.nsegs++
+	if group {
+		l.gen++
+		l.gf = l.f
+		if lastLSN > l.synced {
+			l.synced = lastLSN
+		}
+		l.gcond.Broadcast()
+	}
+	return nil
+}
+
+// failGroupLocked poisons group commit after a rotation fsync failure so
+// waiters do not report durability that was never established.
+func (l *SegmentedLog) failGroupLocked(err error) {
+	if l.opts.Sync != SyncGroup {
+		return
+	}
+	l.gmu.Lock()
+	if l.gerr == nil {
+		l.gerr = err
+	}
+	l.gcond.Broadcast()
+	l.gmu.Unlock()
+}
+
+// Append implements Log.
+func (l *SegmentedLog) Append(r *Record) (uint64, error) {
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if l.segBytes >= l.opts.MaxSegmentBytes ||
+		(l.opts.MaxSegmentRecords > 0 && l.segRecs >= l.opts.MaxSegmentRecords) {
+		if err := l.rotateLocked(); err != nil {
+			l.mu.Unlock()
+			return 0, err
+		}
+	}
+	l.next++
+	r.LSN = l.next
+	frame := appendFrame(w, func(w *codec.Writer) { appendRecordBinary(w, r) })
+	if _, err := l.f.Write(frame); err != nil {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("wal: write frame: %w", err)
+	}
+	l.segBytes += int64(len(frame))
+	l.segRecs++
+	if l.opts.Sync == SyncEach {
+		if err := l.f.Sync(); err != nil {
+			l.mu.Unlock()
+			return 0, fmt.Errorf("%w: %w", ErrSync, err)
+		}
+	}
+	if err := l.mem.appendExisting(r); err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+	lsn := r.LSN
+	l.sinceCk++
+	kick := l.opts.CheckpointEvery > 0 && l.sinceCk >= l.opts.CheckpointEvery && !l.ckBusy
+	if kick {
+		l.ckBusy = true
+	}
+	l.mu.Unlock()
+
+	if kick {
+		go l.backgroundCheckpoint()
+	}
+	if l.opts.Sync == SyncGroup {
+		if err := l.waitDurable(lsn); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// backgroundCheckpoint is the compactor: checkpoint, then drop the
+// segments the checkpoint covers.
+func (l *SegmentedLog) backgroundCheckpoint() {
+	defer func() {
+		l.mu.Lock()
+		l.ckBusy = false
+		l.ckDone.Broadcast()
+		l.mu.Unlock()
+	}()
+	if err := l.Checkpoint(); err != nil {
+		return
+	}
+	_, _ = l.Compact()
+}
+
+// waitDurable is FileLog's group-commit protocol plus the rotation
+// generation check (see the SegmentedLog field comments).
+func (l *SegmentedLog) waitDurable(lsn uint64) error {
+	l.gmu.Lock()
+	defer l.gmu.Unlock()
+	if lsn > l.written {
+		l.written = lsn
+	}
+	for {
+		if l.gerr != nil {
+			return l.gerr
+		}
+		if l.synced >= lsn {
+			return nil
+		}
+		if l.gclosed {
+			return ErrClosed
+		}
+		if !l.syncing {
+			l.syncing = true
+			if w := l.opts.GroupCommitWindow; w > 0 {
+				l.gmu.Unlock()
+				time.Sleep(w)
+				l.gmu.Lock()
+			}
+			target := l.written
+			f, gen := l.gf, l.gen
+			l.gmu.Unlock()
+			err := f.Sync()
+			l.gmu.Lock()
+			l.syncing = false
+			if gen != l.gen {
+				// Rotation superseded this fsync: its own fsync covered every
+				// frame the old segment held, and err (if any) is the expected
+				// failure of syncing a just-closed handle. Re-evaluate.
+				l.gcond.Broadcast()
+				continue
+			}
+			if err != nil {
+				l.gerr = fmt.Errorf("%w: %w", ErrSync, err)
+			} else if target > l.synced {
+				l.synced = target
+			}
+			l.gcond.Broadcast()
+			continue
+		}
+		l.gcond.Wait()
+	}
+}
+
+// liveRecordsLocked returns the records of every unresolved transaction in
+// LSN order. A transaction is resolved once its log shows TypeCommit or
+// TypeCompensateEnd — the states core.RecoverPending skips on restart.
+func (l *SegmentedLog) liveRecordsLocked() []*Record {
+	resolved := make(map[string]bool)
+	for txn, recs := range l.mem.byTxn {
+		for _, r := range recs {
+			if r.Type == TypeCommit || r.Type == TypeCompensateEnd {
+				resolved[txn] = true
+				break
+			}
+		}
+	}
+	var live []*Record
+	for _, r := range l.mem.records {
+		if !resolved[r.Txn] {
+			live = append(live, r)
+		}
+	}
+	return live
+}
+
+// Checkpoint rotates to a fresh segment whose first frame snapshots the
+// live transactions and the highest LSN, fsyncing it before returning:
+// once Checkpoint succeeds, every older segment is redundant and Compact
+// may delete it. Replay after a checkpoint is O(live transactions), not
+// O(history); the in-memory index is trimmed to the same view so memory is
+// bounded too.
+func (l *SegmentedLog) Checkpoint() error {
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	live := l.liveRecordsLocked()
+	if err := l.rotateLocked(); err != nil {
+		return err
+	}
+	frame := appendFrame(w, func(w *codec.Writer) {
+		appendCheckpoint(w, &checkpoint{LastLSN: l.next, Live: live})
+	})
+	if _, err := l.f.Write(frame); err != nil {
+		return fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	// The checkpoint must be durable before it can license compaction.
+	if err := l.f.Sync(); err != nil {
+		l.failGroupLocked(fmt.Errorf("%w: checkpoint: %w", ErrSync, err))
+		return fmt.Errorf("%w: checkpoint: %w", ErrSync, err)
+	}
+	l.segBytes += int64(len(frame))
+	l.segRecs++
+	l.ckSeg = l.segnum
+	l.sinceCk = 0
+
+	// Trim the index to the snapshot view — identical to what a restart
+	// would replay.
+	nm := NewMemory()
+	for _, r := range live {
+		if err := nm.appendExisting(r); err != nil {
+			return err
+		}
+	}
+	nm.next = l.next
+	l.mem = nm
+	return nil
+}
+
+// Compact deletes every segment older than the latest durable checkpoint's
+// segment and returns how many were removed. Safe to call at any time; a
+// crash mid-compaction just leaves leftover segments whose content the
+// next replay supersedes at the checkpoint.
+func (l *SegmentedLog) Compact() (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.ckSeg == 0 {
+		return 0, nil
+	}
+	// Walk the floor up to the checkpoint segment, tolerating holes: a
+	// crash mid-compaction leaves an arbitrary subset already deleted, and
+	// the survivors must still be reclaimed on the next pass.
+	removed := 0
+	for n := l.minSeg; n < l.ckSeg; n++ {
+		err := os.Remove(filepath.Join(l.dir, segmentName(n)))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			l.minSeg = n
+			return removed, fmt.Errorf("wal: compact: %w", err)
+		}
+		removed++
+	}
+	l.minSeg = l.ckSeg
+	if removed > 0 {
+		syncDir(l.dir)
+		l.nsegs -= removed
+	}
+	if cb := l.onComp; cb != nil && removed > 0 {
+		remaining := l.nsegs
+		l.mu.Unlock()
+		cb(removed, remaining)
+		l.mu.Lock()
+	}
+	return removed, nil
+}
+
+// Segments returns the number of segment files currently on disk.
+func (l *SegmentedLog) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nsegs
+}
+
+// SetOnCompact installs a hook invoked after each compaction that removed
+// at least one segment, with the removed and remaining counts. Used by the
+// engine to emit the wal-compact span and keep the segment gauge honest
+// without wal importing obs.
+func (l *SegmentedLog) SetOnCompact(fn func(removed, remaining int)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.onComp = fn
+}
+
+// Records implements Log. After a checkpoint the snapshot view is
+// returned: live transactions' records plus everything appended since —
+// exactly what a restart would replay (LSNs may be gapped).
+func (l *SegmentedLog) Records() []*Record { return l.memSnapshot().Records() }
+
+// TxnRecords implements Log.
+func (l *SegmentedLog) TxnRecords(txn string) []*Record { return l.memSnapshot().TxnRecords(txn) }
+
+// memSnapshot returns the current index under l.mu (checkpointing swaps
+// the index wholesale).
+func (l *SegmentedLog) memSnapshot() *MemoryLog {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.mem
+}
+
+// Sync implements Log: the explicit durability barrier, as FileLog.
+func (l *SegmentedLog) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	last := l.next
+	if l.opts.Sync != SyncGroup {
+		err := l.f.Sync()
+		l.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("%w: %w", ErrSync, err)
+		}
+		return nil
+	}
+	l.mu.Unlock()
+	if last == 0 {
+		return nil
+	}
+	return l.waitDurable(last)
+}
+
+// Close implements Log. A kicked background checkpoint runs to completion
+// first — ckDone.Wait reacquires l.mu, so no new kick can slip in between
+// the busy flag clearing and closed being set.
+func (l *SegmentedLog) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	for l.ckBusy {
+		l.ckDone.Wait()
+	}
+	l.closed = true
+	l.mu.Unlock()
+	if l.opts.Sync == SyncGroup {
+		l.gmu.Lock()
+		l.gclosed = true
+		l.gcond.Broadcast()
+		for l.syncing {
+			l.gcond.Wait()
+		}
+		l.gmu.Unlock()
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("%w: %w", ErrClose, err)
+	}
+	return nil
+}

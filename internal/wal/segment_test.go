@@ -1,0 +1,351 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// appendTxn appends a begin/insert/commit (or not) triple for txn.
+func appendTxn(t *testing.T, l Log, txn string, commit bool) {
+	t.Helper()
+	for _, r := range []*Record{
+		{Txn: txn, Type: TypeBegin, Doc: "d.xml"},
+		{Txn: txn, Type: TypeInsert, Doc: "d.xml", NodeID: 5, ParentID: 1, XML: "<a/>"},
+	} {
+		if _, err := l.Append(r); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if commit {
+		if _, err := l.Append(&Record{Txn: txn, Type: TypeCommit}); err != nil {
+			t.Fatalf("Append commit: %v", err)
+		}
+	}
+}
+
+func segFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range ents {
+		if _, ok := parseSegmentName(e.Name()); ok {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func TestSegmentedRotationAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenDir(dir, SegmentOptions{MaxSegmentRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		appendTxn(t, l, fmt.Sprintf("t-%d", i), true)
+	}
+	want := l.Records()
+	if len(want) != 15 {
+		t.Fatalf("records = %d, want 15", len(want))
+	}
+	if got := l.Segments(); got < 3 {
+		t.Fatalf("Segments = %d, want >= 3 after 15 records at 4/segment", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDir(dir, SegmentOptions{MaxSegmentRecords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Records(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch: got %d records, want %d", len(got), len(want))
+	}
+	// LSNs keep advancing after reopen.
+	lsn, err := re.Append(&Record{Txn: "t-after", Type: TypeBegin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 16 {
+		t.Fatalf("post-reopen LSN = %d, want 16", lsn)
+	}
+}
+
+func TestSegmentedRotationByBytes(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenDir(dir, SegmentOptions{MaxSegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 20; i++ {
+		appendTxn(t, l, fmt.Sprintf("t-%d", i), true)
+	}
+	if got := l.Segments(); got < 2 {
+		t.Fatalf("Segments = %d, want >= 2 with 256-byte segments", got)
+	}
+}
+
+func TestSegmentedCheckpointTrimsResolved(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenDir(dir, SegmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendTxn(t, l, "done-1", true)
+	appendTxn(t, l, "live-1", false)
+	appendTxn(t, l, "done-2", true)
+	if err := l.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	recs := l.Records()
+	if len(recs) != 2 {
+		t.Fatalf("post-checkpoint records = %d, want 2 (live txn only)", len(recs))
+	}
+	for _, r := range recs {
+		if r.Txn != "live-1" {
+			t.Fatalf("unexpected surviving txn %q", r.Txn)
+		}
+	}
+	// LSNs are preserved, not renumbered.
+	if recs[0].LSN != 4 || recs[1].LSN != 5 {
+		t.Fatalf("live LSNs = %d,%d, want 4,5", recs[0].LSN, recs[1].LSN)
+	}
+	want := l.Records()
+	next, err := l.Append(&Record{Txn: "live-1", Type: TypeCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 9 {
+		t.Fatalf("post-checkpoint LSN = %d, want 9 (checkpoint preserves counter)", next)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := OpenDir(dir, SegmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := re.Records()
+	if len(got) != len(want)+1 {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want)+1)
+	}
+	if !reflect.DeepEqual(got[:len(want)], want) {
+		t.Fatal("checkpointed replay does not match pre-restart view")
+	}
+}
+
+func TestSegmentedCompact(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenDir(dir, SegmentOptions{MaxSegmentRecords: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hookRemoved, hookRemaining int
+	l.SetOnCompact(func(removed, remaining int) { hookRemoved, hookRemaining = removed, remaining })
+	for i := 0; i < 6; i++ {
+		appendTxn(t, l, fmt.Sprintf("t-%d", i), true)
+	}
+	before := l.Segments()
+	if before < 4 {
+		t.Fatalf("Segments = %d, want >= 4", before)
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	removed, err := l.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != before {
+		t.Fatalf("Compact removed %d, want %d (all pre-checkpoint segments)", removed, before)
+	}
+	if got := l.Segments(); got != 1 {
+		t.Fatalf("Segments after compact = %d, want 1", got)
+	}
+	if hookRemoved != removed || hookRemaining != 1 {
+		t.Fatalf("OnCompact got (%d,%d), want (%d,1)", hookRemoved, hookRemaining, removed)
+	}
+	if len(segFiles(t, dir)) != 1 {
+		t.Fatalf("disk has %v, want 1 segment", segFiles(t, dir))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDir(dir, SegmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := len(re.Records()); got != 0 {
+		t.Fatalf("replay after full compact = %d records, want 0 (everything resolved)", got)
+	}
+	if lsn, _ := re.Append(&Record{Txn: "x", Type: TypeBegin}); lsn != 19 {
+		t.Fatalf("LSN after compacted replay = %d, want 19", lsn)
+	}
+}
+
+func TestSegmentedAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenDir(dir, SegmentOptions{MaxSegmentRecords: 4, CheckpointEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		appendTxn(t, l, fmt.Sprintf("t-%d", i), true)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The background compactor must have kept the directory bounded: without
+	// it 120 records at 4/segment is 30 segments.
+	if n := len(segFiles(t, dir)); n >= 30 {
+		t.Fatalf("auto checkpoint never compacted: %d segments", n)
+	}
+	re, err := OpenDir(dir, SegmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if lsn, _ := re.Append(&Record{Txn: "x", Type: TypeBegin}); lsn != 121 {
+		t.Fatalf("LSN after auto-checkpointed replay = %d, want 121", lsn)
+	}
+}
+
+func TestSegmentedGroupCommitAcrossRotation(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenDir(dir, SegmentOptions{
+		FileOptions:       FileOptions{Sync: SyncGroup},
+		MaxSegmentRecords: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, each = 8, 10
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*each)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				txn := fmt.Sprintf("t-%d-%d", w, i)
+				if _, err := l.Append(&Record{Txn: txn, Type: TypeBegin}); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent Append: %v", err)
+	}
+	if got := len(l.Records()); got != writers*each {
+		t.Fatalf("records = %d, want %d", got, writers*each)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDir(dir, SegmentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := len(re.Records()); got != writers*each {
+		t.Fatalf("replayed %d, want %d", got, writers*each)
+	}
+}
+
+func TestSegmentedTornTailLastSegment(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenDir(dir, SegmentOptions{MaxSegmentRecords: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		appendTxn(t, l, fmt.Sprintf("t-%d", i), true)
+	}
+	want := l.Records()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := segFiles(t, dir)
+	lastPath := filepath.Join(dir, files[len(files)-1])
+	f, err := os.OpenFile(lastPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\x07torn-record-fragment"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re, err := OpenDir(dir, SegmentOptions{MaxSegmentRecords: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if got := re.Records(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("torn tail replay: got %d records, want %d", len(got), len(want))
+	}
+}
+
+func TestSegmentedCorruptEarlierSegmentFails(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenDir(dir, SegmentOptions{MaxSegmentRecords: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		appendTxn(t, l, fmt.Sprintf("t-%d", i), true)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	files := segFiles(t, dir)
+	if len(files) < 3 {
+		t.Fatalf("want >= 3 segments, got %v", files)
+	}
+	// Flip a byte in the middle of the FIRST segment: unlike the last
+	// segment's torn tail this is a durability violation, not a crash
+	// artifact, and must be reported.
+	first := filepath.Join(dir, files[0])
+	data, err := os.ReadFile(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(first, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDir(dir, SegmentOptions{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("OpenDir = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSegmentNameRoundTrip(t *testing.T) {
+	for _, n := range []uint64{1, 42, 99999999} {
+		got, ok := parseSegmentName(segmentName(n))
+		if !ok || got != n {
+			t.Fatalf("parse(%q) = %d,%v", segmentName(n), got, ok)
+		}
+	}
+	for _, bad := range []string{"x.seg", "0001.seg", "00000001.wal", "00000001.seg.tmp"} {
+		if _, ok := parseSegmentName(bad); ok {
+			t.Fatalf("parse(%q) accepted", bad)
+		}
+	}
+}

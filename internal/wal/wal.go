@@ -12,9 +12,7 @@ package wal
 
 import (
 	"bufio"
-	"bytes"
 	"encoding/binary"
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -22,6 +20,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"axmltx/internal/codec"
 )
 
 // Type discriminates log records.
@@ -120,8 +120,21 @@ type Log interface {
 	Close() error
 }
 
-// ErrClosed is returned by Append on a closed log.
-var ErrClosed = errors.New("wal: log is closed")
+// Typed error classes. Callers branch with errors.Is rather than matching
+// raw *os.PathError strings.
+var (
+	// ErrClosed is returned by Append on a closed log.
+	ErrClosed = errors.New("wal: log is closed")
+	// ErrSync classes every fsync failure (Append under SyncEach, the group
+	// commit leader, the explicit Sync barrier, rotation). Durability past a
+	// failed fsync is unknown, so these are sticky where it matters.
+	ErrSync = errors.New("wal: sync failed")
+	// ErrCorrupt classes every framing or decode failure: torn tails, CRC
+	// mismatches, malformed record bodies.
+	ErrCorrupt = errors.New("wal: corrupt frame")
+	// ErrClose classes failures releasing the underlying file.
+	ErrClose = errors.New("wal: close failed")
+)
 
 // MemoryLog is an in-memory Log, the default for simulation and tests.
 type MemoryLog struct {
@@ -177,6 +190,24 @@ func (l *MemoryLog) Close() error {
 	return nil
 }
 
+// appendExisting stores a record that already carries its LSN (replay from
+// a file or a checkpoint, where LSNs may be gapped); the next Append
+// continues after the highest LSN seen.
+func (l *MemoryLog) appendExisting(r *Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	cp := *r
+	l.records = append(l.records, &cp)
+	l.byTxn[r.Txn] = append(l.byTxn[r.Txn], &cp)
+	if r.LSN > l.next {
+		l.next = r.LSN
+	}
+	return nil
+}
+
 // Len returns the number of records.
 func (l *MemoryLog) Len() int {
 	l.mu.Lock()
@@ -214,13 +245,15 @@ type FileOptions struct {
 }
 
 // FileLog is a durable Log backed by a file of framed records. Each record
-// is an independently gob-encoded blob framed as
+// is an independently encoded blob framed as
 //
 //	uint32 length | uint32 crc32(blob) | blob
 //
 // so the file survives process restarts (no cross-session encoder state)
 // and Open detects a torn or corrupted tail by length/CRC mismatch and
-// truncates it — the standard write-ahead-log recovery contract.
+// truncates it — the standard write-ahead-log recovery contract. New frames
+// carry binary v2 bodies; files written by earlier versions (gob bodies)
+// replay transparently (see DecodeRecord).
 type FileLog struct {
 	mu    sync.Mutex
 	f     *os.File
@@ -265,7 +298,11 @@ func OpenFileWith(path string, opts FileOptions) (*FileLog, error) {
 	br := bufio.NewReader(f)
 	var validEnd int64
 	for {
-		r, n, err := readFrame(br)
+		blob, n, err := readFrame(br)
+		var r *Record
+		if err == nil {
+			r, err = DecodeRecord(blob)
+		}
 		if err != nil {
 			if err != io.EOF {
 				// Torn or corrupt tail: keep the clean prefix.
@@ -276,7 +313,7 @@ func OpenFileWith(path string, opts FileOptions) (*FileLog, error) {
 			}
 			break
 		}
-		if _, err := l.mem.Append(r); err != nil {
+		if err := l.mem.appendExisting(r); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -294,50 +331,51 @@ func OpenFileWith(path string, opts FileOptions) (*FileLog, error) {
 	return l, nil
 }
 
-// readFrame reads one framed record and returns it with the number of bytes
-// consumed. Any framing violation (short read, CRC mismatch, undecodable
-// blob) is reported as a non-EOF error so the caller truncates.
-func readFrame(br *bufio.Reader) (*Record, int, error) {
+// readFrame reads one framed blob and returns it with the number of bytes
+// consumed. Any framing violation (short read, CRC mismatch) is reported as
+// a non-EOF error wrapping ErrCorrupt so the caller truncates; decoding the
+// blob is the caller's business (record vs checkpoint body).
+func readFrame(br *bufio.Reader) ([]byte, int, error) {
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
 		if err == io.EOF {
 			return nil, 0, io.EOF
 		}
-		return nil, 0, fmt.Errorf("wal: short frame header: %w", err)
+		return nil, 0, fmt.Errorf("%w: short frame header: %w", ErrCorrupt, err)
 	}
 	length := binary.LittleEndian.Uint32(hdr[0:4])
 	sum := binary.LittleEndian.Uint32(hdr[4:8])
 	if length == 0 || length > 1<<30 {
-		return nil, 0, fmt.Errorf("wal: implausible frame length %d", length)
+		return nil, 0, fmt.Errorf("%w: implausible frame length %d", ErrCorrupt, length)
 	}
 	blob := make([]byte, length)
 	if _, err := io.ReadFull(br, blob); err != nil {
-		return nil, 0, fmt.Errorf("wal: short frame body: %w", err)
+		return nil, 0, fmt.Errorf("%w: short frame body: %w", ErrCorrupt, err)
 	}
 	if crc32.ChecksumIEEE(blob) != sum {
-		return nil, 0, errors.New("wal: frame checksum mismatch")
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
-	var r Record
-	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&r); err != nil {
-		return nil, 0, fmt.Errorf("wal: decode frame: %w", err)
-	}
-	return &r, 8 + int(length), nil
+	return blob, 8 + int(length), nil
 }
 
-// frameBufs pools the per-append encode buffers: one frame is built
-// (header placeholder + gob blob) and written with a single Write call.
-var frameBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+// frameHeaderZero seeds the 8-byte header placeholder without a per-append
+// allocation; the real header is patched in after the body is encoded.
+var frameHeaderZero [8]byte
+
+// appendFrame encodes body into w as a complete CRC frame.
+func appendFrame(w *codec.Writer, body func(*codec.Writer)) []byte {
+	w.Raw(frameHeaderZero[:])
+	body(w)
+	frame := w.Bytes()
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(frame)-8))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(frame[8:]))
+	return frame
+}
 
 // Append implements Log.
 func (l *FileLog) Append(r *Record) (uint64, error) {
-	buf := frameBufs.Get().(*bytes.Buffer)
-	defer func() {
-		if buf.Cap() <= 1<<16 {
-			frameBufs.Put(buf)
-		}
-	}()
-	buf.Reset()
-	buf.Write(make([]byte, 8)) // header placeholder, filled after encoding
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
 
 	l.mu.Lock()
 	if l.close {
@@ -346,14 +384,7 @@ func (l *FileLog) Append(r *Record) (uint64, error) {
 	}
 	l.next++
 	r.LSN = l.next
-	if err := gob.NewEncoder(buf).Encode(r); err != nil {
-		l.next--
-		l.mu.Unlock()
-		return 0, fmt.Errorf("wal: encode: %w", err)
-	}
-	frame := buf.Bytes()
-	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(frame)-8))
-	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(frame[8:]))
+	frame := appendFrame(w, func(w *codec.Writer) { appendRecordBinary(w, r) })
 	if _, err := l.f.Write(frame); err != nil {
 		l.mu.Unlock()
 		return 0, fmt.Errorf("wal: write frame: %w", err)
@@ -361,12 +392,11 @@ func (l *FileLog) Append(r *Record) (uint64, error) {
 	if l.opts.Sync == SyncEach {
 		if err := l.f.Sync(); err != nil {
 			l.mu.Unlock()
-			return 0, fmt.Errorf("wal: sync: %w", err)
+			return 0, fmt.Errorf("%w: %w", ErrSync, err)
 		}
 	}
-	// Mirror into the in-memory index; MemoryLog assigns the same LSN
-	// because it advances in lockstep from 1.
-	if _, err := l.mem.Append(r); err != nil {
+	// Mirror into the in-memory index with the LSN just assigned.
+	if err := l.mem.appendExisting(r); err != nil {
 		l.mu.Unlock()
 		return 0, err
 	}
@@ -419,7 +449,7 @@ func (l *FileLog) waitDurable(lsn uint64) error {
 			l.gmu.Lock()
 			l.syncing = false
 			if err != nil {
-				l.gerr = fmt.Errorf("wal: sync: %w", err)
+				l.gerr = fmt.Errorf("%w: %w", ErrSync, err)
 			} else if target > l.synced {
 				l.synced = target
 			}
@@ -446,7 +476,7 @@ func (l *FileLog) Sync() error {
 		err := l.f.Sync()
 		l.mu.Unlock()
 		if err != nil {
-			return fmt.Errorf("wal: sync: %w", err)
+			return fmt.Errorf("%w: %w", ErrSync, err)
 		}
 		return nil
 	}
@@ -485,5 +515,8 @@ func (l *FileLog) Close() error {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.f.Close()
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("%w: %w", ErrClose, err)
+	}
+	return nil
 }
