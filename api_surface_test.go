@@ -1,0 +1,137 @@
+package axmltx_test
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestAPISurface snapshots the package's exported surface — every exported
+// func, method, type, const and var of the root axmltx package — against
+// testdata/api_surface.txt. An unreviewed export or removal fails here
+// before it fails a downstream user; after an intentional API change run
+//
+//	AXMLTX_UPDATE_API_SURFACE=1 go test -run TestAPISurface .
+//
+// and commit the refreshed golden alongside the change.
+func TestAPISurface(t *testing.T) {
+	got := strings.Join(apiSurface(t), "\n") + "\n"
+	golden := filepath.Join("testdata", "api_surface.txt")
+	if os.Getenv("AXMLTX_UPDATE_API_SURFACE") != "" {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", golden)
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing API-surface golden (run with AXMLTX_UPDATE_API_SURFACE=1 to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	in := func(lines []string, s string) bool {
+		for _, l := range lines {
+			if l == s {
+				return true
+			}
+		}
+		return false
+	}
+	for _, l := range wantLines {
+		if l != "" && !in(gotLines, l) {
+			t.Errorf("removed from API surface: %s", l)
+		}
+	}
+	for _, l := range gotLines {
+		if l != "" && !in(wantLines, l) {
+			t.Errorf("added to API surface: %s", l)
+		}
+	}
+	t.Errorf("API surface drifted from %s — review, then refresh with AXMLTX_UPDATE_API_SURFACE=1", golden)
+}
+
+// apiSurface renders one sorted line per exported declaration of the root
+// package's non-test files.
+func apiSurface(t *testing.T) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["axmltx"]
+	if !ok {
+		t.Fatalf("package axmltx not found in %v", pkgs)
+	}
+	render := func(n ast.Node) string {
+		var b bytes.Buffer
+		if err := printer.Fprint(&b, fset, n); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(strings.Fields(b.String()), " ")
+	}
+	var lines []string
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				recv := ""
+				if d.Recv != nil && len(d.Recv.List) == 1 {
+					rt := render(d.Recv.List[0].Type)
+					if !ast.IsExported(strings.TrimLeft(rt, "*")) {
+						continue
+					}
+					recv = "(" + rt + ") "
+				}
+				sig := strings.Replace(render(d.Type), "func(", fmt.Sprintf("func %s%s(", recv, d.Name.Name), 1)
+				lines = append(lines, sig)
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						eq := " "
+						if s.Assign.IsValid() {
+							eq = " = "
+						}
+						lines = append(lines, "type "+s.Name.Name+eq+render(s.Type))
+					case *ast.ValueSpec:
+						kind := "const"
+						if d.Tok == token.VAR {
+							kind = "var"
+						}
+						for _, name := range s.Names {
+							if name.IsExported() {
+								lines = append(lines, kind+" "+name.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}

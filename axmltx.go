@@ -17,8 +17,8 @@
 // # Quick start
 //
 //	net := axmltx.NewNetwork(0)
-//	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper())
-//	ap2 := axmltx.NewPeer(net.Join("AP2"))
+//	ap1, _ := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper())
+//	ap2, _ := axmltx.NewPeer(net.Join("AP2"))
 //
 //	ap2.HostDocument("Points.xml", `<Points><row player="Federer"><points>475</points></row></Points>`)
 //	ap2.HostQueryService(axmltx.Descriptor{Name: "getPoints", ResultName: "points", TargetDocument: "Points.xml"},
@@ -47,7 +47,7 @@
 //
 //	ring := axmltx.NewRing(0)
 //	reg := axmltx.NewRegistry()
-//	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper(),
+//	ap1, _ := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper(),
 //	    axmltx.WithTracer(ring), axmltx.WithMetrics(reg))
 //	// ... run transactions, then:
 //	spans := ring.Trace(tx.ID)                      // the invocation tree
@@ -58,6 +58,7 @@
 package axmltx
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -234,6 +235,10 @@ const (
 	KindAbort      = obs.KindAbort
 	KindMember     = obs.KindMember
 	KindCompact    = obs.KindCompact
+	KindCacheHit   = obs.KindCacheHit
+	KindCacheMiss  = obs.KindCacheMiss
+	KindCacheWait  = obs.KindCacheWait
+	KindCacheFetch = obs.KindCacheFetch
 )
 
 // Gossip membership types, re-exported from internal/membership.
@@ -252,6 +257,10 @@ type (
 	// CatalogEntry is one origin peer's versioned advertisement of the
 	// documents and services it hosts.
 	CatalogEntry = membership.CatalogEntry
+	// CallAd is one gossiped materialization-cache advertisement: a cached
+	// (or in-flight) service-call result peers may fetch instead of
+	// re-invoking upstream (see WithCallCache).
+	CallAd = membership.CallAd
 )
 
 // NewMembership creates a gossip membership instance over a transport
@@ -294,6 +303,9 @@ var NewSampler = obs.NewSampler
 
 // Typed errors returned by the engine; match with errors.Is.
 var (
+	// ErrBadOption reports an Option carrying an invalid value, returned by
+	// NewPeer / NewPeerWithLog before any resources are opened.
+	ErrBadOption = errors.New("axmltx: invalid option")
 	// ErrPeerDown reports an unreachable / disconnected peer.
 	ErrPeerDown = core.ErrPeerDown
 	// ErrAborted reports that the transaction was aborted.
@@ -323,6 +335,16 @@ type peerConfig struct {
 	walSync wal.SyncMode
 	walDir  string
 	walSeg  wal.SegmentOptions
+	// err is the first invalid-option report; NewPeer returns it (wrapped
+	// in ErrBadOption) instead of constructing the peer.
+	err error
+}
+
+// fail records the first invalid-option error.
+func (c *peerConfig) fail(format string, args ...any) {
+	if c.err == nil {
+		c.err = fmt.Errorf("%w: "+format, append([]any{ErrBadOption}, args...)...)
+	}
 }
 
 type optionFunc func(*peerConfig)
@@ -413,13 +435,57 @@ func WithEvalMode(mode EvalMode) Option {
 
 // WithLockTimeout bounds document lock waits (zero keeps the default).
 func WithLockTimeout(d time.Duration) Option {
-	return optionFunc(func(c *peerConfig) { c.opts.LockTimeout = d })
+	return optionFunc(func(c *peerConfig) {
+		if d < 0 {
+			c.fail("WithLockTimeout(%v): negative timeout", d)
+			return
+		}
+		c.opts.LockTimeout = d
+	})
 }
 
 // WithMaxConcurrentCalls caps in-flight service invocations during one
 // materialization round (1 forces sequential materialization).
 func WithMaxConcurrentCalls(n int) Option {
-	return optionFunc(func(c *peerConfig) { c.opts.MaxConcurrentCalls = n })
+	return optionFunc(func(c *peerConfig) {
+		if n < 0 {
+			c.fail("WithMaxConcurrentCalls(%d): negative cap", n)
+			return
+		}
+		c.opts.MaxConcurrentCalls = n
+	})
+}
+
+// WithCallCache enables the semantic materialization cache: embedded
+// service-call results are cached under (service, canonicalized params,
+// freshness window) — the window taken from the call's frequency attribute
+// — and served without re-invocation while fresh, with singleflight dedupe
+// of concurrent identical calls and, when the peer runs gossip membership,
+// cluster-wide dedupe through call advertisements (fresh results are
+// fetched from the advertising peer instead of re-invoking upstream).
+// capacity bounds the number of completed entries kept; the oldest entries
+// are evicted beyond it.
+func WithCallCache(capacity int) Option {
+	return optionFunc(func(c *peerConfig) {
+		if capacity <= 0 {
+			c.fail("WithCallCache(%d): capacity must be positive", capacity)
+			return
+		}
+		c.opts.CallCacheCapacity = capacity
+	})
+}
+
+// WithCacheTTL sets the freshness window applied to cacheable calls that
+// declare no frequency attribute; without it (or with zero) only
+// frequency-carrying calls are cached. Requires WithCallCache.
+func WithCacheTTL(d time.Duration) Option {
+	return optionFunc(func(c *peerConfig) {
+		if d < 0 {
+			c.fail("WithCacheTTL(%v): negative window", d)
+			return
+		}
+		c.opts.CacheTTL = d
+	})
 }
 
 // WithoutChaining suppresses active-peer-list propagation — the
@@ -438,26 +504,19 @@ func WithSlowTxnLog(threshold time.Duration, fn func(txn string, d time.Duration
 	})
 }
 
-// Options is the legacy all-in-one configuration struct. It still works as
-// an Option (overriding everything applied before it), so existing
-// NewPeer(t, Options{...}) call sites keep compiling.
-//
-// Deprecated: use the functional options (WithSuper, WithRecovery,
-// WithTracer, WithWALSync, ...) instead.
-type Options core.Options
-
-func (o Options) apply(c *peerConfig) { c.opts = core.Options(o) }
-
 // NewNetwork creates an in-memory network with the given per-message
 // latency (0 for fastest simulation).
 func NewNetwork(latency time.Duration) *Network { return p2p.NewNetwork(latency) }
 
-// NewPeer assembles a peer with an in-memory operation log (or a durable
-// one when WithWALFile is given — it panics if that file cannot be opened;
-// open the log yourself with OpenFileLogMode and NewPeerWithLog for
-// explicit error handling).
-func NewPeer(t Transport, opts ...Option) *Peer {
+// NewPeer assembles a peer with an in-memory operation log, or a durable
+// one when WithWALFile / WithWALDir is given. An option carrying an invalid
+// value yields an error matching ErrBadOption; a durable log that cannot be
+// opened yields the open error. MustPeer keeps the old panicking shape.
+func NewPeer(t Transport, opts ...Option) (*Peer, error) {
 	cfg := resolve(opts)
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
 	opLog := Log(wal.NewMemory())
 	switch {
 	case cfg.walDir != "":
@@ -465,23 +524,39 @@ func NewPeer(t Transport, opts ...Option) *Peer {
 		segOpts.Sync = cfg.walSync
 		segLog, err := wal.OpenDir(cfg.walDir, segOpts)
 		if err != nil {
-			panic(fmt.Sprintf("axmltx: open WAL dir %s: %v", cfg.walDir, err))
+			return nil, fmt.Errorf("axmltx: open WAL dir %s: %w", cfg.walDir, err)
 		}
 		opLog = segLog
 	case cfg.walPath != "":
 		fileLog, err := wal.OpenFileWith(cfg.walPath, wal.FileOptions{Sync: cfg.walSync})
 		if err != nil {
-			panic(fmt.Sprintf("axmltx: open WAL %s: %v", cfg.walPath, err))
+			return nil, fmt.Errorf("axmltx: open WAL %s: %w", cfg.walPath, err)
 		}
 		opLog = fileLog
 	}
-	return core.NewPeer(t, opLog, cfg.opts)
+	return core.NewPeer(t, opLog, cfg.opts), nil
 }
 
-// NewPeerWithLog assembles a peer over an explicit log (e.g. a durable
-// wal.FileLog from OpenFileLog); WithWALFile/WithWALSync are ignored here.
-func NewPeerWithLog(t Transport, log Log, opts ...Option) *Peer {
-	return core.NewPeer(t, log, resolve(opts).opts)
+// NewPeerWithLog assembles a peer over an explicit log (e.g. one from
+// OpenLog); WithWALFile/WithWALDir/WithWALSync are ignored here.
+func NewPeerWithLog(t Transport, log Log, opts ...Option) (*Peer, error) {
+	cfg := resolve(opts)
+	if cfg.err != nil {
+		return nil, cfg.err
+	}
+	return core.NewPeer(t, log, cfg.opts), nil
+}
+
+// MustPeer is NewPeer that panics on error — the pre-1.x constructor shape,
+// convenient in tests and demos.
+//
+// Deprecated: use NewPeer and handle the error.
+func MustPeer(t Transport, opts ...Option) *Peer {
+	p, err := NewPeer(t, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return p
 }
 
 func resolve(opts []Option) *peerConfig {
@@ -492,19 +567,75 @@ func resolve(opts []Option) *peerConfig {
 	return cfg
 }
 
+// LogOption configures OpenLog.
+type LogOption interface{ applyLog(*logConfig) }
+
+// logConfig is the resolved OpenLog state.
+type logConfig struct {
+	sync      SyncMode
+	syncSet   bool
+	segmented bool
+	seg       SegmentOptions
+}
+
+type logOptionFunc func(*logConfig)
+
+func (f logOptionFunc) applyLog(c *logConfig) { f(c) }
+
+// WithLogSync selects the durability mode of an OpenLog log: SyncNone,
+// SyncEach or SyncGroup. It applies to file and segmented logs alike and
+// overrides the mode embedded in WithLogSegments.
+func WithLogSync(mode SyncMode) LogOption {
+	return logOptionFunc(func(c *logConfig) { c.sync, c.syncSet = mode, true })
+}
+
+// WithLogSegments makes OpenLog treat path as a segmented log directory —
+// size/record-triggered segment rotation, checkpoint snapshots and
+// background compaction — configured by opts (the zero value uses
+// defaults).
+func WithLogSegments(opts SegmentOptions) LogOption {
+	return logOptionFunc(func(c *logConfig) { c.segmented, c.seg = true, opts })
+}
+
+// OpenLog opens (creating if needed) a durable operation log at path: a
+// single append-only record file by default, or a segmented directory with
+// WithLogSegments. It consolidates the former OpenFileLog / OpenFileLogMode
+// / OpenSegmentedLog entry points:
+//
+//	log, err := axmltx.OpenLog("peer.wal", axmltx.WithLogSync(axmltx.SyncGroup))
+//	seg, err := axmltx.OpenLog("waldir", axmltx.WithLogSegments(axmltx.SegmentOptions{}))
+func OpenLog(path string, opts ...LogOption) (Log, error) {
+	var cfg logConfig
+	for _, o := range opts {
+		o.applyLog(&cfg)
+	}
+	if cfg.segmented {
+		seg := cfg.seg
+		if cfg.syncSet {
+			seg.Sync = cfg.sync
+		}
+		return wal.OpenDir(path, seg)
+	}
+	return wal.OpenFileWith(path, wal.FileOptions{Sync: cfg.sync})
+}
+
 // OpenFileLog opens a durable file-backed operation log; with sync true,
 // every record is fsynced.
+//
+// Deprecated: use OpenLog with WithLogSync(SyncEach).
 func OpenFileLog(path string, sync bool) (Log, error) { return wal.OpenFile(path, sync) }
 
 // OpenFileLogMode opens a durable file-backed operation log with an
 // explicit durability mode (SyncNone, SyncEach or SyncGroup).
+//
+// Deprecated: use OpenLog with WithLogSync.
 func OpenFileLogMode(path string, mode SyncMode) (Log, error) {
-	return wal.OpenFileWith(path, wal.FileOptions{Sync: mode})
+	return OpenLog(path, WithLogSync(mode))
 }
 
 // SegmentedLog is a durable operation log split into rotated segment
 // files, with checkpoint snapshots and compaction of covered segments
-// (see OpenSegmentedLog / WithWALDir).
+// (see OpenLog / WithWALDir).
 type SegmentedLog = wal.SegmentedLog
 
 // SegmentOptions configure a SegmentedLog (rotation thresholds, automatic
@@ -513,7 +644,11 @@ type SegmentOptions = wal.SegmentOptions
 
 // OpenSegmentedLog opens (or creates) a segmented operation log in a
 // directory, replaying existing segments from the latest checkpoint.
-var OpenSegmentedLog = wal.OpenDir
+//
+// Deprecated: use OpenLog with WithLogSegments.
+func OpenSegmentedLog(dir string, opts SegmentOptions) (*SegmentedLog, error) {
+	return wal.OpenDir(dir, opts)
+}
 
 // ListenTCP starts a TCP transport for a peer.
 func ListenTCP(self PeerID, addr string) (*TCPTransport, error) { return p2p.ListenTCP(self, addr) }

@@ -2,6 +2,7 @@ package axmltx_test
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -9,12 +10,22 @@ import (
 	"axmltx"
 )
 
+// newPeer builds a test peer, failing the test on construction errors.
+func newPeer(t *testing.T, tr axmltx.Transport, opts ...axmltx.Option) *axmltx.Peer {
+	t.Helper()
+	p, err := axmltx.NewPeer(tr, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
 // TestPublicAPIQuickstart exercises the README quick-start flow through the
 // public package only.
 func TestPublicAPIQuickstart(t *testing.T) {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper())
-	ap2 := axmltx.NewPeer(net.Join("AP2"))
+	ap1 := newPeer(t, net.Join("AP1"), axmltx.WithSuper())
+	ap2 := newPeer(t, net.Join("AP2"))
 
 	if err := ap2.HostDocument("Points.xml",
 		`<Points><row player="Roger Federer"><points>475</points></row></Points>`); err != nil {
@@ -49,7 +60,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 
 func TestPublicAPIActionsAndAbort(t *testing.T) {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"))
+	ap1 := newPeer(t, net.Join("AP1"))
 	if err := ap1.HostDocument("D.xml", `<D><item k="1"><v>old</v></item></D>`); err != nil {
 		t.Fatal(err)
 	}
@@ -90,8 +101,8 @@ func TestPublicAPIActionWireForm(t *testing.T) {
 
 func TestPublicAPIFaultsAndHooks(t *testing.T) {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"))
-	ap2 := axmltx.NewPeer(net.Join("AP2"))
+	ap1 := newPeer(t, net.Join("AP1"))
+	ap2 := newPeer(t, net.Join("AP2"))
 	ap2.HostService(axmltx.NewFuncService(axmltx.Descriptor{Name: "f", ResultName: "x"},
 		func(ctx context.Context, params map[string]string) ([]string, error) {
 			return nil, &axmltx.Fault{Name: "boom"}
@@ -108,12 +119,15 @@ func TestPublicAPIFaultsAndHooks(t *testing.T) {
 
 func TestPublicAPIDurableLog(t *testing.T) {
 	dir := t.TempDir()
-	log, err := axmltx.OpenFileLog(dir+"/peer.wal", true)
+	log, err := axmltx.OpenLog(dir+"/peer.wal", axmltx.WithLogSync(axmltx.SyncEach))
 	if err != nil {
 		t.Fatal(err)
 	}
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeerWithLog(net.Join("AP1"), log)
+	ap1, err := axmltx.NewPeerWithLog(net.Join("AP1"), log)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := ap1.HostDocument("D.xml", `<D/>`); err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +143,7 @@ func TestPublicAPIDurableLog(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Recovery sees the records.
-	re, err := axmltx.OpenFileLog(dir+"/peer.wal", true)
+	re, err := axmltx.OpenLog(dir+"/peer.wal", axmltx.WithLogSync(axmltx.SyncEach))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +158,7 @@ func TestPublicAPISegmentedLog(t *testing.T) {
 	ring := axmltx.NewRing(0)
 	reg := axmltx.NewRegistry()
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"),
+	ap1 := newPeer(t, net.Join("AP1"),
 		axmltx.WithWALDir(dir),
 		axmltx.WithWALSegmentRecords(4),
 		axmltx.WithWALSync(axmltx.SyncEach),
@@ -209,7 +223,7 @@ func TestPublicAPISegmentedLog(t *testing.T) {
 	if err := seg.Close(); err != nil {
 		t.Fatal(err)
 	}
-	re, err := axmltx.OpenSegmentedLog(dir, axmltx.SegmentOptions{})
+	re, err := axmltx.OpenLog(dir, axmltx.WithLogSegments(axmltx.SegmentOptions{}))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,9 +233,31 @@ func TestPublicAPISegmentedLog(t *testing.T) {
 	}
 }
 
+// TestPublicAPIBadOption checks that NewPeer rejects invalid option values
+// with a typed error instead of constructing a misconfigured peer (MustPeer
+// keeps the old panicking shape).
+func TestPublicAPIBadOption(t *testing.T) {
+	net := axmltx.NewNetwork(0)
+	if _, err := axmltx.NewPeer(net.Join("AP1"), axmltx.WithCallCache(0)); !errors.Is(err, axmltx.ErrBadOption) {
+		t.Fatalf("WithCallCache(0) err = %v, want ErrBadOption", err)
+	}
+	if _, err := axmltx.NewPeer(net.Join("AP1"), axmltx.WithCacheTTL(-time.Second)); !errors.Is(err, axmltx.ErrBadOption) {
+		t.Fatalf("WithCacheTTL(-1s) err = %v, want ErrBadOption", err)
+	}
+	if _, err := axmltx.NewPeer(net.Join("AP1"), axmltx.WithLockTimeout(-time.Second)); !errors.Is(err, axmltx.ErrBadOption) {
+		t.Fatalf("WithLockTimeout(-1s) err = %v, want ErrBadOption", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPeer with a bad option did not panic")
+		}
+	}()
+	axmltx.MustPeer(net.Join("AP2"), axmltx.WithMaxConcurrentCalls(-1))
+}
+
 func TestPublicAPIScheduler(t *testing.T) {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"))
+	ap1 := newPeer(t, net.Join("AP1"))
 	ap1.HostService(axmltx.StaticService(axmltx.Descriptor{Name: "tick", ResultName: "t"}, `<t/>`))
 	if err := ap1.HostDocument("Feed.xml",
 		`<Feed><axml:sc mode="merge" methodName="tick" frequency="1ms"/></Feed>`); err != nil {

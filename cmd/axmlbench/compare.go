@@ -73,6 +73,26 @@ func p50Ratio(rs []sim.PerfResult, slow, fast string) float64 {
 	return s / f
 }
 
+// dedupeRatio derives uncached/cached upstream-invocation counts of the C1
+// cache experiment — the dedupe factor the materialization cache buys. Like
+// the speedup ratios it compares two runs of the same machine, so it is
+// stable across hosts. 0 when either row is missing.
+func dedupeRatio(rs []sim.PerfResult) float64 {
+	var cached, uncached float64
+	for _, r := range rs {
+		switch r.Name {
+		case "cache_zipf_cached":
+			cached = float64(r.UpstreamCalls)
+		case "cache_zipf_uncached":
+			uncached = float64(r.UpstreamCalls)
+		}
+	}
+	if cached == 0 {
+		return 0
+	}
+	return uncached / cached
+}
+
 // overheads extracts the observability-overhead entries: name → overhead in
 // percent (0 when the traced mode was not slower than the untraced
 // baseline).
@@ -126,6 +146,13 @@ func runCompare(current []sim.PerfResult, baselinePath string) bool {
 	// codec exists to beat gob by at least 3x round-trip throughput.
 	if wx := speedupRatio(current, "wire_roundtrip_gob", "wire_roundtrip_binary"); wx > 0 && wx < 3.0 {
 		fmt.Printf("%-28s %8.2f  below the 3.00x floor  FAIL\n", "wire_codec_floor", wx)
+		ok = false
+	}
+	check("cache_dedupe_ratio_x", dedupeRatio(current), dedupeRatio(baseline))
+	// Absolute floor: the materialization cache exists to collapse the C1
+	// zipfian repeat workload by at least 10x upstream invocations.
+	if dx := dedupeRatio(current); dx > 0 && dx < 10.0 {
+		fmt.Printf("%-28s %8.2f  below the 10.00x floor  FAIL\n", "cache_dedupe_floor", dx)
 		ok = false
 	}
 

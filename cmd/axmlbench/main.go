@@ -1,6 +1,6 @@
 // Command axmlbench runs the experiment suite of EXPERIMENTS.md and prints
 // one table per experiment. Without arguments it runs everything; pass
-// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 m1 perf obs chaos) to
+// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 m1 c1 perf obs chaos) to
 // select a subset, either positionally or via -run.
 //
 //	go run ./cmd/axmlbench          # full suite
@@ -95,6 +95,9 @@ func main() {
 	}
 	if want("m1") {
 		runM1()
+	}
+	if want("c1") {
+		runC1(*seed)
 	}
 	var perfResults []sim.PerfResult
 	if selected["perf"] {
@@ -300,6 +303,7 @@ func runPerf(out string, quick bool) []sim.PerfResult {
 		speedup("wire_roundtrip_gob", "wire_roundtrip_binary"),
 		speedup("wal_replay_history", "wal_replay_checkpointed"),
 		speedup("wal_replay_checkpointed", "wal_replay_empty"))
+	fmt.Printf("cache dedupe ratio: %.2fx fewer upstream calls than uncached\n", dedupeRatio(results))
 	blob, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		panic(err)
@@ -323,6 +327,26 @@ func runM1() {
 				r := sim.RunMembership(n, 0)
 				fmt.Fprintf(w, "%d\t%t\t%d\t%d\t%t\t%d\t%d\n",
 					r.Peers, r.Converged, r.ConvergeRounds, r.MsgsConverge, r.Detected, r.DetectRounds, r.MsgsDetect)
+			}
+		})
+}
+
+// runC1 reports the materialization-cache dedupe experiment: a 3-peer
+// zipfian repeat workload against one provider, cached (semantic cache +
+// gossip call advertisements) vs uncached (the paper's lazy evaluation,
+// one upstream invocation per materialization).
+func runC1(seed int64) {
+	table("C1 — materialization cache: zipfian repeat workload, upstream dedupe",
+		"mode\tclients\tkeys\tops\tupstream calls\tops/sec\tp50 µs\tp99 µs",
+		func(w *tabwriter.Writer) {
+			for _, cached := range []bool{true, false} {
+				r := sim.RunCacheExperiment(3, 16, 240, cached, seed)
+				mode := "uncached"
+				if cached {
+					mode = "cached"
+				}
+				fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%.1f\t%.0f\t%.0f\n",
+					mode, 3, 16, r.Ops, r.UpstreamCalls, r.OpsPerSec, r.P50Micros, r.P99Micros)
 			}
 		})
 }

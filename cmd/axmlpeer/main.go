@@ -54,6 +54,8 @@ func main() {
 	sample := flag.Float64("sample", 0, "adaptive trace sampling keep-rate for fast clean commits, 0 < rate < 1 (0 disables sampling: every span is kept; errors/aborts/faults/slow transactions are always kept when sampling)")
 	slowTxn := flag.Duration("slowtxn", 0, "log origin transactions slower than this and force-keep their traces, e.g. 250ms (0 disables)")
 	gossip := flag.Duration("gossip", 0, "enable SWIM gossip membership with this probe interval, e.g. 1s: the configured neighbors become gossip seeds, the replica catalog is maintained by announcements instead of static <replica> entries alone, failure detection feeds recovery, and /members reports the live view (0 disables; replaces the static neighbor pinger)")
+	cache := flag.Int("cache", 0, "semantic materialization-cache capacity in entries: identical service calls within their frequency-derived freshness window are served from cache, with singleflight dedupe of concurrent calls and — with -gossip — cluster-wide dedupe through call advertisements (0 disables)")
+	cacheTTL := flag.Duration("cachettl", 0, "freshness window for cacheable calls that declare no frequency attribute, e.g. 30s (0: such calls stay uncached; needs -cache)")
 	flag.Parse()
 	if *configPath == "" {
 		fatalUsage("the -config flag is required")
@@ -77,10 +79,26 @@ func main() {
 	if *sample < 0 || *sample >= 1 {
 		fatalUsage(fmt.Sprintf("invalid -sample rate %v (want 0 to disable, or 0 < rate < 1)", *sample))
 	}
+	if *cache < 0 {
+		fatalUsage(fmt.Sprintf("invalid -cache capacity %d (want 0 to disable, or a positive entry count)", *cache))
+	}
+	if *cacheTTL < 0 {
+		fatalUsage(fmt.Sprintf("invalid -cachettl %v (want 0 to disable, or a positive duration)", *cacheTTL))
+	}
+	if *cacheTTL > 0 && *cache == 0 {
+		fatalUsage("-cachettl needs -cache to enable the materialization cache")
+	}
 	wcfg := walConfig{path: *walPath, dir: *walDir, segBytes: *walSeg, checkpointEvery: *walCheckpoint, sync: syncMode}
-	if err := run(*configPath, wcfg, *docsDir, *httpAddr, *sample, *slowTxn, *gossip); err != nil {
+	ccfg := cacheConfig{capacity: *cache, ttl: *cacheTTL}
+	if err := run(*configPath, wcfg, ccfg, *docsDir, *httpAddr, *sample, *slowTxn, *gossip); err != nil {
 		log.Fatalf("axmlpeer: %v", err)
 	}
+}
+
+// cacheConfig bundles the materialization-cache flags.
+type cacheConfig struct {
+	capacity int
+	ttl      time.Duration
 }
 
 // fatalUsage reports a flag error together with the full usage text, so
@@ -101,7 +119,7 @@ type walConfig struct {
 	sync            wal.SyncMode
 }
 
-func run(configPath string, wcfg walConfig, docsDir string, httpAddr string, sample float64, slowTxn time.Duration, gossipEvery time.Duration) error {
+func run(configPath string, wcfg walConfig, ccfg cacheConfig, docsDir string, httpAddr string, sample float64, slowTxn time.Duration, gossipEvery time.Duration) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -194,8 +212,13 @@ func run(configPath string, wcfg walConfig, docsDir string, httpAddr string, sam
 		SlowTxnLog: func(txn string, d time.Duration, outcome string) {
 			log.Printf("slow transaction %s: %s (%s)", txn, d, outcome)
 		},
-		Membership: member,
+		Membership:        member,
+		CallCacheCapacity: ccfg.capacity,
+		CacheTTL:          ccfg.ttl,
 	})
+	if ccfg.capacity > 0 {
+		log.Printf("materialization cache on (%d entries, default window %s)", ccfg.capacity, ccfg.ttl)
+	}
 	// ready flips once startup (config, checkpoint load, restart recovery)
 	// finished; until then /healthz answers 503 so orchestrators hold
 	// traffic during WAL replay.

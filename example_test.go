@@ -1,7 +1,9 @@
 package axmltx_test
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"axmltx"
 )
@@ -10,8 +12,8 @@ import (
 // remote call, lazily materialized inside a transaction, then committed.
 func Example() {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper())
-	ap2 := axmltx.NewPeer(net.Join("AP2"))
+	ap1, _ := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper())
+	ap2, _ := axmltx.NewPeer(net.Join("AP2"))
 
 	ap2.HostService(axmltx.StaticService(
 		axmltx.Descriptor{Name: "getPoints", ResultName: "points"},
@@ -43,7 +45,7 @@ func Example() {
 // undoes the materialization on the origin document.
 func ExamplePeer_Abort() {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"))
+	ap1, _ := axmltx.NewPeer(net.Join("AP1"))
 	ap1.HostService(axmltx.StaticService(
 		axmltx.Descriptor{Name: "feed", ResultName: "v"}, `<v>42</v>`))
 	if err := ap1.HostDocument("D.xml",
@@ -63,6 +65,53 @@ func ExamplePeer_Abort() {
 	fmt.Println("restored:", after.Equal(before))
 	// Output:
 	// restored: true
+}
+
+// ExampleWithCallCache shows the materialization call cache: two
+// transactions materialize the same embedded call, but the provider is
+// invoked only once — the second materialization is served from the cache
+// while the frequency window keeps the first result fresh.
+func ExampleWithCallCache() {
+	net := axmltx.NewNetwork(0)
+	ap1, err := axmltx.NewPeer(net.Join("AP1"),
+		axmltx.WithCallCache(64),
+		axmltx.WithCacheTTL(time.Minute))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	provider, _ := axmltx.NewPeer(net.Join("PR"))
+
+	invocations := 0
+	provider.HostService(axmltx.NewFuncService(
+		axmltx.Descriptor{Name: "quote", ResultName: "q"},
+		func(ctx context.Context, params map[string]string) ([]string, error) {
+			invocations++
+			return []string{`<q>99</q>`}, nil
+		}))
+
+	doc := `<Quotes><axml:sc mode="replace" methodName="quote" serviceURL="PR" frequency="1h"/></Quotes>`
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("Q%d.xml", i)
+		if err := ap1.HostDocument(name, doc); err != nil {
+			fmt.Println(err)
+			return
+		}
+		tx := ap1.Begin()
+		res, err := ap1.Exec(bg, tx, axmltx.NewQueryAction(
+			axmltx.MustQuery(fmt.Sprintf(`Select d/q from d in %s`, name[:2]))))
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Println(res.Query.Strings())
+		_ = ap1.Commit(bg, tx)
+	}
+	fmt.Println("provider invocations:", invocations)
+	// Output:
+	// [99]
+	// [99]
+	// provider invocations: 1
 }
 
 // ExampleMustQuery shows the paper's query surface syntax.

@@ -29,7 +29,7 @@ func run(chaining bool) {
 	}
 	peers := map[axmltx.PeerID]*axmltx.Peer{}
 	for _, id := range []axmltx.PeerID{"AP1", "AP2", "AP3", "AP3b", "AP4", "AP5", "AP6"} {
-		peers[id] = axmltx.NewPeer(net.Join(id), opts(id)...)
+		peers[id] = mustPeer(axmltx.NewPeer(net.Join(id), opts(id)...))
 	}
 	ap1, ap2, ap3, ap3b, ap6 := peers["AP1"], peers["AP2"], peers["AP3"], peers["AP3b"], peers["AP6"]
 
@@ -127,6 +127,12 @@ func main() {
 	run(true)
 	fmt.Println("\n### Without chaining (traditional recovery)")
 	run(false)
+}
+
+// mustPeer unwraps a NewPeer result, panicking on bad options.
+func mustPeer(p *axmltx.Peer, err error) *axmltx.Peer {
+	must(err)
+	return p
 }
 
 func must(err error) {

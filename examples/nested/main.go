@@ -21,7 +21,7 @@ type cluster struct {
 }
 
 func (c *cluster) peer(id axmltx.PeerID, opts ...axmltx.Option) *axmltx.Peer {
-	p := axmltx.NewPeer(c.net.Join(id), opts...)
+	p := mustPeer(axmltx.NewPeer(c.net.Join(id), opts...))
 	c.peers[id] = p
 	return p
 }
@@ -123,6 +123,12 @@ func main() {
 	run(false)
 	fmt.Println("\n### Figure 1 — catch F5 + retry on replica AP5b: forward recovery")
 	run(true)
+}
+
+// mustPeer unwraps a NewPeer result, panicking on bad options.
+func mustPeer(p *axmltx.Peer, err error) *axmltx.Peer {
+	must(err)
+	return p
 }
 
 func must(err error) {

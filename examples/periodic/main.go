@@ -17,8 +17,8 @@ import (
 
 func main() {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"))
-	feed := axmltx.NewPeer(net.Join("FeedCo"))
+	ap1 := mustPeer(axmltx.NewPeer(net.Join("AP1")))
+	feed := mustPeer(axmltx.NewPeer(net.Join("FeedCo")))
 
 	var seq atomic.Int32
 	var failing atomic.Bool
@@ -60,6 +60,12 @@ func main() {
 	failing.Store(false)
 	time.Sleep(80 * time.Millisecond)
 	show("after the feed recovered:")
+}
+
+// mustPeer unwraps a NewPeer result, panicking on bad options.
+func mustPeer(p *axmltx.Peer, err error) *axmltx.Peer {
+	must(err)
+	return p
 }
 
 func must(err error) {

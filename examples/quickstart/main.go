@@ -13,8 +13,8 @@ import (
 
 func main() {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper())
-	ap2 := axmltx.NewPeer(net.Join("AP2"))
+	ap1 := mustPeer(axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper()))
+	ap2 := mustPeer(axmltx.NewPeer(net.Join("AP2")))
 
 	// AP2 hosts the points table and exposes it as the getPoints service.
 	must(ap2.HostDocument("Points.xml", `<Points>
@@ -57,6 +57,12 @@ func main() {
 	must(ap1.Abort(ctx, tx2))
 	after, _ := ap1.Store().Snapshot("ATPList.xml")
 	fmt.Printf("aborted: document restored = %t\n", after.Equal(before))
+}
+
+// mustPeer unwraps a NewPeer result, panicking on bad options.
+func mustPeer(p *axmltx.Peer, err error) *axmltx.Peer {
+	must(err)
+	return p
 }
 
 func must(err error) {

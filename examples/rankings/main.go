@@ -41,8 +41,8 @@ const atpList = `<ATPList date="18042005">
 
 func main() {
 	net := axmltx.NewNetwork(0)
-	ap1 := axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper())
-	ap2 := axmltx.NewPeer(net.Join("AP2"))
+	ap1 := mustPeer(axmltx.NewPeer(net.Join("AP1"), axmltx.WithSuper()))
+	ap2 := mustPeer(axmltx.NewPeer(net.Join("AP2")))
 	must(ap1.HostDocument("ATPList.xml", atpList))
 
 	// AP2 provides the two Web services of the example.
@@ -114,6 +114,12 @@ var initial = func() *xmldom.Document { return xmldom.MustParse("ATPList.xml", a
 func verify(p *axmltx.Peer) {
 	live, _ := p.Store().Snapshot("ATPList.xml")
 	fmt.Printf("  document restored to the §3.1 listing: %t\n", live.Equal(initial))
+}
+
+// mustPeer unwraps a NewPeer result, panicking on bad options.
+func mustPeer(p *axmltx.Peer, err error) *axmltx.Peer {
+	must(err)
+	return p
 }
 
 func must(err error) {

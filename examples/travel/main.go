@@ -25,7 +25,7 @@ func recovery(independent bool) axmltx.Option {
 }
 
 func bookingPeer(net *axmltx.Network, id axmltx.PeerID, kind string, independent bool) *axmltx.Peer {
-	p := axmltx.NewPeer(net.Join(id), recovery(independent))
+	p := mustPeer(axmltx.NewPeer(net.Join(id), recovery(independent)))
 	doc := kind + ".xml"
 	must(p.HostDocument(doc, fmt.Sprintf("<%s><bookings/></%s>", kind, kind)))
 	p.HostUpdateService(axmltx.Descriptor{
@@ -51,13 +51,13 @@ func bookings(p *axmltx.Peer, kind string) int {
 
 func run(independent bool, killHotel bool) {
 	net := axmltx.NewNetwork(0)
-	agency := axmltx.NewPeer(net.Join("Agency"), axmltx.WithSuper(), recovery(independent))
+	agency := mustPeer(axmltx.NewPeer(net.Join("Agency"), axmltx.WithSuper(), recovery(independent)))
 	flight := bookingPeer(net, "FlightCo", "Flight", independent)
 	hotel := bookingPeer(net, "HotelCo", "Hotel", independent)
 	hotelReplica := bookingPeer(net, "HotelCo2", "Hotel", independent)
 	_ = hotelReplica
 	// The car-rental service always faults (no cars left).
-	car := axmltx.NewPeer(net.Join("CarCo"), recovery(independent))
+	car := mustPeer(axmltx.NewPeer(net.Join("CarCo"), recovery(independent)))
 	car.HostService(axmltx.NewFuncService(axmltx.Descriptor{Name: "bookCar", ResultName: "updateResult"},
 		func(ctx context.Context, params map[string]string) ([]string, error) {
 			return nil, &axmltx.Fault{Name: "no-cars", Msg: "fleet exhausted"}
@@ -104,6 +104,12 @@ func main() {
 	fmt.Println("\n### Peer-independent recovery with the hotel peer disconnected:")
 	fmt.Println("    the shipped definition runs on the Hotel.xml replica holder instead")
 	run(true, true)
+}
+
+// mustPeer unwraps a NewPeer result, panicking on bad options.
+func mustPeer(p *axmltx.Peer, err error) *axmltx.Peer {
+	must(err)
+	return p
 }
 
 func must(err error) {

@@ -53,12 +53,12 @@ func TestParseRulesFields(t *testing.T) {
 
 func TestParseRulesErrors(t *testing.T) {
 	for _, src := range []string{
-		"explode kind=invoke",      // unknown fault
-		"drop kindinvoke",          // malformed option
-		"drop color=red",           // unknown option
-		"drop p=1.5",               // probability out of range
-		"delay for=fast",           // bad duration
-		"crash restart=soon",       // bad int
+		"explode kind=invoke", // unknown fault
+		"drop kindinvoke",     // malformed option
+		"drop color=red",      // unknown option
+		"drop p=1.5",          // probability out of range
+		"delay for=fast",      // bad duration
+		"crash restart=soon",  // bad int
 	} {
 		if _, err := ParseRules(src); err == nil {
 			t.Errorf("ParseRules(%q) accepted", src)

@@ -3,7 +3,9 @@ package chaos
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"axmltx/internal/axml"
@@ -13,6 +15,7 @@ import (
 	"axmltx/internal/p2p"
 	"axmltx/internal/replication"
 	"axmltx/internal/services"
+	"axmltx/internal/xmldom"
 )
 
 // Config selects one conformance run: a scenario, a seed, and an optional
@@ -64,7 +67,7 @@ func (r *Report) Repro() string {
 
 // Scenarios lists the conformance scenarios in sweep order.
 func Scenarios() []string {
-	return []string{"fig1", "fig1f", "sphere", "a", "b", "bg", "c", "d"}
+	return []string{"fig1", "fig1f", "sphere", "a", "b", "bg", "c", "d", "cc"}
 }
 
 // scenarioRules returns the scripted fault that defines each scenario —
@@ -72,9 +75,9 @@ func Scenarios() []string {
 // same injection machinery as the noise.
 func scenarioRules(scenario string) ([]Rule, error) {
 	switch scenario {
-	case "fig1", "fig1f", "sphere", "c":
-		// fig1* fail (or don't) at the service level; (c) crashes
-		// programmatically mid-service, no message triggers it.
+	case "fig1", "fig1f", "sphere", "c", "cc":
+		// fig1* fail (or don't) at the service level; (c) and (cc) crash
+		// programmatically mid-run, no message triggers it.
 		return nil, nil
 	case "a":
 		// Leaf AP6 dies the moment work reaches it (§3.3 case a).
@@ -99,6 +102,10 @@ type runResult struct {
 	txn       string
 	committed bool
 	sphereOK  bool
+	// coherence collects the cache-coherence findings of scenario cc; they
+	// gate canonical runs only (noise may legitimately abort the workload
+	// before the coherence phase).
+	coherence []string
 }
 
 // Run executes one conformance run: build the scenario's cluster behind the
@@ -132,6 +139,8 @@ func Run(cfg Config) (*Report, error) {
 	switch cfg.Scenario {
 	case "fig1", "fig1f", "sphere":
 		res = runFig1(c, cfg.Scenario)
+	case "cc":
+		res = runCacheCoherence(c)
 	default:
 		res = runDisconnection(c, cfg.Scenario)
 	}
@@ -250,6 +259,10 @@ func canonicalViolations(scenario string, c *Cluster, res runResult, rep *Report
 		// as a whole commits via the replica.
 		if n := c.CountEntries("AP6", "D6.xml"); n != 0 {
 			out = append(out, fmt.Sprintf("canonical c run: AP6 kept %d orphaned entr(ies), want 0 (orphaned work discarded)", n))
+		}
+	case "cc":
+		for _, v := range res.coherence {
+			out = append(out, "canonical cc run: "+v)
 		}
 	}
 	return out
@@ -503,6 +516,125 @@ func runDisconnection(c *Cluster, scenario string) runResult {
 	default:
 		panic("chaos: unknown scenario " + scenario)
 	}
+}
+
+// runCacheCoherence drives the cache-coherence scenario (cc): AP2
+// materializes a call with a short freshness window and advertises the
+// cached result through gossip; AP3 fetches it over KindCacheFetch instead
+// of re-invoking the provider. Then AP2 — the cache owner — crashes and the
+// window expires while it is gone. Once the failure detector prunes AP2, no
+// surviving catalog may still hold a usable advertisement, and AP3's next
+// materialization must reach the provider again: no transaction observes a
+// result older than its freshness window.
+func runCacheCoherence(c *Cluster) runResult {
+	c.Gossip = &membership.Config{
+		ProbeInterval:  5 * time.Millisecond,
+		SuspectRounds:  2,
+		IndirectProbes: 2,
+		Fanout:         2,
+	}
+	const window = 40 * time.Millisecond
+	for _, id := range []p2p.PeerID{"AP1", "AP2", "AP3", "PR"} {
+		c.Add(id, core.Options{Super: id == "AP1", CallCacheCapacity: 16})
+	}
+	var gen atomic.Int64
+	c.Peers["PR"].HostService(services.NewFuncService(
+		services.Descriptor{Name: "quote", ResultName: "r"},
+		func(cctx context.Context, params map[string]string) ([]string, error) {
+			return []string{fmt.Sprintf(`<r gen="%d"/>`, gen.Add(1))}, nil
+		}))
+	src := fmt.Sprintf(`<C><axml:sc mode="replace" methodName="quote" serviceURL="PR" frequency="%s"/></C>`, window)
+	host := func(id p2p.PeerID, doc string) {
+		if err := c.Peers[id].HostDocument(doc, src); err != nil {
+			panic(err)
+		}
+	}
+	host("AP2", "C1.xml")
+	host("AP3", "C2.xml")
+	c.ConnectGossip()
+	bg := context.Background()
+	c.GossipRounds(bg, 10) // converged bootstrap
+	c.SnapshotAll()
+
+	var res runResult
+	// The workload is three independent transactions; after each commit the
+	// snapshot baseline moves forward so the abort-restoration invariant
+	// always compares the current transaction against the state it started
+	// from, even when noise aborts a later step.
+	if res.txn, res.committed = materialize(c.Peers["AP2"], "C1.xml"); !res.committed {
+		return res
+	}
+	c.SnapshotAll()
+	c.GossipRounds(bg, 6) // propagate AP2's call advertisement
+	if res.txn, res.committed = materialize(c.Peers["AP3"], "C2.xml"); !res.committed {
+		return res
+	}
+	c.SnapshotAll()
+	fetches := c.Peers["AP3"].Metrics().Snapshot().CacheFetches
+
+	// The cache owner drops off and the freshness window expires while it is
+	// gone; survivors must notice and stop trusting its advertisement.
+	c.Inj.Crash("AP2")
+	time.Sleep(window + window/2)
+	for i := 0; i < 300; i++ {
+		if st, ok := c.Members["AP3"].StateOf("AP2"); ok && st == membership.StateDead {
+			break
+		}
+		c.GossipRounds(bg, 1)
+	}
+	now := time.Now()
+	for _, id := range []p2p.PeerID{"AP1", "AP3", "PR"} {
+		for _, e := range c.Members[id].CatalogSnapshot() {
+			if e.Origin != "AP2" {
+				continue
+			}
+			for _, ad := range e.Calls {
+				if !ad.Inflight && now.Sub(time.Unix(0, ad.FetchedUnixNano)) <= time.Duration(ad.WindowNanos) {
+					res.coherence = append(res.coherence,
+						fmt.Sprintf("%s still holds a usable advertisement of the dead owner AP2", id))
+				}
+			}
+		}
+	}
+
+	host("AP3", "C3.xml")
+	if res.txn, res.committed = materialize(c.Peers["AP3"], "C3.xml"); !res.committed {
+		return res
+	}
+	if n := gen.Load(); n != 2 {
+		res.coherence = append(res.coherence, fmt.Sprintf(
+			"provider generation = %d after the window expired, want 2 (1 = stale cache reuse, >2 = lost dedupe)", n))
+	}
+	if fetches == 0 {
+		res.coherence = append(res.coherence, "AP3 never fetched the cached result from the owner before the crash")
+	}
+	if got := docString(c, "AP3", "C2.xml"); !strings.Contains(got, `gen="1"`) {
+		res.coherence = append(res.coherence, "AP3's pre-crash fetch did not carry the owner's generation-1 result: "+got)
+	}
+	if got := docString(c, "AP3", "C3.xml"); !strings.Contains(got, `gen="2"`) {
+		res.coherence = append(res.coherence, "AP3's post-expiry materialization is not the provider's generation-2 result: "+got)
+	}
+	return res
+}
+
+// materialize runs one transaction materializing every embedded call of the
+// named document, committing on success and aborting on failure.
+func materialize(p *core.Peer, doc string) (txn string, committed bool) {
+	txc := p.Begin()
+	if _, err := p.Store().MaterializeAll(txc.ID, doc, p); err != nil {
+		_ = p.Abort(context.Background(), txc)
+		return txc.ID, false
+	}
+	return txc.ID, p.Commit(context.Background(), txc) == nil
+}
+
+// docString renders a peer's document snapshot, empty when absent.
+func docString(c *Cluster, id p2p.PeerID, doc string) string {
+	d, ok := c.Peers[id].Store().Snapshot(doc)
+	if !ok || d.Root() == nil {
+		return ""
+	}
+	return xmldom.MarshalString(d.Root())
 }
 
 // failService wraps a registered service so it does its work and then fails

@@ -62,6 +62,18 @@ type Options struct {
 	// Host* registrations are announced to the network, and successful
 	// remote invokes feed the RTT estimator.
 	Membership *membership.Gossip
+	// CallCacheCapacity, when positive, enables the semantic
+	// materialization cache: results of embedded service calls are cached
+	// under (service, canonicalized params, freshness window) and served
+	// without re-invocation while fresh, with singleflight dedupe of
+	// concurrent identical calls and — when Membership is set — cluster-wide
+	// dedupe through gossip call advertisements. The value bounds the
+	// number of completed entries kept.
+	CallCacheCapacity int
+	// CacheTTL is the freshness window applied to cacheable calls that
+	// declare no frequency attribute; zero leaves such calls uncached
+	// (only frequency-carrying calls hit the cache).
+	CacheTTL time.Duration
 }
 
 // FaultHook is application-specific fault-handler code attached to
@@ -84,6 +96,7 @@ type Peer struct {
 	metrics   *Metrics
 	tracer    *obs.Tracer
 	sampler   *obs.Sampler
+	cache     *callCache // nil unless Options.CallCacheCapacity > 0
 
 	// Latency histograms (nil-safe: stay nil without a MetricsRegistry).
 	histMaterialize *obs.Histogram
@@ -120,6 +133,9 @@ func NewPeer(transport p2p.Transport, log wal.Log, opts Options) *Peer {
 		faultHooks: make(map[string]FaultHook),
 	}
 	p.store.SetMaxConcurrentCalls(opts.MaxConcurrentCalls)
+	if opts.CallCacheCapacity > 0 {
+		p.cache = newCallCache(opts.CallCacheCapacity)
+	}
 	p.tracer = obs.NewTracer(string(p.id), opts.TraceSink)
 	p.sampler = obs.FindSampler(opts.TraceSink)
 	if reg := opts.MetricsRegistry; reg != nil {
@@ -160,6 +176,19 @@ func (p *Peer) RegisterObservability(reg *obs.Registry) {
 	p.histInvoke = reg.Histogram("axml_invoke_seconds", labels)
 	p.histWALSync = reg.Histogram("axml_wal_sync_seconds", labels)
 	p.histCompensate = reg.Histogram("axml_compensate_seconds", labels)
+	if p.cache != nil {
+		reg.Gauge("axml_cache_entries", labels, p.cache.entryCount)
+		reg.Gauge("axml_cache_inflight", labels, p.cache.inflightCount)
+		reg.Gauge("axml_cache_hit_ratio_pct", labels, func() int64 {
+			served := p.metrics.CacheHits.Load() + p.metrics.CacheWaits.Load() +
+				p.metrics.CacheFetches.Load()
+			total := served + p.metrics.CacheMisses.Load()
+			if total == 0 {
+				return 0
+			}
+			return served * 100 / total
+		})
+	}
 	p.store.SetApplyObserver(func(d time.Duration) { p.histMaterialize.Observe(d) })
 	if seg, ok := p.store.Log().(*wal.SegmentedLog); ok {
 		// Make log compaction visible on /metrics and in traces: a gauge for
@@ -363,6 +392,11 @@ func (p *Peer) Exec(ctx context.Context, txc *Context, action *axml.Action) (*ax
 	if res != nil {
 		sp.SetLSNRange(res.FirstLSN, res.LastLSN)
 	}
+	if err == nil && action.Type != axml.ActionQuery {
+		// A local write touching a document drops every cache entry
+		// recorded against it and withdraws its advertisements.
+		p.invalidateDocCache(action.DocName())
+	}
 	sp.SetChain(chainStr(txc))
 	sp.End(ErrCode(err), err)
 	return res, err
@@ -375,13 +409,6 @@ func (p *Peer) execLocked(txc *Context, action *axml.Action) (*axml.Result, erro
 		}
 	}
 	return p.store.Apply(txc.ID, action, p, p.opts.EvalMode)
-}
-
-// ExecNoCtx applies an action without a caller context.
-//
-// Deprecated: use Exec with a context.Context.
-func (p *Peer) ExecNoCtx(txc *Context, action *axml.Action) (*axml.Result, error) {
-	return p.Exec(context.Background(), txc, action)
 }
 
 // lockModeFor picks the document lock mode. Every action takes exclusive:
@@ -421,13 +448,6 @@ func (p *Peer) Call(ctx context.Context, txc *Context, target p2p.PeerID, servic
 	return resp.Fragments, nil
 }
 
-// CallNoCtx invokes a service without a caller context.
-//
-// Deprecated: use Call with a context.Context.
-func (p *Peer) CallNoCtx(txc *Context, target p2p.PeerID, service string, params map[string]string) ([]string, error) {
-	return p.Call(context.Background(), txc, target, service, params)
-}
-
 // CallAsync invokes a remote service within the transaction without
 // waiting for the result: the callee acknowledges, executes, and pushes the
 // result back as a KindResult message (delivered to the OnResult callback
@@ -453,13 +473,6 @@ func (p *Peer) CallAsync(ctx context.Context, txc *Context, target p2p.PeerID, s
 	sp.SetChain(chainStr(txc))
 	sp.End(ErrCode(err), err)
 	return err
-}
-
-// CallAsyncNoCtx invokes a service asynchronously without a caller context.
-//
-// Deprecated: use CallAsync with a context.Context.
-func (p *Peer) CallAsyncNoCtx(txc *Context, target p2p.PeerID, service string, params map[string]string) error {
-	return p.CallAsync(context.Background(), txc, target, service, params)
 }
 
 // Commit makes the transaction's effects permanent everywhere: the local
@@ -518,24 +531,10 @@ func (p *Peer) noteSlowTxn(txc *Context, outcome string) {
 	}
 }
 
-// CommitNoCtx commits without a caller context.
-//
-// Deprecated: use Commit with a context.Context.
-func (p *Peer) CommitNoCtx(txc *Context) error {
-	return p.Commit(context.Background(), txc)
-}
-
 // Abort rolls the transaction back: local effects are compensated and
 // abort/compensation messages propagate to the participants (§3.2).
 func (p *Peer) Abort(ctx context.Context, txc *Context) error {
 	return p.abortContext(txc, "", true)
-}
-
-// AbortNoCtx aborts without a caller context.
-//
-// Deprecated: use Abort with a context.Context.
-func (p *Peer) AbortNoCtx(txc *Context) error {
-	return p.Abort(context.Background(), txc)
 }
 
 // handle dispatches incoming protocol messages.
@@ -568,6 +567,8 @@ func (p *Peer) handle(ctx context.Context, msg *p2p.Message) (*p2p.Message, erro
 	case p2p.KindCompDef:
 		p.handleCompDef(msg)
 		return &p2p.Message{Kind: "compdef-ack"}, nil
+	case p2p.KindCacheFetch:
+		return p.handleCacheFetch(msg)
 	case p2p.KindAdmin:
 		return p.handleAdmin(msg)
 	default:

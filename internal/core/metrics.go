@@ -55,6 +55,19 @@ type Metrics struct {
 	// shipped definitions.
 	CompServicesBuilt atomic.Int64
 	CompServicesRun   atomic.Int64
+
+	// Materialization call-cache events. CacheHits counts results served
+	// from the local cache within their freshness window; CacheMisses
+	// counts materializations that went upstream; CacheWaits counts
+	// followers served by a concurrent in-flight invocation (singleflight);
+	// CacheFetches counts results fetched from an advertising peer instead
+	// of re-invoking upstream; CacheInvalidations counts entries dropped by
+	// writes or compensation touching their documents.
+	CacheHits          atomic.Int64
+	CacheMisses        atomic.Int64
+	CacheWaits         atomic.Int64
+	CacheFetches       atomic.Int64
+	CacheInvalidations atomic.Int64
 }
 
 // Register exports every counter into an obs.Registry as a function-backed
@@ -88,6 +101,11 @@ func (m *Metrics) Register(reg *obs.Registry, peer string) {
 		{"axml_nodes_lost", &m.NodesLost},
 		{"axml_comp_services_built", &m.CompServicesBuilt},
 		{"axml_comp_services_run", &m.CompServicesRun},
+		{"axml_cache_hits", &m.CacheHits},
+		{"axml_cache_misses", &m.CacheMisses},
+		{"axml_cache_waits", &m.CacheWaits},
+		{"axml_cache_fetches", &m.CacheFetches},
+		{"axml_cache_invalidations", &m.CacheInvalidations},
 	} {
 		reg.Gauge(c.name, labels, c.v.Load)
 	}
@@ -104,6 +122,8 @@ type MetricsSnapshot struct {
 	DisconnectsDetected, Redirects, WorkReused int64
 	NodesLost                                  int64
 	CompServicesBuilt, CompServicesRun         int64
+	CacheHits, CacheMisses, CacheWaits         int64
+	CacheFetches, CacheInvalidations           int64
 }
 
 // Snapshot copies the current counter values.
@@ -127,6 +147,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		NodesLost:           m.NodesLost.Load(),
 		CompServicesBuilt:   m.CompServicesBuilt.Load(),
 		CompServicesRun:     m.CompServicesRun.Load(),
+		CacheHits:           m.CacheHits.Load(),
+		CacheMisses:         m.CacheMisses.Load(),
+		CacheWaits:          m.CacheWaits.Load(),
+		CacheFetches:        m.CacheFetches.Load(),
+		CacheInvalidations:  m.CacheInvalidations.Load(),
 	}
 }
 
@@ -150,4 +175,9 @@ func (s *MetricsSnapshot) Add(o MetricsSnapshot) {
 	s.NodesLost += o.NodesLost
 	s.CompServicesBuilt += o.CompServicesBuilt
 	s.CompServicesRun += o.CompServicesRun
+	s.CacheHits += o.CacheHits
+	s.CacheMisses += o.CacheMisses
+	s.CacheWaits += o.CacheWaits
+	s.CacheFetches += o.CacheFetches
+	s.CacheInvalidations += o.CacheInvalidations
 }

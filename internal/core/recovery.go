@@ -52,7 +52,6 @@ func (p *Peer) Invoke(txn string, sc *axml.ServiceCall, params []axml.Param) ([]
 	if !ok {
 		return nil, fmt.Errorf("core: no context for transaction %s at %s", txn, p.id)
 	}
-	pm := paramMap(params)
 	service := sc.Service()
 
 	// Work salvaged from a disconnected peer's children substitutes for
@@ -65,13 +64,261 @@ func (p *Peer) Invoke(txn string, sc *axml.ServiceCall, params []axml.Param) ([]
 		sp.End("", nil)
 		return frags, nil
 	}
+	if spec, ok := p.cacheSpecFor(sc, params); ok {
+		return p.invokeCached(txc, sc, params, spec)
+	}
+	return p.invokeUpstream(txc, sc, params)
+}
 
+// invokeUpstream is the uncached invocation path: resolve the provider,
+// invoke once, and run the fault-handler recovery protocol on failure.
+func (p *Peer) invokeUpstream(txc *Context, sc *axml.ServiceCall, params []axml.Param) ([]string, error) {
+	pm := paramMap(params)
 	target := p.resolveTarget(sc)
-	resp, err := p.invokeOnce(txc, target, service, pm, false)
+	resp, err := p.invokeOnce(txc, target, sc.Service(), pm, false)
 	if err == nil {
 		return resp.Fragments, nil
 	}
 	return p.recoverInvocation(txc, sc, pm, target, err)
+}
+
+// cacheSpec is the cache identity of one cacheable invocation: its key, the
+// freshness window the result may be served under, and the documents whose
+// writes invalidate it.
+type cacheSpec struct {
+	key    string
+	window time.Duration
+	docs   []string
+}
+
+// cacheSpecFor decides whether sc's invocation is cacheable. The frequency
+// attribute is the staleness contract (§3.1): a declared frequency is the
+// window; without one, Options.CacheTTL applies (zero = uncached). Calls to
+// locally-known update or continuous services are never cached — updates
+// have effects that must happen, streams are not a reusable value.
+func (p *Peer) cacheSpecFor(sc *axml.ServiceCall, params []axml.Param) (cacheSpec, bool) {
+	if p.cache == nil {
+		return cacheSpec{}, false
+	}
+	window, declared := sc.Frequency()
+	if !declared {
+		window = p.opts.CacheTTL
+	}
+	if window <= 0 {
+		return cacheSpec{}, false
+	}
+	service := sc.Service()
+	docs := make([]string, 0, 2)
+	if doc := sc.Node().Document(); doc != nil && doc.Name() != "" {
+		docs = append(docs, doc.Name())
+	}
+	if svc, ok := p.registry.Get(service); ok {
+		desc := svc.Descriptor()
+		switch desc.Kind {
+		case services.KindUpdate, services.KindContinuous:
+			return cacheSpec{}, false
+		}
+		if desc.TargetDocument != "" && (len(docs) == 0 || docs[0] != desc.TargetDocument) {
+			docs = append(docs, desc.TargetDocument)
+		}
+	}
+	return cacheSpec{key: cacheKey(service, params, window), window: window, docs: docs}, true
+}
+
+// invokeCached serves a cacheable call through the dedupe ladder: local
+// fresh hit, singleflight wait behind a concurrent local leader, fetch from
+// a peer advertising the key in the gossip catalog, and only then the
+// upstream invocation — whose result is cached and advertised. Served
+// results extend no chain and record no child invocation, exactly like
+// salvaged work (takeReused): nothing needs committing, aborting or
+// compensating at a provider that was never invoked.
+func (p *Peer) invokeCached(txc *Context, sc *axml.ServiceCall, params []axml.Param, spec cacheSpec) ([]string, error) {
+	service := sc.Service()
+	if frags, ok := p.cache.lookup(spec.key, time.Now()); ok {
+		p.metrics.CacheHits.Add(1)
+		sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindCacheHit, service)
+		sp.End("", nil)
+		return frags, nil
+	}
+	fl, leader := p.cache.begin(spec.key)
+	if !leader {
+		// Follower: bounded wait on the leader's in-flight invocation. A
+		// failed or overlong flight falls through to this caller's own
+		// upstream invocation, without registering a flight of its own.
+		sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindCacheWait, service)
+		frags, err, done := p.cache.wait(txc.ctxForCalls(), fl, p.opts.LockTimeout)
+		if done && err == nil {
+			p.metrics.CacheWaits.Add(1)
+			sp.End("", nil)
+			return frags, nil
+		}
+		sp.SetAttr("fallthrough", "true")
+		sp.End(ErrCode(err), err)
+		return p.invokeUpstream(txc, sc, params)
+	}
+	if e, ok := p.fetchFromOwner(txc, spec, service); ok {
+		p.cachePut(spec, e)
+		p.cache.finish(spec.key, fl, e.fragments, nil)
+		return e.fragments, nil
+	}
+	p.metrics.CacheMisses.Add(1)
+	m := p.opts.Membership
+	if m != nil {
+		// Advertise the in-flight call so remote peers about to invoke the
+		// same key can direct a fetch here instead of going upstream.
+		m.AnnounceCallInflight(spec.key, service)
+	}
+	sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindCacheMiss, service)
+	prevSpan := txc.swapSpanID(sp.ID())
+	frags, err := p.invokeUpstream(txc, sc, params)
+	txc.swapSpanID(prevSpan)
+	sp.End(ErrCode(err), err)
+	if err != nil {
+		if m != nil {
+			m.WithdrawCall(spec.key)
+		}
+		p.cache.finish(spec.key, fl, nil, err)
+		return nil, err
+	}
+	p.cachePut(spec, &cacheEntry{
+		service: service, fragments: frags,
+		fetched: time.Now(), window: spec.window, docs: spec.docs,
+	})
+	p.cache.finish(spec.key, fl, frags, nil)
+	return frags, nil
+}
+
+// cachePut stores a completed entry and keeps the gossip catalog in step:
+// the key is advertised (replacing any in-flight advertisement) and
+// capacity-evicted keys are withdrawn.
+func (p *Peer) cachePut(spec cacheSpec, e *cacheEntry) {
+	evicted := p.cache.put(spec.key, e)
+	if m := p.opts.Membership; m != nil {
+		m.AnnounceCall(spec.key, e.service, e.fetched, e.window)
+		for _, k := range evicted {
+			m.WithdrawCall(k)
+		}
+	}
+}
+
+// fetchFromOwner asks peers advertising spec.key in the gossip catalog for
+// their cached result (cluster-scope dedupe). The advertised fetch time is
+// re-checked against the local clock before the copy is trusted; a stale,
+// withdrawn or unreachable owner is skipped and the next one tried.
+func (p *Peer) fetchFromOwner(txc *Context, spec cacheSpec, service string) (*cacheEntry, bool) {
+	m := p.opts.Membership
+	if m == nil {
+		return nil, false
+	}
+	for _, owner := range m.CallOwners(spec.key) {
+		if owner == p.id {
+			continue
+		}
+		sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindCacheFetch, service)
+		sp.SetTarget(string(owner))
+		reply, err := p.transport.Request(txc.ctxForCalls(), owner, &p2p.Message{
+			Kind: p2p.KindCacheFetch, Txn: txc.ID, Subject: service,
+			Payload: encode(&CacheFetchRequest{Key: spec.key, Service: service}),
+		})
+		if err != nil || reply == nil || reply.Err != "" {
+			sp.SetAttr("miss", "unreachable")
+			sp.End(ErrCode(err), err)
+			continue
+		}
+		var resp CacheFetchResponse
+		if derr := decode(reply.Payload, &resp); derr != nil || !resp.Found {
+			sp.SetAttr("miss", "not-found")
+			sp.End("", nil)
+			continue
+		}
+		fetched := time.Unix(0, resp.FetchedUnixNano)
+		window := time.Duration(resp.WindowNanos)
+		if window <= 0 || time.Since(fetched) > window {
+			sp.SetAttr("miss", "stale")
+			sp.End("", nil)
+			continue
+		}
+		p.metrics.CacheFetches.Add(1)
+		sp.End("", nil)
+		return &cacheEntry{
+			service: service, fragments: resp.Fragments,
+			fetched: fetched, window: window, docs: spec.docs,
+		}, true
+	}
+	return nil, false
+}
+
+// handleCacheFetch serves a cached materialization result to a peer that
+// found this peer's advertisement in the gossip catalog. A request racing
+// an in-flight invocation of the same key waits for it (bounded by the
+// lock timeout) instead of reporting a miss.
+func (p *Peer) handleCacheFetch(msg *p2p.Message) (*p2p.Message, error) {
+	var req CacheFetchRequest
+	if err := decode(msg.Payload, &req); err != nil {
+		return nil, err
+	}
+	resp := &CacheFetchResponse{Key: req.Key, Service: req.Service}
+	if p.cache != nil {
+		e, ok := p.cache.peek(req.Key, time.Now())
+		if !ok {
+			if fl, inflight := p.cache.inflight(req.Key); inflight {
+				ctx, cancel := context.WithTimeout(context.Background(), p.opts.LockTimeout)
+				_, _, _ = p.cache.wait(ctx, fl, p.opts.LockTimeout)
+				cancel()
+				e, ok = p.cache.peek(req.Key, time.Now())
+			}
+		}
+		if ok {
+			resp.Found = true
+			resp.Fragments = e.fragments
+			resp.FetchedUnixNano = e.fetched.UnixNano()
+			resp.WindowNanos = int64(e.window)
+		}
+	}
+	return &p2p.Message{Kind: p2p.KindCacheFetch, Txn: msg.Txn, Subject: req.Service,
+		Payload: encode(resp)}, nil
+}
+
+// invalidateDocCache drops cache entries recorded against the named
+// documents and withdraws their gossip advertisements. Remote copies are
+// not chased: their staleness stays bounded by the freshness window the
+// calls themselves declared.
+func (p *Peer) invalidateDocCache(docs ...string) {
+	if p.cache == nil {
+		return
+	}
+	m := p.opts.Membership
+	for _, doc := range docs {
+		if doc == "" {
+			continue
+		}
+		// Actions reference documents by query root ("A") while the cache
+		// indexes entries under the stored name ("A.xml"); canonicalize so
+		// both forms hit the same index.
+		if d, ok := p.store.Get(doc); ok {
+			doc = d.Name()
+		}
+		for _, key := range p.cache.invalidateDoc(doc) {
+			p.metrics.CacheInvalidations.Add(1)
+			if m != nil {
+				m.WithdrawCall(key)
+			}
+		}
+	}
+}
+
+// txnDocs collects the distinct documents a transaction's WAL records
+// touched, for cache invalidation after compensation restored them.
+func txnDocs(log wal.Log, txn string) []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, rec := range log.TxnRecords(txn) {
+		if rec.Doc != "" && !seen[rec.Doc] {
+			seen[rec.Doc] = true
+			out = append(out, rec.Doc)
+		}
+	}
+	return out
 }
 
 // ResultName implements axml.Materializer via the local registry.
@@ -332,6 +579,8 @@ func (p *Peer) InvokeBatch(txn string, calls []*axml.ServiceCall, params [][]axm
 		pm      map[string]string
 		msg     *p2p.Message
 		sp      *obs.ActiveSpan
+		spec    cacheSpec
+		fl      *flight // non-nil when this call leads a cache flight
 	}
 	var remote []pending
 	for i, sc := range calls {
@@ -345,16 +594,43 @@ func (p *Peer) InvokeBatch(txn string, calls []*axml.ServiceCall, params [][]axm
 			out[i].Fragments = frags
 			continue
 		}
+		spec, cacheable := p.cacheSpecFor(sc, params[i])
+		if cacheable {
+			if frags, ok := p.cache.lookup(spec.key, time.Now()); ok {
+				p.metrics.CacheHits.Add(1)
+				sp := p.tracer.Start(txc.ID, txc.SpanID(), obs.KindCacheHit, service)
+				sp.End("", nil)
+				out[i].Fragments = frags
+				continue
+			}
+		}
 		target := p.resolveTarget(sc)
 		if target == p.id || target == "" {
 			// Local execution re-enters the store; the materializer filters
-			// these out of batches, but handle stragglers correctly.
+			// these out of batches, but handle stragglers correctly. Invoke
+			// runs the full cache protocol itself.
 			out[i].Fragments, out[i].Err = p.Invoke(txn, sc, params[i])
 			continue
+		}
+		var fl *flight
+		if cacheable {
+			// Non-blocking singleflight: waiting here on a flight led by an
+			// earlier entry of this very batch would deadlock (it completes
+			// only in phase 3 of this goroutine), so followers proceed as if
+			// uncached. Leaders complete their flight in phase 3; the
+			// cluster-fetch ladder is skipped — the batch exists to overlap
+			// these very network waits.
+			if lead, leader := p.cache.begin(spec.key); leader {
+				fl = lead
+				if m := p.opts.Membership; m != nil {
+					m.AnnounceCallInflight(spec.key, service)
+				}
+			}
 		}
 		msg, sp := p.prepareRemoteInvoke(txc, target, service, pm, false)
 		remote = append(remote, pending{
 			i: i, target: target, service: service, pm: pm, msg: msg, sp: sp,
+			spec: spec, fl: fl,
 		})
 	}
 	replies := make([]*p2p.Message, len(remote))
@@ -383,11 +659,28 @@ func (p *Peer) InvokeBatch(txn string, calls []*axml.ServiceCall, params [][]axm
 	wg.Wait()
 	for k, pr := range remote {
 		resp, err := p.finishRemoteInvoke(txc, pr.target, pr.service, false, replies[k], errs[k], pr.sp)
+		var frags []string
 		if err == nil {
-			out[pr.i].Fragments = resp.Fragments
-			continue
+			frags = resp.Fragments
+		} else {
+			frags, err = p.recoverInvocation(txc, calls[pr.i], pr.pm, pr.target, err)
 		}
-		out[pr.i].Fragments, out[pr.i].Err = p.recoverInvocation(txc, calls[pr.i], pr.pm, pr.target, err)
+		if pr.fl != nil {
+			if err == nil {
+				p.metrics.CacheMisses.Add(1)
+				p.cachePut(pr.spec, &cacheEntry{
+					service: pr.service, fragments: frags,
+					fetched: time.Now(), window: pr.spec.window, docs: pr.spec.docs,
+				})
+				p.cache.finish(pr.spec.key, pr.fl, frags, nil)
+			} else {
+				if m := p.opts.Membership; m != nil {
+					m.WithdrawCall(pr.spec.key)
+				}
+				p.cache.finish(pr.spec.key, pr.fl, nil, err)
+			}
+		}
+		out[pr.i].Fragments, out[pr.i].Err = frags, err
 	}
 	return out
 }
@@ -434,7 +727,13 @@ func (p *Peer) executeLocalService(txc *Context, service string, params map[stri
 		}
 	}
 	cctx := WithEnv(context.Background(), &Env{Peer: p, Txn: txc})
-	return p.registry.Invoke(cctx, service, &services.Request{Txn: txc.ID, Params: params})
+	frags, err := p.registry.Invoke(cctx, service, &services.Request{Txn: txc.ID, Params: params})
+	if err == nil && desc.Kind == services.KindUpdate {
+		// The update just changed its target document: cached results read
+		// from it are no longer the freshest available.
+		p.invalidateDocCache(desc.TargetDocument)
+	}
+	return frags, err
 }
 
 // handleInvoke serves an incoming invocation (the participant side).
@@ -616,6 +915,11 @@ func (p *Peer) abortContext(txc *Context, skip p2p.PeerID, notifyParent bool) er
 	p.metrics.NodesUndone.Add(int64(affected))
 	txc.AddUndoNodes(affected)
 	p.locks.ReleaseAll(txc.ID)
+	if p.cache != nil {
+		// Compensation just rewrote these documents; drop entries recorded
+		// against them and withdraw their advertisements.
+		p.invalidateDocCache(txnDocs(p.store.Log(), txc.ID)...)
+	}
 
 	bg := context.Background()
 	// Definitions shipped directly by transitive participants let the
@@ -720,6 +1024,9 @@ func (p *Peer) handleAbort(msg *p2p.Message) {
 			p.metrics.Compensations.Add(1)
 			p.metrics.NodesUndone.Add(int64(affected))
 		}
+		if p.cache != nil {
+			p.invalidateDocCache(txnDocs(p.store.Log(), msg.Txn)...)
+		}
 		return
 	}
 	// Continue propagation away from the sender: to children, and upward
@@ -775,6 +1082,7 @@ func (p *Peer) handleCompensate(msg *p2p.Message) (*p2p.Message, error) {
 	p.metrics.Compensations.Add(1)
 	p.metrics.NodesUndone.Add(int64(affected))
 	p.locks.ReleaseAll(def.Txn)
+	p.invalidateDocCache(def.Docs...)
 	if txc, ok := p.mgr.Get(def.Txn); ok {
 		txc.transition(StatusAborted)
 	}

@@ -92,6 +92,33 @@ type StreamBatch struct {
 	Fragments []string
 }
 
+// CacheFetchRequest is the payload of KindCacheFetch: the sender found a
+// gossip advertisement for Key and asks the advertising peer for its cached
+// materialization result instead of re-invoking upstream.
+type CacheFetchRequest struct {
+	// Key is the semantic cache key (service, canonicalized params,
+	// freshness window).
+	Key string
+	// Service names the advertised service (for tracing and metrics).
+	Service string
+}
+
+// CacheFetchResponse answers a CacheFetchRequest. Found is false when the
+// entry expired or was invalidated since it was advertised; the requester
+// then falls back to its own upstream invocation.
+type CacheFetchResponse struct {
+	Key     string
+	Service string
+	Found   bool
+	// Fragments is the cached result.
+	Fragments []string
+	// FetchedUnixNano is when the owner performed the upstream invocation;
+	// the requester re-checks freshness against its own clock.
+	FetchedUnixNano int64
+	// WindowNanos is the freshness window the entry was cached under.
+	WindowNanos int64
+}
+
 // encodeBufs recycles gob scratch buffers for the legacy encoder, which the
 // cross-version compatibility test and the codec benchmarks still exercise.
 var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}

@@ -32,6 +32,8 @@ const (
 	wkDisconnectNotice
 	wkRedirectResult
 	wkStreamBatch
+	wkCacheFetchRequest
+	wkCacheFetchResponse
 )
 
 // errWireVersion reports a payload from a future protocol version.
@@ -72,6 +74,18 @@ func encode(v any) []byte {
 		w.String(m.Service)
 		w.Varint(int64(m.Seq))
 		w.Strings(m.Fragments)
+	case *CacheFetchRequest:
+		w.Byte(wkCacheFetchRequest)
+		w.String(m.Key)
+		w.String(m.Service)
+	case *CacheFetchResponse:
+		w.Byte(wkCacheFetchResponse)
+		w.String(m.Key)
+		w.String(m.Service)
+		w.Bool(m.Found)
+		w.Strings(m.Fragments)
+		w.Varint(m.FetchedUnixNano)
+		w.Varint(m.WindowNanos)
 	default:
 		panic(fmt.Sprintf("core: encode: unknown wire type %T", v))
 	}
@@ -135,6 +149,22 @@ func decodeBinary(b []byte, v any) error {
 			m.Service = r.String()
 			m.Seq = int(r.Varint())
 			m.Fragments = r.Strings()
+		}
+	case *CacheFetchRequest:
+		want = wkCacheFetchRequest
+		if kind == want {
+			m.Key = r.String()
+			m.Service = r.String()
+		}
+	case *CacheFetchResponse:
+		want = wkCacheFetchResponse
+		if kind == want {
+			m.Key = r.String()
+			m.Service = r.String()
+			m.Found = r.Bool()
+			m.Fragments = r.Strings()
+			m.FetchedUnixNano = r.Varint()
+			m.WindowNanos = r.Varint()
 		}
 	default:
 		return fmt.Errorf("core: decode: unknown wire type %T", v)

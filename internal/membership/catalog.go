@@ -32,6 +32,41 @@ type CatalogEntry struct {
 	// Announced is the origin's wall-clock time of the last change; the
 	// convergence histogram measures receipt time minus Announced.
 	Announced time.Time `json:"announced"`
+	// Calls are the origin's materialization-cache advertisements: cached
+	// (or in-flight) service-call results other peers may fetch instead of
+	// re-invoking upstream (KindCacheFetch in core).
+	Calls []CallAd `json:"calls,omitempty"`
+}
+
+// CallAd advertises one materialization-cache entry (or in-flight upstream
+// invocation) held by the origin of its CatalogEntry. Keys are the semantic
+// cache keys core derives from (service, canonicalized params, freshness
+// window); peers holding a gossip-learned ad fetch the cached result from
+// its owner rather than invoking the upstream service again.
+type CallAd struct {
+	// Key is the semantic cache key.
+	Key string `json:"key"`
+	// Service names the advertised service (diagnostics only; the key is
+	// authoritative).
+	Service string `json:"service"`
+	// Inflight marks an upstream invocation still in progress: the owner is
+	// the cluster-wide dedupe leader for Key and a fetch will block briefly
+	// until the result lands.
+	Inflight bool `json:"inflight,omitempty"`
+	// FetchedUnixNano is when the owner's upstream invocation completed
+	// (zero while Inflight).
+	FetchedUnixNano int64 `json:"fetched,omitempty"`
+	// WindowNanos is the freshness window the result was cached under.
+	WindowNanos int64 `json:"window,omitempty"`
+}
+
+// fresh reports whether a completed ad is still within its freshness window
+// at time now.
+func (a CallAd) fresh(now time.Time) bool {
+	if a.Inflight || a.FetchedUnixNano == 0 || a.WindowNanos <= 0 {
+		return false
+	}
+	return now.Sub(time.Unix(0, a.FetchedUnixNano)) <= time.Duration(a.WindowNanos)
 }
 
 // memberRecord is the wire form of one membership row.
@@ -132,6 +167,124 @@ func (g *Gossip) WithdrawService(svc string) {
 	}
 }
 
+// AnnounceCall advertises a completed materialization-cache entry: this
+// peer holds the result for Key, fetched at the given time and fresh for
+// window. Remote peers learn it on the next sync exchange and may fetch it
+// via KindCacheFetch instead of re-invoking upstream.
+func (g *Gossip) AnnounceCall(key, service string, fetched time.Time, window time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.selfCalls[key] = CallAd{
+		Key: key, Service: service,
+		FetchedUnixNano: fetched.UnixNano(), WindowNanos: int64(window),
+	}
+	g.selfVersion++
+	g.selfAnnounced = time.Now()
+}
+
+// AnnounceCallInflight advertises that this peer is the dedupe leader for an
+// upstream invocation currently in progress: peers about to invoke the same
+// key can wait on a fetch from here instead of duplicating the call.
+func (g *Gossip) AnnounceCallInflight(key, service string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if ad, ok := g.selfCalls[key]; ok && !ad.Inflight {
+		// A completed result is already advertised; don't regress it to
+		// in-flight (the refresh will overwrite it on completion).
+		return
+	}
+	g.selfCalls[key] = CallAd{Key: key, Service: service, Inflight: true}
+	g.selfVersion++
+	g.selfAnnounced = time.Now()
+}
+
+// WithdrawCall stops advertising a cache entry (evicted, invalidated by a
+// write or compensation, or the in-flight invocation failed).
+func (g *Gossip) WithdrawCall(key string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.selfCalls[key]; !ok {
+		return
+	}
+	delete(g.selfCalls, key)
+	g.selfVersion++
+	g.selfAnnounced = time.Now()
+}
+
+// CallOwners returns the peers currently advertising a cache entry for key,
+// best candidate first: live origins with a completed, still-fresh result
+// (freshest first), then live origins with the invocation in flight. The
+// local peer and Suspect/Dead origins are excluded — a fetch from a
+// suspected peer would just burn the caller's timeout.
+func (g *Gossip) CallOwners(key string) []p2p.PeerID {
+	now := time.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	type cand struct {
+		id      p2p.PeerID
+		fetched int64
+	}
+	var done, inflight []cand
+	for origin, e := range g.catalog {
+		if m := g.members[origin]; m != nil && m.state != StateAlive {
+			continue
+		}
+		for _, ad := range e.Calls {
+			if ad.Key != key {
+				continue
+			}
+			if ad.Inflight {
+				inflight = append(inflight, cand{origin, 0})
+			} else if ad.fresh(now) {
+				done = append(done, cand{origin, ad.FetchedUnixNano})
+			}
+		}
+	}
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].fetched != done[j].fetched {
+			return done[i].fetched > done[j].fetched
+		}
+		return done[i].id < done[j].id
+	})
+	sort.Slice(inflight, func(i, j int) bool { return inflight[i].id < inflight[j].id })
+	out := make([]p2p.PeerID, 0, len(done)+len(inflight))
+	for _, c := range done {
+		out = append(out, c.id)
+	}
+	for _, c := range inflight {
+		out = append(out, c.id)
+	}
+	return out
+}
+
+// CacheOwner implements replication.CacheScorer: it reports whether peer
+// (self included) currently advertises a fresh cached result for the named
+// service, so the replica table can rank cache owners first when picking a
+// retry or recovery target.
+func (g *Gossip) CacheOwner(service string, peer p2p.PeerID) bool {
+	now := time.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if peer == g.self {
+		for _, ad := range g.selfCalls {
+			if ad.Service == service && ad.fresh(now) {
+				return true
+			}
+		}
+		return false
+	}
+	e := g.catalog[peer]
+	if e == nil {
+		return false
+	}
+	for _, ad := range e.Calls {
+		if ad.Service == service && ad.fresh(now) {
+			return true
+		}
+	}
+	return false
+}
+
 // applyEntryLocked merges one remote catalog entry: higher version wins,
 // and the diff against the previously known version is translated into
 // table add/remove operations. Entries from dead origins are stored (for
@@ -150,9 +303,11 @@ func (g *Gossip) applyEntryLocked(e *CatalogEntry, fx *effects) {
 		Docs:      append([]string(nil), e.Docs...),
 		Services:  append([]string(nil), e.Services...),
 		Announced: e.Announced,
+		Calls:     append([]CallAd(nil), e.Calls...),
 	}
 	sort.Strings(cp.Docs)
 	sort.Strings(cp.Services)
+	sort.Slice(cp.Calls, func(i, j int) bool { return cp.Calls[i].Key < cp.Calls[j].Key })
 	g.catalog[e.Origin] = cp
 	if !cp.Announced.IsZero() {
 		if d := time.Since(cp.Announced); d > 0 {
@@ -213,8 +368,12 @@ func (g *Gossip) selfEntryLocked() CatalogEntry {
 	for s := range g.selfSvcs {
 		e.Services = append(e.Services, s)
 	}
+	for _, ad := range g.selfCalls {
+		e.Calls = append(e.Calls, ad)
+	}
 	sort.Strings(e.Docs)
 	sort.Strings(e.Services)
+	sort.Slice(e.Calls, func(i, j int) bool { return e.Calls[i].Key < e.Calls[j].Key })
 	return e
 }
 
@@ -304,6 +463,7 @@ func (g *Gossip) CatalogSnapshot() []CatalogEntry {
 			Docs:      append([]string(nil), e.Docs...),
 			Services:  append([]string(nil), e.Services...),
 			Announced: e.Announced,
+			Calls:     append([]CallAd(nil), e.Calls...),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })

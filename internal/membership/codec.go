@@ -119,6 +119,14 @@ func appendCatalogEntry(w *codec.Writer, e *CatalogEntry) {
 		w.Bool(true)
 		w.Varint(e.Announced.UnixNano())
 	}
+	w.Uvarint(uint64(len(e.Calls)))
+	for _, ad := range e.Calls {
+		w.String(ad.Key)
+		w.String(ad.Service)
+		w.Bool(ad.Inflight)
+		w.Varint(ad.FetchedUnixNano)
+		w.Varint(ad.WindowNanos)
+	}
 }
 
 func readCatalogEntry(r *codec.Reader, e *CatalogEntry) {
@@ -128,5 +136,15 @@ func readCatalogEntry(r *codec.Reader, e *CatalogEntry) {
 	e.Services = r.Strings()
 	if r.Bool() {
 		e.Announced = time.Unix(0, r.Varint())
+	}
+	n := r.Count(5) // minimal ad: 2 empty strings + flag + 2 varints
+	for i := 0; i < n && r.Err() == nil; i++ {
+		e.Calls = append(e.Calls, CallAd{
+			Key:             r.String(),
+			Service:         r.String(),
+			Inflight:        r.Bool(),
+			FetchedUnixNano: r.Varint(),
+			WindowNanos:     r.Varint(),
+		})
 	}
 }

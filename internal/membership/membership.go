@@ -145,6 +145,7 @@ type Gossip struct {
 
 	selfDocs      map[string]bool
 	selfSvcs      map[string]bool
+	selfCalls     map[string]CallAd
 	selfVersion   uint64
 	selfAnnounced time.Time
 	catalog       map[p2p.PeerID]*CatalogEntry
@@ -184,15 +185,16 @@ func New(t p2p.Transport, cfg Config) *Gossip {
 		cfg.DeadSyncRounds = 4
 	}
 	g := &Gossip{
-		self:     t.Self(),
-		t:        t,
-		cfg:      cfg,
-		tracer:   obs.NewTracer(string(t.Self()), cfg.Sink),
-		members:  make(map[p2p.PeerID]*member),
-		selfDocs: make(map[string]bool),
-		selfSvcs: make(map[string]bool),
-		catalog:  make(map[p2p.PeerID]*CatalogEntry),
-		rtts:     make(map[p2p.PeerID]time.Duration),
+		self:      t.Self(),
+		t:         t,
+		cfg:       cfg,
+		tracer:    obs.NewTracer(string(t.Self()), cfg.Sink),
+		members:   make(map[p2p.PeerID]*member),
+		selfDocs:  make(map[string]bool),
+		selfSvcs:  make(map[string]bool),
+		selfCalls: make(map[string]CallAd),
+		catalog:   make(map[p2p.PeerID]*CatalogEntry),
+		rtts:      make(map[p2p.PeerID]time.Duration),
 	}
 	g.pinger = p2p.NewPinger(t, cfg.ProbeInterval, 1, func(p2p.PeerID) {
 		g.probeMu.Lock()
@@ -405,6 +407,22 @@ func (g *Gossip) Tick(ctx context.Context) {
 		if m.state == StateSuspect && round-m.suspectedAt >= uint64(g.cfg.SuspectRounds) {
 			g.noteDeadLocked(id, m.incarnation, fx)
 		}
+	}
+	// Prune expired call advertisements so stale cache ads stop propagating;
+	// the version bump makes the shrunken entry win on the next exchange.
+	// In-flight ads are the leader's responsibility to withdraw (or refresh
+	// into a completed ad) and are left alone here.
+	now := time.Now()
+	pruned := false
+	for key, ad := range g.selfCalls {
+		if !ad.Inflight && !ad.fresh(now) {
+			delete(g.selfCalls, key)
+			pruned = true
+		}
+	}
+	if pruned {
+		g.selfVersion++
+		g.selfAnnounced = now
 	}
 	ring = g.nonDeadRingLocked()
 	var fanout []p2p.PeerID

@@ -66,6 +66,18 @@ const (
 	// KindCompact is one WAL compaction: segments wholly covered by a
 	// checkpoint were deleted (attrs carry removed/remaining counts).
 	KindCompact = "wal-compact"
+	// KindCacheHit marks a materialization served from the local call
+	// cache within its freshness window — no invocation happened.
+	KindCacheHit = "cache-hit"
+	// KindCacheMiss marks a materialization that went upstream because no
+	// fresh cached result or live advertisement existed.
+	KindCacheMiss = "cache-miss"
+	// KindCacheWait marks a materialization that waited on a concurrent
+	// in-flight invocation of the same key (singleflight follower).
+	KindCacheWait = "cache-wait"
+	// KindCacheFetch marks a cached result fetched from the advertising
+	// peer (cluster-scope dedupe) instead of re-invoking upstream.
+	KindCacheFetch = "cache-fetch"
 )
 
 // Outcome values.

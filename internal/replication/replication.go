@@ -32,6 +32,19 @@ type Scorer interface {
 	RTT(p2p.PeerID) time.Duration
 }
 
+// CacheScorer is optionally implemented by a Scorer that also knows which
+// peers hold fresh materialization-cache entries for a service
+// (membership.Gossip learns this from gossiped call advertisements). Ranked
+// service lists prefer cache owners among live peers: retrying or
+// re-invoking at a peer that can answer from cache costs one fetch instead
+// of a full upstream re-invocation.
+type CacheScorer interface {
+	Scorer
+	// CacheOwner reports whether peer currently advertises a fresh cached
+	// result for the named service.
+	CacheOwner(service string, peer p2p.PeerID) bool
+}
+
 // Table is a peer's view of replica placement. Lists are ranked: with no
 // scorer, the first live entry is the preferred alternative (the
 // "alternative participant" approach of Jin & Goschnick); with a scorer
@@ -132,7 +145,7 @@ func (t *Table) DocumentReplicas(doc string) []p2p.PeerID {
 	t.mu.RLock()
 	list := append([]p2p.PeerID(nil), t.docs[doc]...)
 	t.mu.RUnlock()
-	return t.rank(list)
+	return t.rank(list, "")
 }
 
 // ServiceProviders returns the ranked providers of a service.
@@ -140,7 +153,7 @@ func (t *Table) ServiceProviders(service string) []p2p.PeerID {
 	t.mu.RLock()
 	list := append([]p2p.PeerID(nil), t.svcs[service]...)
 	t.mu.RUnlock()
-	return t.rank(list)
+	return t.rank(list, service)
 }
 
 // Alternative returns the best-ranked provider of service that is not in
@@ -170,7 +183,7 @@ func (t *Table) Alternative(service string, exclude ...p2p.PeerID) (p2p.PeerID, 
 		}
 		return "", false
 	}
-	live := rankByScore(candidates, s)
+	live := rankByScore(candidates, s, service)
 	if len(live) > 0 {
 		return live[0], true
 	}
@@ -182,12 +195,12 @@ func (t *Table) Alternative(service string, exclude ...p2p.PeerID) (p2p.PeerID, 
 // non-live peers in registration order as a last-resort tail — callers like
 // compensation broadcast still want to *attempt* suspect peers after the
 // live ones.
-func (t *Table) rank(list []p2p.PeerID) []p2p.PeerID {
+func (t *Table) rank(list []p2p.PeerID, service string) []p2p.PeerID {
 	s := t.getScorer()
 	if s == nil || len(list) < 2 {
 		return list
 	}
-	live := rankByScore(list, s)
+	live := rankByScore(list, s, service)
 	seen := make(map[p2p.PeerID]bool, len(live))
 	for _, p := range live {
 		seen[p] = true
@@ -201,14 +214,17 @@ func (t *Table) rank(list []p2p.PeerID) []p2p.PeerID {
 	return out
 }
 
-// rankByScore returns only the live members of list, ordered by RTT
-// (measured before unmeasured, lower first), preserving the input order as
-// a stable tie-break.
-func rankByScore(list []p2p.PeerID, s Scorer) []p2p.PeerID {
+// rankByScore returns only the live members of list, ordered by: cache
+// ownership of the named service first (when the scorer is a CacheScorer
+// and service is non-empty), then RTT (measured before unmeasured, lower
+// first), preserving the input order as a stable tie-break.
+func rankByScore(list []p2p.PeerID, s Scorer, service string) []p2p.PeerID {
+	cs, _ := s.(CacheScorer)
 	type scored struct {
 		id      p2p.PeerID
 		rtt     time.Duration
 		sampled bool
+		owner   bool
 	}
 	live := make([]scored, 0, len(list))
 	for _, p := range list {
@@ -216,9 +232,13 @@ func rankByScore(list []p2p.PeerID, s Scorer) []p2p.PeerID {
 			continue
 		}
 		rtt := s.RTT(p)
-		live = append(live, scored{id: p, rtt: rtt, sampled: rtt > 0})
+		owner := cs != nil && service != "" && cs.CacheOwner(service, p)
+		live = append(live, scored{id: p, rtt: rtt, sampled: rtt > 0, owner: owner})
 	}
 	sort.SliceStable(live, func(i, j int) bool {
+		if live[i].owner != live[j].owner {
+			return live[i].owner
+		}
 		if live[i].sampled != live[j].sampled {
 			return live[i].sampled
 		}

@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"axmltx/internal/core"
+	"axmltx/internal/membership"
+	"axmltx/internal/p2p"
+	"axmltx/internal/services"
+	"axmltx/internal/wal"
+)
+
+// RunCacheExperiment is the C1 workload: `clients` peers repeatedly
+// materialize embedded calls whose parameters are drawn zipfian from a
+// universe of `keys` distinct (service, params, window) cache keys, all
+// against one upstream provider. Every call carries a one-hour freshness
+// window, so under the semantic materialization cache a key should reach the
+// provider once cluster-wide: the first materialization populates a peer's
+// cache and advertises it through gossip, later materializations are local
+// hits or KindCacheFetch transfers from the owning peer. With cached=false
+// the same workload re-invokes upstream on every materialization — the
+// paper's baseline lazy evaluation. The returned UpstreamCalls is the
+// dedupe measure; latencies summarize the client-observed commit path.
+func RunCacheExperiment(clients, keys, ops int, cached bool, seed int64) PerfResult {
+	if clients < 1 || keys < 2 || ops < 1 {
+		panic("sim: RunCacheExperiment needs clients>=1, keys>=2, ops>=1")
+	}
+	net := p2p.NewNetwork(0)
+	provider := core.NewPeer(net.Join("PR"), wal.NewMemory(), core.Options{})
+	var upstream atomic.Int64
+	provider.HostService(services.NewFuncService(
+		services.Descriptor{Name: "quote", ResultName: "q"},
+		func(ctx context.Context, params map[string]string) ([]string, error) {
+			upstream.Add(1)
+			return []string{fmt.Sprintf("<q>%s</q>", params["sym"])}, nil
+		}))
+
+	ctx := context.Background()
+	peers := make([]*core.Peer, clients)
+	var gs []*membership.Gossip
+	for i := range peers {
+		tr := net.Join(p2p.PeerID(fmt.Sprintf("AP%d", i+1)))
+		opts := core.Options{}
+		if cached {
+			// Ring seeding: discovery is transitive, like RunMembership.
+			g := membership.New(tr, membership.Config{
+				Seeds: []p2p.PeerID{p2p.PeerID(fmt.Sprintf("AP%d", (i+1)%clients+1))},
+			})
+			gs = append(gs, g)
+			opts.Membership = g
+			opts.CallCacheCapacity = 4 * keys
+		}
+		peers[i] = core.NewPeer(tr, wal.NewMemory(), opts)
+	}
+	// Converge the member view before the workload so call advertisements
+	// propagate at gossip speed, not bootstrap speed.
+	for r := 0; r < 3*clients; r++ {
+		for _, g := range gs {
+			g.Tick(ctx)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(keys-1))
+	lat := make([]time.Duration, 0, ops)
+	start := time.Now()
+	for op := 0; op < ops; op++ {
+		p := peers[op%clients]
+		k := zipf.Uint64()
+		doc := fmt.Sprintf("D%04d.xml", op)
+		src := fmt.Sprintf(`<D><axml:sc mode="replace" methodName="quote" serviceURL="PR" frequency="1h">`+
+			`<axml:params><axml:param name="sym"><axml:value>S%d</axml:value></axml:param></axml:params>`+
+			`</axml:sc></D>`, k)
+		if err := p.HostDocument(doc, src); err != nil {
+			panic(err)
+		}
+		t0 := time.Now()
+		txc := p.Begin()
+		if _, err := p.Store().MaterializeAll(txc.ID, doc, p); err != nil {
+			panic(err)
+		}
+		if err := p.Commit(ctx, txc); err != nil {
+			panic(err)
+		}
+		lat = append(lat, time.Since(t0))
+		// Two protocol periods per op move fresh advertisements across the
+		// cluster before the next client touches the same hot key.
+		for r := 0; r < 2; r++ {
+			for _, g := range gs {
+				g.Tick(ctx)
+			}
+		}
+	}
+	name := "cache_zipf_uncached"
+	if cached {
+		name = "cache_zipf_cached"
+	}
+	res := summarize(name, ops, time.Since(start), lat, 0)
+	res.UpstreamCalls = upstream.Load()
+	return res
+}

@@ -1,0 +1,25 @@
+package sim
+
+import "testing"
+
+// TestCacheExperimentDedupe is the C1 acceptance bound: under the 3-peer
+// zipfian repeat workload the cached run's upstream-invocation count stays
+// within the distinct-key universe (every window is one hour, so there are
+// no refreshes), while the uncached run performs at least 10x more calls.
+func TestCacheExperimentDedupe(t *testing.T) {
+	const clients, keys, ops = 3, 8, 120
+	cached := RunCacheExperiment(clients, keys, ops, true, 1)
+	uncached := RunCacheExperiment(clients, keys, ops, false, 1)
+	if uncached.UpstreamCalls != ops {
+		t.Fatalf("uncached upstream calls = %d, want %d (one per materialization)",
+			uncached.UpstreamCalls, ops)
+	}
+	if cached.UpstreamCalls > keys {
+		t.Fatalf("cached upstream calls = %d, want <= %d distinct keys",
+			cached.UpstreamCalls, keys)
+	}
+	if ratio := float64(uncached.UpstreamCalls) / float64(cached.UpstreamCalls); ratio < 10 {
+		t.Fatalf("dedupe ratio = %.1fx, want >= 10x (cached %d vs uncached %d)",
+			ratio, cached.UpstreamCalls, uncached.UpstreamCalls)
+	}
+}

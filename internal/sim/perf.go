@@ -30,6 +30,10 @@ type PerfResult struct {
 	SpansEmitted  int64   `json:"spans_emitted,omitempty"`
 	SpansKept     int64   `json:"spans_kept,omitempty"`
 	VsBaselinePct float64 `json:"vs_baseline_pct,omitempty"`
+	// UpstreamCalls is how many invocations reached the remote provider, set
+	// only by RunCacheExperiment (PR 7): the cached/uncached ratio is the
+	// dedupe factor the materialization cache buys.
+	UpstreamCalls int64 `json:"upstream_calls,omitempty"`
 }
 
 // slowMaterializer simulates a remote provider with fixed network latency.
@@ -190,6 +194,12 @@ func RunPerfSuite() []PerfResult {
 	// 100k records is the W1 reference history: checkpointed restart must
 	// land within ~2x of an empty-log restart.
 	rs = append(rs, RunPerfWALReplay(100000, 20)...)
+	// C1 reference parameters: 3 clients, 16-key zipfian universe, 240
+	// materializations — enough repeats that the uncached run performs well
+	// over 10x the upstream calls of the cached run.
+	rs = append(rs,
+		RunCacheExperiment(3, 16, 240, true, 1),
+		RunCacheExperiment(3, 16, 240, false, 1))
 	return rs
 }
 
@@ -208,6 +218,9 @@ func RunPerfSuiteQuick() []PerfResult {
 	}
 	rs = append(rs, RunPerfWireCodec(5000)...)
 	rs = append(rs, RunPerfWALReplay(5000, 50)...)
+	rs = append(rs,
+		RunCacheExperiment(3, 8, 120, true, 1),
+		RunCacheExperiment(3, 8, 120, false, 1))
 	return rs
 }
 
