@@ -1,7 +1,7 @@
 // Command axmlbench runs the experiment suite of EXPERIMENTS.md and prints
 // one table per experiment. Without arguments it runs everything; pass
-// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 m1 c1 perf obs chaos) to
-// select a subset, either positionally or via -run.
+// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 m1 c1 perf obs chaos s1)
+// to select a subset, either positionally or via -run.
 //
 //	go run ./cmd/axmlbench          # full suite
 //	go run ./cmd/axmlbench e3 e5    # selected experiments
@@ -10,6 +10,8 @@
 //	go run ./cmd/axmlbench -compare ci/bench_baseline.json -json bench_ci.json
 //	go run ./cmd/axmlbench obs      # traced run, writes -traceout spans
 //	go run ./cmd/axmlbench -run chaos -scenario b -seed 6 -traceout b6.jsonl
+//	go run ./cmd/axmlbench -run s1 -json s1.json             # 1k peers, 1M txns
+//	go run ./cmd/axmlbench -run s1 -quick -availfloor 0.5    # CI smoke
 package main
 
 import (
@@ -38,6 +40,11 @@ func main() {
 	scenario := flag.String("scenario", "", "chaos: scenario to replay (fig1 fig1f sphere a b bg c d; default: sweep all)")
 	faults := flag.String("faults", "", "chaos: noise fault schedule in the rule DSL")
 	compare := flag.String("compare", "", "perf regression gate: baseline JSON to compare against; exits 1 when a derived metric regresses >15%. Compares the perf run's fresh results, or the file named by -json when perf is not selected")
+	peers := flag.Int("peers", 0, "s1: cluster size (default 1000, or 200 with -quick)")
+	txns := flag.Int("txns", 0, "s1: offered transactions (default 1000000, or 50000 with -quick)")
+	rate := flag.Float64("rate", 0, "s1: arrivals per virtual second (default 20000, or 10000 with -quick)")
+	churn := flag.String("churn", "", "s1: churn schedule DSL, e.g. \"0s: crash=2 restart=5s; 25s: crash=10\"")
+	availFloor := flag.Float64("availfloor", 0, "s1: exit 1 when headline availability falls below this floor (0 = disabled)")
 	flag.Parse()
 	traceOutSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -116,6 +123,17 @@ func main() {
 			chaosTrace = *traceOut
 		}
 		runChaos(*scenario, *seed, *faults, chaosTrace)
+	}
+	if selected["s1"] {
+		// s1 writes its own -json schema, so it only claims the flag when
+		// the perf experiment (which shares it) is not also selected.
+		s1JSON := *jsonOut
+		if selected["perf"] {
+			s1JSON = ""
+		}
+		if !runS1(*seed, *quick, *peers, *txns, *rate, *churn, *availFloor, s1JSON) {
+			os.Exit(1)
+		}
 	}
 	if *compare != "" {
 		if perfResults == nil {

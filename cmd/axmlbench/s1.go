@@ -1,0 +1,139 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"axmltx/internal/sim"
+	"axmltx/internal/sim/des"
+)
+
+// s1Defaults are the two reference parameter sets of experiment S1: the
+// full 1000-peer million-transaction run and the CI smoke configuration.
+func s1Defaults(quick bool) des.ScaleConfig {
+	if quick {
+		return des.ScaleConfig{
+			Peers: 200, Txns: 50000, Rate: 10000,
+			Churn: "0s: crash=1 restart=2s; 2s: crash=4",
+		}
+	}
+	return des.ScaleConfig{
+		Peers: 1000, Txns: 1000000, Rate: 20000,
+		Churn: "0s: crash=2 restart=5s; 25s: crash=10",
+	}
+}
+
+// s1Output is the -json schema of the s1 mode: the headline run digest and
+// the churn-sweep SLO curve.
+type s1Output struct {
+	Result *des.ScaleResult `json:"result"`
+	Curve  []sim.ScalePoint `json:"curve"`
+}
+
+// runS1 runs experiment S1 (discrete-event thousand-peer scale harness):
+// one headline open-loop run under a churn ramp with the speculative-
+// compensation scenario scored, then the availability/latency curve over
+// steady crash rates via sim.RunScaleExperiment. Returns false — and the
+// caller exits nonzero — when any invariant is violated or the headline
+// availability lands below availFloor.
+func runS1(seed int64, quick bool, peers, txns int, rate float64, churn string, availFloor float64, jsonOut string) bool {
+	cfg := s1Defaults(quick)
+	cfg.Seed = seed
+	cfg.Speculative = true
+	if peers > 0 {
+		cfg.Peers = peers
+	}
+	if txns > 0 {
+		cfg.Txns = txns
+	}
+	if rate > 0 {
+		cfg.Rate = rate
+	}
+	if churn != "" {
+		cfg.Churn = churn
+	}
+
+	res, err := des.RunScale(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "axmlbench: s1: %v\n", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("\n== S1 — discrete-event scale harness: %d peers, %d txns, %.0f/s, churn %q (seed %d) ==\n",
+		res.Peers, res.Txns, res.Rate, res.Churn, res.Seed)
+	fmt.Printf("committed %d  aborted %d  unavailable %d  availability %.4f\n",
+		res.Committed, res.Aborted, res.Unavailable, res.Availability)
+	fmt.Printf("latency p50 %.2fms  p99 %.2fms  max %.2fms  (virtual %.1fs, %d messages)\n",
+		res.P50Ms, res.P99Ms, res.MaxMs, res.VirtualSeconds, res.Messages)
+	fmt.Printf("crashes %d  restarts %d  invariant violations %d\n", res.Crashes, res.Restarts, res.Violations)
+	fmt.Printf("speculative compensation: %d sibling overlaps, %d partial-order violations, p50 %.2fms vs strict %.2fms\n",
+		res.CompOverlaps, res.CompOrderViol, res.SpecCompP50Ms, res.StrictCompP50Ms)
+
+	table("S1 — availability windows over the churn ramp",
+		"window start\tcrash rate\tarrivals\tcommitted\taborted\tunavail\tavailability\tp50 ms\tp99 ms",
+		func(w *tabwriter.Writer) {
+			for _, p := range res.Windows {
+				fmt.Fprintf(w, "%.0fs\t%.1f\t%d\t%d\t%d\t%d\t%.4f\t%.2f\t%.2f\n",
+					p.Start, p.CrashRate, p.Arrivals, p.Committed, p.Aborted, p.Unavailable,
+					p.Availability, p.P50Ms, p.P99Ms)
+			}
+		})
+
+	// The SLO curve: identical workload per point, only the steady crash
+	// rate varies. Sized to a fraction of the headline run per point.
+	curveTxns := cfg.Txns / 20
+	if curveTxns < 5000 {
+		curveTxns = 5000
+	}
+	curve, err := sim.RunScaleExperiment(sim.ScaleExperimentConfig{
+		Peers: cfg.Peers, Txns: curveTxns, Rate: cfg.Rate, Seed: seed,
+		Speculative: true,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "axmlbench: s1 curve: %v\n", err)
+		os.Exit(2)
+	}
+	table(fmt.Sprintf("S1 — SLO curve vs steady crash rate (%d txns/point)", curveTxns),
+		"crash rate\tavailability\tp50 ms\tp99 ms\tcommitted\taborted\tunavail\tviolations",
+		func(w *tabwriter.Writer) {
+			for _, p := range curve {
+				fmt.Fprintf(w, "%.1f\t%.4f\t%.2f\t%.2f\t%d\t%d\t%d\t%d\n",
+					p.CrashRate, p.Availability, p.P50Ms, p.P99Ms,
+					p.Committed, p.Aborted, p.Unavailable, p.Violations)
+			}
+		})
+
+	if jsonOut != "" {
+		blob, err := json.MarshalIndent(s1Output{Result: res, Curve: curve}, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "axmlbench: write %s: %v\n", jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+
+	ok := true
+	curveViol := 0
+	for _, p := range curve {
+		curveViol += p.Violations
+	}
+	if res.Violations > 0 || curveViol > 0 {
+		fmt.Fprintf(os.Stderr, "s1: FAIL: %d invariant violations (headline %d, curve %d)\n",
+			res.Violations+curveViol, res.Violations, curveViol)
+		ok = false
+	}
+	if res.CompOrderViol > 0 {
+		fmt.Fprintf(os.Stderr, "s1: FAIL: %d compensation partial-order violations\n", res.CompOrderViol)
+		ok = false
+	}
+	if availFloor > 0 && res.Availability < availFloor {
+		fmt.Fprintf(os.Stderr, "s1: FAIL: availability %.4f below floor %.4f\n", res.Availability, availFloor)
+		ok = false
+	}
+	return ok
+}

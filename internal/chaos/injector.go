@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"fmt"
 	"hash/fnv"
@@ -11,6 +12,7 @@ import (
 	"axmltx/internal/core"
 	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
+	"axmltx/internal/vclock"
 )
 
 // Injection records one injected fault, for reports and debugging.
@@ -39,21 +41,23 @@ func (i Injection) String() string {
 type Injector struct {
 	seed   int64
 	tracer *obs.Tracer
+	clock  vclock.Clock
 
-	mu        sync.Mutex
-	rules     []Rule
-	active    bool
-	needDepth bool
-	counts    []map[string]int // per rule: directed-edge key -> matches seen
-	injected  []map[string]int // per rule: directed-edge key -> injections fired
-	crashed   map[p2p.PeerID]bool
-	restartIn map[p2p.PeerID]int // blocked deliveries until auto-restart
-	parts     map[string]bool    // "from->to" blocked directions
-	protected map[p2p.PeerID]bool
-	hooks     map[p2p.PeerID]func()
-	held      map[string][]heldSend // reorder buffers per directed edge
-	log       []Injection
-	restarts  int
+	mu          sync.Mutex
+	rules       []Rule
+	active      bool
+	needDepth   bool
+	syncRestart bool
+	counts      []map[string]int // per rule: directed-edge key -> matches seen
+	injected    []map[string]int // per rule: directed-edge key -> injections fired
+	crashed     map[p2p.PeerID]bool
+	restartIn   map[p2p.PeerID]int // blocked deliveries until auto-restart
+	parts       map[string]bool    // "from->to" blocked directions
+	protected   map[p2p.PeerID]bool
+	hooks       map[p2p.PeerID]func()
+	held        map[string][]heldSend // reorder buffers per directed edge
+	log         []Injection
+	restarts    int
 }
 
 // heldSend is a one-way message parked by a reorder fault.
@@ -69,6 +73,7 @@ func NewInjector(seed int64, rules []Rule, sink obs.Sink) *Injector {
 	in := &Injector{
 		seed:      seed,
 		tracer:    obs.NewTracer("chaos", sink),
+		clock:     vclock.Real,
 		rules:     rules,
 		active:    true,
 		counts:    make([]map[string]int, len(rules)),
@@ -92,6 +97,34 @@ func NewInjector(seed int64, rules []Rule, sink obs.Sink) *Injector {
 
 // Seed returns the schedule seed.
 func (in *Injector) Seed() int64 { return in.seed }
+
+// SetClock swaps the clock delay faults sleep on. The discrete-event
+// harness installs its virtual clock so delay rules advance simulated time
+// instead of blocking the process. Call before traffic starts.
+func (in *Injector) SetClock(c vclock.Clock) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.clock = vclock.Or(c)
+}
+
+// SetSynchronousRestart makes countdown restarts (rule option restart=N)
+// run inline on the delivery path instead of in a fresh goroutine. The
+// discrete-event harness needs this: a single-threaded simulation has no
+// scheduler to run the goroutine, and inline execution keeps the event
+// order deterministic. Call before traffic starts.
+func (in *Injector) SetSynchronousRestart(on bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.syncRestart = on
+}
+
+// sleep waits out an injected delay on the injector's clock.
+func (in *Injector) sleep(ctx context.Context, d time.Duration) {
+	in.mu.Lock()
+	clock := in.clock
+	in.mu.Unlock()
+	_ = clock.Sleep(ctx, d)
+}
 
 // Rules returns the schedule.
 func (in *Injector) Rules() []Rule { return in.rules }
@@ -261,8 +294,16 @@ func (in *Injector) decide(msg *p2p.Message, isRequest bool) verdict {
 		return verdict{err: errInjected("sender crashed", msg.From, msg.To)}
 	}
 	if in.crashed[msg.To] {
-		in.countdownLocked(msg.To)
+		fire := in.countdownLocked(msg.To)
+		sync := in.syncRestart
 		in.mu.Unlock()
+		if fire {
+			if sync {
+				in.Restart(msg.To)
+			} else {
+				go in.Restart(msg.To)
+			}
+		}
 		return verdict{err: errInjected("peer crashed", msg.From, msg.To)}
 	}
 	if in.parts[edgeKey(msg.From, msg.To)] {
@@ -355,21 +396,22 @@ func (in *Injector) decide(msg *p2p.Message, isRequest bool) verdict {
 	return v
 }
 
-// countdownLocked ticks a crashed peer's restart counter; at zero the peer
-// revives (hook runs in a fresh goroutine — the caller holds the lock and
-// is in a delivery path).
-func (in *Injector) countdownLocked(id p2p.PeerID) {
+// countdownLocked ticks a crashed peer's restart counter and reports
+// whether the peer is due to revive. The caller holds the lock and must
+// perform the restart after releasing it (in a goroutine by default, or
+// inline under SetSynchronousRestart).
+func (in *Injector) countdownLocked(id p2p.PeerID) bool {
 	n, ok := in.restartIn[id]
 	if !ok {
-		return
+		return false
 	}
 	n--
 	if n > 0 {
 		in.restartIn[id] = n
-		return
+		return false
 	}
 	delete(in.restartIn, id)
-	go in.Restart(id)
+	return true
 }
 
 // roll is the deterministic coin: a hash of (seed, rule, edge, match count)

@@ -2,7 +2,6 @@ package chaos
 
 import (
 	"context"
-	"time"
 
 	"axmltx/internal/p2p"
 )
@@ -52,7 +51,7 @@ func (t *Transport) Send(ctx context.Context, to p2p.PeerID, msg *p2p.Message) e
 	msg.To = to
 	v := t.inj.decide(msg, false)
 	if v.delay > 0 {
-		sleep(ctx, v.delay)
+		t.inj.sleep(ctx, v.delay)
 	}
 	if v.err != nil {
 		return v.err
@@ -91,7 +90,7 @@ func (t *Transport) Request(ctx context.Context, to p2p.PeerID, msg *p2p.Message
 	msg.To = to
 	v := t.inj.decide(msg, true)
 	if v.delay > 0 {
-		sleep(ctx, v.delay)
+		t.inj.sleep(ctx, v.delay)
 	}
 	if v.err != nil {
 		return nil, v.err
@@ -114,11 +113,4 @@ func (t *Transport) Request(ctx context.Context, to p2p.PeerID, msg *p2p.Message
 		return nil, errInjected("response lost", self, to)
 	}
 	return resp, err
-}
-
-func sleep(ctx context.Context, d time.Duration) {
-	select {
-	case <-time.After(d):
-	case <-ctx.Done():
-	}
 }

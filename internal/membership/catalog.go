@@ -112,7 +112,7 @@ func (g *Gossip) AnnounceDocument(doc string) {
 	if !g.selfDocs[doc] {
 		g.selfDocs[doc] = true
 		g.selfVersion++
-		g.selfAnnounced = time.Now()
+		g.selfAnnounced = g.now()
 	}
 	tbl := g.table
 	g.mu.Unlock()
@@ -127,7 +127,7 @@ func (g *Gossip) AnnounceService(svc string) {
 	if !g.selfSvcs[svc] {
 		g.selfSvcs[svc] = true
 		g.selfVersion++
-		g.selfAnnounced = time.Now()
+		g.selfAnnounced = g.now()
 	}
 	tbl := g.table
 	g.mu.Unlock()
@@ -143,7 +143,7 @@ func (g *Gossip) WithdrawDocument(doc string) {
 	if g.selfDocs[doc] {
 		delete(g.selfDocs, doc)
 		g.selfVersion++
-		g.selfAnnounced = time.Now()
+		g.selfAnnounced = g.now()
 	}
 	tbl := g.table
 	g.mu.Unlock()
@@ -158,7 +158,7 @@ func (g *Gossip) WithdrawService(svc string) {
 	if g.selfSvcs[svc] {
 		delete(g.selfSvcs, svc)
 		g.selfVersion++
-		g.selfAnnounced = time.Now()
+		g.selfAnnounced = g.now()
 	}
 	tbl := g.table
 	g.mu.Unlock()
@@ -179,7 +179,7 @@ func (g *Gossip) AnnounceCall(key, service string, fetched time.Time, window tim
 		FetchedUnixNano: fetched.UnixNano(), WindowNanos: int64(window),
 	}
 	g.selfVersion++
-	g.selfAnnounced = time.Now()
+	g.selfAnnounced = g.now()
 }
 
 // AnnounceCallInflight advertises that this peer is the dedupe leader for an
@@ -195,7 +195,7 @@ func (g *Gossip) AnnounceCallInflight(key, service string) {
 	}
 	g.selfCalls[key] = CallAd{Key: key, Service: service, Inflight: true}
 	g.selfVersion++
-	g.selfAnnounced = time.Now()
+	g.selfAnnounced = g.now()
 }
 
 // WithdrawCall stops advertising a cache entry (evicted, invalidated by a
@@ -208,7 +208,7 @@ func (g *Gossip) WithdrawCall(key string) {
 	}
 	delete(g.selfCalls, key)
 	g.selfVersion++
-	g.selfAnnounced = time.Now()
+	g.selfAnnounced = g.now()
 }
 
 // CallOwners returns the peers currently advertising a cache entry for key,
@@ -217,7 +217,7 @@ func (g *Gossip) WithdrawCall(key string) {
 // local peer and Suspect/Dead origins are excluded — a fetch from a
 // suspected peer would just burn the caller's timeout.
 func (g *Gossip) CallOwners(key string) []p2p.PeerID {
-	now := time.Now()
+	now := g.now()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	type cand struct {
@@ -262,7 +262,7 @@ func (g *Gossip) CallOwners(key string) []p2p.PeerID {
 // service, so the replica table can rank cache owners first when picking a
 // retry or recovery target.
 func (g *Gossip) CacheOwner(service string, peer p2p.PeerID) bool {
-	now := time.Now()
+	now := g.now()
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if peer == g.self {

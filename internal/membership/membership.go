@@ -47,6 +47,7 @@ import (
 	"axmltx/internal/obs"
 	"axmltx/internal/p2p"
 	"axmltx/internal/replication"
+	"axmltx/internal/vclock"
 )
 
 // State is a member's position in the SWIM failure-detector state machine.
@@ -108,6 +109,11 @@ type Config struct {
 	// state, catalog size, rounds, refutations) and the catalog
 	// convergence-latency histogram.
 	Registry *obs.Registry
+	// Clock is the time source for protocol periods, freshness checks and
+	// RTT measurement; nil means the runtime clock. Discrete-event
+	// simulations install a virtual clock here so gossip rounds are
+	// scheduler-owned timers.
+	Clock vclock.Clock
 }
 
 // member is the local record about a remote peer.
@@ -201,6 +207,7 @@ func New(t p2p.Transport, cfg Config) *Gossip {
 		g.probeMiss = true
 		g.probeMu.Unlock()
 	})
+	g.pinger.SetClock(cfg.Clock)
 	for _, id := range cfg.Seeds {
 		if id != g.self {
 			g.members[id] = &member{state: StateAlive}
@@ -212,6 +219,9 @@ func New(t p2p.Transport, cfg Config) *Gossip {
 
 // Self returns the local peer ID.
 func (g *Gossip) Self() p2p.PeerID { return g.self }
+
+// now reads the configured clock (the runtime clock by default).
+func (g *Gossip) now() time.Time { return vclock.Or(g.cfg.Clock).Now() }
 
 // Seed adds peers assumed alive (beyond Config.Seeds), for clusters built
 // after construction.
@@ -335,13 +345,12 @@ func (g *Gossip) Start() {
 	g.mu.Unlock()
 	go func() {
 		defer close(done)
-		ticker := time.NewTicker(g.cfg.ProbeInterval)
-		defer ticker.Stop()
+		clock := vclock.Or(g.cfg.Clock)
 		for {
 			select {
 			case <-ctx.Done():
 				return
-			case <-ticker.C:
+			case <-clock.After(g.cfg.ProbeInterval):
 				g.Tick(ctx)
 			}
 		}
@@ -412,7 +421,7 @@ func (g *Gossip) Tick(ctx context.Context) {
 	// the version bump makes the shrunken entry win on the next exchange.
 	// In-flight ads are the leader's responsibility to withdraw (or refresh
 	// into a completed ad) and are left alone here.
-	now := time.Now()
+	now := g.now()
 	pruned := false
 	for key, ad := range g.selfCalls {
 		if !ad.Inflight && !ad.fresh(now) {
@@ -462,7 +471,7 @@ func (g *Gossip) Tick(ctx context.Context) {
 // probe runs the direct probe (via the embedded Pinger, so chaos rules on
 // KindPing apply) and, on failure, asks helpers to probe indirectly.
 func (g *Gossip) probe(ctx context.Context, target p2p.PeerID, helpers []p2p.PeerID) (bool, time.Duration) {
-	start := time.Now()
+	start := g.now()
 	g.probeMu.Lock()
 	g.probeMiss = false
 	g.probeMu.Unlock()
@@ -473,7 +482,7 @@ func (g *Gossip) probe(ctx context.Context, target p2p.PeerID, helpers []p2p.Pee
 	missed := g.probeMiss
 	g.probeMu.Unlock()
 	if !missed {
-		return true, time.Since(start)
+		return true, g.now().Sub(start)
 	}
 	req := encode(pingReq{Target: target})
 	for _, h := range helpers {
@@ -483,7 +492,7 @@ func (g *Gossip) probe(ctx context.Context, target p2p.PeerID, helpers []p2p.Pee
 		})
 		cancel()
 		if err == nil && resp != nil && resp.Err == "" {
-			return true, time.Since(start)
+			return true, g.now().Sub(start)
 		}
 	}
 	return false, 0

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"axmltx/internal/vclock"
 )
 
 // Pinger implements the keep-alive failure detector the related P2P work
@@ -15,6 +17,7 @@ type Pinger struct {
 	transport Transport
 	interval  time.Duration
 	failures  int
+	clock     vclock.Clock
 
 	mu      sync.Mutex
 	watched map[PeerID]int // consecutive miss count
@@ -36,9 +39,18 @@ func NewPinger(t Transport, interval time.Duration, failures int, onDown func(Pe
 		transport: t,
 		interval:  interval,
 		failures:  failures,
+		clock:     vclock.Real,
 		watched:   make(map[PeerID]int),
 		onDown:    onDown,
 	}
+}
+
+// SetClock swaps the clock the probe loop ticks on (virtual-clock
+// simulations). Call before Start.
+func (p *Pinger) SetClock(c vclock.Clock) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.clock = vclock.Or(c)
 }
 
 // Watch adds a peer to the probe set.
@@ -89,13 +101,14 @@ func (p *Pinger) Probes() int64 {
 
 func (p *Pinger) loop(ctx context.Context) {
 	defer close(p.done)
-	ticker := time.NewTicker(p.interval)
-	defer ticker.Stop()
+	p.mu.Lock()
+	clock := p.clock
+	p.mu.Unlock()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-clock.After(p.interval):
 			p.probeAll(ctx)
 		}
 	}

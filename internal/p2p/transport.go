@@ -15,6 +15,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"axmltx/internal/vclock"
 )
 
 // PeerID identifies an AXML peer (the paper's AP1, AP2, ...).
@@ -107,6 +109,7 @@ type Network struct {
 	down    map[PeerID]bool
 	blocked map[[2]PeerID]bool
 	latency time.Duration
+	clock   vclock.Clock
 
 	total  atomic.Int64
 	kindMu sync.Mutex
@@ -121,8 +124,18 @@ func NewNetwork(latency time.Duration) *Network {
 		down:    make(map[PeerID]bool),
 		blocked: make(map[[2]PeerID]bool),
 		latency: latency,
+		clock:   vclock.Real,
 		byKind:  make(map[string]int64),
 	}
+}
+
+// SetClock swaps the clock the per-delivery latency wait runs on. The
+// discrete-event harness installs its virtual clock here so latency is
+// accounted without wall-clock sleeping. Call before traffic starts.
+func (n *Network) SetClock(c vclock.Clock) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.clock = vclock.Or(c)
 }
 
 // Join registers a peer and returns its transport. Joining an existing ID
@@ -216,16 +229,15 @@ func (n *Network) deliver(ctx context.Context, msg *Message) (*Message, error) {
 		return nil, fmt.Errorf("%w: %s -> %s", ErrUnreachable, msg.From, msg.To)
 	}
 	target, ok := n.peers[msg.To]
+	clock := n.clock
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s (unknown peer)", ErrUnreachable, msg.To)
 	}
 	n.count(msg.Kind)
 	if n.latency > 0 {
-		select {
-		case <-time.After(n.latency):
-		case <-ctx.Done():
-			return nil, ctx.Err()
+		if err := clock.Sleep(ctx, n.latency); err != nil {
+			return nil, err
 		}
 	}
 	h := target.handler()

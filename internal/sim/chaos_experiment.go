@@ -16,12 +16,26 @@ type ChaosTreeResult struct {
 	Depth, Fanout int
 	Seed          int64
 	Faults        string
-	Committed     bool
-	Injections    int
-	Restarts      int
+	// Txn is the transaction ID the run minted, so callers can normalize
+	// ID-bearing violation messages when comparing runs.
+	Txn        string
+	Committed  bool
+	Injections int
+	Restarts   int
 	// Violations lists every invariant the run broke after healing; empty
 	// means the run conforms.
 	Violations []string
+}
+
+// ChaosTreeConfig parameterizes RunChaosTreeCfg beyond the positional
+// arguments of RunChaosTree.
+type ChaosTreeConfig struct {
+	Depth, Fanout int
+	Seed          int64
+	Faults        string
+	// SuperRatio is the fraction of non-origin peers marked super
+	// (TreeSpec.SuperRatio); 0 reproduces RunChaosTree exactly.
+	SuperRatio float64
 }
 
 // RunChaosTree builds a Depth×Fanout invocation tree behind a chaos
@@ -32,13 +46,19 @@ type ChaosTreeResult struct {
 // on every peer's log. It is the generalization of the chaos package's
 // fixed Figure 1 conformance runs to arbitrary synthetic trees.
 func RunChaosTree(depth, fanout int, seed int64, faults string) (*ChaosTreeResult, error) {
+	return RunChaosTreeCfg(ChaosTreeConfig{Depth: depth, Fanout: fanout, Seed: seed, Faults: faults})
+}
+
+// RunChaosTreeCfg is RunChaosTree with the full configuration surface.
+func RunChaosTreeCfg(cfg ChaosTreeConfig) (*ChaosTreeResult, error) {
+	depth, fanout, seed, faults := cfg.Depth, cfg.Fanout, cfg.Seed, cfg.Faults
 	rules, err := chaos.ParseRules(faults)
 	if err != nil {
 		return nil, err
 	}
 	inj := chaos.NewInjector(seed, rules, nil)
 	tc := BuildTree(TreeSpec{
-		Depth: depth, Fanout: fanout, Seed: seed,
+		Depth: depth, Fanout: fanout, Seed: seed, SuperRatio: cfg.SuperRatio,
 		WrapTransport: func(t p2p.Transport) p2p.Transport { return inj.Wrap(t) },
 	})
 	// The origin drives the workload and holds the decision; crashing it
@@ -52,6 +72,7 @@ func RunChaosTree(depth, fanout int, seed int64, faults string) (*ChaosTreeResul
 	res := &ChaosTreeResult{Depth: depth, Fanout: fanout, Seed: seed, Faults: faults}
 	bg := context.Background()
 	txc, runErr := tc.RunNoCommit()
+	res.Txn = txc.ID
 	if runErr == nil {
 		res.Committed = tc.Origin.Commit(bg, txc) == nil
 	} else {

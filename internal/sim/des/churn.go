@@ -1,0 +1,163 @@
+package des
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ChurnAnchor is one point of a churn schedule: the event rates in force
+// from At onward. Rates ramp linearly between consecutive anchors and hold
+// flat after the last one — "0s: crash=0.1; 30s: crash=2" is a 30-second
+// ramp from 0.1 to 2 crashes/sec.
+type ChurnAnchor struct {
+	At    time.Duration
+	Crash float64 // crash events per second (peer dies, restarts after Restart)
+	Leave float64 // departure events per second (peer dies until a join)
+	Join  float64 // join events per second (a departed peer comes back)
+	// Restart is how long a crashed peer stays down; 0 means it never
+	// restarts on its own. Step-interpolated (the value of the latest
+	// anchor at or before t applies).
+	Restart time.Duration
+}
+
+// ChurnSchedule is a piecewise-linear churn profile.
+type ChurnSchedule []ChurnAnchor
+
+// ParseChurn parses the churn DSL: semicolon-separated anchors of the form
+//
+//	<start>: crash=<rate> leave=<rate> join=<rate> restart=<duration>
+//
+// where <start> is a Go duration ("0s", "30s", "2m"), rates are events per
+// second, and every key is optional (missing keys are 0). The "<start>:"
+// prefix may be omitted on the first anchor (implying 0s). Anchors must be
+// in increasing time order.
+func ParseChurn(s string) (ChurnSchedule, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out ChurnSchedule
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var a ChurnAnchor
+		hasRestart := false
+		body := part
+		if i := strings.Index(part, ":"); i >= 0 {
+			at, err := time.ParseDuration(strings.TrimSpace(part[:i]))
+			if err != nil {
+				return nil, fmt.Errorf("churn: bad anchor time %q: %v", part[:i], err)
+			}
+			a.At = at
+			body = part[i+1:]
+		}
+		for _, kv := range strings.Fields(body) {
+			i := strings.Index(kv, "=")
+			if i < 0 {
+				return nil, fmt.Errorf("churn: bad field %q (want key=value)", kv)
+			}
+			key, val := kv[:i], kv[i+1:]
+			switch key {
+			case "crash", "leave", "join":
+				r, err := strconv.ParseFloat(val, 64)
+				if err != nil || r < 0 {
+					return nil, fmt.Errorf("churn: bad rate %q", kv)
+				}
+				switch key {
+				case "crash":
+					a.Crash = r
+				case "leave":
+					a.Leave = r
+				case "join":
+					a.Join = r
+				}
+			case "restart":
+				d, err := time.ParseDuration(val)
+				if err != nil || d < 0 {
+					return nil, fmt.Errorf("churn: bad restart %q", kv)
+				}
+				a.Restart = d
+				hasRestart = true
+			default:
+				return nil, fmt.Errorf("churn: unknown key %q", key)
+			}
+		}
+		if n := len(out); n > 0 {
+			if a.At <= out[n-1].At {
+				return nil, fmt.Errorf("churn: anchors must be in increasing time order (%s after %s)", a.At, out[n-1].At)
+			}
+			// An anchor that doesn't mention restart keeps the previous
+			// value — anchors describe changes, not full state.
+			if !hasRestart {
+				a.Restart = out[n-1].Restart
+			}
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// lerp interpolates one rate dimension at time t.
+func (cs ChurnSchedule) lerp(t time.Duration, get func(ChurnAnchor) float64) float64 {
+	if len(cs) == 0 {
+		return 0
+	}
+	if t <= cs[0].At {
+		return get(cs[0])
+	}
+	for i := 1; i < len(cs); i++ {
+		if t <= cs[i].At {
+			a, b := cs[i-1], cs[i]
+			frac := float64(t-a.At) / float64(b.At-a.At)
+			return get(a) + frac*(get(b)-get(a))
+		}
+	}
+	return get(cs[len(cs)-1])
+}
+
+// CrashRate returns the crash rate (events/sec) at virtual time t.
+func (cs ChurnSchedule) CrashRate(t time.Duration) float64 {
+	return cs.lerp(t, func(a ChurnAnchor) float64 { return a.Crash })
+}
+
+// LeaveRate returns the leave rate at t.
+func (cs ChurnSchedule) LeaveRate(t time.Duration) float64 {
+	return cs.lerp(t, func(a ChurnAnchor) float64 { return a.Leave })
+}
+
+// JoinRate returns the join rate at t.
+func (cs ChurnSchedule) JoinRate(t time.Duration) float64 {
+	return cs.lerp(t, func(a ChurnAnchor) float64 { return a.Join })
+}
+
+// RestartAfter returns the crash-restart delay in force at t (the latest
+// anchor at or before t; the first anchor before its own start time).
+func (cs ChurnSchedule) RestartAfter(t time.Duration) time.Duration {
+	if len(cs) == 0 {
+		return 0
+	}
+	d := cs[0].Restart
+	for _, a := range cs {
+		if a.At > t {
+			break
+		}
+		d = a.Restart
+	}
+	return d
+}
+
+// MaxRate returns the peak value of one rate dimension over the whole
+// schedule — the thinning envelope for Poisson event generation.
+func (cs ChurnSchedule) MaxRate(get func(ChurnAnchor) float64) float64 {
+	max := 0.0
+	for _, a := range cs {
+		if r := get(a); r > max {
+			max = r
+		}
+	}
+	return max
+}

@@ -1,0 +1,217 @@
+package des
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSchedOrdersByTimeThenSeq(t *testing.T) {
+	s := NewSched()
+	var got []int
+	s.At(20*time.Millisecond, func() { got = append(got, 3) })
+	s.At(10*time.Millisecond, func() { got = append(got, 1) })
+	s.At(10*time.Millisecond, func() { got = append(got, 2) }) // same time: insertion order
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v", got)
+	}
+	if s.Now() != 20*time.Millisecond {
+		t.Fatalf("now = %s", s.Now())
+	}
+}
+
+func TestSchedClockSleepAdvances(t *testing.T) {
+	s := NewSched()
+	c := s.Clock()
+	s.At(time.Second, func() {
+		if err := c.Sleep(context.Background(), 250*time.Millisecond); err != nil {
+			t.Errorf("sleep: %v", err)
+		}
+	})
+	s.Run()
+	if want := 1250 * time.Millisecond; s.Now() != want {
+		t.Fatalf("now = %s want %s", s.Now(), want)
+	}
+}
+
+func TestSchedAfterFires(t *testing.T) {
+	s := NewSched()
+	ch := s.Clock().After(time.Second)
+	s.Run()
+	select {
+	case ts := <-ch:
+		if want := s.WallNow(); !ts.Equal(want) {
+			t.Fatalf("After timestamp = %v want %v", ts, want)
+		}
+	default:
+		t.Fatal("After never fired")
+	}
+}
+
+func TestPercentileNearestRank(t *testing.T) {
+	var xs []time.Duration
+	for i := 1; i <= 100; i++ {
+		xs = append(xs, time.Duration(i))
+	}
+	cases := []struct {
+		p    float64
+		want time.Duration
+	}{
+		{0.50, 50}, {0.99, 99}, {1.0, 100}, {0.01, 1}, {0.001, 1},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("p%v = %d want %d", c.p, got, c.want)
+		}
+	}
+	// Odd-length sample: p50 of [1..5] is 3 (rank ceil(0.5*5)=3).
+	if got := Percentile(xs[:5], 0.50); got != 3 {
+		t.Errorf("p50 of 5 = %d want 3", got)
+	}
+	if got := Percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty = %d want 0", got)
+	}
+}
+
+func TestRecorderSummary(t *testing.T) {
+	var r Recorder
+	for i := 100; i >= 1; i-- {
+		r.Add(time.Duration(i) * time.Millisecond)
+	}
+	s := r.Summarize()
+	if s.Count != 100 || s.P50 != 50*time.Millisecond || s.P99 != 99*time.Millisecond || s.Max != 100*time.Millisecond {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestParseChurnRamp(t *testing.T) {
+	cs, err := ParseChurn("0s: crash=1 restart=5s; 10s: crash=3; 20s: crash=3 leave=0.5 restart=2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 3 {
+		t.Fatalf("anchors = %d", len(cs))
+	}
+	if r := cs.CrashRate(0); r != 1 {
+		t.Errorf("crash@0 = %v", r)
+	}
+	if r := cs.CrashRate(5 * time.Second); r != 2 { // midpoint of the 1→3 ramp
+		t.Errorf("crash@5s = %v", r)
+	}
+	if r := cs.CrashRate(30 * time.Second); r != 3 { // holds after last anchor
+		t.Errorf("crash@30s = %v", r)
+	}
+	if r := cs.LeaveRate(15 * time.Second); r != 0.25 { // 0→0.5 ramp midpoint
+		t.Errorf("leave@15s = %v", r)
+	}
+	if d := cs.RestartAfter(12 * time.Second); d != 5*time.Second { // step from anchor 0 (anchor 1 has none)
+		t.Errorf("restart@12s = %v", d)
+	}
+	if d := cs.RestartAfter(25 * time.Second); d != 2*time.Second {
+		t.Errorf("restart@25s = %v", d)
+	}
+	if _, err := ParseChurn("10s: crash=1; 5s: crash=2"); err == nil {
+		t.Error("out-of-order anchors accepted")
+	}
+	if _, err := ParseChurn("0s: bogus=1"); err == nil {
+		t.Error("unknown key accepted")
+	}
+}
+
+func TestRunTreeDeterministic(t *testing.T) {
+	cfg := TreeConfig{Depth: 2, Fanout: 2, Seed: 7, Faults: "drop kind=invoke p=0.4; crash peer=P2 kind=invoke to=P2 p=0.5 restart=2"}
+	a, err := RunTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunTree(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Committed != b.Committed || a.Injections != b.Injections || a.Restarts != b.Restarts {
+		t.Fatalf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunScaleSmoke(t *testing.T) {
+	var trace bytes.Buffer
+	res, err := RunScale(ScaleConfig{
+		Peers: 50, Txns: 2000, Rate: 2000, Seed: 3,
+		Churn: "0s: crash=0.5 restart=2s; 1s: crash=2",
+		Trace: &trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Committed+res.Aborted+res.Unavailable != res.Txns {
+		t.Fatalf("outcome accounting: %d+%d+%d != %d", res.Committed, res.Aborted, res.Unavailable, res.Txns)
+	}
+	if res.Committed == 0 {
+		t.Fatal("nothing committed")
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%d invariant violations", res.Violations)
+	}
+	if res.P50Ms <= 0 || res.P99Ms < res.P50Ms {
+		t.Fatalf("latency digest p50=%v p99=%v", res.P50Ms, res.P99Ms)
+	}
+	if len(res.Windows) == 0 {
+		t.Fatal("no availability windows")
+	}
+	if trace.Len() == 0 {
+		t.Fatal("no trace output")
+	}
+}
+
+func TestRunScaleSpeculativeCompensation(t *testing.T) {
+	res, err := RunScale(ScaleConfig{
+		Peers: 60, Txns: 1500, Rate: 3000, Seed: 5,
+		Faults:      "drop kind=invoke p=0.3",
+		Speculative: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted == 0 {
+		t.Fatal("fault schedule produced no aborts")
+	}
+	if res.CompOverlaps == 0 {
+		t.Fatal("speculative schedule never overlapped sibling compensations")
+	}
+	if res.CompOrderViol != 0 {
+		t.Fatalf("%d partial-order violations", res.CompOrderViol)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("%d WAL invariant violations", res.Violations)
+	}
+	if res.SpecCompP50Ms >= res.StrictCompP50Ms {
+		t.Fatalf("speculation did not help: spec p50 %.3fms vs strict %.3fms", res.SpecCompP50Ms, res.StrictCompP50Ms)
+	}
+}
+
+func TestRunScaleTraceByteIdentical(t *testing.T) {
+	run := func() ([]byte, *ScaleResult) {
+		var buf bytes.Buffer
+		res, err := RunScale(ScaleConfig{
+			Peers: 80, Txns: 3000, Rate: 3000, Seed: 11,
+			Churn:       "0s: crash=1 restart=1s; 500ms: crash=4 leave=0.5 join=0.5",
+			Faults:      "drop kind=invoke p=0.05; dup kind=invoke p=0.05",
+			Speculative: true,
+			Trace:       &buf,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), res
+	}
+	ta, ra := run()
+	tb, rb := run()
+	if !bytes.Equal(ta, tb) {
+		t.Fatalf("traces differ: %d vs %d bytes", len(ta), len(tb))
+	}
+	if ra.Committed != rb.Committed || ra.Aborted != rb.Aborted || ra.Crashes != rb.Crashes {
+		t.Fatalf("results differ: %+v vs %+v", ra, rb)
+	}
+}

@@ -1,0 +1,80 @@
+package des
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Percentile returns the p-quantile (0 < p ≤ 1) of a sorted sample using
+// the nearest-rank definition: the value at 1-based rank ⌈p·N⌉. This is
+// the single percentile definition the repo reports everywhere — p50 of
+// [1..100] is 50, p99 is 99, p100 is 100.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	rank := int(math.Ceil(p * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	return sorted[rank-1]
+}
+
+// Recorder accumulates latency samples and summarizes them. It keeps every
+// sample (8 bytes each — a million-transaction run costs 8 MB), so
+// percentiles are exact, not sketched.
+type Recorder struct {
+	samples []time.Duration
+	dirty   bool
+}
+
+// Add records one sample.
+func (r *Recorder) Add(d time.Duration) {
+	r.samples = append(r.samples, d)
+	r.dirty = true
+}
+
+// Count returns the number of samples.
+func (r *Recorder) Count() int { return len(r.samples) }
+
+func (r *Recorder) sort() {
+	if r.dirty {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.dirty = false
+	}
+}
+
+// Quantile returns the nearest-rank p-quantile of the recorded samples.
+func (r *Recorder) Quantile(p float64) time.Duration {
+	r.sort()
+	return Percentile(r.samples, p)
+}
+
+// Summary is the standard latency digest.
+type Summary struct {
+	Count int           `json:"count"`
+	P50   time.Duration `json:"p50"`
+	P99   time.Duration `json:"p99"`
+	Max   time.Duration `json:"max"`
+}
+
+// Summarize digests the recorded samples.
+func (r *Recorder) Summarize() Summary {
+	r.sort()
+	s := Summary{Count: len(r.samples)}
+	if s.Count == 0 {
+		return s
+	}
+	s.P50 = Percentile(r.samples, 0.50)
+	s.P99 = Percentile(r.samples, 0.99)
+	s.Max = r.samples[s.Count-1]
+	return s
+}

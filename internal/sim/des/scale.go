@@ -1,0 +1,534 @@
+package des
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"axmltx/internal/chaos"
+	"axmltx/internal/p2p"
+)
+
+// ScaleConfig parameterizes a scale-mode run: an open-loop Poisson arrival
+// process of transactions over a zipfian peer population, under a churn
+// schedule and an optional chaos rule schedule, entirely on virtual time.
+type ScaleConfig struct {
+	Peers int     // cluster size (P0..Pn-1)
+	Txns  int     // offered transactions
+	Rate  float64 // arrivals per virtual second (open loop)
+	Seed  int64
+
+	Depth, Fanout int     // participant tree shape per transaction
+	WorkEntries   int     // work inserts per participant
+	ZipfS         float64 // zipf skew for peer selection (>1; default 1.2)
+
+	Churn  string // churn DSL (ParseChurn)
+	Faults string // chaos rule DSL applied to transaction messages
+
+	Latency  time.Duration // one-way message cost
+	WALSync  time.Duration // commit/abort durability barrier cost
+	WorkCost time.Duration // per effect record cost
+
+	Window      time.Duration // availability aggregation window
+	SettleDelay time.Duration // arrival -> invariant check + state drop delay
+
+	// Speculative turns on the speculative-compensation schedule for
+	// aborted transactions: independent sibling subtrees compensate
+	// concurrently, constrained only by the ancestor-descendant partial
+	// order (descendants complete before an ancestor undoes its own
+	// effects). Strict mode — the fully serialized reverse order — is
+	// always computed alongside for comparison.
+	Speculative bool
+
+	Trace io.Writer // optional JSONL event trace (deterministic bytes)
+}
+
+func (c *ScaleConfig) defaults() {
+	if c.Peers <= 0 {
+		c.Peers = 1000
+	}
+	if c.Txns <= 0 {
+		c.Txns = 100000
+	}
+	if c.Rate <= 0 {
+		c.Rate = 10000
+	}
+	if c.Depth <= 0 {
+		c.Depth = 2
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 2
+	}
+	if c.WorkEntries <= 0 {
+		c.WorkEntries = 1
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.2
+	}
+	if c.Latency <= 0 {
+		c.Latency = 2 * time.Millisecond
+	}
+	if c.WALSync <= 0 {
+		c.WALSync = time.Millisecond
+	}
+	if c.WorkCost <= 0 {
+		c.WorkCost = 100 * time.Microsecond
+	}
+	if c.Window <= 0 {
+		c.Window = 5 * time.Second
+	}
+	if c.SettleDelay <= 0 {
+		c.SettleDelay = 500 * time.Millisecond
+	}
+}
+
+// WindowPoint is one availability-curve sample: what was offered and what
+// committed during [Start, Start+Window), with the churn rate in force.
+type WindowPoint struct {
+	Start       float64 `json:"start_s"`
+	CrashRate   float64 `json:"crash_rate"`
+	Arrivals    int     `json:"arrivals"`
+	Committed   int     `json:"committed"`
+	Aborted     int     `json:"aborted"`
+	Unavailable int     `json:"unavailable"`
+	// Availability is Committed/Arrivals (1 when nothing was offered).
+	Availability float64 `json:"availability"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+}
+
+// ScaleResult is the run digest, JSON-stable for the bench CLI and CI.
+type ScaleResult struct {
+	Peers int     `json:"peers"`
+	Txns  int     `json:"txns"`
+	Rate  float64 `json:"rate"`
+	Seed  int64   `json:"seed"`
+	Churn string  `json:"churn,omitempty"`
+
+	Committed   int `json:"committed"`
+	Aborted     int `json:"aborted"`
+	Unavailable int `json:"unavailable"`
+	Violations  int `json:"violations"`
+
+	Availability float64 `json:"availability"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	MaxMs        float64 `json:"max_ms"`
+
+	Messages       int64   `json:"messages"`
+	Crashes        int     `json:"crashes"`
+	Restarts       int     `json:"restarts"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+
+	// Speculative-compensation scenario outputs (Speculative runs only):
+	// sibling compensation intervals that actually overlapped, violations
+	// of the ancestor-descendant partial order, and the p50 abort
+	// compensation latency under both schedules.
+	CompOverlaps    int     `json:"comp_overlaps,omitempty"`
+	CompOrderViol   int     `json:"comp_order_violations,omitempty"`
+	StrictCompP50Ms float64 `json:"strict_comp_p50_ms,omitempty"`
+	SpecCompP50Ms   float64 `json:"spec_comp_p50_ms,omitempty"`
+
+	Windows []WindowPoint `json:"windows"`
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// treeSize is the node count of a depth/fanout tree.
+func treeSize(depth, fanout int) int {
+	n, level := 1, 1
+	for i := 0; i < depth; i++ {
+		level *= fanout
+		n += level
+	}
+	return n
+}
+
+// RunScale executes the scale experiment. Everything — arrivals, churn,
+// restarts, settlement — runs as events on one virtual clock; the same
+// seed yields byte-identical traces and results.
+func RunScale(cfg ScaleConfig) (*ScaleResult, error) {
+	cfg.defaults()
+	churn, err := ParseChurn(cfg.Churn)
+	if err != nil {
+		return nil, err
+	}
+	rules, err := chaos.ParseRules(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	need := treeSize(cfg.Depth, cfg.Fanout)
+	if need > cfg.Peers {
+		return nil, fmt.Errorf("des: tree needs %d peers, cluster has %d", need, cfg.Peers)
+	}
+
+	s := NewSched()
+	inj := chaos.NewInjector(cfg.Seed, rules, nil)
+	d := NewDeployment(s, inj, Config{
+		Latency: cfg.Latency, WALSync: cfg.WALSync, WorkCost: cfg.WorkCost,
+		PrunableLogs: true,
+	})
+	ids := make([]p2p.PeerID, cfg.Peers)
+	for i := range ids {
+		ids[i] = p2p.PeerID(fmt.Sprintf("P%d", i))
+		d.AddPeer(ids[i])
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(cfg.Peers-1))
+	d.SetJitter(rng)
+
+	var trace *bufio.Writer
+	if cfg.Trace != nil {
+		trace = bufio.NewWriterSize(cfg.Trace, 1<<16)
+	}
+	emit := func(format string, args ...interface{}) {
+		if trace != nil {
+			fmt.Fprintf(trace, format, args...)
+		}
+	}
+
+	res := &ScaleResult{Peers: cfg.Peers, Txns: cfg.Txns, Rate: cfg.Rate, Seed: cfg.Seed, Churn: cfg.Churn}
+	var lat Recorder
+	var strictComp, specComp Recorder
+	windows := make(map[int]*WindowPoint)
+	winLat := make(map[int]*Recorder)
+	window := func(t time.Duration) (*WindowPoint, *Recorder) {
+		i := int(t / cfg.Window)
+		w := windows[i]
+		if w == nil {
+			w = &WindowPoint{
+				Start:     (time.Duration(i) * cfg.Window).Seconds(),
+				CrashRate: churn.CrashRate(time.Duration(i) * cfg.Window),
+			}
+			windows[i] = w
+			winLat[i] = &Recorder{}
+		}
+		return w, winLat[i]
+	}
+
+	// pickDistinct samples `need` distinct peers zipf-first, scanning
+	// forward deterministically when the skewed draw keeps colliding.
+	picked := make([]p2p.PeerID, 0, need)
+	seen := make(map[p2p.PeerID]bool, need)
+	pickDistinct := func() []p2p.PeerID {
+		picked = picked[:0]
+		for k := range seen {
+			delete(seen, k)
+		}
+		for len(picked) < need {
+			id := ids[int(zipf.Uint64())]
+			for tries := 0; seen[id]; tries++ {
+				if tries < 8 {
+					id = ids[int(zipf.Uint64())]
+				} else {
+					id = ids[(int(rng.Int31n(int32(cfg.Peers)))+tries)%cfg.Peers]
+				}
+			}
+			seen[id] = true
+			picked = append(picked, id)
+		}
+		return picked
+	}
+
+	buildPlan := func(txn string, members []p2p.PeerID) *Plan {
+		pl := &Plan{
+			Txn: txn, Origin: members[0],
+			Children:    make(map[p2p.PeerID][]p2p.PeerID, len(members)),
+			Parent:      make(map[p2p.PeerID]p2p.PeerID, len(members)),
+			WorkEntries: cfg.WorkEntries,
+		}
+		next := 1
+		frontier := members[:1]
+		for depth := 1; depth <= cfg.Depth; depth++ {
+			start := next
+			for _, parent := range frontier {
+				for f := 0; f < cfg.Fanout; f++ {
+					child := members[next]
+					next++
+					pl.Children[parent] = append(pl.Children[parent], child)
+					pl.Parent[child] = parent
+				}
+			}
+			frontier = members[start:next]
+		}
+		return pl
+	}
+
+	settled := 0
+	// settle checks a transaction's invariants on its (alive) participants
+	// after reconciliation, scores the speculative-compensation schedule
+	// for aborts, then drops all per-transaction state.
+	settle := func(pl *Plan, committed bool) {
+		participants := pl.Participants()
+		alive := participants[:0:0]
+		for _, id := range participants {
+			if !inj.Crashed(id) {
+				alive = append(alive, id)
+			}
+		}
+		v := d.Reconcile(pl.Txn, committed, alive)
+		res.Violations += len(v)
+		if !committed && cfg.Speculative {
+			strict := compensationSchedule(pl, false, d.Cfg)
+			spec := compensationSchedule(pl, true, d.Cfg)
+			res.CompOverlaps += spec.overlaps
+			if err := CheckCompensationPartialOrder(pl, spec.start, spec.end); err != nil {
+				res.CompOrderViol++
+			}
+			if err := CheckCompensationPartialOrder(pl, strict.start, strict.end); err != nil {
+				res.CompOrderViol++
+			}
+			strictComp.Add(strict.total)
+			specComp.Add(spec.total)
+		}
+		emit("{\"e\":\"settle\",\"t\":%d,\"txn\":%q,\"viol\":%d}\n", s.Now().Nanoseconds(), pl.Txn, len(v))
+		d.DropTxn(pl.Txn, participants)
+		settled++
+	}
+
+	arrivals := 0
+	var scheduleArrival func()
+	scheduleArrival = func() {
+		if arrivals >= cfg.Txns {
+			return
+		}
+		gap := time.Duration(rng.ExpFloat64() / cfg.Rate * float64(time.Second))
+		s.After(gap, func() {
+			i := arrivals
+			arrivals++
+			txn := fmt.Sprintf("T%d", i)
+			now := s.Now()
+			w, wl := window(now)
+			w.Arrivals++
+			members := pickDistinct()
+			emit("{\"e\":\"arrive\",\"t\":%d,\"txn\":%q,\"origin\":%q}\n", now.Nanoseconds(), txn, members[0])
+			if inj.Crashed(members[0]) {
+				w.Unavailable++
+				res.Unavailable++
+				settled++ // nothing to settle, but the txn is accounted for
+				emit("{\"e\":\"unavail\",\"t\":%d,\"txn\":%q}\n", now.Nanoseconds(), txn)
+				scheduleArrival()
+				return
+			}
+			pl := buildPlan(txn, members)
+			d.AddPlan(pl)
+			committed, txLat := d.RunTxn(txn)
+			if committed {
+				w.Committed++
+				res.Committed++
+				lat.Add(txLat)
+				wl.Add(txLat)
+			} else {
+				w.Aborted++
+				res.Aborted++
+			}
+			emit("{\"e\":\"outcome\",\"t\":%d,\"txn\":%q,\"ok\":%v,\"lat\":%d}\n",
+				s.Now().Nanoseconds(), txn, committed, txLat.Nanoseconds())
+			s.After(cfg.SettleDelay, func() { settle(pl, committed) })
+			scheduleArrival()
+		})
+	}
+	scheduleArrival()
+
+	// Churn processes: Poisson event streams with piecewise-linear rates,
+	// realized by thinning against the schedule's peak rate.
+	var departed []p2p.PeerID
+	crashPeer := func(id p2p.PeerID, restartIn time.Duration) {
+		if inj.Crashed(id) {
+			return
+		}
+		inj.Crash(id)
+		res.Crashes++
+		emit("{\"e\":\"crash\",\"t\":%d,\"peer\":%q}\n", s.Now().Nanoseconds(), id)
+		if restartIn > 0 {
+			s.After(restartIn, func() {
+				inj.Restart(id)
+				res.Restarts++
+				emit("{\"e\":\"restart\",\"t\":%d,\"peer\":%q}\n", s.Now().Nanoseconds(), id)
+			})
+		}
+	}
+	pickAlive := func() (p2p.PeerID, bool) {
+		for tries := 0; tries < 16; tries++ {
+			id := ids[rng.Intn(cfg.Peers)]
+			if !inj.Crashed(id) {
+				return id, true
+			}
+		}
+		return "", false
+	}
+	startChurn := func(peak float64, rateAt func(time.Duration) float64, fire func()) {
+		if peak <= 0 {
+			return
+		}
+		var next func()
+		next = func() {
+			if settled >= cfg.Txns {
+				return
+			}
+			gap := time.Duration(rng.ExpFloat64() / peak * float64(time.Second))
+			s.After(gap, func() {
+				if settled >= cfg.Txns {
+					return
+				}
+				if r := rateAt(s.Now()); r > 0 && rng.Float64() < r/peak {
+					fire()
+				}
+				next()
+			})
+		}
+		next()
+	}
+	startChurn(churn.MaxRate(func(a ChurnAnchor) float64 { return a.Crash }),
+		churn.CrashRate, func() {
+			if id, ok := pickAlive(); ok {
+				crashPeer(id, churn.RestartAfter(s.Now()))
+			}
+		})
+	startChurn(churn.MaxRate(func(a ChurnAnchor) float64 { return a.Leave }),
+		churn.LeaveRate, func() {
+			if id, ok := pickAlive(); ok {
+				crashPeer(id, 0)
+				departed = append(departed, id)
+			}
+		})
+	startChurn(churn.MaxRate(func(a ChurnAnchor) float64 { return a.Join }),
+		churn.JoinRate, func() {
+			for len(departed) > 0 {
+				id := departed[0]
+				departed = departed[1:]
+				if inj.Crashed(id) {
+					inj.Restart(id)
+					res.Restarts++
+					emit("{\"e\":\"join\",\"t\":%d,\"peer\":%q}\n", s.Now().Nanoseconds(), id)
+					return
+				}
+			}
+		})
+
+	s.Run()
+
+	if trace != nil {
+		if err := trace.Flush(); err != nil {
+			return nil, err
+		}
+	}
+
+	offered := cfg.Txns
+	if offered > 0 {
+		res.Availability = float64(res.Committed) / float64(offered)
+	}
+	sum := lat.Summarize()
+	res.P50Ms, res.P99Ms, res.MaxMs = ms(sum.P50), ms(sum.P99), ms(sum.Max)
+	res.Messages = d.MessagesTotal()
+	res.VirtualSeconds = s.Now().Seconds()
+	if cfg.Speculative {
+		res.StrictCompP50Ms = ms(strictComp.Quantile(0.50))
+		res.SpecCompP50Ms = ms(specComp.Quantile(0.50))
+	}
+
+	maxWin := -1
+	for i := range windows {
+		if i > maxWin {
+			maxWin = i
+		}
+	}
+	for i := 0; i <= maxWin; i++ {
+		w := windows[i]
+		if w == nil {
+			continue
+		}
+		if w.Arrivals > 0 {
+			w.Availability = float64(w.Committed) / float64(w.Arrivals)
+		} else {
+			w.Availability = 1
+		}
+		if r := winLat[i]; r != nil && r.Count() > 0 {
+			w.P50Ms = ms(r.Quantile(0.50))
+			w.P99Ms = ms(r.Quantile(0.99))
+		}
+		res.Windows = append(res.Windows, *w)
+	}
+	return res, nil
+}
+
+// compSched is one compensation schedule: per-participant local-compensation
+// intervals in virtual time, the whole-tree completion time, and how many
+// sibling-subtree interval pairs overlapped (the concurrency evidence).
+type compSched struct {
+	start, end map[p2p.PeerID]time.Duration
+	total      time.Duration
+	overlaps   int
+}
+
+// compensationSchedule lays out the abort cascade's compensations for one
+// plan. Both schedules respect the true dependency — every descendant's
+// compensation completes before its ancestor compensates its own effects —
+// but strict mode serializes sibling subtrees in exact reverse invocation
+// order, while speculative mode launches them concurrently.
+func compensationSchedule(pl *Plan, speculative bool, cfg Config) compSched {
+	cs := compSched{
+		start: make(map[p2p.PeerID]time.Duration),
+		end:   make(map[p2p.PeerID]time.Duration),
+	}
+	local := time.Duration(pl.WorkEntries)*cfg.WorkCost + cfg.WALSync
+	var place func(id p2p.PeerID, t time.Duration) (subStart, subEnd time.Duration)
+	place = func(id p2p.PeerID, t time.Duration) (time.Duration, time.Duration) {
+		kids := pl.Children[id]
+		subStart := t
+		childrenEnd := t
+		if speculative {
+			type span struct{ s, e time.Duration }
+			spans := make([]span, 0, len(kids))
+			for _, k := range kids {
+				ks, ke := place(k, t+cfg.Latency)
+				spans = append(spans, span{ks, ke})
+				if ke > childrenEnd {
+					childrenEnd = ke
+				}
+			}
+			for i := 0; i < len(spans); i++ {
+				for j := i + 1; j < len(spans); j++ {
+					if spans[i].s < spans[j].e && spans[j].s < spans[i].e {
+						cs.overlaps++
+					}
+				}
+			}
+		} else {
+			cur := t
+			for i := len(kids) - 1; i >= 0; i-- {
+				_, ke := place(kids[i], cur+cfg.Latency)
+				cur = ke
+			}
+			childrenEnd = cur
+		}
+		cs.start[id] = childrenEnd
+		cs.end[id] = childrenEnd + local
+		return subStart, cs.end[id]
+	}
+	_, total := place(pl.Origin, 0)
+	cs.total = total
+	return cs
+}
+
+// CheckCompensationPartialOrder verifies the relaxed compensation-order
+// invariant on a schedule: along every invocation edge, the child's local
+// compensation must complete before the parent's begins (descendants undo
+// before ancestors — transitively, the full ancestor-descendant partial
+// order). Sibling subtrees are deliberately unordered; that freedom is
+// what speculative compensation exploits. Per-peer record order is still
+// covered by core.CheckReverseCompensationOrder on the WAL.
+func CheckCompensationPartialOrder(pl *Plan, start, end map[p2p.PeerID]time.Duration) error {
+	for parent, kids := range pl.Children {
+		for _, k := range kids {
+			if end[k] > start[parent] {
+				return fmt.Errorf("des: compensation partial order violated: %s finished at %s, after ancestor %s began at %s",
+					k, end[k], parent, start[parent])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,161 @@
+// Package des is the discrete-event simulation harness: a virtual clock and
+// event scheduler driving a protocol-faithful model of the AXML transaction
+// engine over the deterministic chaos injector. One OS thread simulates
+// thousands of peers and millions of transactions in seconds, with the same
+// WAL-level invariants (core.Check*) the real engine is held to and
+// byte-identical event traces for a given seed.
+//
+// The model executes each transaction as one synchronous invocation tree —
+// exactly the shape the in-memory p2p transport gives the real engine, where
+// deliveries are nested function calls — so fault decisions made by
+// chaos.Injector fall on the same per-edge message sequences and the two
+// runners agree on outcomes (see the equivalence tests in internal/sim).
+package des
+
+import (
+	"container/heap"
+	"context"
+	"sort"
+	"time"
+
+	"axmltx/internal/vclock"
+)
+
+// event is one scheduled callback. Ties on `at` break by insertion sequence,
+// making the pop order a deterministic total order.
+type event struct {
+	at  time.Duration
+	seq uint64
+	run func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Sched is the discrete-event scheduler. Virtual time is a Duration offset
+// from a fixed epoch; nothing in the simulation reads the wall clock.
+type Sched struct {
+	now   time.Duration
+	seq   uint64
+	h     eventHeap
+	epoch time.Time
+}
+
+// NewSched returns a scheduler at virtual time zero. The wall-clock epoch is
+// fixed (not time.Now()) so vclock timestamps — and anything derived from
+// them — are identical across runs.
+func NewSched() *Sched {
+	return &Sched{epoch: time.Date(2007, 4, 15, 0, 0, 0, 0, time.UTC)}
+}
+
+// Now returns the current virtual time.
+func (s *Sched) Now() time.Duration { return s.now }
+
+// WallNow returns the virtual time as an absolute timestamp (epoch + Now).
+func (s *Sched) WallNow() time.Time { return s.epoch.Add(s.now) }
+
+// At schedules run at absolute virtual time `at`. Events scheduled in the
+// past execute at the current time, in scheduling order.
+func (s *Sched) At(at time.Duration, run func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.h, &event{at: at, seq: s.seq, run: run})
+}
+
+// After schedules run `d` from now.
+func (s *Sched) After(d time.Duration, run func()) { s.At(s.now+d, run) }
+
+// Step pops and runs the next event, advancing virtual time to it. It
+// returns false when the queue is empty.
+func (s *Sched) Step() bool {
+	if len(s.h) == 0 {
+		return false
+	}
+	e := heap.Pop(&s.h).(*event)
+	if e.at > s.now {
+		s.now = e.at
+	}
+	e.run()
+	return true
+}
+
+// Run drains the queue.
+func (s *Sched) Run() {
+	for s.Step() {
+	}
+}
+
+// RunUntil executes events up to and including virtual time t, then sets
+// now = t.
+func (s *Sched) RunUntil(t time.Duration) {
+	for len(s.h) > 0 && s.h[0].at <= t {
+		s.Step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+// Advance moves virtual time forward without running events — used by the
+// Clock adapter while an event's callback is itself executing (a model
+// "sleep" inside a delivery is a Lamport-style intra-event advance).
+func (s *Sched) Advance(d time.Duration) {
+	if d > 0 {
+		s.now += d
+	}
+}
+
+// Clock returns a vclock.Clock view of the scheduler, installed into the
+// seams (p2p.Network.SetClock, chaos.Injector.SetClock, membership
+// Config.Clock) so every timer in the system fires on virtual time.
+func (s *Sched) Clock() vclock.Clock { return schedClock{s} }
+
+type schedClock struct{ s *Sched }
+
+func (c schedClock) Now() time.Time { return c.s.WallNow() }
+
+// Sleep advances virtual time immediately: the DES convention that a sleep
+// inside an executing event costs simulated, not real, time.
+func (c schedClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.s.Advance(d)
+	return nil
+}
+
+// After returns a channel that receives once the scheduler reaches now+d.
+// The send is non-blocking into a buffered channel, mirroring time.After.
+func (c schedClock) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.s.After(d, func() {
+		select {
+		case ch <- c.s.WallNow():
+		default:
+		}
+	})
+	return ch
+}
+
+// sortStrings is a tiny dependency-free sort for deterministic iteration
+// over map-keyed model state.
+func sortStrings(ss []string) { sort.Strings(ss) }

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"axmltx/internal/sim/des"
+)
+
+// TestDESSeedCorpus replays testdata/des_seeds.txt: every line is a
+// (tree, seed, faults) triple that once exposed — or guards against — a
+// divergence between the real chaos engine and the discrete-event model.
+// Both runners must agree on every line, every run.
+func TestDESSeedCorpus(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "des_seeds.txt"))
+	if err != nil {
+		t.Fatalf("seed corpus: %v", err)
+	}
+	defer f.Close()
+
+	byName := make(map[string]struct {
+		depth, fanout int
+		super         float64
+	})
+	for _, tr := range desTrees {
+		byName[tr.name] = struct {
+			depth, fanout int
+			super         float64
+		}{tr.depth, tr.fanout, tr.super}
+	}
+
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, " ", 3)
+		if len(parts) < 2 {
+			t.Errorf("des_seeds.txt:%d: want \"<tree> <seed> [faults]\", got %q", lineNo, line)
+			continue
+		}
+		shape, ok := byName[parts[0]]
+		if !ok {
+			t.Errorf("des_seeds.txt:%d: unknown tree %q", lineNo, parts[0])
+			continue
+		}
+		seed, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			t.Errorf("des_seeds.txt:%d: bad seed %q", lineNo, parts[1])
+			continue
+		}
+		faults := ""
+		if len(parts) == 3 {
+			faults = parts[2]
+		}
+		// Corpus lines carry the full fault schedule (any scenario script
+		// included), so the tree's own script is not re-joined here.
+		compareDESPair(t, line, shape.depth, shape.fanout, shape.super, seed, faults)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("seed corpus: %v", err)
+	}
+}
+
+// TestScaleTraceDeterminism is the scale-mode replay regression: the same
+// seed must yield byte-identical JSONL event traces and identical result
+// digests across runs. Full mode runs the reference 1000-peer 100k-txn
+// configuration; -short scales down but keeps churn, faults and
+// speculative compensation in play.
+func TestScaleTraceDeterminism(t *testing.T) {
+	cfg := des.ScaleConfig{
+		Peers: 1000, Txns: 100000, Rate: 10000, Seed: 42,
+		Churn:       "0s: crash=2 restart=5s; 5s: crash=6 leave=0.5 join=0.5",
+		Faults:      "drop kind=invoke p=0.02; dup kind=invoke p=0.02",
+		Speculative: true,
+	}
+	if testing.Short() {
+		cfg.Peers, cfg.Txns, cfg.Rate = 200, 5000, 5000
+	}
+	run := func() ([]byte, *des.ScaleResult) {
+		var buf bytes.Buffer
+		cfg.Trace = &buf
+		res, err := des.RunScale(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), res
+	}
+	ta, ra := run()
+	tb, rb := run()
+	if !bytes.Equal(ta, tb) {
+		// Locate the first divergent line for the failure message.
+		la, lb := bytes.Split(ta, []byte("\n")), bytes.Split(tb, []byte("\n"))
+		for i := 0; i < len(la) && i < len(lb); i++ {
+			if !bytes.Equal(la[i], lb[i]) {
+				t.Fatalf("traces diverge at line %d:\n  a: %s\n  b: %s", i+1, la[i], lb[i])
+			}
+		}
+		t.Fatalf("traces differ in length: %d vs %d bytes", len(ta), len(tb))
+	}
+	if fmt.Sprintf("%+v", ra) != fmt.Sprintf("%+v", rb) {
+		t.Fatalf("result digests differ:\n  a: %+v\n  b: %+v", ra, rb)
+	}
+	if ra.Committed == 0 || ra.Violations != 0 {
+		t.Fatalf("degenerate run: %+v", ra)
+	}
+}

@@ -228,11 +228,7 @@ func RunPerfSuiteQuick() []PerfResult {
 func summarize(name string, ops int, elapsed time.Duration, lat []time.Duration, allocs float64) PerfResult {
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	pct := func(p float64) float64 {
-		if len(lat) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(lat)-1))
-		return float64(lat[i].Microseconds())
+		return float64(Percentile(lat, p).Microseconds())
 	}
 	return PerfResult{
 		Name:        name,

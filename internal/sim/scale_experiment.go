@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"axmltx/internal/sim/des"
+)
+
+// ScaleExperimentConfig parameterizes the S1 churn sweep: one scale-mode
+// discrete-event run per crash rate, everything else held fixed, so the
+// availability and latency columns are directly comparable across rates.
+type ScaleExperimentConfig struct {
+	Peers int     // cluster size (default 1000)
+	Txns  int     // offered transactions per point (default 20000)
+	Rate  float64 // arrivals per virtual second (default 10000)
+	Seed  int64
+
+	// ChurnRates are the crash rates (crashes/sec) to sweep; default
+	// {0, 1, 2, 5, 10}.
+	ChurnRates []float64
+	// Restart is how long a crashed peer stays down (default 5s).
+	Restart time.Duration
+	// Speculative enables the speculative-compensation schedule scoring
+	// on every point.
+	Speculative bool
+}
+
+// ScalePoint is one sample of the SLO curve: the steady crash rate in
+// force and what the cluster delivered under it.
+type ScalePoint struct {
+	CrashRate    float64 `json:"crash_rate"`
+	Availability float64 `json:"availability"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	Committed    int     `json:"committed"`
+	Aborted      int     `json:"aborted"`
+	Unavailable  int     `json:"unavailable"`
+	Violations   int     `json:"violations"`
+}
+
+// RunScaleExperiment produces the S1 SLO curve: p50/p99 commit latency and
+// availability as functions of the churn rate, from one deterministic
+// discrete-event run per rate (same seed across points, so the workload —
+// arrival times, peer choices, tree shapes — is identical and only the
+// churn differs).
+func RunScaleExperiment(cfg ScaleExperimentConfig) ([]ScalePoint, error) {
+	if cfg.Peers <= 0 {
+		cfg.Peers = 1000
+	}
+	if cfg.Txns <= 0 {
+		cfg.Txns = 20000
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 10000
+	}
+	if len(cfg.ChurnRates) == 0 {
+		cfg.ChurnRates = []float64{0, 1, 2, 5, 10}
+	}
+	if cfg.Restart <= 0 {
+		cfg.Restart = 5 * time.Second
+	}
+	points := make([]ScalePoint, 0, len(cfg.ChurnRates))
+	for _, rate := range cfg.ChurnRates {
+		churn := ""
+		if rate > 0 {
+			churn = fmt.Sprintf("0s: crash=%g restart=%s", rate, cfg.Restart)
+		}
+		res, err := des.RunScale(des.ScaleConfig{
+			Peers: cfg.Peers, Txns: cfg.Txns, Rate: cfg.Rate, Seed: cfg.Seed,
+			Churn: churn, Speculative: cfg.Speculative,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: scale point crash=%g: %w", rate, err)
+		}
+		points = append(points, ScalePoint{
+			CrashRate:    rate,
+			Availability: res.Availability,
+			P50Ms:        res.P50Ms,
+			P99Ms:        res.P99Ms,
+			Committed:    res.Committed,
+			Aborted:      res.Aborted,
+			Unavailable:  res.Unavailable,
+			Violations:   res.Violations,
+		})
+	}
+	return points, nil
+}

@@ -1,0 +1,77 @@
+package vclock
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestRealSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := Real.Sleep(ctx, time.Hour); err == nil {
+		t.Fatal("expected context error")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("cancelled sleep blocked")
+	}
+}
+
+func TestManualSleepAdvances(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	if err := m.Sleep(context.Background(), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Now(); !got.Equal(time.Unix(5, 0)) {
+		t.Fatalf("now = %v, want 5s", got)
+	}
+}
+
+func TestManualAfterFiresOnAdvance(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	ch := m.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before advance")
+	default:
+	}
+	m.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	m.Advance(2 * time.Second)
+	select {
+	case at := <-ch:
+		if !at.Equal(time.Unix(11, 0)) {
+			t.Fatalf("fired at %v, want 11s", at)
+		}
+	default:
+		t.Fatal("timer did not fire after deadline crossed")
+	}
+}
+
+func TestManualAfterOrdering(t *testing.T) {
+	m := NewManual(time.Unix(0, 0))
+	late := m.After(20 * time.Second)
+	early := m.After(5 * time.Second)
+	m.Advance(30 * time.Second)
+	if _, ok := <-early, true; !ok {
+		t.Fatal("early timer missing")
+	}
+	if _, ok := <-late, true; !ok {
+		t.Fatal("late timer missing")
+	}
+}
+
+func TestOr(t *testing.T) {
+	if Or(nil) != Real {
+		t.Fatal("Or(nil) != Real")
+	}
+	m := NewManual(time.Unix(0, 0))
+	if Or(m) != m {
+		t.Fatal("Or(m) != m")
+	}
+}
