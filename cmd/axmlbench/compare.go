@@ -73,6 +73,28 @@ func p50Ratio(rs []sim.PerfResult, slow, fast string) float64 {
 	return s / f
 }
 
+// p99Micros returns the named result's tail latency, or 0 when absent.
+func p99Micros(rs []sim.PerfResult, name string) float64 {
+	for _, r := range rs {
+		if r.Name == name {
+			return r.P99Micros
+		}
+	}
+	return 0
+}
+
+// loadP99Ratio derives loaded/light client-side p99 of the L1 open-loop
+// runs — how much the tail stretches when the arrival rate multiplies. Both
+// runs share the machine, so the ratio is host-stable. Unlike the speedup
+// ratios, lower is better. 0 when either row is missing.
+func loadP99Ratio(rs []sim.PerfResult) float64 {
+	light, loaded := p99Micros(rs, "load_l1_light"), p99Micros(rs, "load_l1_loaded")
+	if light == 0 {
+		return 0
+	}
+	return loaded / light
+}
+
 // dedupeRatio derives uncached/cached upstream-invocation counts of the C1
 // cache experiment — the dedupe factor the materialization cache buys. Like
 // the speedup ratios it compares two runs of the same machine, so it is
@@ -149,6 +171,23 @@ func runCompare(current []sim.PerfResult, baselinePath string) bool {
 		ok = false
 	}
 	check("cache_dedupe_ratio_x", dedupeRatio(current), dedupeRatio(baseline))
+	// load_p99_ratio is the one lower-is-better gate: the open-loop tail may
+	// not stretch much further under the loaded rate than the baseline run's
+	// did. The allowance is floored at 2.0x so a very tight baseline (tail
+	// barely moved) doesn't turn scheduler noise into a gate.
+	if base, cur := loadP99Ratio(baseline), loadP99Ratio(current); base > 0 && cur > 0 {
+		allowed := base
+		if allowed < 2.0 {
+			allowed = 2.0
+		}
+		verdict := "ok"
+		if cur > allowed*(1+regressionTolerance) {
+			verdict = "FAIL"
+			ok = false
+		}
+		fmt.Printf("%-28s %8.2f  baseline %8.2f  (%+.1f%%)  %s\n",
+			"load_p99_ratio", cur, base, (cur/base-1)*100, verdict)
+	}
 	// Absolute floor: the materialization cache exists to collapse the C1
 	// zipfian repeat workload by at least 10x upstream invocations.
 	if dx := dedupeRatio(current); dx > 0 && dx < 10.0 {

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"axmltx/internal/sim"
+)
+
+// l1Output is the -json schema of the l1 mode: the light and loaded
+// open-loop run digests, cross-check verdicts included.
+type l1Output struct {
+	Light  sim.LoadResult `json:"light"`
+	Loaded sim.LoadResult `json:"loaded"`
+}
+
+// runL1 runs experiment L1 (open-loop load against a real multi-peer
+// cluster): a light run near the latency floor and a loaded run past it,
+// both cross-checking the cluster observability plane's merged-bucket
+// percentiles against exact client-side timers over the same samples.
+// Returns false — and the caller exits nonzero — when the plane estimate
+// falls outside its documented tolerance, the merged view missed samples
+// (gossip did not converge), or availability lands below availFloor.
+func runL1(seed int64, quick bool, peers, txns int, rate float64, availFloor float64, jsonOut string) bool {
+	light, loaded := sim.LoadDefaults(quick)
+	for _, cfg := range []*sim.LoadConfig{&light, &loaded} {
+		cfg.Seed = seed
+		if peers > 0 {
+			cfg.Peers = peers
+		}
+		if txns > 0 {
+			cfg.Ops = txns
+		}
+	}
+	if rate > 0 {
+		// An explicit -rate pins the loaded run; the light run keeps its
+		// default so the light/loaded contrast survives.
+		loaded.Rate = rate
+	}
+
+	lr := sim.RunLoadExperiment(light)
+	lr.Name = "light"
+	hr := sim.RunLoadExperiment(loaded)
+	hr.Name = "loaded"
+	results := []sim.LoadResult{lr, hr}
+
+	fmt.Printf("\n== L1 — open-loop load: %d peers, Poisson arrivals, zipfian mix (seed %d) ==\n",
+		lr.Peers, seed)
+	table("L1 — achieved load and availability",
+		"run\ttarget/s\tachieved/s\tops\tfailed\tavailability\telapsed s",
+		func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%s\t%.0f\t%.1f\t%d\t%d\t%.4f\t%.2f\n",
+					r.Name, r.TargetRate, r.AchievedRate, r.Ops, r.Failed, r.Availability, r.ElapsedSec)
+			}
+		})
+	table("L1 — cluster plane vs client-side percentiles (µs)",
+		"run\tclient p50\tplane p50\tclient p99\tplane p99\ttol p50\ttol p99\twithin tol\tplane samples\tplane peers",
+		func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%s\t%.0f\t%.0f\t%.0f\t%.0f\t±%.0f\t±%.0f\t%t\t%d\t%d\n",
+					r.Name, r.ClientP50Micros, r.PlaneP50Micros, r.ClientP99Micros, r.PlaneP99Micros,
+					r.ToleranceP50Micros, r.ToleranceP99Micros, r.PlaneWithinTol, r.PlaneSamples, r.PlanePeers)
+			}
+		})
+	table("L1 — SLO engine (loaded run objectives)",
+		"run\tlatency p99 ms\ttarget ms\tlatency ok\tavailability\ttarget\tburn rate\tbudget left",
+		func(w *tabwriter.Writer) {
+			for _, r := range results {
+				fmt.Fprintf(w, "%s\t%.3f\t%.3f\t%t\t%.4f\t%.4f\t%.2f\t%.2f\n",
+					r.Name, r.SLO.LatencyMs, r.SLO.LatencyTargetMs, r.SLO.LatencyOK,
+					r.SLO.Availability, r.SLO.AvailabilityTarget, r.SLO.BurnRate, r.SLO.BudgetRemaining)
+			}
+		})
+	fmt.Printf("load p99 ratio (loaded/light): %.2fx\n",
+		ratioOrZero(hr.ClientP99Micros, lr.ClientP99Micros))
+
+	if jsonOut != "" {
+		blob, err := json.MarshalIndent(l1Output{Light: lr, Loaded: hr}, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "axmlbench: write %s: %v\n", jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+
+	ok := true
+	for _, r := range results {
+		if !r.PlaneWithinTol {
+			fmt.Fprintf(os.Stderr, "l1: FAIL: %s run: plane percentiles outside bucket tolerance (p50 %.0fµs vs %.0fµs ±%.0f, p99 %.0fµs vs %.0fµs ±%.0f)\n",
+				r.Name, r.PlaneP50Micros, r.ClientP50Micros, r.ToleranceP50Micros,
+				r.PlaneP99Micros, r.ClientP99Micros, r.ToleranceP99Micros)
+			ok = false
+		}
+		if r.PlaneSamples != int64(r.Ops) {
+			fmt.Fprintf(os.Stderr, "l1: FAIL: %s run: merged view saw %d of %d samples — summaries did not converge\n",
+				r.Name, r.PlaneSamples, r.Ops)
+			ok = false
+		}
+		if availFloor > 0 && r.Availability < availFloor {
+			fmt.Fprintf(os.Stderr, "l1: FAIL: %s run: availability %.4f below floor %.4f\n",
+				r.Name, r.Availability, availFloor)
+			ok = false
+		}
+	}
+	return ok
+}
+
+func ratioOrZero(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

@@ -1,6 +1,6 @@
 // Command axmlbench runs the experiment suite of EXPERIMENTS.md and prints
 // one table per experiment. Without arguments it runs everything; pass
-// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 m1 c1 perf obs chaos s1)
+// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 m1 c1 perf obs chaos s1 l1)
 // to select a subset, either positionally or via -run.
 //
 //	go run ./cmd/axmlbench          # full suite
@@ -12,6 +12,8 @@
 //	go run ./cmd/axmlbench -run chaos -scenario b -seed 6 -traceout b6.jsonl
 //	go run ./cmd/axmlbench -run s1 -json s1.json             # 1k peers, 1M txns
 //	go run ./cmd/axmlbench -run s1 -quick -availfloor 0.5    # CI smoke
+//	go run ./cmd/axmlbench -run l1 -json l1.json             # open-loop load + plane cross-check
+//	go run ./cmd/axmlbench -run l1 -quick -availfloor 0.9    # CI smoke
 package main
 
 import (
@@ -40,11 +42,11 @@ func main() {
 	scenario := flag.String("scenario", "", "chaos: scenario to replay (fig1 fig1f sphere a b bg c d; default: sweep all)")
 	faults := flag.String("faults", "", "chaos: noise fault schedule in the rule DSL")
 	compare := flag.String("compare", "", "perf regression gate: baseline JSON to compare against; exits 1 when a derived metric regresses >15%. Compares the perf run's fresh results, or the file named by -json when perf is not selected")
-	peers := flag.Int("peers", 0, "s1: cluster size (default 1000, or 200 with -quick)")
-	txns := flag.Int("txns", 0, "s1: offered transactions (default 1000000, or 50000 with -quick)")
-	rate := flag.Float64("rate", 0, "s1: arrivals per virtual second (default 20000, or 10000 with -quick)")
+	peers := flag.Int("peers", 0, "s1/l1: cluster size (s1 default 1000, or 200 with -quick; l1 default 5, or 3 with -quick)")
+	txns := flag.Int("txns", 0, "s1/l1: offered transactions per run (s1 default 1000000, or 50000 with -quick)")
+	rate := flag.Float64("rate", 0, "s1: arrivals per virtual second; l1: loaded-run target ops/sec")
 	churn := flag.String("churn", "", "s1: churn schedule DSL, e.g. \"0s: crash=2 restart=5s; 25s: crash=10\"")
-	availFloor := flag.Float64("availfloor", 0, "s1: exit 1 when headline availability falls below this floor (0 = disabled)")
+	availFloor := flag.Float64("availfloor", 0, "s1/l1: exit 1 when availability falls below this floor (0 = disabled)")
 	flag.Parse()
 	traceOutSet := false
 	flag.Visit(func(f *flag.Flag) {
@@ -132,6 +134,17 @@ func main() {
 			s1JSON = ""
 		}
 		if !runS1(*seed, *quick, *peers, *txns, *rate, *churn, *availFloor, s1JSON) {
+			os.Exit(1)
+		}
+	}
+	if selected["l1"] {
+		// Like s1, l1 writes its own -json schema and only claims the flag
+		// when neither perf nor s1 (earlier claimants) is selected.
+		l1JSON := *jsonOut
+		if selected["perf"] || selected["s1"] {
+			l1JSON = ""
+		}
+		if !runL1(*seed, *quick, *peers, *txns, *rate, *availFloor, l1JSON) {
 			os.Exit(1)
 		}
 	}

@@ -23,11 +23,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -36,6 +38,7 @@ import (
 	"axmltx/internal/core"
 	"axmltx/internal/membership"
 	"axmltx/internal/obs"
+	obscluster "axmltx/internal/obs/cluster"
 	"axmltx/internal/p2p"
 	"axmltx/internal/services"
 	"axmltx/internal/wal"
@@ -56,6 +59,7 @@ func main() {
 	gossip := flag.Duration("gossip", 0, "enable SWIM gossip membership with this probe interval, e.g. 1s: the configured neighbors become gossip seeds, the replica catalog is maintained by announcements instead of static <replica> entries alone, failure detection feeds recovery, and /members reports the live view (0 disables; replaces the static neighbor pinger)")
 	cache := flag.Int("cache", 0, "semantic materialization-cache capacity in entries: identical service calls within their frequency-derived freshness window are served from cache, with singleflight dedupe of concurrent calls and — with -gossip — cluster-wide dedupe through call advertisements (0 disables)")
 	cacheTTL := flag.Duration("cachettl", 0, "freshness window for cacheable calls that declare no frequency attribute, e.g. 30s (0: such calls stay uncached; needs -cache)")
+	slo := flag.String("slo", "", `cluster SLO targets for the observability plane as comma-separated key=value pairs, e.g. "p99=50ms,avail=0.999,window=5m" (keys: p99 latency target, avail commit-fraction target, window burn-rate window, family histogram family; needs -gossip, which carries the metric summaries the plane merges)`)
 	flag.Parse()
 	if *configPath == "" {
 		fatalUsage("the -config flag is required")
@@ -88,11 +92,64 @@ func main() {
 	if *cacheTTL > 0 && *cache == 0 {
 		fatalUsage("-cachettl needs -cache to enable the materialization cache")
 	}
+	sloCfg, err := parseSLO(*slo)
+	if err != nil {
+		fatalUsage(err.Error())
+	}
+	if *slo != "" && *gossip == 0 {
+		fatalUsage("-slo needs -gossip: the cluster plane rides on gossiped metric summaries")
+	}
 	wcfg := walConfig{path: *walPath, dir: *walDir, segBytes: *walSeg, checkpointEvery: *walCheckpoint, sync: syncMode}
 	ccfg := cacheConfig{capacity: *cache, ttl: *cacheTTL}
-	if err := run(*configPath, wcfg, ccfg, *docsDir, *httpAddr, *sample, *slowTxn, *gossip); err != nil {
+	if err := run(*configPath, wcfg, ccfg, *docsDir, *httpAddr, *sample, *slowTxn, *gossip, sloCfg); err != nil {
 		log.Fatalf("axmlpeer: %v", err)
 	}
+}
+
+// parseSLO turns the -slo flag ("p99=50ms,avail=0.999,window=5m") into the
+// plane's objective configuration. Empty input is the zero config: the SLO
+// engine still reports estimates, it just never judges them.
+func parseSLO(s string) (obscluster.SLOConfig, error) {
+	var cfg obscluster.SLOConfig
+	if s == "" {
+		return cfg, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return cfg, fmt.Errorf("invalid -slo entry %q (want key=value)", part)
+		}
+		switch k {
+		case "p99":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return cfg, fmt.Errorf("invalid -slo p99 %q (want a positive duration like 50ms)", v)
+			}
+			cfg.LatencyTarget = d
+			cfg.LatencyQuantile = 0.99
+		case "avail":
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil || f <= 0 || f >= 1 {
+				return cfg, fmt.Errorf("invalid -slo avail %q (want a fraction like 0.999)", v)
+			}
+			cfg.Availability = f
+		case "window":
+			d, err := time.ParseDuration(v)
+			if err != nil || d <= 0 {
+				return cfg, fmt.Errorf("invalid -slo window %q (want a positive duration like 5m)", v)
+			}
+			cfg.Window = d
+		case "family":
+			cfg.LatencyFamily = v
+		default:
+			return cfg, fmt.Errorf("unknown -slo key %q (want p99, avail, window, or family)", k)
+		}
+	}
+	return cfg, nil
 }
 
 // cacheConfig bundles the materialization-cache flags.
@@ -119,7 +176,7 @@ type walConfig struct {
 	sync            wal.SyncMode
 }
 
-func run(configPath string, wcfg walConfig, ccfg cacheConfig, docsDir string, httpAddr string, sample float64, slowTxn time.Duration, gossipEvery time.Duration) error {
+func run(configPath string, wcfg walConfig, ccfg cacheConfig, docsDir string, httpAddr string, sample float64, slowTxn time.Duration, gossipEvery time.Duration, sloCfg obscluster.SLOConfig) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -215,9 +272,18 @@ func run(configPath string, wcfg walConfig, ccfg cacheConfig, docsDir string, ht
 		Membership:        member,
 		CallCacheCapacity: ccfg.capacity,
 		CacheTTL:          ccfg.ttl,
+		SLO:               sloCfg,
 	})
 	if ccfg.capacity > 0 {
 		log.Printf("materialization cache on (%d entries, default window %s)", ccfg.capacity, ccfg.ttl)
+	}
+	if plane := peer.Cluster(); plane != nil && (sloCfg.LatencyTarget > 0 || sloCfg.Availability > 0) {
+		window := sloCfg.Window
+		if window == 0 {
+			window = 5 * time.Minute // the engine's default
+		}
+		log.Printf("cluster SLO targets: p99<=%s avail>=%.4f (window %s)",
+			sloCfg.LatencyTarget, sloCfg.Availability, window)
 	}
 	// ready flips once startup (config, checkpoint load, restart recovery)
 	// finished; until then /healthz answers 503 so orchestrators hold
@@ -239,6 +305,10 @@ func run(configPath string, wcfg walConfig, ccfg cacheConfig, docsDir string, ht
 		if member != nil {
 			hcfg.Members = func() any { return member.Info() }
 		}
+		if plane := peer.Cluster(); plane != nil {
+			hcfg.Cluster = func() any { return plane.View() }
+			hcfg.ClusterMetrics = func(w io.Writer) error { return plane.WritePrometheus(w) }
+		}
 		handler := obs.NewOpsHandler(hcfg)
 		srv := &http.Server{Addr: httpAddr, Handler: handler}
 		httpLn, err := net.Listen("tcp", httpAddr)
@@ -254,6 +324,9 @@ func run(configPath string, wcfg walConfig, ccfg cacheConfig, docsDir string, ht
 		extra := ""
 		if member != nil {
 			extra = " /members"
+		}
+		if peer.Cluster() != nil {
+			extra += " /cluster /cluster/metrics"
 		}
 		log.Printf("ops endpoints on http://%s: /metrics /trace/{txn} /traces /healthz%s /debug/pprof/", httpLn.Addr(), extra)
 	}

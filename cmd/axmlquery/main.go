@@ -7,6 +7,7 @@
 //	axmlquery -addr 127.0.0.1:7002 -id AP2 -invoke setPoints -abort value=99
 //	axmlquery -addr 127.0.0.1:7002 -id AP2 -metrics
 //	axmlquery -addr 127.0.0.1:7002 -id AP2 -members
+//	axmlquery -addr 127.0.0.1:7002 -id AP2 -cluster
 //	axmlquery -addr 127.0.0.1:7002 -id AP2 -trace TA@AP1
 package main
 
@@ -34,6 +35,7 @@ func main() {
 	documents := flag.Bool("documents", false, "list the peer's documents")
 	metrics := flag.Bool("metrics", false, "dump the peer's metrics in Prometheus text format")
 	members := flag.Bool("members", false, "dump the peer's gossip membership view and replica catalog as JSON (requires the peer to run with -gossip)")
+	clusterView := flag.Bool("cluster", false, "dump the peer's merged cluster observability view (per-peer health, cluster percentiles, SLO status) as JSON (requires the peer to run with -gossip)")
 	trace := flag.String("trace", "", "print the span tree of the given transaction ID")
 	abort := flag.Bool("abort", false, "abort (compensate) instead of committing")
 	flag.Parse()
@@ -42,12 +44,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*addr, p2p.PeerID(*id), *invoke, *descriptors, *documents, *metrics, *members, *trace, *abort, flag.Args()); err != nil {
+	if err := run(*addr, p2p.PeerID(*id), *invoke, *descriptors, *documents, *metrics, *members, *clusterView, *trace, *abort, flag.Args()); err != nil {
 		log.Fatalf("axmlquery: %v", err)
 	}
 }
 
-func run(addr string, target p2p.PeerID, invoke string, descriptors, documents, metrics, members bool, trace string, abort bool, args []string) error {
+func run(addr string, target p2p.PeerID, invoke string, descriptors, documents, metrics, members, clusterView bool, trace string, abort bool, args []string) error {
 	self := p2p.PeerID(fmt.Sprintf("client-%d", os.Getpid()))
 	transport, err := p2p.ListenTCP(self, "127.0.0.1:0")
 	if err != nil {
@@ -58,7 +60,7 @@ func run(addr string, target p2p.PeerID, invoke string, descriptors, documents, 
 
 	peer := core.NewPeer(transport, wal.NewMemory(), core.Options{})
 
-	if descriptors || documents || metrics || members {
+	if descriptors || documents || metrics || members || clusterView {
 		subject := "descriptors"
 		switch {
 		case documents:
@@ -67,12 +69,14 @@ func run(addr string, target p2p.PeerID, invoke string, descriptors, documents, 
 			subject = "metrics"
 		case members:
 			subject = "members"
+		case clusterView:
+			subject = "cluster"
 		}
 		resp, err := admin(transport, target, &p2p.Message{Kind: p2p.KindAdmin, Subject: subject})
 		if err != nil {
 			return err
 		}
-		if members {
+		if members || clusterView {
 			// Re-indent the JSON payload for the terminal.
 			var buf json.RawMessage = resp.Payload
 			pretty, err := json.MarshalIndent(buf, "", "  ")
@@ -103,7 +107,7 @@ func run(addr string, target p2p.PeerID, invoke string, descriptors, documents, 
 	}
 
 	if invoke == "" {
-		return fmt.Errorf("nothing to do: pass -invoke, -descriptors, -documents, -metrics or -trace")
+		return fmt.Errorf("nothing to do: pass -invoke, -descriptors, -documents, -metrics, -members, -cluster or -trace")
 	}
 	params := make(map[string]string)
 	for _, a := range args {

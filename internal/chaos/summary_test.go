@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"axmltx/internal/core"
+	"axmltx/internal/obs"
+	"axmltx/internal/p2p"
+)
+
+// TestClusterSummaryExpiresOnDeath checks the observability plane's death
+// path end to end under fault injection, across several seeds: a four-peer
+// cluster converges until every peer's merged view carries every origin's
+// metric summary, then one peer crashes. Once the failure detector declares
+// it dead, every survivor's plane must drop the dead origin — a crashed
+// peer's metrics presented as a live cluster view would lie.
+func TestClusterSummaryExpiresOnDeath(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	ids := []p2p.PeerID{"AP1", "AP2", "AP3", "AP4"}
+	victim := p2p.PeerID("AP3")
+
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			inj := NewInjector(seed, nil, nil)
+			c := NewCluster(inj)
+			c.Gossip = quickGossip(3)
+			for _, id := range ids {
+				// A registry per peer activates the plane in core.NewPeer
+				// (plane wiring needs Membership + MetricsRegistry).
+				c.Add(id, core.Options{MetricsRegistry: obs.NewRegistry()})
+			}
+			ctx := context.Background()
+			c.ConnectGossip()
+
+			planes := func() map[p2p.PeerID][]string {
+				out := make(map[p2p.PeerID][]string)
+				for _, id := range ids {
+					if inj.Crashed(id) {
+						continue
+					}
+					out[id] = c.Peers[id].Cluster().Origins()
+				}
+				return out
+			}
+			converged := func() bool {
+				for _, origins := range planes() {
+					if len(origins) != len(ids) {
+						return false
+					}
+				}
+				return true
+			}
+			for i := 0; i < 200 && !converged(); i++ {
+				c.GossipRounds(ctx, 1)
+			}
+			if !converged() {
+				t.Fatalf("planes never converged: %v", planes())
+			}
+
+			inj.Crash(victim)
+			expired := func() bool {
+				for id, origins := range planes() {
+					if id == victim {
+						continue
+					}
+					for _, o := range origins {
+						if o == string(victim) {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			// SuspectRounds is 3; give detection + dissemination slack.
+			for i := 0; i < 200 && !expired(); i++ {
+				c.GossipRounds(ctx, 1)
+			}
+			if !expired() {
+				t.Fatalf("seed %d: crashed peer's summary still served: %v", seed, planes())
+			}
+			// Survivors must still carry each other.
+			for id, origins := range planes() {
+				if id == victim {
+					continue
+				}
+				if len(origins) != len(ids)-1 {
+					t.Errorf("seed %d: %s view %v, want the %d survivors", seed, id, origins, len(ids)-1)
+				}
+			}
+		})
+	}
+}

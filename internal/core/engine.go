@@ -12,6 +12,7 @@ import (
 	"axmltx/internal/axml"
 	"axmltx/internal/membership"
 	"axmltx/internal/obs"
+	obscluster "axmltx/internal/obs/cluster"
 	"axmltx/internal/p2p"
 	"axmltx/internal/replication"
 	"axmltx/internal/services"
@@ -74,6 +75,11 @@ type Options struct {
 	// declare no frequency attribute; zero leaves such calls uncached
 	// (only frequency-carrying calls hit the cache).
 	CacheTTL time.Duration
+	// SLO configures the cluster observability plane's objectives (latency
+	// target/quantile, availability, burn-rate window). The plane itself is
+	// created whenever both Membership and MetricsRegistry are set; SLO
+	// only tunes its judgment and defaults sensibly when zero.
+	SLO obscluster.SLOConfig
 }
 
 // FaultHook is application-specific fault-handler code attached to
@@ -97,6 +103,7 @@ type Peer struct {
 	tracer    *obs.Tracer
 	sampler   *obs.Sampler
 	cache     *callCache // nil unless Options.CallCacheCapacity > 0
+	plane     *obscluster.Plane
 
 	// Latency histograms (nil-safe: stay nil without a MetricsRegistry).
 	histMaterialize *obs.Histogram
@@ -147,6 +154,16 @@ func NewPeer(transport p2p.Transport, log wal.Log, opts Options) *Peer {
 		// detection feeds the §3.3 disconnection protocol.
 		m.SetTable(p.replicas)
 		m.OnDown(func(dead p2p.PeerID) { p.OnPeerDown(dead) })
+		if opts.MetricsRegistry != nil {
+			// The cluster observability plane: the local registry is
+			// snapshotted each gossip round and piggybacked on sync
+			// exchanges; summaries received from other peers merge into the
+			// plane, and membership's death verdicts / TTL expiry drop them.
+			p.plane = obscluster.NewPlane(string(p.id), opts.MetricsRegistry, opts.SLO)
+			m.SetSummarySource(p.plane.Capture)
+			m.OnSummary(func(s membership.PeerSummary) { _ = p.plane.Apply(s.Payload) })
+			m.OnSummaryDrop(func(dead p2p.PeerID) { p.plane.Drop(string(dead)) })
+		}
 		handler = m.Intercept(handler)
 	}
 	transport.SetHandler(p2p.AnswerPings(handler))
@@ -156,6 +173,10 @@ func NewPeer(transport p2p.Transport, log wal.Log, opts Options) *Peer {
 // Membership returns the gossip instance bound via Options.Membership, or
 // nil when the peer runs with a static replica table.
 func (p *Peer) Membership() *membership.Gossip { return p.opts.Membership }
+
+// Cluster returns the peer's cluster observability plane, or nil when the
+// peer runs without both Membership and MetricsRegistry.
+func (p *Peer) Cluster() *obscluster.Plane { return p.plane }
 
 // noteInvokeRTT feeds a successful remote-invoke round trip into the
 // membership RTT estimator (replica ranking), when gossip is enabled.
@@ -171,6 +192,7 @@ func (p *Peer) noteInvokeRTT(target p2p.PeerID, d time.Duration) {
 func (p *Peer) RegisterObservability(reg *obs.Registry) {
 	peer := string(p.id)
 	p.metrics.Register(reg, peer)
+	obs.RegisterProcessMetrics(reg, peer)
 	labels := obs.Labels{"peer": peer}
 	p.histMaterialize = reg.Histogram("axml_materialize_seconds", labels)
 	p.histInvoke = reg.Histogram("axml_invoke_seconds", labels)
@@ -600,6 +622,15 @@ func (p *Peer) handleAdmin(msg *p2p.Message) (*p2p.Message, error) {
 			return nil, fmt.Errorf("core: peer %s runs without gossip membership", p.id)
 		}
 		payload, err := json.Marshal(m.Info())
+		if err != nil {
+			return nil, err
+		}
+		return &p2p.Message{Kind: p2p.KindAdmin, Payload: payload}, nil
+	case "cluster":
+		if p.plane == nil {
+			return nil, fmt.Errorf("core: peer %s runs without the cluster observability plane", p.id)
+		}
+		payload, err := json.Marshal(p.plane.View())
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"axmltx/internal/membership"
+	"axmltx/internal/obs"
+	obscluster "axmltx/internal/obs/cluster"
+	"axmltx/internal/p2p"
+	"axmltx/internal/wal"
+)
+
+// TestClusterPlaneWiring checks NewPeer's plane assembly end to end: with
+// Membership + MetricsRegistry the plane exists, gossip rounds federate
+// each peer's transaction counters into the other's merged view, and the
+// "cluster" admin subject serves the view over the wire.
+func TestClusterPlaneWiring(t *testing.T) {
+	net := p2p.NewNetwork(0)
+	mk := func(id, seed p2p.PeerID) (*Peer, *membership.Gossip) {
+		tr := net.Join(id)
+		reg := obs.NewRegistry()
+		g := membership.New(tr, membership.Config{Seeds: []p2p.PeerID{seed}, Registry: reg})
+		p := NewPeer(tr, wal.NewMemory(), Options{
+			Membership:      g,
+			MetricsRegistry: reg,
+			SLO:             obscluster.SLOConfig{Availability: 0.99},
+		})
+		return p, g
+	}
+	ap1, g1 := mk("AP1", "AP2")
+	ap2, g2 := mk("AP2", "AP1")
+	if ap1.Cluster() == nil || ap2.Cluster() == nil {
+		t.Fatal("plane not constructed despite Membership + MetricsRegistry")
+	}
+
+	// One committed transaction on each peer, then gossip until federated.
+	for _, p := range []*Peer{ap1, ap2} {
+		txc := p.Begin()
+		if err := p.Commit(bg, txc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		g1.Tick(bg)
+		g2.Tick(bg)
+	}
+
+	view := ap1.Cluster().View()
+	if len(view.Peers) != 2 {
+		t.Fatalf("AP1 merged view has %d peers, want 2: %+v", len(view.Peers), view.Peers)
+	}
+	if view.Committed != 2 {
+		t.Fatalf("merged committed = %d, want 2 (one per peer)", view.Committed)
+	}
+	if view.SLO.AvailabilityTarget != 0.99 {
+		t.Fatalf("SLO target not threaded through Options: %+v", view.SLO)
+	}
+
+	// The admin subject serves the same view remotely.
+	resp, err := ap1.Transport().Request(bg, "AP2",
+		&p2p.Message{Kind: p2p.KindAdmin, Subject: "cluster"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remote obscluster.View
+	if err := json.Unmarshal(resp.Payload, &remote); err != nil {
+		t.Fatalf("cluster admin payload: %v\n%s", err, resp.Payload)
+	}
+	if remote.Self != "AP2" || len(remote.Peers) != 2 {
+		t.Fatalf("remote view: self %q, %d peers", remote.Self, len(remote.Peers))
+	}
+}
+
+// TestClusterAdminWithoutPlane pins the error path: no registry, no plane,
+// and the admin subject says so instead of serving an empty view.
+func TestClusterAdminWithoutPlane(t *testing.T) {
+	c := newCluster(t)
+	ap1 := c.add("AP1", Options{})
+	ap2 := c.add("AP2", Options{})
+	_ = ap2
+	resp, err := ap1.Transport().Request(bg, "AP2",
+		&p2p.Message{Kind: p2p.KindAdmin, Subject: "cluster"})
+	if err == nil && resp.Err == "" {
+		t.Fatal("cluster admin subject served without a plane")
+	}
+	if ap1.Cluster() != nil {
+		t.Fatal("plane constructed without MetricsRegistry")
+	}
+}

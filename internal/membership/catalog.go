@@ -77,11 +77,32 @@ type memberRecord struct {
 	Addr        string
 }
 
+// PeerSummary is one origin's metric-summary advertisement, piggybacked on
+// sync exchanges for the cluster observability plane (internal/obs/cluster).
+// Membership treats Payload as opaque bytes — it versions, relays and
+// expires summaries without depending on their encoding. Like catalog
+// entries, the origin is the single writer: it bumps Version on every
+// refresh and reconciliation keeps the highest version per origin.
+type PeerSummary struct {
+	Origin        p2p.PeerID `json:"origin"`
+	Version       uint64     `json:"version"`
+	TakenUnixNano int64      `json:"taken_unix_nano"`
+	Payload       []byte     `json:"-"`
+}
+
+// storedSummary pairs a received summary with the local receipt time that
+// drives SummaryTTL expiry (origin clocks are not trusted for expiry).
+type storedSummary struct {
+	PeerSummary
+	received time.Time
+}
+
 // syncMsg is the full push-pull payload (request and response alike).
 type syncMsg struct {
-	From    p2p.PeerID
-	Members []memberRecord
-	Catalog []CatalogEntry
+	From      p2p.PeerID
+	Members   []memberRecord
+	Catalog   []CatalogEntry
+	Summaries []PeerSummary
 }
 
 // pingReq asks the receiver to probe Target on the sender's behalf.
@@ -405,6 +426,17 @@ func (g *Gossip) syncPayloadLocked() []byte {
 	sort.Slice(origins, func(i, j int) bool { return origins[i] < origins[j] })
 	for _, o := range origins {
 		msg.Catalog = append(msg.Catalog, *g.catalog[o])
+	}
+	if g.selfSummary != nil {
+		msg.Summaries = append(msg.Summaries, *g.selfSummary)
+	}
+	sids := make([]p2p.PeerID, 0, len(g.summaries))
+	for id := range g.summaries {
+		sids = append(sids, id)
+	}
+	sort.Slice(sids, func(i, j int) bool { return sids[i] < sids[j] })
+	for _, id := range sids {
+		msg.Summaries = append(msg.Summaries, g.summaries[id].PeerSummary)
 	}
 	return encode(msg)
 }

@@ -15,9 +15,14 @@ import (
 // first byte outside the reserved 0x01..0x07 range is a legacy gob payload
 // (gob type-descriptor lengths are always larger) and decodes through the
 // old path.
+// Version 0x03 appended the metric-summary piggyback section to sync
+// messages; 0x02 payloads (no summaries) from not-yet-upgraded peers still
+// decode, so a mixed-version cluster keeps gossiping through a rolling
+// upgrade — the older peers simply contribute no summaries.
 const (
-	gossipVersion    = 0x02
-	gossipVersionMax = 0x07
+	gossipVersionNoSummaries = 0x02
+	gossipVersion            = 0x03
+	gossipVersionMax         = 0x07
 )
 
 const (
@@ -44,6 +49,13 @@ func encode(v any) []byte {
 		for i := range m.Catalog {
 			appendCatalogEntry(w, &m.Catalog[i])
 		}
+		w.Uvarint(uint64(len(m.Summaries)))
+		for _, s := range m.Summaries {
+			w.String(string(s.Origin))
+			w.Uvarint(s.Version)
+			w.Varint(s.TakenUnixNano)
+			w.BytesPrefixed(s.Payload)
+		}
 	case pingReq:
 		w.Byte(gkPingReq)
 		w.String(string(m.Target))
@@ -55,15 +67,15 @@ func encode(v any) []byte {
 
 func decode(b []byte, v any) error {
 	if len(b) > 0 && b[0] >= 0x01 && b[0] <= gossipVersionMax {
-		if b[0] != gossipVersion {
+		if b[0] != gossipVersion && b[0] != gossipVersionNoSummaries {
 			return fmt.Errorf("membership: unsupported gossip version %d", b[0])
 		}
-		return decodeBinary(b[1:], v)
+		return decodeBinary(b[0], b[1:], v)
 	}
 	return decodeGob(b, v)
 }
 
-func decodeBinary(b []byte, v any) error {
+func decodeBinary(version byte, b []byte, v any) error {
 	r := codec.NewReader(b)
 	kind := r.Byte()
 	var want byte
@@ -86,6 +98,20 @@ func decodeBinary(b []byte, v any) error {
 				var e CatalogEntry
 				readCatalogEntry(r, &e)
 				m.Catalog = append(m.Catalog, e)
+			}
+			if version >= gossipVersion {
+				n = r.Count(4) // origin + version + taken + payload prefix
+				for i := 0; i < n && r.Err() == nil; i++ {
+					s := PeerSummary{
+						Origin:        p2p.PeerID(r.String()),
+						Version:       r.Uvarint(),
+						TakenUnixNano: r.Varint(),
+					}
+					if p := r.BytesPrefixed(); len(p) > 0 {
+						s.Payload = append([]byte(nil), p...)
+					}
+					m.Summaries = append(m.Summaries, s)
+				}
 			}
 		}
 	case *pingReq:

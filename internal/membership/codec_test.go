@@ -106,3 +106,77 @@ func TestGossipTruncated(t *testing.T) {
 		}
 	}
 }
+
+// sampleSyncWithSummaries extends the sample with the v0x03 piggyback
+// section.
+func sampleSyncWithSummaries() syncMsg {
+	m := sampleSync()
+	m.Summaries = []PeerSummary{
+		{Origin: "AP1", Version: 7, TakenUnixNano: 1700000000123, Payload: []byte{1, 2, 3}},
+		{Origin: "AP2", Version: 1, TakenUnixNano: 1700000000456, Payload: []byte{0xff}},
+	}
+	return m
+}
+
+func TestSyncMsgSummariesRoundTrip(t *testing.T) {
+	in := sampleSyncWithSummaries()
+	var out syncMsg
+	if err := decode(encode(in), &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !syncEqual(&in, &out) {
+		t.Fatalf("base fields differ:\n in %+v\nout %+v", in, out)
+	}
+	if len(out.Summaries) != len(in.Summaries) {
+		t.Fatalf("summaries: got %d, want %d", len(out.Summaries), len(in.Summaries))
+	}
+	for i := range in.Summaries {
+		a, b := in.Summaries[i], out.Summaries[i]
+		if a.Origin != b.Origin || a.Version != b.Version || a.TakenUnixNano != b.TakenUnixNano {
+			t.Errorf("summary %d header: got %+v, want %+v", i, b, a)
+		}
+		if string(a.Payload) != string(b.Payload) {
+			t.Errorf("summary %d payload: got %v, want %v", i, b.Payload, a.Payload)
+		}
+	}
+	// The decoded payload must be an independent copy, not a view into the
+	// network buffer.
+	blob := encode(in)
+	var again syncMsg
+	if err := decode(blob, &again); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	blob[len(blob)-1] ^= 0xff
+	if string(again.Summaries[1].Payload) != string(in.Summaries[1].Payload) {
+		t.Error("summary payload aliases the wire buffer")
+	}
+}
+
+// TestSyncMsgVersion02Compat pins rolling-upgrade behavior: a 0x02 payload
+// (pre-summaries wire format) from a not-yet-upgraded peer still decodes,
+// with an empty summaries section.
+func TestSyncMsgVersion02Compat(t *testing.T) {
+	in := sampleSync()
+	blob := encode(in)
+	if blob[0] != gossipVersion {
+		t.Fatalf("encoder writes version 0x%02x, want 0x%02x", blob[0], gossipVersion)
+	}
+	// Re-encode by hand as 0x02: same bytes minus the trailing summaries
+	// count (the encoder appended a zero-count uvarint, one byte of 0).
+	legacy := append([]byte(nil), blob...)
+	if legacy[len(legacy)-1] != 0 {
+		t.Fatal("expected a zero summary count as the final byte")
+	}
+	legacy = legacy[:len(legacy)-1]
+	legacy[0] = gossipVersionNoSummaries
+	var out syncMsg
+	if err := decode(legacy, &out); err != nil {
+		t.Fatalf("decode 0x02: %v", err)
+	}
+	if !syncEqual(&in, &out) {
+		t.Fatalf("0x02 decode differs:\n in %+v\nout %+v", in, out)
+	}
+	if len(out.Summaries) != 0 {
+		t.Fatalf("0x02 decode produced %d summaries, want 0", len(out.Summaries))
+	}
+}

@@ -114,6 +114,17 @@ type Config struct {
 	// simulations install a virtual clock here so gossip rounds are
 	// scheduler-owned timers.
 	Clock vclock.Clock
+	// SummaryEvery is how often, in protocol periods, the local metric
+	// summary source (SetSummarySource) is re-captured and its gossiped
+	// version bumped. Default 1; negative disables capture even when a
+	// source is installed.
+	SummaryEvery int
+	// SummaryTTL expires a remote peer's summary that has not been
+	// refreshed (no new version received) for this long — the origin is
+	// alive but its plane stopped producing, so serving its stale numbers
+	// as current would mislead. Death expires summaries immediately,
+	// independent of this. Default 30×ProbeInterval.
+	SummaryTTL time.Duration
 }
 
 // member is the local record about a remote peer.
@@ -160,6 +171,21 @@ type Gossip struct {
 	table  *replication.Table
 	onDown []func(p2p.PeerID)
 
+	// Metric-summary piggyback (the cluster observability plane). The
+	// payloads are opaque bytes: membership versions, gossips and expires
+	// them but never looks inside, so it does not depend on obs/cluster.
+	summarySrc    func() []byte
+	onSummary     []func(PeerSummary)
+	onSummaryDrop []func(p2p.PeerID)
+	selfSummary   *PeerSummary
+	summaries     map[p2p.PeerID]*storedSummary
+	// summaryFloor refuses resurrection of expired summaries: after a TTL
+	// or death expiry, only a capture strictly newer than the dropped one
+	// (same-origin clock, so comparable) is accepted again. Without it, a
+	// quiet-but-alive origin re-gossiping its stale summary would flip-flop
+	// between dropped and re-applied every TTL.
+	summaryFloor map[p2p.PeerID]int64
+
 	refutations int64
 	deaths      int64
 	syncsSent   int64
@@ -190,17 +216,25 @@ func New(t p2p.Transport, cfg Config) *Gossip {
 	if cfg.DeadSyncRounds == 0 {
 		cfg.DeadSyncRounds = 4
 	}
+	if cfg.SummaryEvery == 0 {
+		cfg.SummaryEvery = 1
+	}
+	if cfg.SummaryTTL <= 0 {
+		cfg.SummaryTTL = 30 * cfg.ProbeInterval
+	}
 	g := &Gossip{
-		self:      t.Self(),
-		t:         t,
-		cfg:       cfg,
-		tracer:    obs.NewTracer(string(t.Self()), cfg.Sink),
-		members:   make(map[p2p.PeerID]*member),
-		selfDocs:  make(map[string]bool),
-		selfSvcs:  make(map[string]bool),
-		selfCalls: make(map[string]CallAd),
-		catalog:   make(map[p2p.PeerID]*CatalogEntry),
-		rtts:      make(map[p2p.PeerID]time.Duration),
+		self:         t.Self(),
+		t:            t,
+		cfg:          cfg,
+		tracer:       obs.NewTracer(string(t.Self()), cfg.Sink),
+		members:      make(map[p2p.PeerID]*member),
+		selfDocs:     make(map[string]bool),
+		selfSvcs:     make(map[string]bool),
+		selfCalls:    make(map[string]CallAd),
+		catalog:      make(map[p2p.PeerID]*CatalogEntry),
+		rtts:         make(map[p2p.PeerID]time.Duration),
+		summaries:    make(map[p2p.PeerID]*storedSummary),
+		summaryFloor: make(map[p2p.PeerID]int64),
 	}
 	g.pinger = p2p.NewPinger(t, cfg.ProbeInterval, 1, func(p2p.PeerID) {
 		g.probeMu.Lock()
@@ -244,6 +278,50 @@ func (g *Gossip) OnDown(fn func(p2p.PeerID)) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.onDown = append(g.onDown, fn)
+}
+
+// SetSummarySource installs the local metric-summary producer, called once
+// per Config.SummaryEvery protocol periods. The call happens outside the
+// membership lock: the producer typically exports gauges that lock back
+// into this Gossip (axml_members and friends). A nil payload skips the
+// round without bumping the gossiped version.
+func (g *Gossip) SetSummarySource(fn func() []byte) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.summarySrc = fn
+}
+
+// OnSummary registers a callback fired (outside all locks) whenever a
+// remote peer's summary is first seen or refreshed to a higher version.
+func (g *Gossip) OnSummary(fn func(PeerSummary)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.onSummary = append(g.onSummary, fn)
+}
+
+// OnSummaryDrop registers a callback fired (outside all locks) when an
+// origin's summary is expired: on its death verdict, or after SummaryTTL
+// without a refresh.
+func (g *Gossip) OnSummaryDrop(fn func(p2p.PeerID)) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.onSummaryDrop = append(g.onSummaryDrop, fn)
+}
+
+// Summaries returns the currently held summaries (own entry included when
+// captured at least once), sorted by origin.
+func (g *Gossip) Summaries() []PeerSummary {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]PeerSummary, 0, len(g.summaries)+1)
+	if g.selfSummary != nil {
+		out = append(out, *g.selfSummary)
+	}
+	for _, s := range g.summaries {
+		out = append(out, s.PeerSummary)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })
+	return out
 }
 
 // SetTable binds the replication table the catalog materializes into and
@@ -394,6 +472,18 @@ func (g *Gossip) Tick(ctx context.Context) {
 		}
 	}
 
+	// Refresh the local metric summary. The source runs strictly outside
+	// g.mu: it exports gauges (axml_members, catalog sizes) whose read
+	// functions lock back into this Gossip.
+	g.mu.Lock()
+	src := g.summarySrc
+	every := g.cfg.SummaryEvery
+	g.mu.Unlock()
+	var summaryBlob []byte
+	if src != nil && every > 0 && round%uint64(every) == 0 {
+		summaryBlob = src()
+	}
+
 	fx := &effects{}
 	if target != "" {
 		ok, rtt := g.probe(ctx, target, helpers)
@@ -432,6 +522,27 @@ func (g *Gossip) Tick(ctx context.Context) {
 	if pruned {
 		g.selfVersion++
 		g.selfAnnounced = now
+	}
+	if summaryBlob != nil {
+		v := uint64(1)
+		if g.selfSummary != nil {
+			v = g.selfSummary.Version + 1
+		}
+		g.selfSummary = &PeerSummary{
+			Origin: g.self, Version: v,
+			TakenUnixNano: now.UnixNano(), Payload: summaryBlob,
+		}
+	}
+	// Expire summaries whose origin stopped refreshing: the peer is alive
+	// (death expiry is immediate, in noteDeadLocked) but its plane has gone
+	// quiet for SummaryTTL, so its numbers are stale, not current.
+	cutoff := now.Add(-g.cfg.SummaryTTL)
+	for id, s := range g.summaries {
+		if s.received.Before(cutoff) {
+			g.summaryFloor[id] = s.TakenUnixNano
+			delete(g.summaries, id)
+			fx.dropSummary(id)
+		}
 	}
 	ring = g.nonDeadRingLocked()
 	var fanout []p2p.PeerID
@@ -692,6 +803,14 @@ func (g *Gossip) noteDeadLocked(id p2p.PeerID, inc uint64, fx *effects) {
 	g.deaths++
 	fx.event(id, "dead", StateDead, inc)
 	fx.prunePeer(id)
+	if _, ok := g.summaries[id]; ok {
+		// A dead peer's metric summary is expired immediately: the catalog
+		// keeps dead origins' entries (for revival), but stale metrics
+		// presented as a live cluster view would lie.
+		g.summaryFloor[id] = g.summaries[id].TakenUnixNano
+		delete(g.summaries, id)
+		fx.dropSummary(id)
+	}
 	fx.down(id)
 }
 
@@ -726,6 +845,37 @@ func (g *Gossip) applySyncLocked(msg *syncMsg, fx *effects) {
 	for i := range msg.Catalog {
 		g.applyEntryLocked(&msg.Catalog[i], fx)
 	}
+	for i := range msg.Summaries {
+		g.applySummaryLocked(&msg.Summaries[i], fx)
+	}
+}
+
+// applySummaryLocked merges one gossiped metric summary: per origin, the
+// highest version wins (same single-writer rule as catalog entries).
+// Summaries from origins currently believed dead are refused — death
+// expires them, and accepting a relayed older copy would resurrect stale
+// metrics without the origin actually being back (a rejoin bumps the
+// member state first, after which fresh summaries flow again).
+func (g *Gossip) applySummaryLocked(s *PeerSummary, fx *effects) {
+	if s.Origin == g.self || s.Origin == "" || len(s.Payload) == 0 {
+		return
+	}
+	if m := g.members[s.Origin]; m != nil && m.state == StateDead {
+		return
+	}
+	if old := g.summaries[s.Origin]; old != nil && s.Version <= old.Version {
+		return
+	}
+	if s.TakenUnixNano <= g.summaryFloor[s.Origin] {
+		// Expired and not recaptured since: a relayed stale copy must not
+		// resurrect. A genuinely fresh capture carries a newer timestamp.
+		return
+	}
+	delete(g.summaryFloor, s.Origin)
+	cp := *s
+	cp.Payload = append([]byte(nil), s.Payload...)
+	g.summaries[s.Origin] = &storedSummary{PeerSummary: cp, received: g.now()}
+	fx.summary(cp)
 }
 
 // runEffects executes the side effects collected under g.mu — table
@@ -741,6 +891,10 @@ func (g *Gossip) runEffects(fx *effects) {
 	tbl := g.table
 	cbs := make([]func(p2p.PeerID), len(g.onDown))
 	copy(cbs, g.onDown)
+	sumCbs := make([]func(PeerSummary), len(g.onSummary))
+	copy(sumCbs, g.onSummary)
+	dropCbs := make([]func(p2p.PeerID), len(g.onSummaryDrop))
+	copy(dropCbs, g.onSummaryDrop)
 	g.mu.Unlock()
 
 	if tbl != nil {
@@ -762,6 +916,16 @@ func (g *Gossip) runEffects(fx *effects) {
 		sp.SetAttr("state", ev.state.String())
 		sp.SetAttr("incarnation", fmt.Sprintf("%d", ev.inc))
 		sp.End("", nil)
+	}
+	for _, s := range fx.summaries {
+		for _, cb := range sumCbs {
+			cb(s)
+		}
+	}
+	for _, id := range fx.summaryDrops {
+		for _, cb := range dropCbs {
+			cb(id)
+		}
 	}
 	for _, id := range fx.downs {
 		for _, cb := range cbs {
@@ -785,8 +949,10 @@ type effects struct {
 		id   p2p.PeerID
 		addr string
 	}
-	converge []time.Duration
-	events   []memberEvent
+	converge     []time.Duration
+	events       []memberEvent
+	summaries    []PeerSummary
+	summaryDrops []p2p.PeerID
 }
 
 type memberEvent struct {
@@ -798,8 +964,13 @@ type memberEvent struct {
 
 func (fx *effects) empty() bool {
 	return len(fx.tableOps) == 0 && len(fx.downs) == 0 && len(fx.addrs) == 0 &&
-		len(fx.converge) == 0 && len(fx.events) == 0
+		len(fx.converge) == 0 && len(fx.events) == 0 &&
+		len(fx.summaries) == 0 && len(fx.summaryDrops) == 0
 }
+
+func (fx *effects) summary(s PeerSummary) { fx.summaries = append(fx.summaries, s) }
+
+func (fx *effects) dropSummary(id p2p.PeerID) { fx.summaryDrops = append(fx.summaryDrops, id) }
 
 func (fx *effects) event(id p2p.PeerID, event string, state State, inc uint64) {
 	fx.events = append(fx.events, memberEvent{id: id, event: event, state: state, inc: inc})
@@ -900,6 +1071,15 @@ func (g *Gossip) registerMetrics() {
 		g.mu.Lock()
 		defer g.mu.Unlock()
 		return g.refutations
+	})
+	reg.Gauge("axml_gossip_summaries", obs.Labels{"peer": peer}, func() int64 {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		n := int64(len(g.summaries))
+		if g.selfSummary != nil {
+			n++
+		}
+		return n
 	})
 	g.convHist = reg.Histogram("axml_gossip_convergence_seconds", obs.Labels{"peer": peer})
 }

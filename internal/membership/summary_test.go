@@ -1,0 +1,191 @@
+package membership_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"axmltx/internal/membership"
+	"axmltx/internal/p2p"
+)
+
+// summaries returns the origins node nd currently holds a summary for.
+func summaryOrigins(g *membership.Gossip) map[p2p.PeerID]membership.PeerSummary {
+	out := make(map[p2p.PeerID]membership.PeerSummary)
+	for _, s := range g.Summaries() {
+		out[s.Origin] = s
+	}
+	return out
+}
+
+// TestSummaryPropagation wires a source on every peer and checks that after
+// convergence each peer holds every origin's payload, with per-origin
+// versions that keep climbing as rounds pass (fresh captures replace stale
+// ones).
+func TestSummaryPropagation(t *testing.T) {
+	_, nodes := buildCluster(4, quickCfg())
+	ctx := context.Background()
+	for _, nd := range nodes {
+		id := nd.id
+		nd.g.SetSummarySource(func() []byte { return []byte("payload-" + string(id)) })
+	}
+	tickAll(ctx, nodes, 12, nil)
+
+	for _, nd := range nodes {
+		got := summaryOrigins(nd.g)
+		if len(got) != len(nodes) {
+			t.Fatalf("%s holds %d summaries, want %d: %v", nd.id, len(got), len(nodes), got)
+		}
+		for _, other := range nodes {
+			s, ok := got[other.id]
+			if !ok {
+				t.Fatalf("%s missing summary from %s", nd.id, other.id)
+			}
+			if want := "payload-" + string(other.id); string(s.Payload) != want {
+				t.Errorf("%s summary from %s: payload %q, want %q", nd.id, other.id, s.Payload, want)
+			}
+			if s.Version == 0 {
+				t.Errorf("%s summary from %s: version 0, want bumped", nd.id, other.id)
+			}
+		}
+	}
+
+	// Versions keep climbing: a later round's capture replaces the old one.
+	before := summaryOrigins(nodes[0].g)[nodes[1].id].Version
+	tickAll(ctx, nodes, 6, nil)
+	after := summaryOrigins(nodes[0].g)[nodes[1].id].Version
+	if after <= before {
+		t.Errorf("version did not advance: %d -> %d", before, after)
+	}
+}
+
+// TestSummaryCallbacksAndDeathDrop checks the wiring callbacks: OnSummary
+// fires outside the lock for remote payloads, and a death verdict fires
+// OnSummaryDrop and removes the dead origin's summary everywhere.
+func TestSummaryCallbacksAndDeathDrop(t *testing.T) {
+	net, nodes := buildCluster(3, quickCfg())
+	ctx := context.Background()
+	var mu sync.Mutex
+	applied := make(map[p2p.PeerID]int)
+	dropped := make(map[p2p.PeerID]int)
+	for _, nd := range nodes {
+		id := nd.id
+		nd.g.SetSummarySource(func() []byte { return []byte("p-" + string(id)) })
+	}
+	obs := nodes[0]
+	obs.g.OnSummary(func(s membership.PeerSummary) {
+		mu.Lock()
+		applied[s.Origin]++
+		mu.Unlock()
+	})
+	obs.g.OnSummaryDrop(func(origin p2p.PeerID) {
+		mu.Lock()
+		dropped[origin]++
+		mu.Unlock()
+	})
+
+	tickAll(ctx, nodes, 10, nil)
+	mu.Lock()
+	for _, other := range nodes[1:] {
+		if applied[other.id] == 0 {
+			t.Errorf("OnSummary never fired for %s", other.id)
+		}
+	}
+	if applied[obs.id] != 0 {
+		t.Errorf("OnSummary fired %d times for self", applied[obs.id])
+	}
+	mu.Unlock()
+
+	// Disconnect the last peer; once declared dead its summary must drop.
+	deadID := nodes[2].id
+	net.Disconnect(deadID)
+	skip := map[p2p.PeerID]bool{deadID: true}
+	for r := 0; r < 40; r++ {
+		tickAll(ctx, nodes, 1, skip)
+		if _, ok := summaryOrigins(obs.g)[deadID]; !ok {
+			break
+		}
+	}
+	if _, ok := summaryOrigins(obs.g)[deadID]; ok {
+		t.Fatalf("%s still holds the dead peer's summary", obs.id)
+	}
+	mu.Lock()
+	if dropped[deadID] == 0 {
+		t.Error("OnSummaryDrop never fired for the dead peer")
+	}
+	mu.Unlock()
+	// A dead origin's late-arriving summary must not resurrect.
+	tickAll(ctx, nodes, 4, skip)
+	if _, ok := summaryOrigins(obs.g)[deadID]; ok {
+		t.Error("dead peer's summary resurrected after drop")
+	}
+}
+
+// TestSummaryDisabled checks SummaryEvery < 0 turns the piggyback off.
+func TestSummaryDisabled(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SummaryEvery = -1
+	_, nodes := buildCluster(3, cfg)
+	ctx := context.Background()
+	for _, nd := range nodes {
+		nd.g.SetSummarySource(func() []byte { return []byte("x") })
+	}
+	tickAll(ctx, nodes, 10, nil)
+	for _, nd := range nodes {
+		if got := nd.g.Summaries(); len(got) != 0 {
+			t.Fatalf("%s holds %d summaries with the piggyback disabled", nd.id, len(got))
+		}
+	}
+}
+
+// TestSummaryTTLExpiry stops refreshing one origin's summary (without
+// killing the peer — it keeps gossiping, its source just goes quiet) and
+// checks the stale summary ages out everywhere after SummaryTTL.
+func TestSummaryTTLExpiry(t *testing.T) {
+	cfg := quickCfg()
+	cfg.SummaryTTL = 50 * time.Millisecond
+	_, nodes := buildCluster(3, cfg)
+	ctx := context.Background()
+	var quiet bool
+	var mu sync.Mutex
+	for _, nd := range nodes {
+		id := nd.id
+		isC := id == nodes[2].id
+		nd.g.SetSummarySource(func() []byte {
+			if isC {
+				mu.Lock()
+				q := quiet
+				mu.Unlock()
+				if q {
+					return nil // source dried up: no new capture
+				}
+			}
+			return []byte(fmt.Sprintf("p-%s-%d", id, time.Now().UnixNano()))
+		})
+	}
+	tickAll(ctx, nodes, 8, nil)
+	if _, ok := summaryOrigins(nodes[0].g)[nodes[2].id]; !ok {
+		t.Fatal("summary never propagated before the quiet phase")
+	}
+
+	mu.Lock()
+	quiet = true
+	mu.Unlock()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		tickAll(ctx, nodes, 1, nil)
+		if _, ok := summaryOrigins(nodes[0].g)[nodes[2].id]; !ok {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, ok := summaryOrigins(nodes[0].g)[nodes[2].id]; ok {
+		t.Fatal("stale summary survived past SummaryTTL")
+	}
+	// The quiet peer itself is still alive and still holds the others'.
+	if got := summaryOrigins(nodes[2].g); len(got) < 2 {
+		t.Fatalf("quiet peer lost live summaries: %v", got)
+	}
+}

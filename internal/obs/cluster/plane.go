@@ -1,0 +1,326 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"axmltx/internal/obs"
+)
+
+// Plane is one peer's half of the cluster observability plane: it captures
+// the local registry into gossip-able summaries, merges summaries received
+// from other peers, and serves the combined view. All methods are safe for
+// concurrent use.
+//
+// Wiring: membership calls Capture once per summary round (via
+// Gossip.SetSummarySource), feeds received payloads to Apply (OnSummary)
+// and death/TTL expirations to Drop (OnSummaryDrop). core.NewPeer does this
+// automatically when both Membership and MetricsRegistry are configured.
+type Plane struct {
+	self string
+	reg  *obs.Registry
+	cfg  SLOConfig
+
+	mu        sync.Mutex
+	summaries map[string]*Summary // origin -> latest summary, self included
+	history   []sloSample
+}
+
+// NewPlane builds a plane for peer self over reg (which may be shared by
+// several in-process peers). Process metrics are registered as a side
+// effect so the health bits always have local families to read.
+func NewPlane(self string, reg *obs.Registry, cfg SLOConfig) *Plane {
+	obs.RegisterProcessMetrics(reg, self)
+	return &Plane{
+		self:      self,
+		reg:       reg,
+		cfg:       cfg.withDefaults(),
+		summaries: make(map[string]*Summary),
+	}
+}
+
+// Self returns the peer ID the plane captures for.
+func (p *Plane) Self() string { return p.self }
+
+// Capture snapshots the local registry into a Summary, stores it as this
+// peer's own entry, records a burn-rate sample, and returns the encoded
+// payload for gossip piggybacking. The registry export runs outside p.mu:
+// gauge functions may take other locks (membership's gauges lock the gossip
+// state machine), and membership itself calls Capture outside its lock for
+// the same reason.
+func (p *Plane) Capture() []byte {
+	if p.reg == nil {
+		return nil
+	}
+	series := p.reg.Export()
+	s := &Summary{
+		Origin:        p.self,
+		TakenUnixNano: time.Now().UnixNano(),
+		Series:        series,
+		Health:        digest(series),
+	}
+	blob := s.Encode()
+	p.mu.Lock()
+	p.summaries[p.self] = s
+	p.recordLocked(time.Now())
+	p.mu.Unlock()
+	return blob
+}
+
+// Apply merges one summary payload received via gossip. Per-origin version
+// ordering is membership's job; the capture-time check here additionally
+// makes Apply idempotent and safe for out-of-order delivery.
+func (p *Plane) Apply(payload []byte) error {
+	s, err := DecodeSummary(payload)
+	if err != nil {
+		return err
+	}
+	if s.Origin == "" || s.Origin == p.self {
+		return nil
+	}
+	p.mu.Lock()
+	if old := p.summaries[s.Origin]; old == nil || s.TakenUnixNano >= old.TakenUnixNano {
+		p.summaries[s.Origin] = s
+	}
+	p.mu.Unlock()
+	return nil
+}
+
+// Drop removes an origin's summary — membership calls this when it declares
+// the origin dead or when the summary outlives its TTL without a refresh.
+func (p *Plane) Drop(origin string) {
+	p.mu.Lock()
+	if origin != p.self {
+		delete(p.summaries, origin)
+	}
+	p.mu.Unlock()
+}
+
+// Origins returns the sorted set of peers currently contributing summaries.
+func (p *Plane) Origins() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.summaries))
+	for id := range p.summaries {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Quantile estimates the q-quantile in seconds over family's histogram
+// buckets merged across every known peer (and label set), plus the merged
+// observation count.
+func (p *Plane) Quantile(family string, q float64) (float64, int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quantileLocked(family, q)
+}
+
+func (p *Plane) quantileLocked(family string, q float64) (float64, int64) {
+	var bounds []float64
+	var buckets []int64
+	var count int64
+	for _, s := range p.summaries {
+		for i := range s.Series {
+			se := &s.Series[i]
+			if se.Name != family || se.Type != "histogram" {
+				continue
+			}
+			if bounds == nil {
+				bounds = se.Bounds
+			} else if len(se.Bounds) != len(bounds) {
+				continue // mismatched bucket layout; skip rather than misalign
+			}
+			buckets = mergeBuckets(buckets, se.Buckets)
+			count += se.Count
+		}
+	}
+	return BucketQuantile(bounds, buckets, q), count
+}
+
+// totalsLocked sums committed/aborted health bits across every summary.
+func (p *Plane) totalsLocked() (good, bad int64) {
+	for _, s := range p.summaries {
+		good += s.Health.Committed
+		bad += s.Health.Aborted
+	}
+	return good, bad
+}
+
+// PeerDigest is one peer's row in the cluster view.
+type PeerDigest struct {
+	Origin        string `json:"origin"`
+	TakenUnixNano int64  `json:"taken_unix_nano"`
+	AgeMs         int64  `json:"age_ms"`
+	Series        int    `json:"series"`
+	Health        Health `json:"health"`
+}
+
+// FamilyQuantiles summarizes one histogram family merged across the
+// cluster.
+type FamilyQuantiles struct {
+	Family string  `json:"family"`
+	Count  int64   `json:"count"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+}
+
+// View is the merged cluster state served from /cluster and the "cluster"
+// admin subject.
+type View struct {
+	Self         string            `json:"self"`
+	Peers        []PeerDigest      `json:"peers"`
+	Committed    int64             `json:"committed"`
+	Aborted      int64             `json:"aborted"`
+	Availability float64           `json:"availability"`
+	Latency      []FamilyQuantiles `json:"latency"`
+	SLO          SLOStatus         `json:"slo"`
+}
+
+// View merges everything the plane has heard into the cluster state.
+func (p *Plane) View() View {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+
+	v := View{Self: p.self}
+	origins := make([]string, 0, len(p.summaries))
+	families := make(map[string]bool)
+	for id, s := range p.summaries {
+		origins = append(origins, id)
+		for i := range s.Series {
+			if s.Series[i].Type == "histogram" {
+				families[s.Series[i].Name] = true
+			}
+		}
+	}
+	sort.Strings(origins)
+	for _, id := range origins {
+		s := p.summaries[id]
+		v.Peers = append(v.Peers, PeerDigest{
+			Origin:        s.Origin,
+			TakenUnixNano: s.TakenUnixNano,
+			AgeMs:         now.Sub(time.Unix(0, s.TakenUnixNano)).Milliseconds(),
+			Series:        len(s.Series),
+			Health:        s.Health,
+		})
+	}
+
+	v.Committed, v.Aborted = p.totalsLocked()
+	if t := v.Committed + v.Aborted; t > 0 {
+		v.Availability = float64(v.Committed) / float64(t)
+	}
+
+	names := make([]string, 0, len(families))
+	for f := range families {
+		names = append(names, f)
+	}
+	sort.Strings(names)
+	for _, f := range names {
+		p50, cnt := p.quantileLocked(f, 0.50)
+		p99, _ := p.quantileLocked(f, 0.99)
+		if cnt == 0 {
+			continue
+		}
+		v.Latency = append(v.Latency, FamilyQuantiles{
+			Family: f, Count: cnt, P50Ms: p50 * 1e3, P99Ms: p99 * 1e3,
+		})
+	}
+
+	v.SLO = p.evalLocked(now)
+	return v
+}
+
+// WritePrometheus renders the merged cluster state in the Prometheus text
+// exposition format: every peer's series (peer labels are already baked
+// into each summary), grouped per family under one # TYPE line, origins in
+// sorted order. Duplicate name+labels across origins keep the first
+// (sorted-origin) writer — in-process simulations sharing one registry
+// would otherwise repeat identical series per peer.
+func (p *Plane) WritePrometheus(w io.Writer) error {
+	p.mu.Lock()
+	origins := make([]string, 0, len(p.summaries))
+	for id := range p.summaries {
+		origins = append(origins, id)
+	}
+	sort.Strings(origins)
+	sums := make([]*Summary, 0, len(origins))
+	for _, id := range origins {
+		sums = append(sums, p.summaries[id])
+	}
+	p.mu.Unlock()
+
+	type familyGroup struct {
+		typ    string
+		series []*obs.Series
+	}
+	var order []string
+	groups := make(map[string]*familyGroup)
+	seen := make(map[string]bool) // name + labels dedupe
+	for _, s := range sums {
+		for i := range s.Series {
+			se := &s.Series[i]
+			key := se.Name + se.Labels
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			g := groups[se.Name]
+			if g == nil {
+				g = &familyGroup{typ: se.Type}
+				groups[se.Name] = g
+				order = append(order, se.Name)
+			}
+			g.series = append(g.series, se)
+		}
+	}
+
+	for _, name := range order {
+		g := groups[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, g.typ); err != nil {
+			return err
+		}
+		for _, se := range g.series {
+			if err := writeSeries(w, se); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one exported series in the text format; histograms
+// get cumulative le-buckets plus _sum and _count, like obs.WritePrometheus.
+func writeSeries(w io.Writer, se *obs.Series) error {
+	if se.Type != "histogram" {
+		_, err := fmt.Fprintf(w, "%s%s %d\n", se.Name, se.Labels, se.Value)
+		return err
+	}
+	cum := int64(0)
+	for i, bound := range se.Bounds {
+		if i < len(se.Buckets) {
+			cum += se.Buckets[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			se.Name, obs.RenderWith(se.Labels, "le", fmt.Sprintf("%g", bound)), cum); err != nil {
+			return err
+		}
+	}
+	if len(se.Buckets) > len(se.Bounds) {
+		cum += se.Buckets[len(se.Bounds)]
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		se.Name, obs.RenderWith(se.Labels, "le", "+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n",
+		se.Name, se.Labels, time.Duration(se.SumNs).Seconds()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", se.Name, se.Labels, se.Count)
+	return err
+}

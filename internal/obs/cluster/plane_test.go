@@ -1,0 +1,233 @@
+package cluster_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"axmltx/internal/obs"
+	"axmltx/internal/obs/cluster"
+)
+
+// regFor builds a registry resembling one live peer: protocol gauges, a
+// latency histogram with a few observations, and membership state gauges.
+func regFor(peer string, committed, aborted int64, lat ...time.Duration) *obs.Registry {
+	reg := obs.NewRegistry()
+	reg.Gauge("axml_txns_committed", obs.Labels{"peer": peer}, func() int64 { return committed })
+	reg.Gauge("axml_txns_aborted", obs.Labels{"peer": peer}, func() int64 { return aborted })
+	reg.Gauge("axml_members", obs.Labels{"peer": peer, "state": "suspect"}, func() int64 { return 1 })
+	h := reg.Histogram("axml_invoke_seconds", obs.Labels{"peer": peer})
+	for _, d := range lat {
+		h.Observe(d)
+	}
+	return reg
+}
+
+func TestSummaryEncodeDecodeRoundTrip(t *testing.T) {
+	reg := regFor("AP1", 42, 3, time.Millisecond, 5*time.Millisecond, 80*time.Millisecond)
+	reg.Counter("axml_custom_total", obs.Labels{"peer": "AP1"}).Add(7)
+	series := reg.Export()
+	s := &cluster.Summary{
+		Origin:        "AP1",
+		TakenUnixNano: 123456789,
+		Series:        series,
+	}
+	blob := s.Encode()
+	got, err := cluster.DecodeSummary(blob)
+	if err != nil {
+		t.Fatalf("DecodeSummary: %v", err)
+	}
+	if got.Origin != s.Origin || got.TakenUnixNano != s.TakenUnixNano {
+		t.Fatalf("identity fields: got %q/%d, want %q/%d", got.Origin, got.TakenUnixNano, s.Origin, s.TakenUnixNano)
+	}
+	if len(got.Series) != len(series) {
+		t.Fatalf("series count: got %d, want %d", len(got.Series), len(series))
+	}
+	for i := range series {
+		if !reflect.DeepEqual(got.Series[i], series[i]) {
+			t.Errorf("series %d (%s): round-trip mismatch\n got %+v\nwant %+v",
+				i, series[i].Name, got.Series[i], series[i])
+		}
+	}
+}
+
+func TestDecodeSummaryRejectsGarbage(t *testing.T) {
+	if _, err := cluster.DecodeSummary(nil); err == nil {
+		t.Error("empty payload: want error")
+	}
+	if _, err := cluster.DecodeSummary([]byte{0x7f, 1, 2}); err == nil {
+		t.Error("unknown version: want error")
+	}
+	reg := regFor("AP1", 1, 0, time.Millisecond)
+	s := &cluster.Summary{Origin: "AP1", Series: reg.Export()}
+	blob := s.Encode()
+	if _, err := cluster.DecodeSummary(blob[:len(blob)/2]); err == nil {
+		t.Error("truncated payload: want error")
+	}
+	if _, err := cluster.DecodeSummary(append(blob, 0xff)); err == nil {
+		t.Error("trailing bytes: want error")
+	}
+}
+
+// TestCaptureDigestsHealth checks that Capture fills the health bits from the
+// well-known families: transaction totals, suspect count from the labeled
+// membership gauge, and the process metrics NewPlane registers itself.
+func TestCaptureDigestsHealth(t *testing.T) {
+	reg := regFor("AP1", 42, 3, time.Millisecond)
+	p := cluster.NewPlane("AP1", reg, cluster.SLOConfig{})
+	blob := p.Capture()
+	s, err := cluster.DecodeSummary(blob)
+	if err != nil {
+		t.Fatalf("DecodeSummary: %v", err)
+	}
+	if s.Health.Committed != 42 || s.Health.Aborted != 3 {
+		t.Errorf("transaction totals: got %d/%d, want 42/3", s.Health.Committed, s.Health.Aborted)
+	}
+	if s.Health.SuspectPeers != 1 {
+		t.Errorf("suspect peers: got %d, want 1", s.Health.SuspectPeers)
+	}
+	if s.Health.Goroutines <= 0 {
+		t.Errorf("goroutines: got %d, want > 0 (process metrics registered by NewPlane)", s.Health.Goroutines)
+	}
+	if s.Health.HeapBytes <= 0 {
+		t.Errorf("heap bytes: got %d, want > 0", s.Health.HeapBytes)
+	}
+}
+
+// TestPlaneMergeAndDrop drives two planes by hand: B applies A's captured
+// payload, merges its histogram into cluster quantiles, then drops A on
+// (simulated) death. The self summary must survive a bogus drop.
+func TestPlaneMergeAndDrop(t *testing.T) {
+	regA := regFor("AP1", 10, 0, time.Millisecond, time.Millisecond, time.Millisecond)
+	regB := regFor("AP2", 20, 10, 4*time.Millisecond)
+	a := cluster.NewPlane("AP1", regA, cluster.SLOConfig{})
+	b := cluster.NewPlane("AP2", regB, cluster.SLOConfig{})
+
+	blob := a.Capture()
+	b.Capture()
+	if err := b.Apply(blob); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	if got, want := b.Origins(), []string{"AP1", "AP2"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("origins after merge: got %v, want %v", got, want)
+	}
+
+	view := b.View()
+	if view.Committed != 30 || view.Aborted != 10 {
+		t.Errorf("merged totals: got %d/%d, want 30/10", view.Committed, view.Aborted)
+	}
+	if view.Availability != 0.75 {
+		t.Errorf("availability: got %v, want 0.75", view.Availability)
+	}
+	if len(view.Peers) != 2 || view.Peers[0].Origin != "AP1" || view.Peers[1].Origin != "AP2" {
+		t.Fatalf("peer digests: got %+v", view.Peers)
+	}
+	if _, cnt := b.Quantile("axml_invoke_seconds", 0.5); cnt != 4 {
+		t.Errorf("merged histogram count: got %d, want 4", cnt)
+	}
+
+	// Applying the same payload again is idempotent; a stale re-send (older
+	// TakenUnixNano) never rolls the view backwards.
+	if err := b.Apply(blob); err != nil {
+		t.Fatalf("re-Apply: %v", err)
+	}
+	if _, cnt := b.Quantile("axml_invoke_seconds", 0.5); cnt != 4 {
+		t.Errorf("count after duplicate apply: got %d, want 4", cnt)
+	}
+
+	b.Drop("AP1")
+	if got, want := b.Origins(), []string{"AP2"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("origins after drop: got %v, want %v", got, want)
+	}
+	b.Drop("AP2") // self: must be refused
+	if got, want := b.Origins(), []string{"AP2"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("self summary dropped: got %v, want %v", got, want)
+	}
+}
+
+// TestPlaneWritePrometheus checks the federated text output: one # TYPE line
+// per family, every origin's peer-labeled series present, histograms
+// rendered as cumulative le-buckets.
+func TestPlaneWritePrometheus(t *testing.T) {
+	regA := regFor("AP1", 1, 0, time.Millisecond)
+	regB := regFor("AP2", 2, 0, time.Millisecond)
+	a := cluster.NewPlane("AP1", regA, cluster.SLOConfig{})
+	b := cluster.NewPlane("AP2", regB, cluster.SLOConfig{})
+	blob := a.Capture()
+	b.Capture()
+	if err := b.Apply(blob); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+
+	var sb strings.Builder
+	if err := b.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`axml_txns_committed{peer="AP1"} 1`,
+		`axml_txns_committed{peer="AP2"} 2`,
+		`axml_invoke_seconds_count{peer="AP1"} 1`,
+		`axml_invoke_seconds_count{peer="AP2"} 1`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("federated output missing %q\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE axml_txns_committed gauge"); n != 1 {
+		t.Errorf("TYPE line for axml_txns_committed appears %d times, want 1", n)
+	}
+	if n := strings.Count(out, "# TYPE axml_invoke_seconds histogram"); n != 1 {
+		t.Errorf("TYPE line for axml_invoke_seconds appears %d times, want 1", n)
+	}
+}
+
+// TestSLOBurnRate drives the engine's arithmetic through View: a fresh
+// history means the window deltas are the lifetime totals, so with a 1%
+// error budget and exactly 1% errors the burn rate is 1.0 (on budget), and
+// a 0.1% budget pushes it to 10x (budget exhausted early).
+func TestSLOBurnRate(t *testing.T) {
+	reg := regFor("AP1", 99, 1, 5*time.Millisecond)
+	p := cluster.NewPlane("AP1", reg, cluster.SLOConfig{
+		Availability:  0.99,
+		LatencyTarget: time.Second,
+	})
+	p.Capture()
+	v := p.View()
+	if v.SLO.ErrorRate != 0.01 {
+		t.Errorf("error rate: got %v, want 0.01", v.SLO.ErrorRate)
+	}
+	if diff := v.SLO.BurnRate - 1.0; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("burn rate: got %v, want 1.0", v.SLO.BurnRate)
+	}
+	if !v.SLO.AvailabilityOK {
+		t.Error("burning exactly the budget must still be OK")
+	}
+	if !v.SLO.LatencyOK {
+		t.Errorf("latency %vms is under the 1s target, want OK", v.SLO.LatencyMs)
+	}
+	if v.SLO.BudgetRemaining > 1e-9 || v.SLO.BudgetRemaining < -1e-9 {
+		t.Errorf("budget remaining: got %v, want 0 (exactly spent)", v.SLO.BudgetRemaining)
+	}
+
+	tight := cluster.NewPlane("AP1", reg, cluster.SLOConfig{
+		Availability:  0.999,
+		LatencyTarget: time.Microsecond,
+	})
+	tight.Capture()
+	tv := tight.View()
+	if diff := tv.SLO.BurnRate - 10.0; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("tight burn rate: got %v, want 10.0", tv.SLO.BurnRate)
+	}
+	if tv.SLO.AvailabilityOK {
+		t.Error("10x burn must not be OK")
+	}
+	if tv.SLO.LatencyOK {
+		t.Errorf("latency %vms is over the 1µs target, want not OK", tv.SLO.LatencyMs)
+	}
+	if tv.SLO.BudgetRemaining >= 0 {
+		t.Errorf("tight budget remaining: got %v, want negative (overspent)", tv.SLO.BudgetRemaining)
+	}
+}

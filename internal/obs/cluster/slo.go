@@ -1,0 +1,155 @@
+package cluster
+
+import "time"
+
+// SLOConfig configures the plane's service-level objectives. The zero value
+// tracks latency on axml_invoke_seconds at p99 with no targets: the status
+// still reports estimates and rates, it just never judges them.
+type SLOConfig struct {
+	// LatencyFamily is the histogram family the latency objective reads.
+	// Default "axml_invoke_seconds".
+	LatencyFamily string
+	// LatencyQuantile is the quantile judged against LatencyTarget.
+	// Default 0.99.
+	LatencyQuantile float64
+	// LatencyTarget is the cluster latency objective at LatencyQuantile;
+	// 0 disables the latency judgment.
+	LatencyTarget time.Duration
+	// Availability is the fraction of transactions that must commit
+	// (e.g. 0.999 allows one abort per thousand); 0 disables burn-rate
+	// judgment.
+	Availability float64
+	// Window is the sliding window burn rate is computed over.
+	// Default 5 minutes.
+	Window time.Duration
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.LatencyFamily == "" {
+		c.LatencyFamily = "axml_invoke_seconds"
+	}
+	if c.LatencyQuantile <= 0 || c.LatencyQuantile > 1 {
+		c.LatencyQuantile = 0.99
+	}
+	if c.Window <= 0 {
+		c.Window = 5 * time.Minute
+	}
+	return c
+}
+
+// SLOStatus is the engine's judgment of the merged cluster state.
+type SLOStatus struct {
+	// Latency objective: the cluster estimate at LatencyQuantile over the
+	// configured family's merged buckets, vs the target (0 = no target).
+	LatencyFamily   string  `json:"latency_family"`
+	LatencyQuantile float64 `json:"latency_quantile"`
+	LatencyMs       float64 `json:"latency_ms"`
+	LatencyCount    int64   `json:"latency_count"`
+	LatencyTargetMs float64 `json:"latency_target_ms,omitempty"`
+	LatencyOK       bool    `json:"latency_ok"`
+
+	// Availability objective: lifetime totals plus the sliding-window error
+	// rate and burn rate. BurnRate is the window error rate divided by the
+	// budget rate (1 - Availability): 1.0 burns exactly the budget, above
+	// 1.0 exhausts it early. BudgetRemaining is the fraction of the
+	// window's error budget left (negative = overspent).
+	Committed          int64   `json:"committed"`
+	Aborted            int64   `json:"aborted"`
+	Availability       float64 `json:"availability"`
+	AvailabilityTarget float64 `json:"availability_target,omitempty"`
+	AvailabilityOK     bool    `json:"availability_ok"`
+	WindowSeconds      float64 `json:"window_seconds"`
+	WindowGood         int64   `json:"window_good"`
+	WindowBad          int64   `json:"window_bad"`
+	ErrorRate          float64 `json:"error_rate"`
+	BurnRate           float64 `json:"burn_rate"`
+	BudgetRemaining    float64 `json:"budget_remaining"`
+}
+
+// sloSample is one point of the burn-rate history: the merged cluster
+// commit/abort totals as of a capture.
+type sloSample struct {
+	at   time.Time
+	good int64
+	bad  int64
+}
+
+// maxHistory caps the burn-rate history length independently of the window,
+// so a misconfigured long window cannot grow memory without bound.
+const maxHistory = 4096
+
+// recordLocked appends the current merged totals to the burn-rate history
+// and trims samples older than the window. Callers hold p.mu.
+func (p *Plane) recordLocked(now time.Time) {
+	good, bad := p.totalsLocked()
+	p.history = append(p.history, sloSample{at: now, good: good, bad: bad})
+	cutoff := now.Add(-p.cfg.Window - p.cfg.Window/4) // keep a little slack past the window
+	i := 0
+	for i < len(p.history)-1 && p.history[i].at.Before(cutoff) {
+		i++
+	}
+	if over := len(p.history) - maxHistory; over > i {
+		i = over
+	}
+	if i > 0 {
+		p.history = append(p.history[:0], p.history[i:]...)
+	}
+}
+
+// evalLocked computes the SLO status from the merged summaries and the
+// burn-rate history. Callers hold p.mu.
+func (p *Plane) evalLocked(now time.Time) SLOStatus {
+	cfg := p.cfg
+	st := SLOStatus{
+		LatencyFamily:      cfg.LatencyFamily,
+		LatencyQuantile:    cfg.LatencyQuantile,
+		LatencyTargetMs:    float64(cfg.LatencyTarget) / float64(time.Millisecond),
+		AvailabilityTarget: cfg.Availability,
+		WindowSeconds:      cfg.Window.Seconds(),
+	}
+
+	good, bad := p.totalsLocked()
+	st.Committed, st.Aborted = good, bad
+	if good+bad > 0 {
+		st.Availability = float64(good) / float64(good+bad)
+	}
+
+	sec, cnt := p.quantileLocked(cfg.LatencyFamily, cfg.LatencyQuantile)
+	st.LatencyMs = sec * 1e3
+	st.LatencyCount = cnt
+	st.LatencyOK = cfg.LatencyTarget <= 0 || sec*float64(time.Second) <= float64(cfg.LatencyTarget)
+
+	// Window deltas against the cluster state as of the window start: the
+	// newest history sample at or before now-Window (falling back to zero —
+	// the lifetime — when history is younger than the window).
+	var base sloSample
+	cutoff := now.Add(-cfg.Window)
+	for _, s := range p.history {
+		if s.at.After(cutoff) {
+			break
+		}
+		base = s
+	}
+	wg, wb := good-base.good, bad-base.bad
+	if wg < 0 {
+		wg = 0
+	}
+	if wb < 0 {
+		wb = 0
+	}
+	st.WindowGood, st.WindowBad = wg, wb
+	if wg+wb > 0 {
+		st.ErrorRate = float64(wb) / float64(wg+wb)
+	}
+	st.AvailabilityOK = true
+	if budget := 1 - cfg.Availability; cfg.Availability > 0 && budget > 0 {
+		st.BurnRate = st.ErrorRate / budget
+		st.AvailabilityOK = st.BurnRate <= 1
+		if allowed := budget * float64(wg+wb); allowed > 0 {
+			st.BudgetRemaining = 1 - float64(wb)/allowed
+		} else {
+			st.BudgetRemaining = 1
+		}
+	}
+	return st
+}

@@ -1,0 +1,201 @@
+// Package cluster is the cluster observability plane: each peer
+// periodically snapshots its obs.Registry into a compact Summary, the
+// membership layer piggybacks the encoded summary on SWIM gossip sync
+// exchanges (version-bumped per origin, expired on peer death), and any
+// peer merges what it has heard into a cluster-wide view — federated
+// Prometheus text with peer labels, cluster p50/p99 estimated from merged
+// histogram buckets, and an SLO engine tracking error-budget burn rate.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"axmltx/internal/codec"
+	"axmltx/internal/obs"
+)
+
+// summaryVersion is the wire version of the encoded summary payload. The
+// payload travels as opaque bytes inside membership's gossip messages, so
+// it versions independently of the gossip codec.
+const summaryVersion = 0x01
+
+// walStallBound is the latency above which a WAL fsync counts as a stall
+// in the health digest: observations in axml_wal_sync_seconds buckets
+// whose upper bound exceeds this (plus the +Inf bucket).
+const walStallBound = 0.1
+
+// Health are the per-peer health bits digested at capture time, so remote
+// peers can read a one-line status without walking the full series set.
+type Health struct {
+	Committed      int64 `json:"committed"`
+	Aborted        int64 `json:"aborted"`
+	Goroutines     int64 `json:"goroutines"`
+	HeapBytes      int64 `json:"heap_bytes"`
+	GCPauseTotalNs int64 `json:"gc_pause_ns_total"`
+	UptimeSeconds  int64 `json:"uptime_seconds"`
+	SuspectPeers   int64 `json:"suspect_peers"`
+	CacheHitPct    int64 `json:"cache_hit_pct"`
+	WALSyncStalls  int64 `json:"wal_sync_stalls"`
+}
+
+// Summary is one peer's metric snapshot: the full exported series set plus
+// the digested health bits. Origin uniqueness and freshness ordering are
+// membership's job (per-origin version numbers); TakenUnixNano is the
+// capture wall time used for display ages and same-origin tie-breaking.
+type Summary struct {
+	Origin        string       `json:"origin"`
+	TakenUnixNano int64        `json:"taken_unix_nano"`
+	Health        Health       `json:"health"`
+	Series        []obs.Series `json:"series"`
+}
+
+// digest computes the health bits from an exported series set. core.Metrics
+// exports everything as function-backed gauges, so the interesting families
+// are matched by name, not metric type.
+func digest(series []obs.Series) Health {
+	var h Health
+	for i := range series {
+		s := &series[i]
+		switch s.Name {
+		case "axml_txns_committed":
+			h.Committed += s.Value
+		case "axml_txns_aborted":
+			h.Aborted += s.Value
+		case "axml_process_goroutines":
+			h.Goroutines = s.Value
+		case "axml_process_heap_bytes":
+			h.HeapBytes = s.Value
+		case "axml_process_gc_pause_ns_total":
+			h.GCPauseTotalNs = s.Value
+		case "axml_process_uptime_seconds":
+			h.UptimeSeconds = s.Value
+		case "axml_members":
+			if strings.Contains(s.Labels, `state="suspect"`) {
+				h.SuspectPeers += s.Value
+			}
+		case "axml_cache_hit_ratio_pct":
+			h.CacheHitPct = s.Value
+		case "axml_wal_sync_seconds":
+			for i, c := range s.Buckets {
+				if i >= len(s.Bounds) || s.Bounds[i] > walStallBound {
+					h.WALSyncStalls += c
+				}
+			}
+		}
+	}
+	return h
+}
+
+// Series type tags on the wire.
+const (
+	stCounter   byte = 1
+	stGauge     byte = 2
+	stHistogram byte = 3
+)
+
+// Encode serializes the summary with the shared binary codec. Histogram
+// bounds round-trip exactly via their IEEE-754 bit patterns.
+func (s *Summary) Encode() []byte {
+	w := codec.GetWriter()
+	defer codec.PutWriter(w)
+	w.Byte(summaryVersion)
+	w.String(s.Origin)
+	w.Varint(s.TakenUnixNano)
+	h := &s.Health
+	for _, v := range []int64{
+		h.Committed, h.Aborted, h.Goroutines, h.HeapBytes, h.GCPauseTotalNs,
+		h.UptimeSeconds, h.SuspectPeers, h.CacheHitPct, h.WALSyncStalls,
+	} {
+		w.Varint(v)
+	}
+	w.Uvarint(uint64(len(s.Series)))
+	for i := range s.Series {
+		se := &s.Series[i]
+		w.String(se.Name)
+		w.String(se.Labels)
+		switch se.Type {
+		case "counter":
+			w.Byte(stCounter)
+			w.Varint(se.Value)
+		case "histogram":
+			w.Byte(stHistogram)
+			w.Uvarint(uint64(len(se.Bounds)))
+			for _, b := range se.Bounds {
+				w.Uvarint(math.Float64bits(b))
+			}
+			w.Uvarint(uint64(len(se.Buckets)))
+			for _, c := range se.Buckets {
+				w.Varint(c)
+			}
+			w.Varint(se.Count)
+			w.Varint(se.SumNs)
+		default: // gauge (and any future scalar type degrades to one)
+			w.Byte(stGauge)
+			w.Varint(se.Value)
+		}
+	}
+	return w.Finish()
+}
+
+// DecodeSummary parses an encoded summary payload.
+func DecodeSummary(b []byte) (*Summary, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("cluster: empty summary payload")
+	}
+	if b[0] != summaryVersion {
+		return nil, fmt.Errorf("cluster: unsupported summary version 0x%02x", b[0])
+	}
+	r := codec.NewReader(b[1:])
+	s := &Summary{}
+	s.Origin = r.StringCopy()
+	s.TakenUnixNano = r.Varint()
+	h := &s.Health
+	for _, p := range []*int64{
+		&h.Committed, &h.Aborted, &h.Goroutines, &h.HeapBytes, &h.GCPauseTotalNs,
+		&h.UptimeSeconds, &h.SuspectPeers, &h.CacheHitPct, &h.WALSyncStalls,
+	} {
+		*p = r.Varint()
+	}
+	n := r.Count(3) // name(1) + labels(1) + type tag(1) minimum per series
+	if n > 0 {
+		s.Series = make([]obs.Series, 0, n)
+	}
+	for i := 0; i < n && r.Err() == nil; i++ {
+		var se obs.Series
+		se.Name = r.StringCopy()
+		se.Labels = r.StringCopy()
+		switch r.Byte() {
+		case stCounter:
+			se.Type = "counter"
+			se.Value = r.Varint()
+		case stHistogram:
+			se.Type = "histogram"
+			nb := r.Count(1)
+			if nb > 0 {
+				se.Bounds = make([]float64, nb)
+				for j := 0; j < nb; j++ {
+					se.Bounds[j] = math.Float64frombits(r.Uvarint())
+				}
+			}
+			nc := r.Count(1)
+			if nc > 0 {
+				se.Buckets = make([]int64, nc)
+				for j := 0; j < nc; j++ {
+					se.Buckets[j] = r.Varint()
+				}
+			}
+			se.Count = r.Varint()
+			se.SumNs = r.Varint()
+		default:
+			se.Type = "gauge"
+			se.Value = r.Varint()
+		}
+		s.Series = append(s.Series, se)
+	}
+	if err := r.Finish(); err != nil {
+		return nil, fmt.Errorf("cluster: decode summary: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,67 @@
+package obs
+
+// Series is one exported sample from a Registry: the flattened, typed view
+// the cluster observability plane (internal/obs/cluster) snapshots, ships
+// through gossip, and merges on the receiving side. Counter and gauge
+// series carry Value; histogram series carry Bounds/Buckets/Count/SumNs.
+type Series struct {
+	Name   string `json:"name"`
+	Type   string `json:"type"`             // counter | gauge | histogram
+	Labels string `json:"labels,omitempty"` // rendered {k="v",...} suffix, keys sorted
+	Value  int64  `json:"value,omitempty"`
+
+	// Histogram payload. Bounds are the upper bucket bounds in seconds;
+	// Buckets are the per-bucket (non-cumulative) counts with one extra
+	// final +Inf bucket, so len(Buckets) == len(Bounds)+1; Count and SumNs
+	// are the observation count and total observed nanoseconds.
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
+	Count   int64     `json:"count,omitempty"`
+	SumNs   int64     `json:"sum_ns,omitempty"`
+}
+
+// Export snapshots every registered series in registration order. Like
+// WritePrometheus, the registry state is copied under the lock and gauge
+// functions are invoked outside it — they may re-enter other locks (the
+// membership gauges lock the gossip state machine), so calling them while
+// holding r.mu would invert lock order against registration.
+func (r *Registry) Export() []Series {
+	r.mu.Lock()
+	order := append([]metricKey(nil), r.order...)
+	types := make(map[string]string, len(r.types))
+	for k, v := range r.types {
+		types[k] = v
+	}
+	counters := make(map[metricKey]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[metricKey]func() int64, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[metricKey]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	out := make([]Series, 0, len(order))
+	for _, key := range order {
+		s := Series{Name: key.name, Type: types[key.name], Labels: key.labels}
+		switch {
+		case counters[key] != nil:
+			s.Value = counters[key].Value()
+		case gauges[key] != nil:
+			s.Value = gauges[key]()
+		case hists[key] != nil:
+			h := hists[key]
+			s.Bounds = h.Bounds()
+			s.Buckets = h.BucketCounts()
+			s.Count = h.Count()
+			s.SumNs = int64(h.Sum())
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExportSnapshot checks the flattened series view: registration order,
+// types, counter/gauge values, and the histogram payload (non-cumulative
+// buckets with the +Inf tail, count, sum).
+func TestExportSnapshot(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", Labels{"peer": "AP1"}).Add(5)
+	reg.Gauge("g_now", Labels{"peer": "AP1"}, func() int64 { return 42 })
+	h := reg.Histogram("h_seconds", Labels{"peer": "AP1"})
+	h.Observe(500 * time.Microsecond)
+	h.Observe(500 * time.Microsecond)
+	h.Observe(time.Hour) // lands in the +Inf bucket
+
+	out := reg.Export()
+	if len(out) != 3 {
+		t.Fatalf("exported %d series, want 3", len(out))
+	}
+	if out[0].Name != "c_total" || out[0].Type != "counter" || out[0].Value != 5 {
+		t.Errorf("counter series: %+v", out[0])
+	}
+	if out[1].Name != "g_now" || out[1].Type != "gauge" || out[1].Value != 42 {
+		t.Errorf("gauge series: %+v", out[1])
+	}
+	hs := out[2]
+	if hs.Type != "histogram" || hs.Count != 3 {
+		t.Fatalf("histogram series: %+v", hs)
+	}
+	if len(hs.Buckets) != len(hs.Bounds)+1 {
+		t.Fatalf("bucket layout: %d buckets for %d bounds, want bounds+1", len(hs.Buckets), len(hs.Bounds))
+	}
+	var total int64
+	for _, c := range hs.Buckets {
+		total += c
+	}
+	if total != 3 {
+		t.Errorf("bucket counts sum to %d, want 3 (non-cumulative)", total)
+	}
+	if hs.Buckets[len(hs.Buckets)-1] != 1 {
+		t.Errorf("+Inf bucket holds %d, want the 1h observation", hs.Buckets[len(hs.Buckets)-1])
+	}
+	if hs.SumNs != int64(time.Hour+time.Millisecond) {
+		t.Errorf("sum: got %d ns, want %d", hs.SumNs, int64(time.Hour+time.Millisecond))
+	}
+	if !strings.Contains(hs.Labels, `peer="AP1"`) {
+		t.Errorf("labels: %q", hs.Labels)
+	}
+}
+
+// TestExportDoesNotAliasHistogramState checks that a later observation does
+// not mutate a previously exported snapshot's buckets.
+func TestExportDoesNotAliasHistogramState(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h_seconds", nil)
+	h.Observe(time.Millisecond)
+	before := reg.Export()[0]
+	snap := append([]int64(nil), before.Buckets...)
+	h.Observe(time.Millisecond)
+	if !reflect.DeepEqual(before.Buckets, snap) {
+		t.Error("exported buckets changed after a later Observe — BucketCounts must copy")
+	}
+}
+
+// mustPanic runs fn and fails unless it panics with a message containing
+// each want fragment.
+func mustPanic(t *testing.T, fn func(), want ...string) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic, got none")
+		}
+		msg, _ := r.(string)
+		for _, w := range want {
+			if !strings.Contains(msg, w) {
+				t.Errorf("panic %q missing %q", msg, w)
+			}
+		}
+	}()
+	fn()
+}
+
+// TestDuplicateRegistrationPanics pins the registration semantics: the same
+// family re-registered under a different type must panic with a message
+// naming the family and both types — not silently clobber the type map,
+// which would render one family under two # TYPE lines.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", nil)
+	mustPanic(t, func() { reg.Gauge("c_total", nil, func() int64 { return 0 }) },
+		"c_total", "counter", "gauge")
+	mustPanic(t, func() { reg.Histogram("c_total", nil) },
+		"c_total", "counter", "histogram")
+
+	// Same name and type is fine — same-family series and idempotent reuse.
+	c := reg.Counter("c_total", nil)
+	if c2 := reg.Counter("c_total", nil); c2 != c {
+		t.Error("re-registering the same counter must return the same instance")
+	}
+	reg.Counter("c_total", Labels{"peer": "AP2"}) // new label set, same family
+
+	// Gauge re-registration replaces the function (core.Metrics relies on
+	// this), without panicking.
+	reg.Gauge("g_now", nil, func() int64 { return 1 })
+	reg.Gauge("g_now", nil, func() int64 { return 2 })
+	if v := reg.Export(); v[len(v)-1].Value != 2 {
+		t.Error("gauge re-registration must replace the function")
+	}
+}
+
+// TestHistogramDerivedNameCollisionPanics pins both collision directions
+// between scalar families and the _bucket/_sum/_count series a histogram
+// derives in the exposition format.
+func TestHistogramDerivedNameCollisionPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Histogram("h_seconds", nil)
+	mustPanic(t, func() { reg.Counter("h_seconds_count", nil) }, "h_seconds_count", "h_seconds")
+	mustPanic(t, func() { reg.Counter("h_seconds_sum", nil) }, "h_seconds_sum")
+	mustPanic(t, func() { reg.Gauge("h_seconds_bucket", nil, func() int64 { return 0 }) }, "h_seconds_bucket")
+
+	reg2 := NewRegistry()
+	reg2.Counter("h2_seconds_count", nil)
+	mustPanic(t, func() { reg2.Histogram("h2_seconds", nil) }, "h2_seconds", "h2_seconds_count")
+}
+
+// TestRegisterProcessMetrics checks the runtime gauges export sane values
+// and that double registration stays harmless.
+func TestRegisterProcessMetrics(t *testing.T) {
+	RegisterProcessMetrics(nil, "AP1") // nil registry: no-op
+
+	reg := NewRegistry()
+	RegisterProcessMetrics(reg, "AP1")
+	RegisterProcessMetrics(reg, "AP1") // idempotent
+	vals := map[string]int64{}
+	for _, s := range reg.Export() {
+		vals[s.Name] = s.Value
+		if !strings.Contains(s.Labels, `peer="AP1"`) {
+			t.Errorf("%s labels: %q", s.Name, s.Labels)
+		}
+	}
+	if vals["axml_process_goroutines"] <= 0 {
+		t.Errorf("goroutines: %d", vals["axml_process_goroutines"])
+	}
+	if vals["axml_process_heap_bytes"] <= 0 {
+		t.Errorf("heap bytes: %d", vals["axml_process_heap_bytes"])
+	}
+	if vals["axml_process_uptime_seconds"] < 0 {
+		t.Errorf("uptime: %d", vals["axml_process_uptime_seconds"])
+	}
+	if _, ok := vals["axml_process_gc_pause_ns_total"]; !ok {
+		t.Error("gc pause gauge missing")
+	}
+}

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strings"
@@ -27,6 +28,15 @@ type HandlerConfig struct {
 	// (internal/membership.Gossip.Info; typed as any so obs does not import
 	// membership).
 	Members func() any
+	// Cluster, when set, backs GET /cluster with its JSON-marshaled return
+	// value — the merged cluster observability view
+	// (internal/obs/cluster.Plane.View; typed as any so obs does not import
+	// its own subpackage).
+	Cluster func() any
+	// ClusterMetrics, when set, backs GET /cluster/metrics with federated
+	// Prometheus text: every known peer's series, peer-labeled
+	// (internal/obs/cluster.Plane.WritePrometheus).
+	ClusterMetrics func(w io.Writer) error
 	// Pprof mounts net/http/pprof under /debug/pprof/.
 	Pprof bool
 }
@@ -47,8 +57,10 @@ func NewHandler(reg *Registry, ring *Ring) http.Handler {
 // NewOpsHandler builds the peer's operations endpoint set from cfg. On top
 // of the NewHandler surface it serves:
 //
-//	GET /healthz       — readiness: {"status":"ok"} or 503 with the error
-//	GET /debug/pprof/  — net/http/pprof (when cfg.Pprof)
+//	GET /healthz          — readiness: {"status":"ok"} or 503 with the error
+//	GET /cluster          — merged cluster observability view (JSON)
+//	GET /cluster/metrics  — federated Prometheus text, peer-labeled
+//	GET /debug/pprof/     — net/http/pprof (when cfg.Pprof)
 func NewOpsHandler(cfg HandlerConfig) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -110,6 +122,24 @@ func NewOpsHandler(cfg HandlerConfig) http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(cfg.Members())
+	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Cluster == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(cfg.Cluster())
+	})
+	mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.ClusterMetrics == nil {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = cfg.ClusterMetrics(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -44,6 +44,10 @@ func renderWith(base string, k, v string) string {
 	return fmt.Sprintf("%s,%s=%q}", strings.TrimSuffix(base, "}"), k, v)
 }
 
+// RenderWith is renderWith for packages that re-render exported series
+// (the cluster plane's federated text output).
+func RenderWith(base string, k, v string) string { return renderWith(base, k, v) }
+
 // Counter is a monotonically increasing metric.
 type Counter struct {
 	v atomic.Int64
@@ -120,6 +124,30 @@ func (h *Histogram) Sum() time.Duration {
 	return time.Duration(h.sumNs.Load())
 }
 
+// Bounds returns the histogram's upper bucket bounds in seconds. The slice
+// is shared and must not be mutated.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts returns a snapshot of the per-bucket observation counts:
+// len(Bounds())+1 entries, the last being the +Inf bucket. Counts are
+// per-bucket (not cumulative), matching the internal storage; cumulative
+// le-semantics are a rendering concern.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
 // metricKey identifies one labeled series within a family.
 type metricKey struct {
 	name   string
@@ -150,11 +178,35 @@ func NewRegistry() *Registry {
 	}
 }
 
-// note registers the series key once and records the family type.
+// histSuffixes are the derived series names a histogram family occupies in
+// the exposition format besides its own: name_bucket, name_sum, name_count.
+var histSuffixes = []string{"_bucket", "_sum", "_count"}
+
+// note registers the series key once and records the family type. A family
+// re-registered with a conflicting type, or a name that collides with the
+// derived series of a histogram family (either direction), panics with a
+// message naming both parties — silently clobbering the type map would make
+// /metrics emit one family under two # TYPE lines.
 func (r *Registry) note(name, typ, labels string) (metricKey, bool) {
 	key := metricKey{name: name, labels: labels}
 	if t, ok := r.types[name]; ok && t != typ {
-		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, t, typ))
+		panic(fmt.Sprintf("obs: metric %q already registered as %s, re-registered as %s", name, t, typ))
+	}
+	if _, ok := r.types[name]; !ok {
+		// New family: check both collision directions against histogram
+		// derived names before committing it to the type map.
+		for _, suf := range histSuffixes {
+			if base := strings.TrimSuffix(name, suf); base != name {
+				if t, ok := r.types[base]; ok && t == "histogram" {
+					panic(fmt.Sprintf("obs: metric %q collides with series %q derived from histogram %q", name, name, base))
+				}
+			}
+			if typ == "histogram" {
+				if t, ok := r.types[name+suf]; ok {
+					panic(fmt.Sprintf("obs: histogram %q derives series %q which is already registered as a %s", name, name+suf, t))
+				}
+			}
+		}
 	}
 	r.types[name] = typ
 	_, c := r.counters[key]

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// processStart anchors axml_process_uptime_seconds. Process-wide: multiple
+// in-process peers (simulations, tests) share one start time, which is the
+// truth — they share one process.
+var processStart = time.Now()
+
+// memSampler caches runtime.ReadMemStats. ReadMemStats stops the world, so
+// scrapes, gossip summary captures and multiple registered gauges share one
+// sample per refresh window instead of each paying the pause.
+type memSampler struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+func (s *memSampler) sample() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.at.IsZero() || time.Since(s.at) > 100*time.Millisecond {
+		runtime.ReadMemStats(&s.ms)
+		s.at = time.Now()
+	}
+	return s.ms
+}
+
+var procMem memSampler
+
+// RegisterProcessMetrics exports Go runtime / process health gauges on reg,
+// labeled with the peer ID (in-process clusters share one registry):
+//
+//	axml_process_goroutines        — runtime.NumGoroutine
+//	axml_process_heap_bytes        — MemStats.HeapAlloc
+//	axml_process_gc_pause_ns_total — MemStats.PauseTotalNs
+//	axml_process_uptime_seconds    — seconds since process start
+//
+// These are the local families behind the cluster plane's health bits.
+// Registering twice for the same peer is harmless (gauge functions replace).
+func RegisterProcessMetrics(reg *Registry, peer string) {
+	if reg == nil {
+		return
+	}
+	labels := Labels{"peer": peer}
+	reg.Gauge("axml_process_goroutines", labels, func() int64 {
+		return int64(runtime.NumGoroutine())
+	})
+	reg.Gauge("axml_process_heap_bytes", labels, func() int64 {
+		ms := procMem.sample()
+		return int64(ms.HeapAlloc)
+	})
+	reg.Gauge("axml_process_gc_pause_ns_total", labels, func() int64 {
+		ms := procMem.sample()
+		return int64(ms.PauseTotalNs)
+	})
+	reg.Gauge("axml_process_uptime_seconds", labels, func() int64 {
+		return int64(time.Since(processStart).Seconds())
+	})
+}

@@ -38,7 +38,7 @@ const (
 	KindStream      = "stream"      // continuous-service data (§3.3 case d)
 	KindChainUpdate = "chain"       // active-peer-list propagation to ancestors (§3.3)
 	KindAdmin       = "admin"       // document/service administration
-	KindGossip      = "gossip"      // SWIM membership sync / indirect probe (internal/membership)
+	KindGossip      = "gossip"      // SWIM membership sync / indirect probe; sync payloads piggyback the replica catalog and per-peer metric summaries (internal/membership)
 	KindCacheFetch  = "cache-fetch" // cached materialization result fetch from an advertising peer
 )
 

@@ -1,0 +1,54 @@
+package sim
+
+import "testing"
+
+// TestRunLoadExperimentCrossCheck is the in-tree version of the L1
+// acceptance signal: the cluster plane's merged-bucket percentile estimate
+// must land within the containing bucket's width of the exact client-side
+// percentile, and the serving peer's merged view must have seen every
+// sample (proving summary convergence across gossip).
+func TestRunLoadExperimentCrossCheck(t *testing.T) {
+	cfg := LoadConfig{Peers: 3, Rate: 400, Ops: 120, Keys: 8, Seed: 1}
+	if testing.Short() {
+		cfg.Ops = 40
+	}
+	r := RunLoadExperiment(cfg)
+
+	if r.PlaneSamples != int64(r.Ops) {
+		t.Fatalf("plane saw %d samples, want %d (summaries did not converge)", r.PlaneSamples, r.Ops)
+	}
+	if r.PlanePeers != cfg.Peers {
+		t.Fatalf("plane merged %d peers, want %d", r.PlanePeers, cfg.Peers)
+	}
+	if !r.PlaneWithinTol {
+		t.Fatalf("plane percentiles outside tolerance: p50 %v vs client %v (tol %v), p99 %v vs client %v (tol %v)",
+			r.PlaneP50Micros, r.ClientP50Micros, r.ToleranceP50Micros,
+			r.PlaneP99Micros, r.ClientP99Micros, r.ToleranceP99Micros)
+	}
+	if r.Availability <= 0.0 || r.Availability > 1.0 {
+		t.Fatalf("availability out of range: %v", r.Availability)
+	}
+	if r.Failed != 0 {
+		t.Errorf("unexpected failures on an unloaded in-memory cluster: %d", r.Failed)
+	}
+	if r.SLO.LatencyCount != int64(r.Ops) {
+		t.Errorf("SLO latency count = %d, want %d", r.SLO.LatencyCount, r.Ops)
+	}
+}
+
+// TestLoadDefaults pins the quick/full parameter split the CI gate relies
+// on: quick must stay a 3-peer run (the acceptance floor) and full must be
+// strictly larger on every axis that matters.
+func TestLoadDefaults(t *testing.T) {
+	ql, qh := LoadDefaults(true)
+	fl, fh := LoadDefaults(false)
+	if ql.Peers < 3 || qh.Peers < 3 {
+		t.Fatalf("quick defaults below the 3-peer acceptance floor: %+v %+v", ql, qh)
+	}
+	if fl.Ops <= ql.Ops || fh.Ops <= qh.Ops {
+		t.Fatalf("full defaults not larger than quick: %+v vs %+v", fl, ql)
+	}
+	if qh.Rate <= ql.Rate || fh.Rate <= fl.Rate {
+		t.Fatalf("loaded rate must exceed light rate: %+v %+v", qh, fh)
+	}
+}

@@ -200,6 +200,9 @@ func RunPerfSuite() []PerfResult {
 	rs = append(rs,
 		RunCacheExperiment(3, 16, 240, true, 1),
 		RunCacheExperiment(3, 16, 240, false, 1))
+	// L1 reference load: light vs loaded open-loop runs feed the
+	// load_p99_ratio regression row.
+	rs = append(rs, RunLoadRows(false)...)
 	return rs
 }
 
@@ -221,6 +224,7 @@ func RunPerfSuiteQuick() []PerfResult {
 	rs = append(rs,
 		RunCacheExperiment(3, 8, 120, true, 1),
 		RunCacheExperiment(3, 8, 120, false, 1))
+	rs = append(rs, RunLoadRows(true)...)
 	return rs
 }
 
