@@ -194,6 +194,24 @@ func runCompare(current []sim.PerfResult, baselinePath string) bool {
 		fmt.Printf("%-28s %8.2f  below the 10.00x floor  FAIL\n", "cache_dedupe_floor", dx)
 		ok = false
 	}
+	// SH1 rows. The scale ratio is sleep-dominated (network latency vs
+	// microsecond parse work), so it is host-stable enough for the
+	// baseline-relative check; an absolute floor backs it. The placement win
+	// compares a network fetch against a local in-memory one, so its
+	// magnitude is host noise — it gates on the floor alone.
+	check("shard_scale_x", sh1ScaleRatio(current), sh1ScaleRatio(baseline))
+	if sx := sh1ScaleRatio(current); sx > 0 && sx < sh1ScaleFloor {
+		fmt.Printf("%-28s %8.2f  below the %.2fx floor  FAIL\n", "shard_scale_floor", sx, sh1ScaleFloor)
+		ok = false
+	}
+	if px := sh1PlacementWin(current); px > 0 {
+		verdict := "ok"
+		if px < sh1PlacementFloor {
+			verdict = "FAIL"
+			ok = false
+		}
+		fmt.Printf("%-28s %8.2f  floor %8.2f  %s\n", "placement_p50_win_x", px, sh1PlacementFloor, verdict)
+	}
 
 	curOv, baseOv := overheads(current), overheads(baseline)
 	for name, base := range baseOv {

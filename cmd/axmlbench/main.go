@@ -1,7 +1,7 @@
 // Command axmlbench runs the experiment suite of EXPERIMENTS.md and prints
 // one table per experiment. Without arguments it runs everything; pass
-// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 m1 c1 perf obs chaos s1 l1)
-// to select a subset, either positionally or via -run.
+// experiment IDs (f1 f2 e1 e2 e3 e4 e5 e6 e7 e8 a1 m1 c1 perf obs chaos s1 l1
+// sh1) to select a subset, either positionally or via -run.
 //
 //	go run ./cmd/axmlbench          # full suite
 //	go run ./cmd/axmlbench e3 e5    # selected experiments
@@ -14,6 +14,8 @@
 //	go run ./cmd/axmlbench -run s1 -quick -availfloor 0.5    # CI smoke
 //	go run ./cmd/axmlbench -run l1 -json l1.json             # open-loop load + plane cross-check
 //	go run ./cmd/axmlbench -run l1 -quick -availfloor 0.9    # CI smoke
+//	go run ./cmd/axmlbench -run sh1 -json sh1.json           # sharding + placement
+//	go run ./cmd/axmlbench -run sh1 -quick                   # CI smoke
 package main
 
 import (
@@ -39,7 +41,7 @@ func main() {
 	quick := flag.Bool("quick", false, "perf: reduced parameters for CI smoke runs")
 	traceOut := flag.String("traceout", "TRACE.jsonl", "span output file (JSON Lines) for the obs experiment; when set explicitly, chaos runs also write their traces here")
 	metricsOut := flag.String("metricsout", "", "Prometheus-text metrics output file for the obs experiment (default: stdout summary only)")
-	scenario := flag.String("scenario", "", "chaos: scenario to replay (fig1 fig1f sphere a b bg c d; default: sweep all)")
+	scenario := flag.String("scenario", "", "chaos: scenario to replay (fig1 fig1f sphere a b bg c d cc sh; default: sweep all)")
 	faults := flag.String("faults", "", "chaos: noise fault schedule in the rule DSL")
 	compare := flag.String("compare", "", "perf regression gate: baseline JSON to compare against; exits 1 when a derived metric regresses >15%. Compares the perf run's fresh results, or the file named by -json when perf is not selected")
 	peers := flag.Int("peers", 0, "s1/l1: cluster size (s1 default 1000, or 200 with -quick; l1 default 5, or 3 with -quick)")
@@ -145,6 +147,16 @@ func main() {
 			l1JSON = ""
 		}
 		if !runL1(*seed, *quick, *peers, *txns, *rate, *availFloor, l1JSON) {
+			os.Exit(1)
+		}
+	}
+	if selected["sh1"] {
+		// sh1 shares the -json flag with perf/s1/l1 and is the last claimant.
+		sh1JSON := *jsonOut
+		if selected["perf"] || selected["s1"] || selected["l1"] {
+			sh1JSON = ""
+		}
+		if !runSH1(*quick, sh1JSON) {
 			os.Exit(1)
 		}
 	}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"axmltx/internal/sim"
+)
+
+// SH1 floors: sharded assembly must scale aggregate throughput from 2 to 4
+// peers by at least this much, and the placement loop must beat static
+// placement on the hot fragment's median fetch latency by at least this
+// much. Enforced both here (standalone -run sh1) and by the -compare gate
+// rows over perf runs.
+const (
+	sh1ScaleFloor     = 1.7
+	sh1PlacementFloor = 1.5
+)
+
+// sh1ScaleRatio derives 4p/2p aggregate sharded-assembly throughput.
+func sh1ScaleRatio(rs []sim.PerfResult) float64 {
+	return speedupRatio(rs, "shard_assemble_2p", "shard_assemble_4p")
+}
+
+// sh1PlacementWin derives static/placed hot-fragment p50 — how much the
+// heat-driven migration shortens the dominant caller's median fetch.
+func sh1PlacementWin(rs []sim.PerfResult) float64 {
+	return p50Ratio(rs, "shard_hot_static", "shard_hot_placed")
+}
+
+// runSH1 runs experiment SH1 (document sharding under a skewed workload):
+// aggregate sharded-assembly throughput at 2 and 4 peers over a
+// latency-bearing network, plus the hot-fragment fetch latency contrast
+// with the placement loop off and on. Returns false — and the caller exits
+// nonzero — when a derived ratio lands below its floor.
+func runSH1(quick bool, jsonOut string) bool {
+	rs := sim.RunShardRows(quick)
+	table("SH1 — document sharding: assembly scaling and heat-driven placement",
+		"name\tops\tops/sec\tp50 µs\tp99 µs",
+		func(w *tabwriter.Writer) {
+			for _, r := range rs {
+				fmt.Fprintf(w, "%s\t%d\t%.1f\t%.1f\t%.1f\n",
+					r.Name, r.Ops, r.OpsPerSec, r.P50Micros, r.P99Micros)
+			}
+		})
+	scale := sh1ScaleRatio(rs)
+	win := sh1PlacementWin(rs)
+	fmt.Printf("shard scale 2p->4p: %.2fx (floor %.2fx)   placement p50 win: %.1fx (floor %.1fx)\n",
+		scale, sh1ScaleFloor, win, sh1PlacementFloor)
+
+	if jsonOut != "" {
+		blob, err := json.MarshalIndent(rs, "", "  ")
+		if err != nil {
+			panic(err)
+		}
+		if err := os.WriteFile(jsonOut, append(blob, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "axmlbench: write %s: %v\n", jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+
+	ok := true
+	if scale < sh1ScaleFloor {
+		fmt.Fprintf(os.Stderr, "sh1: FAIL: 2p->4p throughput scale %.2fx below the %.2fx floor\n", scale, sh1ScaleFloor)
+		ok = false
+	}
+	if win < sh1PlacementFloor {
+		fmt.Fprintf(os.Stderr, "sh1: FAIL: placement p50 win %.2fx below the %.2fx floor\n", win, sh1PlacementFloor)
+		ok = false
+	}
+	return ok
+}

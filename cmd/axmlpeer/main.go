@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -60,6 +61,9 @@ func main() {
 	cache := flag.Int("cache", 0, "semantic materialization-cache capacity in entries: identical service calls within their frequency-derived freshness window are served from cache, with singleflight dedupe of concurrent calls and — with -gossip — cluster-wide dedupe through call advertisements (0 disables)")
 	cacheTTL := flag.Duration("cachettl", 0, "freshness window for cacheable calls that declare no frequency attribute, e.g. 30s (0: such calls stay uncached; needs -cache)")
 	slo := flag.String("slo", "", `cluster SLO targets for the observability plane as comma-separated key=value pairs, e.g. "p99=50ms,avail=0.999,window=5m" (keys: p99 latency target, avail commit-fraction target, window burn-rate window, family histogram family; needs -gossip, which carries the metric summaries the plane merges)`)
+	shardDocs := flag.Bool("shard", false, "split hosted documents into subtree fragments at startup: fragments get stable IDs, are announced into the replica catalog (with -gossip), and are served to remote assemblers over fragment-fetch messages")
+	shardThreshold := flag.Int("shardthreshold", 0, "minimum subtree node count for a child of the root to become its own fragment (0: built-in default; needs -shard)")
+	placement := flag.Duration("placement", 0, "run the heat-driven placement loop with this tick interval, e.g. 2s: fragments whose access heat is dominated by one remote caller migrate to that caller, with catalog-versioned handoff (0 disables; needs -shard and -gossip)")
 	flag.Parse()
 	if *configPath == "" {
 		fatalUsage("the -config flag is required")
@@ -99,9 +103,25 @@ func main() {
 	if *slo != "" && *gossip == 0 {
 		fatalUsage("-slo needs -gossip: the cluster plane rides on gossiped metric summaries")
 	}
+	if *shardThreshold < 0 {
+		fatalUsage(fmt.Sprintf("invalid -shardthreshold %d (want 0 for the default, or a positive node count)", *shardThreshold))
+	}
+	if *shardThreshold > 0 && !*shardDocs {
+		fatalUsage("-shardthreshold needs -shard to enable document sharding")
+	}
+	if *placement < 0 {
+		fatalUsage(fmt.Sprintf("invalid -placement interval %v (want 0 to disable, or a positive duration)", *placement))
+	}
+	if *placement > 0 && !*shardDocs {
+		fatalUsage("-placement needs -shard: only fragment owners run the placement loop")
+	}
+	if *placement > 0 && *gossip == 0 {
+		fatalUsage("-placement needs -gossip: migration handoff rides the gossiped replica catalog")
+	}
+	scfg := shardConfig{enabled: *shardDocs, threshold: *shardThreshold, placementEvery: *placement}
 	wcfg := walConfig{path: *walPath, dir: *walDir, segBytes: *walSeg, checkpointEvery: *walCheckpoint, sync: syncMode}
 	ccfg := cacheConfig{capacity: *cache, ttl: *cacheTTL}
-	if err := run(*configPath, wcfg, ccfg, *docsDir, *httpAddr, *sample, *slowTxn, *gossip, sloCfg); err != nil {
+	if err := run(*configPath, wcfg, ccfg, scfg, *docsDir, *httpAddr, *sample, *slowTxn, *gossip, sloCfg); err != nil {
 		log.Fatalf("axmlpeer: %v", err)
 	}
 }
@@ -158,6 +178,15 @@ type cacheConfig struct {
 	ttl      time.Duration
 }
 
+// shardConfig bundles the document-sharding flags: split hosted documents
+// into fragments at startup and optionally run the heat-driven placement
+// loop.
+type shardConfig struct {
+	enabled        bool
+	threshold      int
+	placementEvery time.Duration
+}
+
 // fatalUsage reports a flag error together with the full usage text, so
 // a bad invocation never fails silently.
 func fatalUsage(msg string) {
@@ -176,7 +205,7 @@ type walConfig struct {
 	sync            wal.SyncMode
 }
 
-func run(configPath string, wcfg walConfig, ccfg cacheConfig, docsDir string, httpAddr string, sample float64, slowTxn time.Duration, gossipEvery time.Duration, sloCfg obscluster.SLOConfig) error {
+func run(configPath string, wcfg walConfig, ccfg cacheConfig, scfg shardConfig, docsDir string, httpAddr string, sample float64, slowTxn time.Duration, gossipEvery time.Duration, sloCfg obscluster.SLOConfig) error {
 	raw, err := os.ReadFile(configPath)
 	if err != nil {
 		return err
@@ -331,6 +360,7 @@ func run(configPath string, wcfg walConfig, ccfg cacheConfig, docsDir string, ht
 		log.Printf("ops endpoints on http://%s: /metrics /trace/{txn} /traces /healthz%s /debug/pprof/", httpLn.Addr(), extra)
 	}
 
+	var hosted []string
 	for _, el := range root.Elements() {
 		switch el.Name() {
 		case "neighbor":
@@ -352,6 +382,7 @@ func run(configPath string, wcfg walConfig, ccfg cacheConfig, docsDir string, ht
 			if err := peer.HostDocument(name, content); err != nil {
 				return fmt.Errorf("document %s: %w", name, err)
 			}
+			hosted = append(hosted, name)
 			log.Printf("hosting document %s", name)
 		case "queryService":
 			desc := descriptorOf(el)
@@ -392,6 +423,21 @@ func run(configPath string, wcfg walConfig, ccfg cacheConfig, docsDir string, ht
 		}
 	}
 
+	// Sharding runs after checkpoint load and restart recovery so fragments
+	// are cut from the committed state. With -gossip the fragment ads spread
+	// through the replica catalog, so remote peers can assemble the document
+	// from its parts.
+	if scfg.enabled {
+		for _, name := range hosted {
+			if err := peer.ShardHostedDocument(name, scfg.threshold); err != nil {
+				return fmt.Errorf("shard %s: %w", name, err)
+			}
+			if manifest, ok := peer.Store().Manifest(name); ok {
+				log.Printf("sharded document %s into %d fragments + spine", name, len(manifest))
+			}
+		}
+	}
+
 	ready.Store(true)
 	log.Printf("peer %s listening on %s (super=%t)", id, transport.Addr(), peer.Super())
 
@@ -402,6 +448,11 @@ func run(configPath string, wcfg walConfig, ccfg cacheConfig, docsDir string, ht
 		member.Start()
 		defer member.Stop()
 		log.Printf("gossip membership on (probe every %s, %d seed(s))", gossipEvery, len(member.Members())-1)
+		if scfg.placementEvery > 0 {
+			stopPlacement := peer.StartPlacement(context.Background(), scfg.placementEvery)
+			defer stopPlacement()
+			log.Printf("placement loop on (tick every %s): hot fragments migrate toward their dominant callers", scfg.placementEvery)
+		}
 	} else {
 		// Keep-alive probing of neighbors: disconnections feed the recovery
 		// protocol.

@@ -1,0 +1,221 @@
+package axml
+
+import (
+	"strings"
+	"testing"
+
+	"axmltx/internal/wal"
+	"axmltx/internal/xmldom"
+)
+
+const shardDocSrc = `<league>
+  <player><name>Federer</name><rank>1</rank><points>8370</points></player>
+  <player><name>Roddick</name><rank>2</rank><points>5655</points></player>
+  <player><name>Hewitt</name><rank>3</rank><points>4335</points></player>
+  <meta/>
+</league>`
+
+func shardStore(t *testing.T) *Store {
+	t.Helper()
+	s := NewStore(wal.NewMemory())
+	if _, err := s.AddParsed("league.xml", shardDocSrc); err != nil {
+		t.Fatalf("AddParsed: %v", err)
+	}
+	return s
+}
+
+func fragIDs(frags []*Fragment) map[FragmentID]bool {
+	out := make(map[FragmentID]bool, len(frags))
+	for _, f := range frags {
+		out[f.ID] = true
+	}
+	return out
+}
+
+func TestSplitAssembleRoundTrip(t *testing.T) {
+	s := shardStore(t)
+	ref, _ := s.Snapshot("league.xml")
+	spine, frags, err := SplitDocument(ref, 4)
+	if err != nil {
+		t.Fatalf("SplitDocument: %v", err)
+	}
+	if len(frags) != 3 {
+		t.Fatalf("want 3 player fragments, got %d", len(frags))
+	}
+	got, err := AssembleDocument("league.xml", spine, frags)
+	if err != nil {
+		t.Fatalf("AssembleDocument: %v", err)
+	}
+	if !got.Equal(ref) {
+		t.Fatalf("assembled document differs from original:\n%s\nvs\n%s",
+			xmldom.DocumentString(got), xmldom.DocumentString(ref))
+	}
+	// Node IDs survive the round trip: every fragment root is findable by
+	// its original ID in the assembled tree.
+	for _, f := range frags {
+		n := got.ByID(f.Root)
+		if n == nil || n.Kind() != xmldom.ElementNode {
+			t.Fatalf("fragment root %d missing after assembly", f.Root)
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatalf("assembled document invalid: %v", err)
+	}
+}
+
+// TestFragmentIDStability is the contract the catalog depends on: the
+// fragment ID of an untouched subtree is identical across sibling inserts,
+// deletes and replaces, and across a persistence round trip — the same
+// subtree always shards to the same ID.
+func TestFragmentIDStability(t *testing.T) {
+	s := shardStore(t)
+	doc, _ := s.Get("league.xml")
+	_, before, err := SplitDocument(doc, 4)
+	if err != nil {
+		t.Fatalf("SplitDocument: %v", err)
+	}
+	stable := before[1] // Roddick's subtree, untouched by every mutation below
+
+	// Insert a sibling before it, delete the first player, replace the
+	// third player's subtree: the middle subtree keeps its node IDs.
+	root := doc.Root()
+	newPlayer, err := xmldom.ParseFragment(doc, `<player><name>Nadal</name><rank>0</rank><points>9000</points></player>`)
+	if err != nil {
+		t.Fatalf("ParseFragment: %v", err)
+	}
+	if err := doc.InsertChild(root, newPlayer, 0); err != nil {
+		t.Fatalf("InsertChild: %v", err)
+	}
+	players := root.Elements()
+	if err := doc.Remove(players[1]); err != nil { // old first player
+		t.Fatalf("Remove: %v", err)
+	}
+	replacement, err := xmldom.ParseFragment(doc, `<player><name>Safin</name><rank>3</rank><points>4000</points></player>`)
+	if err != nil {
+		t.Fatalf("ParseFragment: %v", err)
+	}
+	players = root.Elements()
+	old := players[len(players)-2]
+	pos := old.Index()
+	if err := doc.Remove(old); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if err := doc.InsertChild(root, replacement, pos); err != nil {
+		t.Fatalf("InsertChild: %v", err)
+	}
+
+	_, after, err := SplitDocument(doc, 4)
+	if err != nil {
+		t.Fatalf("SplitDocument after mutations: %v", err)
+	}
+	if !fragIDs(after)[stable.ID] {
+		t.Fatalf("stable subtree changed fragment ID: %s not in %v", stable.ID, fragIDs(after))
+	}
+	var now *Fragment
+	for _, f := range after {
+		if f.ID == stable.ID {
+			now = f
+		}
+	}
+	if now.XML != stable.XML {
+		t.Fatalf("stable subtree body changed:\n%s\nvs\n%s", now.XML, stable.XML)
+	}
+}
+
+// TestFragmentIDStabilityAcrossPersist re-materializes the document through
+// the checkpoint format (the same encode/decode path fragments ship over)
+// and verifies the same subtrees shard to the same IDs.
+func TestFragmentIDStabilityAcrossPersist(t *testing.T) {
+	s := shardStore(t)
+	doc, _ := s.Get("league.xml")
+	_, before, err := SplitDocument(doc, 4)
+	if err != nil {
+		t.Fatalf("SplitDocument: %v", err)
+	}
+
+	dir := t.TempDir()
+	if err := s.SaveAll(dir); err != nil {
+		t.Fatalf("SaveAll: %v", err)
+	}
+	s2 := NewStore(wal.NewMemory())
+	if _, err := s2.LoadAll(dir); err != nil {
+		t.Fatalf("LoadAll: %v", err)
+	}
+	doc2, ok := s2.Get("league.xml")
+	if !ok {
+		t.Fatal("reloaded store misses league.xml")
+	}
+	_, after, err := SplitDocument(doc2, 4)
+	if err != nil {
+		t.Fatalf("SplitDocument after reload: %v", err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("fragment count changed across persist: %d vs %d", len(after), len(before))
+	}
+	for _, f := range before {
+		if !fragIDs(after)[f.ID] {
+			t.Fatalf("fragment %s lost across persist round trip", f.ID)
+		}
+	}
+}
+
+func TestStoreShardAndFragmentTable(t *testing.T) {
+	s := shardStore(t)
+	ref, _ := s.Snapshot("league.xml")
+	spine, frags, err := s.ShardDocument("league.xml", 4)
+	if err != nil {
+		t.Fatalf("ShardDocument: %v", err)
+	}
+	if _, ok := s.Get("league.xml"); ok {
+		t.Fatal("sharded document still resolvable as a whole doc")
+	}
+	if got, ok := s.Spine("league.xml"); !ok || got != spine {
+		t.Fatal("spine not recorded")
+	}
+	manifest, ok := s.Manifest("league.xml")
+	if !ok || len(manifest) != len(frags) {
+		t.Fatalf("manifest holds %d fragment IDs, want %d", len(manifest), len(frags))
+	}
+	for i, f := range frags {
+		if manifest[i] != f.ID {
+			t.Fatalf("manifest[%d] = %s, want %s", i, manifest[i], f.ID)
+		}
+	}
+	if got := len(s.Fragments()); got != len(frags) {
+		t.Fatalf("fragment table holds %d fragments, want %d", got, len(frags))
+	}
+	// Stale put (lower version) must not roll the table back.
+	f := frags[0].Clone()
+	f.Version = 9
+	s.PutFragment(f)
+	stale := frags[0].Clone()
+	stale.Version = 2
+	stale.XML = "<player/>"
+	s.PutFragment(stale)
+	got, _ := s.GetFragment(f.ID)
+	if got.Version != 9 || strings.Contains(got.XML, "<player/>") {
+		t.Fatalf("stale PutFragment overwrote newer version: %+v", got)
+	}
+	// Reassemble from the table.
+	assembled, err := AssembleDocument("league.xml", spine, frags)
+	if err != nil {
+		t.Fatalf("AssembleDocument: %v", err)
+	}
+	if !assembled.Equal(ref) {
+		t.Fatal("assembled sharded document differs from original")
+	}
+	if !s.RemoveFragment(frags[0].ID) || s.RemoveFragment(frags[0].ID) {
+		t.Fatal("RemoveFragment bookkeeping wrong")
+	}
+}
+
+func TestParseFragmentID(t *testing.T) {
+	id := MakeFragmentID("a#b.xml", 17)
+	doc, root, err := ParseFragmentID(id)
+	if err != nil || doc != "a#b.xml" || root != 17 {
+		t.Fatalf("ParseFragmentID(%q) = %q,%d,%v", id, doc, root, err)
+	}
+	if _, _, err := ParseFragmentID("nohash"); err == nil {
+		t.Fatal("malformed ID accepted")
+	}
+}

@@ -18,8 +18,18 @@ import (
 type Store struct {
 	mu   sync.Mutex
 	docs map[string]*xmldom.Document
-	log  wal.Log
-	eval *query.Evaluator
+	// frags and spines hold the fragment-addressed form of sharded
+	// documents (fragment.go): a sharded document exists as a spine plus
+	// the subset of its fragments this peer currently owns, and is
+	// reassembled on demand. manifests records, per sharded document, the
+	// complete fragment ID set fixed at split time — the authoritative
+	// answer to "which fragments must an assembly gather", independent of
+	// where migration has scattered them.
+	frags     map[FragmentID]*Fragment
+	spines    map[string]string
+	manifests map[string][]FragmentID
+	log       wal.Log
+	eval      *query.Evaluator
 	// maxCalls caps how many of a materialization round's due service calls
 	// may have their Invoke network waits in flight at once; 0 means
 	// DefaultMaxConcurrentCalls, 1 disables the overlap entirely.

@@ -67,7 +67,7 @@ func (r *Report) Repro() string {
 
 // Scenarios lists the conformance scenarios in sweep order.
 func Scenarios() []string {
-	return []string{"fig1", "fig1f", "sphere", "a", "b", "bg", "c", "d", "cc"}
+	return []string{"fig1", "fig1f", "sphere", "a", "b", "bg", "c", "d", "cc", "sh"}
 }
 
 // scenarioRules returns the scripted fault that defines each scenario —
@@ -75,9 +75,9 @@ func Scenarios() []string {
 // same injection machinery as the noise.
 func scenarioRules(scenario string) ([]Rule, error) {
 	switch scenario {
-	case "fig1", "fig1f", "sphere", "c", "cc":
-		// fig1* fail (or don't) at the service level; (c) and (cc) crash
-		// programmatically mid-run, no message triggers it.
+	case "fig1", "fig1f", "sphere", "c", "cc", "sh":
+		// fig1* fail (or don't) at the service level; (c), (cc) and (sh)
+		// crash programmatically mid-run, no message triggers it.
 		return nil, nil
 	case "a":
 		// Leaf AP6 dies the moment work reaches it (§3.3 case a).
@@ -102,10 +102,14 @@ type runResult struct {
 	txn       string
 	committed bool
 	sphereOK  bool
-	// coherence collects the cache-coherence findings of scenario cc; they
-	// gate canonical runs only (noise may legitimately abort the workload
-	// before the coherence phase).
+	// coherence collects the cache-coherence findings of scenario cc and the
+	// sharding liveness findings of scenario sh; they gate canonical runs
+	// only (noise may legitimately abort the workload before those phases).
 	coherence []string
+	// safety collects scenario-specific findings that must hold on EVERY
+	// run, noise or not — e.g. a successfully assembled sharded document
+	// that differs from the reference (a torn fragment set).
+	safety []string
 }
 
 // Run executes one conformance run: build the scenario's cluster behind the
@@ -141,6 +145,8 @@ func Run(cfg Config) (*Report, error) {
 		res = runFig1(c, cfg.Scenario)
 	case "cc":
 		res = runCacheCoherence(c)
+	case "sh":
+		res = runShard(c)
 	default:
 		res = runDisconnection(c, cfg.Scenario)
 	}
@@ -175,6 +181,7 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 	_ = rec.Close()
+	rep.Violations = append(rep.Violations, res.safety...)
 
 	rep.Injections = len(inj.Injections())
 	rep.Restarts = inj.Restarts()
@@ -260,9 +267,9 @@ func canonicalViolations(scenario string, c *Cluster, res runResult, rep *Report
 		if n := c.CountEntries("AP6", "D6.xml"); n != 0 {
 			out = append(out, fmt.Sprintf("canonical c run: AP6 kept %d orphaned entr(ies), want 0 (orphaned work discarded)", n))
 		}
-	case "cc":
+	case "cc", "sh":
 		for _, v := range res.coherence {
-			out = append(out, "canonical cc run: "+v)
+			out = append(out, "canonical "+scenario+" run: "+v)
 		}
 	}
 	return out

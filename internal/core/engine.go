@@ -116,6 +116,10 @@ type Peer struct {
 	onResult   func(txn string, resp *InvokeResponse)
 	onDown     func(txn string, dead p2p.PeerID)
 	streamSink func(batch *StreamBatch)
+
+	// Document-sharding state (shard.go): access-heat scores, shadow copies
+	// retained across migration handoffs, and the placement loop.
+	frag fragState
 }
 
 // NewPeer assembles a peer on the given transport and installs its message
@@ -148,12 +152,18 @@ func NewPeer(transport p2p.Transport, log wal.Log, opts Options) *Peer {
 	if reg := opts.MetricsRegistry; reg != nil {
 		p.RegisterObservability(reg)
 	}
+	p.frag.init()
 	handler := p.handle
 	if m := opts.Membership; m != nil {
 		// Gossip keeps the replica table current and ranked; failure
 		// detection feeds the §3.3 disconnection protocol.
 		m.SetTable(p.replicas)
-		m.OnDown(func(dead p2p.PeerID) { p.OnPeerDown(dead) })
+		m.OnDown(func(dead p2p.PeerID) {
+			p.OnPeerDown(dead)
+			// A dead peer may have been the destination of a fragment
+			// handoff; re-promote any shadow copy it stranded.
+			p.ReconcileFragments()
+		})
 		if opts.MetricsRegistry != nil {
 			// The cluster observability plane: the local registry is
 			// snapshotted each gossip round and piggybacked on sync
@@ -591,6 +601,10 @@ func (p *Peer) handle(ctx context.Context, msg *p2p.Message) (*p2p.Message, erro
 		return &p2p.Message{Kind: "compdef-ack"}, nil
 	case p2p.KindCacheFetch:
 		return p.handleCacheFetch(msg)
+	case p2p.KindFragFetch:
+		return p.handleFragFetch(msg)
+	case p2p.KindFragMigrate:
+		return p.handleFragMigrate(msg)
 	case p2p.KindAdmin:
 		return p.handleAdmin(msg)
 	default:

@@ -68,6 +68,14 @@ type Metrics struct {
 	CacheWaits         atomic.Int64
 	CacheFetches       atomic.Int64
 	CacheInvalidations atomic.Int64
+
+	// Document-sharding events. FragFetches counts remote fragment fetches
+	// made during assembly; FragMigrations counts completed heat-driven
+	// handoffs out of this peer; FragPromotions counts shadow copies
+	// re-promoted after a migration destination died (compensation).
+	FragFetches    atomic.Int64
+	FragMigrations atomic.Int64
+	FragPromotions atomic.Int64
 }
 
 // Register exports every counter into an obs.Registry as a function-backed
@@ -106,6 +114,9 @@ func (m *Metrics) Register(reg *obs.Registry, peer string) {
 		{"axml_cache_waits", &m.CacheWaits},
 		{"axml_cache_fetches", &m.CacheFetches},
 		{"axml_cache_invalidations", &m.CacheInvalidations},
+		{"axml_frag_fetches", &m.FragFetches},
+		{"axml_frag_migrations", &m.FragMigrations},
+		{"axml_frag_promotions", &m.FragPromotions},
 	} {
 		reg.Gauge(c.name, labels, c.v.Load)
 	}
@@ -124,6 +135,8 @@ type MetricsSnapshot struct {
 	CompServicesBuilt, CompServicesRun         int64
 	CacheHits, CacheMisses, CacheWaits         int64
 	CacheFetches, CacheInvalidations           int64
+	FragFetches, FragMigrations                int64
+	FragPromotions                             int64
 }
 
 // Snapshot copies the current counter values.
@@ -152,6 +165,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		CacheWaits:          m.CacheWaits.Load(),
 		CacheFetches:        m.CacheFetches.Load(),
 		CacheInvalidations:  m.CacheInvalidations.Load(),
+		FragFetches:         m.FragFetches.Load(),
+		FragMigrations:      m.FragMigrations.Load(),
+		FragPromotions:      m.FragPromotions.Load(),
 	}
 }
 
@@ -180,4 +196,7 @@ func (s *MetricsSnapshot) Add(o MetricsSnapshot) {
 	s.CacheWaits += o.CacheWaits
 	s.CacheFetches += o.CacheFetches
 	s.CacheInvalidations += o.CacheInvalidations
+	s.FragFetches += o.FragFetches
+	s.FragMigrations += o.FragMigrations
+	s.FragPromotions += o.FragPromotions
 }

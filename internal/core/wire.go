@@ -119,6 +119,59 @@ type CacheFetchResponse struct {
 	WindowNanos int64
 }
 
+// FragFetchRequest is the payload of KindFragFetch: the sender is
+// assembling a sharded document and asks a catalog-advertised holder for
+// one fragment (or, with an ID of the "<doc>#spine" form, for the spine).
+type FragFetchRequest struct {
+	// ID is the fragment ID ("<doc>#<root node ID>", internal/axml) or the
+	// "<doc>#spine" pseudo-ID naming the document spine.
+	ID string
+}
+
+// FragFetchResponse answers a FragFetchRequest. Found is false when the
+// holder no longer has the fragment (it migrated away since the
+// advertisement); the requester then tries the next advertised holder.
+type FragFetchResponse struct {
+	ID    string
+	Found bool
+	// Fragment fields, mirroring axml.Fragment; for a spine fetch only Doc,
+	// XML and Manifest are set.
+	Doc     string
+	Root    uint64
+	Parent  uint64
+	Pos     int
+	XML     string
+	Nodes   int
+	Version uint64
+	// Manifest lists the document's complete fragment ID set (spine fetches
+	// only): the assembling peer must gather exactly these fragments, no
+	// matter how migration has scattered the advertisements.
+	Manifest []string
+}
+
+// FragMigrateRequest is the payload of KindFragMigrate: the sender hands a
+// fragment off to the receiver (its dominant caller). The shipped Version
+// is already bumped past every advertised copy, so the receiver's
+// announcement outranks the sender's until the sender withdraws.
+type FragMigrateRequest struct {
+	ID      string
+	Doc     string
+	Root    uint64
+	Parent  uint64
+	Pos     int
+	XML     string
+	Nodes   int
+	Version uint64
+}
+
+// FragMigrateResponse acknowledges a FragMigrateRequest. OK is false when
+// the receiver refused the fragment (e.g. shutting down); the sender then
+// keeps ownership and compensates the handoff.
+type FragMigrateResponse struct {
+	ID string
+	OK bool
+}
+
 // encodeBufs recycles gob scratch buffers for the legacy encoder, which the
 // cross-version compatibility test and the codec benchmarks still exercise.
 var encodeBufs = sync.Pool{New: func() any { return new(bytes.Buffer) }}

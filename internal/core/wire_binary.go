@@ -34,6 +34,10 @@ const (
 	wkStreamBatch
 	wkCacheFetchRequest
 	wkCacheFetchResponse
+	wkFragFetchRequest
+	wkFragFetchResponse
+	wkFragMigrateRequest
+	wkFragMigrateResponse
 )
 
 // errWireVersion reports a payload from a future protocol version.
@@ -86,6 +90,35 @@ func encode(v any) []byte {
 		w.Strings(m.Fragments)
 		w.Varint(m.FetchedUnixNano)
 		w.Varint(m.WindowNanos)
+	case *FragFetchRequest:
+		w.Byte(wkFragFetchRequest)
+		w.String(m.ID)
+	case *FragFetchResponse:
+		w.Byte(wkFragFetchResponse)
+		w.String(m.ID)
+		w.Bool(m.Found)
+		w.String(m.Doc)
+		w.Uvarint(m.Root)
+		w.Uvarint(m.Parent)
+		w.Varint(int64(m.Pos))
+		w.String(m.XML)
+		w.Varint(int64(m.Nodes))
+		w.Uvarint(m.Version)
+		w.Strings(m.Manifest)
+	case *FragMigrateRequest:
+		w.Byte(wkFragMigrateRequest)
+		w.String(m.ID)
+		w.String(m.Doc)
+		w.Uvarint(m.Root)
+		w.Uvarint(m.Parent)
+		w.Varint(int64(m.Pos))
+		w.String(m.XML)
+		w.Varint(int64(m.Nodes))
+		w.Uvarint(m.Version)
+	case *FragMigrateResponse:
+		w.Byte(wkFragMigrateResponse)
+		w.String(m.ID)
+		w.Bool(m.OK)
 	default:
 		panic(fmt.Sprintf("core: encode: unknown wire type %T", v))
 	}
@@ -165,6 +198,43 @@ func decodeBinary(b []byte, v any) error {
 			m.Fragments = r.Strings()
 			m.FetchedUnixNano = r.Varint()
 			m.WindowNanos = r.Varint()
+		}
+	case *FragFetchRequest:
+		want = wkFragFetchRequest
+		if kind == want {
+			m.ID = r.String()
+		}
+	case *FragFetchResponse:
+		want = wkFragFetchResponse
+		if kind == want {
+			m.ID = r.String()
+			m.Found = r.Bool()
+			m.Doc = r.String()
+			m.Root = r.Uvarint()
+			m.Parent = r.Uvarint()
+			m.Pos = int(r.Varint())
+			m.XML = r.String()
+			m.Nodes = int(r.Varint())
+			m.Version = r.Uvarint()
+			m.Manifest = r.Strings()
+		}
+	case *FragMigrateRequest:
+		want = wkFragMigrateRequest
+		if kind == want {
+			m.ID = r.String()
+			m.Doc = r.String()
+			m.Root = r.Uvarint()
+			m.Parent = r.Uvarint()
+			m.Pos = int(r.Varint())
+			m.XML = r.String()
+			m.Nodes = int(r.Varint())
+			m.Version = r.Uvarint()
+		}
+	case *FragMigrateResponse:
+		want = wkFragMigrateResponse
+		if kind == want {
+			m.ID = r.String()
+			m.OK = r.Bool()
 		}
 	default:
 		return fmt.Errorf("core: decode: unknown wire type %T", v)

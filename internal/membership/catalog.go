@@ -36,6 +36,32 @@ type CatalogEntry struct {
 	// (or in-flight) service-call results other peers may fetch instead of
 	// re-invoking upstream (KindCacheFetch in core).
 	Calls []CallAd `json:"calls,omitempty"`
+	// Frags are the origin's document-fragment holdings: subtree fragments
+	// of sharded documents (internal/axml) other peers fetch over
+	// KindFragFetch during assembly. Migration moves a fragment between
+	// origins by announcing at the destination and withdrawing at the
+	// source, each under its own per-origin version bump.
+	Frags []FragAd `json:"frags,omitempty"`
+}
+
+// FragAd advertises one document fragment held by the origin of its
+// CatalogEntry.
+type FragAd struct {
+	// ID is the fragment ID ("<doc>#<root node ID>", internal/axml).
+	ID string `json:"id"`
+	// Doc names the sharded document the fragment belongs to, so an
+	// assembler can enumerate a document's fragments from the catalog.
+	Doc string `json:"doc"`
+	// Nodes is the fragment's subtree size, for placement weighing.
+	Nodes int `json:"nodes,omitempty"`
+	// Version is the fragment content/handoff version. A migration ships
+	// Version+1 to the destination; readers racing the handoff prefer the
+	// highest advertised version, so they never prefer the source's stale
+	// copy once the destination's ad has spread.
+	Version uint64 `json:"fragver,omitempty"`
+	// Spine marks the origin as holding the document's spine (the sharded
+	// document minus its fragments); assembly starts at a spine holder.
+	Spine bool `json:"spine,omitempty"`
 }
 
 // CallAd advertises one materialization-cache entry (or in-flight upstream
@@ -232,6 +258,114 @@ func (g *Gossip) WithdrawCall(key string) {
 	g.selfAnnounced = g.now()
 }
 
+// AnnounceFragment advertises that this peer holds a document fragment
+// (replacing any previous ad for the same ID). The local table learns it
+// immediately; remote peers learn it on the next sync exchange.
+func (g *Gossip) AnnounceFragment(ad FragAd) {
+	g.mu.Lock()
+	g.selfFrags[ad.ID] = ad
+	g.selfVersion++
+	g.selfAnnounced = g.now()
+	tbl := g.table
+	g.mu.Unlock()
+	if tbl != nil {
+		tbl.AddFragment(ad.ID, g.self)
+	}
+}
+
+// WithdrawFragment stops advertising a fragment (it migrated away).
+func (g *Gossip) WithdrawFragment(id string) {
+	g.mu.Lock()
+	if _, ok := g.selfFrags[id]; !ok {
+		g.mu.Unlock()
+		return
+	}
+	delete(g.selfFrags, id)
+	g.selfVersion++
+	g.selfAnnounced = g.now()
+	tbl := g.table
+	g.mu.Unlock()
+	if tbl != nil {
+		tbl.RemoveFragment(id, g.self)
+	}
+}
+
+// FragmentOwners returns the live peers (self excluded) advertising the
+// named fragment, highest advertised version first so a reader racing a
+// migration prefers the handoff destination; ties break by peer ID.
+func (g *Gossip) FragmentOwners(id string) []p2p.PeerID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	type cand struct {
+		id  p2p.PeerID
+		ver uint64
+	}
+	var out []cand
+	for origin, e := range g.catalog {
+		if m := g.members[origin]; m != nil && m.state != StateAlive {
+			continue
+		}
+		for _, ad := range e.Frags {
+			if ad.ID == id {
+				out = append(out, cand{origin, ad.Version})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ver != out[j].ver {
+			return out[i].ver > out[j].ver
+		}
+		return out[i].id < out[j].id
+	})
+	ids := make([]p2p.PeerID, len(out))
+	for i, c := range out {
+		ids[i] = c.id
+	}
+	return ids
+}
+
+// DocumentFragments returns every fragment ad known for the named sharded
+// document — the union over all origins (self included), deduplicated by
+// fragment ID keeping the highest version — plus the set of live spine
+// holders. This is the assembler's view of what a complete document needs.
+func (g *Gossip) DocumentFragments(doc string) (frags []FragAd, spineHolders []p2p.PeerID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	best := make(map[string]FragAd)
+	note := func(origin p2p.PeerID, ad FragAd, live bool) {
+		if ad.Doc != doc {
+			return
+		}
+		if ad.Spine {
+			if live {
+				spineHolders = append(spineHolders, origin)
+			}
+			return
+		}
+		if old, ok := best[ad.ID]; !ok || ad.Version > old.Version {
+			best[ad.ID] = ad
+		}
+	}
+	for _, ad := range g.selfFrags {
+		note(g.self, ad, true)
+	}
+	for origin, e := range g.catalog {
+		live := true
+		if m := g.members[origin]; m != nil && m.state != StateAlive {
+			live = false
+		}
+		for _, ad := range e.Frags {
+			note(origin, ad, live)
+		}
+	}
+	for _, ad := range best {
+		frags = append(frags, ad)
+	}
+	sort.Slice(frags, func(i, j int) bool { return frags[i].ID < frags[j].ID })
+	sort.Slice(spineHolders, func(i, j int) bool { return spineHolders[i] < spineHolders[j] })
+	return frags, spineHolders
+}
+
 // CallOwners returns the peers currently advertising a cache entry for key,
 // best candidate first: live origins with a completed, still-fresh result
 // (freshest first), then live origins with the invocation in flight. The
@@ -325,10 +459,12 @@ func (g *Gossip) applyEntryLocked(e *CatalogEntry, fx *effects) {
 		Services:  append([]string(nil), e.Services...),
 		Announced: e.Announced,
 		Calls:     append([]CallAd(nil), e.Calls...),
+		Frags:     append([]FragAd(nil), e.Frags...),
 	}
 	sort.Strings(cp.Docs)
 	sort.Strings(cp.Services)
 	sort.Slice(cp.Calls, func(i, j int) bool { return cp.Calls[i].Key < cp.Calls[j].Key })
+	sort.Slice(cp.Frags, func(i, j int) bool { return cp.Frags[i].ID < cp.Frags[j].ID })
 	g.catalog[e.Origin] = cp
 	if !cp.Announced.IsZero() {
 		if d := time.Since(cp.Announced); d > 0 {
@@ -336,15 +472,20 @@ func (g *Gossip) applyEntryLocked(e *CatalogEntry, fx *effects) {
 		}
 	}
 
-	var oldDocs, oldSvcs []string
+	var oldDocs, oldSvcs, oldFrags []string
 	if old != nil {
 		oldDocs, oldSvcs = old.Docs, old.Services
+		oldFrags = fragIDsOf(old.Frags)
 	}
+	newFrags := fragIDsOf(cp.Frags)
 	if gone := missingFrom(oldDocs, cp.Docs); len(gone) > 0 {
 		fx.removePlacements(cp.Origin, gone, nil)
 	}
 	if gone := missingFrom(oldSvcs, cp.Services); len(gone) > 0 {
 		fx.removePlacements(cp.Origin, nil, gone)
+	}
+	if gone := missingFrom(oldFrags, newFrags); len(gone) > 0 {
+		fx.removeFragments(cp.Origin, gone)
 	}
 	m := g.members[e.Origin]
 	if m != nil && m.state == StateDead {
@@ -356,6 +497,21 @@ func (g *Gossip) applyEntryLocked(e *CatalogEntry, fx *effects) {
 	if add := missingFrom(cp.Services, oldSvcs); len(add) > 0 {
 		fx.addPlacements(cp.Origin, nil, add)
 	}
+	if add := missingFrom(newFrags, oldFrags); len(add) > 0 {
+		fx.addFragments(cp.Origin, add)
+	}
+}
+
+// fragIDsOf projects fragment ads to their IDs for set-diffing.
+func fragIDsOf(ads []FragAd) []string {
+	if len(ads) == 0 {
+		return nil
+	}
+	out := make([]string, len(ads))
+	for i, ad := range ads {
+		out[i] = ad.ID
+	}
+	return out
 }
 
 // missingFrom returns the elements of a not present in b.
@@ -392,9 +548,13 @@ func (g *Gossip) selfEntryLocked() CatalogEntry {
 	for _, ad := range g.selfCalls {
 		e.Calls = append(e.Calls, ad)
 	}
+	for _, ad := range g.selfFrags {
+		e.Frags = append(e.Frags, ad)
+	}
 	sort.Strings(e.Docs)
 	sort.Strings(e.Services)
 	sort.Slice(e.Calls, func(i, j int) bool { return e.Calls[i].Key < e.Calls[j].Key })
+	sort.Slice(e.Frags, func(i, j int) bool { return e.Frags[i].ID < e.Frags[j].ID })
 	return e
 }
 
@@ -496,6 +656,7 @@ func (g *Gossip) CatalogSnapshot() []CatalogEntry {
 			Services:  append([]string(nil), e.Services...),
 			Announced: e.Announced,
 			Calls:     append([]CallAd(nil), e.Calls...),
+			Frags:     append([]FragAd(nil), e.Frags...),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Origin < out[j].Origin })

@@ -16,12 +16,15 @@ import (
 // (gob type-descriptor lengths are always larger) and decodes through the
 // old path.
 // Version 0x03 appended the metric-summary piggyback section to sync
-// messages; 0x02 payloads (no summaries) from not-yet-upgraded peers still
-// decode, so a mixed-version cluster keeps gossiping through a rolling
-// upgrade — the older peers simply contribute no summaries.
+// messages; version 0x04 appended the fragment-advertisement section to
+// catalog entries. Payloads from not-yet-upgraded peers (0x02: no
+// summaries; 0x03: no fragment ads) still decode, so a mixed-version
+// cluster keeps gossiping through a rolling upgrade — the older peers
+// simply contribute no summaries or fragment ads.
 const (
 	gossipVersionNoSummaries = 0x02
-	gossipVersion            = 0x03
+	gossipVersionSummaries   = 0x03
+	gossipVersion            = 0x04
 	gossipVersionMax         = 0x07
 )
 
@@ -31,9 +34,16 @@ const (
 )
 
 func encode(v any) []byte {
+	return encodeVersion(v, gossipVersion)
+}
+
+// encodeVersion emits the wire format of an older protocol version —
+// exercised by the rolling-upgrade compat tests; production traffic always
+// encodes at gossipVersion.
+func encodeVersion(v any, version byte) []byte {
 	w := codec.GetWriter()
 	defer codec.PutWriter(w)
-	w.Byte(gossipVersion)
+	w.Byte(version)
 	switch m := v.(type) {
 	case syncMsg:
 		w.Byte(gkSync)
@@ -47,14 +57,16 @@ func encode(v any) []byte {
 		}
 		w.Uvarint(uint64(len(m.Catalog)))
 		for i := range m.Catalog {
-			appendCatalogEntry(w, &m.Catalog[i])
+			appendCatalogEntry(w, &m.Catalog[i], version)
 		}
-		w.Uvarint(uint64(len(m.Summaries)))
-		for _, s := range m.Summaries {
-			w.String(string(s.Origin))
-			w.Uvarint(s.Version)
-			w.Varint(s.TakenUnixNano)
-			w.BytesPrefixed(s.Payload)
+		if version >= gossipVersionSummaries {
+			w.Uvarint(uint64(len(m.Summaries)))
+			for _, s := range m.Summaries {
+				w.String(string(s.Origin))
+				w.Uvarint(s.Version)
+				w.Varint(s.TakenUnixNano)
+				w.BytesPrefixed(s.Payload)
+			}
 		}
 	case pingReq:
 		w.Byte(gkPingReq)
@@ -67,7 +79,7 @@ func encode(v any) []byte {
 
 func decode(b []byte, v any) error {
 	if len(b) > 0 && b[0] >= 0x01 && b[0] <= gossipVersionMax {
-		if b[0] != gossipVersion && b[0] != gossipVersionNoSummaries {
+		if b[0] != gossipVersion && b[0] != gossipVersionSummaries && b[0] != gossipVersionNoSummaries {
 			return fmt.Errorf("membership: unsupported gossip version %d", b[0])
 		}
 		return decodeBinary(b[0], b[1:], v)
@@ -96,10 +108,10 @@ func decodeBinary(version byte, b []byte, v any) error {
 			n = r.Count(5)
 			for i := 0; i < n && r.Err() == nil; i++ {
 				var e CatalogEntry
-				readCatalogEntry(r, &e)
+				readCatalogEntry(r, &e, version)
 				m.Catalog = append(m.Catalog, e)
 			}
-			if version >= gossipVersion {
+			if version >= gossipVersionSummaries {
 				n = r.Count(4) // origin + version + taken + payload prefix
 				for i := 0; i < n && r.Err() == nil; i++ {
 					s := PeerSummary{
@@ -134,7 +146,7 @@ func decodeBinary(version byte, b []byte, v any) error {
 // appendCatalogEntry encodes one advertisement. Announced travels as
 // UnixNano behind a presence flag, so the zero time (no announcement yet)
 // round-trips as zero and IsZero keeps working on the receiving side.
-func appendCatalogEntry(w *codec.Writer, e *CatalogEntry) {
+func appendCatalogEntry(w *codec.Writer, e *CatalogEntry, version byte) {
 	w.String(string(e.Origin))
 	w.Uvarint(e.Version)
 	w.Strings(e.Docs)
@@ -153,9 +165,19 @@ func appendCatalogEntry(w *codec.Writer, e *CatalogEntry) {
 		w.Varint(ad.FetchedUnixNano)
 		w.Varint(ad.WindowNanos)
 	}
+	if version >= gossipVersion {
+		w.Uvarint(uint64(len(e.Frags)))
+		for _, ad := range e.Frags {
+			w.String(ad.ID)
+			w.String(ad.Doc)
+			w.Varint(int64(ad.Nodes))
+			w.Uvarint(ad.Version)
+			w.Bool(ad.Spine)
+		}
+	}
 }
 
-func readCatalogEntry(r *codec.Reader, e *CatalogEntry) {
+func readCatalogEntry(r *codec.Reader, e *CatalogEntry, version byte) {
 	e.Origin = p2p.PeerID(r.String())
 	e.Version = r.Uvarint()
 	e.Docs = r.Strings()
@@ -172,5 +194,17 @@ func readCatalogEntry(r *codec.Reader, e *CatalogEntry) {
 			FetchedUnixNano: r.Varint(),
 			WindowNanos:     r.Varint(),
 		})
+	}
+	if version >= gossipVersion {
+		n = r.Count(5) // minimal ad: 2 empty strings + 2 varints + flag
+		for i := 0; i < n && r.Err() == nil; i++ {
+			e.Frags = append(e.Frags, FragAd{
+				ID:      r.String(),
+				Doc:     r.String(),
+				Nodes:   int(r.Varint()),
+				Version: r.Uvarint(),
+				Spine:   r.Bool(),
+			})
+		}
 	}
 }

@@ -152,31 +152,65 @@ func TestSyncMsgSummariesRoundTrip(t *testing.T) {
 	}
 }
 
-// TestSyncMsgVersion02Compat pins rolling-upgrade behavior: a 0x02 payload
-// (pre-summaries wire format) from a not-yet-upgraded peer still decodes,
-// with an empty summaries section.
-func TestSyncMsgVersion02Compat(t *testing.T) {
-	in := sampleSync()
-	blob := encode(in)
-	if blob[0] != gossipVersion {
+// TestSyncMsgLegacyVersionCompat pins rolling-upgrade behavior: 0x02
+// (pre-summaries) and 0x03 (pre-fragment-ads) payloads from
+// not-yet-upgraded peers still decode; the missing sections come back
+// empty.
+func TestSyncMsgLegacyVersionCompat(t *testing.T) {
+	in := sampleSyncWithSummaries()
+	if blob := encode(in); blob[0] != gossipVersion {
 		t.Fatalf("encoder writes version 0x%02x, want 0x%02x", blob[0], gossipVersion)
 	}
-	// Re-encode by hand as 0x02: same bytes minus the trailing summaries
-	// count (the encoder appended a zero-count uvarint, one byte of 0).
-	legacy := append([]byte(nil), blob...)
-	if legacy[len(legacy)-1] != 0 {
-		t.Fatal("expected a zero summary count as the final byte")
-	}
-	legacy = legacy[:len(legacy)-1]
-	legacy[0] = gossipVersionNoSummaries
-	var out syncMsg
-	if err := decode(legacy, &out); err != nil {
+
+	v02 := encodeVersion(in, gossipVersionNoSummaries)
+	var out02 syncMsg
+	if err := decode(v02, &out02); err != nil {
 		t.Fatalf("decode 0x02: %v", err)
 	}
-	if !syncEqual(&in, &out) {
-		t.Fatalf("0x02 decode differs:\n in %+v\nout %+v", in, out)
+	base := sampleSync()
+	if !syncEqual(&base, &out02) {
+		t.Fatalf("0x02 decode differs:\n in %+v\nout %+v", base, out02)
 	}
-	if len(out.Summaries) != 0 {
-		t.Fatalf("0x02 decode produced %d summaries, want 0", len(out.Summaries))
+	if len(out02.Summaries) != 0 {
+		t.Fatalf("0x02 decode produced %d summaries, want 0", len(out02.Summaries))
+	}
+
+	v03 := encodeVersion(in, gossipVersionSummaries)
+	var out03 syncMsg
+	if err := decode(v03, &out03); err != nil {
+		t.Fatalf("decode 0x03: %v", err)
+	}
+	if !syncEqual(&base, &out03) {
+		t.Fatalf("0x03 decode differs:\n in %+v\nout %+v", base, out03)
+	}
+	if len(out03.Summaries) != len(in.Summaries) {
+		t.Fatalf("0x03 decode produced %d summaries, want %d", len(out03.Summaries), len(in.Summaries))
+	}
+	for i := range out03.Catalog {
+		if len(out03.Catalog[i].Frags) != 0 {
+			t.Fatalf("0x03 decode produced fragment ads: %+v", out03.Catalog[i].Frags)
+		}
+	}
+}
+
+// TestSyncMsgFragAdsRoundTrip covers the v0x04 fragment-advertisement
+// section of catalog entries.
+func TestSyncMsgFragAdsRoundTrip(t *testing.T) {
+	in := sampleSync()
+	in.Catalog[0].Frags = []FragAd{
+		{ID: "league#7", Doc: "league", Nodes: 12, Version: 3},
+		{ID: "league#spine", Doc: "league", Spine: true},
+	}
+	var out syncMsg
+	if err := decode(encode(in), &out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out.Catalog) == 0 || len(out.Catalog[0].Frags) != 2 {
+		t.Fatalf("frag ads did not round-trip: %+v", out.Catalog)
+	}
+	for i, want := range in.Catalog[0].Frags {
+		if got := out.Catalog[0].Frags[i]; got != want {
+			t.Errorf("frag ad %d: got %+v, want %+v", i, got, want)
+		}
 	}
 }

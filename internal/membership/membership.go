@@ -163,6 +163,7 @@ type Gossip struct {
 	selfDocs      map[string]bool
 	selfSvcs      map[string]bool
 	selfCalls     map[string]CallAd
+	selfFrags     map[string]FragAd
 	selfVersion   uint64
 	selfAnnounced time.Time
 	catalog       map[p2p.PeerID]*CatalogEntry
@@ -231,6 +232,7 @@ func New(t p2p.Transport, cfg Config) *Gossip {
 		selfDocs:     make(map[string]bool),
 		selfSvcs:     make(map[string]bool),
 		selfCalls:    make(map[string]CallAd),
+		selfFrags:    make(map[string]FragAd),
 		catalog:      make(map[p2p.PeerID]*CatalogEntry),
 		rtts:         make(map[p2p.PeerID]time.Duration),
 		summaries:    make(map[p2p.PeerID]*storedSummary),
@@ -337,12 +339,16 @@ func (g *Gossip) SetTable(tbl *replication.Table) {
 			continue
 		}
 		fx.addPlacements(origin, e.Docs, e.Services)
+		fx.addFragments(origin, fragIDsOf(e.Frags))
 	}
 	for doc := range g.selfDocs {
 		fx.addPlacements(g.self, []string{doc}, nil)
 	}
 	for svc := range g.selfSvcs {
 		fx.addPlacements(g.self, nil, []string{svc})
+	}
+	for id := range g.selfFrags {
+		fx.addFragments(g.self, []string{id})
 	}
 	g.mu.Unlock()
 	tbl.SetScorer(g)
@@ -744,6 +750,7 @@ func (g *Gossip) noteAliveLocked(id p2p.PeerID, inc uint64, addr string, firstha
 		// its catalog entry into the table.
 		if e := g.catalog[id]; e != nil {
 			fx.addPlacements(id, e.Docs, e.Services)
+			fx.addFragments(id, fragIDsOf(e.Frags))
 		}
 	}
 }
@@ -1010,6 +1017,30 @@ func (fx *effects) removePlacements(origin p2p.PeerID, docs, svcs []string) {
 		}
 		for _, s := range svcs {
 			t.RemoveService(s, origin)
+		}
+	})
+}
+
+func (fx *effects) addFragments(origin p2p.PeerID, ids []string) {
+	if len(ids) == 0 {
+		return
+	}
+	ids = append([]string(nil), ids...)
+	fx.tableOps = append(fx.tableOps, func(t *replication.Table) {
+		for _, f := range ids {
+			t.AddFragment(f, origin)
+		}
+	})
+}
+
+func (fx *effects) removeFragments(origin p2p.PeerID, ids []string) {
+	if len(ids) == 0 {
+		return
+	}
+	ids = append([]string(nil), ids...)
+	fx.tableOps = append(fx.tableOps, func(t *replication.Table) {
+		for _, f := range ids {
+			t.RemoveFragment(f, origin)
 		}
 	})
 }

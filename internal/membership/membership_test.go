@@ -262,3 +262,71 @@ func TestScorerRanksByLivenessAndRTT(t *testing.T) {
 		t.Fatalf("Alternative after death = %v,%v; must avoid dead peer", alt, ok)
 	}
 }
+
+// TestFragmentAdConvergence covers the fragment-advertisement gossip path:
+// announce propagates to every peer's catalog and replication table, a
+// higher-version announcement from a migration destination outranks the
+// source, and withdrawal prunes everywhere.
+func TestFragmentAdConvergence(t *testing.T) {
+	ctx := context.Background()
+	_, nodes := buildCluster(4, quickCfg())
+	tickAll(ctx, nodes, 20, nil)
+
+	a, b, c := nodes[0], nodes[1], nodes[2]
+	a.g.AnnounceFragment(membership.FragAd{ID: "doc#5", Doc: "doc", Nodes: 10, Version: 1})
+	a.g.AnnounceFragment(membership.FragAd{ID: "doc#spine", Doc: "doc", Spine: true})
+
+	sees := func(nd *node, owners ...p2p.PeerID) bool {
+		got := nd.g.FragmentOwners("doc#5")
+		if len(got) != len(owners) {
+			return false
+		}
+		for i := range owners {
+			if got[i] != owners[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < 40 && !(sees(b, a.id) && sees(c, a.id)); i++ {
+		tickAll(ctx, nodes, 1, nil)
+	}
+	if !sees(c, a.id) {
+		t.Fatalf("fragment ad did not converge: owners=%v", c.g.FragmentOwners("doc#5"))
+	}
+	frags, spine := c.g.DocumentFragments("doc")
+	if len(frags) != 1 || frags[0].ID != "doc#5" || frags[0].Version != 1 {
+		t.Fatalf("DocumentFragments frags = %+v", frags)
+	}
+	if len(spine) != 1 || spine[0] != a.id {
+		t.Fatalf("DocumentFragments spine holders = %v", spine)
+	}
+	if got := c.tbl.FragmentHolders("doc#5"); len(got) != 1 || got[0] != a.id {
+		t.Fatalf("table fragment holders = %v", got)
+	}
+
+	// Migration handoff: destination announces version+1, so readers racing
+	// the handoff prefer it even while the source still advertises.
+	b.g.AnnounceFragment(membership.FragAd{ID: "doc#5", Doc: "doc", Nodes: 10, Version: 2})
+	for i := 0; i < 40 && !sees(c, b.id, a.id); i++ {
+		tickAll(ctx, nodes, 1, nil)
+	}
+	if !sees(c, b.id, a.id) {
+		t.Fatalf("destination not preferred: owners=%v", c.g.FragmentOwners("doc#5"))
+	}
+	if frags, _ := c.g.DocumentFragments("doc"); len(frags) != 1 || frags[0].Version != 2 {
+		t.Fatalf("DocumentFragments did not keep highest version: %+v", frags)
+	}
+
+	// Source withdraws after the handoff commits.
+	a.g.WithdrawFragment("doc#5")
+	for i := 0; i < 40 && !sees(c, b.id); i++ {
+		tickAll(ctx, nodes, 1, nil)
+	}
+	if !sees(c, b.id) {
+		t.Fatalf("withdrawal did not prune: owners=%v", c.g.FragmentOwners("doc#5"))
+	}
+	if got := c.tbl.FragmentHolders("doc#5"); len(got) != 1 || got[0] != b.id {
+		t.Fatalf("table holders after withdrawal = %v", got)
+	}
+}

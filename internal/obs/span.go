@@ -52,6 +52,12 @@ const (
 	KindCompensate = "compensate"
 	// KindCommit covers commit processing at a peer.
 	KindCommit = "commit"
+	// KindFragFetch is the client side of one remote fragment fetch during
+	// sharded-document assembly.
+	KindFragFetch = "frag-fetch"
+	// KindFragMigrate covers one heat-driven fragment migration (handoff to
+	// the dominant caller, WAL-logged with compensation).
+	KindFragMigrate = "frag-migrate"
 	// KindAbort covers abort processing (including local compensation) at
 	// a peer.
 	KindAbort = "abort"

@@ -25,21 +25,23 @@ type PeerID string
 // Message kinds used by the transactional framework. The transport treats
 // kinds opaquely; they are listed here so metrics can aggregate by kind.
 const (
-	KindInvoke      = "invoke"      // service invocation request
-	KindResult      = "result"      // invocation result
-	KindAbort       = "abort"       // "Abort TA" (nested recovery, §3.2)
-	KindCommit      = "commit"      // commit notification
-	KindCompensate  = "compensate"  // peer-independent compensation request
-	KindCompDef     = "compdef"     // compensating-service definition sent to the origin
-	KindPing        = "ping"        // keep-alive probe
-	KindPong        = "pong"        // keep-alive reply
-	KindDisconnect  = "disconnect"  // disconnection notice (chaining, §3.3)
-	KindRedirect    = "redirect"    // result re-routed past a dead parent (§3.3 case b)
-	KindStream      = "stream"      // continuous-service data (§3.3 case d)
-	KindChainUpdate = "chain"       // active-peer-list propagation to ancestors (§3.3)
-	KindAdmin       = "admin"       // document/service administration
-	KindGossip      = "gossip"      // SWIM membership sync / indirect probe; sync payloads piggyback the replica catalog and per-peer metric summaries (internal/membership)
-	KindCacheFetch  = "cache-fetch" // cached materialization result fetch from an advertising peer
+	KindInvoke      = "invoke"       // service invocation request
+	KindResult      = "result"       // invocation result
+	KindAbort       = "abort"        // "Abort TA" (nested recovery, §3.2)
+	KindCommit      = "commit"       // commit notification
+	KindCompensate  = "compensate"   // peer-independent compensation request
+	KindCompDef     = "compdef"      // compensating-service definition sent to the origin
+	KindPing        = "ping"         // keep-alive probe
+	KindPong        = "pong"         // keep-alive reply
+	KindDisconnect  = "disconnect"   // disconnection notice (chaining, §3.3)
+	KindRedirect    = "redirect"     // result re-routed past a dead parent (§3.3 case b)
+	KindStream      = "stream"       // continuous-service data (§3.3 case d)
+	KindChainUpdate = "chain"        // active-peer-list propagation to ancestors (§3.3)
+	KindAdmin       = "admin"        // document/service administration
+	KindGossip      = "gossip"       // SWIM membership sync / indirect probe; sync payloads piggyback the replica catalog and per-peer metric summaries (internal/membership)
+	KindCacheFetch  = "cache-fetch"  // cached materialization result fetch from an advertising peer
+	KindFragFetch   = "frag-fetch"   // document-fragment fetch from a catalog-advertised holder
+	KindFragMigrate = "frag-migrate" // heat-driven fragment handoff to its dominant caller
 )
 
 // Message is the unit of communication. Payload encoding is the caller's

@@ -50,9 +50,10 @@ type CacheScorer interface {
 // "alternative participant" approach of Jin & Goschnick); with a scorer
 // installed, live peers with the lowest observed RTT rank first.
 type Table struct {
-	mu   sync.RWMutex
-	docs map[string][]p2p.PeerID
-	svcs map[string][]p2p.PeerID
+	mu    sync.RWMutex
+	docs  map[string][]p2p.PeerID
+	svcs  map[string][]p2p.PeerID
+	frags map[string][]p2p.PeerID
 
 	scorerMu sync.RWMutex
 	scorer   Scorer
@@ -61,8 +62,9 @@ type Table struct {
 // New returns an empty table.
 func New() *Table {
 	return &Table{
-		docs: make(map[string][]p2p.PeerID),
-		svcs: make(map[string][]p2p.PeerID),
+		docs:  make(map[string][]p2p.PeerID),
+		svcs:  make(map[string][]p2p.PeerID),
+		frags: make(map[string][]p2p.PeerID),
 	}
 }
 
@@ -118,6 +120,47 @@ func (t *Table) RemoveService(service string, peer p2p.PeerID) {
 	}
 }
 
+// AddFragment records that peer holds the named document fragment
+// (internal/axml fragment IDs, gossiped as catalog FragAds).
+func (t *Table) AddFragment(frag string, peer p2p.PeerID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.frags[frag] = appendUnique(t.frags[frag], peer)
+}
+
+// RemoveFragment forgets one peer's copy of a fragment (withdrawn after a
+// migration handoff completes).
+func (t *Table) RemoveFragment(frag string, peer p2p.PeerID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rest := remove(t.frags[frag], peer); len(rest) == 0 {
+		delete(t.frags, frag)
+	} else {
+		t.frags[frag] = rest
+	}
+}
+
+// FragmentHolders returns the ranked holders of a fragment: live peers
+// with the lowest observed RTT first, like document replicas.
+func (t *Table) FragmentHolders(frag string) []p2p.PeerID {
+	t.mu.RLock()
+	list := append([]p2p.PeerID(nil), t.frags[frag]...)
+	t.mu.RUnlock()
+	return t.rank(list, "")
+}
+
+// Fragments returns the known fragment IDs, sorted, for diagnostics.
+func (t *Table) Fragments() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]string, 0, len(t.frags))
+	for f := range t.frags {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // RemovePeer drops a (disconnected) peer from every list. Keys whose last
 // holder is removed are deleted, so Documents() and catalog gossip never
 // advertise a document with zero holders.
@@ -136,6 +179,13 @@ func (t *Table) RemovePeer(peer p2p.PeerID) {
 			delete(t.svcs, k)
 		} else {
 			t.svcs[k] = rest
+		}
+	}
+	for k, v := range t.frags {
+		if rest := remove(v, peer); len(rest) == 0 {
+			delete(t.frags, k)
+		} else {
+			t.frags[k] = rest
 		}
 	}
 }

@@ -1,0 +1,103 @@
+// Package shard scores fragment access heat and plans heat-driven
+// fragment migrations. It is deliberately dependency-free (string keys,
+// no engine imports): the core layer feeds it per-fetch observations and
+// membership RTT estimates, and executes the moves it plans.
+//
+// The model follows LiquidXML-style adaptive content redistribution: every
+// fragment accumulates a decaying per-caller heat score; when one remote
+// caller dominates a fragment's heat, the fragment wants to live where
+// that caller is, and the planner emits a migration toward it.
+package shard
+
+import "sync"
+
+// decay is the exponential decay applied to all of a fragment's
+// per-caller scores on each observation of that fragment. A decay of
+// 15/16 gives an effective window of ~16 recent accesses — long enough to
+// smooth bursts, short enough that a shifted hotspot re-plans within a
+// couple of placement ticks. Decaying on observation (not wall clock)
+// keeps the scores deterministic for tests and replayable simulations.
+const decay = 15.0 / 16.0
+
+// Heat tracks decaying per-fragment, per-caller access heat. The weight of
+// an observation is the serve cost attributed to the access (obs span
+// duration in microseconds, or 1 for unmeasured accesses), so expensive
+// fragments out-vote cheap ones at equal access counts.
+type Heat struct {
+	mu sync.Mutex
+	// m[fragment][caller] = decayed accumulated weight
+	m map[string]map[string]float64
+}
+
+// NewHeat returns an empty heat table.
+func NewHeat() *Heat {
+	return &Heat{m: make(map[string]map[string]float64)}
+}
+
+// Observe records one access to frag by caller with the given weight
+// (clamped up to 1 so a zero-cost access still counts).
+func (h *Heat) Observe(frag, caller string, weight float64) {
+	if weight < 1 {
+		weight = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	callers := h.m[frag]
+	if callers == nil {
+		callers = make(map[string]float64, 4)
+		h.m[frag] = callers
+	}
+	for c := range callers {
+		callers[c] *= decay
+	}
+	callers[caller] += weight
+}
+
+// Forget drops all heat for a fragment (after it migrated away: the new
+// owner builds its own view from its own serves).
+func (h *Heat) Forget(frag string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.m, frag)
+}
+
+// Total returns the fragment's summed heat across callers.
+func (h *Heat) Total(frag string) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var t float64
+	for _, w := range h.m[frag] {
+		t += w
+	}
+	return t
+}
+
+// Dominant returns the caller with the highest heat share for frag, its
+// share of the total, and the total. Ties break toward the
+// lexicographically smallest caller so planning is deterministic.
+func (h *Heat) Dominant(frag string) (caller string, share, total float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var best float64
+	for c, w := range h.m[frag] {
+		total += w
+		if w > best || (w == best && (caller == "" || c < caller)) {
+			best, caller = w, c
+		}
+	}
+	if total > 0 {
+		share = best / total
+	}
+	return caller, share, total
+}
+
+// Fragments returns the fragments with recorded heat, unsorted.
+func (h *Heat) Fragments() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.m))
+	for f := range h.m {
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,78 @@
+package shard
+
+import (
+	"sort"
+	"time"
+)
+
+// Move is one planned fragment migration.
+type Move struct {
+	Frag string
+	To   string
+}
+
+// Planner decides which locally owned fragments should migrate toward
+// their dominant callers. All knobs have workable zero-value defaults.
+type Planner struct {
+	// MinTotal is the minimum total heat before a fragment is considered
+	// for migration at all; defaults to 4 (a fragment touched a couple of
+	// times is not a hotspot).
+	MinTotal float64
+	// MinShare is the heat share the dominant caller must hold; defaults
+	// to 0.6. Below it the access pattern has no clear home and moving
+	// would thrash: two callers alternating evenly leave the most recent
+	// one just above half because decay favors recency.
+	MinShare float64
+	// RTT, when set, supplies the membership layer's smoothed RTT estimate
+	// to a peer; a candidate destination with unknown (zero) RTT is still
+	// eligible, but one whose RTT exceeds MaxRTT is skipped — migrating a
+	// hot fragment to a far-away or flapping peer makes every future
+	// access worse.
+	RTT    func(peer string) time.Duration
+	MaxRTT time.Duration
+	// Live, when set, filters destinations to peers the failure detector
+	// currently considers alive.
+	Live func(peer string) bool
+}
+
+func (p *Planner) minTotal() float64 {
+	if p.MinTotal > 0 {
+		return p.MinTotal
+	}
+	return 4
+}
+
+func (p *Planner) minShare() float64 {
+	if p.MinShare > 0 {
+		return p.MinShare
+	}
+	return 0.6
+}
+
+// Plan examines heat for the fragments in owned (the fragments this peer
+// currently holds) and returns the migrations to execute, sorted by
+// fragment ID for determinism. self is this peer's ID; a fragment whose
+// dominant caller is self stays put.
+func (p *Planner) Plan(self string, owned []string, heat *Heat) []Move {
+	var moves []Move
+	for _, frag := range owned {
+		caller, share, total := heat.Dominant(frag)
+		if caller == "" || caller == self {
+			continue
+		}
+		if total < p.minTotal() || share < p.minShare() {
+			continue
+		}
+		if p.Live != nil && !p.Live(caller) {
+			continue
+		}
+		if p.RTT != nil && p.MaxRTT > 0 {
+			if rtt := p.RTT(caller); rtt > p.MaxRTT {
+				continue
+			}
+		}
+		moves = append(moves, Move{Frag: frag, To: caller})
+	}
+	sort.Slice(moves, func(i, j int) bool { return moves[i].Frag < moves[j].Frag })
+	return moves
+}

@@ -1,0 +1,106 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHeatDominantAndDecay(t *testing.T) {
+	h := NewHeat()
+	for i := 0; i < 10; i++ {
+		h.Observe("f1", "AP2", 1)
+	}
+	h.Observe("f1", "AP3", 1)
+	c, share, total := h.Dominant("f1")
+	if c != "AP2" || share < 0.8 {
+		t.Fatalf("dominant = %s share %.2f, want AP2 with >0.8", c, share)
+	}
+	if total <= 0 {
+		t.Fatal("total heat not positive")
+	}
+	// A shifted hotspot takes over: sustained AP3 traffic decays AP2 away.
+	for i := 0; i < 60; i++ {
+		h.Observe("f1", "AP3", 1)
+	}
+	if c, share, _ := h.Dominant("f1"); c != "AP3" || share < 0.8 {
+		t.Fatalf("after shift dominant = %s share %.2f, want AP3 with >0.8", c, share)
+	}
+	h.Forget("f1")
+	if _, _, total := h.Dominant("f1"); total != 0 {
+		t.Fatal("Forget left heat behind")
+	}
+}
+
+func TestHeatWeighting(t *testing.T) {
+	h := NewHeat()
+	h.Observe("f", "cheap", 1)
+	h.Observe("f", "costly", 50)
+	if c, _, _ := h.Dominant("f"); c != "costly" {
+		t.Fatalf("dominant = %s, want the high-cost caller", c)
+	}
+	h.Observe("g", "z", 0) // clamped to 1
+	if got := h.Total("g"); got != 1 {
+		t.Fatalf("zero weight not clamped: total=%v", got)
+	}
+}
+
+func TestPlannerThresholds(t *testing.T) {
+	h := NewHeat()
+	p := &Planner{}
+	// Cold fragment: below MinTotal, no move.
+	h.Observe("cold", "AP2", 1)
+	if moves := p.Plan("AP1", []string{"cold"}, h); len(moves) != 0 {
+		t.Fatalf("cold fragment planned: %v", moves)
+	}
+	// Hot with a clear dominant remote caller: move.
+	for i := 0; i < 8; i++ {
+		h.Observe("hot", "AP2", 1)
+	}
+	moves := p.Plan("AP1", []string{"hot"}, h)
+	if len(moves) != 1 || moves[0] != (Move{Frag: "hot", To: "AP2"}) {
+		t.Fatalf("moves = %v", moves)
+	}
+	// Dominant caller is self: stay.
+	for i := 0; i < 8; i++ {
+		h.Observe("mine", "AP1", 1)
+	}
+	if moves := p.Plan("AP1", []string{"mine"}, h); len(moves) != 0 {
+		t.Fatalf("self-hot fragment planned away: %v", moves)
+	}
+	// Split traffic (no majority): stay.
+	for i := 0; i < 4; i++ {
+		h.Observe("split", "AP2", 1)
+		h.Observe("split", "AP3", 1)
+	}
+	if c, share, _ := h.Dominant("split"); share >= 0.6 {
+		t.Fatalf("test setup: split fragment has a dominant caller %s %.2f", c, share)
+	}
+	if moves := p.Plan("AP1", []string{"split"}, h); len(moves) != 0 {
+		t.Fatalf("split fragment planned: %v", moves)
+	}
+}
+
+func TestPlannerFilters(t *testing.T) {
+	h := NewHeat()
+	for i := 0; i < 8; i++ {
+		h.Observe("hot", "AP2", 1)
+	}
+	dead := &Planner{Live: func(p string) bool { return p != "AP2" }}
+	if moves := dead.Plan("AP1", []string{"hot"}, h); len(moves) != 0 {
+		t.Fatalf("planned a move to a dead peer: %v", moves)
+	}
+	far := &Planner{
+		RTT:    func(string) time.Duration { return time.Second },
+		MaxRTT: 100 * time.Millisecond,
+	}
+	if moves := far.Plan("AP1", []string{"hot"}, h); len(moves) != 0 {
+		t.Fatalf("planned a move past MaxRTT: %v", moves)
+	}
+	near := &Planner{
+		RTT:    func(string) time.Duration { return time.Millisecond },
+		MaxRTT: 100 * time.Millisecond,
+	}
+	if moves := near.Plan("AP1", []string{"hot"}, h); len(moves) != 1 {
+		t.Fatalf("near move not planned: %v", moves)
+	}
+}

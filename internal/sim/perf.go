@@ -203,6 +203,9 @@ func RunPerfSuite() []PerfResult {
 	// L1 reference load: light vs loaded open-loop runs feed the
 	// load_p99_ratio regression row.
 	rs = append(rs, RunLoadRows(false)...)
+	// SH1 reference parameters: sharded assembly scaling and heat-driven
+	// placement, feeding the shard_scale_x and placement_p50_win_x rows.
+	rs = append(rs, RunShardRows(false)...)
 	return rs
 }
 
@@ -225,14 +228,18 @@ func RunPerfSuiteQuick() []PerfResult {
 		RunCacheExperiment(3, 8, 120, true, 1),
 		RunCacheExperiment(3, 8, 120, false, 1))
 	rs = append(rs, RunLoadRows(true)...)
+	rs = append(rs, RunShardRows(true)...)
 	return rs
 }
 
 // summarize folds raw latencies into a PerfResult.
 func summarize(name string, ops int, elapsed time.Duration, lat []time.Duration, allocs float64) PerfResult {
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	// Nanosecond resolution: sub-microsecond medians (a local in-memory
+	// fragment fetch) must not truncate to zero, which would break the
+	// derived latency ratios.
 	pct := func(p float64) float64 {
-		return float64(Percentile(lat, p).Microseconds())
+		return float64(Percentile(lat, p).Nanoseconds()) / 1e3
 	}
 	return PerfResult{
 		Name:        name,

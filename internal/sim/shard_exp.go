@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"axmltx/internal/axml"
+	"axmltx/internal/core"
+	"axmltx/internal/p2p"
+	"axmltx/internal/wal"
+)
+
+// SH1: document sharding under a skewed workload. Two measurements feed the
+// regression gate:
+//
+//   - shard_assemble_Np: aggregate sharded-materialization throughput of a
+//     cluster of N peers (one origin holding every fragment, N-1 assemblers
+//     reassembling over a latency-bearing network). Fragment fetches within
+//     one assembly overlap, and assemblies on different peers overlap with
+//     each other, so aggregate throughput must scale with peer count —
+//     the 2p→4p ratio is the shard_scale_x gate row.
+//
+//   - shard_hot_static / shard_hot_placed: client-observed fetch latency of
+//     one hot fragment hammered by a remote caller, with placement off
+//     (every fetch crosses the network) vs on (the heat planner migrates
+//     the fragment to its dominant caller mid-run, after which fetches are
+//     local). The static/placed p50 ratio is the placement_p50_win_x gate
+//     row.
+
+// shardExpDoc builds a document whose root has frags fragment-sized player
+// subtrees (7 nodes each, above DefaultFragmentThreshold) plus one small
+// child that stays in the spine.
+func shardExpDoc(frags int) string {
+	var b strings.Builder
+	b.WriteString("<league>")
+	for i := 0; i < frags; i++ {
+		fmt.Fprintf(&b, "<player><name>P%d</name><rank>%d</rank><points>%d</points></player>", i, i+1, 1000*(i+1))
+	}
+	b.WriteString("<meta/></league>")
+	return b.String()
+}
+
+// shardOrigin builds a peer on net hosting the sharded document and returns
+// it with the fragment IDs an assembler needs seeded into tables.
+func shardOrigin(net *p2p.Network, doc string, frags int) (*core.Peer, []string) {
+	origin := core.NewPeer(net.Join("OR"), wal.NewMemory(), core.Options{})
+	if err := origin.HostDocument(doc, shardExpDoc(frags)); err != nil {
+		panic(err)
+	}
+	if err := origin.ShardHostedDocument(doc, 0); err != nil {
+		panic(err)
+	}
+	ids := []string{string(axml.SpineFragmentID(doc))}
+	for _, f := range origin.Store().Fragments() {
+		ids = append(ids, string(f.ID))
+	}
+	return origin, ids
+}
+
+// RunShardScale measures aggregate assembly throughput of a cluster with
+// the given total peer count (one origin + peers-1 assemblers), each
+// assembler reassembling the document opsPer times over a network with the
+// given per-delivery latency.
+func RunShardScale(peers, frags, opsPer int, latency time.Duration) PerfResult {
+	if peers < 2 {
+		panic("sim: RunShardScale needs peers>=2")
+	}
+	const doc = "L.xml"
+	net := p2p.NewNetwork(latency)
+	_, ids := shardOrigin(net, doc, frags)
+	assemblers := make([]*core.Peer, peers-1)
+	for i := range assemblers {
+		p := core.NewPeer(net.Join(p2p.PeerID(fmt.Sprintf("AP%d", i+1))), wal.NewMemory(), core.Options{})
+		for _, id := range ids {
+			p.Replicas().AddFragment(id, "OR")
+		}
+		assemblers[i] = p
+	}
+
+	ctx := context.Background()
+	var mu sync.Mutex
+	lat := make([]time.Duration, 0, len(assemblers)*opsPer)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, p := range assemblers {
+		wg.Add(1)
+		go func(p *core.Peer) {
+			defer wg.Done()
+			mine := make([]time.Duration, 0, opsPer)
+			for op := 0; op < opsPer; op++ {
+				t0 := time.Now()
+				if _, err := p.AssembleSharded(ctx, doc); err != nil {
+					panic(err)
+				}
+				mine = append(mine, time.Since(t0))
+			}
+			mu.Lock()
+			lat = append(lat, mine...)
+			mu.Unlock()
+		}(p)
+	}
+	wg.Wait()
+	return summarize(fmt.Sprintf("shard_assemble_%dp", peers),
+		len(assemblers)*opsPer, time.Since(start), lat, 0)
+}
+
+// RunShardPlacement measures the client-observed latency of fetching one
+// hot fragment from a remote caller, ops times. With placed=true the origin
+// runs a placement tick once the caller's heat dominates (after warmup
+// fetches), migrating the fragment to the caller — the remaining fetches
+// are local. With placed=false the fragment stays put and every fetch pays
+// the network latency.
+func RunShardPlacement(placed bool, ops int, latency time.Duration) PerfResult {
+	const doc = "L.xml"
+	net := p2p.NewNetwork(latency)
+	origin, ids := shardOrigin(net, doc, 3)
+	caller := core.NewPeer(net.Join("C"), wal.NewMemory(), core.Options{})
+	for _, id := range ids {
+		caller.Replicas().AddFragment(id, "OR")
+	}
+	hot := axml.FragmentID(ids[1]) // first real fragment (ids[0] is the spine)
+
+	ctx := context.Background()
+	// Enough skewed traffic for the planner's MinTotal/MinShare bars.
+	const warmup = 5
+	lat := make([]time.Duration, 0, ops)
+	start := time.Now()
+	for op := 0; op < ops; op++ {
+		if placed && op == warmup {
+			origin.PlacementTick(ctx)
+		}
+		t0 := time.Now()
+		if _, err := caller.FetchFragment(ctx, hot); err != nil {
+			panic(err)
+		}
+		lat = append(lat, time.Since(t0))
+	}
+	name := "shard_hot_static"
+	if placed {
+		name = "shard_hot_placed"
+	}
+	return summarize(name, ops, time.Since(start), lat, 0)
+}
+
+// RunShardRows runs the SH1 suite with reference (or quick CI) parameters.
+func RunShardRows(quick bool) []PerfResult {
+	frags, opsPer, ops := 6, 24, 48
+	latency := time.Millisecond
+	if quick {
+		frags, opsPer, ops = 4, 8, 24
+	}
+	return []PerfResult{
+		RunShardScale(2, frags, opsPer, latency),
+		RunShardScale(4, frags, opsPer, latency),
+		RunShardPlacement(false, ops, latency),
+		RunShardPlacement(true, ops, latency),
+	}
+}
